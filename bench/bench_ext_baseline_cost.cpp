@@ -1,0 +1,80 @@
+// Extension of Table I: cover cost under DOAM for the full baseline zoo.
+//
+// For each ordering (MaxDegree, PageRank, Betweenness, DegreeDiscount,
+// Proximity) we report the shortest prefix that protects every bridge end,
+// next to SCBG's purpose-built cost. Centrality orders are rumor-agnostic,
+// so their covering prefixes are dramatically longer — the point the paper
+// makes with MaxDegree, extended to stronger centralities.
+#include <iostream>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace lcrb::bench;
+  using namespace lcrb;
+  BenchContext ctx = parse_context(
+      argc, argv, "Extension — DOAM cover cost across baseline orderings",
+      /*default_scale=*/0.3);
+  const Dataset ds = make_hep_dataset(ctx);
+
+  TextTable table;
+  table.set_header({"|R|", "SCBG", "Proximity", "MaxDegree", "PageRank",
+                    "Betweenness", "DegreeDiscount"});
+
+  // Betweenness is O(V*E): computed once per dataset.
+  const std::vector<double> bc = betweenness_centrality(ds.graph);
+
+  Rng rng(ctx.seed + 31);
+  for (const double frac : {0.01, 0.05, 0.10}) {
+    const NodeId csize = ds.partition.size_of(ds.community);
+    const std::size_t nr =
+        std::max<std::size_t>(1, static_cast<std::size_t>(frac * csize));
+
+    RunningStats scbg_c, prox_c, md_c, pr_c, bt_c, dd_c;
+    for (std::size_t trial = 0; trial < ctx.trials; ++trial) {
+      const ExperimentSetup s = prepare_experiment(
+          ds.graph, ds.partition, ds.community, nr, ctx.seed + 700 + trial);
+      if (s.bridges.bridge_ends.empty()) continue;
+
+      scbg_c.add(static_cast<double>(
+          scbg_from_bridges(ds.graph, s.rumors, s.bridges).protectors.size()));
+
+      auto cost = [&](const std::vector<NodeId>& order) {
+        return static_cast<double>(
+            cover_cost_doam(ds.graph, s.rumors, s.bridges.bridge_ends, order)
+                .cost);
+      };
+      Rng prox_rng(rng.next());
+      prox_c.add(cost(proximity_protectors(ds.graph, s.rumors,
+                                           ds.graph.num_nodes(), prox_rng)));
+      md_c.add(cost(
+          maxdegree_protectors(ds.graph, s.rumors, ds.graph.num_nodes())));
+      pr_c.add(cost(
+          pagerank_protectors(ds.graph, s.rumors, ds.graph.num_nodes())));
+
+      // Betweenness order (rumors excluded).
+      std::vector<bool> is_rumor(ds.graph.num_nodes(), false);
+      for (NodeId r : s.rumors) is_rumor[r] = true;
+      std::vector<NodeId> bt_order;
+      for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+        if (!is_rumor[v]) bt_order.push_back(v);
+      }
+      std::stable_sort(bt_order.begin(), bt_order.end(),
+                       [&bc](NodeId a, NodeId b) { return bc[a] > bc[b]; });
+      bt_c.add(cost(bt_order));
+
+      dd_c.add(cost(degree_discount(ds.graph, ds.graph.num_nodes(), 0.05,
+                                    s.rumors)));
+    }
+    table.add_values(std::to_string(nr) + " (" + fixed(frac * 100, 0) + "%)",
+                     fixed(scbg_c.mean()), fixed(prox_c.mean()),
+                     fixed(md_c.mean()), fixed(pr_c.mean()),
+                     fixed(bt_c.mean()), fixed(dd_c.mean()));
+  }
+  table.print(std::cout);
+  std::cout << "\n(Hep substitute; costs averaged over " << ctx.trials
+            << " rumor re-draws; every column except SCBG is a covering\n"
+            << " prefix of a rumor-agnostic order — rumor-aware placement is "
+               "what wins)\n";
+  return 0;
+}

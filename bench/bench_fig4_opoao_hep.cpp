@@ -1,0 +1,20 @@
+// Reproduces Fig. 4: infected nodes under OPOAO, Hep collaboration network,
+// |N|=15233 |C|=308 |B|=387 — Greedy vs Proximity vs MaxDegree vs NoBlocking.
+//
+// Expected shape (paper §VI-B.2): Greedy best from ~hop 9 on; Proximity and
+// MaxDegree better in the earliest hops; Proximity clearly beats MaxDegree on
+// this low-degree network; all curves flatten past ~31 hops.
+#include <iostream>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace lcrb::bench;
+  lcrb::ThreadPool pool;
+  BenchContext ctx = parse_context(
+      argc, argv, "Fig. 4 — OPOAO infected-vs-hops, Hep (|C|=308 analog)", /*default_scale=*/0.2);
+  ctx.pool = &pool;
+  const Dataset ds = make_hep_dataset(ctx);
+  run_opoao_figure(std::cout, ds, ctx, {0.01, 0.05, 0.10});
+  return 0;
+}

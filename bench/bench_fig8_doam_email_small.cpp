@@ -1,0 +1,14 @@
+// Reproduces Fig. 8: infected nodes under DOAM on the Enron email network,
+// small community (|C|=80 analog), |R| in {5%, 10%, 20%}.
+#include <iostream>
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  using namespace lcrb::bench;
+  BenchContext ctx = parse_context(
+      argc, argv, "Fig. 8 — DOAM infected-vs-hops, Email (|C|=80 analog)", /*default_scale=*/0.5);
+  const Dataset ds = make_email_small_dataset(ctx);
+  run_doam_figure(std::cout, ds, ctx, {0.05, 0.10, 0.20});
+  return 0;
+}

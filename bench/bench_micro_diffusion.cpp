@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark): diffusion simulator throughput.
+#include <benchmark/benchmark.h>
+
+#include "lcrb/lcrb.h"
+
+namespace {
+
+using namespace lcrb;
+
+DiGraph bench_graph(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  return erdos_renyi_m(n, static_cast<EdgeId>(n) * 8, true, rng);
+}
+
+SeedSets bench_seeds(NodeId n) {
+  SeedSets s;
+  for (NodeId v = 0; v < 8; ++v) s.rumors.push_back(v);
+  for (NodeId v = 8; v < 16 && v < n; ++v) s.protectors.push_back(v);
+  return s;
+}
+
+void BM_Opoao(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const DiGraph g = bench_graph(n, 1);
+  const SeedSets seeds = bench_seeds(n);
+  OpoaoConfig cfg;
+  cfg.max_steps = 31;
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    DiffusionResult r = simulate_opoao(g, seeds, ++s, cfg);
+    benchmark::DoNotOptimize(r.infected_count());
+  }
+}
+BENCHMARK(BM_Opoao)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_Doam(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const DiGraph g = bench_graph(n, 2);
+  const SeedSets seeds = bench_seeds(n);
+  for (auto _ : state) {
+    DiffusionResult r = simulate_doam(g, seeds);
+    benchmark::DoNotOptimize(r.infected_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_Doam)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_DoamAnalyticSavedTest(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const DiGraph g = bench_graph(n, 3);
+  const SeedSets seeds = bench_seeds(n);
+  std::vector<NodeId> targets;
+  for (NodeId v = 100; v < 200 && v < n; ++v) targets.push_back(v);
+  for (auto _ : state) {
+    auto saved = doam_saved(g, seeds, targets);
+    benchmark::DoNotOptimize(saved.size());
+  }
+}
+BENCHMARK(BM_DoamAnalyticSavedTest)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CompetitiveIc(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const DiGraph g = bench_graph(n, 4);
+  const SeedSets seeds = bench_seeds(n);
+  IcConfig cfg;
+  cfg.edge_prob = 0.1;
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    DiffusionResult r = simulate_competitive_ic(g, seeds, ++s, cfg);
+    benchmark::DoNotOptimize(r.infected_count());
+  }
+}
+BENCHMARK(BM_CompetitiveIc)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_MonteCarloSeries(benchmark::State& state) {
+  const DiGraph g = bench_graph(2000, 5);
+  const SeedSets seeds = bench_seeds(2000);
+  MonteCarloConfig cfg;
+  cfg.runs = static_cast<std::size_t>(state.range(0));
+  cfg.max_hops = 31;
+  ThreadPool pool;
+  for (auto _ : state) {
+    HopSeries s = monte_carlo_series(g, seeds, cfg, {}, &pool);
+    benchmark::DoNotOptimize(s.final_infected_mean);
+  }
+}
+BENCHMARK(BM_MonteCarloSeries)
+    ->Arg(10)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SigmaEvaluation(benchmark::State& state) {
+  const DiGraph g = bench_graph(2000, 6);
+  std::vector<NodeId> rumors{0, 1, 2, 3};
+  std::vector<NodeId> targets;
+  for (NodeId v = 500; v < 540; ++v) targets.push_back(v);
+  SigmaConfig cfg;
+  cfg.samples = static_cast<std::size_t>(state.range(0));
+  const SigmaEstimator est(g, rumors, targets, cfg);
+  const NodeId protectors[] = {10, 11, 12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.sigma(protectors));
+  }
+}
+BENCHMARK(BM_SigmaEvaluation)
+    ->Arg(10)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

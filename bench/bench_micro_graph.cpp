@@ -1,0 +1,94 @@
+// Microbenchmarks (google-benchmark): graph substrate throughput.
+#include <benchmark/benchmark.h>
+
+#include "lcrb/lcrb.h"
+
+namespace {
+
+using namespace lcrb;
+
+void BM_CsrBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(1);
+  // Pre-generate the arc list once; measure finalize() only.
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  for (EdgeId e = 0; e < static_cast<EdgeId>(n) * 8; ++e) {
+    arcs.emplace_back(static_cast<NodeId>(rng.next_below(n)),
+                      static_cast<NodeId>(rng.next_below(n)));
+  }
+  for (auto _ : state) {
+    GraphBuilder b;
+    b.reserve_nodes(n);
+    b.reserve_edges(arcs.size());
+    for (const auto& [u, v] : arcs) b.add_edge(u, v);
+    DiGraph g = b.finalize();
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(arcs.size()));
+}
+BENCHMARK(BM_CsrBuild)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_BfsForward(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  const DiGraph g = erdos_renyi_m(n, static_cast<EdgeId>(n) * 8, true, rng);
+  const NodeId src[] = {0};
+  for (auto _ : state) {
+    const BfsResult r = bfs_forward(g, src);
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BfsForward)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_CommunityGenerator(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    CommunityGraphConfig cfg;
+    cfg.community_sizes.assign(10, n / 10);
+    cfg.seed = 3;
+    CommunityGraph cg = make_community_graph(cfg);
+    benchmark::DoNotOptimize(cg.graph.num_edges());
+  }
+}
+BENCHMARK(BM_CommunityGenerator)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Louvain(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  CommunityGraphConfig cfg;
+  cfg.community_sizes.assign(10, n / 10);
+  cfg.seed = 4;
+  const CommunityGraph cg = make_community_graph(cfg);
+  for (auto _ : state) {
+    Partition p = louvain(cg.graph);
+    benchmark::DoNotOptimize(p.num_communities());
+  }
+}
+BENCHMARK(BM_Louvain)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_BridgeEndDetection(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  CommunityGraphConfig cfg;
+  cfg.community_sizes.assign(10, n / 10);
+  cfg.seed = 5;
+  const CommunityGraph cg = make_community_graph(cfg);
+  const Partition p(cg.membership);
+  const std::vector<NodeId> rumors{p.members(0)[0], p.members(0)[1]};
+  for (auto _ : state) {
+    BridgeEndResult r = find_bridge_ends(cg.graph, p, 0, rumors);
+    benchmark::DoNotOptimize(r.bridge_ends.size());
+  }
+}
+BENCHMARK(BM_BridgeEndDetection)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+#include "community/detect.h"
+
+#include "community/label_propagation.h"
+#include "community/louvain.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+Partition detect_communities(const DiGraph& g, CommunityMethod method,
+                             std::uint64_t seed) {
+  switch (method) {
+    case CommunityMethod::kLouvain: {
+      LouvainConfig cfg;
+      cfg.seed = seed;
+      return louvain(g, cfg);
+    }
+    case CommunityMethod::kLabelPropagation: {
+      LabelPropagationConfig cfg;
+      cfg.seed = seed;
+      return label_propagation(g, cfg);
+    }
+    case CommunityMethod::kGroundTruth:
+      throw Error("kGroundTruth has no detector; build Partition from labels");
+  }
+  throw Error("unknown community method");
+}
+
+std::string to_string(CommunityMethod method) {
+  switch (method) {
+    case CommunityMethod::kLouvain: return "louvain";
+    case CommunityMethod::kLabelPropagation: return "label_propagation";
+    case CommunityMethod::kGroundTruth: return "ground_truth";
+  }
+  return "unknown";
+}
+
+}  // namespace lcrb

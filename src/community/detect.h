@@ -1,0 +1,26 @@
+// Unified community-detection entry point used by the LCRB pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace lcrb {
+
+enum class CommunityMethod {
+  kLouvain,           ///< what the paper uses (Blondel et al. [25])
+  kLabelPropagation,  ///< faster, lower-quality baseline
+  kGroundTruth,       ///< use planted membership (supplied separately)
+};
+
+/// Runs the chosen detector. kGroundTruth is invalid here (it has no graph
+/// signal); callers with planted labels construct Partition directly.
+Partition detect_communities(const DiGraph& g, CommunityMethod method,
+                             std::uint64_t seed = 1);
+
+/// Human-readable method name for logs and bench output.
+std::string to_string(CommunityMethod method);
+
+}  // namespace lcrb

@@ -1,0 +1,80 @@
+#include "community/io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+void save_membership(const Partition& p, const std::string& path) {
+  std::ofstream out(path);
+  LCRB_REQUIRE(out.good(), "cannot open membership file for writing: " + path);
+  save_membership(p, out);
+  LCRB_REQUIRE(out.good(), "membership write failed: " + path);
+}
+
+void save_membership(const Partition& p, std::ostream& out) {
+  out << "node,community\n";
+  for (NodeId v = 0; v < p.num_nodes(); ++v) {
+    out << v << ',' << p.community_of(v) << '\n';
+  }
+}
+
+Partition load_membership(const std::string& path) {
+  std::ifstream in(path);
+  LCRB_REQUIRE(in.good(), "cannot open membership file: " + path);
+  return load_membership(in);
+}
+
+Partition load_membership(std::istream& in) {
+  std::string line;
+  LCRB_REQUIRE(static_cast<bool>(std::getline(in, line)),
+               "empty membership file");
+  // Tolerate files without the header.
+  const bool has_header = line.rfind("node", 0) == 0;
+
+  std::vector<CommunityId> labels;
+  std::vector<bool> seen;
+  auto consume = [&](const std::string& row, std::size_t lineno) {
+    if (row.empty()) return;
+    std::istringstream fields(row);
+    std::string node_s, comm_s;
+    if (!std::getline(fields, node_s, ',') ||
+        !std::getline(fields, comm_s, ',')) {
+      throw Error("malformed membership line " + std::to_string(lineno) +
+                  ": '" + row + "'");
+    }
+    std::size_t pos = 0;
+    unsigned long node = 0, comm = 0;
+    try {
+      node = std::stoul(node_s, &pos);
+      LCRB_REQUIRE(pos == node_s.size(), "trailing junk in node id");
+      comm = std::stoul(comm_s, &pos);
+      LCRB_REQUIRE(pos == comm_s.size(), "trailing junk in community id");
+    } catch (const std::exception&) {
+      throw Error("malformed membership line " + std::to_string(lineno) +
+                  ": '" + row + "'");
+    }
+    if (node >= labels.size()) {
+      labels.resize(node + 1, kInvalidCommunity);
+      seen.resize(node + 1, false);
+    }
+    LCRB_REQUIRE(!seen[node],
+                 "duplicate node " + std::to_string(node) + " in membership");
+    seen[node] = true;
+    labels[node] = static_cast<CommunityId>(comm);
+  };
+
+  std::size_t lineno = 1;
+  if (!has_header) consume(line, lineno);
+  while (std::getline(in, line)) consume(line, ++lineno);
+
+  for (std::size_t v = 0; v < seen.size(); ++v) {
+    LCRB_REQUIRE(seen[v], "membership missing node " + std::to_string(v));
+  }
+  return Partition(labels);
+}
+
+}  // namespace lcrb

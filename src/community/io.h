@@ -1,0 +1,23 @@
+// Partition persistence: "node,community" CSV (the format lcrb_cli's
+// `communities --out` writes), so detected structure can be reused across
+// runs without re-running Louvain.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "community/partition.h"
+
+namespace lcrb {
+
+/// Writes one "node,community" line per node, with a header row.
+void save_membership(const Partition& p, const std::string& path);
+void save_membership(const Partition& p, std::ostream& out);
+
+/// Reads the CSV back. Every node in [0, max_node] must appear exactly once;
+/// labels are re-normalized by Partition. Throws lcrb::Error on malformed
+/// rows, duplicates, or gaps.
+Partition load_membership(const std::string& path);
+Partition load_membership(std::istream& in);
+
+}  // namespace lcrb

@@ -1,0 +1,54 @@
+#include "community/label_propagation.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace lcrb {
+
+Partition label_propagation(const DiGraph& g,
+                            const LabelPropagationConfig& cfg) {
+  const NodeId n = g.num_nodes();
+  std::vector<CommunityId> label(n);
+  std::iota(label.begin(), label.end(), 0);
+  if (n == 0) return Partition(label);
+
+  Rng rng(cfg.seed);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  std::unordered_map<CommunityId, double> votes;
+  std::vector<CommunityId> best;
+
+  for (int iter = 0; iter < cfg.max_iters; ++iter) {
+    for (NodeId i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[rng.next_below(i)]);
+    }
+    bool changed = false;
+    for (NodeId v : order) {
+      votes.clear();
+      for (NodeId u : g.out_neighbors(v)) votes[label[u]] += 1.0;
+      for (NodeId u : g.in_neighbors(v)) votes[label[u]] += 1.0;
+      if (votes.empty()) continue;
+
+      double max_vote = 0.0;
+      for (const auto& [c, w] : votes) max_vote = std::max(max_vote, w);
+      best.clear();
+      for (const auto& [c, w] : votes) {
+        if (w == max_vote) best.push_back(c);
+      }
+      std::sort(best.begin(), best.end());  // determinism across map orders
+      const CommunityId pick = best[rng.next_below(best.size())];
+      if (pick != label[v]) {
+        label[v] = pick;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return Partition(label);
+}
+
+}  // namespace lcrb

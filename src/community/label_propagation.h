@@ -1,0 +1,23 @@
+// Label propagation community detection (Raghavan et al. 2007): the fast
+// baseline we compare against Louvain in the community-quality ablation.
+#pragma once
+
+#include <cstdint>
+
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace lcrb {
+
+struct LabelPropagationConfig {
+  std::uint64_t seed = 1;
+  int max_iters = 100;  ///< safety cap; usually converges in < 10
+};
+
+/// Asynchronous label propagation on the undirected view of `g`: each node
+/// repeatedly adopts the label carried by the plurality of its neighbors
+/// (ties broken uniformly at random). Deterministic in (graph, seed).
+Partition label_propagation(const DiGraph& g,
+                            const LabelPropagationConfig& cfg = {});
+
+}  // namespace lcrb

@@ -1,0 +1,194 @@
+#include "community/louvain.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lcrb {
+
+namespace {
+
+/// Undirected weighted graph for one aggregation level.
+struct LevelGraph {
+  // adj[v] = (neighbor, weight); each undirected edge appears in both lists.
+  std::vector<std::vector<std::pair<NodeId, double>>> adj;
+  // Self-loop contribution to degree (2x the internal weight).
+  std::vector<double> self_w;
+  double two_m = 0.0;  // sum over all degrees
+
+  NodeId size() const { return static_cast<NodeId>(adj.size()); }
+
+  double degree(NodeId v) const {
+    double k = self_w[v];
+    for (const auto& [u, w] : adj[v]) k += w;
+    return k;
+  }
+};
+
+LevelGraph from_digraph(const DiGraph& g) {
+  LevelGraph lg;
+  lg.adj.resize(g.num_nodes());
+  lg.self_w.assign(g.num_nodes(), 0.0);
+  // Merge (u,v) and (v,u) arcs into one undirected weight.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::unordered_map<NodeId, double> acc;
+    for (NodeId v : g.out_neighbors(u)) {
+      if (v != u) acc[v] += 1.0;
+    }
+    for (NodeId v : g.in_neighbors(u)) {
+      if (v != u) acc[v] += 1.0;
+    }
+    auto& lst = lg.adj[u];
+    lst.reserve(acc.size());
+    for (const auto& [v, w] : acc) lst.emplace_back(v, w);
+    std::sort(lst.begin(), lst.end());
+  }
+  for (NodeId v = 0; v < lg.size(); ++v) lg.two_m += lg.degree(v);
+  return lg;
+}
+
+/// One level of local moving. Returns the node -> community assignment and
+/// whether any move happened.
+bool local_move(const LevelGraph& lg, std::vector<CommunityId>& comm,
+                const LouvainConfig& cfg, Rng& rng) {
+  const NodeId n = lg.size();
+  std::vector<double> k(n);
+  for (NodeId v = 0; v < n; ++v) k[v] = lg.degree(v);
+
+  std::vector<double> sigma_tot(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) sigma_tot[comm[v]] += k[v];
+
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates shuffle for visit order.
+  for (NodeId i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+
+  bool any_move = false;
+  std::vector<double> w_to_comm(n, 0.0);
+  std::vector<CommunityId> touched;
+
+  for (int sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    bool moved_this_sweep = false;
+    for (NodeId v : order) {
+      const CommunityId old_c = comm[v];
+
+      // Weights from v to each adjacent community.
+      touched.clear();
+      for (const auto& [u, w] : lg.adj[v]) {
+        const CommunityId c = comm[u];
+        if (w_to_comm[c] == 0.0) touched.push_back(c);
+        w_to_comm[c] += w;
+      }
+
+      // Remove v from its community.
+      sigma_tot[old_c] -= k[v];
+
+      // Best target: maximize k_in(v,c) - sigma_tot[c] * k_v / 2m.
+      CommunityId best_c = old_c;
+      double best_gain = w_to_comm[old_c] - sigma_tot[old_c] * k[v] / lg.two_m;
+      for (CommunityId c : touched) {
+        if (c == old_c) continue;
+        const double gain = w_to_comm[c] - sigma_tot[c] * k[v] / lg.two_m;
+        if (gain > best_gain + cfg.min_gain) {
+          best_gain = gain;
+          best_c = c;
+        }
+      }
+
+      sigma_tot[best_c] += k[v];
+      if (best_c != old_c) {
+        comm[v] = best_c;
+        moved_this_sweep = true;
+        any_move = true;
+      }
+
+      for (CommunityId c : touched) w_to_comm[c] = 0.0;
+      w_to_comm[old_c] = 0.0;
+    }
+    if (!moved_this_sweep) break;
+  }
+  return any_move;
+}
+
+/// Aggregates communities into super-nodes.
+LevelGraph aggregate(const LevelGraph& lg, const std::vector<CommunityId>& comm,
+                     std::vector<CommunityId>& dense_label) {
+  // Densify community labels.
+  dense_label.assign(lg.size(), kInvalidCommunity);
+  std::unordered_map<CommunityId, CommunityId> remap;
+  for (NodeId v = 0; v < lg.size(); ++v) {
+    auto [it, _] = remap.emplace(comm[v], static_cast<CommunityId>(remap.size()));
+    dense_label[v] = it->second;
+  }
+
+  LevelGraph out;
+  const auto k = static_cast<NodeId>(remap.size());
+  out.adj.resize(k);
+  out.self_w.assign(k, 0.0);
+
+  std::vector<std::unordered_map<NodeId, double>> acc(k);
+  for (NodeId v = 0; v < lg.size(); ++v) {
+    const CommunityId cv = dense_label[v];
+    out.self_w[cv] += lg.self_w[v];
+    for (const auto& [u, w] : lg.adj[v]) {
+      const CommunityId cu = dense_label[u];
+      if (cu == cv) {
+        out.self_w[cv] += w;  // each internal edge visited from both ends
+      } else {
+        acc[cv][cu] += w;
+      }
+    }
+  }
+  for (NodeId c = 0; c < k; ++c) {
+    auto& lst = out.adj[c];
+    lst.reserve(acc[c].size());
+    for (const auto& [d, w] : acc[c]) lst.emplace_back(d, w);
+    std::sort(lst.begin(), lst.end());
+  }
+  out.two_m = lg.two_m;
+  return out;
+}
+
+}  // namespace
+
+Partition louvain(const DiGraph& g, const LouvainConfig& cfg) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return Partition{};
+
+  LevelGraph lg = from_digraph(g);
+  // node -> community in the original graph, updated level by level.
+  std::vector<CommunityId> result(n);
+  std::iota(result.begin(), result.end(), 0);
+
+  if (lg.two_m == 0.0) return Partition(result);  // every node alone
+
+  Rng rng(cfg.seed);
+  std::vector<CommunityId> comm(n);
+  std::iota(comm.begin(), comm.end(), 0);
+
+  for (int level = 0; level < cfg.max_levels; ++level) {
+    const bool improved = local_move(lg, comm, cfg, rng);
+    if (!improved && level > 0) break;
+
+    std::vector<CommunityId> dense;
+    LevelGraph next = aggregate(lg, comm, dense);
+
+    // Push this level's assignment down to original nodes.
+    for (NodeId v = 0; v < n; ++v) result[v] = dense[result[v]];
+
+    if (next.size() == lg.size()) break;  // no coarsening -> converged
+    lg = std::move(next);
+    comm.assign(lg.size(), 0);
+    std::iota(comm.begin(), comm.end(), 0);
+    if (!improved) break;
+  }
+  return Partition(result);
+}
+
+}  // namespace lcrb

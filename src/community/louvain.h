@@ -1,0 +1,24 @@
+// Louvain community detection (Blondel et al. 2008) — the method the paper
+// uses to obtain the community structure before rumor blocking.
+#pragma once
+
+#include <cstdint>
+
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace lcrb {
+
+struct LouvainConfig {
+  std::uint64_t seed = 1;     ///< node-visit shuffling
+  int max_levels = 20;        ///< aggregation rounds
+  int max_sweeps = 50;        ///< local-move sweeps per level
+  double min_gain = 1e-9;     ///< minimum modularity gain to accept a move
+};
+
+/// Runs multi-level Louvain on the undirected weighted view of `g`
+/// (arc (u,v) and (v,u) each contribute weight 1 to the undirected edge).
+/// Deterministic in (graph, cfg.seed).
+Partition louvain(const DiGraph& g, const LouvainConfig& cfg = {});
+
+}  // namespace lcrb

@@ -1,0 +1,30 @@
+#include "community/modularity.h"
+
+#include "util/error.h"
+
+namespace lcrb {
+
+double modularity(const DiGraph& g, const Partition& p) {
+  LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
+               "partition does not cover the graph");
+  const double m = static_cast<double>(g.num_edges());
+  if (m == 0) return 0.0;
+
+  const CommunityId k = p.num_communities();
+  std::vector<double> out_sum(k, 0.0), in_sum(k, 0.0);
+  double intra = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const CommunityId cu = p.community_of(u);
+    out_sum[cu] += static_cast<double>(g.out_degree(u));
+    in_sum[cu] += static_cast<double>(g.in_degree(u));
+    for (NodeId v : g.out_neighbors(u)) {
+      if (p.community_of(v) == cu) intra += 1.0;
+    }
+  }
+
+  double expected = 0.0;
+  for (CommunityId c = 0; c < k; ++c) expected += out_sum[c] * in_sum[c];
+  return intra / m - expected / (m * m);
+}
+
+}  // namespace lcrb

@@ -1,0 +1,15 @@
+// Newman modularity of a partition.
+#pragma once
+
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace lcrb {
+
+/// Directed modularity (Leicht–Newman):
+///   Q = (1/m) * sum_ij [A_ij - d_out(i) d_in(j) / m] * delta(c_i, c_j).
+/// For symmetric graphs this coincides with classic undirected modularity
+/// computed on the arc multiset. Returns 0 for edgeless graphs.
+double modularity(const DiGraph& g, const Partition& p);
+
+}  // namespace lcrb

@@ -1,0 +1,49 @@
+#include "community/nmi.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+double normalized_mutual_information(const Partition& a, const Partition& b) {
+  LCRB_REQUIRE(a.num_nodes() == b.num_nodes(),
+               "partitions cover different node sets");
+  const auto n = static_cast<double>(a.num_nodes());
+  if (a.num_nodes() == 0) return 1.0;
+
+  // Joint counts.
+  std::unordered_map<std::uint64_t, double> joint;
+  std::vector<double> ca(a.num_communities(), 0.0);
+  std::vector<double> cb(b.num_communities(), 0.0);
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    const CommunityId x = a.community_of(v);
+    const CommunityId y = b.community_of(v);
+    joint[(static_cast<std::uint64_t>(x) << 32) | y] += 1.0;
+    ca[x] += 1.0;
+    cb[y] += 1.0;
+  }
+
+  auto entropy = [n](const std::vector<double>& counts) {
+    double h = 0.0;
+    for (double c : counts) {
+      if (c > 0) h -= (c / n) * std::log(c / n);
+    }
+    return h;
+  };
+  const double ha = entropy(ca);
+  const double hb = entropy(cb);
+  if (ha == 0.0 && hb == 0.0) return 1.0;  // both trivial, identical
+
+  double mi = 0.0;
+  for (const auto& [key, nxy] : joint) {
+    const auto x = static_cast<CommunityId>(key >> 32);
+    const auto y = static_cast<CommunityId>(key & 0xffffffffULL);
+    mi += (nxy / n) * std::log(n * nxy / (ca[x] * cb[y]));
+  }
+  return mi / std::max(ha, hb);
+}
+
+}  // namespace lcrb

@@ -1,0 +1,15 @@
+// Normalized mutual information between two partitions (used in tests to
+// check that detection recovers planted communities).
+#pragma once
+
+#include "community/partition.h"
+
+namespace lcrb {
+
+/// NMI in [0, 1]: 1 means identical partitions (up to label renaming),
+/// 0 means independent. Both partitions must cover the same node set.
+/// Normalization: I(X;Y) / max(H(X), H(Y)); if both entropies are zero the
+/// partitions are the trivial one-community partition and NMI is 1.
+double normalized_mutual_information(const Partition& a, const Partition& b);
+
+}  // namespace lcrb

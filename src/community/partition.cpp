@@ -1,0 +1,56 @@
+#include "community/partition.h"
+
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+Partition::Partition(const std::vector<CommunityId>& membership) {
+  membership_.resize(membership.size());
+  std::unordered_map<CommunityId, CommunityId> remap;
+  for (std::size_t v = 0; v < membership.size(); ++v) {
+    LCRB_REQUIRE(membership[v] != kInvalidCommunity,
+                 "node without community label");
+    auto [it, inserted] =
+        remap.emplace(membership[v], static_cast<CommunityId>(remap.size()));
+    const CommunityId dense = it->second;
+    membership_[v] = dense;
+    if (inserted) members_.emplace_back();
+    members_[dense].push_back(static_cast<NodeId>(v));
+  }
+}
+
+CommunityId Partition::community_of(NodeId v) const {
+  LCRB_REQUIRE(v < membership_.size(), "node id out of range");
+  return membership_[v];
+}
+
+const std::vector<NodeId>& Partition::members(CommunityId c) const {
+  LCRB_REQUIRE(c < members_.size(), "community id out of range");
+  return members_[c];
+}
+
+CommunityId Partition::closest_to_size(NodeId target) const {
+  LCRB_REQUIRE(!members_.empty(), "empty partition");
+  CommunityId best = 0;
+  auto gap = [&](CommunityId c) {
+    const auto s = static_cast<long long>(members_[c].size());
+    const auto t = static_cast<long long>(target);
+    return s > t ? s - t : t - s;
+  };
+  for (CommunityId c = 1; c < members_.size(); ++c) {
+    if (gap(c) < gap(best)) best = c;
+  }
+  return best;
+}
+
+std::vector<NodeId> Partition::sizes() const {
+  std::vector<NodeId> out(members_.size());
+  for (CommunityId c = 0; c < members_.size(); ++c) {
+    out[c] = static_cast<NodeId>(members_[c].size());
+  }
+  return out;
+}
+
+}  // namespace lcrb

@@ -1,0 +1,47 @@
+// Community partition: the C = {C_1, ..., C_k} of the paper's G(V, E, C).
+#pragma once
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace lcrb {
+
+/// Disjoint communities covering all nodes. Labels are normalized to the
+/// dense range [0, num_communities) in first-appearance order.
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Builds from a node -> label vector (labels may be sparse; normalized).
+  explicit Partition(const std::vector<CommunityId>& membership);
+
+  NodeId num_nodes() const { return static_cast<NodeId>(membership_.size()); }
+  CommunityId num_communities() const {
+    return static_cast<CommunityId>(members_.size());
+  }
+
+  CommunityId community_of(NodeId v) const;
+
+  /// Nodes in community c, ascending.
+  const std::vector<NodeId>& members(CommunityId c) const;
+
+  NodeId size_of(CommunityId c) const {
+    return static_cast<NodeId>(members(c).size());
+  }
+
+  /// Community whose size is nearest to `target` (ties -> smaller id).
+  /// Used to pick rumor communities matching the paper's |C| values.
+  CommunityId closest_to_size(NodeId target) const;
+
+  /// All community sizes, indexed by community id.
+  std::vector<NodeId> sizes() const;
+
+  const std::vector<CommunityId>& membership() const { return membership_; }
+
+ private:
+  std::vector<CommunityId> membership_;
+  std::vector<std::vector<NodeId>> members_;
+};
+
+}  // namespace lcrb

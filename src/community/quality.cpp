@@ -1,0 +1,65 @@
+#include "community/quality.h"
+
+#include <algorithm>
+
+#include "community/modularity.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+double conductance(const DiGraph& g, const Partition& p, CommunityId c) {
+  LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
+               "partition does not cover the graph");
+  LCRB_REQUIRE(c < p.num_communities(), "community out of range");
+  if (g.num_edges() == 0) return 0.0;
+
+  EdgeId cut = 0, vol_in = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const bool inside = p.community_of(u) == c;
+    if (inside) vol_in += g.out_degree(u);
+    for (NodeId v : g.out_neighbors(u)) {
+      if (inside != (p.community_of(v) == c)) ++cut;
+    }
+  }
+  // Cut counted from both sides once each (u inside xor v inside covers both
+  // orientations across all u).
+  const EdgeId vol_out = g.num_edges() - vol_in;
+  const EdgeId denom = std::min(vol_in, vol_out);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+double coverage(const DiGraph& g, const Partition& p) {
+  LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
+               "partition does not cover the graph");
+  if (g.num_edges() == 0) return 0.0;
+  EdgeId intra = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) {
+      if (p.community_of(u) == p.community_of(v)) ++intra;
+    }
+  }
+  return static_cast<double>(intra) / static_cast<double>(g.num_edges());
+}
+
+PartitionQuality partition_quality(const DiGraph& g, const Partition& p) {
+  PartitionQuality q;
+  q.modularity = modularity(g, p);
+  q.coverage = coverage(g, p);
+  q.num_communities = p.num_communities();
+  if (q.num_communities == 0) return q;
+
+  q.smallest = kInvalidNode;
+  double sum_cond = 0.0;
+  for (CommunityId c = 0; c < p.num_communities(); ++c) {
+    const double cond = conductance(g, p, c);
+    sum_cond += cond;
+    q.max_conductance = std::max(q.max_conductance, cond);
+    q.largest = std::max(q.largest, p.size_of(c));
+    q.smallest = std::min(q.smallest, p.size_of(c));
+  }
+  q.mean_conductance = sum_cond / q.num_communities;
+  return q;
+}
+
+}  // namespace lcrb

@@ -1,0 +1,31 @@
+// Partition quality metrics beyond modularity: used by the community
+// ablation and by callers choosing a rumor community.
+#pragma once
+
+#include "community/partition.h"
+#include "graph/graph.h"
+
+namespace lcrb {
+
+/// Conductance of one community: cut(C, V\C) / min(vol(C), vol(V\C)),
+/// volumes counted over arcs (out-degree). Lower is better-separated.
+/// Returns 0 for an edgeless graph and 1 when the community has no volume.
+double conductance(const DiGraph& g, const Partition& p, CommunityId c);
+
+/// Fraction of arcs whose endpoints share a community ("coverage").
+double coverage(const DiGraph& g, const Partition& p);
+
+/// Summary used in reports.
+struct PartitionQuality {
+  double modularity = 0.0;
+  double coverage = 0.0;
+  double mean_conductance = 0.0;  ///< unweighted mean over communities
+  double max_conductance = 0.0;
+  NodeId num_communities = 0;
+  NodeId largest = 0;
+  NodeId smallest = 0;
+};
+
+PartitionQuality partition_quality(const DiGraph& g, const Partition& p);
+
+}  // namespace lcrb

@@ -1,0 +1,80 @@
+#include "diffusion/cascade.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+void validate_seeds(const DiGraph& g, const SeedSets& seeds) {
+  auto check = [&](const std::vector<NodeId>& s, const char* name) {
+    for (NodeId v : s) {
+      LCRB_REQUIRE(v < g.num_nodes(),
+                   std::string(name) + " seed out of range");
+    }
+    std::vector<NodeId> sorted = s;
+    std::sort(sorted.begin(), sorted.end());
+    LCRB_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                     sorted.end(),
+                 std::string(name) + " seeds contain duplicates");
+    return sorted;
+  };
+  const auto r = check(seeds.rumors, "rumor");
+  const auto p = check(seeds.protectors, "protector");
+  std::vector<NodeId> both;
+  std::set_intersection(r.begin(), r.end(), p.begin(), p.end(),
+                        std::back_inserter(both));
+  LCRB_REQUIRE(both.empty(), "rumor and protector seed sets must be disjoint");
+}
+
+std::size_t DiffusionResult::infected_count() const {
+  return static_cast<std::size_t>(
+      std::count(state.begin(), state.end(), NodeState::kInfected));
+}
+
+std::size_t DiffusionResult::protected_count() const {
+  return static_cast<std::size_t>(
+      std::count(state.begin(), state.end(), NodeState::kProtected));
+}
+
+std::size_t DiffusionResult::cumulative_infected_at(std::uint32_t hop) const {
+  std::size_t total = 0;
+  const std::uint32_t last =
+      std::min<std::uint32_t>(hop, newly_infected.empty()
+                                       ? 0
+                                       : static_cast<std::uint32_t>(
+                                             newly_infected.size() - 1));
+  for (std::uint32_t t = 0; t <= last && t < newly_infected.size(); ++t) {
+    total += newly_infected[t];
+  }
+  return total;
+}
+
+std::size_t DiffusionResult::cumulative_protected_at(std::uint32_t hop) const {
+  std::size_t total = 0;
+  const std::uint32_t last =
+      std::min<std::uint32_t>(hop, newly_protected.empty()
+                                       ? 0
+                                       : static_cast<std::uint32_t>(
+                                             newly_protected.size() - 1));
+  for (std::uint32_t t = 0; t <= last && t < newly_protected.size(); ++t) {
+    total += newly_protected[t];
+  }
+  return total;
+}
+
+double DiffusionResult::saved_fraction(std::span<const NodeId> targets) const {
+  if (targets.empty()) return 1.0;
+  return static_cast<double>(saved_count(targets)) /
+         static_cast<double>(targets.size());
+}
+
+std::size_t DiffusionResult::saved_count(std::span<const NodeId> targets) const {
+  std::size_t saved = 0;
+  for (NodeId v : targets) {
+    if (state.at(v) != NodeState::kInfected) ++saved;
+  }
+  return saved;
+}
+
+}  // namespace lcrb

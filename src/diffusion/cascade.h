@@ -1,0 +1,52 @@
+// Shared vocabulary for the two-cascade (rumor R vs protector P) diffusion
+// simulators. All models share three rules from the paper (§III):
+//   1. both cascades start at step 0,
+//   2. on simultaneous arrival P wins the node,
+//   3. states are progressive (no node ever changes color once activated).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+enum class NodeState : std::uint8_t { kInactive = 0, kProtected = 1, kInfected = 2 };
+
+/// The two disjoint seed sets S_R (rumor originators) and S_P (protector
+/// originators).
+struct SeedSets {
+  std::vector<NodeId> rumors;
+  std::vector<NodeId> protectors;
+};
+
+/// Throws lcrb::Error unless both sets are in range, duplicate-free, and
+/// disjoint (the models require disjoint initial sets).
+void validate_seeds(const DiGraph& g, const SeedSets& seeds);
+
+/// Outcome of one simulated diffusion.
+struct DiffusionResult {
+  std::vector<NodeState> state;            ///< final state per node
+  std::vector<std::uint32_t> activation_step;  ///< kUnreached if inactive
+  std::vector<std::uint32_t> newly_infected;   ///< per step (index 0 = seeds)
+  std::vector<std::uint32_t> newly_protected;  ///< per step (index 0 = seeds)
+  std::uint32_t steps = 0;                 ///< last step that activated a node
+
+  std::size_t infected_count() const;
+  std::size_t protected_count() const;
+
+  /// Cumulative number of infected nodes at the end of `hop` (hops beyond
+  /// the recorded series return the final count — the curve has flattened).
+  std::size_t cumulative_infected_at(std::uint32_t hop) const;
+  std::size_t cumulative_protected_at(std::uint32_t hop) const;
+
+  /// Fraction of `targets` that finished uninfected (protected or inactive).
+  /// This is the paper's notion of a bridge end being "protected".
+  double saved_fraction(std::span<const NodeId> targets) const;
+  std::size_t saved_count(std::span<const NodeId> targets) const;
+};
+
+}  // namespace lcrb

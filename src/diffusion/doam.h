@@ -1,0 +1,30 @@
+// Deterministic One-Activate-Many (DOAM) model (paper §III-B).
+//
+// A node activated at step t activates ALL of its currently-inactive
+// out-neighbors at step t+1, exactly once (broadcast). With the P-priority
+// tie rule this is a synchronized two-source BFS and is fully deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "diffusion/cascade.h"
+
+namespace lcrb {
+
+struct DoamConfig {
+  std::uint32_t max_steps = 0xffffffff;  ///< hop cap (diffusion is finite anyway)
+};
+
+/// Simulates the (deterministic) DOAM diffusion.
+DiffusionResult simulate_doam(const DiGraph& g, const SeedSets& seeds,
+                              const DoamConfig& cfg = {});
+
+/// Analytic protection test (DESIGN.md §6.4): under DOAM, node v ends
+/// protected or untouched iff dist(S_P, v) <= dist(S_R, v) (plain multi-
+/// source BFS distances, unreachable = infinity). Returns, for each node of
+/// `targets`, whether it ends uninfected. Used by SCBG coverage checks —
+/// O(V+E) instead of a simulation per query.
+std::vector<bool> doam_saved(const DiGraph& g, const SeedSets& seeds,
+                             std::span<const NodeId> targets);
+
+}  // namespace lcrb

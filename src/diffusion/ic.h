@@ -1,0 +1,26 @@
+// Competitive Independent Cascade (extension model, related work [14][15]).
+//
+// Each arc (u, v) is live with probability `edge_prob`, decided once per
+// sample by hashing (seed, u, v) — the classic live-edge coupling. Both
+// cascades then race along live arcs as synchronized BFS with P-priority
+// ties, which matches Budak et al.'s "campaign with higher priority" EIL
+// setting and gives deterministic, low-variance marginal gains.
+#pragma once
+
+#include <cstdint>
+
+#include "diffusion/cascade.h"
+
+namespace lcrb {
+
+struct IcConfig {
+  double edge_prob = 0.1;
+  std::uint32_t max_steps = 0xffffffff;
+};
+
+/// Simulates one competitive-IC sample. Deterministic in (g, seeds, seed).
+DiffusionResult simulate_competitive_ic(const DiGraph& g, const SeedSets& seeds,
+                                        std::uint64_t seed,
+                                        const IcConfig& cfg = {});
+
+}  // namespace lcrb

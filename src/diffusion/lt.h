@@ -1,0 +1,24 @@
+// Competitive Linear Threshold (extension model, after He et al.'s CLT [16]).
+//
+// Node v has threshold theta_v ~ U(0,1), hashed from (seed, v). Every in-arc
+// carries weight 1/d_in(v). At each step an inactive node whose active
+// in-neighbor weight reaches theta_v activates and adopts the color with the
+// larger contributing weight (ties -> P, matching the paper's priority rule).
+#pragma once
+
+#include <cstdint>
+
+#include "diffusion/cascade.h"
+
+namespace lcrb {
+
+struct LtConfig {
+  std::uint32_t max_steps = 0xffffffff;
+};
+
+/// Simulates one competitive-LT sample. Deterministic in (g, seeds, seed).
+DiffusionResult simulate_competitive_lt(const DiGraph& g, const SeedSets& seeds,
+                                        std::uint64_t seed,
+                                        const LtConfig& cfg = {});
+
+}  // namespace lcrb

@@ -1,0 +1,122 @@
+#include "diffusion/montecarlo.h"
+
+#include <mutex>
+
+#include "diffusion/doam.h"
+#include "diffusion/ic.h"
+#include "diffusion/lt.h"
+#include "diffusion/opoao.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lcrb {
+
+std::string to_string(DiffusionModel m) {
+  switch (m) {
+    case DiffusionModel::kOpoao: return "OPOAO";
+    case DiffusionModel::kDoam: return "DOAM";
+    case DiffusionModel::kIc: return "IC";
+    case DiffusionModel::kLt: return "LT";
+  }
+  return "unknown";
+}
+
+DiffusionResult simulate(const DiGraph& g, const SeedSets& seeds,
+                         std::uint64_t seed, const MonteCarloConfig& cfg) {
+  switch (cfg.model) {
+    case DiffusionModel::kOpoao: {
+      OpoaoConfig c;
+      c.max_steps = cfg.max_hops;
+      return simulate_opoao(g, seeds, seed, c);
+    }
+    case DiffusionModel::kDoam: {
+      DoamConfig c;
+      c.max_steps = cfg.max_hops;
+      return simulate_doam(g, seeds, c);
+    }
+    case DiffusionModel::kIc: {
+      IcConfig c;
+      c.edge_prob = cfg.ic_edge_prob;
+      c.max_steps = cfg.max_hops;
+      return simulate_competitive_ic(g, seeds, seed, c);
+    }
+    case DiffusionModel::kLt: {
+      LtConfig c;
+      c.max_steps = cfg.max_hops;
+      return simulate_competitive_lt(g, seeds, seed, c);
+    }
+  }
+  throw Error("unknown diffusion model");
+}
+
+HopSeries monte_carlo_series(const DiGraph& g, const SeedSets& seeds,
+                             const MonteCarloConfig& cfg,
+                             std::span<const NodeId> targets,
+                             ThreadPool* pool) {
+  LCRB_REQUIRE(cfg.runs >= 1, "need at least one Monte-Carlo run");
+  validate_seeds(g, seeds);
+
+  // DOAM is deterministic: extra runs would just repeat the same trajectory.
+  const std::size_t runs =
+      (cfg.model == DiffusionModel::kDoam) ? 1 : cfg.runs;
+
+  const std::size_t hops = static_cast<std::size_t>(cfg.max_hops) + 1;
+  std::vector<RunningStats> infected(hops), prot(hops);
+  RunningStats final_inf, final_prot, saved;
+  std::mutex mu;
+
+  Rng master(cfg.seed);
+  auto run_one = [&](std::size_t i) {
+    const std::uint64_t run_seed = master.fork(i).next();
+    const DiffusionResult r = simulate(g, seeds, run_seed, cfg);
+
+    std::vector<double> inf_c(hops), prot_c(hops);
+    for (std::uint32_t h = 0; h < hops; ++h) {
+      inf_c[h] = static_cast<double>(r.cumulative_infected_at(h));
+      prot_c[h] = static_cast<double>(r.cumulative_protected_at(h));
+    }
+    const double fi = static_cast<double>(r.infected_count());
+    const double fp = static_cast<double>(r.protected_count());
+    const double sf = r.saved_fraction(targets);
+
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::uint32_t h = 0; h < hops; ++h) {
+      infected[h].add(inf_c[h]);
+      prot[h].add(prot_c[h]);
+    }
+    final_inf.add(fi);
+    final_prot.add(fp);
+    saved.add(sf);
+  };
+
+  if (pool != nullptr && runs > 1) {
+    pool->parallel_for(runs, run_one);
+  } else {
+    for (std::size_t i = 0; i < runs; ++i) run_one(i);
+  }
+
+  HopSeries out;
+  out.runs = runs;
+  out.infected_mean.resize(hops);
+  out.infected_ci95.resize(hops);
+  out.protected_mean.resize(hops);
+  for (std::size_t h = 0; h < hops; ++h) {
+    out.infected_mean[h] = infected[h].mean();
+    out.infected_ci95[h] = infected[h].ci95_halfwidth();
+    out.protected_mean[h] = prot[h].mean();
+  }
+  out.final_infected_mean = final_inf.mean();
+  out.final_protected_mean = final_prot.mean();
+  out.saved_fraction_mean = saved.mean();
+  return out;
+}
+
+double expected_saved(const DiGraph& g, const SeedSets& seeds,
+                      std::span<const NodeId> targets,
+                      const MonteCarloConfig& cfg, ThreadPool* pool) {
+  const HopSeries s = monte_carlo_series(g, seeds, cfg, targets, pool);
+  return s.saved_fraction_mean * static_cast<double>(targets.size());
+}
+
+}  // namespace lcrb

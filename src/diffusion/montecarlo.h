@@ -1,0 +1,57 @@
+// Monte-Carlo harness: repeated two-cascade simulations with per-hop
+// aggregation. This is what produces the paper's Figs. 4-9 series and the
+// sigma-estimates inside the LCRB-P greedy.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "util/threadpool.h"
+
+namespace lcrb {
+
+enum class DiffusionModel : std::uint8_t { kOpoao, kDoam, kIc, kLt };
+
+std::string to_string(DiffusionModel m);
+
+struct MonteCarloConfig {
+  std::size_t runs = 200;       ///< samples (DOAM is deterministic: 1 enough)
+  std::uint64_t seed = 1;       ///< master seed; run i uses an forked stream
+  std::uint32_t max_hops = 31;  ///< series length (paper plots 31 hops)
+  DiffusionModel model = DiffusionModel::kOpoao;
+  double ic_edge_prob = 0.1;    ///< only for kIc
+};
+
+/// Dispatches one simulation of the configured model.
+DiffusionResult simulate(const DiGraph& g, const SeedSets& seeds,
+                         std::uint64_t seed, const MonteCarloConfig& cfg);
+
+/// Per-hop aggregates over `runs` simulations.
+struct HopSeries {
+  std::vector<double> infected_mean;    ///< cumulative infected at hop h
+  std::vector<double> infected_ci95;    ///< 95% CI half-width
+  std::vector<double> protected_mean;   ///< cumulative protected at hop h
+  double final_infected_mean = 0.0;
+  double final_protected_mean = 0.0;
+  /// Mean fraction of `targets` (bridge ends) ending uninfected; 1.0 when no
+  /// targets were supplied.
+  double saved_fraction_mean = 1.0;
+  std::size_t runs = 0;
+};
+
+/// Runs the Monte-Carlo sweep, optionally on a shared thread pool. Results
+/// are deterministic in cfg.seed regardless of threading.
+HopSeries monte_carlo_series(const DiGraph& g, const SeedSets& seeds,
+                             const MonteCarloConfig& cfg,
+                             std::span<const NodeId> targets = {},
+                             ThreadPool* pool = nullptr);
+
+/// Expected number of `targets` ending uninfected (the sigma-hat estimator).
+double expected_saved(const DiGraph& g, const SeedSets& seeds,
+                      std::span<const NodeId> targets,
+                      const MonteCarloConfig& cfg, ThreadPool* pool = nullptr);
+
+}  // namespace lcrb

@@ -1,0 +1,60 @@
+// Opportunistic One-Activate-One (OPOAO) model (paper §III-A).
+//
+// Every step, EVERY active node picks one uniformly-random out-neighbor
+// (repeat selection allowed — see the paper's Fig. 1 where x re-picks u at
+// step 2). An inactive target activates at t+1 with the picker's color;
+// protector picks are applied before rumor picks, which realizes the
+// "P wins simultaneous arrival" rule.
+//
+// Randomness is stateless per (sample seed, node, step): the sample seed
+// fixes which neighbor every node WOULD pick at every step, independent of
+// when (or whether) the node activates. This is exactly the paper's
+// timestamped random graphs G_R/G_P (§V-A); under it, runs with different
+// protector sets are fully coupled, and the per-sample saved set |PB(S)| is
+// monotone and submodular (Lemma 4) — verified exhaustively in
+// tests/lcrb/lemma_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "diffusion/cascade.h"
+
+namespace lcrb {
+
+struct OpoaoConfig {
+  /// Hop cap; the simulation also stops exactly when no active node has an
+  /// inactive out-neighbor (nothing can ever activate after that).
+  std::uint32_t max_steps = 10000;
+};
+
+/// One activation attempt: active node `from` picked out-neighbor `to` at
+/// `step`; `activated` records whether the pick claimed the target. This is
+/// the paper's timestamp assignment (§V-A, Fig. 1): the pick at step t by a
+/// node of cascade c stamps edge (from, to) with "t_c".
+struct OpoaoPick {
+  std::uint32_t step;
+  NodeId from;
+  NodeId to;
+  NodeState cascade;  ///< color of the picking node
+  bool activated;     ///< target was inactive and adopted `cascade`
+};
+
+/// Full pick log of one simulation, in execution order (protector picks of a
+/// step precede rumor picks — exactly the priority rule).
+struct OpoaoTrace {
+  std::vector<OpoaoPick> picks;
+
+  /// Smallest step at which `color` picked edge (u, v) — the simplified
+  /// timestamp of Fig. 1(b); kUnreached if the edge was never picked by
+  /// that cascade.
+  std::uint32_t first_pick_step(NodeId u, NodeId v, NodeState color) const;
+};
+
+/// Simulates one OPOAO diffusion. Deterministic in (g, seeds, seed).
+/// Pass `trace` to capture the pick log (costs memory proportional to
+/// active-nodes x steps; leave null in Monte-Carlo loops).
+DiffusionResult simulate_opoao(const DiGraph& g, const SeedSets& seeds,
+                               std::uint64_t seed, const OpoaoConfig& cfg = {},
+                               OpoaoTrace* trace = nullptr);
+
+}  // namespace lcrb

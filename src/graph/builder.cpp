@@ -1,0 +1,76 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace lcrb {
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  LCRB_REQUIRE(u != kInvalidNode && v != kInvalidNode, "invalid node id");
+  // A dropped self-loop still names the node, so grow the node count first.
+  num_nodes_ = std::max({num_nodes_, u + 1, v + 1});
+  if (u == v && !opts_.keep_self_loops) return;
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::add_undirected_edge(NodeId u, NodeId v) {
+  add_edge(u, v);
+  add_edge(v, u);
+}
+
+void GraphBuilder::reserve_nodes(NodeId n) {
+  num_nodes_ = std::max(num_nodes_, n);
+}
+
+void GraphBuilder::reserve_edges(std::size_t m) { edges_.reserve(m); }
+
+DiGraph GraphBuilder::finalize() {
+  std::sort(edges_.begin(), edges_.end());
+  if (opts_.dedup) {
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  }
+
+  DiGraph g;
+  g.num_nodes_ = num_nodes_;
+  const std::size_t m = edges_.size();
+
+  // Forward CSR: edges_ already sorted by (source, target).
+  g.out_offsets_.assign(num_nodes_ + 1, 0);
+  g.out_targets_.resize(m);
+  for (const auto& [u, v] : edges_) ++g.out_offsets_[u + 1];
+  for (NodeId i = 0; i < num_nodes_; ++i)
+    g.out_offsets_[i + 1] += g.out_offsets_[i];
+  for (std::size_t e = 0; e < m; ++e) g.out_targets_[e] = edges_[e].second;
+
+  // Backward CSR via counting sort on target.
+  g.in_offsets_.assign(num_nodes_ + 1, 0);
+  g.in_sources_.resize(m);
+  for (const auto& [u, v] : edges_) ++g.in_offsets_[v + 1];
+  for (NodeId i = 0; i < num_nodes_; ++i)
+    g.in_offsets_[i + 1] += g.in_offsets_[i];
+  std::vector<EdgeId> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) g.in_sources_[cursor[v]++] = u;
+  // Sources arrive in ascending order because edges_ is sorted by source,
+  // so each in-neighbor list is already sorted.
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  num_nodes_ = 0;
+  return g;
+}
+
+DiGraph make_graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& arcs,
+                   bool undirected) {
+  GraphBuilder b;
+  b.reserve_nodes(n);
+  b.reserve_edges(undirected ? arcs.size() * 2 : arcs.size());
+  for (const auto& [u, v] : arcs) {
+    if (undirected) {
+      b.add_undirected_edge(u, v);
+    } else {
+      b.add_edge(u, v);
+    }
+  }
+  return b.finalize();
+}
+
+}  // namespace lcrb

@@ -1,0 +1,55 @@
+// Mutable edge accumulator that finalizes into an immutable CSR DiGraph.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+/// Collects arcs, then finalize() sorts, optionally deduplicates, and builds
+/// both CSR directions. Self-loops are dropped by default (they carry no
+/// information in any of the diffusion models).
+class GraphBuilder {
+ public:
+  struct Options {
+    bool dedup = true;            ///< drop parallel arcs
+    bool keep_self_loops = false; ///< keep (u,u) arcs
+  };
+
+  GraphBuilder() = default;
+  explicit GraphBuilder(Options opts) : opts_(opts) {}
+
+  /// Adds arc u -> v. Node ids may be sparse; num_nodes grows as needed.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Adds both u -> v and v -> u (the paper's treatment of undirected data).
+  void add_undirected_edge(NodeId u, NodeId v);
+
+  /// Ensures the graph has at least `n` nodes even if some are isolated.
+  void reserve_nodes(NodeId n);
+
+  /// Hint for the expected number of arcs.
+  void reserve_edges(std::size_t m);
+
+  std::size_t pending_edges() const { return edges_.size(); }
+  NodeId pending_nodes() const { return num_nodes_; }
+
+  /// Builds the CSR graph. The builder is left empty and reusable.
+  DiGraph finalize();
+
+ private:
+  Options opts_;
+  NodeId num_nodes_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+/// Convenience: builds a graph from an arc list over `n` nodes.
+DiGraph make_graph(NodeId n,
+                   const std::vector<std::pair<NodeId, NodeId>>& arcs,
+                   bool undirected = false);
+
+}  // namespace lcrb

@@ -1,0 +1,97 @@
+#include "graph/centrality.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+std::vector<double> betweenness_centrality(const DiGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> bc(n, 0.0);
+
+  // Brandes: one BFS per source with path counting, then dependency
+  // accumulation in reverse BFS order.
+  std::vector<std::uint32_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<std::vector<NodeId>> preds(n);
+  std::vector<NodeId> order;  // nodes in non-decreasing distance
+  order.reserve(n);
+
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : preds) p.clear();
+    order.clear();
+
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    std::deque<NodeId> queue{s};
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      order.push_back(u);
+      for (NodeId v : g.out_neighbors(u)) {
+        if (dist[v] == kUnreached) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+        if (dist[v] == dist[u] + 1) {
+          sigma[v] += sigma[u];
+          preds[v].push_back(u);
+        }
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId w = *it;
+      for (NodeId u : preds[w]) {
+        delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) bc[w] += delta[w];
+    }
+  }
+  return bc;
+}
+
+std::vector<NodeId> degree_discount(const DiGraph& g, std::size_t k, double p,
+                                    std::span<const NodeId> excluded) {
+  LCRB_REQUIRE(p >= 0.0 && p <= 1.0, "propagation probability in [0,1]");
+  const NodeId n = g.num_nodes();
+  std::vector<bool> banned(n, false);
+  for (NodeId v : excluded) {
+    LCRB_REQUIRE(v < n, "excluded node out of range");
+    banned[v] = true;
+  }
+
+  // dd[v] = discounted degree; t[v] = selected in-neighbors of v.
+  std::vector<double> dd(n);
+  std::vector<std::uint32_t> t(n, 0);
+  for (NodeId v = 0; v < n; ++v) dd[v] = static_cast<double>(g.out_degree(v));
+
+  std::vector<bool> selected(n, false);
+  std::vector<NodeId> out;
+  const std::size_t want = std::min<std::size_t>(k, n);
+  while (out.size() < want) {
+    NodeId best = kInvalidNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (selected[v] || banned[v]) continue;
+      if (best == kInvalidNode || dd[v] > dd[best]) best = v;
+    }
+    if (best == kInvalidNode) break;
+    selected[best] = true;
+    out.push_back(best);
+    // Discount neighbors: dd_v = d_v - 2 t_v - (d_v - t_v) t_v p.
+    for (NodeId v : g.out_neighbors(best)) {
+      if (selected[v]) continue;
+      ++t[v];
+      const double d = static_cast<double>(g.out_degree(v));
+      const double tv = static_cast<double>(t[v]);
+      dd[v] = d - 2.0 * tv - (d - tv) * tv * p;
+    }
+  }
+  return out;
+}
+
+}  // namespace lcrb

@@ -1,0 +1,14 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace lcrb {
+
+bool DiGraph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  const auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace lcrb

@@ -1,0 +1,78 @@
+// Immutable directed graph in CSR (compressed sparse row) form.
+//
+// Both adjacency directions are materialized at construction: forward
+// diffusion walks out-edges, while the SCBG algorithm's backward search trees
+// walk in-edges. All traversal is allocation-free over std::span.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+class GraphBuilder;
+
+/// Immutable directed graph. Construct via GraphBuilder, generators, or I/O.
+class DiGraph {
+ public:
+  DiGraph() = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  /// Number of arcs (directed edges).
+  EdgeId num_edges() const { return static_cast<EdgeId>(out_targets_.size()); }
+
+  bool empty() const { return num_nodes_ == 0; }
+
+  NodeId out_degree(NodeId u) const {
+    check_node(u);
+    return static_cast<NodeId>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
+  NodeId in_degree(NodeId v) const {
+    check_node(v);
+    return static_cast<NodeId>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Targets of u's out-edges, sorted ascending.
+  std::span<const NodeId> out_neighbors(NodeId u) const {
+    check_node(u);
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+
+  /// Sources of v's in-edges, sorted ascending.
+  std::span<const NodeId> in_neighbors(NodeId v) const {
+    check_node(v);
+    return {in_sources_.data() + in_offsets_[v],
+            in_sources_.data() + in_offsets_[v + 1]};
+  }
+
+  /// True iff arc (u, v) exists. O(log out_degree(u)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Mean number of out-edges per node (the paper's "average node degree"
+  /// for directed graphs).
+  double average_out_degree() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) / static_cast<double>(num_nodes_);
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  void check_node(NodeId u) const {
+    LCRB_REQUIRE(u < num_nodes_, "node id out of range");
+  }
+
+  NodeId num_nodes_ = 0;
+  std::vector<EdgeId> out_offsets_ = {0};
+  std::vector<NodeId> out_targets_;
+  std::vector<EdgeId> in_offsets_ = {0};
+  std::vector<NodeId> in_sources_;
+};
+
+}  // namespace lcrb

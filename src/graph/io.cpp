@@ -1,0 +1,132 @@
+#include "graph/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4c43524247463031ULL;  // "LCRBGF01"
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+DiGraph load_edge_list(const std::string& path, bool undirected) {
+  std::ifstream in(path);
+  LCRB_REQUIRE(in.good(), "cannot open edge list: " + path);
+  return load_edge_list(in, undirected);
+}
+
+DiGraph load_edge_list(std::istream& in, bool undirected) {
+  GraphBuilder b;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim leading whitespace, skip blanks and comments.
+    std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#' || line[pos] == '%') continue;
+    std::istringstream fields(line);
+    long long u = -1, v = -1;
+    if (!(fields >> u >> v) || u < 0 || v < 0 ||
+        u > static_cast<long long>(kInvalidNode - 1) ||
+        v > static_cast<long long>(kInvalidNode - 1)) {
+      throw Error("malformed edge list line " + std::to_string(lineno) + ": '" +
+                  line + "'");
+    }
+    if (undirected) {
+      b.add_undirected_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    } else {
+      b.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+  }
+  return b.finalize();
+}
+
+void save_edge_list(const DiGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  LCRB_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  save_edge_list(g, out);
+  LCRB_REQUIRE(out.good(), "edge list write failed: " + path);
+}
+
+void save_edge_list(const DiGraph& g, std::ostream& out) {
+  out << "# lcrb edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
+      << " arcs\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) out << u << ' ' << v << '\n';
+  }
+}
+
+void save_binary(const DiGraph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  LCRB_REQUIRE(out.good(), "cannot open file for writing: " + path);
+
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arcs.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) arcs.emplace_back(u, v);
+  }
+
+  const std::uint64_t n = g.num_nodes();
+  const std::uint64_t m = arcs.size();
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  checksum = fnv1a(&n, sizeof n, checksum);
+  checksum = fnv1a(&m, sizeof m, checksum);
+  if (m) checksum = fnv1a(arcs.data(), m * sizeof(arcs[0]), checksum);
+
+  out.write(reinterpret_cast<const char*>(&kMagic), sizeof kMagic);
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&m), sizeof m);
+  if (m) out.write(reinterpret_cast<const char*>(arcs.data()),
+                   static_cast<std::streamsize>(m * sizeof(arcs[0])));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof checksum);
+  LCRB_REQUIRE(out.good(), "binary graph write failed: " + path);
+}
+
+DiGraph load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  LCRB_REQUIRE(in.good(), "cannot open binary graph: " + path);
+
+  std::uint64_t magic = 0, n = 0, m = 0, stored = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  LCRB_REQUIRE(in.good() && magic == kMagic,
+               "not an lcrb binary graph: " + path);
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&m), sizeof m);
+  LCRB_REQUIRE(in.good() && n <= kInvalidNode, "corrupt binary graph header");
+
+  std::vector<std::pair<NodeId, NodeId>> arcs(m);
+  if (m) in.read(reinterpret_cast<char*>(arcs.data()),
+                 static_cast<std::streamsize>(m * sizeof(arcs[0])));
+  in.read(reinterpret_cast<char*>(&stored), sizeof stored);
+  LCRB_REQUIRE(in.good(), "binary graph truncated: " + path);
+
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  checksum = fnv1a(&n, sizeof n, checksum);
+  checksum = fnv1a(&m, sizeof m, checksum);
+  if (m) checksum = fnv1a(arcs.data(), m * sizeof(arcs[0]), checksum);
+  LCRB_REQUIRE(checksum == stored, "binary graph checksum mismatch: " + path);
+
+  GraphBuilder b;
+  b.reserve_nodes(static_cast<NodeId>(n));
+  b.reserve_edges(arcs.size());
+  for (const auto& [u, v] : arcs) b.add_edge(u, v);
+  return b.finalize();
+}
+
+}  // namespace lcrb

@@ -1,0 +1,81 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace lcrb {
+
+DegreeStats degree_stats(const DiGraph& g) {
+  DegreeStats s;
+  const NodeId n = g.num_nodes();
+  if (n == 0) return s;
+  std::vector<double> outs;
+  outs.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId dout = g.out_degree(v);
+    const NodeId din = g.in_degree(v);
+    outs.push_back(static_cast<double>(dout));
+    s.max_out = std::max(s.max_out, dout);
+    s.max_in = std::max(s.max_in, din);
+    if (dout == 0 && din == 0) ++s.isolated;
+  }
+  s.avg_out = mean_of(outs);
+  s.p50_out = percentile_of(outs, 50.0);
+  s.p90_out = percentile_of(outs, 90.0);
+  s.p99_out = percentile_of(outs, 99.0);
+  return s;
+}
+
+ComponentResult weakly_connected_components(const DiGraph& g) {
+  ComponentResult r;
+  const NodeId n = g.num_nodes();
+  r.labels.assign(n, kInvalidNode);
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (r.labels[root] != kInvalidNode) continue;
+    const NodeId label = r.count++;
+    NodeId size = 0;
+    stack.push_back(root);
+    r.labels[root] = label;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      ++size;
+      auto visit = [&](NodeId w) {
+        if (r.labels[w] == kInvalidNode) {
+          r.labels[w] = label;
+          stack.push_back(w);
+        }
+      };
+      for (NodeId w : g.out_neighbors(u)) visit(w);
+      for (NodeId w : g.in_neighbors(u)) visit(w);
+    }
+    r.largest_size = std::max(r.largest_size, size);
+  }
+  return r;
+}
+
+double reciprocity(const DiGraph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  EdgeId mutual = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) {
+      if (g.has_edge(v, u)) ++mutual;
+    }
+  }
+  return static_cast<double>(mutual) / static_cast<double>(g.num_edges());
+}
+
+std::string describe(const DiGraph& g) {
+  const DegreeStats d = degree_stats(g);
+  const ComponentResult c = weakly_connected_components(g);
+  std::ostringstream os;
+  os << "n=" << g.num_nodes() << " arcs=" << g.num_edges()
+     << " avg_out_deg=" << d.avg_out << " max_out=" << d.max_out
+     << " wcc=" << c.count << " largest_wcc=" << c.largest_size;
+  return os.str();
+}
+
+}  // namespace lcrb

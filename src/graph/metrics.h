@@ -1,0 +1,42 @@
+// Structural graph reports used for dataset calibration and examples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+/// Degree summary over out-degrees (add `in` variants where they differ).
+struct DegreeStats {
+  double avg_out = 0.0;
+  NodeId max_out = 0;
+  NodeId max_in = 0;
+  NodeId isolated = 0;   ///< nodes with no in- and no out-edges
+  double p50_out = 0.0;  ///< median out-degree
+  double p90_out = 0.0;
+  double p99_out = 0.0;
+};
+
+DegreeStats degree_stats(const DiGraph& g);
+
+/// Weakly connected components: labels[v] in [0, count).
+struct ComponentResult {
+  std::vector<NodeId> labels;
+  NodeId count = 0;
+  NodeId largest_size = 0;
+};
+
+ComponentResult weakly_connected_components(const DiGraph& g);
+
+/// Fraction of arcs (u,v) whose reverse (v,u) also exists. 1.0 for symmetric
+/// graphs (the Hep substitute), well below 1 for the Enron substitute.
+double reciprocity(const DiGraph& g);
+
+/// One-line human-readable summary ("n=... m=... avg_deg=... wcc=...").
+std::string describe(const DiGraph& g);
+
+}  // namespace lcrb

@@ -1,0 +1,33 @@
+#include "graph/subgraph.h"
+
+#include "graph/builder.h"
+
+namespace lcrb {
+
+InducedSubgraph induced_subgraph(const DiGraph& g,
+                                 std::span<const NodeId> nodes) {
+  InducedSubgraph out;
+  out.from_original.assign(g.num_nodes(), kInvalidNode);
+  out.to_original.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    LCRB_REQUIRE(v < g.num_nodes(), "subgraph node out of range");
+    LCRB_REQUIRE(out.from_original[v] == kInvalidNode,
+                 "duplicate node in subgraph selection");
+    out.from_original[v] = static_cast<NodeId>(out.to_original.size());
+    out.to_original.push_back(v);
+  }
+
+  GraphBuilder b;
+  b.reserve_nodes(static_cast<NodeId>(out.to_original.size()));
+  for (NodeId new_u = 0; new_u < out.to_original.size(); ++new_u) {
+    const NodeId old_u = out.to_original[new_u];
+    for (NodeId old_v : g.out_neighbors(old_u)) {
+      const NodeId new_v = out.from_original[old_v];
+      if (new_v != kInvalidNode) b.add_edge(new_u, new_v);
+    }
+  }
+  out.graph = b.finalize();
+  return out;
+}
+
+}  // namespace lcrb

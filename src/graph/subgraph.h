@@ -1,0 +1,23 @@
+// Induced subgraph extraction with id remapping (used to zoom into a single
+// community for examples and tests).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+/// An induced subgraph plus the mapping between new and original node ids.
+struct InducedSubgraph {
+  DiGraph graph;
+  std::vector<NodeId> to_original;    ///< new id -> original id
+  std::vector<NodeId> from_original;  ///< original id -> new id (kInvalidNode if absent)
+};
+
+/// Subgraph induced by `nodes` (duplicates rejected).
+InducedSubgraph induced_subgraph(const DiGraph& g, std::span<const NodeId> nodes);
+
+}  // namespace lcrb

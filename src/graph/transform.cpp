@@ -1,0 +1,78 @@
+#include "graph/transform.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/metrics.h"
+
+namespace lcrb {
+
+DiGraph transpose(const DiGraph& g) {
+  GraphBuilder b;
+  b.reserve_nodes(g.num_nodes());
+  b.reserve_edges(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) b.add_edge(v, u);
+  }
+  return b.finalize();
+}
+
+DiGraph symmetrize(const DiGraph& g) {
+  GraphBuilder b;
+  b.reserve_nodes(g.num_nodes());
+  b.reserve_edges(g.num_edges() * 2);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) b.add_undirected_edge(u, v);
+  }
+  return b.finalize();
+}
+
+InducedSubgraph k_core(const DiGraph& g, NodeId k) {
+  // Peel iteratively on the undirected degree. Parallel arcs were deduped at
+  // build time, but (u,v) and (v,u) both count toward degree — consistent
+  // with treating the pair as two social ties.
+  std::vector<NodeId> degree(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degree[v] = g.out_degree(v) + g.in_degree(v);
+  }
+  std::vector<bool> removed(g.num_nodes(), false);
+  std::vector<NodeId> stack;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (degree[v] < k) stack.push_back(v);
+  }
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    if (removed[v]) continue;
+    removed[v] = true;
+    auto relax = [&](NodeId w) {
+      if (!removed[w] && degree[w]-- == k) stack.push_back(w);
+    };
+    for (NodeId w : g.out_neighbors(v)) relax(w);
+    for (NodeId w : g.in_neighbors(v)) relax(w);
+  }
+
+  std::vector<NodeId> keep;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!removed[v]) keep.push_back(v);
+  }
+  return induced_subgraph(g, keep);
+}
+
+InducedSubgraph largest_wcc(const DiGraph& g) {
+  const ComponentResult c = weakly_connected_components(g);
+  if (c.count == 0) return induced_subgraph(g, {});
+  // Find the label with the most members.
+  std::vector<NodeId> counts(c.count, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) ++counts[c.labels[v]];
+  const NodeId best = static_cast<NodeId>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+  std::vector<NodeId> keep;
+  keep.reserve(counts[best]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (c.labels[v] == best) keep.push_back(v);
+  }
+  return induced_subgraph(g, keep);
+}
+
+}  // namespace lcrb

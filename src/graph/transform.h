@@ -1,0 +1,23 @@
+// Whole-graph transformations.
+#pragma once
+
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+
+namespace lcrb {
+
+/// Reverses every arc: (u, v) -> (v, u).
+DiGraph transpose(const DiGraph& g);
+
+/// Adds the reverse of every arc (undirected view as a digraph).
+DiGraph symmetrize(const DiGraph& g);
+
+/// Iteratively strips nodes with total degree (in + out) < k; returns the
+/// induced subgraph on the surviving nodes (the classic k-core, computed on
+/// the undirected view). The mapping identifies survivors.
+InducedSubgraph k_core(const DiGraph& g, NodeId k);
+
+/// Induced subgraph on the largest weakly connected component.
+InducedSubgraph largest_wcc(const DiGraph& g);
+
+}  // namespace lcrb

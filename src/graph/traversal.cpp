@@ -1,0 +1,94 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+namespace lcrb {
+
+namespace {
+
+template <typename NeighborFn>
+BfsResult bfs_impl(const DiGraph& g, std::span<const NodeId> sources,
+                   NeighborFn neighbors) {
+  BfsResult r;
+  r.dist.assign(g.num_nodes(), kUnreached);
+  r.parent.assign(g.num_nodes(), kInvalidNode);
+  std::deque<NodeId> queue;
+  for (NodeId s : sources) {
+    LCRB_REQUIRE(s < g.num_nodes(), "BFS source out of range");
+    if (r.dist[s] == kUnreached) {
+      r.dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : neighbors(u)) {
+      if (r.dist[v] == kUnreached) {
+        r.dist[v] = r.dist[u] + 1;
+        r.parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return r;
+}
+
+template <typename NeighborFn>
+BoundedBfsResult bounded_impl(const DiGraph& g, NodeId root,
+                              std::uint32_t max_depth, NeighborFn neighbors) {
+  LCRB_REQUIRE(root < g.num_nodes(), "BFS root out of range");
+  BoundedBfsResult r;
+  std::vector<bool> seen(g.num_nodes(), false);
+  r.nodes.push_back(root);
+  r.depth.push_back(0);
+  seen[root] = true;
+  // r.nodes doubles as the frontier: process it index-by-index.
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    const NodeId u = r.nodes[i];
+    const std::uint32_t d = r.depth[i];
+    if (d >= max_depth) continue;
+    for (NodeId v : neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = true;
+        r.nodes.push_back(v);
+        r.depth.push_back(d + 1);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+BfsResult bfs_forward(const DiGraph& g, std::span<const NodeId> sources) {
+  return bfs_impl(g, sources, [&g](NodeId u) { return g.out_neighbors(u); });
+}
+
+BfsResult bfs_backward(const DiGraph& g, std::span<const NodeId> sources) {
+  return bfs_impl(g, sources, [&g](NodeId u) { return g.in_neighbors(u); });
+}
+
+BoundedBfsResult bfs_backward_bounded(const DiGraph& g, NodeId root,
+                                      std::uint32_t max_depth) {
+  return bounded_impl(g, root, max_depth,
+                      [&g](NodeId u) { return g.in_neighbors(u); });
+}
+
+BoundedBfsResult bfs_forward_bounded(const DiGraph& g, NodeId root,
+                                     std::uint32_t max_depth) {
+  return bounded_impl(g, root, max_depth,
+                      [&g](NodeId u) { return g.out_neighbors(u); });
+}
+
+std::vector<NodeId> reachable_from(const DiGraph& g,
+                                   std::span<const NodeId> sources) {
+  const BfsResult r = bfs_forward(g, sources);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (r.reached(v)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace lcrb

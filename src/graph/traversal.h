@@ -1,0 +1,46 @@
+// BFS primitives shared by bridge-end detection (RFST), SCBG's backward
+// search trees (BBST), and the DOAM protection test.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+/// Output of a (multi-source) BFS.
+struct BfsResult {
+  /// Hop distance from the nearest source; kUnreached if unreachable.
+  std::vector<std::uint32_t> dist;
+  /// BFS-tree parent; kInvalidNode for sources and unreached nodes.
+  std::vector<NodeId> parent;
+
+  bool reached(NodeId v) const { return dist[v] != kUnreached; }
+};
+
+/// Multi-source BFS along out-edges.
+BfsResult bfs_forward(const DiGraph& g, std::span<const NodeId> sources);
+
+/// Multi-source BFS along in-edges ("who can reach me, and how fast").
+BfsResult bfs_backward(const DiGraph& g, std::span<const NodeId> sources);
+
+/// Backward BFS from a single node truncated at `max_depth` hops. Returns
+/// only the visited nodes and their depths (dist[i] pairs with nodes[i]).
+struct BoundedBfsResult {
+  std::vector<NodeId> nodes;          ///< visited nodes, BFS order (root first)
+  std::vector<std::uint32_t> depth;   ///< depth[i] = hops from root to nodes[i]
+};
+BoundedBfsResult bfs_backward_bounded(const DiGraph& g, NodeId root,
+                                      std::uint32_t max_depth);
+
+/// Forward variant of the bounded BFS.
+BoundedBfsResult bfs_forward_bounded(const DiGraph& g, NodeId root,
+                                     std::uint32_t max_depth);
+
+/// Nodes reachable from `sources` along out-edges (including the sources).
+std::vector<NodeId> reachable_from(const DiGraph& g,
+                                   std::span<const NodeId> sources);
+
+}  // namespace lcrb

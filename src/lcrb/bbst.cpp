@@ -1,0 +1,73 @@
+#include "lcrb/bbst.h"
+
+#include <algorithm>
+
+#include "graph/traversal.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+Bbst build_bbst(const DiGraph& g, NodeId bridge_end, std::uint32_t rumor_dist,
+                std::span<const NodeId> rumors) {
+  LCRB_REQUIRE(bridge_end < g.num_nodes(), "bridge end out of range");
+  LCRB_REQUIRE(rumor_dist != kUnreached,
+               "bridge end must be reachable from the rumors");
+  Bbst q;
+  q.root = bridge_end;
+  q.depth_limit = rumor_dist;
+
+  const BoundedBfsResult bfs = bfs_backward_bounded(g, bridge_end, rumor_dist);
+  std::vector<bool> is_rumor(g.num_nodes(), false);
+  for (NodeId r : rumors) {
+    LCRB_REQUIRE(r < g.num_nodes(), "rumor out of range");
+    is_rumor[r] = true;
+  }
+  q.nodes.reserve(bfs.nodes.size());
+  q.depth.reserve(bfs.nodes.size());
+  for (std::size_t i = 0; i < bfs.nodes.size(); ++i) {
+    if (is_rumor[bfs.nodes[i]]) continue;  // rumors cannot protect
+    q.nodes.push_back(bfs.nodes[i]);
+    q.depth.push_back(bfs.depth[i]);
+  }
+  return q;
+}
+
+std::vector<Bbst> build_all_bbsts(const DiGraph& g,
+                                  std::span<const NodeId> bridge_ends,
+                                  std::span<const std::uint32_t> rumor_dist_all,
+                                  std::span<const NodeId> rumors) {
+  LCRB_REQUIRE(rumor_dist_all.size() == g.num_nodes(),
+               "rumor_dist_all must be indexed by node id");
+  std::vector<Bbst> out;
+  out.reserve(bridge_ends.size());
+  for (NodeId v : bridge_ends) {
+    out.push_back(build_bbst(g, v, rumor_dist_all[v], rumors));
+  }
+  return out;
+}
+
+SwSets invert_bbsts(const std::vector<Bbst>& bbsts, NodeId num_nodes) {
+  // First pass: count occurrences per node to size buckets.
+  std::vector<std::uint32_t> counts(num_nodes, 0);
+  for (const Bbst& q : bbsts) {
+    for (NodeId u : q.nodes) ++counts[u];
+  }
+
+  SwSets out;
+  std::vector<std::uint32_t> slot(num_nodes, kUnreached);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (counts[u] == 0) continue;
+    slot[u] = static_cast<std::uint32_t>(out.candidates.size());
+    out.candidates.push_back(u);
+    out.sets.emplace_back();
+    out.sets.back().reserve(counts[u]);
+  }
+  for (std::uint32_t i = 0; i < bbsts.size(); ++i) {
+    for (NodeId u : bbsts[i].nodes) {
+      out.sets[slot[u]].push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace lcrb

@@ -1,0 +1,45 @@
+// Bridge-end Backward Search Trees (BBST) — paper Algorithm 3 step 4,
+// Fig. 3b.
+//
+// For bridge end v with rumor arrival time d = dist(S_R, v), the BBST Q_v is
+// the set of nodes w with dist(w, v) <= d: planting a protector seed at any
+// such w delivers cascade P to v no later than cascade R arrives, and P wins
+// ties — so every node of Q_v except the rumor originators can protect v.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+struct Bbst {
+  NodeId root = kInvalidNode;       ///< the bridge end v
+  std::uint32_t depth_limit = 0;    ///< dist(S_R, v)
+  std::vector<NodeId> nodes;        ///< Q_v in BFS order (root first)
+  std::vector<std::uint32_t> depth; ///< depth[i] = dist(nodes[i], v)
+};
+
+/// Builds Q_v by backward BFS truncated at `rumor_dist` hops, excluding the
+/// rumor originators (they cannot serve as protectors).
+Bbst build_bbst(const DiGraph& g, NodeId bridge_end, std::uint32_t rumor_dist,
+                std::span<const NodeId> rumors);
+
+/// Builds all BBSTs for `bridge_ends` (rumor_dist_all indexed by node id).
+std::vector<Bbst> build_all_bbsts(const DiGraph& g,
+                                  std::span<const NodeId> bridge_ends,
+                                  std::span<const std::uint32_t> rumor_dist_all,
+                                  std::span<const NodeId> rumors);
+
+/// Inverts BBSTs into the SW map of Algorithm 3 step 5: for every node u
+/// appearing in some Q_v, SW_u = indices (into bridge_ends) of the bridge
+/// ends u can protect. Returned as (candidates, sets) parallel arrays.
+struct SwSets {
+  std::vector<NodeId> candidates;               ///< distinct u's, ascending
+  std::vector<std::vector<std::uint32_t>> sets; ///< sets[i] = SW of candidates[i]
+};
+SwSets invert_bbsts(const std::vector<Bbst>& bbsts, NodeId num_nodes);
+
+}  // namespace lcrb

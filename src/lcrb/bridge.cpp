@@ -1,0 +1,42 @@
+#include "lcrb/bridge.h"
+
+#include "graph/traversal.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+BridgeEndResult find_bridge_ends(const DiGraph& g, const Partition& p,
+                                 CommunityId rumor_community,
+                                 std::span<const NodeId> rumors) {
+  LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
+               "partition does not cover the graph");
+  LCRB_REQUIRE(rumor_community < p.num_communities(),
+               "rumor community out of range");
+  LCRB_REQUIRE(!rumors.empty(), "need at least one rumor originator");
+  for (NodeId r : rumors) {
+    LCRB_REQUIRE(r < g.num_nodes(), "rumor originator out of range");
+    LCRB_REQUIRE(p.community_of(r) == rumor_community,
+                 "rumor originator outside the rumor community");
+  }
+
+  BridgeEndResult out;
+  const BfsResult bfs = bfs_forward(g, rumors);
+  out.rumor_dist = bfs.dist;
+
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (p.community_of(v) == rumor_community) continue;
+    if (!bfs.reached(v)) continue;
+    // Direct in-neighbor inside the rumor community?
+    bool boundary = false;
+    for (NodeId w : g.in_neighbors(v)) {
+      if (p.community_of(w) == rumor_community) {
+        boundary = true;
+        break;
+      }
+    }
+    if (boundary) out.bridge_ends.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace lcrb

@@ -1,0 +1,31 @@
+// Bridge-end detection (stage 1 of both LCRB algorithms).
+//
+// A bridge end is a node v outside the rumor community C_r that (i) has at
+// least one direct in-neighbor inside C_r and (ii) is reachable from the
+// rumor originators S_R (paper §I and Definition 2). They are the boundary
+// individuals of the R-neighbor communities that the protectors must save.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "community/partition.h"
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+struct BridgeEndResult {
+  /// Bridge ends, ascending node id.
+  std::vector<NodeId> bridge_ends;
+  /// Hop distance from S_R to every node (kUnreached if unreachable) — the
+  /// rumor arrival time under DOAM, reused by BBST depth limits.
+  std::vector<std::uint32_t> rumor_dist;
+};
+
+/// Finds all bridge ends. `rumors` must live inside `rumor_community`.
+BridgeEndResult find_bridge_ends(const DiGraph& g, const Partition& p,
+                                 CommunityId rumor_community,
+                                 std::span<const NodeId> rumors);
+
+}  // namespace lcrb

@@ -1,0 +1,207 @@
+#include "lcrb/greedy.h"
+
+#include <algorithm>
+#include <mutex>
+#include <queue>
+
+#include "lcrb/bbst.h"
+#include "util/error.h"
+#include "util/log.h"
+
+namespace lcrb {
+
+std::string to_string(CandidateStrategy s) {
+  switch (s) {
+    case CandidateStrategy::kBbstUnion: return "bbst_union";
+    case CandidateStrategy::kAllNodes: return "all_nodes";
+    case CandidateStrategy::kBridgeEnds: return "bridge_ends";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::vector<NodeId> make_candidates(const DiGraph& g,
+                                    std::span<const NodeId> rumors,
+                                    const BridgeEndResult& bridges,
+                                    CandidateStrategy strategy,
+                                    std::size_t max_candidates) {
+  std::vector<bool> excluded(g.num_nodes(), false);
+  for (NodeId r : rumors) excluded[r] = true;
+
+  std::vector<NodeId> out;
+  // Truncation rank: BBST-membership count where available, out-degree
+  // otherwise.
+  std::vector<std::uint32_t> rank(g.num_nodes(), 0);
+  bool have_rank = false;
+
+  switch (strategy) {
+    case CandidateStrategy::kBridgeEnds:
+      for (NodeId v : bridges.bridge_ends) {
+        if (!excluded[v]) out.push_back(v);
+      }
+      break;
+    case CandidateStrategy::kAllNodes:
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!excluded[v]) out.push_back(v);
+      }
+      break;
+    case CandidateStrategy::kBbstUnion: {
+      const std::vector<Bbst> bbsts = build_all_bbsts(
+          g, bridges.bridge_ends, bridges.rumor_dist, rumors);
+      for (const Bbst& q : bbsts) {
+        for (NodeId u : q.nodes) ++rank[u];
+      }
+      have_rank = true;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (rank[v] > 0 && !excluded[v]) out.push_back(v);
+      }
+      break;
+    }
+  }
+
+  if (max_candidates > 0 && out.size() > max_candidates) {
+    if (!have_rank) {
+      for (NodeId v : out) rank[v] = g.out_degree(v);
+    }
+    std::stable_sort(out.begin(), out.end(), [&rank](NodeId a, NodeId b) {
+      return rank[a] > rank[b];
+    });
+    out.resize(max_candidates);
+    std::sort(out.begin(), out.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+GreedyResult greedy_lcrbp(const DiGraph& g, const Partition& p,
+                          CommunityId rumor_community,
+                          std::span<const NodeId> rumors,
+                          const GreedyConfig& cfg, ThreadPool* pool) {
+  const BridgeEndResult bridges =
+      find_bridge_ends(g, p, rumor_community, rumors);
+  return greedy_lcrbp_from_bridges(g, rumors, bridges, cfg, pool);
+}
+
+GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
+                                       std::span<const NodeId> rumors,
+                                       const BridgeEndResult& bridges,
+                                       const GreedyConfig& cfg,
+                                       ThreadPool* pool) {
+  LCRB_REQUIRE(cfg.alpha > 0.0 && cfg.alpha <= 1.0, "alpha must be in (0,1]");
+
+  GreedyResult out;
+  if (bridges.bridge_ends.empty()) {
+    out.achieved_fraction = 1.0;
+    return out;
+  }
+
+  SigmaEstimator estimator(g, {rumors.begin(), rumors.end()},
+                           bridges.bridge_ends, cfg.sigma, pool);
+  std::vector<NodeId> candidates = make_candidates(
+      g, rumors, bridges, cfg.candidates, cfg.max_candidates);
+  out.candidate_count = candidates.size();
+
+  std::vector<NodeId> current;  // S_P so far
+  double current_sigma = 0.0;
+  double current_fraction = estimator.protected_fraction(current);
+
+  auto gain_of = [&](NodeId v) {
+    std::vector<NodeId> with = current;
+    with.push_back(v);
+    return estimator.sigma(with) - current_sigma;
+  };
+
+  const std::size_t cap =
+      cfg.max_protectors == 0 ? candidates.size() : cfg.max_protectors;
+
+  if (cfg.use_celf) {
+    // CELF: (stale gain, node, round when evaluated).
+    struct Entry {
+      double gain;
+      NodeId node;
+      std::size_t round;
+      bool operator<(const Entry& o) const { return gain < o.gain; }
+    };
+    std::priority_queue<Entry> heap;
+
+    // Round-0 gains, evaluated in parallel across candidates.
+    {
+      std::vector<double> gains(candidates.size());
+      auto eval = [&](std::size_t i) { gains[i] = gain_of(candidates[i]); };
+      if (pool != nullptr && candidates.size() > 1) {
+        pool->parallel_for(candidates.size(), eval);
+      } else {
+        for (std::size_t i = 0; i < candidates.size(); ++i) eval(i);
+      }
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        heap.push({gains[i], candidates[i], 0});
+      }
+    }
+
+    while (current_fraction < cfg.alpha && current.size() < cap &&
+           !heap.empty()) {
+      Entry top = heap.top();
+      heap.pop();
+      if (top.round != current.size()) {
+        top.gain = gain_of(top.node);
+        top.round = current.size();
+        if (!heap.empty() && top.gain < heap.top().gain) {
+          heap.push(top);
+          continue;
+        }
+      }
+      // Accept (even zero-gain picks: alpha may still be unreachable and the
+      // caller's cap bounds the loop).
+      current.push_back(top.node);
+      current_sigma += top.gain;
+      out.gain_history.push_back(top.gain);
+      current_fraction = estimator.protected_fraction(current);
+      if (top.gain <= 0.0 && current_fraction < cfg.alpha) {
+        LCRB_LOG_WARN << "greedy: zero marginal gain with fraction "
+                      << current_fraction << " < alpha " << cfg.alpha
+                      << "; stopping early";
+        break;
+      }
+    }
+  } else {
+    // Paper's plain greedy: re-evaluate every candidate each round.
+    std::vector<bool> used(g.num_nodes(), false);
+    while (current_fraction < cfg.alpha && current.size() < cap) {
+      double best_gain = -1.0;
+      NodeId best_node = kInvalidNode;
+      std::mutex mu;
+      auto eval = [&](std::size_t i) {
+        const NodeId v = candidates[i];
+        if (used[v]) return;
+        const double gain = gain_of(v);
+        std::lock_guard<std::mutex> lock(mu);
+        // Deterministic tie-break (lowest id) regardless of thread order.
+        if (gain > best_gain || (gain == best_gain && v < best_node)) {
+          best_gain = gain;
+          best_node = v;
+        }
+      };
+      if (pool != nullptr && candidates.size() > 1) {
+        pool->parallel_for(candidates.size(), eval);
+      } else {
+        for (std::size_t i = 0; i < candidates.size(); ++i) eval(i);
+      }
+      if (best_node == kInvalidNode) break;
+      used[best_node] = true;
+      current.push_back(best_node);
+      current_sigma += best_gain;
+      out.gain_history.push_back(best_gain);
+      current_fraction = estimator.protected_fraction(current);
+      if (best_gain <= 0.0 && current_fraction < cfg.alpha) break;
+    }
+  }
+
+  out.protectors = std::move(current);
+  out.achieved_fraction = current_fraction;
+  out.sigma_evaluations = estimator.evaluations();
+  return out;
+}
+
+}  // namespace lcrb

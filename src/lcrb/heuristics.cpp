@@ -1,0 +1,169 @@
+#include "lcrb/heuristics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "diffusion/doam.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+namespace {
+
+std::vector<bool> rumor_mask(const DiGraph& g, std::span<const NodeId> rumors) {
+  std::vector<bool> mask(g.num_nodes(), false);
+  for (NodeId r : rumors) {
+    LCRB_REQUIRE(r < g.num_nodes(), "rumor out of range");
+    mask[r] = true;
+  }
+  return mask;
+}
+
+}  // namespace
+
+std::vector<NodeId> maxdegree_protectors(const DiGraph& g,
+                                         std::span<const NodeId> rumors,
+                                         std::size_t k) {
+  const std::vector<bool> is_rumor = rumor_mask(g, rumors);
+  std::vector<NodeId> order;
+  order.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!is_rumor[v]) order.push_back(v);
+  }
+  std::stable_sort(order.begin(), order.end(), [&g](NodeId a, NodeId b) {
+    return g.out_degree(a) > g.out_degree(b);
+  });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+std::vector<NodeId> proximity_protectors(const DiGraph& g,
+                                         std::span<const NodeId> rumors,
+                                         std::size_t k, Rng& rng) {
+  const std::vector<bool> is_rumor = rumor_mask(g, rumors);
+  std::vector<NodeId> pool;
+  std::vector<bool> seen(g.num_nodes(), false);
+  for (NodeId r : rumors) {
+    for (NodeId v : g.out_neighbors(r)) {
+      if (!is_rumor[v] && !seen[v]) {
+        seen[v] = true;
+        pool.push_back(v);
+      }
+    }
+  }
+  // Partial Fisher-Yates: the first min(k, |pool|) entries become the sample.
+  const std::size_t take = std::min(k, pool.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng.next_below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+std::vector<NodeId> random_protectors(const DiGraph& g,
+                                      std::span<const NodeId> rumors,
+                                      std::size_t k, Rng& rng) {
+  const std::vector<bool> is_rumor = rumor_mask(g, rumors);
+  std::vector<NodeId> pool;
+  pool.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!is_rumor[v]) pool.push_back(v);
+  }
+  const std::size_t take = std::min(k, pool.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng.next_below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+std::vector<double> pagerank(const DiGraph& g, double damping, int iters) {
+  LCRB_REQUIRE(damping > 0.0 && damping < 1.0, "damping must be in (0,1)");
+  LCRB_REQUIRE(iters >= 1, "need at least one iteration");
+  const NodeId n = g.num_nodes();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / n), next(n, 0.0);
+  for (int it = 0; it < iters; ++it) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto nbrs = g.out_neighbors(u);
+      if (nbrs.empty()) {
+        dangling += rank[u];
+        continue;
+      }
+      const double share = rank[u] / static_cast<double>(nbrs.size());
+      for (NodeId v : nbrs) next[v] += share;
+    }
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    for (NodeId v = 0; v < n; ++v) next[v] = base + damping * next[v];
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<NodeId> pagerank_protectors(const DiGraph& g,
+                                        std::span<const NodeId> rumors,
+                                        std::size_t k, int iters) {
+  const std::vector<bool> is_rumor = rumor_mask(g, rumors);
+  const std::vector<double> rank = pagerank(g, 0.85, iters);
+  std::vector<NodeId> order;
+  order.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (!is_rumor[v]) order.push_back(v);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&rank](NodeId a, NodeId b) { return rank[a] > rank[b]; });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+CoverCostResult cover_cost_doam(const DiGraph& g,
+                                std::span<const NodeId> rumors,
+                                std::span<const NodeId> bridge_ends,
+                                std::span<const NodeId> ordered_candidates) {
+  CoverCostResult out;
+  auto covers = [&](std::size_t prefix) {
+    SeedSets seeds;
+    seeds.rumors.assign(rumors.begin(), rumors.end());
+    seeds.protectors.assign(ordered_candidates.begin(),
+                            ordered_candidates.begin() +
+                                static_cast<std::ptrdiff_t>(prefix));
+    const std::vector<bool> saved = doam_saved(g, seeds, bridge_ends);
+    return std::all_of(saved.begin(), saved.end(),
+                       [](bool s) { return s; });
+  };
+
+  if (bridge_ends.empty()) {
+    out.feasible = true;
+    return out;
+  }
+  if (!covers(ordered_candidates.size())) {
+    out.cost = ordered_candidates.size();
+    out.feasible = false;
+    out.protectors.assign(ordered_candidates.begin(),
+                          ordered_candidates.end());
+    return out;
+  }
+  // Binary search the minimal covering prefix (coverage is monotone: adding
+  // protector seeds can only speed cascade P up).
+  std::size_t lo = 0, hi = ordered_candidates.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (covers(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  out.cost = lo;
+  out.feasible = true;
+  out.protectors.assign(ordered_candidates.begin(),
+                        ordered_candidates.begin() +
+                            static_cast<std::ptrdiff_t>(lo));
+  return out;
+}
+
+}  // namespace lcrb

@@ -1,0 +1,68 @@
+// Baseline protector-selection heuristics (paper §VI-B.1) plus the
+// cover-cost machinery behind Table I.
+//
+//  * MaxDegree — nodes in decreasing out-degree order.
+//  * Proximity — uniformly random direct out-neighbors of the rumor
+//    originators.
+//  * Random — uniformly random non-rumor nodes (the paper drops it for poor
+//    performance; kept for completeness).
+//  * PageRank — extension baseline: nodes by PageRank score.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+/// Top-k nodes by out-degree, excluding rumors (ties -> lower id).
+std::vector<NodeId> maxdegree_protectors(const DiGraph& g,
+                                         std::span<const NodeId> rumors,
+                                         std::size_t k);
+
+/// k distinct nodes sampled uniformly from the rumors' direct out-neighbors
+/// (excluding the rumors themselves). If fewer than k such neighbors exist,
+/// returns all of them.
+std::vector<NodeId> proximity_protectors(const DiGraph& g,
+                                         std::span<const NodeId> rumors,
+                                         std::size_t k, Rng& rng);
+
+/// k distinct uniformly random non-rumor nodes.
+std::vector<NodeId> random_protectors(const DiGraph& g,
+                                      std::span<const NodeId> rumors,
+                                      std::size_t k, Rng& rng);
+
+/// Top-k nodes by PageRank (damping 0.85, `iters` power iterations).
+std::vector<NodeId> pagerank_protectors(const DiGraph& g,
+                                        std::span<const NodeId> rumors,
+                                        std::size_t k, int iters = 30);
+
+/// PageRank scores for all nodes (exposed for tests/examples).
+std::vector<double> pagerank(const DiGraph& g, double damping = 0.85,
+                             int iters = 30);
+
+// ---------------------------------------------------------------------------
+// Table I support: how many protectors does a heuristic need before every
+// bridge end is saved under DOAM?
+// ---------------------------------------------------------------------------
+
+struct CoverCostResult {
+  std::size_t cost = 0;              ///< protectors needed (pool size if infeasible)
+  bool feasible = false;             ///< full protection reached within the pool
+  std::vector<NodeId> protectors;    ///< the covering prefix (or whole pool)
+};
+
+/// Given a fixed candidate ordering (a heuristic's output ranked best-first),
+/// finds the shortest prefix that protects every bridge end under DOAM.
+/// Protection is monotone in the prefix, so this runs a binary search with
+/// O(log k) analytic DOAM checks.
+CoverCostResult cover_cost_doam(const DiGraph& g,
+                                std::span<const NodeId> rumors,
+                                std::span<const NodeId> bridge_ends,
+                                std::span<const NodeId> ordered_candidates);
+
+}  // namespace lcrb

@@ -1,0 +1,129 @@
+#include "lcrb/pipeline.h"
+
+#include <algorithm>
+
+#include "graph/centrality.h"
+#include "lcrb/heuristics.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lcrb {
+
+ExperimentSetup prepare_experiment(const DiGraph& g, const Partition& p,
+                                   CommunityId rumor_community,
+                                   std::size_t num_rumors,
+                                   std::uint64_t seed) {
+  LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
+               "partition does not cover the graph");
+  LCRB_REQUIRE(rumor_community < p.num_communities(),
+               "rumor community out of range");
+  const std::vector<NodeId>& members = p.members(rumor_community);
+  LCRB_REQUIRE(num_rumors >= 1, "need at least one rumor originator");
+  LCRB_REQUIRE(num_rumors <= members.size(),
+               "more rumor originators than community members");
+
+  ExperimentSetup setup;
+  setup.graph = &g;
+  setup.partition = &p;
+  setup.rumor_community = rumor_community;
+
+  // Partial Fisher-Yates over a copy of the member list.
+  std::vector<NodeId> pool = members;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < num_rumors; ++i) {
+    const std::size_t j = i + rng.next_below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(num_rumors);
+  std::sort(pool.begin(), pool.end());
+  setup.rumors = std::move(pool);
+
+  setup.bridges = find_bridge_ends(g, p, rumor_community, setup.rumors);
+  return setup;
+}
+
+std::string to_string(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kGreedy: return "Greedy";
+    case SelectorKind::kScbg: return "SCBG";
+    case SelectorKind::kMaxDegree: return "MaxDegree";
+    case SelectorKind::kProximity: return "Proximity";
+    case SelectorKind::kRandom: return "Random";
+    case SelectorKind::kPageRank: return "PageRank";
+    case SelectorKind::kGvs: return "GVS";
+    case SelectorKind::kBetweenness: return "Betweenness";
+    case SelectorKind::kDegreeDiscount: return "DegreeDiscount";
+    case SelectorKind::kNoBlocking: return "NoBlocking";
+  }
+  return "unknown";
+}
+
+std::vector<NodeId> select_protectors(SelectorKind kind,
+                                      const ExperimentSetup& setup,
+                                      const SelectorConfig& cfg,
+                                      ThreadPool* pool) {
+  LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+  const DiGraph& g = *setup.graph;
+  const std::size_t budget =
+      cfg.budget == 0 ? setup.rumors.size() : cfg.budget;
+  Rng rng(cfg.seed);
+
+  switch (kind) {
+    case SelectorKind::kNoBlocking:
+      return {};
+    case SelectorKind::kMaxDegree:
+      return maxdegree_protectors(g, setup.rumors, budget);
+    case SelectorKind::kProximity:
+      return proximity_protectors(g, setup.rumors, budget, rng);
+    case SelectorKind::kRandom:
+      return random_protectors(g, setup.rumors, budget, rng);
+    case SelectorKind::kPageRank:
+      return pagerank_protectors(g, setup.rumors, budget);
+    case SelectorKind::kGvs: {
+      GvsConfig gc = cfg.gvs;
+      gc.budget = budget;
+      return gvs_protectors(g, setup.rumors, gc, pool).protectors;
+    }
+    case SelectorKind::kBetweenness: {
+      const std::vector<double> bc = betweenness_centrality(g);
+      std::vector<bool> is_rumor(g.num_nodes(), false);
+      for (NodeId r : setup.rumors) is_rumor[r] = true;
+      std::vector<NodeId> order;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (!is_rumor[v]) order.push_back(v);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&bc](NodeId a, NodeId b) { return bc[a] > bc[b]; });
+      if (order.size() > budget) order.resize(budget);
+      return order;
+    }
+    case SelectorKind::kDegreeDiscount:
+      return degree_discount(g, budget, 0.05, setup.rumors);
+    case SelectorKind::kScbg: {
+      const ScbgResult r =
+          scbg_from_bridges(g, setup.rumors, setup.bridges, {});
+      return r.protectors;
+    }
+    case SelectorKind::kGreedy: {
+      GreedyConfig gc = cfg.greedy;
+      if (gc.max_protectors == 0) gc.max_protectors = budget;
+      const GreedyResult r =
+          greedy_lcrbp_from_bridges(g, setup.rumors, setup.bridges, gc, pool);
+      return r.protectors;
+    }
+  }
+  throw Error("unknown selector kind");
+}
+
+HopSeries evaluate_protectors(const ExperimentSetup& setup,
+                              std::span<const NodeId> protectors,
+                              const MonteCarloConfig& mc, ThreadPool* pool) {
+  LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+  SeedSets seeds;
+  seeds.rumors = setup.rumors;
+  seeds.protectors.assign(protectors.begin(), protectors.end());
+  return monte_carlo_series(*setup.graph, seeds, mc,
+                            setup.bridges.bridge_ends, pool);
+}
+
+}  // namespace lcrb

@@ -1,0 +1,75 @@
+// End-to-end experiment pipeline: graph -> communities -> rumor seeds ->
+// bridge ends -> protector selection -> diffusion evaluation. Shared by the
+// examples and every bench binary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "community/partition.h"
+#include "diffusion/montecarlo.h"
+#include "graph/graph.h"
+#include "lcrb/bridge.h"
+#include "lcrb/greedy.h"
+#include "lcrb/gvs.h"
+#include "lcrb/scbg.h"
+#include "util/threadpool.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+/// Everything fixed before protector selection.
+struct ExperimentSetup {
+  const DiGraph* graph = nullptr;
+  const Partition* partition = nullptr;
+  CommunityId rumor_community = kInvalidCommunity;
+  std::vector<NodeId> rumors;
+  BridgeEndResult bridges;
+};
+
+/// Samples `num_rumors` rumor originators uniformly from the community and
+/// computes the bridge ends. Deterministic in `seed`.
+ExperimentSetup prepare_experiment(const DiGraph& g, const Partition& p,
+                                   CommunityId rumor_community,
+                                   std::size_t num_rumors, std::uint64_t seed);
+
+/// Protector-selection strategies compared in the paper's evaluation.
+enum class SelectorKind : std::uint8_t {
+  kGreedy,      ///< LCRB-P Monte-Carlo greedy (Algorithm 1)
+  kScbg,        ///< LCRB-D set-cover greedy (Algorithm 3)
+  kMaxDegree,
+  kProximity,
+  kRandom,
+  kPageRank,
+  kGvs,         ///< Greedy Viral Stopper (related work [26]): minimize total infections
+  kBetweenness, ///< top betweenness-centrality nodes (extension baseline)
+  kDegreeDiscount, ///< DegreeDiscount (Chen et al. KDD'09) IM heuristic
+  kNoBlocking,  ///< empty protector set (the paper's reference line)
+};
+
+std::string to_string(SelectorKind kind);
+
+struct SelectorConfig {
+  std::size_t budget = 0;       ///< |S_P| for budgeted heuristics (0: |rumors|)
+  std::uint64_t seed = 99;      ///< randomized selectors (Proximity/Random)
+  GreedyConfig greedy;          ///< kGreedy parameters
+  GvsConfig gvs;                ///< kGvs parameters (budget overridden)
+};
+
+/// Runs one selector. For kScbg the budget is ignored (SCBG sizes itself);
+/// for kGreedy the budget caps max_protectors.
+std::vector<NodeId> select_protectors(SelectorKind kind,
+                                      const ExperimentSetup& setup,
+                                      const SelectorConfig& cfg,
+                                      ThreadPool* pool = nullptr);
+
+/// Evaluates a protector set: Monte-Carlo hop series of infected counts plus
+/// the saved fraction of bridge ends (the paper's Figs. 4-9 measurement).
+HopSeries evaluate_protectors(const ExperimentSetup& setup,
+                              std::span<const NodeId> protectors,
+                              const MonteCarloConfig& mc,
+                              ThreadPool* pool = nullptr);
+
+}  // namespace lcrb

@@ -1,0 +1,36 @@
+#include "lcrb/rfst.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+std::vector<NodeId> RumorForest::path_to_root(NodeId v) const {
+  LCRB_REQUIRE(v < dist.size(), "node out of range");
+  std::vector<NodeId> path;
+  if (!reaches(v)) return path;
+  for (NodeId cur = v; cur != kInvalidNode; cur = parent[cur]) {
+    path.push_back(cur);
+    LCRB_REQUIRE(path.size() <= dist.size(), "cycle in BFS forest");
+  }
+  return path;
+}
+
+std::size_t RumorForest::size() const {
+  return static_cast<std::size_t>(
+      std::count_if(dist.begin(), dist.end(),
+                    [](std::uint32_t d) { return d != kUnreached; }));
+}
+
+RumorForest build_rfst(const DiGraph& g, std::span<const NodeId> rumors) {
+  LCRB_REQUIRE(!rumors.empty(), "need at least one rumor originator");
+  RumorForest f;
+  f.roots.assign(rumors.begin(), rumors.end());
+  BfsResult bfs = bfs_forward(g, rumors);
+  f.dist = std::move(bfs.dist);
+  f.parent = std::move(bfs.parent);
+  return f;
+}
+
+}  // namespace lcrb

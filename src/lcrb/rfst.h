@@ -1,0 +1,32 @@
+// Rumor Forward Search Trees (RFST): the BFS forest rooted at the rumor
+// originators (paper Algorithm 1/3 step 3, Fig. 3a). The forest realizes the
+// "who gets infected when" structure; bridge ends are among its nodes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/traversal.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+struct RumorForest {
+  std::vector<NodeId> roots;            ///< the rumor originators
+  std::vector<std::uint32_t> dist;      ///< hop count from nearest root
+  std::vector<NodeId> parent;           ///< BFS-tree parent (kInvalidNode at roots)
+
+  bool reaches(NodeId v) const { return dist[v] != kUnreached; }
+
+  /// Path from v up to its root (inclusive), v first. Empty if unreached.
+  std::vector<NodeId> path_to_root(NodeId v) const;
+
+  /// Number of nodes in the forest (reached nodes).
+  std::size_t size() const;
+};
+
+/// Builds the forest with a multi-source BFS from `rumors`.
+RumorForest build_rfst(const DiGraph& g, std::span<const NodeId> rumors);
+
+}  // namespace lcrb

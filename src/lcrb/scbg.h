@@ -1,0 +1,43 @@
+// Set Cover Based Greedy (SCBG) — the paper's Algorithm 3 for LCRB-D.
+//
+// Pipeline: RFST -> bridge ends B -> one BBST per bridge end -> invert into
+// SW sets -> greedy set cover -> protector seed set W. The output provably
+// protects every bridge end under DOAM (each bridge end is in its own BBST,
+// so a complete cover always exists), within O(ln |B|) of the optimum.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "community/partition.h"
+#include "graph/graph.h"
+#include "lcrb/bridge.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+struct ScbgConfig {
+  /// Re-check the cover with an actual DOAM protection test (cheap, O(V+E))
+  /// and throw if the guarantee is ever violated. Keep on; it is the
+  /// paper's central claim.
+  bool verify_coverage = true;
+};
+
+struct ScbgResult {
+  std::vector<NodeId> protectors;   ///< W, in pick order
+  std::vector<NodeId> bridge_ends;  ///< B
+  std::size_t covered = 0;          ///< bridge ends covered (== |B|)
+  std::size_t candidate_count = 0;  ///< |union of BBSTs| (set-cover width)
+};
+
+/// Runs SCBG end to end.
+ScbgResult scbg(const DiGraph& g, const Partition& p,
+                CommunityId rumor_community, std::span<const NodeId> rumors,
+                const ScbgConfig& cfg = {});
+
+/// Variant when bridge ends were already computed (shared with benches).
+ScbgResult scbg_from_bridges(const DiGraph& g, std::span<const NodeId> rumors,
+                             const BridgeEndResult& bridges,
+                             const ScbgConfig& cfg = {});
+
+}  // namespace lcrb

@@ -1,0 +1,135 @@
+#include "lcrb/setcover.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/bitset.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+namespace {
+
+void validate(const SetCoverInstance& inst) {
+  for (const auto& s : inst.sets) {
+    for (std::uint32_t e : s) {
+      LCRB_REQUIRE(e < inst.universe_size, "set element outside universe");
+    }
+  }
+}
+
+std::uint32_t fresh_count(const std::vector<std::uint32_t>& set,
+                          const DynamicBitset& covered) {
+  std::uint32_t c = 0;
+  for (std::uint32_t e : set) c += !covered.test(e);
+  return c;
+}
+
+}  // namespace
+
+SetCoverResult greedy_set_cover(const SetCoverInstance& inst) {
+  validate(inst);
+  SetCoverResult out;
+  if (inst.universe_size == 0) {
+    out.complete = true;
+    return out;
+  }
+
+  // Normalize: duplicate elements inside a set must not inflate its
+  // marginal-coverage counts.
+  std::vector<std::vector<std::uint32_t>> sets = inst.sets;
+  for (auto& s : sets) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+  }
+
+  DynamicBitset covered(inst.universe_size);
+
+  // Max-heap of (upper bound on marginal coverage, set index). Bounds only
+  // decrease, so when a popped entry's refreshed value still beats the next
+  // entry's bound, it is the true maximum.
+  struct Entry {
+    std::uint32_t bound;
+    std::uint32_t index;
+    bool operator<(const Entry& other) const {
+      if (bound != other.bound) return bound < other.bound;
+      return index > other.index;  // prefer the lowest index on ties
+    }
+  };
+  std::priority_queue<Entry> heap;
+  for (std::uint32_t i = 0; i < inst.sets.size(); ++i) {
+    // Initial bound: set size ignoring duplicates is fine as an upper bound.
+    const auto bound = static_cast<std::uint32_t>(sets[i].size());
+    if (bound > 0) heap.push({bound, i});
+  }
+
+  while (out.covered < inst.universe_size && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    const std::uint32_t fresh = fresh_count(sets[top.index], covered);
+    if (fresh == 0) continue;
+    if (!heap.empty() && fresh < heap.top().bound) {
+      heap.push({fresh, top.index});  // stale; requeue with exact value
+      continue;
+    }
+    // Winner: apply it.
+    out.chosen.push_back(top.index);
+    for (std::uint32_t e : sets[top.index]) {
+      if (covered.set_if_clear(e)) ++out.covered;
+    }
+  }
+  out.complete = (out.covered == inst.universe_size);
+  return out;
+}
+
+SetCoverResult exact_set_cover(const SetCoverInstance& inst,
+                               std::size_t max_sets) {
+  validate(inst);
+  LCRB_REQUIRE(inst.sets.size() <= max_sets,
+               "exact_set_cover: instance too large");
+  const auto m = static_cast<std::uint32_t>(inst.sets.size());
+
+  SetCoverResult best;
+  bool found = false;
+
+  // Precompute bitmask coverage per set (universe <= 64 fast path not
+  // needed; DynamicBitset is fine at oracle sizes).
+  for (std::uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+    const int picked = __builtin_popcountll(mask);
+    if (found && picked >= static_cast<int>(best.chosen.size())) continue;
+    DynamicBitset covered(inst.universe_size);
+    std::uint32_t count = 0;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      if (!(mask >> i & 1)) continue;
+      for (std::uint32_t e : inst.sets[i]) {
+        if (covered.set_if_clear(e)) ++count;
+      }
+    }
+    if (count == inst.universe_size) {
+      best.chosen.clear();
+      for (std::uint32_t i = 0; i < m; ++i) {
+        if (mask >> i & 1) best.chosen.push_back(i);
+      }
+      best.covered = count;
+      best.complete = true;
+      found = true;
+    }
+  }
+
+  if (!found) {
+    // No complete cover exists; report the max coverage with all sets.
+    DynamicBitset covered(inst.universe_size);
+    std::uint32_t count = 0;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      for (std::uint32_t e : inst.sets[i]) {
+        if (covered.set_if_clear(e)) ++count;
+      }
+      best.chosen.push_back(i);
+    }
+    best.covered = count;
+    best.complete = false;
+  }
+  return best;
+}
+
+}  // namespace lcrb

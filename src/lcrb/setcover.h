@@ -1,0 +1,35 @@
+// Greedy set cover (the engine inside SCBG, paper Algorithm 2) plus an exact
+// brute-force solver used by tests to certify the H_n approximation bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lcrb {
+
+struct SetCoverInstance {
+  std::uint32_t universe_size = 0;
+  /// Each set lists element ids in [0, universe_size). Duplicates allowed
+  /// (ignored); empty sets allowed (never picked).
+  std::vector<std::vector<std::uint32_t>> sets;
+};
+
+struct SetCoverResult {
+  std::vector<std::uint32_t> chosen;  ///< indices into instance.sets, pick order
+  std::uint32_t covered = 0;          ///< elements covered by the chosen sets
+  bool complete = false;              ///< covered == universe_size
+};
+
+/// Classic greedy: repeatedly take the set covering the most uncovered
+/// elements. Uses lazy re-evaluation (CELF-style
+/// priority queue) — marginal coverage only shrinks as the cover grows, so a
+/// stale bound that still tops the queue is exact. Stops when everything is
+/// covered or no remaining set helps. Guarantees |chosen| <= H_n * OPT.
+SetCoverResult greedy_set_cover(const SetCoverInstance& inst);
+
+/// Exact minimum cover by subset enumeration; for test oracles only.
+/// Throws lcrb::Error if inst.sets.size() > max_sets (cost is 2^sets).
+SetCoverResult exact_set_cover(const SetCoverInstance& inst,
+                               std::size_t max_sets = 24);
+
+}  // namespace lcrb

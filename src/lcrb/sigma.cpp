@@ -1,0 +1,122 @@
+#include "lcrb/sigma.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lcrb {
+
+SigmaEstimator::SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
+                               std::vector<NodeId> bridge_ends,
+                               const SigmaConfig& cfg, ThreadPool* pool)
+    : g_(g),
+      rumors_(std::move(rumors)),
+      bridge_ends_(std::move(bridge_ends)),
+      cfg_(cfg),
+      pool_(pool) {
+  LCRB_REQUIRE(cfg_.samples >= 1, "need at least one sample");
+  LCRB_REQUIRE(!rumors_.empty(), "need rumor originators");
+
+  Rng master(cfg_.seed);
+  sample_seeds_.resize(cfg_.samples);
+  for (std::size_t i = 0; i < cfg_.samples; ++i) {
+    sample_seeds_[i] = master.fork(i).next();
+  }
+
+  // Baseline: run every sample with no protectors and record which bridge
+  // ends get infected.
+  baseline_infected_.assign(cfg_.samples,
+                            std::vector<bool>(bridge_ends_.size(), false));
+  MonteCarloConfig mc;
+  mc.max_hops = cfg_.max_hops;
+  mc.model = cfg_.model;
+  mc.ic_edge_prob = cfg_.ic_edge_prob;
+
+  std::atomic<std::uint64_t> total_infected{0};
+  auto run_baseline = [&](std::size_t i) {
+    SeedSets seeds;
+    seeds.rumors = rumors_;
+    const DiffusionResult r = simulate(g_, seeds, sample_seeds_[i], mc);
+    std::uint64_t count = 0;
+    for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
+      if (r.state[bridge_ends_[b]] == NodeState::kInfected) {
+        baseline_infected_[i][b] = true;
+        ++count;
+      }
+    }
+    total_infected.fetch_add(count);
+  };
+  if (pool_ != nullptr && cfg_.samples > 1) {
+    pool_->parallel_for(cfg_.samples, run_baseline);
+  } else {
+    for (std::size_t i = 0; i < cfg_.samples; ++i) run_baseline(i);
+  }
+  baseline_infected_mean_ = static_cast<double>(total_infected.load()) /
+                            static_cast<double>(cfg_.samples);
+}
+
+SigmaEstimator::SampleOutcome SigmaEstimator::evaluate_sample(
+    std::size_t i, std::span<const NodeId> protectors) const {
+  MonteCarloConfig mc;
+  mc.max_hops = cfg_.max_hops;
+  mc.model = cfg_.model;
+  mc.ic_edge_prob = cfg_.ic_edge_prob;
+
+  SeedSets seeds;
+  seeds.rumors = rumors_;
+  seeds.protectors.assign(protectors.begin(), protectors.end());
+  const DiffusionResult r = simulate(g_, seeds, sample_seeds_[i], mc);
+  evals_.fetch_add(1, std::memory_order_relaxed);
+
+  SampleOutcome out{0.0, 0.0};
+  for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
+    const bool infected = r.state[bridge_ends_[b]] == NodeState::kInfected;
+    if (!infected) {
+      out.uninfected += 1.0;
+      if (baseline_infected_[i][b]) out.saved_vs_baseline += 1.0;
+    }
+  }
+  return out;
+}
+
+double SigmaEstimator::sigma(std::span<const NodeId> protectors) const {
+  double total = 0.0;
+  if (pool_ != nullptr && cfg_.samples > 1) {
+    std::mutex mu;
+    pool_->parallel_for(cfg_.samples, [&](std::size_t i) {
+      const SampleOutcome o = evaluate_sample(i, protectors);
+      std::lock_guard<std::mutex> lock(mu);
+      total += o.saved_vs_baseline;
+    });
+  } else {
+    for (std::size_t i = 0; i < cfg_.samples; ++i) {
+      total += evaluate_sample(i, protectors).saved_vs_baseline;
+    }
+  }
+  return total / static_cast<double>(cfg_.samples);
+}
+
+double SigmaEstimator::protected_fraction(
+    std::span<const NodeId> protectors) const {
+  if (bridge_ends_.empty()) return 1.0;
+  double total = 0.0;
+  if (pool_ != nullptr && cfg_.samples > 1) {
+    std::mutex mu;
+    pool_->parallel_for(cfg_.samples, [&](std::size_t i) {
+      const SampleOutcome o = evaluate_sample(i, protectors);
+      std::lock_guard<std::mutex> lock(mu);
+      total += o.uninfected;
+    });
+  } else {
+    for (std::size_t i = 0; i < cfg_.samples; ++i) {
+      total += evaluate_sample(i, protectors).uninfected;
+    }
+  }
+  return total / static_cast<double>(cfg_.samples) /
+         static_cast<double>(bridge_ends_.size());
+}
+
+}  // namespace lcrb

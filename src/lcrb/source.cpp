@@ -1,0 +1,137 @@
+#include "lcrb/source.h"
+
+#include <algorithm>
+
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+namespace {
+
+/// Distances from every infected node to every other, inside the induced
+/// subgraph. dist[i] is the BFS row for source i (local ids).
+std::vector<std::vector<std::uint32_t>> pairwise_distances(
+    const DiGraph& sub) {
+  std::vector<std::vector<std::uint32_t>> dist(sub.num_nodes());
+  for (NodeId s = 0; s < sub.num_nodes(); ++s) {
+    const NodeId src[] = {s};
+    dist[s] = bfs_forward(sub, src).dist;
+  }
+  return dist;
+}
+
+/// Score of adding nothing: per-node best distance from the chosen set.
+struct GreedyScore {
+  std::uint32_t radius;
+  std::uint64_t sum;
+  std::size_t unreachable;
+};
+
+GreedyScore score_assignment(const std::vector<std::uint32_t>& best) {
+  GreedyScore s{0, 0, 0};
+  for (std::uint32_t d : best) {
+    if (d == kUnreached) {
+      ++s.unreachable;
+    } else {
+      s.radius = std::max(s.radius, d);
+      s.sum += d;
+    }
+  }
+  return s;
+}
+
+/// Lexicographic comparison under the chosen objective: fewer unreachable
+/// always wins, then the score, then the tie-break by radius/sum.
+bool better(SourceScore score, const GreedyScore& a, const GreedyScore& b) {
+  if (a.unreachable != b.unreachable) return a.unreachable < b.unreachable;
+  if (score == SourceScore::kEccentricity) {
+    if (a.radius != b.radius) return a.radius < b.radius;
+    return a.sum < b.sum;
+  }
+  if (a.sum != b.sum) return a.sum < b.sum;
+  return a.radius < b.radius;
+}
+
+}  // namespace
+
+SourceEstimate locate_sources(const DiGraph& g,
+                              std::span<const NodeId> infected,
+                              const SourceLocateConfig& cfg) {
+  LCRB_REQUIRE(!infected.empty(), "snapshot has no infected nodes");
+  LCRB_REQUIRE(cfg.num_sources >= 1, "need at least one source");
+  LCRB_REQUIRE(infected.size() <= cfg.max_snapshot,
+               "snapshot exceeds max_snapshot cap");
+
+  const InducedSubgraph sub = induced_subgraph(g, infected);
+  const auto dist = pairwise_distances(sub.graph);
+  const NodeId n = sub.graph.num_nodes();
+
+  // Greedy k-center / k-median: repeatedly add the candidate that most
+  // improves the assignment. For k=1 this is the exact Jordan center /
+  // centroid.
+  std::vector<std::uint32_t> best_dist(n, kUnreached);
+  std::vector<NodeId> chosen;  // local ids
+  for (std::size_t round = 0; round < cfg.num_sources && chosen.size() < n;
+       ++round) {
+    NodeId best_candidate = kInvalidNode;
+    GreedyScore best_score{0, 0, 0};
+    std::vector<std::uint32_t> trial(n);
+    for (NodeId c = 0; c < n; ++c) {
+      if (std::find(chosen.begin(), chosen.end(), c) != chosen.end()) continue;
+      for (NodeId v = 0; v < n; ++v) {
+        trial[v] = std::min(best_dist[v], dist[c][v]);
+      }
+      const GreedyScore s = score_assignment(trial);
+      if (best_candidate == kInvalidNode || better(cfg.score, s, best_score)) {
+        best_candidate = c;
+        best_score = s;
+      }
+    }
+    if (best_candidate == kInvalidNode) break;
+    chosen.push_back(best_candidate);
+    for (NodeId v = 0; v < n; ++v) {
+      best_dist[v] = std::min(best_dist[v], dist[best_candidate][v]);
+    }
+  }
+
+  SourceEstimate out;
+  out.sources.reserve(chosen.size());
+  for (NodeId c : chosen) out.sources.push_back(sub.to_original[c]);
+  std::sort(out.sources.begin(), out.sources.end());
+
+  const GreedyScore final_score = score_assignment(best_dist);
+  out.radius = final_score.radius;
+  out.unreachable = final_score.unreachable;
+  const std::size_t reachable = n - final_score.unreachable;
+  out.mean_distance =
+      reachable == 0 ? 0.0
+                     : static_cast<double>(final_score.sum) /
+                           static_cast<double>(reachable);
+  return out;
+}
+
+std::vector<std::uint32_t> source_error(const DiGraph& g,
+                                        std::span<const NodeId> truth,
+                                        std::span<const NodeId> estimate) {
+  LCRB_REQUIRE(!estimate.empty(), "no estimated sources");
+  // Hop distance in the undirected sense would be forgiving; use forward
+  // distance from the true source (the direction the rumor traveled).
+  std::vector<std::uint32_t> out;
+  out.reserve(truth.size());
+  for (NodeId t : truth) {
+    LCRB_REQUIRE(t < g.num_nodes(), "true source out of range");
+    const NodeId src[] = {t};
+    const BfsResult bfs = bfs_forward(g, src);
+    std::uint32_t best = kUnreached;
+    for (NodeId e : estimate) {
+      LCRB_REQUIRE(e < g.num_nodes(), "estimated source out of range");
+      best = std::min(best, bfs.dist[e]);
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace lcrb

@@ -1,0 +1,59 @@
+// Rumor-source localization (the paper's §VII "another direction": locating
+// rumor originators from an observed infection).
+//
+// Given a snapshot of infected nodes, estimate the originators. Under DOAM
+// the infection grows as a BFS ball, so the classic estimators apply:
+//  * Jordan center — minimize the eccentricity (max hop distance to any
+//    infected node, measured inside the infected subgraph),
+//  * distance centroid — minimize the sum of distances.
+// Multi-source (k > 1) uses the greedy k-center / k-median reduction on the
+// infected subgraph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+enum class SourceScore : std::uint8_t {
+  kEccentricity,  ///< Jordan center (minimax)
+  kDistanceSum,   ///< centroid (minisum)
+};
+
+struct SourceEstimate {
+  std::vector<NodeId> sources;    ///< estimated originators (original ids)
+  std::uint32_t radius = 0;       ///< max distance source -> infected node
+  double mean_distance = 0.0;     ///< average distance over infected nodes
+  /// Infected nodes unreachable from every estimated source inside the
+  /// infected subgraph (0 when the snapshot is one weakly-usable region).
+  std::size_t unreachable = 0;
+};
+
+struct SourceLocateConfig {
+  std::size_t num_sources = 1;
+  SourceScore score = SourceScore::kEccentricity;
+  /// Safety cap: the estimator runs one BFS per infected node, O(|I|*E_I);
+  /// larger snapshots are rejected rather than silently slow.
+  std::size_t max_snapshot = 20000;
+};
+
+/// Estimates the rumor originators from an infected-set snapshot. Candidates
+/// are the infected nodes themselves (the true source is always infected —
+/// states are progressive). Distances are hop counts in the subgraph induced
+/// by the infected set: the rumor can only have traveled through nodes that
+/// ended up infected under DOAM's priority rule.
+SourceEstimate locate_sources(const DiGraph& g,
+                              std::span<const NodeId> infected,
+                              const SourceLocateConfig& cfg = {});
+
+/// Evaluation helper: hop distance (in the full graph) from each true source
+/// to the nearest estimate; kUnreached when no estimate is reachable.
+std::vector<std::uint32_t> source_error(const DiGraph& g,
+                                        std::span<const NodeId> truth,
+                                        std::span<const NodeId> estimate);
+
+}  // namespace lcrb

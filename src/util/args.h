@@ -1,0 +1,44 @@
+// Tiny CLI argument parser for examples and bench binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--flag`. Values can
+// also be supplied via environment variables (used by the bench harness for
+// LCRB_BENCH_SCALE-style overrides): env wins over default, CLI wins over env.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lcrb {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+  explicit Args(const std::vector<std::string>& argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  /// Like get_double but also consults environment variable `env` when the
+  /// flag is absent on the command line.
+  double get_double_env(const std::string& name, const std::string& env,
+                        double def) const;
+  std::int64_t get_int_env(const std::string& name, const std::string& env,
+                           std::int64_t def) const;
+
+  /// Positional arguments (anything not starting with --).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  void parse(const std::vector<std::string>& argv);
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace lcrb

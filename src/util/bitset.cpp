@@ -1,0 +1,65 @@
+#include "util/bitset.h"
+
+#include <bit>
+#include <cstring>
+
+namespace lcrb {
+
+void DynamicBitset::reset() {
+  if (!words_.empty()) {
+    std::memset(words_.data(), 0, words_.size() * sizeof(std::uint64_t));
+  }
+}
+
+std::size_t DynamicBitset::count() const {
+  std::size_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+bool DynamicBitset::none() const {
+  for (std::uint64_t w : words_)
+    if (w) return false;
+  return true;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  LCRB_REQUIRE(size_ == other.size_, "bitset size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    if (words_[i] & other.words_[i]) return true;
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  LCRB_REQUIRE(size_ == other.size_, "bitset size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  LCRB_REQUIRE(size_ == other.size_, "bitset size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::subtract(const DynamicBitset& other) {
+  LCRB_REQUIRE(size_ == other.size_, "bitset size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  return *this;
+}
+
+std::vector<std::uint32_t> DynamicBitset::to_indices() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(count());
+  for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+    std::uint64_t w = words_[wi];
+    while (w) {
+      const int bit = std::countr_zero(w);
+      out.push_back(static_cast<std::uint32_t>(wi * 64 + static_cast<std::size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace lcrb

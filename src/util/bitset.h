@@ -1,0 +1,78 @@
+// Dynamic bitset tuned for diffusion simulation (fast set/test/reset, cheap
+// clearing between Monte-Carlo runs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+/// Fixed-capacity bitset sized at construction. Unlike std::vector<bool> the
+/// word array is directly iterable, popcount is O(words), and reset() is a
+/// memset.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const {
+    LCRB_REQUIRE(i < size_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) {
+    LCRB_REQUIRE(i < size_, "bit index out of range");
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+
+  void clear(std::size_t i) {
+    LCRB_REQUIRE(i < size_, "bit index out of range");
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  /// Sets bit i, returning whether it was previously clear.
+  bool set_if_clear(std::size_t i) {
+    LCRB_REQUIRE(i < size_, "bit index out of range");
+    const std::uint64_t mask = 1ULL << (i & 63);
+    std::uint64_t& w = words_[i >> 6];
+    if (w & mask) return false;
+    w |= mask;
+    return true;
+  }
+
+  /// Clears every bit; O(words) memset.
+  void reset();
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  /// True if no bit is set.
+  bool none() const;
+
+  /// True if any bit of `other` is also set here. Sizes must match.
+  bool intersects(const DynamicBitset& other) const;
+
+  /// In-place union. Sizes must match.
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  /// In-place intersection. Sizes must match.
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  /// In-place difference (this and-not other). Sizes must match.
+  DynamicBitset& subtract(const DynamicBitset& other);
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::uint32_t> to_indices() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lcrb

@@ -1,0 +1,58 @@
+#include "util/csv.h"
+
+#include "util/error.h"
+
+namespace lcrb {
+
+CsvWriter::CsvWriter(const std::string& path) : file_(path), to_file_(true) {
+  LCRB_REQUIRE(file_.good(), "cannot open CSV file for writing: " + path);
+}
+
+CsvWriter::CsvWriter() : to_file_(false) {}
+
+void CsvWriter::write_header(const std::vector<std::string>& columns) {
+  LCRB_REQUIRE(columns_ == 0, "CSV header already written");
+  LCRB_REQUIRE(!columns.empty(), "CSV header must have at least one column");
+  columns_ = columns.size();
+  write_line(columns);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (columns_ != 0) {
+    LCRB_REQUIRE(fields.size() == columns_, "CSV row width differs from header");
+  }
+  write_line(fields);
+}
+
+std::string CsvWriter::str() const {
+  LCRB_REQUIRE(!to_file_, "str() only valid for in-memory CsvWriter");
+  return buffer_.str();
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_line(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += escape(fields[i]);
+  }
+  line += '\n';
+  if (to_file_) {
+    file_ << line;
+    LCRB_REQUIRE(file_.good(), "CSV write failed");
+  } else {
+    buffer_ << line;
+  }
+}
+
+}  // namespace lcrb

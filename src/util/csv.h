@@ -1,0 +1,52 @@
+// Minimal CSV writer used by bench binaries to dump figure series.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lcrb {
+
+/// Writes RFC-4180-ish CSV (quotes fields containing comma/quote/newline).
+/// Row length is validated against the header once a header is set.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws lcrb::Error on failure.
+  explicit CsvWriter(const std::string& path);
+  /// Writes to an in-memory buffer retrievable via str() (for tests).
+  CsvWriter();
+
+  void write_header(const std::vector<std::string>& columns);
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with operator<<.
+  template <typename... Ts>
+  void write_values(const Ts&... vals) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(vals));
+    (fields.push_back(format(vals)), ...);
+    write_row(fields);
+  }
+
+  /// In-memory contents (only valid for the buffer constructor).
+  std::string str() const;
+
+ private:
+  template <typename T>
+  static std::string format(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& field);
+  void write_line(const std::vector<std::string>& fields);
+
+  std::ofstream file_;
+  std::ostringstream buffer_;
+  bool to_file_ = false;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace lcrb

@@ -1,0 +1,33 @@
+// Error type used across the LCRB library.
+//
+// The library throws `lcrb::Error` for precondition violations and I/O
+// failures; it never aborts. Hot paths validate with LCRB_REQUIRE so release
+// builds keep the checks (they are cheap relative to graph traversal).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lcrb {
+
+/// Exception thrown by all LCRB components on invalid input or I/O failure.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed (" + cond + "): " + msg);
+}
+}  // namespace detail
+
+}  // namespace lcrb
+
+/// Precondition check that throws lcrb::Error with location info.
+#define LCRB_REQUIRE(cond, msg)                                   \
+  do {                                                            \
+    if (!(cond)) ::lcrb::detail::raise(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

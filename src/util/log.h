@@ -1,0 +1,41 @@
+// Leveled logger with wall-clock timestamps. Default level is Info; bench
+// binaries lower it to Warn unless --verbose is given.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lcrb {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a line to stderr as "[HH:MM:SS.mmm] LEVEL message". Thread-safe.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace lcrb
+
+#define LCRB_LOG_DEBUG ::lcrb::detail::LogLine(::lcrb::LogLevel::Debug)
+#define LCRB_LOG_INFO ::lcrb::detail::LogLine(::lcrb::LogLevel::Info)
+#define LCRB_LOG_WARN ::lcrb::detail::LogLine(::lcrb::LogLevel::Warn)
+#define LCRB_LOG_ERROR ::lcrb::detail::LogLine(::lcrb::LogLevel::Error)

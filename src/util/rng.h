@@ -1,0 +1,69 @@
+// Deterministic, seedable random number generation.
+//
+// All randomized components in the library take an explicit 64-bit seed and
+// draw from Xoshiro256** streams. Independent streams for parallel work are
+// derived via SplitMix64 so results are reproducible regardless of thread
+// scheduling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+/// SplitMix64: tiny PRNG used to expand a single seed into stream states.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (the standard seeding companion for xoshiro).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method.
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Derives a new independent stream for worker `index`. Deterministic in
+  /// (this stream's original seed, index).
+  Rng fork(std::uint64_t index) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;  // original seed, kept for fork()
+};
+
+}  // namespace lcrb

@@ -1,0 +1,64 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace lcrb {
+
+void TextTable::set_header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+}
+
+void TextTable::add_row(std::vector<std::string> fields) {
+  rows_.push_back(std::move(fields));
+}
+
+std::string TextTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  if (cols == 0) return "";
+
+  std::vector<std::size_t> widths(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto emit = [&](const std::vector<std::string>& row, std::string& out) {
+    out += '|';
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += ' ';
+      out += cell;
+      out.append(widths[i] - cell.size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit(header_, out);
+    out += '|';
+    for (std::size_t i = 0; i < cols; ++i) {
+      out.append(widths[i] + 2, '-');
+      out += '|';
+    }
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit(r, out);
+  return out;
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+std::string fixed(double v, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << v;
+  return os.str();
+}
+
+}  // namespace lcrb

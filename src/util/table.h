@@ -1,0 +1,52 @@
+// Console table printer: the bench binaries print paper-shaped rows with it.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lcrb {
+
+/// Accumulates rows and renders an aligned ASCII table:
+///
+///   | Dataset        | |R| | SCBG | Proximity |
+///   |----------------|-----|------|-----------|
+///   | Hep/15233/308  | 1%  | 32.9 | 25.3      |
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> columns);
+  void add_row(std::vector<std::string> fields);
+
+  /// Convenience: stringify mixed values with operator<<.
+  template <typename... Ts>
+  void add_values(const Ts&... vals) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(vals));
+    (fields.push_back(stringify(vals)), ...);
+    add_row(std::move(fields));
+  }
+
+  /// Renders the table. Rows shorter than the widest row are padded with
+  /// empty cells.
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string stringify(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (default 1 decimal, like Table I).
+std::string fixed(double v, int decimals = 1);
+
+}  // namespace lcrb

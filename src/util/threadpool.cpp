@@ -1,0 +1,83 @@
+#include "util/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace lcrb {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+namespace {
+// Set while a pool worker executes a task; lets parallel_for detect nested
+// use and degrade to inline execution instead of deadlocking (all workers
+// blocked on futures only workers could run).
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+void ThreadPool::worker_loop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = thread_count();
+  // Nested call from inside a worker: run inline — submitting and blocking
+  // on futures here could leave every worker waiting on work only workers
+  // can execute.
+  if (n == 1 || workers == 1 || t_in_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Dynamic chunking: enough chunks for load balance, few enough to keep
+  // queue contention negligible.
+  const std::size_t chunks = std::min(n, workers * 4);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    futs.push_back(submit([&next, &fn, n, chunk_size] {
+      for (;;) {
+        const std::size_t begin = next.fetch_add(chunk_size);
+        if (begin >= n) return;
+        const std::size_t end = std::min(n, begin + chunk_size);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace lcrb

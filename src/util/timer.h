@@ -1,0 +1,25 @@
+// Wall-clock timers for benches and progress logging.
+#pragma once
+
+#include <chrono>
+
+namespace lcrb {
+
+/// Stopwatch measuring wall time since construction or last restart().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lcrb

@@ -1,0 +1,30 @@
+// Fundamental scalar types shared across the LCRB library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lcrb {
+
+/// Node identifier. 32 bits comfortably covers the paper's graphs
+/// (36,692 nodes) and anything laptop-scale.
+using NodeId = std::uint32_t;
+
+/// Edge index into a CSR arc array.
+using EdgeId = std::uint64_t;
+
+/// Community identifier produced by community detection.
+using CommunityId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no community".
+inline constexpr CommunityId kInvalidCommunity =
+    std::numeric_limits<CommunityId>::max();
+
+/// Sentinel hop count for "never reached" in BFS / diffusion outputs.
+inline constexpr std::uint32_t kUnreached =
+    std::numeric_limits<std::uint32_t>::max();
+
+}  // namespace lcrb

@@ -1,0 +1,47 @@
+#include "community/detect.h"
+
+#include <gtest/gtest.h>
+
+#include "community/nmi.h"
+#include "graph/generators.h"
+#include "util/error.h"
+
+namespace lcrb {
+namespace {
+
+TEST(Detect, LouvainDispatch) {
+  CommunityGraphConfig cfg;
+  cfg.community_sizes = {50, 50};
+  cfg.avg_inter_degree = 0.3;
+  cfg.seed = 2;
+  const CommunityGraph cg = make_community_graph(cfg);
+  const Partition p =
+      detect_communities(cg.graph, CommunityMethod::kLouvain, 1);
+  EXPECT_EQ(p.num_nodes(), cg.graph.num_nodes());
+  EXPECT_GE(p.num_communities(), 2u);
+}
+
+TEST(Detect, LabelPropagationDispatch) {
+  CommunityGraphConfig cfg;
+  cfg.community_sizes = {50, 50};
+  cfg.avg_inter_degree = 0.3;
+  cfg.seed = 2;
+  const CommunityGraph cg = make_community_graph(cfg);
+  const Partition p =
+      detect_communities(cg.graph, CommunityMethod::kLabelPropagation, 1);
+  EXPECT_EQ(p.num_nodes(), cg.graph.num_nodes());
+}
+
+TEST(Detect, GroundTruthThrows) {
+  const DiGraph g = complete_graph(3);
+  EXPECT_THROW(detect_communities(g, CommunityMethod::kGroundTruth), Error);
+}
+
+TEST(Detect, MethodNames) {
+  EXPECT_EQ(to_string(CommunityMethod::kLouvain), "louvain");
+  EXPECT_EQ(to_string(CommunityMethod::kLabelPropagation), "label_propagation");
+  EXPECT_EQ(to_string(CommunityMethod::kGroundTruth), "ground_truth");
+}
+
+}  // namespace
+}  // namespace lcrb

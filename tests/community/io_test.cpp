@@ -1,0 +1,78 @@
+#include "community/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "community/nmi.h"
+#include "graph/generators.h"
+#include "util/error.h"
+
+namespace lcrb {
+namespace {
+
+TEST(MembershipIo, RoundTripThroughStream) {
+  const Partition p({0, 0, 1, 2, 1, 0});
+  std::ostringstream out;
+  save_membership(p, out);
+  std::istringstream in(out.str());
+  const Partition q = load_membership(in);
+  EXPECT_EQ(p.membership(), q.membership());
+}
+
+TEST(MembershipIo, RoundTripThroughFile) {
+  CommunityGraphConfig cfg;
+  cfg.community_sizes = {40, 40};
+  cfg.seed = 3;
+  const CommunityGraph cg = make_community_graph(cfg);
+  const Partition p(cg.membership);
+  const std::string path = testing::TempDir() + "/lcrb_membership.csv";
+  save_membership(p, path);
+  const Partition q = load_membership(path);
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(p, q), 1.0);
+  EXPECT_EQ(p.membership(), q.membership());
+  std::remove(path.c_str());
+}
+
+TEST(MembershipIo, HeaderOptional) {
+  std::istringstream with_header("node,community\n0,5\n1,5\n2,9\n");
+  const Partition a = load_membership(with_header);
+  std::istringstream without("0,5\n1,5\n2,9\n");
+  const Partition b = load_membership(without);
+  EXPECT_EQ(a.membership(), b.membership());
+  EXPECT_EQ(a.num_communities(), 2u);
+}
+
+TEST(MembershipIo, OutOfOrderRowsAccepted) {
+  std::istringstream in("2,1\n0,0\n1,0\n");
+  const Partition p = load_membership(in);
+  EXPECT_EQ(p.num_nodes(), 3u);
+  EXPECT_EQ(p.community_of(0), p.community_of(1));
+  EXPECT_NE(p.community_of(0), p.community_of(2));
+}
+
+TEST(MembershipIo, RejectsMalformedRows) {
+  std::istringstream bad1("0\n");
+  EXPECT_THROW(load_membership(bad1), Error);
+  std::istringstream bad2("x,1\n");
+  EXPECT_THROW(load_membership(bad2), Error);
+  std::istringstream bad3("0,1extra\n");
+  EXPECT_THROW(load_membership(bad3), Error);
+}
+
+TEST(MembershipIo, RejectsDuplicatesAndGaps) {
+  std::istringstream dup("0,1\n0,2\n");
+  EXPECT_THROW(load_membership(dup), Error);
+  std::istringstream gap("0,1\n2,1\n");
+  EXPECT_THROW(load_membership(gap), Error);
+}
+
+TEST(MembershipIo, RejectsMissingFileAndEmpty) {
+  EXPECT_THROW(load_membership("/nonexistent/m.csv"), Error);
+  std::istringstream empty("");
+  EXPECT_THROW(load_membership(empty), Error);
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,64 @@
+#include "community/label_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "community/nmi.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace lcrb {
+namespace {
+
+TEST(LabelPropagation, EmptyGraph) {
+  const Partition p = label_propagation(DiGraph{});
+  EXPECT_EQ(p.num_nodes(), 0u);
+}
+
+TEST(LabelPropagation, IsolatedNodesKeepOwnLabels) {
+  GraphBuilder b;
+  b.reserve_nodes(4);
+  const Partition p = label_propagation(b.finalize());
+  EXPECT_EQ(p.num_communities(), 4u);
+}
+
+TEST(LabelPropagation, CliqueConverges) {
+  const DiGraph g = complete_graph(8);
+  const Partition p = label_propagation(g);
+  EXPECT_EQ(p.num_communities(), 1u);
+}
+
+TEST(LabelPropagation, TwoCliquesSeparated) {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 6; ++u)
+    for (NodeId v = u + 1; v < 6; ++v) b.add_undirected_edge(u, v);
+  for (NodeId u = 6; u < 12; ++u)
+    for (NodeId v = u + 1; v < 12; ++v) b.add_undirected_edge(u, v);
+  b.add_undirected_edge(0, 6);
+  const Partition p = label_propagation(b.finalize(), {.seed = 3});
+  EXPECT_EQ(p.num_communities(), 2u);
+}
+
+TEST(LabelPropagation, RecoversStrongPlantedStructure) {
+  CommunityGraphConfig cfg;
+  cfg.community_sizes = {80, 80, 80};
+  cfg.avg_intra_degree = 10.0;
+  cfg.avg_inter_degree = 0.3;
+  cfg.seed = 17;
+  const CommunityGraph cg = make_community_graph(cfg);
+  const Partition found = label_propagation(cg.graph, {.seed = 5});
+  const Partition truth(cg.membership);
+  EXPECT_GT(normalized_mutual_information(found, truth), 0.6);
+}
+
+TEST(LabelPropagation, DeterministicInSeed) {
+  CommunityGraphConfig cfg;
+  cfg.community_sizes = {40, 40};
+  cfg.seed = 8;
+  const CommunityGraph cg = make_community_graph(cfg);
+  const Partition a = label_propagation(cg.graph, {.seed = 2});
+  const Partition b = label_propagation(cg.graph, {.seed = 2});
+  EXPECT_EQ(a.membership(), b.membership());
+}
+
+}  // namespace
+}  // namespace lcrb

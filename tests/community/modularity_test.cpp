@@ -1,0 +1,66 @@
+#include "community/modularity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace lcrb {
+namespace {
+
+TEST(Modularity, EdgelessGraphIsZero) {
+  GraphBuilder b;
+  b.reserve_nodes(4);
+  EXPECT_EQ(modularity(b.finalize(), Partition({0, 0, 1, 1})), 0.0);
+}
+
+TEST(Modularity, SingleCommunityIsZero) {
+  // All mass inside one community: Q = 1 - 1 = 0.
+  const DiGraph g = complete_graph(4);
+  EXPECT_NEAR(modularity(g, Partition({0, 0, 0, 0})), 0.0, 1e-12);
+}
+
+TEST(Modularity, TwoCliquesGoodSplit) {
+  // Two 4-cliques joined by a single undirected bridge.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = u + 1; v < 4; ++v) b.add_undirected_edge(u, v);
+  for (NodeId u = 4; u < 8; ++u)
+    for (NodeId v = u + 1; v < 8; ++v) b.add_undirected_edge(u, v);
+  b.add_undirected_edge(3, 4);
+  const DiGraph g = b.finalize();
+
+  const double good = modularity(g, Partition({0, 0, 0, 0, 1, 1, 1, 1}));
+  const double bad = modularity(g, Partition({0, 1, 0, 1, 0, 1, 0, 1}));
+  const double trivial = modularity(g, Partition({0, 0, 0, 0, 0, 0, 0, 0}));
+  EXPECT_GT(good, 0.3);
+  EXPECT_GT(good, bad);
+  EXPECT_GT(good, trivial);
+  EXPECT_LT(bad, 0.05);
+}
+
+TEST(Modularity, KnownHandValue) {
+  // Directed triangle split as {0,1} {2}:
+  // intra = 1 arc (0->1); m=3; expected = (2*2 + 1*1)/9 = 5/9.
+  const DiGraph g = make_graph(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_NEAR(modularity(g, Partition({0, 0, 1})), 1.0 / 3 - 5.0 / 9, 1e-12);
+}
+
+TEST(Modularity, SizeMismatchThrows) {
+  const DiGraph g = complete_graph(3);
+  EXPECT_THROW(modularity(g, Partition({0, 0})), Error);
+}
+
+TEST(Modularity, PlantedPartitionScoresHigh) {
+  CommunityGraphConfig cfg;
+  cfg.community_sizes = {100, 100, 100};
+  cfg.avg_intra_degree = 8.0;
+  cfg.avg_inter_degree = 0.5;
+  cfg.seed = 5;
+  const CommunityGraph cg = make_community_graph(cfg);
+  const double q = modularity(cg.graph, Partition(cg.membership));
+  EXPECT_GT(q, 0.5);
+}
+
+}  // namespace
+}  // namespace lcrb

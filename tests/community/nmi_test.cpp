@@ -1,0 +1,81 @@
+#include "community/nmi.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+TEST(Nmi, IdenticalPartitionsScoreOne) {
+  Partition a({0, 0, 1, 1, 2});
+  Partition b({5, 5, 9, 9, 7});  // same grouping, different labels
+  EXPECT_NEAR(normalized_mutual_information(a, b), 1.0, 1e-12);
+}
+
+TEST(Nmi, BothTrivialScoreOne) {
+  Partition a({0, 0, 0});
+  Partition b({4, 4, 4});
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(a, b), 1.0);
+}
+
+TEST(Nmi, EmptyPartitionsScoreOne) {
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(Partition{}, Partition{}), 1.0);
+}
+
+TEST(Nmi, TrivialVsAnythingScoresZero) {
+  Partition trivial({0, 0, 0, 0});
+  Partition split({0, 0, 1, 1});
+  EXPECT_NEAR(normalized_mutual_information(trivial, split), 0.0, 1e-12);
+}
+
+TEST(Nmi, Symmetric) {
+  Partition a({0, 0, 1, 1, 2, 2});
+  Partition b({0, 1, 1, 0, 2, 2});
+  EXPECT_NEAR(normalized_mutual_information(a, b),
+              normalized_mutual_information(b, a), 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsLow) {
+  // Large random labelings with no relation should score near 0.
+  Rng rng(3);
+  std::vector<CommunityId> x(4000), y(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<CommunityId>(rng.next_below(4));
+    y[i] = static_cast<CommunityId>(rng.next_below(4));
+  }
+  EXPECT_LT(normalized_mutual_information(Partition(x), Partition(y)), 0.05);
+}
+
+TEST(Nmi, RefinementScoresBetween) {
+  // b refines a: information shared but not identical.
+  Partition a({0, 0, 0, 0, 1, 1, 1, 1});
+  Partition b({0, 0, 1, 1, 2, 2, 3, 3});
+  const double v = normalized_mutual_information(a, b);
+  EXPECT_GT(v, 0.3);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Nmi, SizeMismatchThrows) {
+  EXPECT_THROW(
+      normalized_mutual_information(Partition({0, 1}), Partition({0, 1, 2})),
+      Error);
+}
+
+TEST(Nmi, BoundedInUnitInterval) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<CommunityId> x(100), y(100);
+    for (std::size_t i = 0; i < 100; ++i) {
+      x[i] = static_cast<CommunityId>(rng.next_below(5));
+      y[i] = static_cast<CommunityId>(rng.next_below(3));
+    }
+    const double v = normalized_mutual_information(Partition(x), Partition(y));
+    EXPECT_GE(v, -1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,65 @@
+#include "community/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace lcrb {
+namespace {
+
+TEST(Partition, EmptyByDefault) {
+  Partition p;
+  EXPECT_EQ(p.num_nodes(), 0u);
+  EXPECT_EQ(p.num_communities(), 0u);
+}
+
+TEST(Partition, NormalizesSparseLabels) {
+  Partition p({7, 7, 42, 7, 42, 100});
+  EXPECT_EQ(p.num_nodes(), 6u);
+  EXPECT_EQ(p.num_communities(), 3u);
+  // First-appearance order: 7 -> 0, 42 -> 1, 100 -> 2.
+  EXPECT_EQ(p.community_of(0), 0u);
+  EXPECT_EQ(p.community_of(2), 1u);
+  EXPECT_EQ(p.community_of(5), 2u);
+}
+
+TEST(Partition, MembersAreAscending) {
+  Partition p({1, 0, 1, 0, 1});
+  EXPECT_EQ(p.members(0), (std::vector<NodeId>{0, 2, 4}));
+  EXPECT_EQ(p.members(1), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(p.size_of(0), 3u);
+  EXPECT_EQ(p.size_of(1), 2u);
+}
+
+TEST(Partition, SizesVector) {
+  Partition p({0, 0, 1, 2, 2, 2});
+  EXPECT_EQ(p.sizes(), (std::vector<NodeId>{2, 1, 3}));
+}
+
+TEST(Partition, ClosestToSize) {
+  Partition p({0, 0, 0, 0, 0, 1, 1, 2});  // sizes 5, 2, 1
+  EXPECT_EQ(p.closest_to_size(5), 0u);
+  EXPECT_EQ(p.closest_to_size(2), 1u);
+  EXPECT_EQ(p.closest_to_size(1), 2u);
+  EXPECT_EQ(p.closest_to_size(100), 0u);
+  // Tie between size 2 and size 1 for target 0 -> ... 1 is closer (gap 1 vs 2).
+  EXPECT_EQ(p.closest_to_size(0), 2u);
+}
+
+TEST(Partition, OutOfRangeThrows) {
+  Partition p({0, 1});
+  EXPECT_THROW(p.community_of(2), Error);
+  EXPECT_THROW(p.members(2), Error);
+}
+
+TEST(Partition, InvalidLabelThrows) {
+  EXPECT_THROW(Partition({0, kInvalidCommunity}), Error);
+}
+
+TEST(Partition, ClosestOnEmptyThrows) {
+  Partition p;
+  EXPECT_THROW(p.closest_to_size(1), Error);
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,106 @@
+#include "community/quality.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace lcrb {
+namespace {
+
+// Two 4-cliques joined by one undirected edge.
+DiGraph two_cliques() {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = u + 1; v < 4; ++v) b.add_undirected_edge(u, v);
+  for (NodeId u = 4; u < 8; ++u)
+    for (NodeId v = u + 1; v < 8; ++v) b.add_undirected_edge(u, v);
+  b.add_undirected_edge(0, 4);
+  return b.finalize();
+}
+
+TEST(Conductance, WellSeparatedCommunityIsLow) {
+  const DiGraph g = two_cliques();
+  const Partition p({0, 0, 0, 0, 1, 1, 1, 1});
+  // Each side: 12 intra arcs + 1 outgoing bridge arc = volume 13; the cut
+  // counts both orientations of the bridge -> 2/13.
+  EXPECT_NEAR(conductance(g, p, 0), 2.0 / 13.0, 1e-12);
+  EXPECT_NEAR(conductance(g, p, 1), 2.0 / 13.0, 1e-12);
+}
+
+TEST(Conductance, RandomSplitIsHigh) {
+  const DiGraph g = two_cliques();
+  const Partition bad({0, 1, 0, 1, 0, 1, 0, 1});
+  EXPECT_GT(conductance(g, bad, 0), 0.5);
+}
+
+TEST(Conductance, WholeGraphCommunityIsOne) {
+  const DiGraph g = complete_graph(4);
+  const Partition p({0, 0, 0, 0});
+  // V \ C has zero volume -> defined as 1.
+  EXPECT_DOUBLE_EQ(conductance(g, p, 0), 1.0);
+}
+
+TEST(Conductance, EdgelessGraphIsZero) {
+  GraphBuilder b;
+  b.reserve_nodes(3);
+  EXPECT_DOUBLE_EQ(conductance(b.finalize(), Partition({0, 0, 1}), 0), 0.0);
+}
+
+TEST(Conductance, OutOfRangeThrows) {
+  const DiGraph g = complete_graph(3);
+  EXPECT_THROW(conductance(g, Partition({0, 0, 0}), 2), Error);
+  EXPECT_THROW(conductance(g, Partition({0, 0}), 0), Error);
+}
+
+TEST(Coverage, AllIntraIsOne) {
+  const DiGraph g = two_cliques();
+  const Partition trivial({0, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(coverage(g, trivial), 1.0);
+}
+
+TEST(Coverage, CountsIntraFraction) {
+  const DiGraph g = two_cliques();
+  const Partition p({0, 0, 0, 0, 1, 1, 1, 1});
+  // 26 arcs total, 2 cross.
+  EXPECT_NEAR(coverage(g, p), 24.0 / 26.0, 1e-12);
+}
+
+TEST(Coverage, SingletonsScoreZeroWithoutSelfLoops) {
+  const DiGraph g = path_graph(4);
+  const Partition p({0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(coverage(g, p), 0.0);
+}
+
+TEST(PartitionQuality, AggregatesSensibly) {
+  const DiGraph g = two_cliques();
+  const Partition p({0, 0, 0, 0, 1, 1, 1, 1});
+  const PartitionQuality q = partition_quality(g, p);
+  EXPECT_EQ(q.num_communities, 2u);
+  EXPECT_EQ(q.largest, 4u);
+  EXPECT_EQ(q.smallest, 4u);
+  EXPECT_GT(q.modularity, 0.3);
+  EXPECT_NEAR(q.coverage, 24.0 / 26.0, 1e-12);
+  EXPECT_NEAR(q.mean_conductance, 2.0 / 13.0, 1e-12);
+  EXPECT_NEAR(q.max_conductance, 2.0 / 13.0, 1e-12);
+}
+
+TEST(PartitionQuality, PlantedBeatsRandomSplit) {
+  CommunityGraphConfig cfg;
+  cfg.community_sizes = {80, 80};
+  cfg.avg_inter_degree = 0.5;
+  cfg.seed = 9;
+  const CommunityGraph cg = make_community_graph(cfg);
+  const PartitionQuality planted =
+      partition_quality(cg.graph, Partition(cg.membership));
+  std::vector<CommunityId> shuffled = cg.membership;
+  // Deterministic "bad" split: alternate labels.
+  for (std::size_t i = 0; i < shuffled.size(); ++i) shuffled[i] = i % 2;
+  const PartitionQuality random_split =
+      partition_quality(cg.graph, Partition(shuffled));
+  EXPECT_GT(planted.modularity, random_split.modularity);
+  EXPECT_LT(planted.mean_conductance, random_split.mean_conductance);
+}
+
+}  // namespace
+}  // namespace lcrb

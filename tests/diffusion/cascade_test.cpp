@@ -1,0 +1,61 @@
+#include "diffusion/cascade.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "util/error.h"
+
+namespace lcrb {
+namespace {
+
+TEST(ValidateSeeds, AcceptsDisjointSets) {
+  const DiGraph g = cycle_graph(6);
+  EXPECT_NO_THROW(validate_seeds(g, {{0, 1}, {3, 4}}));
+  EXPECT_NO_THROW(validate_seeds(g, {{0}, {}}));
+  EXPECT_NO_THROW(validate_seeds(g, {{}, {}}));
+}
+
+TEST(ValidateSeeds, RejectsOverlap) {
+  const DiGraph g = cycle_graph(6);
+  EXPECT_THROW(validate_seeds(g, {{0, 1}, {1, 2}}), Error);
+}
+
+TEST(ValidateSeeds, RejectsDuplicates) {
+  const DiGraph g = cycle_graph(6);
+  EXPECT_THROW(validate_seeds(g, {{0, 0}, {}}), Error);
+  EXPECT_THROW(validate_seeds(g, {{}, {2, 2}}), Error);
+}
+
+TEST(ValidateSeeds, RejectsOutOfRange) {
+  const DiGraph g = cycle_graph(6);
+  EXPECT_THROW(validate_seeds(g, {{6}, {}}), Error);
+  EXPECT_THROW(validate_seeds(g, {{}, {99}}), Error);
+}
+
+TEST(DiffusionResult, CountsAndCumulatives) {
+  DiffusionResult r;
+  r.state = {NodeState::kInfected, NodeState::kProtected, NodeState::kInactive,
+             NodeState::kInfected};
+  r.newly_infected = {1, 1, 0};
+  r.newly_protected = {1, 0, 0};
+  EXPECT_EQ(r.infected_count(), 2u);
+  EXPECT_EQ(r.protected_count(), 1u);
+  EXPECT_EQ(r.cumulative_infected_at(0), 1u);
+  EXPECT_EQ(r.cumulative_infected_at(1), 2u);
+  EXPECT_EQ(r.cumulative_infected_at(2), 2u);
+  // Beyond the recorded series the curve is flat.
+  EXPECT_EQ(r.cumulative_infected_at(100), 2u);
+  EXPECT_EQ(r.cumulative_protected_at(100), 1u);
+}
+
+TEST(DiffusionResult, SavedFraction) {
+  DiffusionResult r;
+  r.state = {NodeState::kInfected, NodeState::kProtected, NodeState::kInactive};
+  const NodeId targets[] = {0, 1, 2};
+  EXPECT_EQ(r.saved_count(targets), 2u);
+  EXPECT_NEAR(r.saved_fraction(targets), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.saved_fraction({}), 1.0);
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,106 @@
+// Boundary conditions across the diffusion stack.
+#include <gtest/gtest.h>
+
+#include "diffusion/doam.h"
+#include "diffusion/montecarlo.h"
+#include "diffusion/opoao.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+
+namespace lcrb {
+namespace {
+
+TEST(EdgeCases, ZeroMaxStepsFreezesSeeds) {
+  const DiGraph g = path_graph(5);
+  OpoaoConfig oc;
+  oc.max_steps = 0;
+  const DiffusionResult r = simulate_opoao(g, {{0}, {4}}, 1, oc);
+  EXPECT_EQ(r.infected_count(), 1u);
+  EXPECT_EQ(r.protected_count(), 1u);
+  EXPECT_EQ(r.steps, 0u);
+
+  DoamConfig dc;
+  dc.max_steps = 0;
+  const DiffusionResult d = simulate_doam(g, {{0}, {4}}, dc);
+  EXPECT_EQ(d.infected_count(), 1u);
+}
+
+TEST(EdgeCases, EmptySeedSetsAreLegalNoOps) {
+  const DiGraph g = path_graph(4);
+  const DiffusionResult r = simulate_doam(g, {{}, {}});
+  EXPECT_EQ(r.infected_count(), 0u);
+  EXPECT_EQ(r.protected_count(), 0u);
+  const DiffusionResult o = simulate_opoao(g, {{}, {}}, 1);
+  EXPECT_EQ(o.infected_count(), 0u);
+}
+
+TEST(EdgeCases, ProtectorOnlyDiffusionInfectsNothing) {
+  Rng rng(2);
+  const DiGraph g = erdos_renyi(60, 0.08, true, rng);
+  const DiffusionResult r = simulate_doam(g, {{}, {0, 1}});
+  EXPECT_EQ(r.infected_count(), 0u);
+  EXPECT_GT(r.protected_count(), 2u);  // P floods unopposed
+}
+
+TEST(EdgeCases, SingleNodeGraph) {
+  GraphBuilder b;
+  b.reserve_nodes(1);
+  const DiGraph g = b.finalize();
+  const DiffusionResult r = simulate_doam(g, {{0}, {}});
+  EXPECT_EQ(r.infected_count(), 1u);
+  EXPECT_EQ(r.steps, 0u);
+  const DiffusionResult o = simulate_opoao(g, {{0}, {}}, 1);
+  EXPECT_EQ(o.infected_count(), 1u);
+}
+
+TEST(EdgeCases, SinkSeedsCannotSpread) {
+  // Seeds with zero out-degree: nothing ever activates.
+  const DiGraph g = make_graph(4, {{0, 1}, {0, 2}, {0, 3}});
+  const DiffusionResult r = simulate_opoao(g, {{1}, {2}}, 5);
+  EXPECT_EQ(r.infected_count(), 1u);
+  EXPECT_EQ(r.protected_count(), 1u);
+  EXPECT_EQ(r.state[3], NodeState::kInactive);
+}
+
+TEST(EdgeCases, CumulativeNeverDecreasesUnderHopCapSweep) {
+  Rng rng(3);
+  const DiGraph g = erdos_renyi(100, 0.05, true, rng);
+  // Running with a lower hop cap must be a prefix of the higher-cap run.
+  OpoaoConfig long_cfg;
+  long_cfg.max_steps = 20;
+  const DiffusionResult full = simulate_opoao(g, {{0, 1}, {2}}, 9, long_cfg);
+  for (std::uint32_t cap : {0u, 3u, 7u, 12u}) {
+    OpoaoConfig c;
+    c.max_steps = cap;
+    const DiffusionResult part = simulate_opoao(g, {{0, 1}, {2}}, 9, c);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (part.state[v] != NodeState::kInactive) {
+        EXPECT_EQ(part.state[v], full.state[v]) << "node " << v;
+        EXPECT_EQ(part.activation_step[v], full.activation_step[v]);
+      }
+    }
+    EXPECT_EQ(part.cumulative_infected_at(cap),
+              full.cumulative_infected_at(cap));
+  }
+}
+
+TEST(EdgeCases, DoamSavedOnEmptyTargets) {
+  const DiGraph g = path_graph(3);
+  const auto saved = doam_saved(g, {{0}, {}}, {});
+  EXPECT_TRUE(saved.empty());
+}
+
+TEST(EdgeCases, MonteCarloOnEdgelessGraph) {
+  GraphBuilder b;
+  b.reserve_nodes(5);
+  const DiGraph g = b.finalize();
+  MonteCarloConfig cfg;
+  cfg.runs = 3;
+  cfg.max_hops = 5;
+  const HopSeries s = monte_carlo_series(g, {{0}, {1}}, cfg);
+  EXPECT_DOUBLE_EQ(s.final_infected_mean, 1.0);
+  EXPECT_DOUBLE_EQ(s.final_protected_mean, 1.0);
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "diffusion/doam.h"
+#include "diffusion/ic.h"
+#include "diffusion/lt.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+// ------------------------------ IC ------------------------------
+
+TEST(CompetitiveIc, ProbabilityOneIsDoamLike) {
+  const DiGraph g = path_graph(5);
+  IcConfig cfg;
+  cfg.edge_prob = 1.0;
+  const DiffusionResult r = simulate_competitive_ic(g, {{0}, {}}, 3, cfg);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(r.state[v], NodeState::kInfected);
+    EXPECT_EQ(r.activation_step[v], v);
+  }
+}
+
+TEST(CompetitiveIc, ProbabilityZeroOnlySeeds) {
+  const DiGraph g = complete_graph(6);
+  IcConfig cfg;
+  cfg.edge_prob = 0.0;
+  const DiffusionResult r = simulate_competitive_ic(g, {{0}, {1}}, 3, cfg);
+  EXPECT_EQ(r.infected_count(), 1u);
+  EXPECT_EQ(r.protected_count(), 1u);
+}
+
+TEST(CompetitiveIc, DeterministicInSeed) {
+  Rng rng(2);
+  const DiGraph g = erdos_renyi(80, 0.06, true, rng);
+  const SeedSets seeds{{0, 1}, {2}};
+  IcConfig cfg;
+  cfg.edge_prob = 0.4;
+  const DiffusionResult a = simulate_competitive_ic(g, seeds, 5, cfg);
+  const DiffusionResult b = simulate_competitive_ic(g, seeds, 5, cfg);
+  EXPECT_EQ(a.state, b.state);
+}
+
+TEST(CompetitiveIc, ProtectorWinsTie) {
+  IcConfig cfg;
+  cfg.edge_prob = 1.0;
+  const DiGraph g = make_graph(3, {{0, 2}, {1, 2}});
+  const DiffusionResult r = simulate_competitive_ic(g, {{0}, {1}}, 7, cfg);
+  EXPECT_EQ(r.state[2], NodeState::kProtected);
+}
+
+TEST(CompetitiveIc, SpreadGrowsWithProbability) {
+  Rng rng(4);
+  const DiGraph g = erdos_renyi(300, 0.02, true, rng);
+  double low = 0, high = 0;
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    IcConfig cl;
+    cl.edge_prob = 0.05;
+    IcConfig ch;
+    ch.edge_prob = 0.5;
+    low += static_cast<double>(
+        simulate_competitive_ic(g, {{0}, {}}, s, cl).infected_count());
+    high += static_cast<double>(
+        simulate_competitive_ic(g, {{0}, {}}, s, ch).infected_count());
+  }
+  EXPECT_LT(low, high);
+}
+
+TEST(CompetitiveIc, InvalidProbabilityThrows) {
+  const DiGraph g = path_graph(3);
+  IcConfig cfg;
+  cfg.edge_prob = 1.5;
+  EXPECT_THROW(simulate_competitive_ic(g, {{0}, {}}, 1, cfg), Error);
+}
+
+TEST(CompetitiveIc, LiveEdgeCouplingMonotoneInProtectors) {
+  // Adding protectors never increases the infected set under the live-edge
+  // coupling (same seed -> same live edges; P only blocks R).
+  Rng rng(6);
+  const DiGraph g = erdos_renyi(150, 0.04, true, rng);
+  IcConfig cfg;
+  cfg.edge_prob = 0.35;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto no_p = simulate_competitive_ic(g, {{0, 1}, {}}, s, cfg);
+    const auto with_p = simulate_competitive_ic(g, {{0, 1}, {5, 6, 7}}, s, cfg);
+    EXPECT_LE(with_p.infected_count(), no_p.infected_count()) << "seed " << s;
+  }
+}
+
+TEST(CompetitiveIc, ProbabilityOneEqualsDoamEverywhere) {
+  // With every arc live, competitive IC degenerates to DOAM's synchronized
+  // broadcast: identical states and activation times on random graphs.
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const DiGraph g = erdos_renyi(100, 0.04, true, rng);
+    const SeedSets seeds{{0, 1, 2}, {3, 4}};
+    IcConfig cfg;
+    cfg.edge_prob = 1.0;
+    const DiffusionResult ic = simulate_competitive_ic(g, seeds, trial, cfg);
+    const DiffusionResult doam = simulate_doam(g, seeds);
+    EXPECT_EQ(ic.state, doam.state) << "trial " << trial;
+    EXPECT_EQ(ic.activation_step, doam.activation_step);
+  }
+}
+
+// ------------------------------ LT ------------------------------
+
+TEST(CompetitiveLt, SingleInNeighborAlwaysActivates) {
+  // d_in = 1 => weight 1 >= any threshold in [0,1).
+  const DiGraph g = path_graph(5);
+  const DiffusionResult r = simulate_competitive_lt(g, {{0}, {}}, 3);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(r.state[v], NodeState::kInfected);
+}
+
+TEST(CompetitiveLt, DeterministicInSeed) {
+  Rng rng(8);
+  const DiGraph g = erdos_renyi(80, 0.06, true, rng);
+  const SeedSets seeds{{0, 1}, {2, 3}};
+  const DiffusionResult a = simulate_competitive_lt(g, seeds, 5);
+  const DiffusionResult b = simulate_competitive_lt(g, seeds, 5);
+  EXPECT_EQ(a.state, b.state);
+}
+
+TEST(CompetitiveLt, MajorityColorWinsProtectorTies) {
+  // Node 4 has in-neighbors {0,1,2,3}: 2 rumors + 2 protectors active at
+  // step 0 -> weight tie 0.5 vs 0.5 -> protected.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 4; ++u) b.add_edge(u, 4);
+  const DiGraph g = b.finalize();
+  const DiffusionResult r = simulate_competitive_lt(g, {{0, 1}, {2, 3}}, 9);
+  if (r.state[4] != NodeState::kInactive) {
+    EXPECT_EQ(r.state[4], NodeState::kProtected);
+  }
+}
+
+TEST(CompetitiveLt, RumorMajorityInfects) {
+  GraphBuilder b;
+  for (NodeId u = 0; u < 4; ++u) b.add_edge(u, 4);
+  const DiGraph g = b.finalize();
+  // 3 rumors vs 1 protector: if 4 activates it must be infected.
+  const DiffusionResult r = simulate_competitive_lt(g, {{0, 1, 2}, {3}}, 9);
+  if (r.state[4] != NodeState::kInactive) {
+    EXPECT_EQ(r.state[4], NodeState::kInfected);
+  }
+}
+
+TEST(CompetitiveLt, ThresholdControlsActivation) {
+  // Many seeds on a shared target: full in-neighborhood active => weight 1
+  // => always activates regardless of threshold.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 6; ++u) b.add_edge(u, 6);
+  const DiGraph g = b.finalize();
+  const DiffusionResult r =
+      simulate_competitive_lt(g, {{0, 1, 2, 3, 4, 5}, {}}, 123);
+  EXPECT_EQ(r.state[6], NodeState::kInfected);
+}
+
+TEST(CompetitiveLt, ProgressiveAndConsistent) {
+  Rng rng(10);
+  const DiGraph g = erdos_renyi(100, 0.05, true, rng);
+  const DiffusionResult r = simulate_competitive_lt(g, {{0, 1, 2}, {3, 4}}, 77);
+  std::size_t inf = 0, prot = 0;
+  for (auto c : r.newly_infected) inf += c;
+  for (auto c : r.newly_protected) prot += c;
+  EXPECT_EQ(inf, r.infected_count());
+  EXPECT_EQ(prot, r.protected_count());
+}
+
+}  // namespace
+}  // namespace lcrb

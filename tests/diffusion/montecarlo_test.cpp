@@ -1,0 +1,138 @@
+#include "diffusion/montecarlo.h"
+
+#include <gtest/gtest.h>
+
+#include "diffusion/doam.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+TEST(MonteCarlo, SeriesShapesMatchConfig) {
+  const DiGraph g = path_graph(10);
+  MonteCarloConfig cfg;
+  cfg.runs = 5;
+  cfg.max_hops = 12;
+  const HopSeries s = monte_carlo_series(g, {{0}, {}}, cfg);
+  EXPECT_EQ(s.infected_mean.size(), 13u);
+  EXPECT_EQ(s.protected_mean.size(), 13u);
+  EXPECT_EQ(s.runs, 5u);
+}
+
+TEST(MonteCarlo, DeterministicPathHasZeroVariance) {
+  const DiGraph g = path_graph(8);  // forced walk
+  MonteCarloConfig cfg;
+  cfg.runs = 10;
+  cfg.max_hops = 10;
+  const HopSeries s = monte_carlo_series(g, {{0}, {}}, cfg);
+  for (double ci : s.infected_ci95) EXPECT_DOUBLE_EQ(ci, 0.0);
+  EXPECT_DOUBLE_EQ(s.infected_mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.infected_mean[7], 8.0);
+  EXPECT_DOUBLE_EQ(s.final_infected_mean, 8.0);
+}
+
+TEST(MonteCarlo, CumulativeSeriesMonotone) {
+  Rng rng(1);
+  const DiGraph g = erdos_renyi(200, 0.03, true, rng);
+  MonteCarloConfig cfg;
+  cfg.runs = 20;
+  cfg.max_hops = 20;
+  const HopSeries s = monte_carlo_series(g, {{0, 1, 2}, {3, 4}}, cfg);
+  for (std::size_t h = 1; h < s.infected_mean.size(); ++h) {
+    EXPECT_GE(s.infected_mean[h], s.infected_mean[h - 1]);
+    EXPECT_GE(s.protected_mean[h], s.protected_mean[h - 1]);
+  }
+}
+
+TEST(MonteCarlo, DoamCollapsesToSingleRun) {
+  const DiGraph g = path_graph(6);
+  MonteCarloConfig cfg;
+  cfg.runs = 50;
+  cfg.model = DiffusionModel::kDoam;
+  const HopSeries s = monte_carlo_series(g, {{0}, {}}, cfg);
+  EXPECT_EQ(s.runs, 1u);
+  EXPECT_DOUBLE_EQ(s.final_infected_mean, 6.0);
+}
+
+TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
+  Rng rng(2);
+  const DiGraph g = erdos_renyi(150, 0.04, true, rng);
+  MonteCarloConfig cfg;
+  cfg.runs = 16;
+  cfg.seed = 33;
+  cfg.max_hops = 15;
+  const HopSeries serial = monte_carlo_series(g, {{0}, {1}}, cfg);
+  ThreadPool pool(4);
+  const HopSeries parallel =
+      monte_carlo_series(g, {{0}, {1}}, cfg, {}, &pool);
+  // Means are averages over a fixed set of run seeds -> identical up to
+  // floating-point addition order in the merge.
+  for (std::size_t h = 0; h < serial.infected_mean.size(); ++h) {
+    EXPECT_NEAR(serial.infected_mean[h], parallel.infected_mean[h], 1e-9);
+  }
+  EXPECT_NEAR(serial.final_infected_mean, parallel.final_infected_mean, 1e-9);
+}
+
+TEST(MonteCarlo, SavedFractionAgainstTargets) {
+  // Protector seed sits between rumor and targets: everything beyond it is
+  // saved under OPOAO on a path.
+  const DiGraph g = path_graph(10);
+  MonteCarloConfig cfg;
+  cfg.runs = 3;
+  cfg.max_hops = 20;
+  const NodeId targets[] = {6, 7, 8, 9};
+  const HopSeries s = monte_carlo_series(g, {{0}, {5}}, cfg, targets);
+  EXPECT_DOUBLE_EQ(s.saved_fraction_mean, 1.0);
+
+  const NodeId early[] = {1, 2};
+  const HopSeries s2 = monte_carlo_series(g, {{0}, {5}}, cfg, early);
+  EXPECT_DOUBLE_EQ(s2.saved_fraction_mean, 0.0);
+}
+
+TEST(MonteCarlo, ExpectedSavedCountsTargets) {
+  const DiGraph g = path_graph(10);
+  MonteCarloConfig cfg;
+  cfg.runs = 3;
+  cfg.max_hops = 20;
+  const NodeId targets[] = {6, 7, 8, 9};
+  EXPECT_DOUBLE_EQ(expected_saved(g, {{0}, {5}}, targets, cfg), 4.0);
+}
+
+TEST(MonteCarlo, ZeroRunsRejected) {
+  const DiGraph g = path_graph(3);
+  MonteCarloConfig cfg;
+  cfg.runs = 0;
+  EXPECT_THROW(monte_carlo_series(g, {{0}, {}}, cfg), Error);
+}
+
+TEST(MonteCarlo, ModelNames) {
+  EXPECT_EQ(to_string(DiffusionModel::kOpoao), "OPOAO");
+  EXPECT_EQ(to_string(DiffusionModel::kDoam), "DOAM");
+  EXPECT_EQ(to_string(DiffusionModel::kIc), "IC");
+  EXPECT_EQ(to_string(DiffusionModel::kLt), "LT");
+}
+
+TEST(MonteCarlo, IcModelDispatch) {
+  Rng rng(5);
+  const DiGraph g = erdos_renyi(100, 0.05, true, rng);
+  MonteCarloConfig cfg;
+  cfg.runs = 10;
+  cfg.model = DiffusionModel::kIc;
+  cfg.ic_edge_prob = 0.3;
+  const HopSeries s = monte_carlo_series(g, {{0, 1}, {}}, cfg);
+  EXPECT_GE(s.final_infected_mean, 2.0);  // at least the seeds
+}
+
+TEST(MonteCarlo, LtModelDispatch) {
+  Rng rng(5);
+  const DiGraph g = erdos_renyi(100, 0.05, true, rng);
+  MonteCarloConfig cfg;
+  cfg.runs = 10;
+  cfg.model = DiffusionModel::kLt;
+  const HopSeries s = monte_carlo_series(g, {{0, 1}, {}}, cfg);
+  EXPECT_GE(s.final_infected_mean, 2.0);
+}
+
+}  // namespace
+}  // namespace lcrb

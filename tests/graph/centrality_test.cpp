@@ -1,0 +1,185 @@
+#include "graph/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+TEST(Betweenness, PathMiddleHighest) {
+  // Directed path 0->1->2->3->4: interior nodes carry all the shortest
+  // paths; node 2 carries the most (paths 0-3, 0-4, 1-4, 1-3... count).
+  const DiGraph g = path_graph(5);
+  const auto bc = betweenness_centrality(g);
+  // Endpoint carries nothing.
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[4], 0.0);
+  // Exact values: node v lies on (v)(4-v) shortest source-target pairs.
+  EXPECT_DOUBLE_EQ(bc[1], 3.0);
+  EXPECT_DOUBLE_EQ(bc[2], 4.0);
+  EXPECT_DOUBLE_EQ(bc[3], 3.0);
+}
+
+TEST(Betweenness, StarHubCarriesAllPairs) {
+  // Undirected star: hub 0 lies between every leaf pair.
+  const DiGraph g = star_graph(6, /*undirected=*/true);
+  const auto bc = betweenness_centrality(g);
+  // 5 leaves -> 5*4 = 20 ordered pairs routed through the hub.
+  EXPECT_DOUBLE_EQ(bc[0], 20.0);
+  for (NodeId v = 1; v < 6; ++v) EXPECT_DOUBLE_EQ(bc[v], 0.0);
+}
+
+TEST(Betweenness, EvenPathSplitsAcrossTwoShortestPaths) {
+  // Diamond: 0->1->3, 0->2->3. Two equal shortest paths; each middle node
+  // gets half the 0->3 dependency.
+  const DiGraph g = make_graph(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const auto bc = betweenness_centrality(g);
+  EXPECT_DOUBLE_EQ(bc[1], 0.5);
+  EXPECT_DOUBLE_EQ(bc[2], 0.5);
+  EXPECT_DOUBLE_EQ(bc[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc[3], 0.0);
+}
+
+TEST(Betweenness, DisconnectedGraphIsFine) {
+  const DiGraph g = make_graph(4, {{0, 1}, {2, 3}});
+  const auto bc = betweenness_centrality(g);
+  for (double v : bc) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Betweenness, MatchesBruteForceOnRandomGraph) {
+  Rng rng(5);
+  const DiGraph g = erdos_renyi(25, 0.15, true, rng);
+  const auto bc = betweenness_centrality(g);
+
+  // Brute force: enumerate all shortest paths via BFS parent DAG counting.
+  const NodeId n = g.num_nodes();
+  std::vector<double> ref(n, 0.0);
+  for (NodeId s = 0; s < n; ++s) {
+    // BFS distances + path counts.
+    std::vector<std::uint32_t> dist(n, kUnreached);
+    std::vector<double> cnt(n, 0.0);
+    dist[s] = 0;
+    cnt[s] = 1;
+    std::vector<NodeId> frontier{s}, order{s};
+    while (!frontier.empty()) {
+      std::vector<NodeId> next;
+      for (NodeId u : frontier) {
+        for (NodeId v : g.out_neighbors(u)) {
+          if (dist[v] == kUnreached) {
+            dist[v] = dist[u] + 1;
+            next.push_back(v);
+            order.push_back(v);
+          }
+        }
+      }
+      frontier = next;
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      if (dist[u] == kUnreached) continue;
+      // re-propagate counts level by level
+    }
+    // Count shortest paths with a second pass in BFS order.
+    for (NodeId u : order) {
+      for (NodeId v : g.out_neighbors(u)) {
+        if (dist[v] == dist[u] + 1) cnt[v] += cnt[u];
+      }
+    }
+    // Pair dependencies: for each target t and interior w on some shortest
+    // s-t path: contribution cnt_sw * cnt_wt / cnt_st. Compute cnt_wt by a
+    // per-target backward count — O(n^2) per source is fine at n=25.
+    for (NodeId t = 0; t < n; ++t) {
+      if (t == s || dist[t] == kUnreached || cnt[t] == 0) continue;
+      // count paths from w to t constrained to the BFS DAG of s
+      std::vector<double> to_t(n, 0.0);
+      to_t[t] = 1.0;
+      for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId u = *it;
+        for (NodeId v : g.out_neighbors(u)) {
+          if (dist[v] == dist[u] + 1) to_t[u] += to_t[v];
+        }
+      }
+      for (NodeId w = 0; w < n; ++w) {
+        if (w == s || w == t || dist[w] == kUnreached) continue;
+        ref[w] += cnt[w] * to_t[w] / cnt[t];
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_NEAR(bc[v], ref[v], 1e-9) << "node " << v;
+  }
+}
+
+TEST(DegreeDiscount, PlainTopDegreeWhenIsolatedPicks) {
+  // Star: hub has the top degree; after picking it the leaves' discounted
+  // degrees drop but they had degree 0 anyway (directed star).
+  const DiGraph g = star_graph(8);
+  const auto picks = degree_discount(g, 3, 0.05);
+  EXPECT_EQ(picks[0], 0u);
+  EXPECT_EQ(picks.size(), 3u);
+}
+
+TEST(DegreeDiscount, DiscountAppliesToNeighborsOfSelected) {
+  // Chain of hubs: 0 -> 1 -> {many}. Node 1 has the top degree; once 1 is
+  // selected nothing changes for 0 (0 is not 1's out-neighbor), but when 0
+  // is a neighbor of a selected node its discounted degree must drop.
+  GraphBuilder b;
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  for (NodeId t = 10; t < 16; ++t) b.add_edge(1, t);  // degree 6
+  for (NodeId t = 20; t < 23; ++t) b.add_edge(4, t);  // degree 3
+  const DiGraph g = b.finalize();
+  const auto picks = degree_discount(g, 3, 0.5);
+  ASSERT_EQ(picks.size(), 3u);
+  EXPECT_EQ(picks[0], 1u);  // top degree 6
+  // After picking 1: dd[0] unchanged? 0 is an in-neighbor of 1, not an
+  // out-neighbor, so no discount — 0 keeps dd=3 and ties with 4; lower id
+  // wins the scan.
+  EXPECT_EQ(picks[1], 0u);
+  // After picking 0: its out-neighbors (1 selected; 2, 3 degree 0) get
+  // discounted; 4 remains at 3 and is next.
+  EXPECT_EQ(picks[2], 4u);
+}
+
+TEST(DegreeDiscount, DiscountDemotesSaturatedNeighbor) {
+  // v's only value is its out-edge into already-influenced territory:
+  // u -> v and v -> u's other target w. Selecting u discounts v below a
+  // fresh node of equal raw degree.
+  GraphBuilder b;
+  b.add_edge(0, 1);   // u = 0 picks first (degree 2)
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);   // v = 1, raw degree 1
+  b.add_edge(4, 5);   // fresh node 4, raw degree 1
+  const DiGraph g = b.finalize();
+  const auto picks = degree_discount(g, 2, 0.5);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0], 0u);
+  // dd[1] = 1 - 2*1 - (1-1)*1*0.5 = -1 < dd[4] = 1.
+  EXPECT_EQ(picks[1], 4u);
+}
+
+TEST(DegreeDiscount, ExcludedNodesNeverPicked) {
+  const DiGraph g = complete_graph(6);
+  const NodeId excluded[] = {0, 1};
+  const auto picks = degree_discount(g, 6, 0.1, excluded);
+  EXPECT_EQ(picks.size(), 4u);
+  for (NodeId v : picks) EXPECT_GT(v, 1u);
+}
+
+TEST(DegreeDiscount, KLargerThanGraphClamps) {
+  const DiGraph g = path_graph(3);
+  const auto picks = degree_discount(g, 100, 0.1);
+  EXPECT_EQ(picks.size(), 3u);
+}
+
+TEST(DegreeDiscount, InvalidProbabilityThrows) {
+  const DiGraph g = path_graph(3);
+  EXPECT_THROW(degree_discount(g, 1, -0.1), Error);
+  EXPECT_THROW(degree_discount(g, 1, 1.1), Error);
+}
+
+}  // namespace
+}  // namespace lcrb

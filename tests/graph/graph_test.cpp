@@ -1,0 +1,80 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace lcrb {
+namespace {
+
+DiGraph triangle() {
+  // 0 -> 1, 1 -> 2, 2 -> 0
+  return make_graph(3, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(DiGraph, EmptyGraph) {
+  DiGraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_out_degree(), 0.0);
+}
+
+TEST(DiGraph, DegreesAndNeighbors) {
+  const DiGraph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.out_degree(v), 1u);
+    EXPECT_EQ(g.in_degree(v), 1u);
+  }
+  ASSERT_EQ(g.out_neighbors(0).size(), 1u);
+  EXPECT_EQ(g.out_neighbors(0)[0], 1u);
+  ASSERT_EQ(g.in_neighbors(0).size(), 1u);
+  EXPECT_EQ(g.in_neighbors(0)[0], 2u);
+}
+
+TEST(DiGraph, HasEdge) {
+  const DiGraph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(DiGraph, OutOfRangeAccessThrows) {
+  const DiGraph g = triangle();
+  EXPECT_THROW(g.out_degree(3), Error);
+  EXPECT_THROW(g.in_degree(99), Error);
+  EXPECT_THROW(g.out_neighbors(3), Error);
+  EXPECT_THROW((void)g.has_edge(0, 3), Error);
+}
+
+TEST(DiGraph, AverageOutDegree) {
+  const DiGraph g = make_graph(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}});
+  EXPECT_DOUBLE_EQ(g.average_out_degree(), 1.0);
+}
+
+TEST(DiGraph, NeighborListsSorted) {
+  const DiGraph g = make_graph(5, {{0, 4}, {0, 1}, {0, 3}, {2, 0}, {1, 0}});
+  const auto nbrs = g.out_neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  const auto in = g.in_neighbors(0);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(DiGraph, IsolatedNodesAllowed) {
+  GraphBuilder b;
+  b.reserve_nodes(10);
+  b.add_edge(0, 1);
+  const DiGraph g = b.finalize();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.out_degree(9), 0u);
+  EXPECT_EQ(g.in_degree(9), 0u);
+  EXPECT_TRUE(g.out_neighbors(9).empty());
+}
+
+}  // namespace
+}  // namespace lcrb

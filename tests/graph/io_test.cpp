@@ -1,0 +1,144 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+TEST(EdgeListIo, ParsesBasicFile) {
+  std::istringstream in(
+      "# comment\n"
+      "% another comment\n"
+      "\n"
+      "0 1\n"
+      "  1 2\n"
+      "2\t0\n");
+  const DiGraph g = load_edge_list(in);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+}
+
+TEST(EdgeListIo, UndirectedFlagSymmetrizes) {
+  std::istringstream in("0 1\n1 2\n");
+  const DiGraph g = load_edge_list(in, /*undirected=*/true);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(EdgeListIo, MalformedLineThrows) {
+  std::istringstream bad1("0 x\n");
+  EXPECT_THROW(load_edge_list(bad1), Error);
+  std::istringstream bad2("0\n");
+  EXPECT_THROW(load_edge_list(bad2), Error);
+  std::istringstream bad3("-1 2\n");
+  EXPECT_THROW(load_edge_list(bad3), Error);
+}
+
+TEST(EdgeListIo, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list("/nonexistent/graph.txt"), Error);
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  Rng rng(8);
+  const DiGraph g = erdos_renyi(60, 0.05, /*directed=*/true, rng);
+  const std::string path = testing::TempDir() + "/lcrb_io_roundtrip.txt";
+  save_edge_list(g, path);
+  const DiGraph h = load_edge_list(path);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto a = g.out_neighbors(u);
+    const auto b = h.out_neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RoundTrip) {
+  Rng rng(9);
+  const DiGraph g = erdos_renyi(80, 0.04, /*directed=*/true, rng);
+  const std::string path = testing::TempDir() + "/lcrb_io_roundtrip.bin";
+  save_binary(g, path);
+  const DiGraph h = load_binary(path);
+  EXPECT_EQ(h.num_nodes(), g.num_nodes());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto a = g.out_neighbors(u);
+    const auto b = h.out_neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, EmptyGraphRoundTrip) {
+  GraphBuilder b;
+  b.reserve_nodes(4);
+  const DiGraph g = b.finalize();
+  const std::string path = testing::TempDir() + "/lcrb_io_empty.bin";
+  save_binary(g, path);
+  const DiGraph h = load_binary(path);
+  EXPECT_EQ(h.num_nodes(), 4u);
+  EXPECT_EQ(h.num_edges(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RejectsCorruptedFile) {
+  const DiGraph g = make_graph(3, {{0, 1}, {1, 2}});
+  const std::string path = testing::TempDir() + "/lcrb_io_corrupt.bin";
+  save_binary(g, path);
+  // Flip a byte in the payload.
+  {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(30);
+    char c = 0x7f;
+    f.write(&c, 1);
+  }
+  EXPECT_THROW(load_binary(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RejectsWrongMagic) {
+  const std::string path = testing::TempDir() + "/lcrb_io_magic.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    const char junk[32] = "this is not a graph at all!";
+    f.write(junk, sizeof junk);
+  }
+  EXPECT_THROW(load_binary(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, RejectsTruncatedFile) {
+  const DiGraph g = make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const std::string path = testing::TempDir() + "/lcrb_io_trunc.bin";
+  save_binary(g, path);
+  // Rewrite with the last 8 bytes (checksum) cut off.
+  std::string bytes;
+  {
+    std::ifstream f(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(f)),
+                 std::istreambuf_iterator<char>());
+  }
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 8));
+  }
+  EXPECT_THROW(load_binary(path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,74 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  // 0 -> 1 -> 2 -> 3, plus 0 -> 3.
+  const DiGraph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  const NodeId pick[] = {1, 2};
+  const InducedSubgraph s = induced_subgraph(g, pick);
+  EXPECT_EQ(s.graph.num_nodes(), 2u);
+  EXPECT_EQ(s.graph.num_edges(), 1u);
+  EXPECT_TRUE(s.graph.has_edge(s.from_original[1], s.from_original[2]));
+}
+
+TEST(InducedSubgraph, MappingRoundTrips) {
+  const DiGraph g = cycle_graph(10);
+  const NodeId pick[] = {7, 3, 9};
+  const InducedSubgraph s = induced_subgraph(g, pick);
+  ASSERT_EQ(s.to_original.size(), 3u);
+  for (NodeId new_id = 0; new_id < 3; ++new_id) {
+    EXPECT_EQ(s.from_original[s.to_original[new_id]], new_id);
+  }
+  EXPECT_EQ(s.from_original[0], kInvalidNode);
+}
+
+TEST(InducedSubgraph, EmptySelection) {
+  const DiGraph g = cycle_graph(5);
+  const InducedSubgraph s = induced_subgraph(g, {});
+  EXPECT_EQ(s.graph.num_nodes(), 0u);
+  EXPECT_EQ(s.graph.num_edges(), 0u);
+}
+
+TEST(InducedSubgraph, DuplicateNodeThrows) {
+  const DiGraph g = cycle_graph(5);
+  const NodeId pick[] = {1, 1};
+  EXPECT_THROW(induced_subgraph(g, pick), Error);
+}
+
+TEST(InducedSubgraph, OutOfRangeThrows) {
+  const DiGraph g = cycle_graph(5);
+  const NodeId pick[] = {10};
+  EXPECT_THROW(induced_subgraph(g, pick), Error);
+}
+
+TEST(InducedSubgraph, WholeGraphIsIsomorphic) {
+  Rng rng(4);
+  const DiGraph g = erdos_renyi(40, 0.1, true, rng);
+  std::vector<NodeId> all(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+  const InducedSubgraph s = induced_subgraph(g, all);
+  EXPECT_EQ(s.graph.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(s.graph.out_degree(s.from_original[u]), g.out_degree(u));
+  }
+}
+
+TEST(InducedSubgraph, EdgeCountNeverExceedsOriginal) {
+  Rng rng(13);
+  const DiGraph g = erdos_renyi(60, 0.08, true, rng);
+  std::vector<NodeId> pick;
+  for (NodeId v = 0; v < 30; ++v) pick.push_back(v * 2);
+  const InducedSubgraph s = induced_subgraph(g, pick);
+  EXPECT_LE(s.graph.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,103 @@
+#include "graph/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+TEST(Transpose, ReversesEveryArc) {
+  Rng rng(1);
+  const DiGraph g = erdos_renyi(60, 0.06, true, rng);
+  const DiGraph t = transpose(g);
+  EXPECT_EQ(t.num_nodes(), g.num_nodes());
+  EXPECT_EQ(t.num_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) {
+      EXPECT_TRUE(t.has_edge(v, u));
+    }
+  }
+}
+
+TEST(Transpose, InvolutionRestoresGraph) {
+  Rng rng(2);
+  const DiGraph g = erdos_renyi(40, 0.1, true, rng);
+  const DiGraph tt = transpose(transpose(g));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto a = g.out_neighbors(u);
+    const auto b = tt.out_neighbors(u);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+  }
+}
+
+TEST(Symmetrize, MakesReciprocityOne) {
+  const DiGraph g = path_graph(6);
+  const DiGraph s = symmetrize(g);
+  EXPECT_DOUBLE_EQ(reciprocity(s), 1.0);
+  EXPECT_EQ(s.num_edges(), 10u);
+}
+
+TEST(Symmetrize, IdempotentOnSymmetricGraphs) {
+  const DiGraph g = cycle_graph(5, /*undirected=*/true);
+  const DiGraph s = symmetrize(g);
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+}
+
+TEST(KCore, PathHasEmptyTwoCore) {
+  // Undirected path: every node has undirected degree <= 2 (as arc pairs
+  // degree counts 4 for middles) — use directed path instead: degrees 1+1.
+  const DiGraph g = path_graph(6);
+  const InducedSubgraph core = k_core(g, 3);
+  EXPECT_EQ(core.graph.num_nodes(), 0u);
+}
+
+TEST(KCore, CliqueSurvives) {
+  const DiGraph g = complete_graph(5);  // total degree 8 everywhere
+  const InducedSubgraph core = k_core(g, 8);
+  EXPECT_EQ(core.graph.num_nodes(), 5u);
+  const InducedSubgraph none = k_core(g, 9);
+  EXPECT_EQ(none.graph.num_nodes(), 0u);
+}
+
+TEST(KCore, PeelsPendantsCascade) {
+  // Clique of 4 with a pendant chain: chain must peel away entirely.
+  GraphBuilder b;
+  for (NodeId u = 0; u < 4; ++u)
+    for (NodeId v = u + 1; v < 4; ++v) b.add_undirected_edge(u, v);
+  b.add_undirected_edge(3, 4);
+  b.add_undirected_edge(4, 5);
+  const DiGraph g = b.finalize();
+  const InducedSubgraph core = k_core(g, 4);  // undirected deg 2 = total 4
+  EXPECT_EQ(core.graph.num_nodes(), 4u);
+  for (NodeId v : core.to_original) EXPECT_LT(v, 4u);
+}
+
+TEST(KCore, ZeroKeepsEverything) {
+  Rng rng(3);
+  const DiGraph g = erdos_renyi(30, 0.05, true, rng);
+  EXPECT_EQ(k_core(g, 0).graph.num_nodes(), g.num_nodes());
+}
+
+TEST(LargestWcc, PicksBiggestComponent) {
+  GraphBuilder b;
+  b.add_edge(0, 1);          // component of 2
+  b.add_edge(2, 3);          // component of 3
+  b.add_edge(3, 4);
+  b.reserve_nodes(6);        // node 5 isolated
+  const DiGraph g = b.finalize();
+  const InducedSubgraph wcc = largest_wcc(g);
+  EXPECT_EQ(wcc.graph.num_nodes(), 3u);
+  EXPECT_EQ(wcc.to_original, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(LargestWcc, EmptyGraph) {
+  EXPECT_EQ(largest_wcc(DiGraph{}).graph.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace lcrb

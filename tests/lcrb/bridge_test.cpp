@@ -1,0 +1,125 @@
+#include "lcrb/bridge.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+// Two communities: {0,1,2} (rumor) and {3,4,5}. Arcs 2->3 (bridge), 4->5.
+DiGraph two_communities() {
+  return make_graph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+}
+
+TEST(BridgeEnds, BasicDetection) {
+  const DiGraph g = two_communities();
+  const Partition p({0, 0, 0, 1, 1, 1});
+  const BridgeEndResult r = find_bridge_ends(g, p, 0, std::vector<NodeId>{0});
+  // Node 3 is the only node outside C_0 with a direct in-neighbor inside.
+  EXPECT_EQ(r.bridge_ends, (std::vector<NodeId>{3}));
+  EXPECT_EQ(r.rumor_dist[3], 3u);
+}
+
+TEST(BridgeEnds, UnreachableBoundaryExcluded) {
+  // 2 -> 3 exists but rumor at 1 cannot reach 2 (arcs point the other way).
+  const DiGraph g = make_graph(4, {{1, 0}, {2, 3}});
+  const Partition p({0, 0, 0, 1});
+  const BridgeEndResult r = find_bridge_ends(g, p, 0, std::vector<NodeId>{1});
+  EXPECT_TRUE(r.bridge_ends.empty());
+}
+
+TEST(BridgeEnds, NodesInsideRumorCommunityExcluded) {
+  const DiGraph g = two_communities();
+  const Partition p({0, 0, 0, 1, 1, 1});
+  const BridgeEndResult r = find_bridge_ends(g, p, 0, std::vector<NodeId>{0});
+  for (NodeId v : r.bridge_ends) EXPECT_NE(p.community_of(v), 0u);
+}
+
+TEST(BridgeEnds, ReachableNonBoundaryExcluded) {
+  const DiGraph g = two_communities();
+  const Partition p({0, 0, 0, 1, 1, 1});
+  const BridgeEndResult r = find_bridge_ends(g, p, 0, std::vector<NodeId>{0});
+  // 4 and 5 are reachable but their in-neighbors are outside C_0.
+  for (NodeId v : {4u, 5u}) {
+    EXPECT_EQ(std::find(r.bridge_ends.begin(), r.bridge_ends.end(), v),
+              r.bridge_ends.end());
+  }
+}
+
+TEST(BridgeEnds, MultipleRumorsMergeDistances) {
+  // Community 0 = {0,1}; two boundary targets at different distances.
+  const DiGraph g = make_graph(4, {{0, 2}, {1, 3}});
+  const Partition p({0, 0, 1, 1});
+  const BridgeEndResult r =
+      find_bridge_ends(g, p, 0, std::vector<NodeId>{0, 1});
+  EXPECT_EQ(r.bridge_ends, (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(r.rumor_dist[2], 1u);
+  EXPECT_EQ(r.rumor_dist[3], 1u);
+}
+
+TEST(BridgeEnds, RumorOutsideCommunityThrows) {
+  const DiGraph g = two_communities();
+  const Partition p({0, 0, 0, 1, 1, 1});
+  EXPECT_THROW(find_bridge_ends(g, p, 0, std::vector<NodeId>{3}), Error);
+}
+
+TEST(BridgeEnds, EmptyRumorsThrow) {
+  const DiGraph g = two_communities();
+  const Partition p({0, 0, 0, 1, 1, 1});
+  EXPECT_THROW(find_bridge_ends(g, p, 0, std::vector<NodeId>{}), Error);
+}
+
+TEST(BridgeEnds, BadCommunityThrows) {
+  const DiGraph g = two_communities();
+  const Partition p({0, 0, 0, 1, 1, 1});
+  EXPECT_THROW(find_bridge_ends(g, p, 7, std::vector<NodeId>{0}), Error);
+}
+
+// Property: on generated community graphs, every reported bridge end
+// satisfies the definition, and every node satisfying it is reported.
+class BridgePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BridgePropertyTest, DefinitionHoldsExactly) {
+  CommunityGraphConfig cfg;
+  cfg.community_sizes = {60, 60, 60, 60};
+  cfg.avg_intra_degree = 5.0;
+  cfg.avg_inter_degree = 1.0;
+  cfg.seed = GetParam();
+  const CommunityGraph cg = make_community_graph(cfg);
+  const Partition p(cg.membership);
+
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<NodeId> rumors;
+  const auto& members = p.members(0);
+  for (int i = 0; i < 3; ++i) {
+    const NodeId v = members[rng.next_below(members.size())];
+    if (std::find(rumors.begin(), rumors.end(), v) == rumors.end()) {
+      rumors.push_back(v);
+    }
+  }
+
+  const BridgeEndResult r = find_bridge_ends(cg.graph, p, 0, rumors);
+
+  std::vector<bool> is_bridge(cg.graph.num_nodes(), false);
+  for (NodeId v : r.bridge_ends) is_bridge[v] = true;
+
+  for (NodeId v = 0; v < cg.graph.num_nodes(); ++v) {
+    const bool reachable = r.rumor_dist[v] != kUnreached;
+    bool boundary = false;
+    for (NodeId w : cg.graph.in_neighbors(v)) {
+      if (p.community_of(w) == 0) boundary = true;
+    }
+    const bool expected =
+        p.community_of(v) != 0 && reachable && boundary;
+    EXPECT_EQ(is_bridge[v], expected) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BridgePropertyTest,
+                         ::testing::Values(1, 2, 3, 10, 77));
+
+}  // namespace
+}  // namespace lcrb

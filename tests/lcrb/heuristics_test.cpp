@@ -1,0 +1,179 @@
+#include "lcrb/heuristics.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "diffusion/doam.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "lcrb/bridge.h"
+
+namespace lcrb {
+namespace {
+
+TEST(MaxDegree, PicksHighestOutDegreeFirst) {
+  // Node 0 degree 3, node 1 degree 2, node 2 degree 1.
+  const DiGraph g = make_graph(5, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3},
+                                   {2, 3}});
+  const auto picks = maxdegree_protectors(g, {}, 2);
+  EXPECT_EQ(picks, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(MaxDegree, ExcludesRumors) {
+  const DiGraph g = star_graph(5);
+  const std::vector<NodeId> rumors{0};
+  const auto picks = maxdegree_protectors(g, rumors, 3);
+  for (NodeId v : picks) EXPECT_NE(v, 0u);
+  EXPECT_EQ(picks.size(), 3u);
+}
+
+TEST(MaxDegree, StableTieBreakByLowId) {
+  const DiGraph g = cycle_graph(6);  // all degree 1
+  const auto picks = maxdegree_protectors(g, {}, 3);
+  EXPECT_EQ(picks, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Proximity, OnlyDirectOutNeighbors) {
+  const DiGraph g = make_graph(6, {{0, 1}, {0, 2}, {1, 3}, {3, 4}});
+  const std::vector<NodeId> rumors{0};
+  Rng rng(3);
+  const auto picks = proximity_protectors(g, rumors, 10, rng);
+  const std::set<NodeId> got(picks.begin(), picks.end());
+  EXPECT_EQ(got, (std::set<NodeId>{1, 2}));  // pool exhausted at 2
+}
+
+TEST(Proximity, ExcludesRumorNeighborsThatAreRumors) {
+  const DiGraph g = make_graph(4, {{0, 1}, {1, 0}, {0, 2}, {1, 3}});
+  const std::vector<NodeId> rumors{0, 1};
+  Rng rng(3);
+  const auto picks = proximity_protectors(g, rumors, 10, rng);
+  const std::set<NodeId> got(picks.begin(), picks.end());
+  EXPECT_EQ(got, (std::set<NodeId>{2, 3}));
+}
+
+TEST(Proximity, SamplesWithoutReplacement) {
+  const DiGraph g = star_graph(20);
+  const std::vector<NodeId> rumors{0};
+  Rng rng(9);
+  const auto picks = proximity_protectors(g, rumors, 10, rng);
+  EXPECT_EQ(picks.size(), 10u);
+  const std::set<NodeId> got(picks.begin(), picks.end());
+  EXPECT_EQ(got.size(), 10u);
+}
+
+TEST(RandomProtectors, DistinctAndExcludeRumors) {
+  const DiGraph g = cycle_graph(30);
+  const std::vector<NodeId> rumors{0, 1, 2};
+  Rng rng(4);
+  const auto picks = random_protectors(g, rumors, 10, rng);
+  EXPECT_EQ(picks.size(), 10u);
+  std::set<NodeId> got(picks.begin(), picks.end());
+  EXPECT_EQ(got.size(), 10u);
+  for (NodeId v : picks) EXPECT_GT(v, 2u);
+}
+
+TEST(PageRank, SumsToOne) {
+  Rng rng(2);
+  const DiGraph g = erdos_renyi(100, 0.05, true, rng);
+  const auto pr = pagerank(g);
+  double sum = 0;
+  for (double x : pr) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRank, HubOutranksLeaves) {
+  // Star pointing inward: center collects rank.
+  GraphBuilder b;
+  for (NodeId v = 1; v < 10; ++v) b.add_edge(v, 0);
+  const DiGraph g = b.finalize();
+  const auto pr = pagerank(g);
+  for (NodeId v = 1; v < 10; ++v) EXPECT_GT(pr[0], pr[v]);
+  const auto picks = pagerank_protectors(g, {}, 1);
+  EXPECT_EQ(picks[0], 0u);
+}
+
+TEST(PageRank, InvalidParamsThrow) {
+  const DiGraph g = path_graph(3);
+  EXPECT_THROW(pagerank(g, 0.0, 10), Error);
+  EXPECT_THROW(pagerank(g, 1.0, 10), Error);
+  EXPECT_THROW(pagerank(g, 0.85, 0), Error);
+}
+
+// ----------------------- cover_cost_doam -----------------------
+
+TEST(CoverCost, MinimalPrefixFound) {
+  // Path 0->1->2->3->4 with bridge end 4: only a protector at distance
+  // <= dist_R(4)=4 from 4 works; candidates ordered badly on purpose.
+  const DiGraph g = path_graph(5);
+  const std::vector<NodeId> rumors{0};
+  const std::vector<NodeId> bridge{4};
+  const std::vector<NodeId> order{1, 2, 3};  // all on the path; 1 suffices
+  const CoverCostResult r = cover_cost_doam(g, rumors, bridge, order);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, 1u);
+  EXPECT_EQ(r.protectors, (std::vector<NodeId>{1}));
+}
+
+TEST(CoverCost, NeedsSeveral) {
+  // Two independent branches; covering both requires both. Order puts a
+  // useless node first.
+  const DiGraph g = make_graph(6, {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {5, 5}});
+  const std::vector<NodeId> rumors{0};
+  const std::vector<NodeId> bridge{2, 4};
+  const std::vector<NodeId> order{5, 1, 3};
+  const CoverCostResult r = cover_cost_doam(g, rumors, bridge, order);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, 3u);
+}
+
+TEST(CoverCost, InfeasiblePoolReported) {
+  const DiGraph g = make_graph(4, {{0, 1}, {1, 2}, {1, 3}});
+  const std::vector<NodeId> rumors{0};
+  const std::vector<NodeId> bridge{2, 3};
+  const std::vector<NodeId> order{2};  // can never save 3
+  const CoverCostResult r = cover_cost_doam(g, rumors, bridge, order);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.cost, 1u);
+}
+
+TEST(CoverCost, EmptyBridgeEndsZeroCost) {
+  const DiGraph g = path_graph(3);
+  const CoverCostResult r =
+      cover_cost_doam(g, std::vector<NodeId>{0}, {}, std::vector<NodeId>{1});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.cost, 0u);
+}
+
+TEST(CoverCost, PrefixMonotonicityHolds) {
+  // On a generated community graph: if prefix k covers, prefix k+1 covers.
+  CommunityGraphConfig cfg;
+  cfg.community_sizes = {50, 50};
+  cfg.avg_inter_degree = 1.0;
+  cfg.seed = 7;
+  const CommunityGraph cg = make_community_graph(cfg);
+  const Partition p(cg.membership);
+  const std::vector<NodeId> rumors{p.members(0)[0], p.members(0)[1]};
+  const BridgeEndResult b = find_bridge_ends(cg.graph, p, 0, rumors);
+  if (b.bridge_ends.empty()) GTEST_SKIP();
+
+  const auto order = maxdegree_protectors(cg.graph, rumors, 100);
+  const CoverCostResult r =
+      cover_cost_doam(cg.graph, rumors, b.bridge_ends, order);
+  if (!r.feasible) GTEST_SKIP();
+  // Check the reported prefix really covers and prefix-1 does not.
+  auto covers = [&](std::size_t k) {
+    SeedSets seeds;
+    seeds.rumors = rumors;
+    seeds.protectors.assign(order.begin(), order.begin() + k);
+    const auto saved = doam_saved(cg.graph, seeds, b.bridge_ends);
+    return std::all_of(saved.begin(), saved.end(), [](bool s) { return s; });
+  };
+  EXPECT_TRUE(covers(r.cost));
+  if (r.cost > 0) {
+    EXPECT_FALSE(covers(r.cost - 1));
+  }
+}
+
+}  // namespace
+}  // namespace lcrb

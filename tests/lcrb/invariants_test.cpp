@@ -1,0 +1,110 @@
+// Randomized invariant tests across the core algorithms.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "lcrb/bbst.h"
+#include "lcrb/bridge.h"
+#include "lcrb/rfst.h"
+#include "lcrb/setcover.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+class CoreInvariantTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    CommunityGraphConfig cfg;
+    cfg.community_sizes = {70, 70, 70};
+    cfg.avg_intra_degree = 5.0;
+    cfg.avg_inter_degree = 1.0;
+    cfg.seed = GetParam();
+    cg = make_community_graph(cfg);
+    p = Partition(cg.membership);
+    Rng rng(GetParam() * 17 + 5);
+    const auto& members = p.members(0);
+    std::set<NodeId> picks;
+    while (picks.size() < 3) {
+      picks.insert(members[rng.next_below(members.size())]);
+    }
+    rumors.assign(picks.begin(), picks.end());
+    bridges = find_bridge_ends(cg.graph, p, 0, rumors);
+  }
+
+  CommunityGraph cg;
+  Partition p;
+  std::vector<NodeId> rumors;
+  BridgeEndResult bridges;
+};
+
+TEST_P(CoreInvariantTest, RfstPathLengthsEqualDistances) {
+  const RumorForest f = build_rfst(cg.graph, rumors);
+  for (NodeId v = 0; v < cg.graph.num_nodes(); ++v) {
+    if (!f.reaches(v)) continue;
+    const auto path = f.path_to_root(v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.size(), f.dist[v] + 1);
+    // Path ends at a rumor originator and every hop is a real arc.
+    EXPECT_NE(std::find(rumors.begin(), rumors.end(), path.back()),
+              rumors.end());
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(cg.graph.has_edge(path[i + 1], path[i]))
+          << path[i + 1] << "->" << path[i];
+    }
+  }
+}
+
+TEST_P(CoreInvariantTest, BbstMembershipIsExactlyTimelyReachability) {
+  const auto bbsts =
+      build_all_bbsts(cg.graph, bridges.bridge_ends, bridges.rumor_dist,
+                      rumors);
+  std::set<NodeId> rumor_set(rumors.begin(), rumors.end());
+  for (const Bbst& q : bbsts) {
+    // Membership <=> dist(w, root) <= depth_limit, w not a rumor.
+    const BfsResult back =
+        bfs_backward(cg.graph, std::vector<NodeId>{q.root});
+    std::set<NodeId> members(q.nodes.begin(), q.nodes.end());
+    for (NodeId w = 0; w < cg.graph.num_nodes(); ++w) {
+      const bool expected = back.dist[w] != kUnreached &&
+                            back.dist[w] <= q.depth_limit &&
+                            rumor_set.count(w) == 0;
+      EXPECT_EQ(members.count(w) == 1, expected)
+          << "root " << q.root << " node " << w;
+    }
+  }
+}
+
+TEST_P(CoreInvariantTest, GreedyCoverPicksAlwaysAddCoverage) {
+  const auto bbsts =
+      build_all_bbsts(cg.graph, bridges.bridge_ends, bridges.rumor_dist,
+                      rumors);
+  if (bridges.bridge_ends.empty()) GTEST_SKIP();
+  const SwSets sw = invert_bbsts(bbsts, cg.graph.num_nodes());
+  SetCoverInstance inst;
+  inst.universe_size = static_cast<std::uint32_t>(bridges.bridge_ends.size());
+  inst.sets = sw.sets;
+  const SetCoverResult r = greedy_set_cover(inst);
+  EXPECT_TRUE(r.complete);
+
+  // Replay: every chosen set must add at least one new element, and the
+  // marginal coverage sequence must be non-increasing (greedy order).
+  std::set<std::uint32_t> covered;
+  std::size_t prev_gain = inst.universe_size + 1;
+  for (std::uint32_t idx : r.chosen) {
+    std::size_t gain = 0;
+    for (std::uint32_t e : inst.sets[idx]) gain += covered.insert(e).second;
+    EXPECT_GT(gain, 0u);
+    EXPECT_LE(gain, prev_gain);
+    prev_gain = gain;
+  }
+  EXPECT_EQ(covered.size(), inst.universe_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoreInvariantTest,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace lcrb

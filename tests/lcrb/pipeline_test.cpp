@@ -1,0 +1,136 @@
+#include "lcrb/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+
+namespace lcrb {
+namespace {
+
+struct PipelineFixture : public ::testing::Test {
+  void SetUp() override {
+    CommunityGraphConfig cfg;
+    cfg.community_sizes = {60, 60, 60};
+    cfg.avg_intra_degree = 6.0;
+    cfg.avg_inter_degree = 1.0;
+    cfg.seed = 5;
+    cg = make_community_graph(cfg);
+    p = Partition(cg.membership);
+  }
+  CommunityGraph cg;
+  Partition p;
+};
+
+TEST_F(PipelineFixture, PrepareSamplesRumorsInsideCommunity) {
+  const ExperimentSetup s = prepare_experiment(cg.graph, p, 0, 5, 17);
+  EXPECT_EQ(s.rumors.size(), 5u);
+  std::set<NodeId> distinct(s.rumors.begin(), s.rumors.end());
+  EXPECT_EQ(distinct.size(), 5u);
+  for (NodeId r : s.rumors) EXPECT_EQ(p.community_of(r), 0u);
+  EXPECT_EQ(s.rumor_community, 0u);
+}
+
+TEST_F(PipelineFixture, PrepareDeterministicInSeed) {
+  const ExperimentSetup a = prepare_experiment(cg.graph, p, 0, 4, 9);
+  const ExperimentSetup b = prepare_experiment(cg.graph, p, 0, 4, 9);
+  EXPECT_EQ(a.rumors, b.rumors);
+  EXPECT_EQ(a.bridges.bridge_ends, b.bridges.bridge_ends);
+  const ExperimentSetup c = prepare_experiment(cg.graph, p, 0, 4, 10);
+  EXPECT_NE(a.rumors, c.rumors);
+}
+
+TEST_F(PipelineFixture, PrepareRejectsBadCounts) {
+  EXPECT_THROW(prepare_experiment(cg.graph, p, 0, 0, 1), Error);
+  EXPECT_THROW(prepare_experiment(cg.graph, p, 0, 100, 1), Error);
+  EXPECT_THROW(prepare_experiment(cg.graph, p, 9, 2, 1), Error);
+}
+
+TEST_F(PipelineFixture, SelectorsRespectBudgetAndExcludeRumors) {
+  const ExperimentSetup s = prepare_experiment(cg.graph, p, 0, 4, 21);
+  SelectorConfig cfg;
+  cfg.budget = 6;
+  const std::set<NodeId> rumor_set(s.rumors.begin(), s.rumors.end());
+  for (SelectorKind kind :
+       {SelectorKind::kMaxDegree, SelectorKind::kProximity,
+        SelectorKind::kRandom, SelectorKind::kPageRank}) {
+    const auto picks = select_protectors(kind, s, cfg);
+    EXPECT_LE(picks.size(), 6u) << to_string(kind);
+    for (NodeId v : picks) {
+      EXPECT_EQ(rumor_set.count(v), 0u) << to_string(kind);
+    }
+  }
+}
+
+TEST_F(PipelineFixture, GvsSelectorReducesInfections) {
+  const ExperimentSetup s = prepare_experiment(cg.graph, p, 0, 4, 31);
+  SelectorConfig cfg;
+  cfg.budget = 6;
+  cfg.gvs.samples = 10;
+  const auto picks = select_protectors(SelectorKind::kGvs, s, cfg);
+  EXPECT_EQ(picks.size(), 6u);
+  MonteCarloConfig mc;
+  mc.runs = 30;
+  const HopSeries with = evaluate_protectors(s, picks, mc);
+  const HopSeries without = evaluate_protectors(s, {}, mc);
+  EXPECT_LT(with.final_infected_mean, without.final_infected_mean);
+}
+
+TEST_F(PipelineFixture, NoBlockingIsEmpty) {
+  const ExperimentSetup s = prepare_experiment(cg.graph, p, 0, 3, 21);
+  EXPECT_TRUE(select_protectors(SelectorKind::kNoBlocking, s, {}).empty());
+}
+
+TEST_F(PipelineFixture, ScbgSelectorProtectsEverything) {
+  const ExperimentSetup s = prepare_experiment(cg.graph, p, 0, 4, 23);
+  const auto picks = select_protectors(SelectorKind::kScbg, s, {});
+  MonteCarloConfig mc;
+  mc.model = DiffusionModel::kDoam;
+  mc.max_hops = 40;
+  const HopSeries series = evaluate_protectors(s, picks, mc);
+  EXPECT_DOUBLE_EQ(series.saved_fraction_mean, 1.0);
+}
+
+TEST_F(PipelineFixture, GreedySelectorImprovesOverNoBlocking) {
+  const ExperimentSetup s = prepare_experiment(cg.graph, p, 0, 4, 25);
+  if (s.bridges.bridge_ends.empty()) GTEST_SKIP();
+
+  SelectorConfig cfg;
+  cfg.greedy.alpha = 0.6;
+  cfg.greedy.sigma.samples = 15;
+  cfg.greedy.max_protectors = 20;
+  const auto picks = select_protectors(SelectorKind::kGreedy, s, cfg);
+
+  MonteCarloConfig mc;
+  mc.runs = 40;
+  mc.max_hops = 31;
+  const HopSeries with = evaluate_protectors(s, picks, mc);
+  const HopSeries without = evaluate_protectors(s, {}, mc);
+  EXPECT_GT(with.saved_fraction_mean, without.saved_fraction_mean);
+  EXPECT_LE(with.final_infected_mean, without.final_infected_mean);
+}
+
+TEST_F(PipelineFixture, SelectorNames) {
+  EXPECT_EQ(to_string(SelectorKind::kGreedy), "Greedy");
+  EXPECT_EQ(to_string(SelectorKind::kScbg), "SCBG");
+  EXPECT_EQ(to_string(SelectorKind::kMaxDegree), "MaxDegree");
+  EXPECT_EQ(to_string(SelectorKind::kProximity), "Proximity");
+  EXPECT_EQ(to_string(SelectorKind::kRandom), "Random");
+  EXPECT_EQ(to_string(SelectorKind::kPageRank), "PageRank");
+  EXPECT_EQ(to_string(SelectorKind::kGvs), "GVS");
+  EXPECT_EQ(to_string(SelectorKind::kNoBlocking), "NoBlocking");
+}
+
+TEST_F(PipelineFixture, EvaluateReportsHopSeries) {
+  const ExperimentSetup s = prepare_experiment(cg.graph, p, 0, 3, 29);
+  MonteCarloConfig mc;
+  mc.runs = 10;
+  mc.max_hops = 12;
+  const HopSeries series = evaluate_protectors(s, {}, mc);
+  EXPECT_EQ(series.infected_mean.size(), 13u);
+  EXPECT_GE(series.final_infected_mean, 3.0);  // at least the seeds
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/traversal.h"
+#include "lcrb/bbst.h"
+#include "lcrb/rfst.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+// ------------------------------ RFST ------------------------------
+
+TEST(Rfst, PathForest) {
+  const DiGraph g = path_graph(5);
+  const RumorForest f = build_rfst(g, std::vector<NodeId>{0});
+  EXPECT_EQ(f.size(), 5u);
+  EXPECT_EQ(f.dist[4], 4u);
+  EXPECT_EQ(f.path_to_root(4), (std::vector<NodeId>{4, 3, 2, 1, 0}));
+  EXPECT_EQ(f.path_to_root(0), (std::vector<NodeId>{0}));
+}
+
+TEST(Rfst, MultiRootForest) {
+  const DiGraph g = make_graph(6, {{0, 2}, {1, 3}, {2, 4}, {3, 5}});
+  const RumorForest f = build_rfst(g, std::vector<NodeId>{0, 1});
+  EXPECT_EQ(f.roots, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(f.path_to_root(4).back(), 0u);
+  EXPECT_EQ(f.path_to_root(5).back(), 1u);
+}
+
+TEST(Rfst, UnreachedNodesHaveEmptyPath) {
+  const DiGraph g = make_graph(4, {{0, 1}, {2, 3}});
+  const RumorForest f = build_rfst(g, std::vector<NodeId>{0});
+  EXPECT_FALSE(f.reaches(3));
+  EXPECT_TRUE(f.path_to_root(3).empty());
+  EXPECT_EQ(f.size(), 2u);
+}
+
+TEST(Rfst, EmptyRumorsThrow) {
+  const DiGraph g = path_graph(3);
+  EXPECT_THROW(build_rfst(g, std::vector<NodeId>{}), Error);
+}
+
+// ------------------------------ BBST ------------------------------
+
+TEST(Bbst, DepthLimitIsRumorDistance) {
+  // 0 -> 1 -> 2 -> v(3); side protector chain 5 -> 4 -> 3.
+  const DiGraph g = make_graph(6, {{0, 1}, {1, 2}, {2, 3}, {4, 3}, {5, 4}});
+  const Bbst q = build_bbst(g, 3, 3, std::vector<NodeId>{0});
+  EXPECT_EQ(q.root, 3u);
+  EXPECT_EQ(q.depth_limit, 3u);
+  // Backward BFS from 3 within 3 hops: {3, 2, 4, 1, 5} minus rumor {0}.
+  std::vector<NodeId> sorted = q.nodes;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<NodeId>{1, 2, 3, 4, 5}));
+}
+
+TEST(Bbst, RumorsExcluded) {
+  const DiGraph g = path_graph(4);
+  const Bbst q = build_bbst(g, 3, 3, std::vector<NodeId>{0});
+  EXPECT_EQ(std::find(q.nodes.begin(), q.nodes.end(), 0u), q.nodes.end());
+  // Root itself always present (N^0(v) = v).
+  EXPECT_EQ(q.nodes.front(), 3u);
+}
+
+TEST(Bbst, EveryMemberCanReachRootInTime) {
+  Rng rng(5);
+  const DiGraph g = erdos_renyi(100, 0.05, true, rng);
+  const std::vector<NodeId> rumors{0, 1};
+  const BfsResult rd = bfs_forward(g, rumors);
+  // Pick a reachable node as a pseudo bridge end.
+  NodeId root = kInvalidNode;
+  for (NodeId v = 10; v < g.num_nodes(); ++v) {
+    if (rd.dist[v] != kUnreached && rd.dist[v] >= 2) {
+      root = v;
+      break;
+    }
+  }
+  ASSERT_NE(root, kInvalidNode);
+
+  const Bbst q = build_bbst(g, root, rd.dist[root], rumors);
+  const BfsResult to_root = bfs_backward(g, std::vector<NodeId>{root});
+  for (std::size_t i = 0; i < q.nodes.size(); ++i) {
+    EXPECT_EQ(q.depth[i], to_root.dist[q.nodes[i]]);
+    EXPECT_LE(q.depth[i], q.depth_limit);
+  }
+}
+
+TEST(Bbst, UnreachableRootRejected) {
+  const DiGraph g = path_graph(3);
+  EXPECT_THROW(build_bbst(g, 2, kUnreached, std::vector<NodeId>{0}), Error);
+}
+
+TEST(BuildAllBbsts, OnePerBridgeEnd) {
+  const DiGraph g = make_graph(6, {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {4, 5}});
+  const std::vector<NodeId> bridge_ends{2, 5};
+  const BfsResult rd = bfs_forward(g, std::vector<NodeId>{0});
+  const auto bbsts =
+      build_all_bbsts(g, bridge_ends, rd.dist, std::vector<NodeId>{0});
+  ASSERT_EQ(bbsts.size(), 2u);
+  EXPECT_EQ(bbsts[0].root, 2u);
+  EXPECT_EQ(bbsts[1].root, 5u);
+}
+
+TEST(InvertBbsts, SwSetsAreExactMembership) {
+  // Candidate u protects exactly the bridge ends whose BBST contains it.
+  const DiGraph g = make_graph(7, {{0, 1}, {1, 2}, {1, 3}, {4, 2}, {4, 3},
+                                   {5, 4}, {6, 5}});
+  const std::vector<NodeId> bridge_ends{2, 3};
+  const BfsResult rd = bfs_forward(g, std::vector<NodeId>{0});
+  const auto bbsts =
+      build_all_bbsts(g, bridge_ends, rd.dist, std::vector<NodeId>{0});
+  const SwSets sw = invert_bbsts(bbsts, g.num_nodes());
+
+  // Node 4 reaches both 2 and 3 in one hop (rumor distance 2): in both sets.
+  const auto it = std::find(sw.candidates.begin(), sw.candidates.end(), 4u);
+  ASSERT_NE(it, sw.candidates.end());
+  const auto& set4 = sw.sets[static_cast<std::size_t>(it - sw.candidates.begin())];
+  EXPECT_EQ(set4.size(), 2u);
+
+  // Cross-check every (candidate, set) pair against the BBST contents.
+  for (std::size_t i = 0; i < sw.candidates.size(); ++i) {
+    const NodeId u = sw.candidates[i];
+    for (std::uint32_t b : sw.sets[i]) {
+      const auto& nodes = bbsts[b].nodes;
+      EXPECT_NE(std::find(nodes.begin(), nodes.end(), u), nodes.end());
+    }
+  }
+  // Total SW memberships == total BBST node count.
+  std::size_t total_sw = 0, total_bbst = 0;
+  for (const auto& s : sw.sets) total_sw += s.size();
+  for (const auto& q : bbsts) total_bbst += q.nodes.size();
+  EXPECT_EQ(total_sw, total_bbst);
+}
+
+}  // namespace
+}  // namespace lcrb

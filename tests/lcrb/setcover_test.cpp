@@ -1,0 +1,142 @@
+#include "lcrb/setcover.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+TEST(GreedySetCover, EmptyUniverseTriviallyComplete) {
+  SetCoverInstance inst;
+  const SetCoverResult r = greedy_set_cover(inst);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.chosen.empty());
+}
+
+TEST(GreedySetCover, SingleSetCoversAll) {
+  SetCoverInstance inst;
+  inst.universe_size = 3;
+  inst.sets = {{0, 1, 2}, {0}, {1}};
+  const SetCoverResult r = greedy_set_cover(inst);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.chosen, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(GreedySetCover, PicksLargestFirst) {
+  SetCoverInstance inst;
+  inst.universe_size = 5;
+  inst.sets = {{0, 1}, {2, 3, 4}, {0, 4}};
+  const SetCoverResult r = greedy_set_cover(inst);
+  EXPECT_TRUE(r.complete);
+  ASSERT_EQ(r.chosen.size(), 2u);
+  EXPECT_EQ(r.chosen[0], 1u);  // the 3-element set first
+  EXPECT_EQ(r.chosen[1], 0u);
+}
+
+TEST(GreedySetCover, PartialCoverageReported) {
+  SetCoverInstance inst;
+  inst.universe_size = 4;
+  inst.sets = {{0, 1}, {1}};
+  const SetCoverResult r = greedy_set_cover(inst);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.covered, 2u);
+  EXPECT_EQ(r.chosen, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(GreedySetCover, DuplicateElementsDoNotInflate) {
+  SetCoverInstance inst;
+  inst.universe_size = 2;
+  inst.sets = {{0, 0, 0}, {0, 1}};
+  const SetCoverResult r = greedy_set_cover(inst);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.chosen, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(GreedySetCover, ElementOutOfUniverseThrows) {
+  SetCoverInstance inst;
+  inst.universe_size = 2;
+  inst.sets = {{0, 5}};
+  EXPECT_THROW(greedy_set_cover(inst), Error);
+}
+
+TEST(GreedySetCover, ClassicLogFactorExample) {
+  // The standard bad instance: greedy picks the big "half" sets instead of
+  // the two-set optimum. Checks the H_n bound, not optimality.
+  SetCoverInstance inst;
+  inst.universe_size = 14;
+  // Optimal pair: odds and evens.
+  inst.sets = {{0, 2, 4, 6, 8, 10, 12}, {1, 3, 5, 7, 9, 11, 13},
+               // Geometric ladders greedy prefers.
+               {6, 7, 8, 9, 10, 11, 12, 13},
+               {2, 3, 4, 5},
+               {0, 1}};
+  const SetCoverResult greedy = greedy_set_cover(inst);
+  const SetCoverResult exact = exact_set_cover(inst);
+  EXPECT_TRUE(greedy.complete);
+  EXPECT_EQ(exact.chosen.size(), 2u);
+  const double hn = std::log(14.0) + 1.0;
+  EXPECT_LE(static_cast<double>(greedy.chosen.size()),
+            hn * static_cast<double>(exact.chosen.size()));
+}
+
+TEST(ExactSetCover, FindsMinimum) {
+  SetCoverInstance inst;
+  inst.universe_size = 4;
+  inst.sets = {{0}, {1}, {2}, {3}, {0, 1}, {2, 3}};
+  const SetCoverResult r = exact_set_cover(inst);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.chosen.size(), 2u);
+}
+
+TEST(ExactSetCover, ReportsInfeasible) {
+  SetCoverInstance inst;
+  inst.universe_size = 3;
+  inst.sets = {{0}, {1}};
+  const SetCoverResult r = exact_set_cover(inst);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.covered, 2u);
+}
+
+TEST(ExactSetCover, TooLargeThrows) {
+  SetCoverInstance inst;
+  inst.universe_size = 1;
+  inst.sets.assign(30, {0});
+  EXPECT_THROW(exact_set_cover(inst, 24), Error);
+}
+
+// Property: on random instances, greedy is complete whenever exact is, and
+// within the H_n guarantee.
+class SetCoverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SetCoverPropertyTest, GreedyWithinHnOfOptimal) {
+  Rng rng(GetParam());
+  SetCoverInstance inst;
+  inst.universe_size = 12;
+  const std::size_t m = 10;
+  inst.sets.resize(m);
+  for (auto& s : inst.sets) {
+    for (std::uint32_t e = 0; e < inst.universe_size; ++e) {
+      if (rng.next_bool(0.3)) s.push_back(e);
+    }
+  }
+  const SetCoverResult greedy = greedy_set_cover(inst);
+  const SetCoverResult exact = exact_set_cover(inst);
+  EXPECT_EQ(greedy.complete, exact.complete);
+  EXPECT_EQ(greedy.covered >= exact.covered, true);
+  if (exact.complete) {
+    double hn = 0.0;
+    for (std::uint32_t i = 1; i <= inst.universe_size; ++i) hn += 1.0 / i;
+    EXPECT_LE(static_cast<double>(greedy.chosen.size()),
+              hn * static_cast<double>(exact.chosen.size()) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetCoverPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,125 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+TEST(DynamicBitset, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(DynamicBitset, SetTestClear) {
+  DynamicBitset b(130);  // crosses a word boundary
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.clear(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(DynamicBitset, SetIfClear) {
+  DynamicBitset b(10);
+  EXPECT_TRUE(b.set_if_clear(5));
+  EXPECT_FALSE(b.set_if_clear(5));
+  EXPECT_TRUE(b.test(5));
+}
+
+TEST(DynamicBitset, ResetClearsEverything) {
+  DynamicBitset b(200);
+  for (std::size_t i = 0; i < 200; i += 3) b.set(i);
+  EXPECT_GT(b.count(), 0u);
+  b.reset();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(DynamicBitset, OutOfRangeThrows) {
+  DynamicBitset b(10);
+  EXPECT_THROW(b.test(10), Error);
+  EXPECT_THROW(b.set(10), Error);
+  EXPECT_THROW(b.clear(100), Error);
+}
+
+TEST(DynamicBitset, SetOperations) {
+  DynamicBitset a(70), b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  b.set(2);
+  EXPECT_TRUE(a.intersects(b));
+
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  EXPECT_TRUE(u.test(1) && u.test(2) && u.test(65));
+
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(65));
+
+  DynamicBitset d = a;
+  d.subtract(b);
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+}
+
+TEST(DynamicBitset, IntersectsFalseWhenDisjoint) {
+  DynamicBitset a(64), b(64);
+  a.set(3);
+  b.set(4);
+  EXPECT_FALSE(a.intersects(b));
+}
+
+TEST(DynamicBitset, SizeMismatchThrows) {
+  DynamicBitset a(10), b(20);
+  EXPECT_THROW(a.intersects(b), Error);
+  EXPECT_THROW(a |= b, Error);
+  EXPECT_THROW(a &= b, Error);
+  EXPECT_THROW(a.subtract(b), Error);
+}
+
+TEST(DynamicBitset, ToIndicesAscending) {
+  DynamicBitset b(300);
+  std::vector<std::uint32_t> want{0, 7, 64, 128, 255, 299};
+  for (auto i : want) b.set(i);
+  EXPECT_EQ(b.to_indices(), want);
+}
+
+TEST(DynamicBitset, CountMatchesBruteForceRandom) {
+  Rng rng(77);
+  DynamicBitset b(1000);
+  std::size_t expected = 0;
+  for (int i = 0; i < 500; ++i) {
+    const auto idx = rng.next_below(1000);
+    if (b.set_if_clear(idx)) ++expected;
+  }
+  EXPECT_EQ(b.count(), expected);
+  EXPECT_EQ(b.to_indices().size(), expected);
+}
+
+TEST(DynamicBitset, EqualityComparesContents) {
+  DynamicBitset a(64), b(64);
+  EXPECT_EQ(a, b);
+  a.set(5);
+  EXPECT_NE(a, b);
+  b.set(5);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace lcrb

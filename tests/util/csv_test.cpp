@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/error.h"
+
+namespace lcrb {
+namespace {
+
+TEST(CsvWriter, BasicRows) {
+  CsvWriter w;
+  w.write_header({"a", "b"});
+  w.write_row({"1", "2"});
+  w.write_values(3, 4.5);
+  EXPECT_EQ(w.str(), "a,b\n1,2\n3,4.5\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  CsvWriter w;
+  w.write_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(w.str(), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvWriter, RowWidthValidatedAgainstHeader) {
+  CsvWriter w;
+  w.write_header({"x", "y", "z"});
+  EXPECT_THROW(w.write_row({"1", "2"}), Error);
+  EXPECT_NO_THROW(w.write_row({"1", "2", "3"}));
+}
+
+TEST(CsvWriter, DoubleHeaderThrows) {
+  CsvWriter w;
+  w.write_header({"a"});
+  EXPECT_THROW(w.write_header({"b"}), Error);
+}
+
+TEST(CsvWriter, EmptyHeaderThrows) {
+  CsvWriter w;
+  EXPECT_THROW(w.write_header({}), Error);
+}
+
+TEST(CsvWriter, WritesToFile) {
+  const std::string path = testing::TempDir() + "/lcrb_csv_test.csv";
+  {
+    CsvWriter w(path);
+    w.write_header({"hop", "infected"});
+    w.write_values(1, 10);
+  }
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all, "hop,infected\n1,10\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"), Error);
+}
+
+TEST(CsvWriter, StrOnFileWriterThrows) {
+  const std::string path = testing::TempDir() + "/lcrb_csv_test2.csv";
+  CsvWriter w(path);
+  EXPECT_THROW((void)w.str(), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,101 @@
+// Randomized differential tests: library containers vs STL references.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/args.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace lcrb {
+namespace {
+
+class BitsetFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitsetFuzzTest, MatchesVectorBoolReference) {
+  Rng rng(GetParam());
+  const std::size_t n = 257;  // crosses word boundaries awkwardly
+  DynamicBitset bs(n);
+  std::vector<bool> ref(n, false);
+
+  for (int op = 0; op < 2000; ++op) {
+    const std::size_t i = rng.next_below(n);
+    switch (rng.next_below(4)) {
+      case 0:
+        bs.set(i);
+        ref[i] = true;
+        break;
+      case 1:
+        bs.clear(i);
+        ref[i] = false;
+        break;
+      case 2: {
+        const bool was_clear = !ref[i];
+        EXPECT_EQ(bs.set_if_clear(i), was_clear);
+        ref[i] = true;
+        break;
+      }
+      case 3:
+        EXPECT_EQ(bs.test(i), ref[i]) << "bit " << i;
+        break;
+    }
+  }
+  std::size_t ref_count = 0;
+  for (bool b : ref) ref_count += b;
+  EXPECT_EQ(bs.count(), ref_count);
+  const auto idx = bs.to_indices();
+  ASSERT_EQ(idx.size(), ref_count);
+  for (auto i : idx) EXPECT_TRUE(ref[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ArgsEdgeCases, NegativeNumbersAsValues) {
+  Args a({"--delta", "-5", "--rate", "-0.25"});
+  EXPECT_EQ(a.get_int("delta", 0), -5);
+  EXPECT_DOUBLE_EQ(a.get_double("rate", 0), -0.25);
+}
+
+TEST(ArgsEdgeCases, EmptyValueViaEquals) {
+  Args a({"--name="});
+  EXPECT_TRUE(a.has("name"));
+  EXPECT_EQ(a.get_string("name", "def"), "");
+}
+
+TEST(ArgsEdgeCases, RepeatedFlagLastWins) {
+  Args a({"--k", "1", "--k", "2"});
+  EXPECT_EQ(a.get_int("k", 0), 2);
+}
+
+TEST(RunningStatsFuzz, MergeTreeEqualsFlat) {
+  Rng rng(9);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.next_double() * 100 - 50);
+
+  RunningStats flat;
+  for (double x : xs) flat.add(x);
+
+  // Merge pairwise in a tree.
+  std::vector<RunningStats> leaves(8);
+  for (std::size_t i = 0; i < xs.size(); ++i) leaves[i % 8].add(xs[i]);
+  while (leaves.size() > 1) {
+    std::vector<RunningStats> next;
+    for (std::size_t i = 0; i + 1 < leaves.size(); i += 2) {
+      RunningStats m = leaves[i];
+      m.merge(leaves[i + 1]);
+      next.push_back(m);
+    }
+    if (leaves.size() % 2) next.push_back(leaves.back());
+    leaves = next;
+  }
+  EXPECT_EQ(leaves[0].count(), flat.count());
+  EXPECT_NEAR(leaves[0].mean(), flat.mean(), 1e-9);
+  EXPECT_NEAR(leaves[0].variance(), flat.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(leaves[0].min(), flat.min());
+  EXPECT_DOUBLE_EQ(leaves[0].max(), flat.max());
+}
+
+}  // namespace
+}  // namespace lcrb

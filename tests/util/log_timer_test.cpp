@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace lcrb {
+namespace {
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(t.millis(), t.seconds() * 1000.0, 50.0);
+}
+
+TEST(Timer, RestartResets) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.restart();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(before);
+}
+
+TEST(Log, SuppressedLevelsDoNotCrash) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Off);
+  LCRB_LOG_DEBUG << "dropped " << 1;
+  LCRB_LOG_INFO << "dropped " << 2.5;
+  LCRB_LOG_WARN << "dropped";
+  LCRB_LOG_ERROR << "dropped";
+  set_log_level(before);
+}
+
+TEST(Log, ConcurrentLoggingIsSafe) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Off);  // exercise the path without spamming stderr
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) {
+        log_message(LogLevel::Info, "thread " + std::to_string(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace lcrb

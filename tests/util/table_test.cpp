@@ -1,0 +1,65 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace lcrb {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| x      | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TextTable, EmptyRendersEmpty) {
+  TextTable t;
+  EXPECT_EQ(t.render(), "");
+}
+
+TEST(TextTable, NoHeaderStillRenders) {
+  TextTable t;
+  t.add_row({"a", "b"});
+  EXPECT_EQ(t.render(), "| a | b |\n");
+}
+
+TEST(TextTable, ShortRowsPadded) {
+  TextTable t;
+  t.set_header({"c1", "c2", "c3"});
+  t.add_row({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| only |    |    |"), std::string::npos);
+}
+
+TEST(TextTable, AddValuesStringifies) {
+  TextTable t;
+  t.add_values("row", 42, 2.5);
+  EXPECT_EQ(t.render(), "| row | 42 | 2.5 |\n");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TextTable, PrintWritesToStream) {
+  TextTable t;
+  t.add_row({"z"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), "| z |\n");
+}
+
+TEST(Fixed, FormatsDecimals) {
+  EXPECT_EQ(fixed(32.94), "32.9");
+  EXPECT_EQ(fixed(32.96), "33.0");
+  EXPECT_EQ(fixed(1.0, 2), "1.00");
+  EXPECT_EQ(fixed(0.0, 0), "0");
+}
+
+}  // namespace
+}  // namespace lcrb

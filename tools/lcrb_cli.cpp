@@ -1,0 +1,382 @@
+// lcrb — command-line front end for the rumor-blocking library.
+//
+// Subcommands (all read SNAP-style edge lists; see --help):
+//   info <graph>                      structural summary
+//   communities <graph>               detect + quality report
+//   bridges <graph>                   rumor community -> bridge ends
+//   scbg <graph>                      LCRB-D protector seeds (full protection)
+//   greedy <graph>                    LCRB-P protector seeds (alpha fraction)
+//   simulate <graph>                  run one diffusion and print the curve
+//   locate <graph>                    rumor-source localization from a snapshot
+//
+// Common flags:
+//   --undirected            symmetrize the edge list on load
+//   --seed N                master seed (default 1)
+//   --method louvain|lp     community detection (default louvain)
+//   --membership m.csv      reuse a saved partition instead of detecting
+//   --community-size N      pick the community closest to N (default 100)
+//   --rumors K              number of rumor originators (default 5)
+//   --rumor-ids a,b,c       explicit originators (overrides --rumors)
+// See each subcommand below for its extras.
+#include <iostream>
+#include <sstream>
+
+#include "lcrb/lcrb.h"
+
+namespace {
+
+using namespace lcrb;
+
+std::vector<NodeId> parse_ids(const std::string& csv) {
+  std::vector<NodeId> out;
+  std::istringstream in(csv);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    if (tok.empty()) continue;
+    out.push_back(static_cast<NodeId>(std::stoul(tok)));
+  }
+  return out;
+}
+
+DiGraph load(const Args& args) {
+  LCRB_REQUIRE(!args.positional().empty(),
+               "expected: lcrb <subcommand> <graph.txt> [flags]");
+  const std::string path = args.positional().back();
+  return load_edge_list(path, args.get_bool("undirected"));
+}
+
+Partition detect(const DiGraph& g, const Args& args) {
+  if (args.has("membership")) {
+    Partition p = load_membership(args.get_string("membership", ""));
+    LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
+                 "--membership file does not match the graph");
+    return p;
+  }
+  const std::string method = args.get_string("method", "louvain");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  if (method == "louvain") {
+    return detect_communities(g, CommunityMethod::kLouvain, seed);
+  }
+  if (method == "lp" || method == "label_propagation") {
+    return detect_communities(g, CommunityMethod::kLabelPropagation, seed);
+  }
+  throw Error("unknown --method '" + method + "' (louvain|lp)");
+}
+
+/// Shared setup for bridges/scbg/greedy/simulate.
+ExperimentSetup setup_experiment(const DiGraph& g, const Partition& p,
+                                 const Args& args) {
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const CommunityId rc = p.closest_to_size(
+      static_cast<NodeId>(args.get_int("community-size", 100)));
+
+  if (args.has("rumor-ids")) {
+    ExperimentSetup s;
+    s.graph = &g;
+    s.partition = &p;
+    s.rumor_community = kInvalidCommunity;
+    s.rumors = parse_ids(args.get_string("rumor-ids", ""));
+    LCRB_REQUIRE(!s.rumors.empty(), "--rumor-ids parsed to nothing");
+    // Require a common community so bridge ends are well-defined.
+    const CommunityId c = p.community_of(s.rumors.front());
+    for (NodeId r : s.rumors) {
+      LCRB_REQUIRE(p.community_of(r) == c,
+                   "--rumor-ids must share one community");
+    }
+    s.rumor_community = c;
+    s.bridges = find_bridge_ends(g, p, c, s.rumors);
+    return s;
+  }
+  const auto k = static_cast<std::size_t>(args.get_int("rumors", 5));
+  return prepare_experiment(g, p, rc,
+                            std::min<std::size_t>(k, p.size_of(rc)), seed);
+}
+
+void print_ids(const char* label, const std::vector<NodeId>& ids) {
+  std::cout << label << " (" << ids.size() << "):";
+  for (NodeId v : ids) std::cout << ' ' << v;
+  std::cout << "\n";
+}
+
+int cmd_info(const Args& args) {
+  const DiGraph g = load(args);
+  std::cout << describe(g) << "\n";
+  const DegreeStats d = degree_stats(g);
+  TextTable t;
+  t.set_header({"metric", "value"});
+  t.add_values("nodes", g.num_nodes());
+  t.add_values("arcs", g.num_edges());
+  t.add_values("avg out-degree", fixed(d.avg_out, 2));
+  t.add_values("median out-degree", fixed(d.p50_out, 1));
+  t.add_values("p90 out-degree", fixed(d.p90_out, 1));
+  t.add_values("max out-degree", d.max_out);
+  t.add_values("isolated nodes", d.isolated);
+  t.add_values("reciprocity", fixed(reciprocity(g), 3));
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_communities(const Args& args) {
+  const DiGraph g = load(args);
+  const Partition p = detect(g, args);
+  const PartitionQuality q = partition_quality(g, p);
+  TextTable t;
+  t.set_header({"metric", "value"});
+  t.add_values("communities", q.num_communities);
+  t.add_values("modularity", fixed(q.modularity, 4));
+  t.add_values("coverage", fixed(q.coverage, 4));
+  t.add_values("mean conductance", fixed(q.mean_conductance, 4));
+  t.add_values("largest", q.largest);
+  t.add_values("smallest", q.smallest);
+  t.print(std::cout);
+  if (args.has("out")) {
+    CsvWriter csv(args.get_string("out", ""));
+    csv.write_header({"node", "community"});
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      csv.write_values(v, p.community_of(v));
+    }
+    std::cout << "membership written to " << args.get_string("out", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_bridges(const Args& args) {
+  const DiGraph g = load(args);
+  const Partition p = detect(g, args);
+  const ExperimentSetup s = setup_experiment(g, p, args);
+  std::cout << "rumor community #" << s.rumor_community << " ("
+            << p.size_of(s.rumor_community) << " nodes)\n";
+  print_ids("rumor originators", s.rumors);
+  print_ids("bridge ends", s.bridges.bridge_ends);
+  return 0;
+}
+
+int cmd_scbg(const Args& args) {
+  const DiGraph g = load(args);
+  const Partition p = detect(g, args);
+  const ExperimentSetup s = setup_experiment(g, p, args);
+  const ScbgResult r = scbg_from_bridges(g, s.rumors, s.bridges);
+  print_ids("rumor originators", s.rumors);
+  print_ids("bridge ends", r.bridge_ends);
+  print_ids("protector seeds", r.protectors);
+  std::cout << "full DOAM protection verified: yes\n";
+  return 0;
+}
+
+int cmd_greedy(const Args& args) {
+  const DiGraph g = load(args);
+  const Partition p = detect(g, args);
+  const ExperimentSetup s = setup_experiment(g, p, args);
+  GreedyConfig cfg;
+  cfg.alpha = args.get_double("alpha", 0.9);
+  cfg.max_protectors = static_cast<std::size_t>(args.get_int("budget", 0));
+  cfg.max_candidates =
+      static_cast<std::size_t>(args.get_int("candidates", 300));
+  cfg.sigma.samples =
+      static_cast<std::size_t>(args.get_int("samples", 30));
+  cfg.sigma.seed = static_cast<std::uint64_t>(args.get_int("seed", 1)) + 7;
+  ThreadPool pool;
+  const GreedyResult r =
+      greedy_lcrbp_from_bridges(g, s.rumors, s.bridges, cfg, &pool);
+  print_ids("protector seeds", r.protectors);
+  std::cout << "achieved protected fraction: " << fixed(r.achieved_fraction, 3)
+            << " (alpha " << cfg.alpha << ")\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const DiGraph g = load(args);
+  const Partition p = detect(g, args);
+  const ExperimentSetup s = setup_experiment(g, p, args);
+  const std::vector<NodeId> protectors =
+      args.has("protector-ids") ? parse_ids(args.get_string("protector-ids", ""))
+                                : std::vector<NodeId>{};
+
+  MonteCarloConfig mc;
+  const std::string model = args.get_string("model", "opoao");
+  if (model == "opoao") {
+    mc.model = DiffusionModel::kOpoao;
+  } else if (model == "doam") {
+    mc.model = DiffusionModel::kDoam;
+  } else if (model == "ic") {
+    mc.model = DiffusionModel::kIc;
+    mc.ic_edge_prob = args.get_double("ic-prob", 0.1);
+  } else if (model == "lt") {
+    mc.model = DiffusionModel::kLt;
+  } else {
+    throw Error("unknown --model '" + model + "' (opoao|doam|ic|lt)");
+  }
+  mc.runs = static_cast<std::size_t>(args.get_int("runs", 100));
+  mc.max_hops = static_cast<std::uint32_t>(args.get_int("hops", 31));
+  mc.seed = static_cast<std::uint64_t>(args.get_int("seed", 1)) + 13;
+
+  ThreadPool pool;
+  const HopSeries series = evaluate_protectors(s, protectors, mc, &pool);
+  TextTable t;
+  t.set_header({"hop", "infected (mean)", "ci95", "protected (mean)"});
+  for (std::size_t h = 0; h < series.infected_mean.size(); ++h) {
+    t.add_values(h, fixed(series.infected_mean[h]),
+                 fixed(series.infected_ci95[h], 2),
+                 fixed(series.protected_mean[h]));
+  }
+  t.print(std::cout);
+  std::cout << "bridge ends saved: "
+            << fixed(100.0 * series.saved_fraction_mean) << "%\n";
+  return 0;
+}
+
+int cmd_locate(const Args& args) {
+  const DiGraph g = load(args);
+  // Snapshot from --infected-ids, or simulate one for the demo.
+  std::vector<NodeId> snapshot;
+  if (args.has("infected-ids")) {
+    snapshot = parse_ids(args.get_string("infected-ids", ""));
+  } else {
+    const Partition p = detect(g, args);
+    const ExperimentSetup s = setup_experiment(g, p, args);
+    DoamConfig dc;
+    dc.max_steps = static_cast<std::uint32_t>(args.get_int("hops", 4));
+    const DiffusionResult r = simulate_doam(g, {s.rumors, {}}, dc);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (r.state[v] == NodeState::kInfected) snapshot.push_back(v);
+    }
+    print_ids("true sources (simulated)", s.rumors);
+  }
+  SourceLocateConfig cfg;
+  cfg.num_sources = static_cast<std::size_t>(args.get_int("sources", 1));
+  cfg.score = args.get_string("score", "jordan") == "centroid"
+                  ? SourceScore::kDistanceSum
+                  : SourceScore::kEccentricity;
+  const SourceEstimate e = locate_sources(g, snapshot, cfg);
+  print_ids("estimated sources", e.sources);
+  std::cout << "radius " << e.radius << ", mean distance "
+            << fixed(e.mean_distance, 2) << ", unreachable " << e.unreachable
+            << "\n";
+  return 0;
+}
+
+int cmd_gen(const Args& args) {
+  // Generate a calibrated synthetic network (and its planted membership)
+  // for demos and self-tests: lcrb gen out.txt --kind hep|enron|er|ba
+  //   [--scale 0.05 | --nodes N] [--seed 1] [--membership-out m.csv]
+  LCRB_REQUIRE(!args.positional().empty(), "expected: lcrb gen <out.txt>");
+  const std::string out_path = args.positional().back();
+  const std::string kind = args.get_string("kind", "enron");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const double scale = args.get_double("scale", 0.05);
+
+  DiGraph g;
+  std::vector<CommunityId> membership;
+  if (kind == "hep") {
+    DatasetSubstitute ds = make_hep_like(seed, scale);
+    g = std::move(ds.net.graph);
+    membership = std::move(ds.net.membership);
+  } else if (kind == "enron") {
+    DatasetSubstitute ds = make_enron_like(seed, scale);
+    g = std::move(ds.net.graph);
+    membership = std::move(ds.net.membership);
+  } else if (kind == "er") {
+    Rng rng(seed);
+    const auto n = static_cast<NodeId>(args.get_int("nodes", 1000));
+    g = erdos_renyi(n, args.get_double("p", 0.01), true, rng);
+  } else if (kind == "ba") {
+    Rng rng(seed);
+    const auto n = static_cast<NodeId>(args.get_int("nodes", 1000));
+    g = barabasi_albert(n, static_cast<NodeId>(args.get_int("m", 3)), rng);
+  } else {
+    throw Error("unknown --kind '" + kind + "' (hep|enron|er|ba)");
+  }
+
+  save_edge_list(g, out_path);
+  std::cout << "wrote " << out_path << ": " << describe(g) << "\n";
+  if (args.has("membership-out") && !membership.empty()) {
+    save_membership(Partition(membership),
+                    args.get_string("membership-out", ""));
+    std::cout << "wrote " << args.get_string("membership-out", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  // Self-check the library's core invariants on the USER'S graph: the DOAM
+  // distance oracle and the SCBG full-protection guarantee, over several
+  // random seedings. A clean pass means the installation and the data are
+  // sane end to end.
+  const DiGraph g = load(args);
+  const Partition p = detect(g, args);
+  const auto trials = static_cast<std::size_t>(args.get_int("trials", 5));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  std::size_t oracle_checks = 0, scbg_checks = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    // Random rumor community and seeds.
+    const CommunityId rc =
+        static_cast<CommunityId>(rng.next_below(p.num_communities()));
+    const auto& members = p.members(rc);
+    const std::size_t nr =
+        std::min<std::size_t>(members.size(), 1 + rng.next_below(4));
+    ExperimentSetup s = prepare_experiment(g, p, rc, nr, rng.next());
+
+    // 1. DOAM simulator vs analytic distance rule on every node.
+    SeedSets seeds;
+    seeds.rumors = s.rumors;
+    for (int i = 0; i < 3; ++i) {
+      const auto v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+      if (std::find(s.rumors.begin(), s.rumors.end(), v) == s.rumors.end() &&
+          std::find(seeds.protectors.begin(), seeds.protectors.end(), v) ==
+              seeds.protectors.end()) {
+        seeds.protectors.push_back(v);
+      }
+    }
+    const DiffusionResult sim = simulate_doam(g, seeds);
+    std::vector<NodeId> all(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) all[v] = v;
+    const auto saved = doam_saved(g, seeds, all);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      LCRB_REQUIRE(saved[v] == (sim.state[v] != NodeState::kInfected),
+                   "DOAM oracle mismatch at node " + std::to_string(v));
+      ++oracle_checks;
+    }
+
+    // 2. SCBG guarantee (scbg verifies internally and throws on violation).
+    if (!s.bridges.bridge_ends.empty()) {
+      const ScbgResult r = scbg_from_bridges(g, s.rumors, s.bridges);
+      scbg_checks += r.bridge_ends.size();
+    }
+  }
+  std::cout << "OK: " << oracle_checks << " DOAM oracle checks, "
+            << scbg_checks << " SCBG-protected bridge ends across " << trials
+            << " random seedings\n";
+  return 0;
+}
+
+int usage() {
+  std::cout <<
+      "usage: lcrb <info|communities|bridges|scbg|greedy|simulate|locate|"
+      "verify> <graph.txt> [flags]\n"
+      "see the header of tools/lcrb_cli.cpp for the flag reference\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args(argc - 1, argv + 1);
+  try {
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "communities") return cmd_communities(args);
+    if (cmd == "bridges") return cmd_bridges(args);
+    if (cmd == "scbg") return cmd_scbg(args);
+    if (cmd == "greedy") return cmd_greedy(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "locate") return cmd_locate(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "gen") return cmd_gen(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
