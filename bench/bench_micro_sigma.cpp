@@ -1,0 +1,101 @@
+// Microbenchmarks (google-benchmark): sigma evaluation throughput with the
+// sample-realization cache (SigmaEngine) against the legacy re-simulation
+// path, per diffusion model. items_processed counts single-sample
+// evaluations, so items_per_second is directly "sigma evals/sec".
+#include <benchmark/benchmark.h>
+
+#include "lcrb/lcrb.h"
+#include "lcrb/sigma_engine.h"
+
+namespace {
+
+using namespace lcrb;
+
+DiGraph bench_graph(NodeId n, std::uint64_t seed) {
+  Rng rng(seed);
+  return erdos_renyi_m(n, static_cast<EdgeId>(n) * 8, true, rng);
+}
+
+SigmaConfig sigma_cfg(DiffusionModel model, std::size_t samples,
+                      bool use_cache) {
+  SigmaConfig cfg;
+  cfg.samples = samples;
+  cfg.seed = 13;
+  cfg.max_hops = 31;
+  cfg.model = model;
+  cfg.use_realization_cache = use_cache;
+  cfg.max_cache_bytes = 0;
+  return cfg;
+}
+
+void run_sigma_bench(benchmark::State& state, DiffusionModel model,
+                     bool use_cache) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const auto samples = static_cast<std::size_t>(state.range(1));
+  const DiGraph g = bench_graph(n, 6);
+  const std::vector<NodeId> rumors{0, 1, 2, 3};
+  std::vector<NodeId> targets;
+  for (NodeId v = n / 4; v < n / 4 + 40; ++v) targets.push_back(v);
+
+  const SigmaEstimator est(g, rumors, targets,
+                           sigma_cfg(model, samples, use_cache));
+  if (est.uses_engine() != use_cache) {
+    state.SkipWithError("unexpected evaluation path");
+    return;
+  }
+  const NodeId protectors[] = {10, 11, 12};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.sigma(protectors));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples));
+}
+
+void BM_SigmaLegacy_Opoao(benchmark::State& state) {
+  run_sigma_bench(state, DiffusionModel::kOpoao, false);
+}
+void BM_SigmaCached_Opoao(benchmark::State& state) {
+  run_sigma_bench(state, DiffusionModel::kOpoao, true);
+}
+void BM_SigmaLegacy_Ic(benchmark::State& state) {
+  run_sigma_bench(state, DiffusionModel::kIc, false);
+}
+void BM_SigmaCached_Ic(benchmark::State& state) {
+  run_sigma_bench(state, DiffusionModel::kIc, true);
+}
+void BM_SigmaLegacy_Lt(benchmark::State& state) {
+  run_sigma_bench(state, DiffusionModel::kLt, false);
+}
+void BM_SigmaCached_Lt(benchmark::State& state) {
+  run_sigma_bench(state, DiffusionModel::kLt, true);
+}
+
+#define SIGMA_ARGS \
+  Args({2000, 50})->Args({10000, 50})->Unit(benchmark::kMillisecond)
+
+BENCHMARK(BM_SigmaLegacy_Opoao)->SIGMA_ARGS;
+BENCHMARK(BM_SigmaCached_Opoao)->SIGMA_ARGS;
+BENCHMARK(BM_SigmaLegacy_Ic)->SIGMA_ARGS;
+BENCHMARK(BM_SigmaCached_Ic)->SIGMA_ARGS;
+BENCHMARK(BM_SigmaLegacy_Lt)->SIGMA_ARGS;
+BENCHMARK(BM_SigmaCached_Lt)->SIGMA_ARGS;
+
+// Construction cost of the realization cache (what greedy pays once before
+// its thousands of evaluations).
+void BM_SigmaEngineBuild(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const DiGraph g = bench_graph(n, 6);
+  const std::vector<NodeId> rumors{0, 1, 2, 3};
+  std::vector<NodeId> targets;
+  for (NodeId v = n / 4; v < n / 4 + 40; ++v) targets.push_back(v);
+  for (auto _ : state) {
+    SigmaEstimator est(g, rumors, targets,
+                       sigma_cfg(DiffusionModel::kOpoao, 50, true));
+    benchmark::DoNotOptimize(est.baseline_infected());
+  }
+}
+BENCHMARK(BM_SigmaEngineBuild)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

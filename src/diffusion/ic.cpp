@@ -4,10 +4,7 @@
 
 namespace lcrb {
 
-namespace {
-
-/// Stateless per-arc coin: identical across protector-set variations.
-bool arc_live(std::uint64_t seed, NodeId u, NodeId v, double p) {
+bool ic_arc_live(std::uint64_t seed, NodeId u, NodeId v, double p) {
   std::uint64_t x = seed ^ (static_cast<std::uint64_t>(u) << 32) ^ v;
   x ^= x >> 33;
   x *= 0xff51afd7ed558ccdULL;
@@ -16,8 +13,6 @@ bool arc_live(std::uint64_t seed, NodeId u, NodeId v, double p) {
   x ^= x >> 33;
   return static_cast<double>(x >> 11) * 0x1.0p-53 < p;
 }
-
-}  // namespace
 
 DiffusionResult simulate_competitive_ic(const DiGraph& g, const SeedSets& seeds,
                                         std::uint64_t seed,
@@ -53,7 +48,7 @@ DiffusionResult simulate_competitive_ic(const DiGraph& g, const SeedSets& seeds,
     for (NodeId u : p_frontier) {
       for (NodeId v : g.out_neighbors(u)) {
         if (r.state[v] == NodeState::kInactive &&
-            arc_live(seed, u, v, cfg.edge_prob)) {
+            ic_arc_live(seed, u, v, cfg.edge_prob)) {
           r.state[v] = NodeState::kProtected;
           r.activation_step[v] = step;
           next_p.push_back(v);
@@ -63,7 +58,7 @@ DiffusionResult simulate_competitive_ic(const DiGraph& g, const SeedSets& seeds,
     for (NodeId u : r_frontier) {
       for (NodeId v : g.out_neighbors(u)) {
         if (r.state[v] == NodeState::kInactive &&
-            arc_live(seed, u, v, cfg.edge_prob)) {
+            ic_arc_live(seed, u, v, cfg.edge_prob)) {
           r.state[v] = NodeState::kInfected;
           r.activation_step[v] = step;
           next_r.push_back(v);

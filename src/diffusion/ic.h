@@ -18,6 +18,11 @@ struct IcConfig {
   std::uint32_t max_steps = 0xffffffff;
 };
 
+/// The stateless live-edge coin for arc (u, v): identical across protector-
+/// set variations of the same sample. Exposed so the realization cache in
+/// `lcrb/sigma_engine.h` can materialize each sample's live subgraph once.
+bool ic_arc_live(std::uint64_t seed, NodeId u, NodeId v, double p);
+
 /// Simulates one competitive-IC sample. Deterministic in (g, seeds, seed).
 DiffusionResult simulate_competitive_ic(const DiGraph& g, const SeedSets& seeds,
                                         std::uint64_t seed,

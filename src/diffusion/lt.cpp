@@ -4,9 +4,7 @@
 
 namespace lcrb {
 
-namespace {
-
-double node_threshold(std::uint64_t seed, NodeId v) {
+double lt_node_threshold(std::uint64_t seed, NodeId v) {
   std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (v + 0x1234567));
   x ^= x >> 30;
   x *= 0xbf58476d1ce4e5b9ULL;
@@ -15,8 +13,6 @@ double node_threshold(std::uint64_t seed, NodeId v) {
   x ^= x >> 31;
   return static_cast<double>(x >> 11) * 0x1.0p-53;
 }
-
-}  // namespace
 
 DiffusionResult simulate_competitive_lt(const DiGraph& g, const SeedSets& seeds,
                                         std::uint64_t seed,
@@ -61,7 +57,7 @@ DiffusionResult simulate_competitive_lt(const DiGraph& g, const SeedSets& seeds,
     std::uint32_t newly_p = 0, newly_r = 0;
     for (NodeId v : candidates) {
       if (r.state[v] != NodeState::kInactive) continue;  // dedup within step
-      if (w_protected[v] + w_infected[v] >= node_threshold(seed, v)) {
+      if (w_protected[v] + w_infected[v] >= lt_node_threshold(seed, v)) {
         // Color by the larger contribution; P wins ties.
         const NodeState s = (w_protected[v] >= w_infected[v])
                                 ? NodeState::kProtected

@@ -16,6 +16,11 @@ struct LtConfig {
   std::uint32_t max_steps = 0xffffffff;
 };
 
+/// The stateless threshold draw theta_v ~ U(0,1) for (sample seed, node).
+/// Exposed so the realization cache in `lcrb/sigma_engine.h` can materialize
+/// each sample's threshold vector once.
+double lt_node_threshold(std::uint64_t seed, NodeId v);
+
 /// Simulates one competitive-LT sample. Deterministic in (g, seeds, seed).
 DiffusionResult simulate_competitive_lt(const DiGraph& g, const SeedSets& seeds,
                                         std::uint64_t seed,

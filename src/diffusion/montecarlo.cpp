@@ -1,7 +1,5 @@
 #include "diffusion/montecarlo.h"
 
-#include <mutex>
-
 #include "diffusion/doam.h"
 #include "diffusion/ic.h"
 #include "diffusion/lt.h"
@@ -62,38 +60,46 @@ HopSeries monte_carlo_series(const DiGraph& g, const SeedSets& seeds,
       (cfg.model == DiffusionModel::kDoam) ? 1 : cfg.runs;
 
   const std::size_t hops = static_cast<std::size_t>(cfg.max_hops) + 1;
-  std::vector<RunningStats> infected(hops), prot(hops);
-  RunningStats final_inf, final_prot, saved;
-  std::mutex mu;
+
+  // Each run writes its raw per-hop counts into a preassigned slot of these
+  // flat runs-by-hops arrays; the RunningStats accumulation happens serially
+  // afterwards, in run order. Welford updates are order-dependent in floating
+  // point, so feeding them in a fixed order (instead of mutex-guarded arrival
+  // order) is what makes the series bit-identical across thread counts.
+  std::vector<double> inf_c(runs * hops), prot_c(runs * hops);
+  std::vector<double> fi(runs), fp(runs), sf(runs);
 
   Rng master(cfg.seed);
   auto run_one = [&](std::size_t i) {
     const std::uint64_t run_seed = master.fork(i).next();
     const DiffusionResult r = simulate(g, seeds, run_seed, cfg);
-
-    std::vector<double> inf_c(hops), prot_c(hops);
-    for (std::uint32_t h = 0; h < hops; ++h) {
-      inf_c[h] = static_cast<double>(r.cumulative_infected_at(h));
-      prot_c[h] = static_cast<double>(r.cumulative_protected_at(h));
+    for (std::size_t h = 0; h < hops; ++h) {
+      inf_c[i * hops + h] =
+          static_cast<double>(r.cumulative_infected_at(static_cast<std::uint32_t>(h)));
+      prot_c[i * hops + h] =
+          static_cast<double>(r.cumulative_protected_at(static_cast<std::uint32_t>(h)));
     }
-    const double fi = static_cast<double>(r.infected_count());
-    const double fp = static_cast<double>(r.protected_count());
-    const double sf = r.saved_fraction(targets);
-
-    std::lock_guard<std::mutex> lock(mu);
-    for (std::uint32_t h = 0; h < hops; ++h) {
-      infected[h].add(inf_c[h]);
-      prot[h].add(prot_c[h]);
-    }
-    final_inf.add(fi);
-    final_prot.add(fp);
-    saved.add(sf);
+    fi[i] = static_cast<double>(r.infected_count());
+    fp[i] = static_cast<double>(r.protected_count());
+    sf[i] = r.saved_fraction(targets);
   };
 
   if (pool != nullptr && runs > 1) {
     pool->parallel_for(runs, run_one);
   } else {
     for (std::size_t i = 0; i < runs; ++i) run_one(i);
+  }
+
+  std::vector<RunningStats> infected(hops), prot(hops);
+  RunningStats final_inf, final_prot, saved;
+  for (std::size_t i = 0; i < runs; ++i) {
+    for (std::size_t h = 0; h < hops; ++h) {
+      infected[h].add(inf_c[i * hops + h]);
+      prot[h].add(prot_c[i * hops + h]);
+    }
+    final_inf.add(fi[i]);
+    final_prot.add(fp[i]);
+    saved.add(sf[i]);
   }
 
   HopSeries out;

@@ -43,7 +43,9 @@ struct HopSeries {
 };
 
 /// Runs the Monte-Carlo sweep, optionally on a shared thread pool. Results
-/// are deterministic in cfg.seed regardless of threading.
+/// are deterministic in cfg.seed and bit-identical regardless of threading:
+/// per-run statistics are recorded into per-run slots and reduced serially
+/// in run order.
 HopSeries monte_carlo_series(const DiGraph& g, const SeedSets& seeds,
                              const MonteCarloConfig& cfg,
                              std::span<const NodeId> targets = {},

@@ -6,14 +6,8 @@
 
 namespace lcrb {
 
-namespace {
-
-/// Stateless pick: which out-neighbor node v targets at absolute step t.
-/// A pure function of (sample seed, node, step) — this IS the paper's random
-/// graph G_R/G_P: the sample fixes every node's would-be pick at every step,
-/// so runs with different protector sets are coupled through identical pick
-/// tables, and per-sample |PB(S)| is monotone and submodular (Lemma 4).
-std::uint64_t pick_hash(std::uint64_t seed, NodeId v, std::uint32_t step) {
+std::uint64_t opoao_pick_hash(std::uint64_t seed, NodeId v,
+                              std::uint32_t step) {
   std::uint64_t x = seed;
   x ^= (static_cast<std::uint64_t>(v) + 1) * 0x9e3779b97f4a7c15ULL;
   x ^= (static_cast<std::uint64_t>(step) + 1) * 0xbf58476d1ce4e5b9ULL;
@@ -25,17 +19,42 @@ std::uint64_t pick_hash(std::uint64_t seed, NodeId v, std::uint32_t step) {
   return x;
 }
 
+namespace {
+
+/// Map a cascade color to its slot in the trace index; kInactive has none.
+int color_slot(NodeState color) {
+  switch (color) {
+    case NodeState::kProtected: return 0;
+    case NodeState::kInfected: return 1;
+    case NodeState::kInactive: break;
+  }
+  return -1;
+}
+
 }  // namespace
 
 std::uint32_t OpoaoTrace::first_pick_step(NodeId u, NodeId v,
                                           NodeState color) const {
-  std::uint32_t best = kUnreached;
-  for (const OpoaoPick& p : picks) {
-    if (p.from == u && p.to == v && p.cascade == color) {
-      best = std::min(best, p.step);
+  const int slot = color_slot(color);
+  if (slot < 0) return kUnreached;
+  if (indexed_picks_ != picks.size()) {
+    first_pick_.clear();
+    first_pick_.reserve(picks.size());
+    for (const OpoaoPick& p : picks) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(p.from) << 32) | p.to;
+      auto [it, inserted] =
+          first_pick_.try_emplace(key, std::array<std::uint32_t, 2>{
+                                           kUnreached, kUnreached});
+      auto& steps = it->second;
+      const int s = color_slot(p.cascade);
+      if (s >= 0) steps[s] = std::min(steps[s], p.step);
     }
+    indexed_picks_ = picks.size();
   }
-  return best;
+  const auto it =
+      first_pick_.find((static_cast<std::uint64_t>(u) << 32) | v);
+  return it == first_pick_.end() ? kUnreached : it->second[slot];
 }
 
 DiffusionResult simulate_opoao(const DiGraph& g, const SeedSets& seeds,
@@ -91,7 +110,7 @@ DiffusionResult simulate_opoao(const DiGraph& g, const SeedSets& seeds,
     for (NodeId u : protectors) {
       const auto nbrs = g.out_neighbors(u);
       if (nbrs.empty()) continue;
-      const NodeId target = nbrs[pick_hash(seed, u, step) % nbrs.size()];
+      const NodeId target = nbrs[opoao_pick_hash(seed, u, step) % nbrs.size()];
       const bool claimed = r.state[target] == NodeState::kInactive;
       if (claimed) {
         r.state[target] = NodeState::kProtected;  // claim immediately
@@ -105,7 +124,7 @@ DiffusionResult simulate_opoao(const DiGraph& g, const SeedSets& seeds,
     for (NodeId u : rumors) {
       const auto nbrs = g.out_neighbors(u);
       if (nbrs.empty()) continue;
-      const NodeId target = nbrs[pick_hash(seed, u, step) % nbrs.size()];
+      const NodeId target = nbrs[opoao_pick_hash(seed, u, step) % nbrs.size()];
       const bool claimed = r.state[target] == NodeState::kInactive;
       if (claimed) {
         r.state[target] = NodeState::kInfected;

@@ -15,7 +15,9 @@
 // tests/lcrb/lemma_test.cpp.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <unordered_map>
 
 #include "diffusion/cascade.h"
 
@@ -26,6 +28,14 @@ struct OpoaoConfig {
   /// inactive out-neighbor (nothing can ever activate after that).
   std::uint32_t max_steps = 10000;
 };
+
+/// The stateless pick stream: which slot of v's out-neighbor list node v
+/// would target at absolute step `step`, as a raw 64-bit draw (take it mod
+/// out_degree(v)). A pure function of (sample seed, node, step) — this IS
+/// the paper's random graph G_R/G_P. Exposed so the realization cache in
+/// `lcrb/sigma_engine.h` can materialize each sample's pick tables once.
+std::uint64_t opoao_pick_hash(std::uint64_t seed, NodeId v,
+                              std::uint32_t step);
 
 /// One activation attempt: active node `from` picked out-neighbor `to` at
 /// `step`; `activated` records whether the pick claimed the target. This is
@@ -46,8 +56,16 @@ struct OpoaoTrace {
 
   /// Smallest step at which `color` picked edge (u, v) — the simplified
   /// timestamp of Fig. 1(b); kUnreached if the edge was never picked by
-  /// that cascade.
+  /// that cascade. O(1) amortized: an edge index is built lazily on first
+  /// query and rebuilt if `picks` grew since. Not safe to call concurrently
+  /// with other first_pick_step calls (the lazy index is shared).
   std::uint32_t first_pick_step(NodeId u, NodeId v, NodeState color) const;
+
+ private:
+  /// (from << 32 | to) -> first pick step per cascade color {P, R}.
+  mutable std::unordered_map<std::uint64_t, std::array<std::uint32_t, 2>>
+      first_pick_;
+  mutable std::size_t indexed_picks_ = 0;  ///< picks.size() at index build
 };
 
 /// Simulates one OPOAO diffusion. Deterministic in (g, seeds, seed).

@@ -1,7 +1,7 @@
 #include "lcrb/greedy.h"
 
 #include <algorithm>
-#include <mutex>
+#include <limits>
 #include <queue>
 
 #include "lcrb/bbst.h"
@@ -166,27 +166,32 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
       }
     }
   } else {
-    // Paper's plain greedy: re-evaluate every candidate each round.
+    // Paper's plain greedy: re-evaluate every candidate each round. Gains
+    // land in per-candidate slots and the argmax scans them in candidate
+    // order afterwards — no mutex, and the pick (ties go to the lowest node
+    // id) cannot depend on thread scheduling.
     std::vector<bool> used(g.num_nodes(), false);
+    std::vector<double> gains(candidates.size());
     while (current_fraction < cfg.alpha && current.size() < cap) {
-      double best_gain = -1.0;
-      NodeId best_node = kInvalidNode;
-      std::mutex mu;
       auto eval = [&](std::size_t i) {
         const NodeId v = candidates[i];
-        if (used[v]) return;
-        const double gain = gain_of(v);
-        std::lock_guard<std::mutex> lock(mu);
-        // Deterministic tie-break (lowest id) regardless of thread order.
-        if (gain > best_gain || (gain == best_gain && v < best_node)) {
-          best_gain = gain;
-          best_node = v;
-        }
+        // NaN never compares greater-or-equal: used slots can't win below.
+        gains[i] = used[v] ? std::numeric_limits<double>::quiet_NaN()
+                           : gain_of(v);
       };
       if (pool != nullptr && candidates.size() > 1) {
         pool->parallel_for(candidates.size(), eval);
       } else {
         for (std::size_t i = 0; i < candidates.size(); ++i) eval(i);
+      }
+      double best_gain = -1.0;
+      NodeId best_node = kInvalidNode;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (gains[i] > best_gain ||
+            (gains[i] == best_gain && candidates[i] < best_node)) {
+          best_gain = gains[i];
+          best_node = candidates[i];
+        }
       }
       if (best_node == kInvalidNode) break;
       used[best_node] = true;

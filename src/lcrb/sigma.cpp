@@ -1,11 +1,8 @@
 #include "lcrb/sigma.h"
 
-#include <atomic>
-#include <mutex>
-
+#include "lcrb/sigma_engine.h"
 #include "util/error.h"
 #include "util/rng.h"
-#include "util/stats.h"
 
 namespace lcrb {
 
@@ -26,8 +23,27 @@ SigmaEstimator::SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
     sample_seeds_[i] = master.fork(i).next();
   }
 
-  // Baseline: run every sample with no protectors and record which bridge
-  // ends get infected.
+  const bool cache_fits =
+      cfg_.max_cache_bytes == 0 ||
+      SigmaEngine::estimated_bytes(g_, cfg_) <= cfg_.max_cache_bytes;
+  if (cfg_.use_realization_cache && SigmaEngine::supports(cfg_.model) &&
+      cache_fits) {
+    // The engine runs the rumor-only baselines itself while materializing
+    // each sample's realization.
+    engine_ = std::make_unique<SigmaEngine>(g_, rumors_, bridge_ends_,
+                                            sample_seeds_, cfg_, pool_);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < cfg_.samples; ++i) {
+      total += engine_->baseline_infected(i);
+    }
+    baseline_infected_mean_ =
+        static_cast<double>(total) / static_cast<double>(cfg_.samples);
+    return;
+  }
+
+  // Legacy path: run every sample with no protectors and record which bridge
+  // ends get infected. Per-sample counts land in their own slots and are
+  // reduced in sample order, so the result is thread-schedule independent.
   baseline_infected_.assign(cfg_.samples,
                             std::vector<bool>(bridge_ends_.size(), false));
   MonteCarloConfig mc;
@@ -35,7 +51,7 @@ SigmaEstimator::SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
   mc.model = cfg_.model;
   mc.ic_edge_prob = cfg_.ic_edge_prob;
 
-  std::atomic<std::uint64_t> total_infected{0};
+  std::vector<std::uint64_t> counts(cfg_.samples, 0);
   auto run_baseline = [&](std::size_t i) {
     SeedSets seeds;
     seeds.rumors = rumors_;
@@ -47,19 +63,29 @@ SigmaEstimator::SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
         ++count;
       }
     }
-    total_infected.fetch_add(count);
+    counts[i] = count;
   };
   if (pool_ != nullptr && cfg_.samples > 1) {
     pool_->parallel_for(cfg_.samples, run_baseline);
   } else {
     for (std::size_t i = 0; i < cfg_.samples; ++i) run_baseline(i);
   }
-  baseline_infected_mean_ = static_cast<double>(total_infected.load()) /
-                            static_cast<double>(cfg_.samples);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < cfg_.samples; ++i) total += counts[i];
+  baseline_infected_mean_ =
+      static_cast<double>(total) / static_cast<double>(cfg_.samples);
 }
+
+SigmaEstimator::~SigmaEstimator() = default;
 
 SigmaEstimator::SampleOutcome SigmaEstimator::evaluate_sample(
     std::size_t i, std::span<const NodeId> protectors) const {
+  evals_.fetch_add(1, std::memory_order_relaxed);
+  if (engine_ != nullptr) {
+    const SigmaEngine::Outcome o = engine_->evaluate(i, protectors);
+    return {static_cast<double>(o.saved), static_cast<double>(o.uninfected)};
+  }
+
   MonteCarloConfig mc;
   mc.max_hops = cfg_.max_hops;
   mc.model = cfg_.model;
@@ -69,7 +95,6 @@ SigmaEstimator::SampleOutcome SigmaEstimator::evaluate_sample(
   seeds.rumors = rumors_;
   seeds.protectors.assign(protectors.begin(), protectors.end());
   const DiffusionResult r = simulate(g_, seeds, sample_seeds_[i], mc);
-  evals_.fetch_add(1, std::memory_order_relaxed);
 
   SampleOutcome out{0.0, 0.0};
   for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
@@ -82,40 +107,37 @@ SigmaEstimator::SampleOutcome SigmaEstimator::evaluate_sample(
   return out;
 }
 
-double SigmaEstimator::sigma(std::span<const NodeId> protectors) const {
-  double total = 0.0;
+SigmaEstimator::Totals SigmaEstimator::evaluate_all(
+    std::span<const NodeId> protectors) const {
+  // Per-sample outcomes land in preassigned slots; the reduction below runs
+  // serially in sample order. Outcomes are integer-valued bridge-end counts
+  // (exact in double), so parallel and serial runs agree bit for bit.
+  std::vector<SampleOutcome> outcomes(cfg_.samples);
+  auto eval_one = [&](std::size_t i) {
+    outcomes[i] = evaluate_sample(i, protectors);
+  };
   if (pool_ != nullptr && cfg_.samples > 1) {
-    std::mutex mu;
-    pool_->parallel_for(cfg_.samples, [&](std::size_t i) {
-      const SampleOutcome o = evaluate_sample(i, protectors);
-      std::lock_guard<std::mutex> lock(mu);
-      total += o.saved_vs_baseline;
-    });
+    pool_->parallel_for(cfg_.samples, eval_one);
   } else {
-    for (std::size_t i = 0; i < cfg_.samples; ++i) {
-      total += evaluate_sample(i, protectors).saved_vs_baseline;
-    }
+    for (std::size_t i = 0; i < cfg_.samples; ++i) eval_one(i);
   }
-  return total / static_cast<double>(cfg_.samples);
+  Totals t;
+  for (std::size_t i = 0; i < cfg_.samples; ++i) {
+    t.saved += outcomes[i].saved_vs_baseline;
+    t.uninfected += outcomes[i].uninfected;
+  }
+  return t;
+}
+
+double SigmaEstimator::sigma(std::span<const NodeId> protectors) const {
+  return evaluate_all(protectors).saved / static_cast<double>(cfg_.samples);
 }
 
 double SigmaEstimator::protected_fraction(
     std::span<const NodeId> protectors) const {
   if (bridge_ends_.empty()) return 1.0;
-  double total = 0.0;
-  if (pool_ != nullptr && cfg_.samples > 1) {
-    std::mutex mu;
-    pool_->parallel_for(cfg_.samples, [&](std::size_t i) {
-      const SampleOutcome o = evaluate_sample(i, protectors);
-      std::lock_guard<std::mutex> lock(mu);
-      total += o.uninfected;
-    });
-  } else {
-    for (std::size_t i = 0; i < cfg_.samples; ++i) {
-      total += evaluate_sample(i, protectors).uninfected;
-    }
-  }
-  return total / static_cast<double>(cfg_.samples) /
+  return evaluate_all(protectors).uninfected /
+         static_cast<double>(cfg_.samples) /
          static_cast<double>(bridge_ends_.size());
 }
 

@@ -7,10 +7,18 @@
 // different protector sets on sample i realizes the paper's coupled random
 // graphs G_R/G_P. That keeps greedy marginal gains low-variance and
 // per-sample monotone/submodular (Lemma 4).
+//
+// Evaluations are served by the sample-realization cache (SigmaEngine) when
+// the model supports it: the per-sample randomness is materialized once at
+// construction and every sigma(A) call is a cheap deterministic replay —
+// same results as the legacy simulate()-based path, bit for bit. Per-sample
+// outcomes are integer counts and cross-sample reductions run in fixed
+// sample order, so results are bit-identical across thread counts.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -21,12 +29,22 @@
 
 namespace lcrb {
 
+class SigmaEngine;
+
 struct SigmaConfig {
   std::size_t samples = 50;
   std::uint64_t seed = 7;
   std::uint32_t max_hops = 31;
   DiffusionModel model = DiffusionModel::kOpoao;
   double ic_edge_prob = 0.1;
+  /// Serve evaluations from the per-sample realization cache (SigmaEngine)
+  /// when the model supports it. false forces the legacy re-simulation path
+  /// (kept as the reference implementation; results are identical).
+  bool use_realization_cache = true;
+  /// Fall back to the legacy path when the realization cache would exceed
+  /// this many bytes (dominant term: OPOAO pick tables at
+  /// 4B x nodes x max_hops x samples). 0 disables the cap.
+  std::size_t max_cache_bytes = std::size_t{1} << 30;
 };
 
 /// Estimates sigma(A) and the protected fraction of the bridge ends for a
@@ -36,6 +54,7 @@ class SigmaEstimator {
   SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
                  std::vector<NodeId> bridge_ends, const SigmaConfig& cfg,
                  ThreadPool* pool = nullptr);
+  ~SigmaEstimator();
 
   /// sigma-hat(A): mean over samples of |{v in B : infected without
   /// protectors, uninfected with A}|.
@@ -51,7 +70,11 @@ class SigmaEstimator {
   const std::vector<NodeId>& bridge_ends() const { return bridge_ends_; }
   std::size_t samples() const { return cfg_.samples; }
 
-  /// Number of single-simulation evaluations performed so far (for the CELF
+  /// True when evaluations are served by the realization cache rather than
+  /// by re-running simulate() per sample.
+  bool uses_engine() const { return engine_ != nullptr; }
+
+  /// Number of single-sample evaluations performed so far (for the CELF
   /// ablation bench). Approximate under concurrency.
   std::size_t evaluations() const { return evals_; }
 
@@ -60,8 +83,16 @@ class SigmaEstimator {
     double saved_vs_baseline;  ///< |PB(A)| in this sample
     double uninfected;         ///< |B| - infected(A) in this sample
   };
+  struct Totals {
+    double saved = 0.0;
+    double uninfected = 0.0;
+  };
   SampleOutcome evaluate_sample(std::size_t i,
                                 std::span<const NodeId> protectors) const;
+  /// Evaluates every sample (in parallel when a pool is attached) and
+  /// reduces the per-sample outcomes in fixed sample order, so the result
+  /// does not depend on thread scheduling.
+  Totals evaluate_all(std::span<const NodeId> protectors) const;
 
   const DiGraph& g_;
   std::vector<NodeId> rumors_;
@@ -70,8 +101,9 @@ class SigmaEstimator {
   ThreadPool* pool_;
 
   std::vector<std::uint64_t> sample_seeds_;
-  /// baseline_infected_[i] = bridge-end indices infected in sample i with
-  /// A = {} (bitset over bridge_ends_).
+  std::unique_ptr<SigmaEngine> engine_;  ///< null = legacy path
+  /// Legacy path only: baseline_infected_[i] = bridge-end indices infected
+  /// in sample i with A = {} (bitset over bridge_ends_).
   std::vector<std::vector<bool>> baseline_infected_;
   double baseline_infected_mean_ = 0.0;
   mutable std::atomic<std::size_t> evals_{0};

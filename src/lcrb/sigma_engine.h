@@ -1,0 +1,161 @@
+// Sample-realization evaluation engine behind SigmaEstimator.
+//
+// The estimator's common-random-number coupling (paper §V-A, Lemma 4) fixes
+// ALL randomness of sample i the moment the sample seed is drawn: OPOAO's
+// pick stream, IC's live-edge coins, LT's node thresholds. The legacy path
+// re-derives that randomness by hashing inside every end-to-end simulation —
+// O(rounds x candidates x samples) full simulations in the greedy. This
+// engine materializes each sample's realization once at construction and
+// turns every subsequent sigma evaluation into a cheap deterministic replay:
+//
+//  * OPOAO — per-node pick tables over the max_hops steps (each
+//    (seed, v, step) hashed exactly once, stored in a flat row-per-node
+//    array), plus the rumor-only baseline activation schedule. A replay
+//    simulates only the protector cascade and feeds the rumor side from the
+//    cached schedule until the first protector claim that invalidates it
+//    (the "divergence step"), after which the rumor side is simulated from
+//    the tables too. Sound because picks are color- and state-independent.
+//  * IC — the live-edge subgraph in CSR form plus baseline rumor BFS
+//    distances d_R. With homogeneous probabilities the winner at any node is
+//    argmin(d_R, d_P) with P on ties (see docs/algorithms.md for the proof),
+//    so an evaluation is a single protector-side BFS over cached live arcs.
+//  * LT — the per-node threshold draw; the replay mirrors the legacy loop
+//    order exactly so the floating-point weight sums are bit-identical.
+//
+// Replays run on epoch-stamped scratch buffers leased from a small pool: no
+// per-evaluation allocation and no O(n) clearing. Results are exactly the
+// outcomes the legacy simulate()-based path produces for the same sample
+// seeds — cross-checked in tests/lcrb/sigma_engine_test.cpp.
+//
+// DOAM is not cached here (it is deterministic; the legacy path already
+// collapses it) — SigmaEstimator falls back to simulate() for it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "lcrb/sigma.h"
+#include "util/bitset.h"
+
+namespace lcrb {
+
+class SigmaEngine {
+ public:
+  /// Per-sample evaluation result, in bridge-end counts. Counts are exact
+  /// integers, so any summation order over samples is bit-identical.
+  struct Outcome {
+    std::uint32_t saved = 0;       ///< infected in baseline, uninfected now
+    std::uint32_t uninfected = 0;  ///< bridge ends ending uninfected
+  };
+
+  /// True for the models the engine can cache (OPOAO, IC, LT).
+  static bool supports(DiffusionModel model);
+
+  /// Upper-bound estimate of the realization-cache footprint, used by
+  /// SigmaEstimator to fall back to the legacy path on oversized requests
+  /// (SigmaConfig::max_cache_bytes).
+  static std::size_t estimated_bytes(const DiGraph& g, const SigmaConfig& cfg);
+
+  /// Builds every sample's realization (and the rumor-only baselines) up
+  /// front; `sample_seeds` must be the estimator's per-sample seeds.
+  /// Construction parallelizes over samples when `pool` is given; the cached
+  /// data is identical regardless.
+  SigmaEngine(const DiGraph& g, std::span<const NodeId> rumors,
+              std::span<const NodeId> bridge_ends,
+              std::span<const std::uint64_t> sample_seeds,
+              const SigmaConfig& cfg, ThreadPool* pool);
+  ~SigmaEngine();
+
+  SigmaEngine(const SigmaEngine&) = delete;
+  SigmaEngine& operator=(const SigmaEngine&) = delete;
+
+  /// Replays sample i with cascade P seeded at `protectors`. Thread-safe:
+  /// concurrent evaluations lease independent scratch buffers. Throws
+  /// lcrb::Error if a protector seed is out of range, duplicated, or
+  /// collides with a rumor seed (matching simulate()'s validation).
+  Outcome evaluate(std::size_t sample,
+                   std::span<const NodeId> protectors) const;
+
+  /// Bridge ends infected in sample i with no protectors at all.
+  std::uint32_t baseline_infected(std::size_t sample) const {
+    return baseline_count_[sample];
+  }
+  /// Bit b set iff bridge_ends[b] is infected in sample i's baseline.
+  const DynamicBitset& baseline_bits(std::size_t sample) const {
+    return baseline_bits_[sample];
+  }
+
+  /// Actual bytes held by the realization caches (for logging/benchmarks).
+  std::size_t realization_bytes() const;
+
+ private:
+  struct Scratch;
+  struct ScratchLease;
+
+  /// OPOAO: one sample's materialized randomness + baseline schedule.
+  struct OpoaoSample {
+    /// Flat pick table, step-major: entry [(t-1) * num_rows_ + r] with
+    /// r = pick_row_[v] is the node v would target at step t. Step-major
+    /// keeps each step's replay inside one contiguous slab of the table
+    /// (node-major strides the whole table every step and thrashes cache).
+    /// Rows exist only for out-degree>0 nodes.
+    std::vector<NodeId> picks;
+    /// Rumor-only activation step per node (kUnreached if never infected).
+    std::vector<std::uint32_t> base_step;
+    /// Baseline-infected nodes ordered by (step, id) — the replay schedule.
+    std::vector<NodeId> sched;
+    /// sched slice for step s is [step_off[s], step_off[s+1]).
+    std::vector<std::uint32_t> step_off;
+  };
+
+  /// IC: one sample's live-edge subgraph + baseline rumor distances.
+  struct IcSample {
+    std::vector<std::uint32_t> live_off;  ///< n+1 CSR offsets
+    std::vector<NodeId> live_tgt;         ///< live arc targets
+    std::vector<std::uint32_t> dist_r;    ///< baseline rumor BFS distance
+    std::uint32_t max_needed = 0;  ///< max d_R over baseline-infected ends
+  };
+
+  /// LT: one sample's threshold draw.
+  struct LtSample {
+    std::vector<double> thr;
+  };
+
+  void build_sample(std::size_t i);
+  Outcome eval_opoao(std::size_t i, std::span<const NodeId> protectors,
+                     Scratch& s) const;
+  Outcome eval_ic(std::size_t i, std::span<const NodeId> protectors,
+                  Scratch& s) const;
+  Outcome eval_lt(std::size_t i, std::span<const NodeId> protectors,
+                  Scratch& s) const;
+  Outcome count_bridge_ends(std::size_t i, const Scratch& s) const;
+  void seed_protector(NodeId v, Scratch& s) const;
+
+  const DiGraph& g_;
+  SigmaConfig cfg_;
+  std::vector<NodeId> rumors_;
+  std::vector<NodeId> bridge_ends_;
+  std::vector<std::uint64_t> sample_seeds_;
+  DynamicBitset is_rumor_;
+  std::uint32_t hops_ = 0;  ///< steps cached/replayed: 1..hops_
+
+  /// OPOAO pick-table row per node; kUnreached for out-degree-0 nodes.
+  std::vector<std::uint32_t> pick_row_;
+  std::size_t num_rows_ = 0;
+  std::vector<double> inv_in_deg_;  ///< LT arc weight 1/d_in(v), shared
+
+  std::vector<OpoaoSample> op_;
+  std::vector<IcSample> ic_;
+  std::vector<LtSample> lt_;
+
+  std::vector<DynamicBitset> baseline_bits_;
+  std::vector<std::uint32_t> baseline_count_;
+
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<Scratch>> scratch_free_;
+};
+
+}  // namespace lcrb

@@ -66,12 +66,41 @@ TEST(MonteCarlo, DeterministicAcrossThreadCounts) {
   ThreadPool pool(4);
   const HopSeries parallel =
       monte_carlo_series(g, {{0}, {1}}, cfg, {}, &pool);
-  // Means are averages over a fixed set of run seeds -> identical up to
-  // floating-point addition order in the merge.
+  // Per-run statistics land in per-run slots and are merged serially in run
+  // order, so the aggregates are bit-identical, not merely close.
   for (std::size_t h = 0; h < serial.infected_mean.size(); ++h) {
-    EXPECT_NEAR(serial.infected_mean[h], parallel.infected_mean[h], 1e-9);
+    EXPECT_EQ(serial.infected_mean[h], parallel.infected_mean[h]);
+    EXPECT_EQ(serial.infected_ci95[h], parallel.infected_ci95[h]);
+    EXPECT_EQ(serial.protected_mean[h], parallel.protected_mean[h]);
   }
-  EXPECT_NEAR(serial.final_infected_mean, parallel.final_infected_mean, 1e-9);
+  EXPECT_EQ(serial.final_infected_mean, parallel.final_infected_mean);
+  EXPECT_EQ(serial.final_protected_mean, parallel.final_protected_mean);
+  EXPECT_EQ(serial.saved_fraction_mean, parallel.saved_fraction_mean);
+}
+
+TEST(MonteCarlo, BitIdenticalAcrossPoolSizes) {
+  // The Welford merge is order-sensitive in floating point; the fixed-order
+  // reduction must erase any dependence on how runs are scheduled.
+  Rng rng(9);
+  const DiGraph g = erdos_renyi(120, 0.05, true, rng);
+  MonteCarloConfig cfg;
+  cfg.runs = 24;
+  cfg.seed = 77;
+  cfg.max_hops = 12;
+  cfg.model = DiffusionModel::kIc;
+  cfg.ic_edge_prob = 0.25;
+  const NodeId targets[] = {60, 61, 62, 63};
+  const HopSeries base = monte_carlo_series(g, {{0, 1}, {2}}, cfg, targets);
+  for (std::size_t workers : {1u, 2u, 7u}) {
+    ThreadPool pool(workers);
+    const HopSeries s =
+        monte_carlo_series(g, {{0, 1}, {2}}, cfg, targets, &pool);
+    for (std::size_t h = 0; h < base.infected_mean.size(); ++h) {
+      EXPECT_EQ(base.infected_mean[h], s.infected_mean[h]) << workers;
+      EXPECT_EQ(base.infected_ci95[h], s.infected_ci95[h]) << workers;
+    }
+    EXPECT_EQ(base.saved_fraction_mean, s.saved_fraction_mean) << workers;
+  }
 }
 
 TEST(MonteCarlo, SavedFractionAgainstTargets) {

@@ -119,6 +119,49 @@ TEST(OpoaoTrace, PaperFigureOneChains) {
   EXPECT_EQ(trace.first_pick_step(0, 1, NodeState::kProtected), kUnreached);
 }
 
+TEST(OpoaoTrace, FirstPickStepMatchesLinearScan) {
+  // The indexed lookup must agree with a brute-force scan over the pick log
+  // for every (from, to, color) triple that occurs, plus misses.
+  Rng grng(6);
+  const DiGraph g = erdos_renyi(70, 0.07, true, grng);
+  OpoaoTrace trace;
+  OpoaoConfig cfg;
+  cfg.max_steps = 18;
+  simulate_opoao(g, {{0, 1}, {2, 3}}, 21, cfg, &trace);
+  ASSERT_FALSE(trace.picks.empty());
+
+  auto brute = [&](NodeId u, NodeId v, NodeState color) {
+    std::uint32_t best = kUnreached;
+    for (const auto& p : trace.picks) {
+      if (p.from == u && p.to == v && p.cascade == color) {
+        best = std::min(best, p.step);
+      }
+    }
+    return best;
+  };
+  for (const auto& p : trace.picks) {
+    for (NodeState c : {NodeState::kProtected, NodeState::kInfected}) {
+      EXPECT_EQ(trace.first_pick_step(p.from, p.to, c), brute(p.from, p.to, c));
+    }
+  }
+  EXPECT_EQ(trace.first_pick_step(68, 69, NodeState::kInfected),
+            brute(68, 69, NodeState::kInfected));
+  EXPECT_EQ(trace.first_pick_step(0, 0, NodeState::kInactive), kUnreached);
+}
+
+TEST(OpoaoTrace, FirstPickIndexRebuildsAfterAppend) {
+  // Querying builds the index; appending more picks (e.g. a second traced
+  // simulation into the same log) must invalidate and rebuild it.
+  const DiGraph g = make_graph(3, {{0, 1}, {1, 2}});
+  OpoaoTrace trace;
+  simulate_opoao(g, {{0}, {}}, 3, {}, &trace);
+  EXPECT_EQ(trace.first_pick_step(0, 1, NodeState::kInfected), 1u);
+  EXPECT_EQ(trace.first_pick_step(2, 0, NodeState::kProtected), kUnreached);
+
+  trace.picks.push_back({1, 2, 0, NodeState::kProtected, false});
+  EXPECT_EQ(trace.first_pick_step(2, 0, NodeState::kProtected), 1u);
+}
+
 TEST(OpoaoTrace, NullTraceIsDefaultAndCheap) {
   const DiGraph g = path_graph(5);
   const DiffusionResult a = simulate_opoao(g, {{0}, {}}, 3);

@@ -1,0 +1,258 @@
+// Cross-checks of the sample-realization engine against the legacy
+// simulate()-based estimator path. The two paths share the per-sample seeds,
+// so every statistic must agree EXACTLY (not approximately): the engine is a
+// replay of the same realizations, not a re-estimate.
+#include "lcrb/sigma_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "lcrb/greedy.h"
+#include "lcrb/sigma.h"
+#include "util/rng.h"
+
+namespace lcrb {
+namespace {
+
+SigmaConfig engine_cfg(DiffusionModel model, std::size_t samples = 24,
+                       std::uint64_t seed = 11) {
+  SigmaConfig cfg;
+  cfg.samples = samples;
+  cfg.seed = seed;
+  cfg.max_hops = 32;
+  cfg.model = model;
+  cfg.use_realization_cache = true;
+  return cfg;
+}
+
+SigmaConfig legacy_cfg(SigmaConfig cfg) {
+  cfg.use_realization_cache = false;
+  return cfg;
+}
+
+/// Draws `k` distinct protector candidates avoiding the rumor set.
+std::vector<NodeId> random_protectors(Rng& rng, NodeId n,
+                                      std::span<const NodeId> rumors,
+                                      std::size_t k) {
+  std::vector<NodeId> out;
+  while (out.size() < k) {
+    const NodeId v = static_cast<NodeId>(rng.next_below(n));
+    if (std::find(rumors.begin(), rumors.end(), v) != rumors.end()) continue;
+    if (std::find(out.begin(), out.end(), v) != out.end()) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+const DiffusionModel kCachedModels[] = {
+    DiffusionModel::kOpoao, DiffusionModel::kIc, DiffusionModel::kLt};
+
+TEST(SigmaEngine, EngineOnByDefaultLegacyOnRequest) {
+  const DiGraph g = path_graph(6);
+  for (DiffusionModel m : kCachedModels) {
+    SigmaEstimator cached(g, {0}, {3, 4}, engine_cfg(m));
+    EXPECT_TRUE(cached.uses_engine()) << to_string(m);
+    SigmaEstimator legacy(g, {0}, {3, 4}, legacy_cfg(engine_cfg(m)));
+    EXPECT_FALSE(legacy.uses_engine()) << to_string(m);
+  }
+}
+
+TEST(SigmaEngine, DoamAlwaysUsesLegacyPath) {
+  const DiGraph g = path_graph(6);
+  SigmaConfig cfg = engine_cfg(DiffusionModel::kDoam, 1);
+  SigmaEstimator est(g, {0}, {3, 4}, cfg);
+  EXPECT_FALSE(est.uses_engine());
+  const NodeId a[] = {2};
+  EXPECT_DOUBLE_EQ(est.sigma(a), 2.0);  // DOAM on a path: 2 blocks 3 and 4
+}
+
+TEST(SigmaEngine, CacheByteCapForcesLegacyPath) {
+  const DiGraph g = path_graph(6);
+  SigmaConfig cfg = engine_cfg(DiffusionModel::kOpoao);
+  cfg.max_cache_bytes = 1;  // nothing fits
+  SigmaEstimator est(g, {0}, {3, 4}, cfg);
+  EXPECT_FALSE(est.uses_engine());
+  cfg.max_cache_bytes = 0;  // 0 disables the cap
+  SigmaEstimator uncapped(g, {0}, {3, 4}, cfg);
+  EXPECT_TRUE(uncapped.uses_engine());
+  const NodeId a[] = {2};
+  EXPECT_EQ(est.sigma(a), uncapped.sigma(a));
+}
+
+TEST(SigmaEngine, PathBlockingIsExact) {
+  // Forced walk: every model must show protector 2 saving ends 3, 4, 5.
+  const DiGraph g = path_graph(6);
+  for (DiffusionModel m : kCachedModels) {
+    SigmaEstimator est(g, {0}, {3, 4, 5}, engine_cfg(m));
+    ASSERT_TRUE(est.uses_engine());
+    const NodeId a[] = {2};
+    EXPECT_DOUBLE_EQ(est.sigma(a), est.baseline_infected()) << to_string(m);
+    EXPECT_DOUBLE_EQ(est.protected_fraction(a), 1.0) << to_string(m);
+    EXPECT_DOUBLE_EQ(est.sigma({}), 0.0) << to_string(m);
+  }
+}
+
+TEST(SigmaEngine, MatchesLegacyOnFixedSets) {
+  Rng graph_rng(17);
+  const DiGraph graphs[] = {path_graph(10), star_graph(12),
+                            erdos_renyi(90, 0.05, true, graph_rng)};
+  for (const DiGraph& g : graphs) {
+    std::vector<NodeId> targets;
+    for (NodeId v = g.num_nodes() / 2; v < g.num_nodes() / 2 + 8; ++v) {
+      if (v < g.num_nodes()) targets.push_back(v);
+    }
+    for (DiffusionModel m : kCachedModels) {
+      const SigmaConfig cfg = engine_cfg(m);
+      SigmaEstimator cached(g, {0, 1}, targets, cfg);
+      SigmaEstimator legacy(g, {0, 1}, targets, legacy_cfg(cfg));
+      ASSERT_TRUE(cached.uses_engine());
+      ASSERT_FALSE(legacy.uses_engine());
+      EXPECT_EQ(cached.baseline_infected(), legacy.baseline_infected())
+          << to_string(m);
+      const std::vector<std::vector<NodeId>> sets = {
+          {}, {2}, {2, 3}, {4, 7, 8}};
+      for (const auto& a : sets) {
+        EXPECT_EQ(cached.sigma(a), legacy.sigma(a)) << to_string(m);
+        EXPECT_EQ(cached.protected_fraction(a), legacy.protected_fraction(a))
+            << to_string(m);
+      }
+    }
+  }
+}
+
+TEST(SigmaEngine, MatchesLegacyRandomizedSweep) {
+  for (std::uint64_t trial = 0; trial < 3; ++trial) {
+    Rng rng(100 + trial);
+    const DiGraph g = erdos_renyi(120, 0.04, true, rng);
+    const std::vector<NodeId> rumors{0, 1, 2};
+    std::vector<NodeId> targets;
+    for (NodeId v = 60; v < 80; ++v) targets.push_back(v);
+    for (DiffusionModel m : kCachedModels) {
+      const SigmaConfig cfg = engine_cfg(m, 16, 7 + trial);
+      SigmaEstimator cached(g, rumors, targets, cfg);
+      SigmaEstimator legacy(g, rumors, targets, legacy_cfg(cfg));
+      ASSERT_TRUE(cached.uses_engine());
+      for (std::size_t k = 1; k <= 6; ++k) {
+        const std::vector<NodeId> a =
+            random_protectors(rng, g.num_nodes(), rumors, k);
+        EXPECT_EQ(cached.sigma(a), legacy.sigma(a))
+            << to_string(m) << " trial " << trial << " k " << k;
+        EXPECT_EQ(cached.protected_fraction(a), legacy.protected_fraction(a))
+            << to_string(m) << " trial " << trial << " k " << k;
+      }
+    }
+  }
+}
+
+TEST(SigmaEngine, ParallelBitIdenticalToSerial) {
+  Rng rng(5);
+  const DiGraph g = erdos_renyi(100, 0.05, true, rng);
+  std::vector<NodeId> targets{40, 41, 42, 43, 44, 45};
+  ThreadPool pool(4);
+  for (DiffusionModel m : kCachedModels) {
+    const SigmaConfig cfg = engine_cfg(m, 20);
+    SigmaEstimator serial(g, {0}, targets, cfg);
+    SigmaEstimator parallel(g, {0}, targets, cfg, &pool);
+    ASSERT_TRUE(serial.uses_engine());
+    ASSERT_TRUE(parallel.uses_engine());
+    // Bit-identical, not just near: same slots, same fixed reduction order.
+    EXPECT_EQ(serial.baseline_infected(), parallel.baseline_infected())
+        << to_string(m);
+    for (std::size_t k = 0; k <= 4; ++k) {
+      const std::vector<NodeId> a =
+          random_protectors(rng, g.num_nodes(), std::vector<NodeId>{0}, k + 1);
+      EXPECT_EQ(serial.sigma(a), parallel.sigma(a)) << to_string(m);
+      EXPECT_EQ(serial.protected_fraction(a), parallel.protected_fraction(a))
+          << to_string(m);
+    }
+  }
+}
+
+TEST(SigmaEngine, LegacyParallelBitIdenticalToSerial) {
+  // The ordered reduction also covers the legacy path.
+  Rng rng(6);
+  const DiGraph g = erdos_renyi(80, 0.06, true, rng);
+  std::vector<NodeId> targets{30, 31, 32, 33};
+  ThreadPool pool(4);
+  const SigmaConfig cfg = legacy_cfg(engine_cfg(DiffusionModel::kOpoao, 16));
+  SigmaEstimator serial(g, {0}, targets, cfg);
+  SigmaEstimator parallel(g, {0}, targets, cfg, &pool);
+  const NodeId a[] = {9, 12};
+  EXPECT_EQ(serial.sigma(a), parallel.sigma(a));
+  EXPECT_EQ(serial.baseline_infected(), parallel.baseline_infected());
+}
+
+TEST(SigmaEngine, CountsEvaluationsLikeLegacy) {
+  const DiGraph g = path_graph(5);
+  SigmaEstimator est(g, {0}, {4}, engine_cfg(DiffusionModel::kOpoao, 8));
+  ASSERT_TRUE(est.uses_engine());
+  EXPECT_EQ(est.evaluations(), 0u);
+  (void)est.sigma({});
+  EXPECT_EQ(est.evaluations(), 8u);
+  const NodeId a[] = {2};
+  (void)est.protected_fraction(a);
+  EXPECT_EQ(est.evaluations(), 16u);
+}
+
+TEST(SigmaEngine, RejectsInvalidProtectors) {
+  const DiGraph g = path_graph(6);
+  for (DiffusionModel m : kCachedModels) {
+    SigmaEstimator est(g, {0}, {3, 4}, engine_cfg(m, 4));
+    ASSERT_TRUE(est.uses_engine());
+    const NodeId out_of_range[] = {99};
+    EXPECT_THROW((void)est.sigma(out_of_range), Error) << to_string(m);
+    const NodeId collides[] = {0};
+    EXPECT_THROW((void)est.sigma(collides), Error) << to_string(m);
+    const NodeId dup[] = {2, 2};
+    EXPECT_THROW((void)est.sigma(dup), Error) << to_string(m);
+  }
+}
+
+TEST(SigmaEngine, GreedyResultsIdenticalWithAndWithoutCache) {
+  CommunityGraphConfig cg_cfg;
+  cg_cfg.community_sizes = {40, 40, 40};
+  cg_cfg.avg_inter_degree = 1.2;
+  cg_cfg.seed = 23;
+  const CommunityGraph cg = make_community_graph(cg_cfg);
+  const Partition p(cg.membership);
+  const std::vector<NodeId> rumors{p.members(0)[0], p.members(0)[1]};
+
+  for (DiffusionModel m : kCachedModels) {
+    for (bool celf : {false, true}) {
+      GreedyConfig on;
+      on.alpha = 0.9;
+      on.use_celf = celf;
+      on.sigma = engine_cfg(m, 12);
+      GreedyConfig off = on;
+      off.sigma.use_realization_cache = false;
+      const GreedyResult a = greedy_lcrbp(cg.graph, p, 0, rumors, on);
+      const GreedyResult b = greedy_lcrbp(cg.graph, p, 0, rumors, off);
+      // Same picks in the same order, same gains, same achieved fraction.
+      EXPECT_EQ(a.protectors, b.protectors)
+          << to_string(m) << (celf ? " celf" : " plain");
+      EXPECT_EQ(a.gain_history, b.gain_history)
+          << to_string(m) << (celf ? " celf" : " plain");
+      EXPECT_EQ(a.achieved_fraction, b.achieved_fraction)
+          << to_string(m) << (celf ? " celf" : " plain");
+    }
+  }
+}
+
+TEST(SigmaEngine, SupportsAndSizing) {
+  EXPECT_TRUE(SigmaEngine::supports(DiffusionModel::kOpoao));
+  EXPECT_TRUE(SigmaEngine::supports(DiffusionModel::kIc));
+  EXPECT_TRUE(SigmaEngine::supports(DiffusionModel::kLt));
+  EXPECT_FALSE(SigmaEngine::supports(DiffusionModel::kDoam));
+
+  const DiGraph g = path_graph(100);
+  for (DiffusionModel m : kCachedModels) {
+    EXPECT_GT(SigmaEngine::estimated_bytes(g, engine_cfg(m)), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace lcrb
