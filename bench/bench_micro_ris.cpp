@@ -1,0 +1,171 @@
+// MC-vs-RIS ablation (google-benchmark): the LCRB-P greedy with the
+// Monte-Carlo SigmaEstimator against SigmaMode::kRis on the paper-figure
+// analogs (Fig. 4: Hep under OPOAO; Fig. 7: Hep under DOAM), tiny scale.
+//
+// Counters:
+//   visits_per_seed   sigma node-touch operations / protectors selected —
+//                     the common cost currency of both modes
+//   visit_ratio       MC visits_per_seed / RIS visits_per_seed (the
+//                     acceptance bar is >= 5)
+//   sigma_mc_ref,     both protector sets scored by one fresh reference
+//   sigma_ris_ref     MC estimator on common random numbers
+//   agreement_ok      1 when |sigma_mc_ref - sigma_ris_ref| <=
+//                     eps * |B| + Hoeffding tolerance (matches the stat
+//                     test's check)
+//
+// Regenerate the committed record with:
+//   ./build/bench/bench_micro_ris --benchmark_out=bench/BENCH_ris.json
+//       --benchmark_out_format=json   (both flags on one line)
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "lcrb/lcrb.h"
+
+namespace {
+
+using namespace lcrb;
+
+constexpr double kScale = 0.1;
+constexpr double kRisEpsilon = 0.1;
+
+struct FigureSetup {
+  DiGraph graph;
+  std::vector<NodeId> rumors;
+  BridgeEndResult bridges;
+  std::size_t budget = 0;
+};
+
+/// Hep-like dataset with rumors planted in the paper's medium community at
+/// the 5%-of-|C| figure point — the shared substrate of Fig. 4 / Fig. 7.
+FigureSetup make_setup() {
+  DatasetSubstitute ds = make_hep_like(/*seed=*/1, kScale);
+  const Partition part(ds.net.membership);
+  const NodeId csize = part.size_of(ds.planted_medium);
+  const auto nr =
+      static_cast<std::size_t>(std::max<NodeId>(2, csize / 20));
+  ExperimentSetup ex =
+      prepare_experiment(ds.net.graph, part, ds.planted_medium, nr, 102);
+  FigureSetup out;
+  out.rumors = std::move(ex.rumors);
+  out.bridges = std::move(ex.bridges);
+  out.budget = out.rumors.size();
+  out.graph = std::move(ds.net.graph);
+  return out;
+}
+
+GreedyConfig mode_cfg(DiffusionModel model, SigmaMode mode,
+                      std::size_t budget) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.95;
+  cfg.max_protectors = budget;
+  cfg.max_candidates = 300;
+  cfg.sigma.model = model;
+  cfg.sigma.samples = (model == DiffusionModel::kDoam) ? 4 : 20;
+  cfg.sigma.seed = 9;
+  cfg.sigma_mode = mode;
+  cfg.ris.epsilon = kRisEpsilon;
+  cfg.ris.initial_sets = 256;  // the doubling rule grows it when needed
+  cfg.ris.max_sets = std::size_t{1} << 14;
+  return cfg;
+}
+
+double visits_per_seed(const GreedyResult& r) {
+  return r.protectors.empty()
+             ? 0.0
+             : static_cast<double>(r.nodes_visited) /
+                   static_cast<double>(r.protectors.size());
+}
+
+void run_select(benchmark::State& state, DiffusionModel model,
+                SigmaMode mode) {
+  static const FigureSetup setup = make_setup();
+  const GreedyConfig cfg = mode_cfg(model, mode, setup.budget);
+  GreedyResult last;
+  for (auto _ : state) {
+    last = greedy_lcrbp_from_bridges(setup.graph, setup.rumors, setup.bridges,
+                                     cfg);
+    benchmark::DoNotOptimize(last.protectors.data());
+  }
+  state.counters["protectors"] =
+      static_cast<double>(last.protectors.size());
+  state.counters["visits_per_seed"] = visits_per_seed(last);
+  if (mode == SigmaMode::kRis) {
+    state.counters["rr_sets"] = static_cast<double>(last.sigma_evaluations);
+    state.counters["rounds"] = static_cast<double>(last.ris_rounds);
+  }
+}
+
+void BM_SelectMc_HepOpoao(benchmark::State& state) {
+  run_select(state, DiffusionModel::kOpoao, SigmaMode::kMonteCarlo);
+}
+void BM_SelectRis_HepOpoao(benchmark::State& state) {
+  run_select(state, DiffusionModel::kOpoao, SigmaMode::kRis);
+}
+void BM_SelectMc_HepDoam(benchmark::State& state) {
+  run_select(state, DiffusionModel::kDoam, SigmaMode::kMonteCarlo);
+}
+void BM_SelectRis_HepDoam(benchmark::State& state) {
+  run_select(state, DiffusionModel::kDoam, SigmaMode::kRis);
+}
+
+/// The ablation record: both modes end to end, a reference estimator scoring
+/// both protector sets, and the visit ratio the acceptance bar reads.
+void run_ablation(benchmark::State& state, DiffusionModel model) {
+  static const FigureSetup setup = make_setup();
+  GreedyResult mc, ris;
+  for (auto _ : state) {
+    mc = greedy_lcrbp_from_bridges(
+        setup.graph, setup.rumors, setup.bridges,
+        mode_cfg(model, SigmaMode::kMonteCarlo, setup.budget));
+    ris = greedy_lcrbp_from_bridges(
+        setup.graph, setup.rumors, setup.bridges,
+        mode_cfg(model, SigmaMode::kRis, setup.budget));
+    benchmark::DoNotOptimize(mc.protectors.data());
+    benchmark::DoNotOptimize(ris.protectors.data());
+  }
+
+  SigmaConfig ref_cfg;
+  ref_cfg.model = model;
+  ref_cfg.samples = (model == DiffusionModel::kDoam) ? 4 : 400;
+  ref_cfg.seed = 777;
+  SigmaEstimator ref(setup.graph, setup.rumors, setup.bridges.bridge_ends,
+                     ref_cfg);
+  const double sigma_mc = ref.sigma(mc.protectors);
+  const double sigma_ris = ref.sigma(ris.protectors);
+  const auto range = static_cast<double>(setup.bridges.bridge_ends.size());
+  const double hoeffding =
+      2.0 * range *
+      std::sqrt(std::log(2.0 / 1e-4) /
+                (2.0 * static_cast<double>(ref_cfg.samples)));
+  const double tol = kRisEpsilon * range + hoeffding;
+
+  const double mc_vps = visits_per_seed(mc);
+  const double ris_vps = visits_per_seed(ris);
+  state.counters["mc_visits_per_seed"] = mc_vps;
+  state.counters["ris_visits_per_seed"] = ris_vps;
+  state.counters["visit_ratio"] = ris_vps > 0.0 ? mc_vps / ris_vps : 0.0;
+  state.counters["sigma_mc_ref"] = sigma_mc;
+  state.counters["sigma_ris_ref"] = sigma_ris;
+  state.counters["agreement_tol"] = tol;
+  state.counters["agreement_ok"] =
+      std::fabs(sigma_mc - sigma_ris) <= tol ? 1.0 : 0.0;
+}
+
+void BM_McVsRis_Fig4Opoao(benchmark::State& state) {
+  run_ablation(state, DiffusionModel::kOpoao);
+}
+void BM_McVsRis_Fig7Doam(benchmark::State& state) {
+  run_ablation(state, DiffusionModel::kDoam);
+}
+
+BENCHMARK(BM_SelectMc_HepOpoao)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectRis_HepOpoao)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectMc_HepDoam)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SelectRis_HepDoam)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_McVsRis_Fig4Opoao)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_McVsRis_Fig7Doam)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -37,10 +37,18 @@ std::uint32_t OpoaoTrace::first_pick_step(NodeId u, NodeId v,
                                           NodeState color) const {
   const int slot = color_slot(color);
   if (slot < 0) return kUnreached;
-  if (indexed_picks_ != picks.size()) {
+  if (indexed_picks_ > picks.size()) {
+    // The log shrank — not an append. Drop the index and start over.
     first_pick_.clear();
+    indexed_picks_ = 0;
+  }
+  if (indexed_picks_ < picks.size()) {
+    // Min-merge only the picks appended since the last query: the index is
+    // a running minimum per (edge, color), so new entries can only tighten
+    // it. An append-then-query loop costs O(new picks), not O(|trace|).
     first_pick_.reserve(picks.size());
-    for (const OpoaoPick& p : picks) {
+    for (std::size_t k = indexed_picks_; k < picks.size(); ++k) {
+      const OpoaoPick& p = picks[k];
       const std::uint64_t key =
           (static_cast<std::uint64_t>(p.from) << 32) | p.to;
       auto [it, inserted] =

@@ -57,8 +57,10 @@ struct OpoaoTrace {
   /// Smallest step at which `color` picked edge (u, v) — the simplified
   /// timestamp of Fig. 1(b); kUnreached if the edge was never picked by
   /// that cascade. O(1) amortized: an edge index is built lazily on first
-  /// query and rebuilt if `picks` grew since. Not safe to call concurrently
-  /// with other first_pick_step calls (the lazy index is shared).
+  /// query and extended incrementally when `picks` grew since (append-only
+  /// log assumed; a shrink triggers a full rebuild). Not safe to call
+  /// concurrently with other first_pick_step calls (the lazy index is
+  /// shared).
   std::uint32_t first_pick_step(NodeId u, NodeId v, NodeState color) const;
 
  private:

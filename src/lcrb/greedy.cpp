@@ -97,6 +97,30 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
     return out;
   }
 
+  if (cfg.sigma_mode == SigmaMode::kRis) {
+    // RR-set max coverage instead of Monte-Carlo gains. The diffusion knobs
+    // mirror cfg.sigma so both modes estimate the same sigma; candidate
+    // restriction is unnecessary — only nodes appearing in some RR set can
+    // ever have positive coverage gain, which is the same pruning for free.
+    RisConfig rc = cfg.ris;
+    rc.model = cfg.sigma.model;
+    rc.seed = cfg.sigma.seed;
+    rc.max_hops = cfg.sigma.max_hops;
+    rc.ic_edge_prob = cfg.sigma.ic_edge_prob;
+    RisGreedyResult ris = ris_greedy_from_bridges(
+        g, rumors, bridges, cfg.alpha, cfg.max_protectors, rc, pool);
+    out.protectors = std::move(ris.protectors);
+    out.achieved_fraction = ris.achieved_fraction;
+    out.gain_history = std::move(ris.gain_history);
+    out.sigma_evaluations = ris.rr_sets;
+    out.candidate_count = ris.distinct_candidates;
+    out.nodes_visited = ris.nodes_visited;
+    out.ris_rounds = ris.rounds;
+    out.ris_sigma_lower = ris.sigma_lower;
+    out.ris_sigma_upper = ris.sigma_upper;
+    return out;
+  }
+
   SigmaEstimator estimator(g, {rumors.begin(), rumors.end()},
                            bridges.bridge_ends, cfg.sigma, pool);
   std::vector<NodeId> candidates = make_candidates(
@@ -206,6 +230,9 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
   out.protectors = std::move(current);
   out.achieved_fraction = current_fraction;
   out.sigma_evaluations = estimator.evaluations();
+  out.nodes_visited = estimator.nodes_visited();
+  out.sigma_path = estimator.served_by();
+  out.sigma_fallback = estimator.fallback_reason();
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include "community/partition.h"
 #include "graph/graph.h"
 #include "lcrb/bridge.h"
+#include "lcrb/ris.h"
 #include "lcrb/sigma.h"
 #include "util/threadpool.h"
 #include "util/types.h"
@@ -42,14 +43,31 @@ struct GreedyConfig {
   std::size_t max_candidates = 0;
   bool use_celf = true;            ///< false = paper's plain re-evaluation
   SigmaConfig sigma;
+  /// kRis swaps the Monte-Carlo estimator for RR-set max coverage; the
+  /// model/seed/hops knobs are taken from `sigma` so the two modes optimize
+  /// the same objective, and the accuracy knobs come from `ris`.
+  SigmaMode sigma_mode = SigmaMode::kMonteCarlo;
+  RisConfig ris;
 };
 
 struct GreedyResult {
   std::vector<NodeId> protectors;    ///< in pick order
   double achieved_fraction = 0.0;    ///< protected fraction at termination
   std::vector<double> gain_history;  ///< marginal sigma gain per pick
-  std::size_t sigma_evaluations = 0; ///< single-run simulations performed
+  /// MC: single-run simulations performed. RIS: RR sets generated per pool —
+  /// the analogous unit of sampling work.
+  std::size_t sigma_evaluations = 0;
   std::size_t candidate_count = 0;
+  /// Elementary node-touch operations spent estimating sigma (both modes);
+  /// the bench's common cost currency.
+  std::uint64_t nodes_visited = 0;
+  std::size_t ris_rounds = 0;      ///< doubling rounds (kRis only)
+  double ris_sigma_lower = 0.0;    ///< certified sigma bounds (kRis only)
+  double ris_sigma_upper = 0.0;
+  /// kMonteCarlo only: which machinery served sigma and, when it is the
+  /// legacy path despite the cache being requested, why.
+  SigmaPath sigma_path = SigmaPath::kLegacySimulate;
+  SigmaFallbackReason sigma_fallback = SigmaFallbackReason::kNone;
 };
 
 /// Runs the LCRB-P greedy end to end (bridge ends computed internally).

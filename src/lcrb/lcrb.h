@@ -41,6 +41,7 @@
 #include "lcrb/heuristics.h"
 #include "lcrb/pipeline.h"
 #include "lcrb/rfst.h"
+#include "lcrb/ris.h"
 #include "lcrb/scbg.h"
 #include "lcrb/setcover.h"
 #include "lcrb/source.h"

@@ -1,0 +1,535 @@
+#include "lcrb/ris.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "diffusion/ic.h"
+#include "diffusion/opoao.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace lcrb {
+
+std::string to_string(SigmaMode m) {
+  switch (m) {
+    case SigmaMode::kMonteCarlo: return "mc";
+    case SigmaMode::kRis: return "ris";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// RrPool
+
+double RrPool::coverage_fraction(std::span<const NodeId> a,
+                                 bool count_null) const {
+  const std::size_t n = num_sets();
+  if (n == 0) return count_null ? 1.0 : 0.0;
+  std::vector<char> hit(n, 0);
+  std::size_t covered = 0;
+  for (NodeId v : a) {
+    for (std::uint32_t s : sets_containing(v)) {
+      if (!hit[s]) {
+        hit[s] = 1;
+        ++covered;
+      }
+    }
+  }
+  const std::size_t numer = covered + (count_null ? num_null_ : 0);
+  return static_cast<double>(numer) / static_cast<double>(n);
+}
+
+void RrPool::append_sets(std::vector<std::vector<NodeId>>&& sets,
+                         std::uint64_t visits, NodeId num_graph_nodes) {
+  std::size_t added = 0;
+  for (const auto& s : sets) added += s.size();
+  nodes_.reserve(nodes_.size() + added);
+  set_off_.reserve(set_off_.size() + sets.size());
+  for (auto& s : sets) {
+    if (s.empty()) ++num_null_;
+    nodes_.insert(nodes_.end(), s.begin(), s.end());
+    set_off_.push_back(static_cast<std::uint32_t>(nodes_.size()));
+  }
+  nodes_visited_ += visits;
+
+  // Rebuild the inverted index by counting sort; iterating sets in id order
+  // keeps each node's posting list ascending.
+  inv_off_.assign(static_cast<std::size_t>(num_graph_nodes) + 1, 0);
+  for (NodeId v : nodes_) ++inv_off_[static_cast<std::size_t>(v) + 1];
+  for (std::size_t i = 1; i < inv_off_.size(); ++i) inv_off_[i] += inv_off_[i - 1];
+  inv_sets_.assign(nodes_.size(), 0);
+  std::vector<std::uint32_t> cursor(inv_off_.begin(), inv_off_.end() - 1);
+  for (std::size_t s = 0; s + 1 < set_off_.size(); ++s) {
+    for (std::uint32_t i = set_off_[s]; i < set_off_[s + 1]; ++i) {
+      inv_sets_[cursor[nodes_[i]]++] = static_cast<std::uint32_t>(s);
+    }
+  }
+  num_covered_nodes_ = 0;
+  for (NodeId v = 0; v < num_graph_nodes; ++v) {
+    if (inv_off_[v + 1] > inv_off_[v]) ++num_covered_nodes_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RrSampler
+
+/// Per-draw working memory, reused across RR sets via epoch stamping so a
+/// fresh draw costs O(touched), not O(n). Leased under a mutex; concurrent
+/// draws each hold their own Scratch.
+struct RrSampler::Scratch {
+  Scratch(NodeId n, std::uint32_t hops)
+      : t0_epoch(n, 0),
+        t0(n, 0),
+        lat_epoch(n, 0),
+        lat(n, 0),
+        done_epoch(n, 0),
+        buckets(static_cast<std::size_t>(hops) + 1) {}
+
+  void bump_epoch() {
+    if (++epoch == 0) {  // wrapped: stamps from the previous era could alias
+      std::fill(t0_epoch.begin(), t0_epoch.end(), 0);
+      std::fill(lat_epoch.begin(), lat_epoch.end(), 0);
+      std::fill(done_epoch.begin(), done_epoch.end(), 0);
+      epoch = 1;
+    }
+  }
+
+  std::uint32_t epoch = 0;
+  /// OPOAO: rumor-only baseline activation step. IC/DOAM: reverse distance.
+  std::vector<std::uint32_t> t0_epoch, t0;
+  /// OPOAO reverse search: latest admissible claim step.
+  std::vector<std::uint32_t> lat_epoch, lat;
+  std::vector<std::uint32_t> done_epoch;
+  std::vector<NodeId> frontier, next, active, collected;
+  /// OPOAO bucket queue over claim steps; always drained back to empty.
+  std::vector<std::vector<NodeId>> buckets;
+};
+
+struct RrSampler::ScratchLease {
+  explicit ScratchLease(const RrSampler& owner) : owner_(owner) {
+    {
+      std::lock_guard<std::mutex> lock(owner_.scratch_mu_);
+      if (!owner_.scratch_free_.empty()) {
+        scratch = std::move(owner_.scratch_free_.back());
+        owner_.scratch_free_.pop_back();
+      }
+    }
+    if (scratch == nullptr) {
+      scratch = std::make_unique<Scratch>(owner_.g_.num_nodes(),
+                                          owner_.cfg_.max_hops);
+    }
+  }
+  ~ScratchLease() {
+    std::lock_guard<std::mutex> lock(owner_.scratch_mu_);
+    owner_.scratch_free_.push_back(std::move(scratch));
+  }
+  const RrSampler& owner_;
+  std::unique_ptr<Scratch> scratch;
+};
+
+RrSampler::RrSampler(const DiGraph& g, std::vector<NodeId> rumors,
+                     std::vector<NodeId> bridge_ends, const RisConfig& cfg)
+    : g_(g),
+      cfg_(cfg),
+      rumors_(std::move(rumors)),
+      bridge_ends_(std::move(bridge_ends)) {
+  LCRB_REQUIRE(cfg_.model != DiffusionModel::kLt,
+               "RIS does not support competitive LT: it is not per-sample "
+               "monotone, so RR-set coverage has no save semantics");
+  is_rumor_.assign(g_.num_nodes(), false);
+  for (NodeId v : rumors_) {
+    LCRB_REQUIRE(v < g_.num_nodes(), "rumor seed out of range");
+    is_rumor_[v] = true;
+  }
+  for (NodeId v : bridge_ends_) {
+    LCRB_REQUIRE(v < g_.num_nodes(), "bridge end out of range");
+  }
+  if (cfg_.model == DiffusionModel::kDoam) {
+    // Multi-source rumor BFS, capped at max_hops — the DOAM arrival times.
+    doam_rumor_dist_.assign(g_.num_nodes(), kUnreached);
+    std::vector<NodeId> frontier, next;
+    for (NodeId v : rumors_) {
+      doam_rumor_dist_[v] = 0;
+      frontier.push_back(v);
+    }
+    for (std::uint32_t d = 1; d <= cfg_.max_hops && !frontier.empty(); ++d) {
+      next.clear();
+      for (NodeId u : frontier) {
+        for (NodeId w : g_.out_neighbors(u)) {
+          if (doam_rumor_dist_[w] == kUnreached) {
+            doam_rumor_dist_[w] = d;
+            next.push_back(w);
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+}
+
+RrSampler::~RrSampler() = default;
+
+RrSampler::Draw RrSampler::draw(std::uint64_t stream, std::size_t index) const {
+  // One forked stream per (stream, index) pair; streams are interleaved so
+  // the three pools never share a realization.
+  Rng r = Rng(cfg_.seed).fork(static_cast<std::uint64_t>(index) * 3 + stream);
+  Draw d;
+  d.realization_seed = r.next();
+  d.root_idx = bridge_ends_.empty()
+                   ? 0
+                   : static_cast<std::size_t>(r.next_below(bridge_ends_.size()));
+  return d;
+}
+
+std::vector<NodeId> RrSampler::rr_set(std::size_t root_idx,
+                                      std::uint64_t realization_seed,
+                                      std::uint64_t* visits) const {
+  LCRB_REQUIRE(root_idx < bridge_ends_.size(), "RR root index out of range");
+  const NodeId root = bridge_ends_[root_idx];
+  std::uint64_t local = 0;
+  std::vector<NodeId> out;
+  switch (cfg_.model) {
+    case DiffusionModel::kDoam: out = rr_doam(root, &local); break;
+    case DiffusionModel::kIc: out = rr_ic(root, realization_seed, &local); break;
+    case DiffusionModel::kOpoao:
+      out = rr_opoao(root, realization_seed, &local);
+      break;
+    case DiffusionModel::kLt: throw Error("RIS does not support LT");
+  }
+  std::sort(out.begin(), out.end());
+  if (visits != nullptr) *visits += local;
+  return out;
+}
+
+std::vector<NodeId> RrSampler::rr_doam(NodeId root,
+                                       std::uint64_t* visits) const {
+  const std::uint32_t limit = doam_rumor_dist_[root];
+  if (limit == kUnreached) return {};  // rumor never arrives: null set
+  ScratchLease lease(*this);
+  Scratch& sc = *lease.scratch;
+  sc.bump_epoch();
+
+  // Plain reverse BFS capped at dist_R(root). Any path through a rumor seed
+  // r has length >= 1 + dist_R(root) (dist(r, root) >= dist_R(root)), so the
+  // cap already keeps rumor seeds off every counted path; they are only
+  // excluded from the output.
+  std::vector<NodeId> out;
+  sc.frontier.clear();
+  sc.t0_epoch[root] = sc.epoch;
+  sc.frontier.push_back(root);
+  if (!is_rumor_[root]) out.push_back(root);
+  ++*visits;
+  for (std::uint32_t d = 1; d <= limit && !sc.frontier.empty(); ++d) {
+    sc.next.clear();
+    for (NodeId w : sc.frontier) {
+      for (NodeId u : g_.in_neighbors(w)) {
+        ++*visits;
+        if (sc.t0_epoch[u] == sc.epoch) continue;
+        sc.t0_epoch[u] = sc.epoch;
+        sc.next.push_back(u);
+        if (!is_rumor_[u]) out.push_back(u);
+      }
+    }
+    sc.frontier.swap(sc.next);
+  }
+  return out;
+}
+
+std::vector<NodeId> RrSampler::rr_ic(NodeId root, std::uint64_t seed,
+                                     std::uint64_t* visits) const {
+  ScratchLease lease(*this);
+  Scratch& sc = *lease.scratch;
+  sc.bump_epoch();
+
+  // Reverse BFS over transposed live arcs. The first level that contains a
+  // rumor seed is the realized rumor arrival d_R(root); it truncates the
+  // search, and by the live-subgraph distance rule every non-rumor node
+  // within that depth saves root.
+  sc.frontier.clear();
+  sc.collected.clear();
+  sc.t0_epoch[root] = sc.epoch;
+  sc.frontier.push_back(root);
+  sc.collected.push_back(root);
+  ++*visits;
+  std::uint32_t rumor_level = is_rumor_[root] ? 0 : kUnreached;
+  std::uint32_t limit = cfg_.max_hops;
+  for (std::uint32_t d = 0; d < limit && !sc.frontier.empty(); ++d) {
+    sc.next.clear();
+    for (NodeId w : sc.frontier) {
+      for (NodeId u : g_.in_neighbors(w)) {
+        ++*visits;
+        if (sc.t0_epoch[u] == sc.epoch) continue;
+        if (!ic_arc_live(seed, u, w, cfg_.ic_edge_prob)) continue;
+        sc.t0_epoch[u] = sc.epoch;
+        sc.next.push_back(u);
+        sc.collected.push_back(u);
+        if (is_rumor_[u] && rumor_level == kUnreached) {
+          rumor_level = d + 1;
+          limit = std::min(limit, rumor_level);
+        }
+      }
+    }
+    sc.frontier.swap(sc.next);
+  }
+  if (rumor_level == kUnreached) return {};  // null set
+  std::vector<NodeId> out;
+  out.reserve(sc.collected.size());
+  for (NodeId v : sc.collected) {
+    if (!is_rumor_[v]) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> RrSampler::rr_opoao(NodeId root, std::uint64_t seed,
+                                        std::uint64_t* visits) const {
+  ScratchLease lease(*this);
+  Scratch& sc = *lease.scratch;
+  sc.bump_epoch();
+  const std::uint32_t hops = cfg_.max_hops;
+
+  // Phase 1: rumor-only forward baseline T0 under this realization, straight
+  // from the stateless pick hashes (no trace, no pick tables). Matches
+  // simulate_opoao with empty protectors and max_steps = max_hops.
+  sc.active.clear();
+  for (NodeId v : rumors_) {
+    sc.t0_epoch[v] = sc.epoch;
+    sc.t0[v] = 0;
+    if (g_.out_degree(v) > 0) sc.active.push_back(v);
+  }
+  for (std::uint32_t step = 1; step <= hops && !sc.active.empty(); ++step) {
+    const std::size_t prev = sc.active.size();
+    for (std::size_t i = 0; i < prev; ++i) {
+      const NodeId v = sc.active[i];
+      const auto nbrs = g_.out_neighbors(v);
+      const NodeId w = nbrs[opoao_pick_hash(seed, v, step) % nbrs.size()];
+      ++*visits;
+      if (sc.t0_epoch[w] != sc.epoch) {
+        sc.t0_epoch[w] = sc.epoch;
+        sc.t0[w] = step;
+        if (g_.out_degree(w) > 0) sc.active.push_back(w);
+      }
+    }
+  }
+  if (sc.t0_epoch[root] != sc.epoch) return {};  // null set
+  const std::uint32_t t0_root = sc.t0[root];
+
+  // Phase 2: reverse temporal search, maximizing the latest admissible claim
+  // step. lat(w) = latest step at which a protector claim of w still saves
+  // root through some pick path; lat(root) = T0(root) (P wins the tie).
+  // Relaxing arc (u, w): the largest t <= lat(w) with pick(u, t) = w lets u
+  // hand off at t, so u itself must be claimed by min(t - 1, T0(u)).
+  // Deadlines strictly decrease along relaxations, so one descending bucket
+  // sweep finalizes every node at its maximum deadline. Rumor seeds are
+  // never claimable by P and are skipped. Membership (lat >= 0) implies a
+  // forward save — but not conversely (a protector can starve the rumor
+  // upstream without reaching root), so OPOAO coverage lower-bounds sigma.
+  sc.collected.clear();
+  sc.lat_epoch[root] = sc.epoch;
+  sc.lat[root] = t0_root;
+  sc.buckets[t0_root].push_back(root);
+  for (std::uint32_t b = t0_root + 1; b-- > 0;) {
+    auto& bucket = sc.buckets[b];
+    for (std::size_t qi = 0; qi < bucket.size(); ++qi) {
+      const NodeId w = bucket[qi];
+      // Stale entry: superseded by a later push or already finalized.
+      if (sc.done_epoch[w] == sc.epoch || sc.lat[w] != b) continue;
+      sc.done_epoch[w] = sc.epoch;
+      sc.collected.push_back(w);
+      if (b == 0) continue;  // nothing can be claimed before step 0
+      for (NodeId u : g_.in_neighbors(w)) {
+        ++*visits;
+        if (sc.done_epoch[u] == sc.epoch || is_rumor_[u]) continue;
+        const auto nbrs = g_.out_neighbors(u);
+        std::uint32_t tstar = 0;
+        for (std::uint32_t t = b; t >= 1; --t) {
+          ++*visits;
+          if (nbrs[opoao_pick_hash(seed, u, t) % nbrs.size()] == w) {
+            tstar = t;
+            break;
+          }
+        }
+        if (tstar == 0) continue;
+        std::uint32_t cand = tstar - 1;
+        if (sc.t0_epoch[u] == sc.epoch && sc.t0[u] < cand) cand = sc.t0[u];
+        if (sc.lat_epoch[u] != sc.epoch || sc.lat[u] < cand) {
+          sc.lat_epoch[u] = sc.epoch;
+          sc.lat[u] = cand;
+          sc.buckets[cand].push_back(u);
+        }
+      }
+    }
+    bucket.clear();
+  }
+  return sc.collected;
+}
+
+void RrSampler::extend(RrPool& pool, std::uint64_t stream,
+                       std::size_t target_sets, ThreadPool* tp) const {
+  const std::size_t from = pool.num_sets();
+  if (target_sets <= from) return;
+  const std::size_t count = target_sets - from;
+  std::vector<std::vector<NodeId>> sets(count);
+  std::vector<std::uint64_t> vis(count, 0);
+  auto make_one = [&](std::size_t i) {
+    if (bridge_ends_.empty()) return;  // no targets: every set is null
+    const Draw d = draw(stream, from + i);
+    sets[i] = rr_set(d.root_idx, d.realization_seed, &vis[i]);
+  };
+  if (tp != nullptr && count > 1) {
+    tp->parallel_for(count, make_one);
+  } else {
+    for (std::size_t i = 0; i < count; ++i) make_one(i);
+  }
+  std::uint64_t total = 0;
+  for (std::uint64_t v : vis) total += v;
+  pool.append_sets(std::move(sets), total, g_.num_nodes());
+}
+
+// ---------------------------------------------------------------------------
+// Max-coverage greedy + OPIM-style stopping rule
+
+namespace {
+
+struct CoverageGreedyOutcome {
+  std::vector<NodeId> picks;
+  std::vector<std::size_t> gains;  ///< newly covered sets per pick
+  std::size_t covered = 0;
+  std::uint64_t ops = 0;
+};
+
+/// Plain max-coverage greedy over the pool, lowest node id on ties, stopping
+/// once (covered + null) / num_sets reaches alpha or the pick cap is hit.
+CoverageGreedyOutcome coverage_greedy(const RrPool& pool, NodeId num_nodes,
+                                      double alpha,
+                                      std::size_t max_protectors) {
+  CoverageGreedyOutcome out;
+  const std::size_t theta = pool.num_sets();
+  if (theta == 0) return out;
+  std::vector<std::uint32_t> cnt(num_nodes, 0);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    cnt[v] = static_cast<std::uint32_t>(pool.sets_containing(v).size());
+  }
+  std::vector<char> covered(theta, 0);
+  const double need = alpha * static_cast<double>(theta) - 1e-9;
+  while (static_cast<double>(out.covered + pool.num_null()) < need &&
+         (max_protectors == 0 || out.picks.size() < max_protectors)) {
+    NodeId best = kInvalidNode;
+    std::uint32_t best_cnt = 0;
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      if (cnt[v] > best_cnt) {
+        best = v;
+        best_cnt = cnt[v];
+      }
+    }
+    if (best == kInvalidNode) break;  // every remaining set is uncoverable
+    out.picks.push_back(best);
+    out.gains.push_back(best_cnt);
+    for (std::uint32_t s : pool.sets_containing(best)) {
+      if (covered[s]) continue;
+      covered[s] = 1;
+      ++out.covered;
+      for (NodeId w : pool.set_nodes(s)) {
+        --cnt[w];
+        ++out.ops;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
+                                        std::span<const NodeId> rumors,
+                                        const BridgeEndResult& bridges,
+                                        double alpha,
+                                        std::size_t max_protectors,
+                                        const RisConfig& cfg,
+                                        ThreadPool* pool) {
+  LCRB_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  LCRB_REQUIRE(cfg.epsilon > 0.0 && cfg.delta > 0.0 && cfg.delta < 1.0,
+               "epsilon must be positive and delta in (0, 1)");
+  RisGreedyResult out;
+  const std::size_t nb = bridges.bridge_ends.size();
+  if (nb == 0) {
+    out.achieved_fraction = 1.0;
+    return out;
+  }
+  RrSampler sampler(g, {rumors.begin(), rumors.end()}, bridges.bridge_ends,
+                    cfg);
+  RrPool selection, validation;
+  const double b = static_cast<double>(nb);
+  const double approx = 1.0 - std::exp(-1.0);  // the (1 - 1/e) factor
+
+  std::size_t theta =
+      std::min(std::max<std::size_t>(cfg.initial_sets, 1), cfg.max_sets);
+  // Union-bound budget: two pools, checked once per doubling round.
+  std::size_t max_rounds = 1;
+  for (std::size_t t = theta; t < cfg.max_sets; t *= 2) ++max_rounds;
+
+  std::uint64_t greedy_ops = 0;
+  for (std::size_t round = 1;; ++round) {
+    sampler.extend(selection, 0, theta, pool);
+    sampler.extend(validation, 1, theta, pool);
+    CoverageGreedyOutcome sel =
+        coverage_greedy(selection, g.num_nodes(), alpha, max_protectors);
+    greedy_ops += sel.ops;
+
+    const double cov1 =
+        static_cast<double>(sel.covered) / static_cast<double>(theta);
+    const double cov2 = validation.coverage_fraction(sel.picks, false);
+    // Two-sided Hoeffding half-width at failure budget delta split across
+    // every check this run can make: P(|mean - mu| > hw) <= delta / (2 R).
+    const double hw = std::sqrt(
+        std::log(4.0 * static_cast<double>(max_rounds) / cfg.delta) /
+        (2.0 * static_cast<double>(theta)));
+    const double lb = std::max(0.0, cov2 - hw);
+    const double ub = std::min(1.0, cov1 / approx + hw);
+    // OPIM-style acceptance, adapted to the alpha-truncated objective: stop
+    // when the validated coverage certifies the greedy ratio up to epsilon,
+    // when the half-width alone is negligible, or at the sample cap.
+    const bool certified = ub > 0.0 && lb / ub >= approx - cfg.epsilon;
+    const bool negligible = hw <= cfg.epsilon / 4.0;
+    if (certified || negligible || theta >= cfg.max_sets) {
+      out.protectors = std::move(sel.picks);
+      out.gain_history.reserve(sel.gains.size());
+      for (std::size_t gsets : sel.gains) {
+        out.gain_history.push_back(static_cast<double>(gsets) * b /
+                                   static_cast<double>(theta));
+      }
+      out.achieved_fraction =
+          validation.coverage_fraction(out.protectors, true);
+      out.rr_sets = theta;
+      out.rounds = round;
+      out.sigma_lower = lb * b;
+      out.sigma_upper = ub * b;
+      out.distinct_candidates = selection.num_covered_nodes();
+      out.nodes_visited = selection.nodes_visited() +
+                          validation.nodes_visited() + greedy_ops;
+      return out;
+    }
+    theta = std::min(theta * 2, cfg.max_sets);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RisEstimator
+
+RisEstimator::RisEstimator(const DiGraph& g, std::vector<NodeId> rumors,
+                           std::vector<NodeId> bridge_ends,
+                           const RisConfig& cfg, ThreadPool* pool)
+    : sampler_(g, std::move(rumors), std::move(bridge_ends), cfg) {
+  sampler_.extend(pool_, 2, cfg.estimator_sets, pool);
+}
+
+double RisEstimator::sigma(std::span<const NodeId> protectors) const {
+  return pool_.coverage_fraction(protectors, false) *
+         static_cast<double>(sampler_.bridge_ends().size());
+}
+
+double RisEstimator::protected_fraction(
+    std::span<const NodeId> protectors) const {
+  return pool_.coverage_fraction(protectors, true);
+}
+
+}  // namespace lcrb

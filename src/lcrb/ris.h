@@ -1,0 +1,238 @@
+// Reverse-reachable (RR) set sampling for sigma — the RIS alternative to
+// the forward Monte-Carlo SigmaEstimator (after Tong et al.'s randomized
+// rumor blocking and the Borgs et al. / OPIM line of IM samplers).
+//
+// One RR draw picks a uniformly-random bridge end b and one coupled
+// realization (the same stateless randomness simulate() uses: OPOAO pick
+// stream, IC live-edge coins; DOAM is deterministic), then collects the set
+// of nodes that, seeded alone as a protector at step 0, save b in that
+// realization:
+//
+//  * DOAM  — reverse BFS truncated at dist_R(b): v saves b iff
+//            dist(v, b) <= dist_R(b) (the §6.4 distance rule). Exact.
+//  * IC    — reverse BFS over the TRANSPOSED live-edge subgraph; the rumor
+//            arrival d_R(b) is discovered by the same search (first level
+//            containing a rumor seed) and truncates it. Exact by the
+//            live-subgraph distance rule.
+//  * OPOAO — reverse temporal search over the pick stream: v is collected
+//            iff a pick path v -> w1 -> ... -> b exists with strictly
+//            increasing steps t_i where every intermediate claim lands no
+//            later than that node's rumor-only baseline time (P wins the
+//            tie). Sound — every member really saves b — but a protector
+//            can also save b by starving the rumor upstream without ever
+//            reaching b, so OPOAO RR coverage is a LOWER bound on sigma
+//            (per-sample: covered(A) implies saved(A) by Lemma 4
+//            monotonicity). docs/algorithms.md discusses the gap.
+//
+// sigma(A) ~= |B| * (covered RR sets / total RR sets): exact in expectation
+// for DOAM/IC, conservative for OPOAO. Coverage of a fixed pool is monotone
+// and submodular, so max-coverage greedy over the pool keeps the paper's
+// (1 - 1/e) machinery, and an OPIM-style two-pool sample-doubling rule makes
+// the accuracy knobs (epsilon, delta) explicit instead of a fixed sample
+// count.
+//
+// Generation is deterministic in (config seed, stream, index): every RR set
+// lands in a preassigned slot and pools are flattened in index order, so
+// results are bit-identical across thread counts (PR 1's fixed-order
+// reduction convention).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "diffusion/montecarlo.h"
+#include "graph/graph.h"
+#include "lcrb/bridge.h"
+#include "util/threadpool.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+/// Which sigma machinery drives the LCRB-P greedy.
+enum class SigmaMode : std::uint8_t {
+  kMonteCarlo,  ///< forward coupled simulation (SigmaEstimator)
+  kRis,         ///< RR-set max coverage (this header)
+};
+
+std::string to_string(SigmaMode m);
+
+struct RisConfig {
+  /// Relative accuracy target of the stopping rule: sampling stops once the
+  /// selected set's certified coverage ratio reaches (1 - 1/e - epsilon), or
+  /// the Hoeffding half-width alone drops below epsilon/4.
+  double epsilon = 0.1;
+  /// Total failure probability budget of all concentration bounds.
+  double delta = 0.01;
+  /// RR sets per pool in the first round; doubles every round.
+  std::size_t initial_sets = 512;
+  /// Hard cap per pool; sampling stops here even if the rule has not fired.
+  std::size_t max_sets = std::size_t{1} << 18;
+  /// Fixed pool size used by RisEstimator (no adaptive rule there).
+  std::size_t estimator_sets = 4096;
+  std::uint64_t seed = 7;
+  std::uint32_t max_hops = 31;
+  DiffusionModel model = DiffusionModel::kOpoao;
+  double ic_edge_prob = 0.1;
+};
+
+/// A batch of RR sets in CSR form with a node -> RR-set inverted index.
+/// Grows in rounds via RrSampler::extend; set i keeps its identity forever.
+class RrPool {
+ public:
+  /// Number of RR sets, including null sets (root not rumor-reached in its
+  /// realization — nothing to save, but it still counts in the denominator).
+  std::size_t num_sets() const { return set_off_.size() - 1; }
+  std::size_t num_null() const { return num_null_; }
+
+  /// Nodes of RR set i, ascending. Empty span = null set.
+  std::span<const NodeId> set_nodes(std::size_t i) const {
+    return {nodes_.data() + set_off_[i], nodes_.data() + set_off_[i + 1]};
+  }
+  /// RR-set ids containing node v, ascending (the inverted index).
+  std::span<const std::uint32_t> sets_containing(NodeId v) const {
+    if (inv_off_.empty()) return {};
+    return {inv_sets_.data() + inv_off_[v], inv_sets_.data() + inv_off_[v + 1]};
+  }
+
+  std::size_t total_entries() const { return nodes_.size(); }
+  /// Distinct nodes appearing in at least one RR set.
+  std::size_t num_covered_nodes() const { return num_covered_nodes_; }
+  /// Elementary node-touch operations spent generating the pool (forward
+  /// baseline steps + reverse-search relaxations); the bench's cost metric.
+  std::uint64_t nodes_visited() const { return nodes_visited_; }
+
+  /// Fraction of RR sets hit by seed set `a` (coverage objective), plus the
+  /// null sets folded in when `count_null` (the protected-fraction reading).
+  double coverage_fraction(std::span<const NodeId> a, bool count_null) const;
+
+ private:
+  friend class RrSampler;
+  void append_sets(std::vector<std::vector<NodeId>>&& sets,
+                   std::uint64_t visits, NodeId num_graph_nodes);
+
+  std::vector<std::uint32_t> set_off_ = {0};
+  std::vector<NodeId> nodes_;
+  std::vector<std::uint32_t> inv_off_;  ///< per node, rebuilt on append
+  std::vector<std::uint32_t> inv_sets_;
+  std::size_t num_null_ = 0;
+  std::size_t num_covered_nodes_ = 0;
+  std::uint64_t nodes_visited_ = 0;
+};
+
+/// Draws RR sets under the coupled competitive models. Thread-safe: parallel
+/// draws lease independent scratch buffers, and every draw is a pure
+/// function of (config seed, stream, index).
+class RrSampler {
+ public:
+  RrSampler(const DiGraph& g, std::vector<NodeId> rumors,
+            std::vector<NodeId> bridge_ends, const RisConfig& cfg);
+  ~RrSampler();
+
+  RrSampler(const RrSampler&) = delete;
+  RrSampler& operator=(const RrSampler&) = delete;
+
+  /// Root index (into bridge_ends) and realization seed of draw `index` on
+  /// `stream` (0 = selection pool, 1 = validation pool, 2 = estimator).
+  struct Draw {
+    std::size_t root_idx;
+    std::uint64_t realization_seed;
+  };
+  Draw draw(std::uint64_t stream, std::size_t index) const;
+
+  /// The RR set of one (root, realization) pair, ascending node ids; empty
+  /// when the rumor never reaches the root in this realization. `visits`
+  /// (optional) accumulates elementary node-touch operations.
+  std::vector<NodeId> rr_set(std::size_t root_idx,
+                             std::uint64_t realization_seed,
+                             std::uint64_t* visits = nullptr) const;
+
+  /// Grows `pool` to `target_sets` RR sets using draws
+  /// [pool.num_sets(), target_sets) of `stream`. Bit-identical across thread
+  /// counts: slots are preassigned and flattened in index order.
+  void extend(RrPool& pool, std::uint64_t stream, std::size_t target_sets,
+              ThreadPool* tp = nullptr) const;
+
+  const std::vector<NodeId>& bridge_ends() const { return bridge_ends_; }
+  const DiGraph& graph() const { return g_; }
+  const RisConfig& config() const { return cfg_; }
+
+ private:
+  struct Scratch;
+  struct ScratchLease;
+
+  std::vector<NodeId> rr_doam(NodeId root, std::uint64_t* visits) const;
+  std::vector<NodeId> rr_ic(NodeId root, std::uint64_t seed,
+                            std::uint64_t* visits) const;
+  std::vector<NodeId> rr_opoao(NodeId root, std::uint64_t seed,
+                               std::uint64_t* visits) const;
+
+  const DiGraph& g_;
+  RisConfig cfg_;
+  std::vector<NodeId> rumors_;
+  std::vector<NodeId> bridge_ends_;
+  std::vector<bool> is_rumor_;
+  /// DOAM only: multi-source BFS distance from the rumor seeds.
+  std::vector<std::uint32_t> doam_rumor_dist_;
+
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<Scratch>> scratch_free_;
+};
+
+/// Result of the RIS max-coverage greedy (the SigmaMode::kRis engine behind
+/// greedy_lcrbp_from_bridges).
+struct RisGreedyResult {
+  std::vector<NodeId> protectors;  ///< in pick order
+  /// Estimated protected fraction on the validation pool at termination.
+  double achieved_fraction = 0.0;
+  /// Marginal sigma gain per pick, in bridge-end units (|B| * d_coverage).
+  std::vector<double> gain_history;
+  std::size_t rr_sets = 0;  ///< per pool at termination
+  std::size_t rounds = 0;   ///< doubling rounds run
+  /// Certified bounds on sigma(protectors) under the coverage objective:
+  /// lower from the validation pool, upper from the selection pool's greedy
+  /// guarantee, each holding with probability >= 1 - delta overall.
+  double sigma_lower = 0.0;
+  double sigma_upper = 0.0;
+  std::size_t distinct_candidates = 0;  ///< nodes seen in any RR set
+  std::uint64_t nodes_visited = 0;      ///< generation + greedy node ops
+};
+
+/// RIS protector selection: adaptive sample doubling (OPIM-style two-pool
+/// rule) + max-coverage greedy until the estimated protected fraction
+/// reaches `alpha` or `max_protectors` (0 = unlimited) is hit.
+RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
+                                        std::span<const NodeId> rumors,
+                                        const BridgeEndResult& bridges,
+                                        double alpha,
+                                        std::size_t max_protectors,
+                                        const RisConfig& cfg,
+                                        ThreadPool* pool = nullptr);
+
+/// Fixed-pool sigma estimator over cfg.estimator_sets RR sets — the RIS
+/// counterpart of SigmaEstimator for agreement tests and benches.
+class RisEstimator {
+ public:
+  RisEstimator(const DiGraph& g, std::vector<NodeId> rumors,
+               std::vector<NodeId> bridge_ends, const RisConfig& cfg,
+               ThreadPool* pool = nullptr);
+
+  /// sigma-hat(A) = |B| * covered fraction. Exact-in-expectation for DOAM
+  /// and IC; a lower bound in expectation for OPOAO.
+  double sigma(std::span<const NodeId> protectors) const;
+  /// (null + covered) / num_sets — the protected-fraction reading.
+  double protected_fraction(std::span<const NodeId> protectors) const;
+
+  std::size_t num_sets() const { return pool_.num_sets(); }
+  const RrPool& pool() const { return pool_; }
+  std::uint64_t nodes_visited() const { return pool_.nodes_visited(); }
+
+ private:
+  RrSampler sampler_;
+  RrPool pool_;
+};
+
+}  // namespace lcrb

@@ -1,10 +1,31 @@
 #include "lcrb/sigma.h"
 
+#include <atomic>
+
 #include "lcrb/sigma_engine.h"
 #include "util/error.h"
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace lcrb {
+
+std::string to_string(SigmaPath p) {
+  switch (p) {
+    case SigmaPath::kRealizationCache: return "realization_cache";
+    case SigmaPath::kLegacySimulate: return "legacy_simulate";
+  }
+  return "unknown";
+}
+
+std::string to_string(SigmaFallbackReason r) {
+  switch (r) {
+    case SigmaFallbackReason::kNone: return "none";
+    case SigmaFallbackReason::kDisabled: return "disabled";
+    case SigmaFallbackReason::kUnsupportedModel: return "unsupported_model";
+    case SigmaFallbackReason::kByteCap: return "byte_cap";
+  }
+  return "unknown";
+}
 
 SigmaEstimator::SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
                                std::vector<NodeId> bridge_ends,
@@ -23,11 +44,31 @@ SigmaEstimator::SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
     sample_seeds_[i] = master.fork(i).next();
   }
 
+  const std::size_t estimated = SigmaEngine::estimated_bytes(g_, cfg_);
   const bool cache_fits =
-      cfg_.max_cache_bytes == 0 ||
-      SigmaEngine::estimated_bytes(g_, cfg_) <= cfg_.max_cache_bytes;
-  if (cfg_.use_realization_cache && SigmaEngine::supports(cfg_.model) &&
-      cache_fits) {
+      cfg_.max_cache_bytes == 0 || estimated <= cfg_.max_cache_bytes;
+  if (!cfg_.use_realization_cache) {
+    fallback_reason_ = SigmaFallbackReason::kDisabled;
+  } else if (!SigmaEngine::supports(cfg_.model)) {
+    fallback_reason_ = SigmaFallbackReason::kUnsupportedModel;
+  } else if (!cache_fits) {
+    // The caller asked for the cache and the model supports it, but the
+    // byte cap silently downgraded to per-sample re-simulation — that is a
+    // real perf cliff, so say so (once per process; repeats at debug level).
+    fallback_reason_ = SigmaFallbackReason::kByteCap;
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      LCRB_LOG_WARN << "sigma: realization cache requested but its estimated "
+                    << estimated << " bytes exceed max_cache_bytes "
+                    << cfg_.max_cache_bytes
+                    << "; falling back to the legacy simulate() path "
+                    << "(~5x slower per evaluation)";
+    } else {
+      LCRB_LOG_DEBUG << "sigma: byte-cap fallback to legacy path (estimated "
+                     << estimated << " > cap " << cfg_.max_cache_bytes << ")";
+    }
+  }
+  if (fallback_reason_ == SigmaFallbackReason::kNone) {
     // The engine runs the rumor-only baselines itself while materializing
     // each sample's realization.
     engine_ = std::make_unique<SigmaEngine>(g_, rumors_, bridge_ends_,
@@ -95,6 +136,9 @@ SigmaEstimator::SampleOutcome SigmaEstimator::evaluate_sample(
   seeds.rumors = rumors_;
   seeds.protectors.assign(protectors.begin(), protectors.end());
   const DiffusionResult r = simulate(g_, seeds, sample_seeds_[i], mc);
+  // Visit proxy for a full simulation: every node the run activated.
+  legacy_visits_.fetch_add(
+      r.infected_count() + r.protected_count(), std::memory_order_relaxed);
 
   SampleOutcome out{0.0, 0.0};
   for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
@@ -127,6 +171,12 @@ SigmaEstimator::Totals SigmaEstimator::evaluate_all(
     t.uninfected += outcomes[i].uninfected;
   }
   return t;
+}
+
+std::uint64_t SigmaEstimator::nodes_visited() const {
+  return engine_ != nullptr
+             ? engine_->nodes_visited()
+             : legacy_visits_.load(std::memory_order_relaxed);
 }
 
 double SigmaEstimator::sigma(std::span<const NodeId> protectors) const {

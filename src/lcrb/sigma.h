@@ -31,6 +31,24 @@ namespace lcrb {
 
 class SigmaEngine;
 
+/// Which machinery actually serves sigma evaluations (tests and benches
+/// assert on this instead of inferring it from timings).
+enum class SigmaPath : std::uint8_t {
+  kRealizationCache,  ///< SigmaEngine replay
+  kLegacySimulate,    ///< per-sample simulate() re-runs
+};
+
+/// Why the estimator is NOT on the realization cache.
+enum class SigmaFallbackReason : std::uint8_t {
+  kNone,              ///< not a fallback: the cache is serving
+  kDisabled,          ///< use_realization_cache = false
+  kUnsupportedModel,  ///< DOAM (deterministic, never cached)
+  kByteCap,           ///< estimated cache size exceeds max_cache_bytes
+};
+
+std::string to_string(SigmaPath p);
+std::string to_string(SigmaFallbackReason r);
+
 struct SigmaConfig {
   std::size_t samples = 50;
   std::uint64_t seed = 7;
@@ -74,9 +92,24 @@ class SigmaEstimator {
   /// by re-running simulate() per sample.
   bool uses_engine() const { return engine_ != nullptr; }
 
+  /// The path serving sigma evaluations. When it is kLegacySimulate despite
+  /// use_realization_cache = true, fallback_reason() says why (the byte-cap
+  /// case additionally logs a one-time warning).
+  SigmaPath served_by() const {
+    return uses_engine() ? SigmaPath::kRealizationCache
+                         : SigmaPath::kLegacySimulate;
+  }
+  SigmaFallbackReason fallback_reason() const { return fallback_reason_; }
+
   /// Number of single-sample evaluations performed so far (for the CELF
   /// ablation bench). Approximate under concurrency.
   std::size_t evaluations() const { return evals_; }
+
+  /// Cumulative elementary node-touch operations spent on evaluations (engine
+  /// replay ops, or activated-node counts on the legacy path) — the common
+  /// cost currency of the MC-vs-RIS ablation. Exact once concurrent
+  /// evaluations have finished.
+  std::uint64_t nodes_visited() const;
 
  private:
   struct SampleOutcome {
@@ -106,7 +139,10 @@ class SigmaEstimator {
   /// in sample i with A = {} (bitset over bridge_ends_).
   std::vector<std::vector<bool>> baseline_infected_;
   double baseline_infected_mean_ = 0.0;
+  SigmaFallbackReason fallback_reason_ = SigmaFallbackReason::kNone;
   mutable std::atomic<std::size_t> evals_{0};
+  /// Legacy path's visit counter; the engine path reads SigmaEngine's.
+  mutable std::atomic<std::uint64_t> legacy_visits_{0};
 };
 
 }  // namespace lcrb

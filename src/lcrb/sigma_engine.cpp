@@ -385,12 +385,14 @@ SigmaEngine::Outcome SigmaEngine::eval_opoao(std::size_t i,
   std::uint32_t divergence = kUnreached;
   std::size_t sched_pos = sp.step_off[1];
   const std::size_t sched_end = sp.sched.size();
+  std::uint64_t ops = 0;
 
   for (std::uint32_t t = 1; t <= hops_ && uncolored > 0; ++t) {
     if (s.p_pool.empty() && divergence == kUnreached) {
       // P can never claim again and never disturbed a baseline-rumor node,
       // so every baseline node still activates exactly on schedule: the
       // rest of the cascade IS the baseline. Bulk-apply and stop.
+      ops += sched_end - sched_pos;
       for (std::size_t k = sched_pos; k < sched_end; ++k) {
         const NodeId v = sp.sched[k];
         if (!colored(v)) {
@@ -406,6 +408,7 @@ SigmaEngine::Outcome SigmaEngine::eval_opoao(std::size_t i,
     // Protector picks (first within the step: P wins simultaneous arrival).
     // Snapshot the pool size — nodes claimed at step t pick from t+1 on.
     const std::size_t psz = s.p_pool.size();
+    ops += psz;
     for (std::size_t idx = 0; idx < psz; ++idx) {
       const NodeId tgt = step_picks[s.p_pool[idx]];
       if (!colored(tgt)) {
@@ -422,12 +425,14 @@ SigmaEngine::Outcome SigmaEngine::eval_opoao(std::size_t i,
     // from the pick tables once it is not.
     if (t < divergence) {
       const std::uint32_t off_end = sp.step_off[t + 1];
+      ops += off_end - sched_pos;
       for (; sched_pos < off_end; ++sched_pos) {
         const NodeId v = sp.sched[sched_pos];
         if (!colored(v)) color_r(v);
       }
     } else {
       const std::size_t rsz = s.r_pool.size();
+      ops += rsz;
       for (std::size_t idx = 0; idx < rsz; ++idx) {
         const NodeId tgt = step_picks[s.r_pool[idx]];
         if (!colored(tgt)) color_r(tgt);
@@ -435,6 +440,7 @@ SigmaEngine::Outcome SigmaEngine::eval_opoao(std::size_t i,
     }
   }
 
+  visits_.fetch_add(ops, std::memory_order_relaxed);
   return count_bridge_ends(i, s);
 }
 
@@ -460,11 +466,14 @@ SigmaEngine::Outcome SigmaEngine::eval_ic(std::size_t i,
   }
 
   const std::uint32_t depth_cap = std::min(hops_, sp.max_needed);
+  std::uint64_t ops = 0;
   for (std::size_t head = 0; head < s.queue.size(); ++head) {
     const NodeId u = s.queue[head];
     const std::uint32_t du = s.dist[u];
+    ++ops;
     if (du >= depth_cap) continue;
     const std::uint32_t begin = sp.live_off[u], end = sp.live_off[u + 1];
+    ops += end - begin;
     for (std::uint32_t k = begin; k < end; ++k) {
       const NodeId v = sp.live_tgt[k];
       if (s.color_epoch[v] != e) {
@@ -475,6 +484,8 @@ SigmaEngine::Outcome SigmaEngine::eval_ic(std::size_t i,
       }
     }
   }
+
+  visits_.fetch_add(ops, std::memory_order_relaxed);
 
   Outcome o;
   const DynamicBitset& base = baseline_bits_[i];
@@ -518,10 +529,12 @@ SigmaEngine::Outcome SigmaEngine::eval_lt(std::size_t i,
 
   auto colored = [&](NodeId v) { return s.color_epoch[v] == e; };
 
+  std::uint64_t ops = 0;
   for (std::uint32_t t = 1; t <= hops_ && !s.frontier.empty(); ++t) {
     s.candidates.clear();
     for (NodeId u : s.frontier) {
       const bool prot = s.color[u] == kColorP;
+      ops += g_.out_degree(u);
       for (NodeId v : g_.out_neighbors(u)) {
         if (colored(v)) continue;
         if (s.w_epoch[v] != e) {
@@ -545,6 +558,7 @@ SigmaEngine::Outcome SigmaEngine::eval_lt(std::size_t i,
     s.frontier.swap(s.next_frontier);
   }
 
+  visits_.fetch_add(ops, std::memory_order_relaxed);
   return count_bridge_ends(i, s);
 }
 

@@ -31,6 +31,7 @@
 // collapses it) — SigmaEstimator falls back to simulate() for it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -90,6 +91,14 @@ class SigmaEngine {
 
   /// Actual bytes held by the realization caches (for logging/benchmarks).
   std::size_t realization_bytes() const;
+
+  /// Cumulative elementary node-touch operations across all evaluations
+  /// (table lookups / arcs scanned / weight updates) — the common cost
+  /// currency the MC-vs-RIS ablation compares. Relaxed counter: exact once
+  /// concurrent evaluations have finished.
+  std::uint64_t nodes_visited() const {
+    return visits_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Scratch;
@@ -156,6 +165,7 @@ class SigmaEngine {
 
   mutable std::mutex scratch_mu_;
   mutable std::vector<std::unique_ptr<Scratch>> scratch_free_;
+  mutable std::atomic<std::uint64_t> visits_{0};
 };
 
 }  // namespace lcrb

@@ -162,6 +162,34 @@ TEST(OpoaoTrace, FirstPickIndexRebuildsAfterAppend) {
   EXPECT_EQ(trace.first_pick_step(2, 0, NodeState::kProtected), 1u);
 }
 
+TEST(OpoaoTrace, FirstPickIndexExtendsIncrementallyAcrossAppends) {
+  // Regression for the append-after-query loop: the index is extended by
+  // min-merging only the new suffix, and that merge must (a) register new
+  // edges, (b) tighten an already-indexed edge when a smaller step arrives,
+  // and (c) leave untouched entries alone — across several rounds.
+  const DiGraph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  OpoaoTrace trace;
+  trace.picks.push_back({5, 0, 1, NodeState::kInfected, true});
+  EXPECT_EQ(trace.first_pick_step(0, 1, NodeState::kInfected), 5u);
+
+  // New edge and a tighter step for the existing one, in one append round.
+  trace.picks.push_back({7, 1, 2, NodeState::kProtected, true});
+  trace.picks.push_back({2, 0, 1, NodeState::kInfected, false});
+  EXPECT_EQ(trace.first_pick_step(0, 1, NodeState::kInfected), 2u);
+  EXPECT_EQ(trace.first_pick_step(1, 2, NodeState::kProtected), 7u);
+
+  // Same edge, other cascade color: slots stay independent.
+  trace.picks.push_back({4, 1, 2, NodeState::kInfected, false});
+  EXPECT_EQ(trace.first_pick_step(1, 2, NodeState::kInfected), 4u);
+  EXPECT_EQ(trace.first_pick_step(1, 2, NodeState::kProtected), 7u);
+  EXPECT_EQ(trace.first_pick_step(0, 1, NodeState::kInfected), 2u);
+
+  // A shrink is not an append: the lazy index must drop and rebuild.
+  trace.picks.resize(1);
+  EXPECT_EQ(trace.first_pick_step(0, 1, NodeState::kInfected), 5u);
+  EXPECT_EQ(trace.first_pick_step(1, 2, NodeState::kProtected), kUnreached);
+}
+
 TEST(OpoaoTrace, NullTraceIsDefaultAndCheap) {
   const DiGraph g = path_graph(5);
   const DiffusionResult a = simulate_opoao(g, {{0}, {}}, 3);

@@ -112,5 +112,52 @@ TEST(SigmaEstimator, DiminishingReturnsOnFanGraph) {
   EXPECT_DOUBLE_EQ(gain_into_x, 0.0);  // 3 already saved by node 2
 }
 
+TEST(SigmaEstimator, ReportsServingPathAndFallbackReason) {
+  const DiGraph g = path_graph(8);
+  const std::vector<NodeId> rumors = {0};
+  const std::vector<NodeId> ends = {5, 6, 7};
+
+  // Default OPOAO config: the realization cache serves.
+  SigmaEstimator cached(g, rumors, ends, small_cfg(10));
+  EXPECT_EQ(cached.served_by(), SigmaPath::kRealizationCache);
+  EXPECT_EQ(cached.fallback_reason(), SigmaFallbackReason::kNone);
+
+  // Explicitly disabled.
+  SigmaConfig off = small_cfg(10);
+  off.use_realization_cache = false;
+  SigmaEstimator legacy(g, rumors, ends, off);
+  EXPECT_EQ(legacy.served_by(), SigmaPath::kLegacySimulate);
+  EXPECT_EQ(legacy.fallback_reason(), SigmaFallbackReason::kDisabled);
+
+  // DOAM never caches.
+  SigmaConfig doam = small_cfg(4);
+  doam.model = DiffusionModel::kDoam;
+  SigmaEstimator det(g, rumors, ends, doam);
+  EXPECT_EQ(det.served_by(), SigmaPath::kLegacySimulate);
+  EXPECT_EQ(det.fallback_reason(), SigmaFallbackReason::kUnsupportedModel);
+
+  // Cache requested but over the byte cap: the estimator must still answer
+  // (legacy path), say why, and produce identical numbers.
+  SigmaConfig capped = small_cfg(10);
+  capped.max_cache_bytes = 1;
+  SigmaEstimator fallback(g, rumors, ends, capped);
+  EXPECT_EQ(fallback.served_by(), SigmaPath::kLegacySimulate);
+  EXPECT_EQ(fallback.fallback_reason(), SigmaFallbackReason::kByteCap);
+  const NodeId a[] = {2};
+  EXPECT_DOUBLE_EQ(fallback.sigma(a), cached.sigma(a));
+
+  // Both paths account their work in the common node-visit currency.
+  EXPECT_GT(cached.nodes_visited(), 0u);
+  EXPECT_GT(fallback.nodes_visited(), 0u);
+
+  EXPECT_EQ(to_string(SigmaPath::kRealizationCache), "realization_cache");
+  EXPECT_EQ(to_string(SigmaPath::kLegacySimulate), "legacy_simulate");
+  EXPECT_EQ(to_string(SigmaFallbackReason::kNone), "none");
+  EXPECT_EQ(to_string(SigmaFallbackReason::kDisabled), "disabled");
+  EXPECT_EQ(to_string(SigmaFallbackReason::kUnsupportedModel),
+            "unsupported_model");
+  EXPECT_EQ(to_string(SigmaFallbackReason::kByteCap), "byte_cap");
+}
+
 }  // namespace
 }  // namespace lcrb

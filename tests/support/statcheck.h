@@ -1,0 +1,233 @@
+// Statistical assertion helpers for the randomized-estimator tests:
+//
+//  * chi-square goodness-of-fit (p-value via the regularized incomplete
+//    gamma function) — used on the OPOAO pick stream's uniformity;
+//  * Hoeffding-bound agreement checks between two estimators of the same
+//    mean — used to compare SigmaEstimator against the RIS estimator;
+//  * exact sigma by brute-force enumeration on tiny graphs: all 2^E
+//    live-edge patterns for IC, the deterministic distance rule for DOAM.
+//
+// Everything is deterministic given its inputs; the statistical tests fix
+// their seeds, so a failure is a real regression, not noise (the delta knobs
+// only size the tolerances).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/error.h"
+#include "util/types.h"
+
+namespace lcrb::statcheck {
+
+// ---------------------------------------------------------------------------
+// Regularized incomplete gamma, for chi-square tail probabilities.
+// Series for x < a+1, Lentz continued fraction otherwise (the classic
+// numerically-stable split).
+
+inline double gamma_p_series(double a, double x) {
+  double sum = 1.0 / a, term = sum, ap = a;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+inline double gamma_q_continued_fraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a, c = 1.0 / tiny, d = 1.0 / b, h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Q(a, x) = upper regularized incomplete gamma.
+inline double gamma_q(double a, double x) {
+  LCRB_REQUIRE(a > 0.0 && x >= 0.0, "gamma_q domain error");
+  if (x == 0.0) return 1.0;
+  return (x < a + 1.0) ? 1.0 - gamma_p_series(a, x)
+                       : gamma_q_continued_fraction(a, x);
+}
+
+// ---------------------------------------------------------------------------
+// Chi-square goodness of fit.
+
+inline double chi_square_stat(std::span<const std::size_t> observed,
+                              std::span<const double> expected) {
+  LCRB_REQUIRE(observed.size() == expected.size() && !observed.empty(),
+               "chi-square: mismatched or empty bins");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    LCRB_REQUIRE(expected[i] > 0.0, "chi-square: empty expected bin");
+    const double diff = static_cast<double>(observed[i]) - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+/// Upper-tail p-value of a chi-square statistic with `dof` degrees of
+/// freedom.
+inline double chi_square_pvalue(double stat, double dof) {
+  return gamma_q(dof / 2.0, stat / 2.0);
+}
+
+/// p-value for "observed counts are uniform over their bins".
+inline double chi_square_uniform_pvalue(
+    std::span<const std::size_t> observed) {
+  LCRB_REQUIRE(observed.size() >= 2, "need at least two bins");
+  std::size_t total = 0;
+  for (std::size_t c : observed) total += c;
+  LCRB_REQUIRE(total > 0, "need at least one observation");
+  std::vector<double> expected(
+      observed.size(),
+      static_cast<double>(total) / static_cast<double>(observed.size()));
+  return chi_square_pvalue(chi_square_stat(observed, expected),
+                           static_cast<double>(observed.size() - 1));
+}
+
+// ---------------------------------------------------------------------------
+// Hoeffding agreement between two estimators of the same mean.
+
+/// Half-width h such that P(|sample mean - mu| > h) <= delta for n samples
+/// of a [0, 1]-bounded variable.
+inline double hoeffding_halfwidth(std::size_t n, double delta) {
+  LCRB_REQUIRE(n > 0 && delta > 0.0 && delta < 1.0,
+               "hoeffding: bad n or delta");
+  return std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+struct Agreement {
+  bool ok = false;
+  double diff = 0.0;  ///< |mean_a - mean_b|
+  double tol = 0.0;   ///< combined Hoeffding tolerance (+ slack)
+};
+
+/// Do two estimates of the same mean agree up to both Hoeffding bounds?
+/// Each estimator averages n_x samples of a [0, range]-bounded variable;
+/// `slack` absorbs any known systematic gap (e.g. a one-sided estimator).
+/// With both estimators unbiased, a violation has probability <= 2 * delta.
+inline Agreement hoeffding_agreement(double mean_a, std::size_t n_a,
+                                     double mean_b, std::size_t n_b,
+                                     double range, double delta,
+                                     double slack = 0.0) {
+  Agreement out;
+  out.diff = std::fabs(mean_a - mean_b);
+  out.tol = range * (hoeffding_halfwidth(n_a, delta) +
+                     hoeffding_halfwidth(n_b, delta)) +
+            slack;
+  out.ok = out.diff <= out.tol;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exact sigma on tiny graphs.
+
+namespace detail {
+
+/// BFS distances from `seeds` over the arcs enabled in `live` (bit k = arc
+/// k in (u, out-neighbor) iteration order), capped at max_hops.
+inline std::vector<std::uint32_t> masked_bfs(
+    const DiGraph& g, std::span<const std::pair<NodeId, NodeId>> arcs,
+    std::uint64_t live, std::span<const NodeId> seeds,
+    std::uint32_t max_hops) {
+  std::vector<std::vector<NodeId>> adj(g.num_nodes());
+  for (std::size_t k = 0; k < arcs.size(); ++k) {
+    if ((live >> k) & 1) adj[arcs[k].first].push_back(arcs[k].second);
+  }
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreached);
+  std::vector<NodeId> frontier, next;
+  for (NodeId s : seeds) {
+    if (dist[s] == kUnreached) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  for (std::uint32_t d = 1; d <= max_hops && !frontier.empty(); ++d) {
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId w : adj[u]) {
+        if (dist[w] == kUnreached) {
+          dist[w] = d;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+}  // namespace detail
+
+/// Exact sigma(A) under competitive IC by enumerating every live-edge
+/// pattern (2^E of them — keep E small). A bridge end is saved when it is
+/// rumor-reached in the pattern but the protectors reach it no later
+/// (P-priority distance rule, the same semantics simulate() realizes).
+inline double exact_sigma_ic(const DiGraph& g, std::span<const NodeId> rumors,
+                             std::span<const NodeId> bridge_ends,
+                             std::span<const NodeId> protectors,
+                             double edge_prob, std::uint32_t max_hops = 31) {
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) arcs.emplace_back(u, v);
+  }
+  LCRB_REQUIRE(arcs.size() <= 22, "exact_sigma_ic: too many arcs for 2^E");
+  double sigma = 0.0;
+  for (std::uint64_t live = 0; live < (std::uint64_t{1} << arcs.size());
+       ++live) {
+    double prob = 1.0;
+    for (std::size_t k = 0; k < arcs.size(); ++k) {
+      prob *= ((live >> k) & 1) ? edge_prob : 1.0 - edge_prob;
+    }
+    if (prob == 0.0) continue;
+    const auto d_r = detail::masked_bfs(g, arcs, live, rumors, max_hops);
+    const auto d_p = detail::masked_bfs(g, arcs, live, protectors, max_hops);
+    std::size_t saved = 0;
+    for (NodeId b : bridge_ends) {
+      if (d_r[b] != kUnreached && d_p[b] <= d_r[b]) ++saved;
+    }
+    sigma += prob * static_cast<double>(saved);
+  }
+  return sigma;
+}
+
+/// Exact sigma(A) under DOAM (deterministic): plain-graph distance rule.
+inline double exact_sigma_doam(const DiGraph& g,
+                               std::span<const NodeId> rumors,
+                               std::span<const NodeId> bridge_ends,
+                               std::span<const NodeId> protectors,
+                               std::uint32_t max_hops = 31) {
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) arcs.emplace_back(u, v);
+  }
+  // All arcs live: reuse the masked BFS with a full mask (arc count may
+  // exceed 64 here only on misuse; DOAM oracles stay tiny too).
+  LCRB_REQUIRE(arcs.size() <= 63, "exact_sigma_doam: graph too large");
+  const std::uint64_t all = (std::uint64_t{1} << arcs.size()) - 1;
+  const auto d_r = detail::masked_bfs(g, arcs, all, rumors, max_hops);
+  const auto d_p = detail::masked_bfs(g, arcs, all, protectors, max_hops);
+  std::size_t saved = 0;
+  for (NodeId b : bridge_ends) {
+    if (d_r[b] != kUnreached && d_p[b] <= d_r[b]) ++saved;
+  }
+  return static_cast<double>(saved);
+}
+
+}  // namespace lcrb::statcheck

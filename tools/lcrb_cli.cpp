@@ -6,6 +6,9 @@
 //   bridges <graph>                   rumor community -> bridge ends
 //   scbg <graph>                      LCRB-D protector seeds (full protection)
 //   greedy <graph>                    LCRB-P protector seeds (alpha fraction)
+//     --sigma-mode mc|ris             sigma machinery (default mc)
+//     --ris-eps E --ris-delta D       RIS stopping-rule accuracy knobs
+//     --ris-max-sets N                RR-set cap per pool
 //   simulate <graph>                  run one diffusion and print the curve
 //   locate <graph>                    rumor-source localization from a snapshot
 //
@@ -175,12 +178,37 @@ int cmd_greedy(const Args& args) {
   cfg.sigma.samples =
       static_cast<std::size_t>(args.get_int("samples", 30));
   cfg.sigma.seed = static_cast<std::uint64_t>(args.get_int("seed", 1)) + 7;
+
+  const std::string mode = args.get_string("sigma-mode", "mc");
+  if (mode == "ris") {
+    cfg.sigma_mode = SigmaMode::kRis;
+    cfg.ris.epsilon = args.get_double("ris-eps", cfg.ris.epsilon);
+    cfg.ris.delta = args.get_double("ris-delta", cfg.ris.delta);
+    cfg.ris.max_sets = static_cast<std::size_t>(args.get_int(
+        "ris-max-sets", static_cast<int>(cfg.ris.max_sets)));
+  } else if (mode != "mc") {
+    throw Error("unknown --sigma-mode '" + mode + "' (mc|ris)");
+  }
+
   ThreadPool pool;
   const GreedyResult r =
       greedy_lcrbp_from_bridges(g, s.rumors, s.bridges, cfg, &pool);
   print_ids("protector seeds", r.protectors);
   std::cout << "achieved protected fraction: " << fixed(r.achieved_fraction, 3)
             << " (alpha " << cfg.alpha << ")\n";
+  if (cfg.sigma_mode == SigmaMode::kRis) {
+    std::cout << "sigma served by: ris (" << r.sigma_evaluations
+              << " RR sets/pool, " << r.ris_rounds << " doubling rounds)\n"
+              << "certified sigma bounds: [" << fixed(r.ris_sigma_lower, 2)
+              << ", " << fixed(r.ris_sigma_upper, 2) << "]\n";
+  } else {
+    std::cout << "sigma served by: " << to_string(r.sigma_path);
+    if (r.sigma_fallback != SigmaFallbackReason::kNone) {
+      std::cout << " (fallback: " << to_string(r.sigma_fallback) << ")";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "sigma node visits: " << r.nodes_visited << "\n";
   return 0;
 }
 
