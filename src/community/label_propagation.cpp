@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 
 #include "util/rng.h"
+
+// This file is on tools/lint_determinism.py's sensitive list (community ids
+// feed bridge ends and hence sigma): vote counting runs over flat arrays
+// with an explicit touched list — no unordered_map iteration anywhere.
 
 namespace lcrb {
 
@@ -19,8 +22,10 @@ Partition label_propagation(const DiGraph& g,
   std::vector<NodeId> order(n);
   std::iota(order.begin(), order.end(), 0);
 
-  std::unordered_map<CommunityId, double> votes;
-  std::vector<CommunityId> best;
+  // Labels always stay in [0, n), so votes can live in a dense array; the
+  // touched list makes per-node reset O(neighbors), not O(n).
+  std::vector<double> votes(n, 0.0);
+  std::vector<CommunityId> touched, best;
 
   for (int iter = 0; iter < cfg.max_iters; ++iter) {
     for (NodeId i = n; i > 1; --i) {
@@ -28,23 +33,29 @@ Partition label_propagation(const DiGraph& g,
     }
     bool changed = false;
     for (NodeId v : order) {
-      votes.clear();
-      for (NodeId u : g.out_neighbors(v)) votes[label[u]] += 1.0;
-      for (NodeId u : g.in_neighbors(v)) votes[label[u]] += 1.0;
-      if (votes.empty()) continue;
+      touched.clear();
+      auto tally = [&](NodeId u) {
+        const CommunityId c = label[u];
+        if (votes[c] == 0.0) touched.push_back(c);
+        votes[c] += 1.0;
+      };
+      for (NodeId u : g.out_neighbors(v)) tally(u);
+      for (NodeId u : g.in_neighbors(v)) tally(u);
+      if (touched.empty()) continue;
 
       double max_vote = 0.0;
-      for (const auto& [c, w] : votes) max_vote = std::max(max_vote, w);
+      for (CommunityId c : touched) max_vote = std::max(max_vote, votes[c]);
       best.clear();
-      for (const auto& [c, w] : votes) {
-        if (w == max_vote) best.push_back(c);
+      for (CommunityId c : touched) {
+        if (votes[c] == max_vote) best.push_back(c);
       }
-      std::sort(best.begin(), best.end());  // determinism across map orders
+      std::sort(best.begin(), best.end());  // touched order is visit order
       const CommunityId pick = best[rng.next_below(best.size())];
       if (pick != label[v]) {
         label[v] = pick;
         changed = true;
       }
+      for (CommunityId c : touched) votes[c] = 0.0;
     }
     if (!changed) break;
   }

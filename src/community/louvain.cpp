@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <numeric>
-#include <unordered_map>
 #include <vector>
 
 #include "util/error.h"
 #include "util/rng.h"
+
+// This file is on tools/lint_determinism.py's sensitive list: community ids
+// feed bridge-end computation and therefore every downstream sigma value, so
+// all accumulation below runs over sorted or insertion-ordered containers —
+// no unordered_map/unordered_set iteration, no scheduling-dependent floating
+// point sums.
 
 namespace lcrb {
 
@@ -33,19 +38,32 @@ LevelGraph from_digraph(const DiGraph& g) {
   LevelGraph lg;
   lg.adj.resize(g.num_nodes());
   lg.self_w.assign(g.num_nodes(), 0.0);
-  // Merge (u,v) and (v,u) arcs into one undirected weight.
+  // Merge (u,v) and (v,u) arcs into one undirected weight. Both neighbor
+  // lists are sorted, so a two-pointer sweep accumulates each distinct
+  // neighbor's weight in ascending order — deterministic, and no hash map.
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    std::unordered_map<NodeId, double> acc;
-    for (NodeId v : g.out_neighbors(u)) {
-      if (v != u) acc[v] += 1.0;
-    }
-    for (NodeId v : g.in_neighbors(u)) {
-      if (v != u) acc[v] += 1.0;
-    }
+    const auto outs = g.out_neighbors(u);
+    const auto ins = g.in_neighbors(u);
     auto& lst = lg.adj[u];
-    lst.reserve(acc.size());
-    for (const auto& [v, w] : acc) lst.emplace_back(v, w);
-    std::sort(lst.begin(), lst.end());
+    std::size_t i = 0, j = 0;
+    while (i < outs.size() || j < ins.size()) {
+      NodeId v;
+      if (j >= ins.size() || (i < outs.size() && outs[i] <= ins[j])) {
+        v = outs[i];
+      } else {
+        v = ins[j];
+      }
+      double w = 0.0;
+      while (i < outs.size() && outs[i] == v) {
+        w += 1.0;
+        ++i;
+      }
+      while (j < ins.size() && ins[j] == v) {
+        w += 1.0;
+        ++j;
+      }
+      if (v != u) lst.emplace_back(v, w);
+    }
   }
   for (NodeId v = 0; v < lg.size(); ++v) lg.two_m += lg.degree(v);
   return lg;
@@ -119,20 +137,25 @@ bool local_move(const LevelGraph& lg, std::vector<CommunityId>& comm,
 /// Aggregates communities into super-nodes.
 LevelGraph aggregate(const LevelGraph& lg, const std::vector<CommunityId>& comm,
                      std::vector<CommunityId>& dense_label) {
-  // Densify community labels.
+  // Densify community labels in first-appearance order. Labels at this level
+  // are node ids of the level graph, so a flat remap array suffices.
   dense_label.assign(lg.size(), kInvalidCommunity);
-  std::unordered_map<CommunityId, CommunityId> remap;
+  std::vector<CommunityId> remap(lg.size(), kInvalidCommunity);
+  CommunityId next_label = 0;
   for (NodeId v = 0; v < lg.size(); ++v) {
-    auto [it, _] = remap.emplace(comm[v], static_cast<CommunityId>(remap.size()));
-    dense_label[v] = it->second;
+    if (remap[comm[v]] == kInvalidCommunity) remap[comm[v]] = next_label++;
+    dense_label[v] = remap[comm[v]];
   }
 
   LevelGraph out;
-  const auto k = static_cast<NodeId>(remap.size());
+  const NodeId k = next_label;
   out.adj.resize(k);
   out.self_w.assign(k, 0.0);
 
-  std::vector<std::unordered_map<NodeId, double>> acc(k);
+  // Gather cross-community contributions per super-node, then fold runs of
+  // equal targets. stable_sort keeps contributions of one target in node-id
+  // order, so each fold sums in a fixed order (bit-reproducible).
+  std::vector<std::vector<std::pair<NodeId, double>>> acc(k);
   for (NodeId v = 0; v < lg.size(); ++v) {
     const CommunityId cv = dense_label[v];
     out.self_w[cv] += lg.self_w[v];
@@ -141,15 +164,21 @@ LevelGraph aggregate(const LevelGraph& lg, const std::vector<CommunityId>& comm,
       if (cu == cv) {
         out.self_w[cv] += w;  // each internal edge visited from both ends
       } else {
-        acc[cv][cu] += w;
+        acc[cv].emplace_back(cu, w);
       }
     }
   }
   for (NodeId c = 0; c < k; ++c) {
+    auto& raw = acc[c];
+    std::stable_sort(raw.begin(), raw.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
     auto& lst = out.adj[c];
-    lst.reserve(acc[c].size());
-    for (const auto& [d, w] : acc[c]) lst.emplace_back(d, w);
-    std::sort(lst.begin(), lst.end());
+    for (std::size_t i = 0; i < raw.size();) {
+      const NodeId d = raw[i].first;
+      double w = 0.0;
+      for (; i < raw.size() && raw[i].first == d; ++i) w += raw[i].second;
+      lst.emplace_back(d, w);
+    }
   }
   out.two_m = lg.two_m;
   return out;

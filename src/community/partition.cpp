@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace lcrb {
@@ -19,6 +20,38 @@ Partition::Partition(const std::vector<CommunityId>& membership) {
     if (inserted) members_.emplace_back();
     members_[dense].push_back(static_cast<NodeId>(v));
   }
+  LCRB_INVARIANT(validate());
+}
+
+void Partition::validate() const {
+  std::size_t covered = 0;
+  CommunityId first_seen = 0;
+  for (CommunityId c = 0; c < members_.size(); ++c) {
+    const auto& m = members_[c];
+    LCRB_REQUIRE(!m.empty(), "community must not be empty");
+    // Labels are assigned in first-appearance order, so the first member of
+    // community c is the smallest node not covered by communities < c only
+    // in the sense of appearance: its id strictly exceeds none of the later
+    // firsts. Checking firsts strictly increase pins that ordering.
+    LCRB_REQUIRE(c == 0 || m.front() > first_seen,
+                 "labels must be numbered in first-appearance order");
+    first_seen = m.front();
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      LCRB_REQUIRE(i == 0 || m[i - 1] < m[i],
+                   "member lists must be strictly ascending");
+      LCRB_REQUIRE(m[i] < membership_.size(), "member node out of range");
+      LCRB_REQUIRE(membership_[m[i]] == c,
+                   "member list disagrees with membership vector");
+    }
+    covered += m.size();
+  }
+  // Every membership label is in range and every node was counted exactly
+  // once above, so equal totals make the cover disjoint and exhaustive.
+  for (CommunityId label : membership_) {
+    LCRB_REQUIRE(label < members_.size(), "membership label out of range");
+  }
+  LCRB_REQUIRE(covered == membership_.size(),
+               "communities must cover every node exactly once");
 }
 
 CommunityId Partition::community_of(NodeId v) const {

@@ -39,6 +39,13 @@ class Partition {
 
   const std::vector<CommunityId>& membership() const { return membership_; }
 
+  /// Throws lcrb::Error unless the partition is a disjoint cover: every node
+  /// carries exactly one dense label, every member list is strictly
+  /// ascending and agrees with the membership vector, no community is empty,
+  /// and labels are numbered in first-appearance order. O(n). Called
+  /// automatically from the constructor under LCRB_ENABLE_INVARIANTS.
+  void validate() const;
+
  private:
   std::vector<CommunityId> membership_;
   std::vector<std::vector<NodeId>> members_;

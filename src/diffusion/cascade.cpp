@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace lcrb {
@@ -75,6 +76,64 @@ std::size_t DiffusionResult::saved_count(std::span<const NodeId> targets) const 
     if (state.at(v) != NodeState::kInfected) ++saved;
   }
   return saved;
+}
+
+void DiffusionResult::validate(const DiGraph& g, const SeedSets& seeds) const {
+  const std::size_t n = g.num_nodes();
+  LCRB_REQUIRE(state.size() == n, "state must cover every node");
+  LCRB_REQUIRE(activation_step.size() == n,
+               "activation_step must cover every node");
+  LCRB_REQUIRE(newly_infected.size() == newly_protected.size(),
+               "per-step series must have equal length");
+  LCRB_REQUIRE(!newly_infected.empty(), "series must include the seed step");
+
+  std::vector<char> is_seed(n, 0);
+  for (NodeId v : seeds.protectors) is_seed[v] = 1;
+  for (NodeId v : seeds.rumors) is_seed[v] = 2;
+
+  std::uint32_t last_step = 0;
+  std::vector<std::uint32_t> infected_at(newly_infected.size(), 0);
+  std::vector<std::uint32_t> protected_at(newly_protected.size(), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t t = activation_step[v];
+    if (state[v] == NodeState::kInactive) {
+      LCRB_REQUIRE(t == kUnreached, "inactive node with an activation step");
+      LCRB_REQUIRE(is_seed[v] == 0, "seed node left inactive");
+      continue;
+    }
+    LCRB_REQUIRE(t != kUnreached, "active node without an activation step");
+    LCRB_REQUIRE(t < newly_infected.size(),
+                 "activation step beyond the recorded series");
+    if (t == 0) {
+      LCRB_REQUIRE(is_seed[v] != 0, "non-seed node activated at step 0");
+      LCRB_REQUIRE(state[v] == (is_seed[v] == 1 ? NodeState::kProtected
+                                                : NodeState::kInfected),
+                   "seed activated with the wrong color");
+    } else {
+      LCRB_REQUIRE(is_seed[v] == 0, "seed re-activated after step 0");
+      // Progressive propagation: some same-colored in-neighbor was active
+      // strictly before v's activation (every model hands a node its color
+      // from an already-active node of that color).
+      bool has_source = false;
+      for (NodeId u : g.in_neighbors(v)) {
+        if (state[u] == state[v] && activation_step[u] < t) {
+          has_source = true;
+          break;
+        }
+      }
+      LCRB_REQUIRE(has_source,
+                   "activation without an earlier same-colored in-neighbor");
+      last_step = std::max(last_step, t);
+    }
+    (state[v] == NodeState::kInfected ? infected_at : protected_at)[t] += 1;
+  }
+  LCRB_REQUIRE(steps == last_step, "steps must be the last activating step");
+  for (std::size_t t = 0; t < newly_infected.size(); ++t) {
+    LCRB_REQUIRE(newly_infected[t] == infected_at[t],
+                 "newly_infected series disagrees with activation steps");
+    LCRB_REQUIRE(newly_protected[t] == protected_at[t],
+                 "newly_protected series disagrees with activation steps");
+  }
 }
 
 }  // namespace lcrb

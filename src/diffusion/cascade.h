@@ -47,6 +47,16 @@ struct DiffusionResult {
   /// This is the paper's notion of a bridge end being "protected".
   double saved_fraction(std::span<const NodeId> targets) const;
   std::size_t saved_count(std::span<const NodeId> targets) const;
+
+  /// Throws lcrb::Error unless this result is a well-formed outcome of the
+  /// shared two-cascade state machine on (g, seeds): state/activation_step
+  /// agree everywhere, step 0 activates exactly the seeds with their colors,
+  /// the newly_* series match the per-step activation counts, `steps` is the
+  /// last activating step, and every non-seed activation has a same-colored
+  /// in-neighbor activated strictly earlier (progressive propagation — holds
+  /// for OPOAO, DOAM, IC and LT alike). O(n + m). Called automatically at
+  /// the end of every simulate_* under LCRB_ENABLE_INVARIANTS.
+  void validate(const DiGraph& g, const SeedSets& seeds) const;
 };
 
 }  // namespace lcrb

@@ -1,6 +1,7 @@
 #include "diffusion/doam.h"
 
 #include "graph/traversal.h"
+#include "util/check.h"
 #include "util/error.h"
 
 namespace lcrb {
@@ -57,6 +58,7 @@ DiffusionResult simulate_doam(const DiGraph& g, const SeedSets& seeds,
     r.newly_infected.push_back(static_cast<std::uint32_t>(r_frontier.size()));
     if (!p_frontier.empty() || !r_frontier.empty()) r.steps = step;
   }
+  LCRB_INVARIANT(r.validate(g, seeds));
   return r;
 }
 

@@ -1,5 +1,6 @@
 #include "diffusion/ic.h"
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace lcrb {
@@ -71,6 +72,7 @@ DiffusionResult simulate_competitive_ic(const DiGraph& g, const SeedSets& seeds,
     r.newly_infected.push_back(static_cast<std::uint32_t>(r_frontier.size()));
     if (!p_frontier.empty() || !r_frontier.empty()) r.steps = step;
   }
+  LCRB_INVARIANT(r.validate(g, seeds));
   return r;
 }
 

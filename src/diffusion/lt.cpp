@@ -1,5 +1,6 @@
 #include "diffusion/lt.h"
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace lcrb {
@@ -73,6 +74,7 @@ DiffusionResult simulate_competitive_lt(const DiGraph& g, const SeedSets& seeds,
     r.newly_infected.push_back(newly_r);
     if (!frontier.empty()) r.steps = step;
   }
+  LCRB_INVARIANT(r.validate(g, seeds));
   return r;
 }
 

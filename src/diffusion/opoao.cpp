@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace lcrb {
@@ -155,6 +156,7 @@ DiffusionResult simulate_opoao(const DiGraph& g, const SeedSets& seeds,
     r.newly_infected.push_back(static_cast<std::uint32_t>(new_infected.size()));
     if (!new_protected.empty() || !new_infected.empty()) r.steps = step;
   }
+  LCRB_INVARIANT(r.validate(g, seeds));
   return r;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace lcrb {
 
 void GraphBuilder::add_edge(NodeId u, NodeId v) {
@@ -55,6 +57,7 @@ DiGraph GraphBuilder::finalize() {
   edges_.clear();
   edges_.shrink_to_fit();
   num_nodes_ = 0;
+  LCRB_INVARIANT(g.validate());
   return g;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.h"
+
 namespace lcrb {
 
 bool DiGraph::has_edge(NodeId u, NodeId v) const {
@@ -9,6 +11,56 @@ bool DiGraph::has_edge(NodeId u, NodeId v) const {
   check_node(v);
   const auto nbrs = out_neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void DiGraph::validate() const {
+  const std::size_t n = num_nodes_;
+  auto check_offsets = [&](const std::vector<EdgeId>& off, std::size_t entries,
+                           const char* which) {
+    LCRB_REQUIRE(off.size() == n + 1,
+                 std::string(which) + " offsets must have num_nodes + 1 entries");
+    LCRB_REQUIRE(off.front() == 0, std::string(which) + " offsets must start at 0");
+    LCRB_REQUIRE(off.back() == entries,
+                 std::string(which) + " offsets must end at the arc count");
+    for (std::size_t i = 0; i < n; ++i) {
+      LCRB_REQUIRE(off[i] <= off[i + 1],
+                   std::string(which) + " offsets must be monotone");
+    }
+  };
+  check_offsets(out_offsets_, out_targets_.size(), "out");
+  check_offsets(in_offsets_, in_sources_.size(), "in");
+  LCRB_REQUIRE(out_targets_.size() == in_sources_.size(),
+               "out and in CSR must hold the same number of arcs");
+
+  auto check_rows = [&](const std::vector<EdgeId>& off,
+                        const std::vector<NodeId>& adj, const char* which) {
+    for (std::size_t v = 0; v < n; ++v) {
+      for (EdgeId e = off[v]; e < off[v + 1]; ++e) {
+        LCRB_REQUIRE(adj[e] < num_nodes_,
+                     std::string(which) + " CSR endpoint out of range");
+        LCRB_REQUIRE(e == off[v] || adj[e - 1] <= adj[e],
+                     std::string(which) + " adjacency row must be sorted");
+      }
+    }
+  };
+  check_rows(out_offsets_, out_targets_, "out");
+  check_rows(in_offsets_, in_sources_, "in");
+
+  // The in-CSR must be the exact transpose of the out-CSR. Rebuild it by the
+  // same counting sort GraphBuilder uses (stable in source order, so each
+  // in-row comes out sorted) and compare verbatim.
+  std::vector<EdgeId> off(n + 1, 0);
+  for (NodeId v : out_targets_) ++off[static_cast<std::size_t>(v) + 1];
+  for (std::size_t i = 0; i < n; ++i) off[i + 1] += off[i];
+  LCRB_REQUIRE(off == in_offsets_, "in offsets are not the out transpose");
+  std::vector<EdgeId> cursor(off.begin(), off.end() - 1);
+  std::vector<NodeId> sources(out_targets_.size());
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (EdgeId e = out_offsets_[u]; e < out_offsets_[u + 1]; ++e) {
+      sources[cursor[out_targets_[e]]++] = u;
+    }
+  }
+  LCRB_REQUIRE(sources == in_sources_, "in sources are not the out transpose");
 }
 
 }  // namespace lcrb

@@ -61,6 +61,13 @@ class DiGraph {
                : static_cast<double>(num_edges()) / static_cast<double>(num_nodes_);
   }
 
+  /// Throws lcrb::Error unless the CSR representation is well-formed: both
+  /// offset arrays are monotone and sized n+1, every endpoint is in range,
+  /// every adjacency row is sorted ascending, and the in-CSR is exactly the
+  /// transpose of the out-CSR. O(n + m). Called automatically from
+  /// GraphBuilder::finalize under LCRB_ENABLE_INVARIANTS.
+  void validate() const;
+
  private:
   friend class GraphBuilder;
 

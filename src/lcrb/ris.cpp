@@ -5,6 +5,7 @@
 
 #include "diffusion/ic.h"
 #include "diffusion/opoao.h"
+#include "util/check.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -68,6 +69,54 @@ void RrPool::append_sets(std::vector<std::vector<NodeId>>&& sets,
   for (NodeId v = 0; v < num_graph_nodes; ++v) {
     if (inv_off_[v + 1] > inv_off_[v]) ++num_covered_nodes_;
   }
+  LCRB_INVARIANT(validate());
+}
+
+void RrPool::validate() const {
+  LCRB_REQUIRE(!set_off_.empty() && set_off_.front() == 0,
+               "set offsets must start at 0");
+  LCRB_REQUIRE(set_off_.back() == nodes_.size(),
+               "set offsets must end at the entry count");
+  std::size_t nulls = 0;
+  for (std::size_t s = 0; s + 1 < set_off_.size(); ++s) {
+    LCRB_REQUIRE(set_off_[s] <= set_off_[s + 1], "set offsets must be monotone");
+    if (set_off_[s] == set_off_[s + 1]) ++nulls;
+    for (std::uint32_t i = set_off_[s] + 1; i < set_off_[s + 1]; ++i) {
+      LCRB_REQUIRE(nodes_[i - 1] < nodes_[i],
+                   "RR set nodes must be strictly ascending");
+    }
+  }
+  LCRB_REQUIRE(nulls == num_null_, "null-set counter out of sync");
+  if (inv_off_.empty()) {
+    LCRB_REQUIRE(nodes_.empty() && inv_sets_.empty() && num_covered_nodes_ == 0,
+                 "pool with entries must carry an inverted index");
+    return;
+  }
+  const auto n = static_cast<NodeId>(inv_off_.size() - 1);
+  for (NodeId v : nodes_) {
+    LCRB_REQUIRE(v < n, "RR set node out of range");
+  }
+  LCRB_REQUIRE(inv_off_.front() == 0 && inv_off_.back() == inv_sets_.size(),
+               "inverted-index offsets must span the posting array");
+  LCRB_REQUIRE(inv_sets_.size() == nodes_.size(),
+               "inverted index must hold exactly one posting per entry");
+  std::size_t covered = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    LCRB_REQUIRE(inv_off_[v] <= inv_off_[v + 1],
+                 "inverted-index offsets must be monotone");
+    if (inv_off_[v + 1] > inv_off_[v]) ++covered;
+    for (std::uint32_t i = inv_off_[v]; i < inv_off_[v + 1]; ++i) {
+      LCRB_REQUIRE(i == inv_off_[v] || inv_sets_[i - 1] < inv_sets_[i],
+                   "posting lists must be strictly ascending");
+      const std::uint32_t s = inv_sets_[i];
+      LCRB_REQUIRE(s + 1 < set_off_.size(), "posting names a nonexistent set");
+      const auto row = set_nodes(s);
+      LCRB_REQUIRE(std::binary_search(row.begin(), row.end(), v),
+                   "posting names a set that does not contain the node");
+    }
+  }
+  LCRB_REQUIRE(covered == num_covered_nodes_,
+               "covered-node counter out of sync");
 }
 
 // ---------------------------------------------------------------------------

@@ -109,6 +109,13 @@ class RrPool {
   /// null sets folded in when `count_null` (the protected-fraction reading).
   double coverage_fraction(std::span<const NodeId> a, bool count_null) const;
 
+  /// Throws lcrb::Error unless the pool is internally consistent: CSR
+  /// offsets monotone, sets strictly ascending with in-range nodes, null and
+  /// covered-node counters exact, and the inverted index in exact two-way
+  /// agreement with the sets. O(total entries). Called automatically after
+  /// every append under LCRB_ENABLE_INVARIANTS.
+  void validate() const;
+
  private:
   friend class RrSampler;
   void append_sets(std::vector<std::vector<NodeId>>&& sets,

@@ -1,0 +1,59 @@
+// Runtime invariant checks, compiled in or out per build configuration.
+//
+// Three tiers, all throwing lcrb::Error (never aborting) so tests can assert
+// on violations and callers can recover:
+//
+//   LCRB_REQUIRE   (util/error.h) — precondition on PUBLIC input; always on.
+//   LCRB_CHECK     — cheap internal invariant (O(1)); on in debug builds
+//                    (!NDEBUG) and whenever LCRB_ENABLE_INVARIANTS is set.
+//   LCRB_DCHECK    — internal invariant that may sit on a hot path; on only
+//                    under LCRB_ENABLE_INVARIANTS.
+//   LCRB_INVARIANT — runs a whole validation expression (e.g. a validate()
+//                    call that is itself O(n) or worse); on only under
+//                    LCRB_ENABLE_INVARIANTS.
+//
+// LCRB_ENABLE_INVARIANTS is a CMake option (-DLCRB_ENABLE_INVARIANTS=ON);
+// CI runs the full ctest suite once with it enabled. Disabled checks still
+// type-check their condition (via unevaluated sizeof) so invariant-only
+// expressions cannot rot, and cost exactly nothing at runtime.
+#pragma once
+
+#include "util/error.h"
+
+namespace lcrb {
+/// True when this translation unit was compiled with the invariant layer on.
+/// Tests use it to assert that self-validation actually fired.
+#if defined(LCRB_ENABLE_INVARIANTS)
+inline constexpr bool kInvariantsEnabled = true;
+#else
+inline constexpr bool kInvariantsEnabled = false;
+#endif
+}  // namespace lcrb
+
+#if defined(LCRB_ENABLE_INVARIANTS) || !defined(NDEBUG)
+#define LCRB_CHECK(cond, msg) LCRB_REQUIRE(cond, msg)
+#else
+#define LCRB_CHECK(cond, msg) \
+  do {                        \
+    (void)sizeof((cond));     \
+    (void)sizeof((msg));      \
+  } while (false)
+#endif
+
+#if defined(LCRB_ENABLE_INVARIANTS)
+#define LCRB_DCHECK(cond, msg) LCRB_REQUIRE(cond, msg)
+#define LCRB_INVARIANT(expr) \
+  do {                       \
+    expr;                    \
+  } while (false)
+#else
+#define LCRB_DCHECK(cond, msg) \
+  do {                         \
+    (void)sizeof((cond));      \
+    (void)sizeof((msg));       \
+  } while (false)
+#define LCRB_INVARIANT(expr)     \
+  do {                           \
+    (void)sizeof(((expr), 0));   \
+  } while (false)
+#endif

@@ -15,13 +15,17 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // already shut down (workers_ joined and cleared)
     stop_ = true;
+    cv_.notify_all();  // under the lock: no waiter can miss the stop flag
   }
-  cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 namespace {
@@ -51,12 +55,16 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw Error("ThreadPool::parallel_for after shutdown");
+  }
   if (n == 0) return;
   const std::size_t workers = thread_count();
   // Nested call from inside a worker: run inline — submitting and blocking
   // on futures here could leave every worker waiting on work only workers
   // can execute.
-  if (n == 1 || workers == 1 || t_in_pool_worker) {
+  if (n == 1 || workers <= 1 || t_in_pool_worker) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

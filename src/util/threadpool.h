@@ -11,10 +11,15 @@
 #include <thread>
 #include <vector>
 
+#include "util/error.h"
+
 namespace lcrb {
 
 /// Simple work-queue thread pool. Tasks are std::function<void()>; submit()
-/// returns a future. Destruction drains outstanding tasks then joins.
+/// returns a future. Shutdown (explicit or via destruction) drains every
+/// already-accepted task, then joins; submits that lose the race against
+/// shutdown are rejected deterministically with lcrb::Error instead of being
+/// silently dropped, so a task is always either executed or visibly refused.
 class ThreadPool {
  public:
   /// threads == 0 means hardware_concurrency (at least 1).
@@ -26,7 +31,19 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueues a task; returns a future for its result.
+  /// Stops accepting work, runs every task already in the queue, joins the
+  /// workers. Idempotent; called by the destructor. Not safe to call
+  /// concurrently with itself (the destructor counts as a call).
+  void shutdown();
+
+  /// True once shutdown has begun; subsequent submits throw.
+  bool stopped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stop_;
+  }
+
+  /// Enqueues a task; returns a future for its result. Throws lcrb::Error if
+  /// the pool is shutting down (an accepted task is guaranteed to run).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -34,15 +51,21 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) throw Error("ThreadPool::submit after shutdown");
       queue_.emplace([task] { (*task)(); });
+      // Notify while holding the lock: a waiter is either blocked in wait()
+      // (and sees the signal) or has not yet re-checked the predicate under
+      // this same mutex — no window for a lost wakeup, and the condition
+      // variable cannot be destroyed mid-notify while the lock pins the
+      // shutdown sequence.
+      cv_.notify_one();
     }
-    cv_.notify_one();
     return fut;
   }
 
   /// Runs fn(i) for i in [0, n) across the pool; blocks until all complete.
   /// fn must be safe to call concurrently. Work is chunked to limit
-  /// scheduling overhead.
+  /// scheduling overhead. Throws lcrb::Error after shutdown.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -50,7 +73,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
 };

@@ -61,5 +61,13 @@ TEST(Partition, ClosestOnEmptyThrows) {
   EXPECT_THROW(p.closest_to_size(1), Error);
 }
 
+TEST(Partition, ValidateAcceptsWellFormedPartitions) {
+  EXPECT_NO_THROW(Partition().validate());
+  EXPECT_NO_THROW(Partition({0}).validate());
+  // Sparse labels exercise the renumbering the validator re-derives.
+  EXPECT_NO_THROW(Partition({7, 7, 42, 7, 42, 100}).validate());
+  EXPECT_NO_THROW(Partition({3, 2, 1, 0}).validate());
+}
+
 }  // namespace
 }  // namespace lcrb

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "diffusion/montecarlo.h"
+#include "graph/builder.h"
 #include "graph/generators.h"
 #include "util/error.h"
 
@@ -46,6 +48,51 @@ TEST(DiffusionResult, CountsAndCumulatives) {
   // Beyond the recorded series the curve is flat.
   EXPECT_EQ(r.cumulative_infected_at(100), 2u);
   EXPECT_EQ(r.cumulative_protected_at(100), 1u);
+}
+
+TEST(DiffusionResultValidate, AcceptsRealSimulationAndRejectsCorruption) {
+  // A genuine OPOAO run on a path passes; targeted corruptions of each
+  // invariant the validator states must throw.
+  const DiGraph g = make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const SeedSets seeds{{0}, {4}};
+  MonteCarloConfig cfg;
+  cfg.model = DiffusionModel::kOpoao;
+  const DiffusionResult r = simulate(g, seeds, 17, cfg);
+  EXPECT_NO_THROW(r.validate(g, seeds));
+
+  {  // state says active, activation_step says unreached
+    DiffusionResult bad = r;
+    bad.state[0] = NodeState::kInactive;
+    EXPECT_THROW(bad.validate(g, seeds), Error);
+  }
+  {  // a non-seed claiming step 0
+    DiffusionResult bad = r;
+    bad.state[2] = NodeState::kInfected;
+    bad.activation_step[2] = 0;
+    EXPECT_THROW(bad.validate(g, seeds), Error);
+  }
+  {  // newly_* series out of sync with the activation steps
+    DiffusionResult bad = r;
+    bad.newly_infected[0] += 1;
+    EXPECT_THROW(bad.validate(g, seeds), Error);
+  }
+  {  // hand-built result whose counting invariants all hold, but node 2's
+     // protection at step 1 has no protected in-neighbor at step 0 (its only
+     // in-neighbor, 1, is inactive) — only the propagation rule can catch it
+    DiffusionResult bad;
+    bad.state.assign(5, NodeState::kInactive);
+    bad.activation_step.assign(5, kUnreached);
+    bad.state[0] = NodeState::kInfected;
+    bad.activation_step[0] = 0;
+    bad.state[4] = NodeState::kProtected;
+    bad.activation_step[4] = 0;
+    bad.state[2] = NodeState::kProtected;
+    bad.activation_step[2] = 1;
+    bad.newly_infected = {1, 0};
+    bad.newly_protected = {1, 1};
+    bad.steps = 1;
+    EXPECT_THROW(bad.validate(g, seeds), Error);
+  }
 }
 
 TEST(DiffusionResult, SavedFraction) {

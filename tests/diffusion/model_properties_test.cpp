@@ -38,6 +38,19 @@ TEST_P(ModelPropertyTest, SeedsAlwaysKeepTheirColor) {
   }
 }
 
+TEST_P(ModelPropertyTest, ResultPassesStructuralValidation) {
+  // DiffusionResult::validate re-derives the shared state-machine rules
+  // (seed steps, series counts, same-colored-predecessor propagation) from
+  // scratch; every model's output must satisfy them on every run.
+  Rng rng(std::get<1>(GetParam()) + 5);
+  const DiGraph g = erdos_renyi(120, 0.05, true, rng);
+  const SeedSets seeds{{0, 1, 2}, {3, 4}};
+  for (std::uint64_t run = 0; run < 5; ++run) {
+    const DiffusionResult r = simulate(g, seeds, run, config());
+    EXPECT_NO_THROW(r.validate(g, seeds)) << "run " << run;
+  }
+}
+
 TEST_P(ModelPropertyTest, ActivationTimesRespectHopCap) {
   Rng rng(std::get<1>(GetParam()) + 1);
   const DiGraph g = erdos_renyi(120, 0.05, true, rng);
@@ -101,9 +114,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          DiffusionModel::kIc,
                                          DiffusionModel::kLt),
                        ::testing::Values(1, 2, 3)),
-    [](const auto& info) {
-      return to_string(std::get<0>(info.param)) + "_seed" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return to_string(std::get<0>(param_info.param)) + "_seed" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -200,7 +200,7 @@ TEST(PowerLawSizes, SkewedTowardSmall) {
   const auto sizes = power_law_sizes(20000, 10, 500, 2.5, rng);
   std::size_t small = 0;
   for (NodeId s : sizes) small += (s < 50);
-  EXPECT_GT(static_cast<double>(small) / sizes.size(), 0.5);
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(sizes.size()), 0.5);
 }
 
 TEST(CommunityGraph, MembershipMatchesPlantedSizes) {
@@ -279,7 +279,7 @@ TEST(DatasetSubstitutes, HepShapeAtSmallScale) {
   ASSERT_EQ(ds.planted_medium, 0u);
   std::size_t planted_size = 0;
   for (CommunityId c : ds.net.membership) planted_size += (c == 0);
-  EXPECT_NEAR(planted_size, 31, 3);
+  EXPECT_NEAR(static_cast<double>(planted_size), 31.0, 3.0);
 }
 
 TEST(DatasetSubstitutes, EnronShapeAtSmallScale) {

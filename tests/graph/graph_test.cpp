@@ -76,5 +76,17 @@ TEST(DiGraph, IsolatedNodesAllowed) {
   EXPECT_TRUE(g.out_neighbors(9).empty());
 }
 
+TEST(DiGraph, ValidateAcceptsWellFormedGraphs) {
+  EXPECT_NO_THROW(DiGraph().validate());
+  EXPECT_NO_THROW(triangle().validate());
+  GraphBuilder b;
+  b.reserve_nodes(8);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);  // deduplicated by finalize
+  b.add_edge(4, 2);
+  b.add_edge(2, 4);
+  EXPECT_NO_THROW(b.finalize().validate());
+}
+
 }  // namespace
 }  // namespace lcrb

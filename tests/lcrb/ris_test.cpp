@@ -162,6 +162,9 @@ TEST(RrPoolTest, InvertedIndexMatchesSetsExactly) {
   RrPool pool;
   sampler.extend(pool, /*stream=*/0, /*target_sets=*/200);
   ASSERT_EQ(pool.num_sets(), 200u);
+  // The validator asserts everything this test checks by hand below (and is
+  // what LCRB_ENABLE_INVARIANTS runs after every append).
+  EXPECT_NO_THROW(pool.validate());
 
   std::size_t entries = 0, nulls = 0;
   for (std::size_t i = 0; i < pool.num_sets(); ++i) {
@@ -232,6 +235,7 @@ TEST(RrPoolTest, ExtendAppendsWithoutDisturbingExistingSets) {
   }
   sampler.extend(grown, 0, 120);
   ASSERT_EQ(grown.num_sets(), 120u);
+  EXPECT_NO_THROW(grown.validate());
   for (std::size_t i = 0; i < 50; ++i) {
     EXPECT_EQ(before[i], std::vector<NodeId>(grown.set_nodes(i).begin(),
                                              grown.set_nodes(i).end()));

@@ -1,0 +1,169 @@
+// Cross-thread determinism: the library's contract is that a fixed config
+// seed produces bit-identical results whatever the thread count. These tests
+// run the full LCRB-P greedy (both sigma modes) serially, on a 1-thread pool
+// and on a 4-thread pool, and require byte-identical protector sequences and
+// gain histories — the end-to-end check behind the fixed-order reduction
+// convention (see tools/lint_determinism.py).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "graph/generators.h"
+#include "lcrb/bridge.h"
+#include "lcrb/greedy.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace lcrb {
+namespace {
+
+BridgeEndResult bridges_on(const DiGraph& g, const std::vector<NodeId>& rumors,
+                           std::vector<NodeId> ends) {
+  BridgeEndResult b;
+  b.bridge_ends = std::move(ends);
+  b.rumor_dist.assign(g.num_nodes(), kUnreached);
+  std::vector<NodeId> frontier, next;
+  for (NodeId s : rumors) {
+    b.rumor_dist[s] = 0;
+    frontier.push_back(s);
+  }
+  for (std::uint32_t d = 1; !frontier.empty(); ++d) {
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId w : g.out_neighbors(u)) {
+        if (b.rumor_dist[w] == kUnreached) {
+          b.rumor_dist[w] = d;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return b;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << what << " differs bitwise";
+  }
+}
+
+class ThreadDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(211);
+    g_ = erdos_renyi(90, 0.06, /*directed=*/true, rng);
+    rumors_ = {0, 1};
+    std::vector<NodeId> ends;
+    for (NodeId v = 8; v < 30; ++v) ends.push_back(v);
+    bridges_ = bridges_on(g_, rumors_, std::move(ends));
+  }
+
+  // Runs the greedy serially, on 1 thread and on 4 threads; all three runs
+  // must agree byte for byte.
+  void check(const GreedyConfig& cfg) {
+    const GreedyResult serial =
+        greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg, nullptr);
+    ThreadPool one(1);
+    const GreedyResult t1 =
+        greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg, &one);
+    ThreadPool four(4);
+    const GreedyResult t4 =
+        greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg, &four);
+
+    for (const GreedyResult* r : {&t1, &t4}) {
+      EXPECT_EQ(serial.protectors, r->protectors);
+      expect_bitwise_equal(serial.gain_history, r->gain_history,
+                           "gain_history");
+      EXPECT_EQ(serial.achieved_fraction, r->achieved_fraction);
+      EXPECT_EQ(serial.sigma_evaluations, r->sigma_evaluations);
+      EXPECT_EQ(serial.candidate_count, r->candidate_count);
+    }
+    EXPECT_FALSE(serial.protectors.empty());
+  }
+
+  DiGraph g_;
+  std::vector<NodeId> rumors_;
+  BridgeEndResult bridges_;
+};
+
+TEST_F(ThreadDeterminismTest, McGreedyOpoaoIsThreadCountInvariant) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma.samples = 12;
+  cfg.sigma.seed = 9;
+  cfg.sigma.model = DiffusionModel::kOpoao;
+  check(cfg);
+}
+
+TEST_F(ThreadDeterminismTest, McGreedyIcLegacyPathIsThreadCountInvariant) {
+  // The legacy simulate()-based path is the reference implementation; it
+  // must honor the same contract as the realization cache.
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma.samples = 10;
+  cfg.sigma.seed = 13;
+  cfg.sigma.model = DiffusionModel::kIc;
+  cfg.sigma.ic_edge_prob = 0.3;
+  cfg.sigma.use_realization_cache = false;
+  check(cfg);
+}
+
+TEST_F(ThreadDeterminismTest, RisGreedyOpoaoIsThreadCountInvariant) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma_mode = SigmaMode::kRis;
+  cfg.sigma.model = DiffusionModel::kOpoao;
+  cfg.sigma.seed = 9;
+  cfg.ris.initial_sets = 128;
+  cfg.ris.max_sets = 4096;
+  check(cfg);
+}
+
+TEST_F(ThreadDeterminismTest, RisGreedyIcBoundsAreThreadCountInvariant) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.7;
+  cfg.sigma_mode = SigmaMode::kRis;
+  cfg.sigma.model = DiffusionModel::kIc;
+  cfg.sigma.ic_edge_prob = 0.25;
+  cfg.sigma.seed = 21;
+  cfg.ris.initial_sets = 128;
+  cfg.ris.max_sets = 4096;
+
+  const GreedyResult serial =
+      greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg, nullptr);
+  ThreadPool four(4);
+  const GreedyResult t4 =
+      greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg, &four);
+  EXPECT_EQ(serial.protectors, t4.protectors);
+  EXPECT_EQ(serial.ris_rounds, t4.ris_rounds);
+  // The certified bounds are sums over preassigned RR-set slots — also
+  // scheduling-invariant, bit for bit.
+  EXPECT_EQ(serial.ris_sigma_lower, t4.ris_sigma_lower);
+  EXPECT_EQ(serial.ris_sigma_upper, t4.ris_sigma_upper);
+  EXPECT_EQ(serial.achieved_fraction, t4.achieved_fraction);
+}
+
+TEST_F(ThreadDeterminismTest, RepeatedPooledRunsAreIdentical) {
+  // Same pool, same seed, run twice: nothing may leak between runs (scratch
+  // reuse, counters) that changes the answer.
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma.samples = 10;
+  cfg.sigma.seed = 5;
+  ThreadPool pool(4);
+  const GreedyResult a =
+      greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg, &pool);
+  const GreedyResult b =
+      greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg, &pool);
+  EXPECT_EQ(a.protectors, b.protectors);
+  expect_bitwise_equal(a.gain_history, b.gain_history, "gain_history");
+  EXPECT_EQ(a.achieved_fraction, b.achieved_fraction);
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -1,0 +1,172 @@
+// Race-stress tests for ThreadPool: submit/shutdown interleavings, parallel
+// callers, and the drain-on-shutdown guarantee. These exist to give
+// ThreadSanitizer something to bite on (the CI tsan job runs this binary);
+// the assertions also pin down the pool's deterministic semantics — a task
+// is always either executed or visibly refused, never silently dropped.
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lcrb {
+namespace {
+
+TEST(ThreadPoolStressTest, SubmitHammerFromManyThreads) {
+  constexpr std::size_t kSubmitters = 8;
+  constexpr std::size_t kTasksEach = 200;
+  ThreadPool pool(4);
+  std::atomic<std::size_t> executed{0};
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<std::size_t>>> futures(kSubmitters);
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (std::size_t i = 0; i < kTasksEach; ++i) {
+        futures[s].push_back(pool.submit([&, i] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return i;
+        }));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (std::size_t s = 0; s < kSubmitters; ++s) {
+    for (std::size_t i = 0; i < kTasksEach; ++i) {
+      EXPECT_EQ(futures[s][i].get(), i);
+    }
+  }
+  EXPECT_EQ(executed.load(), kSubmitters * kTasksEach);
+}
+
+TEST(ThreadPoolStressTest, ParallelForFromConcurrentCallers) {
+  // Several external threads drive parallel_for on the same pool at once;
+  // each writes its own slot array, so any cross-talk corrupts a sum.
+  constexpr std::size_t kCallers = 6;
+  constexpr std::size_t kN = 500;
+  ThreadPool pool(4);
+  std::vector<std::vector<std::size_t>> out(kCallers,
+                                            std::vector<std::size_t>(kN, 0));
+  std::vector<std::thread> callers;
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 5; ++round) {
+        pool.parallel_for(kN,
+                          [&, c](std::size_t i) { out[c][i] = c * kN + i; });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (std::size_t c = 0; c < kCallers; ++c) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(out[c][i], c * kN + i);
+    }
+  }
+}
+
+TEST(ThreadPoolStressTest, ShutdownDrainsEveryAcceptedTask) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> executed{0};
+  constexpr std::size_t kTasks = 64;
+  std::vector<std::future<void>> futures;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      executed.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  pool.shutdown();  // must run the whole backlog before joining
+  EXPECT_EQ(executed.load(), kTasks);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolStressTest, SubmitAndParallelForAfterShutdownThrow) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  EXPECT_THROW(pool.submit([] { return 1; }), Error);
+  EXPECT_THROW(pool.parallel_for(10, [](std::size_t) {}), Error);
+  pool.shutdown();  // idempotent
+  EXPECT_TRUE(pool.stopped());
+}
+
+TEST(ThreadPoolStressTest, ConstructDestroyChurn) {
+  // Rapid pool lifecycles catch races between worker startup and the
+  // destructor's shutdown (the classic notify-before-wait lost wakeup).
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    auto f1 = pool.submit([&] { ran.fetch_add(1); });
+    auto f2 = pool.submit([&] { ran.fetch_add(1); });
+    f1.get();
+    f2.get();
+    EXPECT_EQ(ran.load(), 2);
+  }  // destructor shuts down with an empty queue
+}
+
+TEST(ThreadPoolStressTest, SubmitRacingShutdownNeverLosesATask) {
+  // Submitters race shutdown(): every attempt must either execute (future
+  // becomes ready) or throw lcrb::Error — executed + rejected == attempted.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(2);
+    constexpr std::size_t kSubmitters = 4;
+    std::atomic<std::size_t> executed{0};
+    std::atomic<std::size_t> rejected{0};
+    std::atomic<std::size_t> attempted{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<void>>> futures(kSubmitters);
+    for (std::size_t s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&, s] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < 50; ++i) {
+          attempted.fetch_add(1, std::memory_order_relaxed);
+          try {
+            futures[s].push_back(pool.submit(
+                [&] { executed.fetch_add(1, std::memory_order_relaxed); }));
+          } catch (const Error&) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    pool.shutdown();
+    for (auto& t : submitters) t.join();
+    // Accepted tasks were drained by shutdown... except those accepted after
+    // shutdown returned — impossible: post-shutdown submits throw. So every
+    // obtained future is ready the moment its submitter joined.
+    for (auto& fs : futures) {
+      for (auto& f : fs) {
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+      }
+    }
+    EXPECT_EQ(executed.load() + rejected.load(), attempted.load());
+  }
+}
+
+TEST(ThreadPoolStressTest, NestedParallelForRunsInline) {
+  // A parallel_for body issuing its own parallel_for must degrade to the
+  // inline path instead of deadlocking on the pool's own workers.
+  ThreadPool pool(2);
+  std::vector<std::size_t> out(16, 0);
+  pool.parallel_for(4, [&](std::size_t i) {
+    pool.parallel_for(4, [&, i](std::size_t j) { out[i * 4 + j] = i * 4 + j; });
+  });
+  for (std::size_t k = 0; k < out.size(); ++k) EXPECT_EQ(out[k], k);
+}
+
+}  // namespace
+}  // namespace lcrb

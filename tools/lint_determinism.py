@@ -1,0 +1,350 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism linter for the LCRB codebase.
+
+The library promises bit-identical results for a fixed seed regardless of
+thread count (see docs/development.md). clang-tidy cannot express the three
+repo-specific rules that protect that promise, so this linter does:
+
+  banned-rng          Any hidden entropy source (std::rand, srand,
+                      std::random_device, std::mt19937, default_random_engine)
+                      outside src/util/rng.* — all randomness must flow from
+                      explicitly seeded lcrb::Rng / SplitMix64 streams.
+                      Applies to every linted file.
+
+  unordered-iteration Iteration over std::unordered_map / std::unordered_set
+                      in a determinism-SENSITIVE file (sigma, greedy, RIS,
+                      montecarlo, louvain, label_propagation): hash-order is
+                      libstdc++-version- and size-dependent, so any result
+                      assembled by such iteration can silently change.
+                      Lookups (find / count / operator[]) are fine; only
+                      range-for and begin()/end() over a container declared
+                      unordered in the same file are flagged.
+
+  shared-fp-accum     Floating-point accumulation (+= / -=) into shared state
+                      from inside a by-reference lambda in a sensitive file.
+                      Parallel bodies must write per-index slots
+                      (`out[i] = ...`) and reduce serially in fixed order;
+                      a bare `total += x` inside a `[&]` lambda is exactly
+                      the scheduling-ordered FP sum that breaks replay.
+                      std::atomic<double/float> and std::reduce /
+                      std::execution are flagged unconditionally in
+                      sensitive files (atomic FP adds commit in arrival
+                      order).
+
+A line containing `det-ok:` in a comment is waived from all rules (use
+sparingly, with a reason). Exit status: 0 = clean, 1 = findings, 2 = usage.
+
+Usage:
+  tools/lint_determinism.py [path ...]     # files or directories; default src
+  tools/lint_determinism.py --list-sensitive
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Files whose output feeds sigma values, greedy picks, or RR pools — the
+# quantities the determinism tests byte-compare across thread counts.
+SENSITIVE_SUFFIXES = (
+    "src/lcrb/sigma.h",
+    "src/lcrb/sigma.cpp",
+    "src/lcrb/sigma_engine.h",
+    "src/lcrb/sigma_engine.cpp",
+    "src/lcrb/greedy.h",
+    "src/lcrb/greedy.cpp",
+    "src/lcrb/ris.h",
+    "src/lcrb/ris.cpp",
+    "src/diffusion/montecarlo.h",
+    "src/diffusion/montecarlo.cpp",
+    "src/community/louvain.cpp",
+    "src/community/label_propagation.cpp",
+)
+
+# The one place hidden entropy sources are allowed (it defines the seeded
+# generators everything else must use).
+RNG_HOME_SUFFIXES = ("src/util/rng.h", "src/util/rng.cpp")
+
+BANNED_RNG = re.compile(
+    r"\bstd\s*::\s*(rand|srand|random_device|mt19937(_64)?|minstd_rand0?|"
+    r"default_random_engine|random_shuffle)\b"
+    r"|\bsrand\s*\("
+    r"|(?<![\w:])rand\s*\(\s*\)"
+)
+
+BANNED_PARALLEL_STL = re.compile(
+    r"\bstd\s*::\s*(reduce|transform_reduce|execution)\b"
+)
+
+ATOMIC_FP = re.compile(r"\bstd\s*::\s*atomic\s*<\s*(double|float|long\s+double)\s*>")
+
+LINT_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                mode = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # string or char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == mode:
+                mode = None
+                out.append(c)
+            elif c == "\n":  # unterminated; bail to keep lines aligned
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def match_balanced(text: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Returns the index just past the bracket closing text[start] (which must
+    be open_ch), or -1."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def unordered_container_names(code: str) -> set[str]:
+    """Names of variables/members declared with an unordered container type."""
+    names = set()
+    for m in re.finditer(r"\bunordered_(?:map|set)\s*<", code):
+        open_angle = code.index("<", m.start())
+        # Balance angle brackets (good enough: no shift operators in types).
+        depth, i = 0, open_angle
+        while i < len(code):
+            if code[i] == "<":
+                depth += 1
+            elif code[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        if depth != 0:
+            continue
+        tail = code[i + 1 :]
+        dm = re.match(r"\s*(?:&|\*)?\s*([A-Za-z_]\w*)\s*[;={(,)]", tail)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def ref_lambda_bodies(code: str):
+    """Yields (start, end) extents of bodies of lambdas capturing by
+    reference (a `&` anywhere in the capture list)."""
+    for m in re.finditer(r"\[[^\]\n]*&[^\]\n]*\]", code):
+        i = m.end()
+        # Optional parameter list.
+        j = re.match(r"\s*", code[i:]).end() + i
+        if j < len(code) and code[j] == "(":
+            j = match_balanced(code, j, "(", ")")
+            if j < 0:
+                continue
+        # Optional specifiers / trailing return type, then the body.
+        k = code.find("{", j)
+        if k < 0:
+            continue
+        between = code[j:k]
+        if not re.fullmatch(
+            r"\s*(?:mutable\b\s*)?(?:noexcept\b\s*)?(?:->\s*[\w:\s<>,&*]+)?\s*",
+            between,
+        ):
+            continue
+        end = match_balanced(code, k, "{", "}")
+        if end > 0:
+            yield k, end
+
+
+def fp_scalar_names(code: str) -> set[str]:
+    """Names declared as bare double/float scalars (not vector elements)."""
+    return set(
+        m.group(1)
+        for m in re.finditer(r"\b(?:double|float)\s+([A-Za-z_]\w*)\s*[=;{,]", code)
+    )
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path, self.line, self.rule, self.message = path, line, rule, message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def is_sensitive(path: Path) -> bool:
+    p = path.as_posix()
+    return any(p.endswith(s) for s in SENSITIVE_SUFFIXES)
+
+
+def is_rng_home(path: Path) -> bool:
+    p = path.as_posix()
+    return any(p.endswith(s) for s in RNG_HOME_SUFFIXES)
+
+
+def lint_file(path: Path) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    waived = {
+        i + 1 for i, line in enumerate(raw.splitlines()) if "det-ok:" in line
+    }
+    code = strip_comments_and_strings(raw)
+    findings: list[Finding] = []
+
+    def add(pos: int, rule: str, message: str):
+        ln = line_of(code, pos)
+        if ln not in waived:
+            findings.append(Finding(path, ln, rule, message))
+
+    if not is_rng_home(path):
+        for m in BANNED_RNG.finditer(code):
+            add(
+                m.start(),
+                "banned-rng",
+                "hidden entropy source; use a seeded lcrb::Rng "
+                "(all randomness must be reproducible from the config seed)",
+            )
+
+    if not is_sensitive(path):
+        return findings
+
+    # unordered-iteration -----------------------------------------------------
+    for name in sorted(unordered_container_names(code)):
+        for pat, what in (
+            (rf"for\s*\([^()]*:\s*\*?\s*{re.escape(name)}\s*\)", "range-for over"),
+            (rf"\b{re.escape(name)}\s*\.\s*(?:c?r?begin|c?r?end)\s*\(", "iterator over"),
+        ):
+            for m in re.finditer(pat, code):
+                add(
+                    m.start(),
+                    "unordered-iteration",
+                    f"{what} unordered container '{name}' in a "
+                    "determinism-sensitive file; hash order is not stable — "
+                    "use a sorted/dense structure or iterate a sorted key list",
+                )
+
+    # shared-fp-accum ---------------------------------------------------------
+    for m in ATOMIC_FP.finditer(code):
+        add(
+            m.start(),
+            "shared-fp-accum",
+            "std::atomic floating-point accumulator commits in scheduling "
+            "order; accumulate integers or reduce per-slot results serially",
+        )
+    for m in BANNED_PARALLEL_STL.finditer(code):
+        add(
+            m.start(),
+            "shared-fp-accum",
+            "parallel STL reduction has unspecified operand order; use the "
+            "fixed-order slot-then-serial-reduce pattern",
+        )
+    shared_fp = fp_scalar_names(code)
+    for start, end in ref_lambda_bodies(code):
+        body = code[start:end]
+        # Names declared inside the lambda body itself are local, not shared.
+        local = fp_scalar_names(body)
+        for name in sorted(shared_fp - local):
+            for m in re.finditer(
+                rf"(^|[^\w\].>])({re.escape(name)})\s*[+-]=", body
+            ):
+                add(
+                    start + m.start(2),
+                    "shared-fp-accum",
+                    f"'{name} +=' on a captured floating-point scalar inside "
+                    "a by-reference lambda; write per-index slots and reduce "
+                    "serially in fixed order instead",
+                )
+
+    return findings
+
+
+def collect(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(
+                sorted(
+                    f
+                    for f in path.rglob("*")
+                    if f.suffix in LINT_EXTENSIONS and f.is_file()
+                )
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"lint_determinism: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    args = argv[1:]
+    if "--list-sensitive" in args:
+        for s in SENSITIVE_SUFFIXES:
+            print(s)
+        return 0
+    if not args:
+        repo_root = Path(__file__).resolve().parent.parent
+        args = [str(repo_root / "src")]
+    findings: list[Finding] = []
+    for f in collect(args):
+        findings.extend(lint_file(f))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/lint_determinism.py.
+
+Each test seeds a violation into a scratch tree and asserts the linter both
+catches it (in a sensitive file) and stays quiet where the rule does not
+apply — so the linter itself cannot silently rot.
+"""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import lint_determinism as lint  # noqa: E402
+
+
+def run_on(relpath: str, content: str):
+    """Writes content at relpath under a temp root and lints that file."""
+    with tempfile.TemporaryDirectory() as root:
+        path = Path(root) / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+        return lint.lint_file(path)
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class BannedRngTest(unittest.TestCase):
+    def test_mt19937_flagged_anywhere(self):
+        f = run_on("src/graph/generators.cpp", "std::mt19937 gen(42);\n")
+        self.assertEqual(rules(f), ["banned-rng"])
+
+    def test_random_device_flagged(self):
+        f = run_on("src/lcrb/greedy.cpp", "std::random_device rd;\n")
+        self.assertIn("banned-rng", rules(f))
+
+    def test_bare_rand_flagged(self):
+        f = run_on("src/a.cpp", "int x = rand();\n")
+        self.assertEqual(rules(f), ["banned-rng"])
+
+    def test_rng_home_exempt(self):
+        f = run_on("src/util/rng.cpp", "std::random_device rd;  // seeding\n")
+        self.assertEqual(f, [])
+
+    def test_identifier_containing_rand_not_flagged(self):
+        f = run_on("src/a.cpp", "int operand() { return grand_total(); }\n")
+        self.assertEqual(f, [])
+
+    def test_mention_in_comment_not_flagged(self):
+        f = run_on("src/a.cpp", "// never use std::rand here\nint x;\n")
+        self.assertEqual(f, [])
+
+
+class UnorderedIterationTest(unittest.TestCase):
+    CODE = (
+        "#include <unordered_map>\n"
+        "std::unordered_map<int, double> acc;\n"
+        "void f() { for (const auto& [k, v] : acc) { (void)k; } }\n"
+    )
+
+    def test_flagged_in_sensitive_file(self):
+        f = run_on("src/lcrb/sigma.cpp", self.CODE)
+        self.assertEqual(rules(f), ["unordered-iteration"])
+
+    def test_not_flagged_in_non_sensitive_file(self):
+        f = run_on("src/graph/metrics.cpp", self.CODE)
+        self.assertEqual(f, [])
+
+    def test_begin_iteration_flagged(self):
+        code = (
+            "std::unordered_set<unsigned> seen;\n"
+            "auto it = seen.begin();\n"
+        )
+        f = run_on("src/lcrb/ris.cpp", code)
+        self.assertEqual(rules(f), ["unordered-iteration"])
+
+    def test_lookup_only_is_fine(self):
+        code = (
+            "std::unordered_map<int, int> idx;\n"
+            "bool f(int k) { return idx.find(k) != idx.end(); }\n"
+        )
+        # .end() alone (comparison target of a find) is still iteration-ish;
+        # the rule intentionally flags it — membership tests should use
+        # count()/contains(). Verify contains() passes.
+        clean = (
+            "std::unordered_map<int, int> idx;\n"
+            "bool f(int k) { return idx.contains(k); }\n"
+        )
+        self.assertEqual(run_on("src/lcrb/ris.cpp", clean), [])
+        self.assertEqual(rules(run_on("src/lcrb/ris.cpp", code)),
+                         ["unordered-iteration"])
+
+
+class SharedFpAccumTest(unittest.TestCase):
+    def test_captured_scalar_accumulation_flagged(self):
+        code = (
+            "void f() {\n"
+            "  double total = 0.0;\n"
+            "  auto body = [&](unsigned long i) { total += 1.0; };\n"
+            "}\n"
+        )
+        f = run_on("src/lcrb/greedy.cpp", code)
+        self.assertEqual(rules(f), ["shared-fp-accum"])
+
+    def test_slot_write_is_fine(self):
+        code = (
+            "#include <vector>\n"
+            "void f(std::vector<double>& out) {\n"
+            "  auto body = [&](unsigned long i) { out[i] = 1.0; };\n"
+            "}\n"
+        )
+        self.assertEqual(run_on("src/lcrb/greedy.cpp", code), [])
+
+    def test_lambda_local_scalar_is_fine(self):
+        code = (
+            "void f() {\n"
+            "  auto body = [&](unsigned long i) {\n"
+            "    double local = 0.0;\n"
+            "    local += 1.0;\n"
+            "  };\n"
+            "}\n"
+        )
+        self.assertEqual(run_on("src/lcrb/sigma.cpp", code), [])
+
+    def test_serial_accumulation_outside_lambda_is_fine(self):
+        code = (
+            "void f() {\n"
+            "  double total = 0.0;\n"
+            "  for (int i = 0; i < 4; ++i) total += 1.0;\n"
+            "}\n"
+        )
+        self.assertEqual(run_on("src/lcrb/sigma.cpp", code), [])
+
+    def test_atomic_double_flagged(self):
+        code = "#include <atomic>\nstd::atomic<double> sum{0.0};\n"
+        f = run_on("src/lcrb/sigma_engine.cpp", code)
+        self.assertEqual(rules(f), ["shared-fp-accum"])
+
+    def test_parallel_stl_flagged(self):
+        code = "#include <numeric>\nauto g(double* a) { return std::reduce(a, a + 4); }\n"
+        f = run_on("src/diffusion/montecarlo.cpp", code)
+        self.assertEqual(rules(f), ["shared-fp-accum"])
+
+    def test_not_flagged_in_non_sensitive_file(self):
+        code = (
+            "void f() {\n"
+            "  double total = 0.0;\n"
+            "  auto body = [&](unsigned long i) { total += 1.0; };\n"
+            "}\n"
+        )
+        self.assertEqual(run_on("src/graph/centrality.cpp", code), [])
+
+
+class WaiverTest(unittest.TestCase):
+    def test_det_ok_waives_same_line(self):
+        code = "std::mt19937 gen(7);  // det-ok: test fixture, seed is fixed\n"
+        self.assertEqual(run_on("src/a.cpp", code), [])
+
+    def test_det_ok_on_other_line_does_not_waive(self):
+        code = "// det-ok: not here\nstd::mt19937 gen(7);\n"
+        self.assertEqual(rules(run_on("src/a.cpp", code)), ["banned-rng"])
+
+
+class RepoCleanTest(unittest.TestCase):
+    def test_repo_src_is_clean(self):
+        src = Path(__file__).resolve().parent.parent / "src"
+        findings = []
+        for f in lint.collect([str(src)]):
+            findings.extend(lint.lint_file(f))
+        self.assertEqual([str(x) for x in findings], [])
+
+    def test_sensitive_list_files_exist(self):
+        root = Path(__file__).resolve().parent.parent
+        for suffix in lint.SENSITIVE_SUFFIXES:
+            self.assertTrue((root / suffix).is_file(), suffix)
+
+
+if __name__ == "__main__":
+    unittest.main()
