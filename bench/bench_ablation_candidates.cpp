@@ -43,17 +43,17 @@ int main(int argc, char** argv) {
   table.set_header({"strategy", "candidates", "|P|", "saved% (precise)",
                     "select time (s)"});
   for (const Variant& v : variants) {
-    GreedyConfig cfg;
-    cfg.alpha = 0.9;
-    cfg.candidates = v.strategy;
-    cfg.max_candidates = v.cap;
-    cfg.max_protectors = setup.rumors.size() * 2;
-    cfg.sigma.samples = ctx.sigma_samples;
-    cfg.sigma.seed = ctx.seed + 7;
+    LcrbOptions opts;
+    opts.alpha = 0.9;
+    opts.candidates = v.strategy;
+    opts.max_candidates = v.cap;
+    opts.budget = setup.rumors.size() * 2;
+    opts.sigma_samples = ctx.sigma_samples;
+    opts.sigma_seed = ctx.seed + 7;
 
     Timer t;
     const GreedyResult r = greedy_lcrbp_from_bridges(
-        ds.graph, setup.rumors, setup.bridges, cfg, &pool);
+        ds.graph, setup.rumors, setup.bridges, opts.greedy_config(), &pool);
     const double sel_time = t.seconds();
     const HopSeries s =
         evaluate_protectors(setup, r.protectors, precise, &pool);

@@ -27,17 +27,17 @@ int main(int argc, char** argv) {
   TextTable table;
   table.set_header({"variant", "|P|", "achieved", "sigma evals", "time (s)"});
   for (const bool use_celf : {true, false}) {
-    GreedyConfig cfg;
-    cfg.alpha = 0.99;
-    cfg.use_celf = use_celf;
-    cfg.max_protectors = 10;
-    cfg.max_candidates = ctx.max_candidates;
-    cfg.sigma.samples = ctx.sigma_samples;
-    cfg.sigma.seed = ctx.seed + 7;
+    LcrbOptions opts;
+    opts.alpha = 0.99;
+    opts.use_celf = use_celf;
+    opts.budget = 10;
+    opts.max_candidates = ctx.max_candidates;
+    opts.sigma_samples = ctx.sigma_samples;
+    opts.sigma_seed = ctx.seed + 7;
 
     Timer t;
     const GreedyResult r = greedy_lcrbp_from_bridges(
-        ds.graph, setup.rumors, setup.bridges, cfg, &pool);
+        ds.graph, setup.rumors, setup.bridges, opts.greedy_config(), &pool);
     table.add_values(use_celf ? "CELF" : "plain", r.protectors.size(),
                      fixed(r.achieved_fraction, 3), r.sigma_evaluations,
                      fixed(t.seconds(), 2));

@@ -31,16 +31,16 @@ int main(int argc, char** argv) {
   table.set_header(
       {"samples", "|P|", "saved% (precise)", "select time (s)"});
   for (const std::size_t samples : {5u, 10u, 20u, 40u}) {
-    GreedyConfig cfg;
-    cfg.alpha = 0.9;
-    cfg.max_protectors = setup.rumors.size() * 2;
-    cfg.max_candidates = ctx.max_candidates;
-    cfg.sigma.samples = samples;
-    cfg.sigma.seed = ctx.seed + 7;
+    LcrbOptions opts;
+    opts.alpha = 0.9;
+    opts.budget = setup.rumors.size() * 2;
+    opts.max_candidates = ctx.max_candidates;
+    opts.sigma_samples = samples;
+    opts.sigma_seed = ctx.seed + 7;
 
     Timer t;
     const GreedyResult r = greedy_lcrbp_from_bridges(
-        ds.graph, setup.rumors, setup.bridges, cfg, &pool);
+        ds.graph, setup.rumors, setup.bridges, opts.greedy_config(), &pool);
     const double sel_time = t.seconds();
     const HopSeries s =
         evaluate_protectors(setup, r.protectors, precise, &pool);

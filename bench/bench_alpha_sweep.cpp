@@ -28,14 +28,14 @@ int main(int argc, char** argv) {
   TextTable table;
   table.set_header({"alpha", "|P| (greedy)", "achieved", "sigma evals"});
   for (const double alpha : {0.5, 0.6, 0.7, 0.8, 0.9, 0.95}) {
-    GreedyConfig cfg;
-    cfg.alpha = alpha;
-    cfg.max_protectors = setup.bridges.bridge_ends.size();
-    cfg.max_candidates = ctx.max_candidates;
-    cfg.sigma.samples = ctx.sigma_samples;
-    cfg.sigma.seed = ctx.seed + 7;
+    LcrbOptions opts;
+    opts.alpha = alpha;
+    opts.budget = setup.bridges.bridge_ends.size();
+    opts.max_candidates = ctx.max_candidates;
+    opts.sigma_samples = ctx.sigma_samples;
+    opts.sigma_seed = ctx.seed + 7;
     const GreedyResult r = greedy_lcrbp_from_bridges(
-        ds.graph, setup.rumors, setup.bridges, cfg, &pool);
+        ds.graph, setup.rumors, setup.bridges, opts.greedy_config(), &pool);
     table.add_values(fixed(alpha, 2), r.protectors.size(),
                      fixed(r.achieved_fraction, 3), r.sigma_evaluations);
   }

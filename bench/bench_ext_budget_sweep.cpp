@@ -27,15 +27,14 @@ int main(int argc, char** argv) {
   const std::size_t max_budget = budgets.back();
 
   // One ranked list per selector, long enough for the largest budget.
-  SelectorConfig sel;
-  sel.budget = max_budget;
-  sel.seed = ctx.seed + 5;
-  sel.greedy.alpha = 1.0;  // never stop early; the budget cap rules
-  sel.greedy.max_protectors = max_budget;
-  sel.greedy.max_candidates = ctx.max_candidates;
-  sel.greedy.sigma.samples = ctx.sigma_samples;
-  sel.greedy.sigma.seed = ctx.seed + 7;
-  sel.gvs.samples = ctx.sigma_samples;
+  LcrbOptions opts;
+  opts.budget = max_budget;
+  opts.selector_seed = ctx.seed + 5;
+  opts.alpha = 1.0;  // never stop early; the budget cap rules
+  opts.max_candidates = ctx.max_candidates;
+  opts.sigma_samples = ctx.sigma_samples;
+  opts.sigma_seed = ctx.seed + 7;
+  opts.gvs_samples = ctx.sigma_samples;
 
   const SelectorKind kinds[] = {
       SelectorKind::kGreedy,    SelectorKind::kGvs,
@@ -52,7 +51,8 @@ int main(int argc, char** argv) {
                     "PageRank", "DegreeDiscount"});
   std::vector<std::vector<NodeId>> orders;
   for (SelectorKind kind : kinds) {
-    orders.push_back(select_protectors(kind, setup, sel, &pool));
+    opts.selector = kind;
+    orders.push_back(select_protectors(setup, opts, &pool));
   }
   for (std::size_t budget : budgets) {
     std::vector<std::string> row{std::to_string(budget)};

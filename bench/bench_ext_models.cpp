@@ -39,16 +39,14 @@ int main(int argc, char** argv) {
   table.set_header({"model", "Greedy", "Proximity", "MaxDegree", "PageRank",
                     "NoBlocking"});
   for (const ModelCase& mcase : cases) {
-    SelectorConfig sel;
-    sel.budget = setup.rumors.size();
-    sel.seed = ctx.seed + 5;
-    sel.greedy.alpha = 0.95;
-    sel.greedy.max_protectors = sel.budget;
-    sel.greedy.max_candidates = ctx.max_candidates;
-    sel.greedy.sigma.samples = ctx.sigma_samples;
-    sel.greedy.sigma.seed = ctx.seed + 7;
-    sel.greedy.sigma.model = mcase.model;       // greedy optimizes the model
-    sel.greedy.sigma.ic_edge_prob = mcase.ic_p; // it will be judged under
+    LcrbOptions opts;
+    opts.selector_seed = ctx.seed + 5;
+    opts.alpha = 0.95;
+    opts.max_candidates = ctx.max_candidates;
+    opts.sigma_samples = ctx.sigma_samples;
+    opts.sigma_seed = ctx.seed + 7;
+    opts.model = mcase.model;        // greedy optimizes the model
+    opts.ic_edge_prob = mcase.ic_p;  // it will be judged under
 
     MonteCarloConfig mc;
     mc.runs = ctx.mc_runs;
@@ -62,7 +60,10 @@ int main(int argc, char** argv) {
          {SelectorKind::kGreedy, SelectorKind::kProximity,
           SelectorKind::kMaxDegree, SelectorKind::kPageRank,
           SelectorKind::kNoBlocking}) {
-      const auto protectors = select_protectors(kind, setup, sel, &pool);
+      opts.selector = kind;
+      opts.budget =
+          kind == SelectorKind::kNoBlocking ? 0 : setup.rumors.size();
+      const auto protectors = select_protectors(setup, opts, &pool);
       const HopSeries s = evaluate_protectors(setup, protectors, mc, &pool);
       row.push_back(fixed(100.0 * s.saved_fraction_mean) + "%");
     }

@@ -56,18 +56,18 @@ FigureSetup make_setup() {
 
 GreedyConfig mode_cfg(DiffusionModel model, SigmaMode mode,
                       std::size_t budget) {
-  GreedyConfig cfg;
-  cfg.alpha = 0.95;
-  cfg.max_protectors = budget;
-  cfg.max_candidates = 300;
-  cfg.sigma.model = model;
-  cfg.sigma.samples = (model == DiffusionModel::kDoam) ? 4 : 20;
-  cfg.sigma.seed = 9;
-  cfg.sigma_mode = mode;
-  cfg.ris.epsilon = kRisEpsilon;
-  cfg.ris.initial_sets = 256;  // the doubling rule grows it when needed
-  cfg.ris.max_sets = std::size_t{1} << 14;
-  return cfg;
+  LcrbOptions opts;
+  opts.alpha = 0.95;
+  opts.budget = budget;
+  opts.max_candidates = 300;
+  opts.model = model;
+  opts.sigma_samples = (model == DiffusionModel::kDoam) ? 4 : 20;
+  opts.sigma_seed = 9;
+  opts.sigma_mode = mode;
+  opts.ris_epsilon = kRisEpsilon;
+  opts.ris_initial_sets = 256;  // the doubling rule grows it when needed
+  opts.ris_max_sets = std::size_t{1} << 14;
+  return opts.greedy_config();
 }
 
 double visits_per_seed(const GreedyResult& r) {

@@ -1,0 +1,208 @@
+// Warm-session vs cold-process economics of the query service.
+//
+// The service exists so repeated queries stop paying the CLI's fixed costs:
+// re-reading the edge list, re-building the partition, re-deriving bridge
+// ends, and re-materializing sigma realizations on every invocation. This
+// bench runs the same 100-query mixed workload (greedy MC / SCBG / maxdegree
+// selects, evaluates, infos) two ways:
+//
+//   cold   one fresh QueryService per query, loading graph + membership from
+//          disk each time — the work a cold `lcrb ...` process does, minus
+//          exec/link overhead (so the measured ratio *understates* the win)
+//   warm   one QueryService, batches of 10 against the shared GraphSession
+//
+// It also re-checks the batch-vs-sequential byte-identity guarantee on the
+// fly and refuses to report numbers if it fails. Results land in
+// --out (default BENCH_service.json) in a small self-describing format.
+//
+// Flags: --scale F | --queries N | --threads N | --out PATH | --seed S
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "community/io.h"
+#include "graph/io.h"
+#include "service/query_service.h"
+#include "util/args.h"
+
+namespace {
+
+using namespace lcrb;
+using namespace lcrb::bench;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// The mixed workload: query i cycles through five request shapes, with the
+/// rumor draw re-seeded every cycle so warm runs still see a handful of
+/// distinct experiment setups (not one setup amortized 100 ways).
+std::vector<service::QueryRequest> make_workload(std::size_t n,
+                                                 const BenchContext& ctx,
+                                                 const Dataset& ds) {
+  const CommunityId community = ds.community;
+  // Evaluate-op protectors must be disjoint from every rumor draw; picking
+  // them from a different community guarantees that.
+  const CommunityId other = community == 0 ? 1 : 0;
+  const std::vector<NodeId>& pool = ds.partition.members(other);
+  const std::vector<NodeId> protectors(pool.begin(),
+                                       pool.begin() + std::min<std::size_t>(
+                                                          3, pool.size()));
+  std::vector<service::QueryRequest> reqs;
+  reqs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    service::QueryRequest req;
+    req.id = std::to_string(i);
+    req.dataset = "bench";
+    req.rumor_community = community;
+    req.num_rumors = 3;
+    req.rumor_seed = ctx.seed + (i / 10) % 4;  // 4 distinct rumor draws
+    req.options.alpha = 0.9;
+    req.options.sigma_samples = ctx.sigma_samples;
+    req.options.sigma_seed = ctx.seed + 7;
+    req.options.max_candidates = ctx.max_candidates;
+    switch (i % 5) {
+      case 0:  // LCRB-P Monte-Carlo greedy
+        break;
+      case 1:
+        req.options.selector = SelectorKind::kScbg;
+        break;
+      case 2:
+        req.options.selector = SelectorKind::kMaxDegree;
+        break;
+      case 3:
+        req.op = service::QueryOp::kEvaluate;
+        req.protectors = protectors;
+        req.eval_runs = ctx.mc_runs;
+        req.eval_seed = ctx.seed + 13;
+        break;
+      case 4:
+        req.op = service::QueryOp::kInfo;
+        break;
+    }
+    reqs.push_back(std::move(req));
+  }
+  return reqs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchContext ctx =
+      parse_context(argc, argv, "service: warm sessions vs cold processes");
+  const Args args(argc, argv);
+  const std::size_t queries =
+      static_cast<std::size_t>(args.get_int("queries", 100));
+  const std::size_t threads =
+      static_cast<std::size_t>(args.get_int("threads", 0));
+  const std::string out_path = args.get_string("out", "BENCH_service.json");
+
+  const Dataset ds = make_hep_dataset(ctx);
+  const std::string graph_path = "bench_service_graph.txt";
+  const std::string membership_path = "bench_service_membership.csv";
+  save_edge_list(ds.graph, graph_path);
+  save_membership(ds.partition, membership_path);
+
+  const std::vector<service::QueryRequest> workload =
+      make_workload(queries, ctx, ds);
+
+  service::ServiceConfig cfg;
+  cfg.threads = threads;
+  cfg.collect_meta = false;
+
+  // --- cold: a fresh service (and a fresh disk load) per query -------------
+  std::vector<std::string> cold_payloads;
+  cold_payloads.reserve(workload.size());
+  const Clock::time_point cold_start = Clock::now();
+  for (const service::QueryRequest& req : workload) {
+    service::QueryService svc(cfg);
+    DiGraph g = load_edge_list(graph_path);
+    Partition p = load_membership(membership_path);
+    svc.registry().open("bench", std::move(g), std::move(p));
+    const service::QueryResult r = svc.run(req);
+    if (!r.ok) {
+      std::cerr << "cold query " << req.id << " failed: " << r.error << "\n";
+      return 1;
+    }
+    cold_payloads.push_back(r.to_json(false).dump());
+  }
+  const double cold_ms = ms_since(cold_start);
+
+  // --- warm: one service, batches of 10 against the shared session ---------
+  service::QueryService warm_svc(cfg);
+  {
+    DiGraph g = load_edge_list(graph_path);
+    Partition p = load_membership(membership_path);
+    warm_svc.registry().open("bench", std::move(g), std::move(p));
+  }
+  std::vector<std::string> warm_payloads;
+  warm_payloads.reserve(workload.size());
+  const Clock::time_point warm_start = Clock::now();
+  for (std::size_t i = 0; i < workload.size(); i += 10) {
+    std::vector<service::QueryRequest> batch(
+        workload.begin() + static_cast<std::ptrdiff_t>(i),
+        workload.begin() +
+            static_cast<std::ptrdiff_t>(std::min(i + 10, workload.size())));
+    for (const service::QueryResult& r : warm_svc.run_batch(std::move(batch))) {
+      if (!r.ok) {
+        std::cerr << "warm query " << r.id << " failed: " << r.error << "\n";
+        return 1;
+      }
+      warm_payloads.push_back(r.to_json(false).dump());
+    }
+  }
+  const double warm_ms = ms_since(warm_start);
+
+  // The headline numbers are only meaningful if warm batching returned the
+  // exact payload bytes of the cold one-shot runs. Info replies are excluded:
+  // their resident_bytes field truthfully reports the session's warm-cache
+  // footprint, which *should* differ between a cold and a warm service.
+  bool identical = cold_payloads.size() == warm_payloads.size();
+  for (std::size_t i = 0; identical && i < cold_payloads.size(); ++i) {
+    if (workload[i].op == service::QueryOp::kInfo) continue;
+    if (cold_payloads[i] != warm_payloads[i]) {
+      std::cerr << "FAIL: query " << i << " differs\n  cold: "
+                << cold_payloads[i] << "\n  warm: " << warm_payloads[i]
+                << "\n";
+      identical = false;
+    }
+  }
+  if (!identical) return 1;
+
+  const double ratio = warm_ms / cold_ms;
+  JsonValue out = JsonValue::object();
+  out.set("bench", std::string("service_warm_vs_cold"));
+  out.set("dataset", ds.name);
+  out.set("num_nodes", static_cast<std::uint64_t>(ds.graph.num_nodes()));
+  out.set("num_arcs", static_cast<std::uint64_t>(ds.graph.num_edges()));
+  out.set("queries", static_cast<std::uint64_t>(queries));
+  out.set("workload", std::string(
+      "greedy-mc/scbg/maxdegree selects + evaluate + info, round-robin, "
+      "4 distinct rumor draws"));
+  out.set("sigma_samples", static_cast<std::uint64_t>(ctx.sigma_samples));
+  out.set("mc_runs", static_cast<std::uint64_t>(ctx.mc_runs));
+  out.set("scale", ctx.scale);
+  out.set("threads", static_cast<std::uint64_t>(threads));
+  out.set("cold_wall_ms", cold_ms);
+  out.set("warm_wall_ms", warm_ms);
+  out.set("warm_over_cold", ratio);
+  out.set("acceptance_max_ratio", 0.25);
+  out.set("acceptance_ok", ratio < 0.25);
+  out.set("batch_byte_identical", identical);
+
+  std::ofstream f(out_path);
+  f << out.dump() << "\n";
+  std::cout << "cold: " << cold_ms << " ms for " << queries << " queries\n"
+            << "warm: " << warm_ms << " ms (" << ratio * 100.0
+            << "% of cold)\n"
+            << "payloads byte-identical: yes\n"
+            << "wrote " << out_path << "\n";
+  std::remove(graph_path.c_str());
+  std::remove(membership_path.c_str());
+  return ratio < 0.25 ? 0 : 2;
+}

@@ -131,15 +131,14 @@ void run_opoao_block(std::ostream& os, const Dataset& ds,
                          ctx.seed + 101);
   print_dataset_banner(os, ds, setup);
 
-  SelectorConfig sel;
-  sel.budget = setup.rumors.size();
-  sel.seed = ctx.seed + 5;
-  sel.greedy.alpha = 0.95;
-  sel.greedy.max_protectors = sel.budget;
-  sel.greedy.max_candidates = ctx.max_candidates;
-  sel.greedy.sigma.samples = ctx.sigma_samples;
-  sel.greedy.sigma.seed = ctx.seed + 7;
-  sel.greedy.sigma.max_hops = 31;
+  LcrbOptions opts;
+  opts.budget = setup.rumors.size();
+  opts.selector_seed = ctx.seed + 5;
+  opts.alpha = 0.95;
+  opts.max_candidates = ctx.max_candidates;
+  opts.sigma_samples = ctx.sigma_samples;
+  opts.sigma_seed = ctx.seed + 7;
+  opts.max_hops = 31;
 
   MonteCarloConfig mc;
   mc.runs = ctx.mc_runs;
@@ -153,7 +152,11 @@ void run_opoao_block(std::ostream& os, const Dataset& ds,
   std::vector<std::size_t> sizes;
   for (SelectorKind kind : kinds) {
     Timer t;
-    const auto protectors = select_protectors(kind, setup, sel, ctx.pool);
+    opts.selector = kind;
+    // NoBlocking sizes itself (empty); a budget there is rejected.
+    opts.budget =
+        kind == SelectorKind::kNoBlocking ? 0 : setup.rumors.size();
+    const auto protectors = select_protectors(setup, opts, ctx.pool);
     const HopSeries s = evaluate_protectors(setup, protectors, mc, ctx.pool);
     series.push_back(s);
     sizes.push_back(protectors.size());

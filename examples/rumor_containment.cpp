@@ -1,14 +1,18 @@
 // Rumor containment campaign on an Enron-like social network.
 //
-// The full production pipeline: generate (or load) a network, detect
-// communities with Louvain, plant a rumor, compare every protector-selection
-// strategy under the OPOAO model, and print the per-hop infection table.
+// The full production pipeline, driven through the query service: generate
+// (or load) a network, detect communities with Louvain, register the dataset
+// with a QueryService, then compare every protector-selection strategy under
+// the OPOAO model with one batched round of select queries (they all share
+// the session's warm experiment setup and sigma estimator) followed by one
+// evaluate query per strategy.
 //
 // Run:  ./rumor_containment [--scale 0.05] [--rumors 8] [--runs 60]
 //                           [--graph path.txt] [--seed 1]
 #include <iostream>
 
 #include "lcrb/lcrb.h"
+#include "service/query_service.h"
 
 int main(int argc, char** argv) {
   using namespace lcrb;
@@ -43,46 +47,65 @@ int main(int argc, char** argv) {
   std::cout << "Rumor community: #" << rc << " with "
             << communities.size_of(rc) << " members\n";
 
-  const ExperimentSetup setup =
-      prepare_experiment(g, communities, rc,
-                         std::min<std::size_t>(num_rumors,
-                                               communities.size_of(rc)),
-                         seed + 1);
-  std::cout << "|R| = " << setup.rumors.size()
-            << ", bridge ends |B| = " << setup.bridges.bridge_ends.size()
-            << "\n\n";
+  // 4. Register the dataset with a query service; every query below runs
+  // against this one shared session.
+  service::QueryService svc;
+  svc.registry().open("enron", std::move(g), std::move(communities));
 
-  // 4. Compare selectors with equal budgets (|P| = |R|, as in Figs. 4-6).
-  ThreadPool pool;
-  SelectorConfig sel;
-  sel.budget = setup.rumors.size();
-  sel.seed = seed + 2;
-  sel.greedy.alpha = 0.95;
-  sel.greedy.sigma.samples = 30;
-  sel.greedy.sigma.seed = seed + 3;
-  sel.greedy.max_protectors = sel.budget;
-  sel.greedy.max_candidates =
+  // Base request: rumor choice + unified options (budget 0 = |rumors|).
+  service::QueryRequest base;
+  base.dataset = "enron";
+  base.op = service::QueryOp::kSelect;
+  base.rumor_community = rc;
+  base.num_rumors = num_rumors;
+  base.rumor_seed = seed + 1;
+  base.options.selector_seed = seed + 2;
+  base.options.alpha = 0.95;
+  base.options.sigma_samples = 30;
+  base.options.sigma_seed = seed + 3;
+  base.options.max_candidates =
       static_cast<std::size_t>(args.get_int("candidates", 300));
+  base.options.gvs_samples = 20;
 
-  MonteCarloConfig mc;
-  mc.runs = runs;
-  mc.max_hops = 31;
-  mc.seed = seed + 4;
+  // 5. One batched round of select queries: the batcher groups them onto the
+  // shared session, so the experiment setup and sigma estimator are computed
+  // once and reused by every strategy.
+  const SelectorKind kinds[] = {
+      SelectorKind::kGreedy,    SelectorKind::kGvs,
+      SelectorKind::kProximity, SelectorKind::kMaxDegree,
+      SelectorKind::kPageRank,  SelectorKind::kRandom,
+      SelectorKind::kNoBlocking};
+  std::vector<service::QueryRequest> selects;
+  for (SelectorKind kind : kinds) {
+    service::QueryRequest req = base;
+    req.id = to_string(kind);
+    req.options.selector = kind;
+    selects.push_back(req);
+  }
+  const std::vector<service::QueryResult> selected =
+      svc.run_batch(std::move(selects));
+
+  std::cout << "|R| = " << selected.front().rumors.size()
+            << ", bridge ends |B| = " << selected.front().num_bridge_ends
+            << "\n\n";
 
   TextTable table;
   table.set_header({"algorithm", "|P|", "infected@7", "infected@15",
                     "infected@31", "bridge ends saved"});
-  sel.gvs.samples = 20;
-  for (SelectorKind kind :
-       {SelectorKind::kGreedy, SelectorKind::kGvs, SelectorKind::kProximity,
-        SelectorKind::kMaxDegree, SelectorKind::kPageRank,
-        SelectorKind::kRandom, SelectorKind::kNoBlocking}) {
-    const auto protectors = select_protectors(kind, setup, sel, &pool);
-    const HopSeries s = evaluate_protectors(setup, protectors, mc, &pool);
-    table.add_values(to_string(kind), protectors.size(),
-                     fixed(s.infected_mean[7]), fixed(s.infected_mean[15]),
-                     fixed(s.infected_mean[31]),
-                     fixed(100.0 * s.saved_fraction_mean) + "%");
+  for (const service::QueryResult& sel : selected) {
+    if (!sel.ok) throw Error("select '" + sel.id + "' failed: " + sel.error);
+    service::QueryRequest ev = base;
+    ev.op = service::QueryOp::kEvaluate;
+    ev.id = sel.id;
+    ev.protectors = sel.protectors;
+    ev.eval_runs = runs;
+    ev.eval_seed = seed + 4;
+    const service::QueryResult s = svc.run(ev);
+    if (!s.ok) throw Error("evaluate '" + s.id + "' failed: " + s.error);
+    table.add_values(sel.id, s.protectors.size(),
+                     fixed(s.infected_by_hop[7]), fixed(s.infected_by_hop[15]),
+                     fixed(s.infected_by_hop[31]),
+                     fixed(100.0 * s.saved_fraction) + "%");
   }
   table.print(std::cout);
   std::cout << "\n(" << runs << " Monte-Carlo runs per row, OPOAO model, "

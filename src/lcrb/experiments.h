@@ -1,0 +1,15 @@
+// Experiment-harness API: the end-to-end pipeline, comparison baselines
+// (GVS and the heuristics), rumor-source detection, and the CLI/reporting
+// utilities the examples and bench binaries share. Everything here builds on
+// lcrb/core.h, which is included first.
+#pragma once
+
+#include "lcrb/core.h"
+
+#include "lcrb/gvs.h"
+#include "lcrb/heuristics.h"
+#include "lcrb/pipeline.h"
+#include "lcrb/source.h"
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/table.h"

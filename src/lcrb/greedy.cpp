@@ -123,13 +123,45 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
 
   SigmaEstimator estimator(g, {rumors.begin(), rumors.end()},
                            bridges.bridge_ends, cfg.sigma, pool);
+  out = greedy_lcrbp_with_estimator(g, rumors, bridges, cfg, estimator, pool);
+  // With a private estimator the raw counters are race-free; report them so
+  // the legacy fields keep their historical meanings (nodes_visited includes
+  // the estimator's internal work, not just call counts).
+  out.sigma_evaluations = estimator.evaluations();
+  out.nodes_visited = estimator.nodes_visited();
+  return out;
+}
+
+GreedyResult greedy_lcrbp_with_estimator(const DiGraph& g,
+                                         std::span<const NodeId> rumors,
+                                         const BridgeEndResult& bridges,
+                                         const GreedyConfig& cfg,
+                                         const SigmaEstimator& estimator,
+                                         ThreadPool* pool) {
+  LCRB_REQUIRE(cfg.alpha > 0.0 && cfg.alpha <= 1.0, "alpha must be in (0,1]");
+  LCRB_REQUIRE(cfg.sigma_mode == SigmaMode::kMonteCarlo,
+               "greedy_lcrbp_with_estimator is Monte-Carlo only");
+
+  GreedyResult out;
+  if (bridges.bridge_ends.empty()) {
+    out.achieved_fraction = 1.0;
+    return out;
+  }
+
   std::vector<NodeId> candidates = make_candidates(
       g, rumors, bridges, cfg.candidates, cfg.max_candidates);
   out.candidate_count = candidates.size();
 
+  // The estimator may be shared across concurrent queries, so its internal
+  // counters mix work from other callers. Count sigma calls at the (serial)
+  // call sites instead: one call = cfg.sigma.samples single-run evaluations,
+  // matching SigmaEstimator::evaluations() for a private estimator.
+  std::size_t sigma_calls = 0;
+
   std::vector<NodeId> current;  // S_P so far
   double current_sigma = 0.0;
   double current_fraction = estimator.protected_fraction(current);
+  ++sigma_calls;
 
   auto gain_of = [&](NodeId v) {
     std::vector<NodeId> with = current;
@@ -159,6 +191,7 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
       } else {
         for (std::size_t i = 0; i < candidates.size(); ++i) eval(i);
       }
+      sigma_calls += candidates.size();
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         heap.push({gains[i], candidates[i], 0});
       }
@@ -170,6 +203,7 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
       heap.pop();
       if (top.round != current.size()) {
         top.gain = gain_of(top.node);
+        ++sigma_calls;
         top.round = current.size();
         if (!heap.empty() && top.gain < heap.top().gain) {
           heap.push(top);
@@ -182,6 +216,7 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
       current_sigma += top.gain;
       out.gain_history.push_back(top.gain);
       current_fraction = estimator.protected_fraction(current);
+      ++sigma_calls;
       if (top.gain <= 0.0 && current_fraction < cfg.alpha) {
         LCRB_LOG_WARN << "greedy: zero marginal gain with fraction "
                       << current_fraction << " < alpha " << cfg.alpha
@@ -208,6 +243,7 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
       } else {
         for (std::size_t i = 0; i < candidates.size(); ++i) eval(i);
       }
+      sigma_calls += candidates.size() - current.size();  // used slots skip
       double best_gain = -1.0;
       NodeId best_node = kInvalidNode;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
@@ -223,14 +259,16 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
       current_sigma += best_gain;
       out.gain_history.push_back(best_gain);
       current_fraction = estimator.protected_fraction(current);
+      ++sigma_calls;
       if (best_gain <= 0.0 && current_fraction < cfg.alpha) break;
     }
   }
 
   out.protectors = std::move(current);
   out.achieved_fraction = current_fraction;
-  out.sigma_evaluations = estimator.evaluations();
-  out.nodes_visited = estimator.nodes_visited();
+  out.sigma_evaluations = sigma_calls * cfg.sigma.samples;
+  // nodes_visited stays 0 here: the shared estimator's visit counter mixes
+  // concurrent queries. greedy_lcrbp_from_bridges overwrites it.
   out.sigma_path = estimator.served_by();
   out.sigma_fallback = estimator.fallback_reason();
   return out;

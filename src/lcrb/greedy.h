@@ -83,4 +83,19 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
                                        const GreedyConfig& cfg,
                                        ThreadPool* pool = nullptr);
 
+/// Variant against a caller-owned estimator (Monte-Carlo mode only). The
+/// query service shares one warm SigmaEstimator — and its realization cache —
+/// across every query of a session; SigmaEstimator::sigma() is thread-safe,
+/// so concurrent callers are fine. The estimator must have been built for
+/// the same graph/rumors/bridge ends and with cfg.sigma, or results are
+/// meaningless. Because the shared counters mix concurrent queries,
+/// sigma_evaluations is derived from this call's own (serial) call count and
+/// nodes_visited is reported as 0.
+GreedyResult greedy_lcrbp_with_estimator(const DiGraph& g,
+                                         std::span<const NodeId> rumors,
+                                         const BridgeEndResult& bridges,
+                                         const GreedyConfig& cfg,
+                                         const SigmaEstimator& estimator,
+                                         ThreadPool* pool = nullptr);
+
 }  // namespace lcrb

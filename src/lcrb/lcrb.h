@@ -2,8 +2,14 @@
 //
 //   #include "lcrb/lcrb.h"
 //
+// Split into two layers (each independently includable):
+//   lcrb/core.h         graph/community/diffusion substrate + the paper's
+//                       algorithms + LcrbOptions
+//   lcrb/experiments.h  pipeline, baselines, source detection, CLI/report
+//                       utilities (includes core.h)
+//
 // Layers (bottom-up):
-//   util/       RNG, stats, thread pool, CLI, tables
+//   util/       RNG, stats, thread pool, JSON, CLI, tables
 //   graph/      CSR digraph, generators (incl. Enron/Hep substitutes), I/O
 //   community/  Louvain, label propagation, modularity, NMI
 //   diffusion/  OPOAO & DOAM (paper models), competitive IC/LT, Monte Carlo
@@ -11,49 +17,5 @@
 //               baselines, experiment pipeline
 #pragma once
 
-#include "community/detect.h"
-#include "community/io.h"
-#include "community/label_propagation.h"
-#include "community/louvain.h"
-#include "community/modularity.h"
-#include "community/nmi.h"
-#include "community/partition.h"
-#include "community/quality.h"
-#include "diffusion/cascade.h"
-#include "diffusion/doam.h"
-#include "diffusion/ic.h"
-#include "diffusion/lt.h"
-#include "diffusion/montecarlo.h"
-#include "diffusion/opoao.h"
-#include "graph/builder.h"
-#include "graph/centrality.h"
-#include "graph/generators.h"
-#include "graph/graph.h"
-#include "graph/io.h"
-#include "graph/metrics.h"
-#include "graph/subgraph.h"
-#include "graph/transform.h"
-#include "graph/traversal.h"
-#include "lcrb/bbst.h"
-#include "lcrb/bridge.h"
-#include "lcrb/greedy.h"
-#include "lcrb/gvs.h"
-#include "lcrb/heuristics.h"
-#include "lcrb/pipeline.h"
-#include "lcrb/rfst.h"
-#include "lcrb/ris.h"
-#include "lcrb/scbg.h"
-#include "lcrb/setcover.h"
-#include "lcrb/source.h"
-#include "lcrb/sigma.h"
-#include "util/args.h"
-#include "util/bitset.h"
-#include "util/csv.h"
-#include "util/error.h"
-#include "util/log.h"
-#include "util/rng.h"
-#include "util/stats.h"
-#include "util/table.h"
-#include "util/threadpool.h"
-#include "util/timer.h"
-#include "util/types.h"
+#include "lcrb/core.h"
+#include "lcrb/experiments.h"

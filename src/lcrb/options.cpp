@@ -1,0 +1,298 @@
+#include "lcrb/options.h"
+
+#include <cctype>
+
+#include "util/args.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+namespace {
+
+// Case-insensitive name match so the canonical forms ("OPOAO", "Greedy")
+// and the lowercase CLI spellings ("opoao", "greedy") both parse.
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string to_string(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kGreedy: return "Greedy";
+    case SelectorKind::kScbg: return "SCBG";
+    case SelectorKind::kMaxDegree: return "MaxDegree";
+    case SelectorKind::kProximity: return "Proximity";
+    case SelectorKind::kRandom: return "Random";
+    case SelectorKind::kPageRank: return "PageRank";
+    case SelectorKind::kGvs: return "GVS";
+    case SelectorKind::kBetweenness: return "Betweenness";
+    case SelectorKind::kDegreeDiscount: return "DegreeDiscount";
+    case SelectorKind::kNoBlocking: return "NoBlocking";
+  }
+  return "unknown";
+}
+
+SelectorKind selector_kind_from_string(const std::string& name) {
+  for (const SelectorKind k :
+       {SelectorKind::kGreedy, SelectorKind::kScbg, SelectorKind::kMaxDegree,
+        SelectorKind::kProximity, SelectorKind::kRandom, SelectorKind::kPageRank,
+        SelectorKind::kGvs, SelectorKind::kBetweenness,
+        SelectorKind::kDegreeDiscount, SelectorKind::kNoBlocking}) {
+    if (iequals(to_string(k), name)) return k;
+  }
+  throw Error("unknown selector '" + name + "'");
+}
+
+DiffusionModel diffusion_model_from_string(const std::string& name) {
+  for (const DiffusionModel m : {DiffusionModel::kOpoao, DiffusionModel::kDoam,
+                                 DiffusionModel::kIc, DiffusionModel::kLt}) {
+    if (iequals(to_string(m), name)) return m;
+  }
+  throw Error("unknown diffusion model '" + name + "' (opoao|doam|ic|lt)");
+}
+
+SigmaMode sigma_mode_from_string(const std::string& name) {
+  for (const SigmaMode m : {SigmaMode::kMonteCarlo, SigmaMode::kRis}) {
+    if (iequals(to_string(m), name)) return m;
+  }
+  throw Error("unknown sigma mode '" + name + "' (mc|ris)");
+}
+
+CandidateStrategy candidate_strategy_from_string(const std::string& name) {
+  for (const CandidateStrategy s :
+       {CandidateStrategy::kBbstUnion, CandidateStrategy::kAllNodes,
+        CandidateStrategy::kBridgeEnds}) {
+    if (iequals(to_string(s), name)) return s;
+  }
+  throw Error("unknown candidate strategy '" + name +
+              "' (bbst_union|all_nodes|bridge_ends)");
+}
+
+void LcrbOptions::validate() const {
+  if (!(alpha > 0.0 && alpha <= 1.0)) {
+    throw Error("options: alpha must be in (0, 1]");
+  }
+  if (sigma_samples == 0) {
+    throw Error("options: sigma_samples must be >= 1");
+  }
+  if (!(ic_edge_prob >= 0.0 && ic_edge_prob <= 1.0)) {
+    throw Error("options: ic_edge_prob must be in [0, 1]");
+  }
+  if (!(ris_epsilon > 0.0)) {
+    throw Error("options: ris_epsilon must be positive");
+  }
+  if (!(ris_delta > 0.0 && ris_delta < 1.0)) {
+    throw Error("options: ris_delta must be in (0, 1)");
+  }
+  if (ris_initial_sets == 0 || ris_max_sets < ris_initial_sets) {
+    throw Error("options: need 1 <= ris_initial_sets <= ris_max_sets");
+  }
+  if (ris_estimator_sets == 0) {
+    throw Error("options: ris_estimator_sets must be >= 1");
+  }
+  if (gvs_samples == 0) {
+    throw Error("options: gvs_samples must be >= 1");
+  }
+  // The budget rule: self-sizing selectors reject an explicit budget.
+  if (budget != 0 && (selector == SelectorKind::kScbg ||
+                      selector == SelectorKind::kNoBlocking)) {
+    throw Error("options: selector " + to_string(selector) +
+                " sizes itself; a nonzero budget is meaningless");
+  }
+  if (sigma_mode == SigmaMode::kRis && selector != SelectorKind::kGreedy) {
+    throw Error("options: sigma_mode ris only applies to the Greedy selector");
+  }
+}
+
+GreedyConfig LcrbOptions::greedy_config() const {
+  GreedyConfig gc;
+  gc.alpha = alpha;
+  gc.max_protectors = budget;  // callers resolve 0 via resolved_budget()
+  gc.candidates = candidates;
+  gc.max_candidates = max_candidates;
+  gc.use_celf = use_celf;
+  gc.sigma = sigma_config();
+  gc.sigma_mode = sigma_mode;
+  gc.ris = ris_config();
+  return gc;
+}
+
+SigmaConfig LcrbOptions::sigma_config() const {
+  SigmaConfig sc;
+  sc.samples = sigma_samples;
+  sc.seed = sigma_seed;
+  sc.max_hops = max_hops;
+  sc.model = model;
+  sc.ic_edge_prob = ic_edge_prob;
+  sc.use_realization_cache = use_realization_cache;
+  sc.max_cache_bytes = max_cache_bytes;
+  return sc;
+}
+
+RisConfig LcrbOptions::ris_config() const {
+  RisConfig rc;
+  rc.epsilon = ris_epsilon;
+  rc.delta = ris_delta;
+  rc.initial_sets = ris_initial_sets;
+  rc.max_sets = ris_max_sets;
+  rc.estimator_sets = ris_estimator_sets;
+  rc.seed = sigma_seed;
+  rc.max_hops = max_hops;
+  rc.model = model;
+  rc.ic_edge_prob = ic_edge_prob;
+  return rc;
+}
+
+GvsConfig LcrbOptions::gvs_config() const {
+  GvsConfig gc;
+  gc.budget = budget;  // callers resolve 0 via resolved_budget()
+  gc.samples = gvs_samples;
+  gc.seed = sigma_seed;
+  gc.max_hops = max_hops;
+  gc.model = model;
+  gc.ic_edge_prob = ic_edge_prob;
+  gc.max_candidates = gvs_max_candidates;
+  return gc;
+}
+
+LcrbOptions LcrbOptions::from_args(const Args& args) {
+  LcrbOptions o;
+  if (args.has("selector")) {
+    o.selector = selector_kind_from_string(args.get_string("selector", ""));
+  }
+  o.budget = static_cast<std::size_t>(
+      args.get_int("budget", static_cast<std::int64_t>(o.budget)));
+  o.selector_seed = static_cast<std::uint64_t>(args.get_int(
+      "selector-seed", static_cast<std::int64_t>(o.selector_seed)));
+  o.alpha = args.get_double("alpha", o.alpha);
+  if (args.has("candidate-strategy")) {
+    o.candidates = candidate_strategy_from_string(
+        args.get_string("candidate-strategy", ""));
+  }
+  o.max_candidates = static_cast<std::size_t>(args.get_int(
+      "candidates", static_cast<std::int64_t>(o.max_candidates)));
+  if (args.get_bool("no-celf")) o.use_celf = false;
+  if (args.has("sigma-mode")) {
+    o.sigma_mode = sigma_mode_from_string(args.get_string("sigma-mode", ""));
+  }
+  if (args.has("model")) {
+    o.model = diffusion_model_from_string(args.get_string("model", ""));
+  }
+  o.sigma_samples = static_cast<std::size_t>(
+      args.get_int("samples", static_cast<std::int64_t>(o.sigma_samples)));
+  o.sigma_seed = static_cast<std::uint64_t>(
+      args.get_int("sigma-seed", static_cast<std::int64_t>(o.sigma_seed)));
+  o.max_hops = static_cast<std::uint32_t>(
+      args.get_int("hops", static_cast<std::int64_t>(o.max_hops)));
+  o.ic_edge_prob = args.get_double("ic-prob", o.ic_edge_prob);
+  if (args.get_bool("no-sigma-cache")) o.use_realization_cache = false;
+  o.max_cache_bytes = static_cast<std::size_t>(args.get_int(
+      "sigma-cache-bytes", static_cast<std::int64_t>(o.max_cache_bytes)));
+  o.ris_epsilon = args.get_double("ris-eps", o.ris_epsilon);
+  o.ris_delta = args.get_double("ris-delta", o.ris_delta);
+  o.ris_initial_sets = static_cast<std::size_t>(args.get_int(
+      "ris-initial-sets", static_cast<std::int64_t>(o.ris_initial_sets)));
+  o.ris_max_sets = static_cast<std::size_t>(args.get_int(
+      "ris-max-sets", static_cast<std::int64_t>(o.ris_max_sets)));
+  o.ris_estimator_sets = static_cast<std::size_t>(args.get_int(
+      "ris-estimator-sets", static_cast<std::int64_t>(o.ris_estimator_sets)));
+  o.gvs_samples = static_cast<std::size_t>(args.get_int(
+      "gvs-samples", static_cast<std::int64_t>(o.gvs_samples)));
+  o.gvs_max_candidates = static_cast<std::size_t>(args.get_int(
+      "gvs-candidates", static_cast<std::int64_t>(o.gvs_max_candidates)));
+  o.validate();
+  return o;
+}
+
+JsonValue LcrbOptions::to_json() const {
+  JsonValue v = JsonValue::object();
+  v.set("selector", to_string(selector));
+  v.set("budget", static_cast<std::uint64_t>(budget));
+  v.set("selector_seed", selector_seed);
+  v.set("alpha", alpha);
+  v.set("candidates", to_string(candidates));
+  v.set("max_candidates", static_cast<std::uint64_t>(max_candidates));
+  v.set("use_celf", use_celf);
+  v.set("sigma_mode", to_string(sigma_mode));
+  v.set("model", to_string(model));
+  v.set("sigma_samples", static_cast<std::uint64_t>(sigma_samples));
+  v.set("sigma_seed", sigma_seed);
+  v.set("max_hops", static_cast<std::uint64_t>(max_hops));
+  v.set("ic_edge_prob", ic_edge_prob);
+  v.set("use_realization_cache", use_realization_cache);
+  v.set("max_cache_bytes", static_cast<std::uint64_t>(max_cache_bytes));
+  v.set("ris_epsilon", ris_epsilon);
+  v.set("ris_delta", ris_delta);
+  v.set("ris_initial_sets", static_cast<std::uint64_t>(ris_initial_sets));
+  v.set("ris_max_sets", static_cast<std::uint64_t>(ris_max_sets));
+  v.set("ris_estimator_sets", static_cast<std::uint64_t>(ris_estimator_sets));
+  v.set("gvs_samples", static_cast<std::uint64_t>(gvs_samples));
+  v.set("gvs_max_candidates", static_cast<std::uint64_t>(gvs_max_candidates));
+  return v;
+}
+
+LcrbOptions LcrbOptions::from_json(const JsonValue& v) {
+  if (!v.is_object()) throw Error("options: expected a JSON object");
+  LcrbOptions o;
+  for (const auto& [key, val] : v.members()) {
+    if (key == "selector") {
+      o.selector = selector_kind_from_string(val.as_string());
+    } else if (key == "budget") {
+      o.budget = static_cast<std::size_t>(val.as_int());
+    } else if (key == "selector_seed") {
+      o.selector_seed = static_cast<std::uint64_t>(val.as_int());
+    } else if (key == "alpha") {
+      o.alpha = val.as_double();
+    } else if (key == "candidates") {
+      o.candidates = candidate_strategy_from_string(val.as_string());
+    } else if (key == "max_candidates") {
+      o.max_candidates = static_cast<std::size_t>(val.as_int());
+    } else if (key == "use_celf") {
+      o.use_celf = val.as_bool();
+    } else if (key == "sigma_mode") {
+      o.sigma_mode = sigma_mode_from_string(val.as_string());
+    } else if (key == "model") {
+      o.model = diffusion_model_from_string(val.as_string());
+    } else if (key == "sigma_samples") {
+      o.sigma_samples = static_cast<std::size_t>(val.as_int());
+    } else if (key == "sigma_seed") {
+      o.sigma_seed = static_cast<std::uint64_t>(val.as_int());
+    } else if (key == "max_hops") {
+      o.max_hops = static_cast<std::uint32_t>(val.as_int());
+    } else if (key == "ic_edge_prob") {
+      o.ic_edge_prob = val.as_double();
+    } else if (key == "use_realization_cache") {
+      o.use_realization_cache = val.as_bool();
+    } else if (key == "max_cache_bytes") {
+      o.max_cache_bytes = static_cast<std::size_t>(val.as_int());
+    } else if (key == "ris_epsilon") {
+      o.ris_epsilon = val.as_double();
+    } else if (key == "ris_delta") {
+      o.ris_delta = val.as_double();
+    } else if (key == "ris_initial_sets") {
+      o.ris_initial_sets = static_cast<std::size_t>(val.as_int());
+    } else if (key == "ris_max_sets") {
+      o.ris_max_sets = static_cast<std::size_t>(val.as_int());
+    } else if (key == "ris_estimator_sets") {
+      o.ris_estimator_sets = static_cast<std::size_t>(val.as_int());
+    } else if (key == "gvs_samples") {
+      o.gvs_samples = static_cast<std::size_t>(val.as_int());
+    } else if (key == "gvs_max_candidates") {
+      o.gvs_max_candidates = static_cast<std::size_t>(val.as_int());
+    } else {
+      throw Error("options: unknown key '" + key + "'");
+    }
+  }
+  o.validate();
+  return o;
+}
+
+}  // namespace lcrb

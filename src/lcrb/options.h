@@ -1,0 +1,126 @@
+// LcrbOptions — the single documented knob aggregate of the library's
+// protector-selection API.
+//
+// Historically every entry point took its own nest of structs
+// (SelectorConfig wrapping GreedyConfig wrapping SigmaConfig and RisConfig,
+// with GvsConfig on the side). LcrbOptions collapses that nesting into one
+// flat, validated aggregate with a canonical JSON round-trip; the legacy
+// structs survive as thin engine-level configs that LcrbOptions converts
+// into (deprecated as *entry-point* types — new code should pass
+// LcrbOptions; the nested structs will stop appearing in public signatures
+// after one release).
+//
+// The budget rule (previously enforced inconsistently — kGvs silently
+// overrode its own budget, kScbg silently ignored one):
+//
+//   * budget == 0 means "match the rumor count" (the paper's |P| = |R|
+//     convention) for every budgeted selector: greedy, maxdegree, proximity,
+//     random, pagerank, betweenness, degreediscount, gvs.
+//   * kScbg and kNoBlocking size themselves (SCBG picks the cheapest full
+//     cover; NoBlocking is empty by definition); combining them with a
+//     nonzero budget is meaningless and validate() rejects it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lcrb/greedy.h"
+#include "lcrb/gvs.h"
+#include "util/json.h"
+
+namespace lcrb {
+
+class Args;
+
+/// Protector-selection strategies compared in the paper's evaluation.
+enum class SelectorKind : std::uint8_t {
+  kGreedy,      ///< LCRB-P Monte-Carlo greedy (Algorithm 1)
+  kScbg,        ///< LCRB-D set-cover greedy (Algorithm 3)
+  kMaxDegree,
+  kProximity,
+  kRandom,
+  kPageRank,
+  kGvs,         ///< Greedy Viral Stopper (related work [26]): minimize total infections
+  kBetweenness, ///< top betweenness-centrality nodes (extension baseline)
+  kDegreeDiscount, ///< DegreeDiscount (Chen et al. KDD'09) IM heuristic
+  kNoBlocking,  ///< empty protector set (the paper's reference line)
+};
+
+std::string to_string(SelectorKind kind);
+/// Inverse of to_string (case-insensitive, so "scbg" and "SCBG" both work);
+/// throws lcrb::Error on unknown names.
+SelectorKind selector_kind_from_string(const std::string& name);
+
+DiffusionModel diffusion_model_from_string(const std::string& name);
+SigmaMode sigma_mode_from_string(const std::string& name);
+CandidateStrategy candidate_strategy_from_string(const std::string& name);
+
+/// Every knob of protector selection, flat. Field groups mirror the legacy
+/// structs they replace; the *_config() accessors produce those structs for
+/// the engine entry points.
+struct LcrbOptions {
+  // --- selection -----------------------------------------------------------
+  SelectorKind selector = SelectorKind::kGreedy;
+  /// Protector budget |S_P|; 0 = |rumors| (see the budget rule above).
+  std::size_t budget = 0;
+  /// Seed of the randomized selectors (Proximity / Random).
+  std::uint64_t selector_seed = 99;
+
+  // --- greedy (LCRB-P) -----------------------------------------------------
+  double alpha = 0.8;              ///< fraction of bridge ends to protect
+  CandidateStrategy candidates = CandidateStrategy::kBbstUnion;
+  std::size_t max_candidates = 0;  ///< candidate-pool cap (0 = unlimited)
+  bool use_celf = true;            ///< false = paper's plain re-evaluation
+
+  // --- sigma estimation (shared by the mc and ris machineries) -------------
+  SigmaMode sigma_mode = SigmaMode::kMonteCarlo;
+  DiffusionModel model = DiffusionModel::kOpoao;
+  std::size_t sigma_samples = 50;
+  std::uint64_t sigma_seed = 7;
+  std::uint32_t max_hops = 31;
+  double ic_edge_prob = 0.1;
+  bool use_realization_cache = true;
+  std::size_t max_cache_bytes = std::size_t{1} << 30;
+
+  // --- ris accuracy knobs --------------------------------------------------
+  double ris_epsilon = 0.1;
+  double ris_delta = 0.01;
+  std::size_t ris_initial_sets = 512;
+  std::size_t ris_max_sets = std::size_t{1} << 18;
+  std::size_t ris_estimator_sets = 4096;
+
+  // --- gvs baseline --------------------------------------------------------
+  std::size_t gvs_samples = 20;
+  std::size_t gvs_max_candidates = 300;
+
+  /// Throws lcrb::Error (plain message, no file/line) on out-of-range
+  /// fields or meaningless combinations — notably a nonzero budget with
+  /// kScbg or kNoBlocking.
+  void validate() const;
+
+  /// Budget resolved per the rule above: 0 -> num_rumors.
+  std::size_t resolved_budget(std::size_t num_rumors) const {
+    return budget == 0 ? num_rumors : budget;
+  }
+
+  // Engine-level views (the legacy structs, populated from these fields).
+  GreedyConfig greedy_config() const;
+  SigmaConfig sigma_config() const;
+  RisConfig ris_config() const;
+  GvsConfig gvs_config() const;
+
+  /// Parses the shared CLI flag set (see docs/service.md for the list);
+  /// starts from defaults, overrides only flags that are present, and
+  /// validates the result.
+  static LcrbOptions from_args(const Args& args);
+
+  /// Canonical JSON object holding every field (stable key order).
+  JsonValue to_json() const;
+  /// Inverse of to_json. Absent keys keep their defaults; unknown keys are
+  /// rejected so a typo cannot silently fall back to a default. Validates.
+  static LcrbOptions from_json(const JsonValue& v);
+
+  friend bool operator==(const LcrbOptions& a, const LcrbOptions& b) = default;
+};
+
+}  // namespace lcrb

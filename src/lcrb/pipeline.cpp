@@ -42,33 +42,41 @@ ExperimentSetup prepare_experiment(const DiGraph& g, const Partition& p,
   return setup;
 }
 
-std::string to_string(SelectorKind kind) {
-  switch (kind) {
-    case SelectorKind::kGreedy: return "Greedy";
-    case SelectorKind::kScbg: return "SCBG";
-    case SelectorKind::kMaxDegree: return "MaxDegree";
-    case SelectorKind::kProximity: return "Proximity";
-    case SelectorKind::kRandom: return "Random";
-    case SelectorKind::kPageRank: return "PageRank";
-    case SelectorKind::kGvs: return "GVS";
-    case SelectorKind::kBetweenness: return "Betweenness";
-    case SelectorKind::kDegreeDiscount: return "DegreeDiscount";
-    case SelectorKind::kNoBlocking: return "NoBlocking";
+ExperimentSetup prepare_experiment_with_rumors(const DiGraph& g,
+                                               const Partition& p,
+                                               std::vector<NodeId> rumors) {
+  LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
+               "partition does not cover the graph");
+  LCRB_REQUIRE(!rumors.empty(), "need at least one rumor originator");
+  std::sort(rumors.begin(), rumors.end());
+  rumors.erase(std::unique(rumors.begin(), rumors.end()), rumors.end());
+  for (NodeId r : rumors) {
+    LCRB_REQUIRE(r < g.num_nodes(), "rumor originator out of range");
   }
-  return "unknown";
+  const CommunityId c = p.community_of(rumors.front());
+  for (NodeId r : rumors) {
+    LCRB_REQUIRE(p.community_of(r) == c,
+                 "rumor originators must share one community");
+  }
+  ExperimentSetup setup;
+  setup.graph = &g;
+  setup.partition = &p;
+  setup.rumor_community = c;
+  setup.rumors = std::move(rumors);
+  setup.bridges = find_bridge_ends(g, p, c, setup.rumors);
+  return setup;
 }
 
-std::vector<NodeId> select_protectors(SelectorKind kind,
-                                      const ExperimentSetup& setup,
-                                      const SelectorConfig& cfg,
+std::vector<NodeId> select_protectors(const ExperimentSetup& setup,
+                                      const LcrbOptions& opts,
                                       ThreadPool* pool) {
   LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+  opts.validate();
   const DiGraph& g = *setup.graph;
-  const std::size_t budget =
-      cfg.budget == 0 ? setup.rumors.size() : cfg.budget;
-  Rng rng(cfg.seed);
+  const std::size_t budget = opts.resolved_budget(setup.rumors.size());
+  Rng rng(opts.selector_seed);
 
-  switch (kind) {
+  switch (opts.selector) {
     case SelectorKind::kNoBlocking:
       return {};
     case SelectorKind::kMaxDegree:
@@ -80,7 +88,7 @@ std::vector<NodeId> select_protectors(SelectorKind kind,
     case SelectorKind::kPageRank:
       return pagerank_protectors(g, setup.rumors, budget);
     case SelectorKind::kGvs: {
-      GvsConfig gc = cfg.gvs;
+      GvsConfig gc = opts.gvs_config();
       gc.budget = budget;
       return gvs_protectors(g, setup.rumors, gc, pool).protectors;
     }
@@ -105,14 +113,63 @@ std::vector<NodeId> select_protectors(SelectorKind kind,
       return r.protectors;
     }
     case SelectorKind::kGreedy: {
-      GreedyConfig gc = cfg.greedy;
-      if (gc.max_protectors == 0) gc.max_protectors = budget;
+      GreedyConfig gc = opts.greedy_config();
+      gc.max_protectors = budget;
       const GreedyResult r =
           greedy_lcrbp_from_bridges(g, setup.rumors, setup.bridges, gc, pool);
       return r.protectors;
     }
   }
   throw Error("unknown selector kind");
+}
+
+std::vector<NodeId> select_protectors(SelectorKind kind,
+                                      const ExperimentSetup& setup,
+                                      const SelectorConfig& cfg,
+                                      ThreadPool* pool) {
+  // Legacy shim: translate the nested structs into the flat aggregate,
+  // preserving the historical lenient budget handling (a nonzero budget is
+  // simply dropped for the self-sizing selectors instead of rejected).
+  LcrbOptions o;
+  o.selector = kind;
+  if (kind != SelectorKind::kScbg && kind != SelectorKind::kNoBlocking) {
+    o.budget = cfg.budget;
+  }
+  o.selector_seed = cfg.seed;
+  o.alpha = cfg.greedy.alpha;
+  o.candidates = cfg.greedy.candidates;
+  o.max_candidates = cfg.greedy.max_candidates;
+  o.use_celf = cfg.greedy.use_celf;
+  o.sigma_mode = cfg.greedy.sigma_mode;
+  o.model = cfg.greedy.sigma.model;
+  o.sigma_samples = cfg.greedy.sigma.samples;
+  o.sigma_seed = cfg.greedy.sigma.seed;
+  o.max_hops = cfg.greedy.sigma.max_hops;
+  o.ic_edge_prob = cfg.greedy.sigma.ic_edge_prob;
+  o.use_realization_cache = cfg.greedy.sigma.use_realization_cache;
+  o.max_cache_bytes = cfg.greedy.sigma.max_cache_bytes;
+  o.ris_epsilon = cfg.greedy.ris.epsilon;
+  o.ris_delta = cfg.greedy.ris.delta;
+  o.ris_initial_sets = cfg.greedy.ris.initial_sets;
+  o.ris_max_sets = cfg.greedy.ris.max_sets;
+  o.ris_estimator_sets = cfg.greedy.ris.estimator_sets;
+  o.gvs_samples = cfg.gvs.samples;
+  o.gvs_max_candidates = cfg.gvs.max_candidates;
+
+  if (kind == SelectorKind::kGreedy && cfg.greedy.max_protectors != 0) {
+    // The old API let max_protectors override the selector budget.
+    o.budget = cfg.greedy.max_protectors;
+  }
+  if (kind == SelectorKind::kGvs) {
+    // Historical behavior: GvsConfig::seed drove GVS sampling (not the
+    // sigma seed) and the selector budget won over GvsConfig::budget.
+    const std::size_t budget = o.resolved_budget(setup.rumors.size());
+    GvsConfig gc = cfg.gvs;
+    gc.budget = budget;
+    LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+    return gvs_protectors(*setup.graph, setup.rumors, gc, pool).protectors;
+  }
+  return select_protectors(setup, o, pool);
 }
 
 HopSeries evaluate_protectors(const ExperimentSetup& setup,

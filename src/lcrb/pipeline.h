@@ -1,6 +1,10 @@
 // End-to-end experiment pipeline: graph -> communities -> rumor seeds ->
 // bridge ends -> protector selection -> diffusion evaluation. Shared by the
-// examples and every bench binary.
+// examples, every bench binary, and the src/service/ query engine.
+//
+// The selection entry point is select_protectors(setup, LcrbOptions) — one
+// validated aggregate instead of the legacy SelectorConfig nest (kept below
+// as a deprecated thin shim for one release).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +18,7 @@
 #include "lcrb/bridge.h"
 #include "lcrb/greedy.h"
 #include "lcrb/gvs.h"
+#include "lcrb/options.h"
 #include "lcrb/scbg.h"
 #include "util/threadpool.h"
 #include "util/types.h"
@@ -35,22 +40,17 @@ ExperimentSetup prepare_experiment(const DiGraph& g, const Partition& p,
                                    CommunityId rumor_community,
                                    std::size_t num_rumors, std::uint64_t seed);
 
-/// Protector-selection strategies compared in the paper's evaluation.
-enum class SelectorKind : std::uint8_t {
-  kGreedy,      ///< LCRB-P Monte-Carlo greedy (Algorithm 1)
-  kScbg,        ///< LCRB-D set-cover greedy (Algorithm 3)
-  kMaxDegree,
-  kProximity,
-  kRandom,
-  kPageRank,
-  kGvs,         ///< Greedy Viral Stopper (related work [26]): minimize total infections
-  kBetweenness, ///< top betweenness-centrality nodes (extension baseline)
-  kDegreeDiscount, ///< DegreeDiscount (Chen et al. KDD'09) IM heuristic
-  kNoBlocking,  ///< empty protector set (the paper's reference line)
-};
+/// Variant with explicit rumor originators (they must share one community);
+/// used by the CLI's --rumor-ids and the query service's rumor_ids field.
+ExperimentSetup prepare_experiment_with_rumors(const DiGraph& g,
+                                               const Partition& p,
+                                               std::vector<NodeId> rumors);
 
-std::string to_string(SelectorKind kind);
-
+/// DEPRECATED entry-point config (use LcrbOptions): the legacy nest of
+/// selector knobs. Note the historical budget semantics this carried:
+/// budget == 0 meant |rumors| for budgeted selectors, kGvs silently
+/// overrode GvsConfig::budget, and kScbg silently ignored the budget.
+/// LcrbOptions::validate() now rejects the meaningless combinations.
 struct SelectorConfig {
   std::size_t budget = 0;       ///< |S_P| for budgeted heuristics (0: |rumors|)
   std::uint64_t seed = 99;      ///< randomized selectors (Proximity/Random)
@@ -58,8 +58,15 @@ struct SelectorConfig {
   GvsConfig gvs;                ///< kGvs parameters (budget overridden)
 };
 
-/// Runs one selector. For kScbg the budget is ignored (SCBG sizes itself);
-/// for kGreedy the budget caps max_protectors.
+/// Runs one selector per the budget rule documented in lcrb/options.h.
+/// Validates `opts` (throws lcrb::Error on meaningless combinations).
+std::vector<NodeId> select_protectors(const ExperimentSetup& setup,
+                                      const LcrbOptions& opts,
+                                      ThreadPool* pool = nullptr);
+
+/// DEPRECATED shim over the LcrbOptions overload, kept for one release.
+/// For kScbg the budget is ignored (SCBG sizes itself); for kGreedy the
+/// budget caps max_protectors.
 std::vector<NodeId> select_protectors(SelectorKind kind,
                                       const ExperimentSetup& setup,
                                       const SelectorConfig& cfg,

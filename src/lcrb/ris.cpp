@@ -22,22 +22,55 @@ std::string to_string(SigmaMode m) {
 // ---------------------------------------------------------------------------
 // RrPool
 
-double RrPool::coverage_fraction(std::span<const NodeId> a,
-                                 bool count_null) const {
-  const std::size_t n = num_sets();
+double RrPool::coverage_fraction(std::span<const NodeId> a, bool count_null,
+                                 std::size_t limit) const {
+  LCRB_REQUIRE(limit <= num_sets(), "coverage limit exceeds pool size");
+  const std::size_t n = limit == 0 ? num_sets() : limit;
   if (n == 0) return count_null ? 1.0 : 0.0;
   std::vector<char> hit(n, 0);
   std::size_t covered = 0;
   for (NodeId v : a) {
     for (std::uint32_t s : sets_containing(v)) {
+      if (s >= n) break;  // posting lists ascend
       if (!hit[s]) {
         hit[s] = 1;
         ++covered;
       }
     }
   }
-  const std::size_t numer = covered + (count_null ? num_null_ : 0);
+  const std::size_t nulls =
+      limit == 0 ? num_null_ : num_null_prefix(n);
+  const std::size_t numer = covered + (count_null ? nulls : 0);
   return static_cast<double>(numer) / static_cast<double>(n);
+}
+
+std::size_t RrPool::num_null_prefix(std::size_t limit) const {
+  LCRB_REQUIRE(limit <= num_sets(), "prefix limit exceeds pool size");
+  if (limit == num_sets()) return num_null_;
+  std::size_t nulls = 0;
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (set_off_[i + 1] == set_off_[i]) ++nulls;
+  }
+  return nulls;
+}
+
+std::size_t RrPool::num_covered_nodes_prefix(std::size_t limit) const {
+  LCRB_REQUIRE(limit <= num_sets(), "prefix limit exceeds pool size");
+  if (limit == num_sets()) return num_covered_nodes_;
+  std::size_t covered = 0;
+  const std::size_t num_nodes = inv_off_.empty() ? 0 : inv_off_.size() - 1;
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    const auto postings = sets_containing(static_cast<NodeId>(v));
+    if (!postings.empty() && postings.front() < limit) ++covered;
+  }
+  return covered;
+}
+
+std::size_t RrPool::memory_bytes() const {
+  return sizeof(*this) + set_off_.capacity() * sizeof(std::uint32_t) +
+         nodes_.capacity() * sizeof(NodeId) +
+         inv_off_.capacity() * sizeof(std::uint32_t) +
+         inv_sets_.capacity() * sizeof(std::uint32_t);
 }
 
 void RrPool::append_sets(std::vector<std::vector<NodeId>>&& sets,
@@ -446,21 +479,25 @@ struct CoverageGreedyOutcome {
   std::uint64_t ops = 0;
 };
 
-/// Plain max-coverage greedy over the pool, lowest node id on ties, stopping
-/// once (covered + null) / num_sets reaches alpha or the pick cap is hit.
+/// Plain max-coverage greedy over the first `theta` sets of the pool (its
+/// identity-keeping prefix), lowest node id on ties, stopping once
+/// (covered + null) / theta reaches alpha or the pick cap is hit.
 CoverageGreedyOutcome coverage_greedy(const RrPool& pool, NodeId num_nodes,
-                                      double alpha,
-                                      std::size_t max_protectors) {
+                                      double alpha, std::size_t max_protectors,
+                                      std::size_t theta) {
   CoverageGreedyOutcome out;
-  const std::size_t theta = pool.num_sets();
   if (theta == 0) return out;
   std::vector<std::uint32_t> cnt(num_nodes, 0);
   for (NodeId v = 0; v < num_nodes; ++v) {
-    cnt[v] = static_cast<std::uint32_t>(pool.sets_containing(v).size());
+    const std::span<const std::uint32_t> postings = pool.sets_containing(v);
+    const auto end = std::lower_bound(postings.begin(), postings.end(),
+                                      static_cast<std::uint32_t>(theta));
+    cnt[v] = static_cast<std::uint32_t>(end - postings.begin());
   }
   std::vector<char> covered(theta, 0);
+  const std::size_t nulls = pool.num_null_prefix(theta);
   const double need = alpha * static_cast<double>(theta) - 1e-9;
-  while (static_cast<double>(out.covered + pool.num_null()) < need &&
+  while (static_cast<double>(out.covered + nulls) < need &&
          (max_protectors == 0 || out.picks.size() < max_protectors)) {
     NodeId best = kInvalidNode;
     std::uint32_t best_cnt = 0;
@@ -474,6 +511,7 @@ CoverageGreedyOutcome coverage_greedy(const RrPool& pool, NodeId num_nodes,
     out.picks.push_back(best);
     out.gains.push_back(best_cnt);
     for (std::uint32_t s : pool.sets_containing(best)) {
+      if (s >= theta) break;  // posting lists ascend
       if (covered[s]) continue;
       covered[s] = 1;
       ++out.covered;
@@ -496,17 +534,40 @@ RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
                                         const RisConfig& cfg,
                                         ThreadPool* pool) {
   LCRB_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+  RisGreedyResult out;
+  if (bridges.bridge_ends.empty()) {
+    out.achieved_fraction = 1.0;
+    return out;
+  }
+  RisContext ctx(g, {rumors.begin(), rumors.end()}, bridges.bridge_ends, cfg);
+  out = ris_greedy_with_context(alpha, max_protectors, cfg, ctx, pool);
+  // Private pools: fold their generation work back into the legacy metric
+  // (ris_greedy_with_context reports only the greedy ops).
+  out.nodes_visited +=
+      ctx.selection.nodes_visited() + ctx.validation.nodes_visited();
+  return out;
+}
+
+RisGreedyResult ris_greedy_with_context(double alpha,
+                                        std::size_t max_protectors,
+                                        const RisConfig& cfg, RisContext& ctx,
+                                        ThreadPool* pool) {
+  LCRB_REQUIRE(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
   LCRB_REQUIRE(cfg.epsilon > 0.0 && cfg.delta > 0.0 && cfg.delta < 1.0,
                "epsilon must be positive and delta in (0, 1)");
+  const RisConfig& base = ctx.sampler.config();
+  LCRB_REQUIRE(cfg.seed == base.seed && cfg.max_hops == base.max_hops &&
+                   cfg.model == base.model &&
+                   cfg.ic_edge_prob == base.ic_edge_prob,
+               "ris context was built with different draw-shaping knobs");
+
   RisGreedyResult out;
-  const std::size_t nb = bridges.bridge_ends.size();
+  const std::size_t nb = ctx.sampler.bridge_ends().size();
   if (nb == 0) {
     out.achieved_fraction = 1.0;
     return out;
   }
-  RrSampler sampler(g, {rumors.begin(), rumors.end()}, bridges.bridge_ends,
-                    cfg);
-  RrPool selection, validation;
+  const DiGraph& g = ctx.sampler.graph();
   const double b = static_cast<double>(nb);
   const double approx = 1.0 - std::exp(-1.0);  // the (1 - 1/e) factor
 
@@ -518,15 +579,28 @@ RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
 
   std::uint64_t greedy_ops = 0;
   for (std::size_t round = 1;; ++round) {
-    sampler.extend(selection, 0, theta, pool);
-    sampler.extend(validation, 1, theta, pool);
+    {
+      std::unique_lock<std::shared_mutex> grow(ctx.mu);
+      if (ctx.selection.num_sets() < theta) {
+        ctx.sampler.extend(ctx.selection, 0, theta, pool);
+      }
+      if (ctx.validation.num_sets() < theta) {
+        ctx.sampler.extend(ctx.validation, 1, theta, pool);
+      }
+    }
+    std::shared_lock<std::shared_mutex> read(ctx.mu);
+    // Evaluate over the first-theta prefix: identical to a cold pool of
+    // theta sets because slots are preassigned, even when another query has
+    // already grown the shared pools past theta.
     CoverageGreedyOutcome sel =
-        coverage_greedy(selection, g.num_nodes(), alpha, max_protectors);
+        coverage_greedy(ctx.selection, g.num_nodes(), alpha, max_protectors,
+                        theta);
     greedy_ops += sel.ops;
 
     const double cov1 =
         static_cast<double>(sel.covered) / static_cast<double>(theta);
-    const double cov2 = validation.coverage_fraction(sel.picks, false);
+    const double cov2 =
+        ctx.validation.coverage_fraction(sel.picks, false, theta);
     // Two-sided Hoeffding half-width at failure budget delta split across
     // every check this run can make: P(|mean - mu| > hw) <= delta / (2 R).
     const double hw = std::sqrt(
@@ -547,14 +621,13 @@ RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
                                    static_cast<double>(theta));
       }
       out.achieved_fraction =
-          validation.coverage_fraction(out.protectors, true);
+          ctx.validation.coverage_fraction(out.protectors, true, theta);
       out.rr_sets = theta;
       out.rounds = round;
       out.sigma_lower = lb * b;
       out.sigma_upper = ub * b;
-      out.distinct_candidates = selection.num_covered_nodes();
-      out.nodes_visited = selection.nodes_visited() +
-                          validation.nodes_visited() + greedy_ops;
+      out.distinct_candidates = ctx.selection.num_covered_nodes_prefix(theta);
+      out.nodes_visited = greedy_ops;
       return out;
     }
     theta = std::min(theta * 2, cfg.max_sets);

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -107,7 +108,22 @@ class RrPool {
 
   /// Fraction of RR sets hit by seed set `a` (coverage objective), plus the
   /// null sets folded in when `count_null` (the protected-fraction reading).
-  double coverage_fraction(std::span<const NodeId> a, bool count_null) const;
+  /// `limit` restricts the evaluation to the first `limit` sets (0 = all):
+  /// because set i keeps its identity forever, the first-theta prefix of a
+  /// warm pool is bit-identical to a cold pool of theta sets, which is what
+  /// lets the query service reuse one grown pool across queries.
+  double coverage_fraction(std::span<const NodeId> a, bool count_null,
+                           std::size_t limit = 0) const;
+
+  /// Null sets among the first `limit` sets (limit <= num_sets()).
+  std::size_t num_null_prefix(std::size_t limit) const;
+
+  /// Distinct nodes appearing in at least one of the first `limit` sets.
+  std::size_t num_covered_nodes_prefix(std::size_t limit) const;
+
+  /// Heap footprint of the pool's arrays (capacity-based), for the session
+  /// registry's byte accounting.
+  std::size_t memory_bytes() const;
 
   /// Throws lcrb::Error unless the pool is internally consistent: CSR
   /// offsets monotone, sets strictly ascending with in-range nodes, null and
@@ -217,6 +233,39 @@ RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
                                         double alpha,
                                         std::size_t max_protectors,
                                         const RisConfig& cfg,
+                                        ThreadPool* pool = nullptr);
+
+/// Warm RIS state a GraphSession keeps between queries: the sampler plus the
+/// selection/validation pools it has grown so far. Queries that need theta
+/// sets extend the pools (unique_lock) if short, then evaluate over the
+/// first-theta prefix (shared_lock) — bit-identical to a cold run because
+/// every RR set lands in a preassigned slot.
+struct RisContext {
+  RisContext(const DiGraph& g, std::vector<NodeId> rumors,
+             std::vector<NodeId> bridge_ends, const RisConfig& cfg)
+      : sampler(g, std::move(rumors), std::move(bridge_ends), cfg) {}
+
+  RrSampler sampler;
+  RrPool selection;   ///< stream 0
+  RrPool validation;  ///< stream 1
+  mutable std::shared_mutex mu;  ///< extend: unique; evaluate: shared
+
+  /// Pool heap footprint (the sampler's scratch is transient and excluded).
+  std::size_t memory_bytes() const {
+    return selection.memory_bytes() + validation.memory_bytes();
+  }
+};
+
+/// ris_greedy_from_bridges against a caller-owned warm context. The context
+/// must have been built for the same graph/rumors/bridge ends, and the knobs
+/// that shape RR draws (seed, max_hops, model, ic_edge_prob) must match
+/// ctx.sampler.config() — enforced with lcrb::Error. The accuracy knobs
+/// (epsilon/delta/initial_sets/max_sets) may differ per query.
+/// RisGreedyResult::nodes_visited reports only this call's greedy ops: the
+/// shared pools' generation counters mix queries.
+RisGreedyResult ris_greedy_with_context(double alpha,
+                                        std::size_t max_protectors,
+                                        const RisConfig& cfg, RisContext& ctx,
                                         ThreadPool* pool = nullptr);
 
 /// Fixed-pool sigma estimator over cfg.estimator_sets RR sets — the RIS

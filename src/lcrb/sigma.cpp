@@ -179,6 +179,18 @@ std::uint64_t SigmaEstimator::nodes_visited() const {
              : legacy_visits_.load(std::memory_order_relaxed);
 }
 
+std::size_t SigmaEstimator::memory_bytes() const {
+  std::size_t bytes = sizeof(*this) +
+                      sample_seeds_.capacity() * sizeof(std::uint64_t);
+  if (engine_ != nullptr) {
+    bytes += engine_->realization_bytes();
+  }
+  for (const std::vector<bool>& bits : baseline_infected_) {
+    bytes += bits.capacity() / 8;
+  }
+  return bytes;
+}
+
 double SigmaEstimator::sigma(std::span<const NodeId> protectors) const {
   return evaluate_all(protectors).saved / static_cast<double>(cfg_.samples);
 }

@@ -111,6 +111,10 @@ class SigmaEstimator {
   /// evaluations have finished.
   std::uint64_t nodes_visited() const;
 
+  /// Heap footprint of the warm state (realization cache or legacy baseline
+  /// bitsets), for the session registry's byte accounting.
+  std::size_t memory_bytes() const;
+
  private:
   struct SampleOutcome {
     double saved_vs_baseline;  ///< |PB(A)| in this sample

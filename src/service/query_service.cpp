@@ -1,0 +1,328 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "community/detect.h"
+#include "graph/io.h"
+#include "lcrb/pipeline.h"
+#include "util/error.h"
+
+namespace lcrb::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Deadline test at a stage boundary. deadline_ms == 0 is "already expired"
+/// regardless of the clock, so deadline failures are reproducible in tests.
+bool deadline_expired(const QueryRequest& req, Clock::time_point admitted) {
+  if (req.deadline_ms < 0) return false;
+  if (req.deadline_ms == 0) return true;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      Clock::now() - admitted);
+  return elapsed.count() >= req.deadline_ms;
+}
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+QueryService::QueryService(ServiceConfig cfg)
+    : cfg_(cfg),
+      pool_(cfg.threads),
+      registry_(cfg.max_resident_bytes),
+      dispatcher_([this] { dispatcher_loop(); }) {}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_ = true;
+    queue_cv_.notify_all();
+  }
+  dispatcher_.join();
+  // Fail anything still queued rather than dropping the promises.
+  for (Pending& p : queue_) {
+    p.promise.set_value(
+        QueryResult::make_error(p.req, "service shut down"));
+  }
+  queue_.clear();
+}
+
+std::shared_ptr<GraphSession> QueryService::open_dataset(
+    const std::string& dataset, const std::string& edge_list_path,
+    bool undirected, std::uint64_t community_seed) {
+  if (std::shared_ptr<GraphSession> existing = registry_.find(dataset)) {
+    return existing;
+  }
+  DiGraph g = load_edge_list(edge_list_path, undirected);
+  Partition p =
+      detect_communities(g, CommunityMethod::kLouvain, community_seed);
+  return registry_.open(dataset, std::move(g), std::move(p));
+}
+
+QueryResult QueryService::run(const QueryRequest& req) {
+  return execute(req, Clock::now());
+}
+
+std::future<QueryResult> QueryService::submit(QueryRequest req) {
+  Pending p;
+  p.req = std::move(req);
+  p.admitted = Clock::now();
+  std::future<QueryResult> fut = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      p.promise.set_value(
+          QueryResult::make_error(p.req, "service shut down"));
+      return fut;
+    }
+    p.seq = next_seq_++;
+    queue_.push_back(std::move(p));
+    queue_cv_.notify_one();
+  }
+  return fut;
+}
+
+std::vector<QueryResult> QueryService::run_batch(
+    std::vector<QueryRequest> reqs) {
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(reqs.size());
+  for (QueryRequest& req : reqs) futures.push_back(submit(std::move(req)));
+  std::vector<QueryResult> out;
+  out.reserve(futures.size());
+  for (std::future<QueryResult>& f : futures) out.push_back(f.get());
+  return out;
+}
+
+void QueryService::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      // Coalesce everything queued right now into one batch.
+      batch.reserve(queue_.size());
+      while (!queue_.empty()) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    // Stable-group by dataset: same-session queries run back-to-back while
+    // their caches are hot, and within a dataset admission order is kept —
+    // the property the batch-vs-sequential identity test pins.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Pending& a, const Pending& b) {
+                       return a.req.dataset < b.req.dataset;
+                     });
+    for (Pending& p : batch) {
+      p.promise.set_value(execute(p.req, p.admitted));
+    }
+  }
+}
+
+QueryResult QueryService::execute(const QueryRequest& req,
+                                  Clock::time_point admitted) {
+  const Clock::time_point started = Clock::now();
+  JsonValue meta = JsonValue::object();
+  QueryResult result;
+  try {
+    if (req.dataset.empty()) throw Error("request: dataset is required");
+    if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+    std::shared_ptr<GraphSession> session = registry_.find(req.dataset);
+    if (session == nullptr) {
+      throw Error("unknown dataset '" + req.dataset + "' (open it first)");
+    }
+    if (req.op == QueryOp::kInfo) {
+      // Never cached: resident_bytes truthfully tracks warm-cache growth.
+      result = execute_info(req, *session);
+    } else {
+      // Select/evaluate results are deterministic functions of the immutable
+      // session and the request, so a warm session replays them from its
+      // result cache instead of recomputing.
+      const std::string result_key = make_result_key(req);
+      if (std::shared_ptr<const QueryResult> cached =
+              session->cached_result(result_key)) {
+        result = *cached;
+        result.id = req.id;
+        meta.set("result_cache_hit", true);
+      } else {
+        meta.set("result_cache_hit", false);
+        result = req.op == QueryOp::kSelect
+                     ? execute_select(req, *session, admitted, meta)
+                     : execute_evaluate(req, *session, admitted, meta);
+        if (result.ok) session->store_result(result_key, result);
+      }
+    }
+  } catch (const Error& e) {
+    result = QueryResult::make_error(req, e.what());
+  }
+  if (cfg_.collect_meta) {
+    meta.set("wall_ms", elapsed_ms(started));
+    result.meta = std::move(meta);
+  }
+  return result;
+}
+
+std::shared_ptr<const ExperimentSetup> QueryService::setup_for(
+    const QueryRequest& req, GraphSession& session, std::string* key_out,
+    bool* cache_hit) {
+  const Partition& p = session.partition();
+  CommunityId community = req.rumor_community;
+  if (req.rumor_ids.empty() && community == kInvalidCommunity) {
+    community = p.closest_to_size(static_cast<NodeId>(req.community_size));
+  }
+  const std::string key =
+      make_setup_key(req.rumor_ids, community, req.num_rumors, req.rumor_seed);
+  if (key_out != nullptr) *key_out = key;
+  const DiGraph& g = session.graph();
+  return session.setup_for(
+      key,
+      [&]() -> ExperimentSetup {
+        if (!req.rumor_ids.empty()) {
+          return prepare_experiment_with_rumors(g, p, req.rumor_ids);
+        }
+        LCRB_REQUIRE(community < p.num_communities(),
+                     "rumor community out of range");
+        const std::size_t k = std::min<std::size_t>(
+            std::max<std::size_t>(req.num_rumors, 1), p.size_of(community));
+        return prepare_experiment(g, p, community, k, req.rumor_seed);
+      },
+      cache_hit);
+}
+
+QueryResult QueryService::execute_select(const QueryRequest& req,
+                                         GraphSession& session,
+                                         Clock::time_point admitted,
+                                         JsonValue& meta) {
+  req.options.validate();
+  QueryResult result;
+  result.id = req.id;
+  result.op = req.op;
+  result.dataset = req.dataset;
+
+  bool setup_hit = false;
+  std::string setup_key;
+  std::shared_ptr<const ExperimentSetup> setup =
+      setup_for(req, session, &setup_key, &setup_hit);
+  meta.set("setup_cache_hit", setup_hit);
+  result.rumor_community = setup->rumor_community;
+  result.rumors = setup->rumors;
+  result.num_bridge_ends = setup->bridges.bridge_ends.size();
+  if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+
+  const LcrbOptions& opts = req.options;
+  const std::size_t budget = opts.resolved_budget(setup->rumors.size());
+
+  if (opts.selector == SelectorKind::kGreedy &&
+      opts.sigma_mode == SigmaMode::kMonteCarlo) {
+    // Shared warm estimator: every query with matching rumor/sigma knobs
+    // reuses one realization cache.
+    bool estimator_hit = false;
+    std::shared_ptr<SigmaEstimator> estimator = session.estimator_for(
+        setup_key, *setup, opts.sigma_config(), &pool_, &estimator_hit);
+    meta.set("estimator_cache_hit", estimator_hit);
+    if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+    GreedyConfig gc = opts.greedy_config();
+    gc.max_protectors = budget;
+    const GreedyResult r = greedy_lcrbp_with_estimator(
+        session.graph(), setup->rumors, setup->bridges, gc, *estimator,
+        &pool_);
+    result.protectors = r.protectors;
+    result.achieved_fraction = r.achieved_fraction;
+    result.gain_history = r.gain_history;
+    result.candidate_count = r.candidate_count;
+    result.sigma_evaluations = r.sigma_evaluations;
+    meta.set("sigma_path", to_string(r.sigma_path));
+    meta.set("sigma_fallback", to_string(r.sigma_fallback));
+  } else if (opts.selector == SelectorKind::kGreedy) {
+    // RIS mode: shared warm RR pools, evaluated over the first-theta prefix.
+    bool ris_hit = false;
+    std::shared_ptr<RisContext> ctx = session.ris_context_for(
+        setup_key, *setup, opts.ris_config(), &ris_hit);
+    meta.set("ris_cache_hit", ris_hit);
+    if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+    const RisGreedyResult r = ris_greedy_with_context(
+        opts.alpha, budget, opts.ris_config(), *ctx, &pool_);
+    result.protectors = r.protectors;
+    result.achieved_fraction = r.achieved_fraction;
+    result.gain_history = r.gain_history;
+    result.candidate_count = r.distinct_candidates;
+    result.sigma_evaluations = r.rr_sets;
+    meta.set("ris_rounds", static_cast<std::uint64_t>(r.rounds));
+    meta.set("ris_sigma_lower", r.sigma_lower);
+    meta.set("ris_sigma_upper", r.sigma_upper);
+  } else {
+    if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+    result.protectors = select_protectors(*setup, opts, &pool_);
+    if (opts.selector == SelectorKind::kScbg) {
+      // SCBG covers every bridge end by construction.
+      result.achieved_fraction = 1.0;
+    }
+  }
+  return result;
+}
+
+QueryResult QueryService::execute_evaluate(const QueryRequest& req,
+                                           GraphSession& session,
+                                           Clock::time_point admitted,
+                                           JsonValue& meta) {
+  req.options.validate();
+  QueryResult result;
+  result.id = req.id;
+  result.op = req.op;
+  result.dataset = req.dataset;
+
+  for (NodeId v : req.protectors) {
+    LCRB_REQUIRE(v < session.graph().num_nodes(),
+                 "protector id out of range");
+  }
+  bool setup_hit = false;
+  std::shared_ptr<const ExperimentSetup> setup =
+      setup_for(req, session, nullptr, &setup_hit);
+  meta.set("setup_cache_hit", setup_hit);
+  result.rumor_community = setup->rumor_community;
+  result.rumors = setup->rumors;
+  result.num_bridge_ends = setup->bridges.bridge_ends.size();
+  result.protectors = req.protectors;
+  if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+
+  LCRB_REQUIRE(req.eval_runs >= 1, "eval_runs must be >= 1");
+  MonteCarloConfig mc;
+  mc.runs = req.eval_runs;
+  mc.seed = req.eval_seed;
+  mc.max_hops = req.options.max_hops;
+  mc.model = req.options.model;
+  mc.ic_edge_prob = req.options.ic_edge_prob;
+  const HopSeries series =
+      evaluate_protectors(*setup, req.protectors, mc, &pool_);
+  result.infected_by_hop = series.infected_mean;
+  result.infected_ci95 = series.infected_ci95;
+  result.protected_by_hop = series.protected_mean;
+  result.final_infected_mean = series.final_infected_mean;
+  result.final_protected_mean = series.final_protected_mean;
+  result.saved_fraction = series.saved_fraction_mean;
+  return result;
+}
+
+QueryResult QueryService::execute_info(const QueryRequest& req,
+                                       GraphSession& session) {
+  QueryResult result;
+  result.id = req.id;
+  result.op = req.op;
+  result.dataset = req.dataset;
+  result.num_nodes = session.graph().num_nodes();
+  result.num_arcs = static_cast<std::size_t>(session.graph().num_edges());
+  result.num_communities = session.partition().num_communities();
+  result.resident_bytes = session.memory_bytes();
+  return result;
+}
+
+}  // namespace lcrb::service

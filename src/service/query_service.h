@@ -1,0 +1,115 @@
+// QueryService — the long-lived in-process LCRB query engine.
+//
+// One instance owns a shared ThreadPool, a SessionRegistry, and a request
+// batcher. Queries enter as QueryRequest (see service/request.h) through one
+// of three doors:
+//
+//   run(req)        synchronous; inner parallelism on the shared pool
+//   submit(req)     enqueue; a dispatcher thread coalesces whatever is
+//                   queued, stable-groups it by dataset (so same-session
+//                   queries run back-to-back against hot caches), and
+//                   executes the groups sequentially — which is also why a
+//                   batch is byte-identical to running the same requests
+//                   one at a time in queue order per dataset
+//   run_batch(reqs) submit them all, wait for every future
+//
+// Failures never throw across the API: every lcrb::Error becomes an
+// ok=false QueryResult carrying the message. Deadlines (deadline_ms) are
+// measured from admission and checked only at stage boundaries; an
+// already-expired budget (0) deterministically yields "deadline exceeded".
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/request.h"
+#include "service/session.h"
+#include "util/threadpool.h"
+
+namespace lcrb::service {
+
+struct ServiceConfig {
+  /// Shared worker pool size; 0 = hardware concurrency.
+  std::size_t threads = 0;
+  /// Session-registry byte budget (LRU eviction above it).
+  std::size_t max_resident_bytes = SessionRegistry::kDefaultMaxBytes;
+  /// Attach the nondeterministic `meta` object (timings, cache hits) to
+  /// results. Payload fields are unaffected either way.
+  bool collect_meta = true;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig cfg = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  SessionRegistry& registry() { return registry_; }
+  ThreadPool& pool() { return pool_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+  /// Convenience loader: reads a SNAP-style edge list, detects communities
+  /// (Louvain, seeded), and registers the session. Re-opening an existing
+  /// dataset id returns the existing session without touching the file.
+  std::shared_ptr<GraphSession> open_dataset(const std::string& dataset,
+                                             const std::string& edge_list_path,
+                                             bool undirected = false,
+                                             std::uint64_t community_seed = 1);
+
+  /// Executes one request now, on the calling thread (inner parallelism on
+  /// the shared pool). Never throws for request-level failures.
+  QueryResult run(const QueryRequest& req);
+
+  /// Enqueues for the batcher; the future resolves when its group runs.
+  std::future<QueryResult> submit(QueryRequest req);
+
+  /// submit() them all, then wait; results in request order.
+  std::vector<QueryResult> run_batch(std::vector<QueryRequest> reqs);
+
+ private:
+  struct Pending {
+    QueryRequest req;
+    std::promise<QueryResult> promise;
+    std::chrono::steady_clock::time_point admitted;
+    std::uint64_t seq = 0;  ///< admission order, the stable-sort anchor
+  };
+
+  void dispatcher_loop();
+  QueryResult execute(const QueryRequest& req,
+                      std::chrono::steady_clock::time_point admitted);
+  QueryResult execute_select(const QueryRequest& req, GraphSession& session,
+                             std::chrono::steady_clock::time_point admitted,
+                             JsonValue& meta);
+  QueryResult execute_evaluate(const QueryRequest& req, GraphSession& session,
+                               std::chrono::steady_clock::time_point admitted,
+                               JsonValue& meta);
+  QueryResult execute_info(const QueryRequest& req, GraphSession& session);
+
+  /// Memoized experiment setup for the request's rumor choice.
+  std::shared_ptr<const ExperimentSetup> setup_for(const QueryRequest& req,
+                                                   GraphSession& session,
+                                                   std::string* key_out,
+                                                   bool* cache_hit);
+
+  ServiceConfig cfg_;
+  ThreadPool pool_;
+  SessionRegistry registry_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::uint64_t next_seq_ = 0;
+  std::thread dispatcher_;
+};
+
+}  // namespace lcrb::service

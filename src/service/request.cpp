@@ -1,0 +1,248 @@
+#include "service/request.h"
+
+#include "util/error.h"
+
+namespace lcrb::service {
+
+namespace {
+
+JsonValue ids_to_json(const std::vector<NodeId>& ids) {
+  JsonValue arr = JsonValue::array();
+  for (NodeId v : ids) arr.push_back(JsonValue(static_cast<std::uint64_t>(v)));
+  return arr;
+}
+
+std::vector<NodeId> ids_from_json(const JsonValue& v, const char* what) {
+  if (!v.is_array()) throw Error(std::string("request: ") + what +
+                                 " must be an array of node ids");
+  std::vector<NodeId> out;
+  const std::span<const JsonValue> items = v.items();
+  out.reserve(items.size());
+  for (const JsonValue& x : items) {
+    out.push_back(static_cast<NodeId>(x.as_int()));
+  }
+  return out;
+}
+
+JsonValue doubles_to_json(const std::vector<double>& xs) {
+  JsonValue arr = JsonValue::array();
+  for (double x : xs) arr.push_back(JsonValue(x));
+  return arr;
+}
+
+std::vector<double> doubles_from_json(const JsonValue& v) {
+  std::vector<double> out;
+  const std::span<const JsonValue> items = v.items();
+  out.reserve(items.size());
+  for (const JsonValue& x : items) out.push_back(x.as_double());
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(QueryOp op) {
+  switch (op) {
+    case QueryOp::kSelect: return "select";
+    case QueryOp::kEvaluate: return "evaluate";
+    case QueryOp::kInfo: return "info";
+  }
+  return "unknown";
+}
+
+QueryOp query_op_from_string(const std::string& name) {
+  for (const QueryOp op :
+       {QueryOp::kSelect, QueryOp::kEvaluate, QueryOp::kInfo}) {
+    if (to_string(op) == name) return op;
+  }
+  throw Error("request: unknown op '" + name + "' (select|evaluate|info)");
+}
+
+JsonValue QueryRequest::to_json() const {
+  JsonValue v = JsonValue::object();
+  v.set("v", static_cast<std::int64_t>(version));
+  if (!id.empty()) v.set("id", id);
+  v.set("op", to_string(op));
+  v.set("dataset", dataset);
+  if (!rumor_ids.empty()) {
+    v.set("rumor_ids", ids_to_json(rumor_ids));
+  } else if (rumor_community != kInvalidCommunity) {
+    v.set("rumor_community", static_cast<std::uint64_t>(rumor_community));
+  } else {
+    v.set("community_size", static_cast<std::uint64_t>(community_size));
+  }
+  v.set("num_rumors", static_cast<std::uint64_t>(num_rumors));
+  v.set("rumor_seed", rumor_seed);
+  v.set("options", options.to_json());
+  if (op == QueryOp::kEvaluate) {
+    v.set("protectors", ids_to_json(protectors));
+    v.set("eval_runs", static_cast<std::uint64_t>(eval_runs));
+    v.set("eval_seed", eval_seed);
+  }
+  if (deadline_ms >= 0) v.set("deadline_ms", deadline_ms);
+  return v;
+}
+
+QueryRequest QueryRequest::from_json(const JsonValue& v) {
+  if (!v.is_object()) throw Error("request: expected a JSON object");
+  QueryRequest req;
+  for (const auto& [key, val] : v.members()) {
+    if (key == "v") {
+      req.version = static_cast<int>(val.as_int());
+    } else if (key == "id") {
+      req.id = val.as_string();
+    } else if (key == "op") {
+      req.op = query_op_from_string(val.as_string());
+    } else if (key == "dataset") {
+      req.dataset = val.as_string();
+    } else if (key == "rumor_ids") {
+      req.rumor_ids = ids_from_json(val, "rumor_ids");
+    } else if (key == "rumor_community") {
+      req.rumor_community = static_cast<CommunityId>(val.as_int());
+    } else if (key == "community_size") {
+      req.community_size = static_cast<std::size_t>(val.as_int());
+    } else if (key == "num_rumors") {
+      req.num_rumors = static_cast<std::size_t>(val.as_int());
+    } else if (key == "rumor_seed") {
+      req.rumor_seed = static_cast<std::uint64_t>(val.as_int());
+    } else if (key == "options") {
+      req.options = LcrbOptions::from_json(val);
+    } else if (key == "protectors") {
+      req.protectors = ids_from_json(val, "protectors");
+    } else if (key == "eval_runs") {
+      req.eval_runs = static_cast<std::size_t>(val.as_int());
+    } else if (key == "eval_seed") {
+      req.eval_seed = static_cast<std::uint64_t>(val.as_int());
+    } else if (key == "deadline_ms") {
+      req.deadline_ms = val.as_int();
+    } else {
+      throw Error("request: unknown key '" + key + "'");
+    }
+  }
+  if (req.version != kProtocolVersion) {
+    throw Error("request: unsupported version " +
+                std::to_string(req.version) + " (this build speaks " +
+                std::to_string(kProtocolVersion) + ")");
+  }
+  return req;
+}
+
+JsonValue QueryResult::to_json(bool include_meta) const {
+  JsonValue v = JsonValue::object();
+  v.set("v", static_cast<std::int64_t>(version));
+  if (!id.empty()) v.set("id", id);
+  v.set("op", to_string(op));
+  v.set("dataset", dataset);
+  v.set("ok", ok);
+  if (!ok) {
+    v.set("error", error);
+    if (include_meta && !meta.is_null()) v.set("meta", meta);
+    return v;
+  }
+  switch (op) {
+    case QueryOp::kSelect:
+      v.set("rumor_community", static_cast<std::uint64_t>(rumor_community));
+      v.set("rumors", ids_to_json(rumors));
+      v.set("num_bridge_ends", static_cast<std::uint64_t>(num_bridge_ends));
+      v.set("protectors", ids_to_json(protectors));
+      v.set("achieved_fraction", achieved_fraction);
+      v.set("gain_history", doubles_to_json(gain_history));
+      v.set("candidate_count", static_cast<std::uint64_t>(candidate_count));
+      v.set("sigma_evaluations",
+            static_cast<std::uint64_t>(sigma_evaluations));
+      break;
+    case QueryOp::kEvaluate:
+      v.set("rumor_community", static_cast<std::uint64_t>(rumor_community));
+      v.set("rumors", ids_to_json(rumors));
+      v.set("num_bridge_ends", static_cast<std::uint64_t>(num_bridge_ends));
+      v.set("protectors", ids_to_json(protectors));
+      v.set("infected_by_hop", doubles_to_json(infected_by_hop));
+      v.set("infected_ci95", doubles_to_json(infected_ci95));
+      v.set("protected_by_hop", doubles_to_json(protected_by_hop));
+      v.set("final_infected_mean", final_infected_mean);
+      v.set("final_protected_mean", final_protected_mean);
+      v.set("saved_fraction", saved_fraction);
+      break;
+    case QueryOp::kInfo:
+      v.set("num_nodes", static_cast<std::uint64_t>(num_nodes));
+      v.set("num_arcs", static_cast<std::uint64_t>(num_arcs));
+      v.set("num_communities", static_cast<std::uint64_t>(num_communities));
+      v.set("resident_bytes", static_cast<std::uint64_t>(resident_bytes));
+      break;
+  }
+  if (include_meta && !meta.is_null()) v.set("meta", meta);
+  return v;
+}
+
+QueryResult QueryResult::from_json(const JsonValue& v) {
+  if (!v.is_object()) throw Error("result: expected a JSON object");
+  QueryResult r;
+  for (const auto& [key, val] : v.members()) {
+    if (key == "v") {
+      r.version = static_cast<int>(val.as_int());
+    } else if (key == "id") {
+      r.id = val.as_string();
+    } else if (key == "op") {
+      r.op = query_op_from_string(val.as_string());
+    } else if (key == "dataset") {
+      r.dataset = val.as_string();
+    } else if (key == "ok") {
+      r.ok = val.as_bool();
+    } else if (key == "error") {
+      r.error = val.as_string();
+    } else if (key == "rumor_community") {
+      r.rumor_community = static_cast<CommunityId>(val.as_int());
+    } else if (key == "rumors") {
+      r.rumors = ids_from_json(val, "rumors");
+    } else if (key == "num_bridge_ends") {
+      r.num_bridge_ends = static_cast<std::size_t>(val.as_int());
+    } else if (key == "protectors") {
+      r.protectors = ids_from_json(val, "protectors");
+    } else if (key == "achieved_fraction") {
+      r.achieved_fraction = val.as_double();
+    } else if (key == "gain_history") {
+      r.gain_history = doubles_from_json(val);
+    } else if (key == "candidate_count") {
+      r.candidate_count = static_cast<std::size_t>(val.as_int());
+    } else if (key == "sigma_evaluations") {
+      r.sigma_evaluations = static_cast<std::size_t>(val.as_int());
+    } else if (key == "infected_by_hop") {
+      r.infected_by_hop = doubles_from_json(val);
+    } else if (key == "infected_ci95") {
+      r.infected_ci95 = doubles_from_json(val);
+    } else if (key == "protected_by_hop") {
+      r.protected_by_hop = doubles_from_json(val);
+    } else if (key == "final_infected_mean") {
+      r.final_infected_mean = val.as_double();
+    } else if (key == "final_protected_mean") {
+      r.final_protected_mean = val.as_double();
+    } else if (key == "saved_fraction") {
+      r.saved_fraction = val.as_double();
+    } else if (key == "num_nodes") {
+      r.num_nodes = static_cast<std::size_t>(val.as_int());
+    } else if (key == "num_arcs") {
+      r.num_arcs = static_cast<std::size_t>(val.as_int());
+    } else if (key == "num_communities") {
+      r.num_communities = static_cast<std::size_t>(val.as_int());
+    } else if (key == "resident_bytes") {
+      r.resident_bytes = static_cast<std::size_t>(val.as_int());
+    } else if (key == "meta") {
+      r.meta = val;
+    } else {
+      throw Error("result: unknown key '" + key + "'");
+    }
+  }
+  return r;
+}
+
+QueryResult QueryResult::make_error(const QueryRequest& req,
+                                    std::string message) {
+  QueryResult r;
+  r.id = req.id;
+  r.op = req.op;
+  r.dataset = req.dataset;
+  r.ok = false;
+  r.error = std::move(message);
+  return r;
+}
+
+}  // namespace lcrb::service

@@ -1,0 +1,122 @@
+// Minimal JSON value, parser, and serializer — the wire format of the
+// lcrbd query service and the LcrbOptions round-trip.
+//
+// Deliberately small instead of general:
+//  * Objects preserve insertion order (serialization is deterministic and
+//    lookups are linear — service objects hold tens of keys, not thousands).
+//  * Numbers remember whether they were written as integers; doubles
+//    serialize via std::to_chars shortest-round-trip, so a value survives
+//    dump() -> parse() bit for bit.
+//  * parse() throws lcrb::Error with a byte offset on malformed input; it
+//    never aborts. Depth is capped to keep hostile input from overflowing
+//    the stack.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  JsonValue() = default;  ///< null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(std::int64_t i) : kind_(Kind::kNumber), num_(static_cast<double>(i)), int_(i), is_int_(true) {}
+  JsonValue(std::uint64_t u)
+      : kind_(Kind::kNumber),
+        num_(static_cast<double>(u)),
+        int_(static_cast<std::int64_t>(u)),
+        is_int_(true) {}
+  JsonValue(int i) : JsonValue(static_cast<std::int64_t>(i)) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  /// True for numbers written without '.', 'e', or fractional part.
+  bool is_integer() const { return kind_ == Kind::kNumber && is_int_; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw lcrb::Error on kind mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;  ///< also accepts integral-valued doubles
+  const std::string& as_string() const;
+  std::span<const JsonValue> items() const;  ///< array elements
+
+  // -- object access ---------------------------------------------------------
+
+  /// Member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+
+  /// Convenience getters with defaults; throw on present-but-wrong-kind.
+  bool get_bool(std::string_view key, bool def) const;
+  double get_double(std::string_view key, double def) const;
+  std::int64_t get_int(std::string_view key, std::int64_t def) const;
+  std::string get_string(std::string_view key, std::string def) const;
+
+  /// Appends/overwrites object member `key` (insertion order kept);
+  /// converts a null value to an object first.
+  JsonValue& set(std::string key, JsonValue value);
+  /// Appends to an array; converts a null value to an array first.
+  JsonValue& push_back(JsonValue value);
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return obj_;
+  }
+
+  // -- wire format -----------------------------------------------------------
+
+  /// Parses exactly one JSON document (trailing whitespace allowed).
+  static JsonValue parse(std::string_view text);
+  /// Compact single-line serialization (NDJSON-safe: no raw newlines).
+  std::string dump() const;
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+}  // namespace lcrb

@@ -1,0 +1,329 @@
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "lcrb/pipeline.h"
+
+namespace lcrb::service {
+namespace {
+
+/// One shared test graph; every test builds its own QueryService so warm
+/// state never leaks between tests.
+struct ServiceFixture : public ::testing::Test {
+  void SetUp() override {
+    CommunityGraphConfig cfg;
+    cfg.community_sizes = {40, 40, 40};
+    cfg.avg_intra_degree = 6.0;
+    cfg.avg_inter_degree = 1.0;
+    cfg.seed = 5;
+    cg = make_community_graph(cfg);
+    p = Partition(cg.membership);
+  }
+
+  std::unique_ptr<QueryService> make_service(std::size_t threads = 2) {
+    ServiceConfig cfg;
+    cfg.threads = threads;
+    auto svc = std::make_unique<QueryService>(cfg);
+    svc->registry().open("ds", cg.graph, p);
+    return svc;
+  }
+
+  /// Greedy MC select with small, fast knobs.
+  static QueryRequest select_request() {
+    QueryRequest req;
+    req.op = QueryOp::kSelect;
+    req.dataset = "ds";
+    req.rumor_community = 0;
+    req.num_rumors = 3;
+    req.rumor_seed = 17;
+    req.options.alpha = 0.9;
+    req.options.sigma_samples = 5;
+    req.options.sigma_seed = 21;
+    req.options.max_candidates = 40;
+    return req;
+  }
+
+  CommunityGraph cg;
+  Partition p;
+};
+
+TEST_F(ServiceFixture, SelectMatchesTheDirectPipelinePath) {
+  auto svc = make_service();
+  const QueryRequest req = select_request();
+  const QueryResult r = svc->run(req);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  const ExperimentSetup setup =
+      prepare_experiment(cg.graph, p, 0, req.num_rumors, req.rumor_seed);
+  const std::vector<NodeId> expected =
+      select_protectors(setup, req.options, &svc->pool());
+  EXPECT_EQ(r.protectors, expected);
+  EXPECT_EQ(r.rumors, setup.rumors);
+  EXPECT_EQ(r.rumor_community, setup.rumor_community);
+  EXPECT_EQ(r.num_bridge_ends, setup.bridges.bridge_ends.size());
+  EXPECT_GE(r.achieved_fraction, req.options.alpha);
+  EXPECT_EQ(r.gain_history.size(), r.protectors.size());
+  EXPECT_GT(r.sigma_evaluations, 0u);
+}
+
+TEST_F(ServiceFixture, WarmRepeatIsByteIdenticalAndHitsTheCaches) {
+  auto svc = make_service();
+  const QueryRequest req = select_request();
+  const QueryResult cold = svc->run(req);
+  const QueryResult warm = svc->run(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(warm.to_json(false).dump(), cold.to_json(false).dump());
+  EXPECT_FALSE(cold.meta.get_bool("result_cache_hit", true));
+  EXPECT_FALSE(cold.meta.get_bool("setup_cache_hit", true));
+  EXPECT_FALSE(cold.meta.get_bool("estimator_cache_hit", true));
+  // An identical request replays from the result cache.
+  EXPECT_TRUE(warm.meta.get_bool("result_cache_hit", false));
+
+  // A *different* request with the same experiment shape recomputes but
+  // reuses the warm setup and sigma estimator.
+  QueryRequest req2 = req;
+  req2.options.budget = 2;
+  const QueryResult sibling = svc->run(req2);
+  ASSERT_TRUE(sibling.ok) << sibling.error;
+  EXPECT_FALSE(sibling.meta.get_bool("result_cache_hit", true));
+  EXPECT_TRUE(sibling.meta.get_bool("setup_cache_hit", false));
+  EXPECT_TRUE(sibling.meta.get_bool("estimator_cache_hit", false));
+  EXPECT_EQ(sibling.protectors.size(), 2u);
+}
+
+TEST_F(ServiceFixture, RisWarmRepeatIsByteIdentical) {
+  auto svc = make_service();
+  QueryRequest req = select_request();
+  req.options.sigma_mode = SigmaMode::kRis;
+  req.options.ris_initial_sets = 64;
+  req.options.ris_max_sets = 4096;
+  req.options.ris_estimator_sets = 512;
+  const QueryResult cold = svc->run(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  ASSERT_FALSE(cold.protectors.empty());
+  // An identical repeat replays from the result cache.
+  const QueryResult warm = svc->run(req);
+  EXPECT_EQ(warm.to_json(false).dump(), cold.to_json(false).dump());
+  EXPECT_TRUE(warm.meta.get_bool("result_cache_hit", false));
+
+  // A different accuracy target recomputes against the SAME warm pools
+  // (prefix evaluation, the PR-2 guarantee) — not a fresh draw.
+  QueryRequest req2 = req;
+  req2.options.ris_max_sets = 8192;
+  const QueryResult sibling = svc->run(req2);
+  ASSERT_TRUE(sibling.ok) << sibling.error;
+  EXPECT_FALSE(sibling.meta.get_bool("result_cache_hit", true));
+  EXPECT_TRUE(sibling.meta.get_bool("ris_cache_hit", false));
+}
+
+TEST_F(ServiceFixture, EvaluateMatchesTheDirectPipelinePath) {
+  auto svc = make_service();
+  QueryRequest req = select_request();
+  req.op = QueryOp::kEvaluate;
+  req.protectors = {1, 2, 3};
+  req.eval_runs = 20;
+  req.eval_seed = 5;
+  const QueryResult r = svc->run(req);
+  ASSERT_TRUE(r.ok) << r.error;
+
+  const ExperimentSetup setup =
+      prepare_experiment(cg.graph, p, 0, req.num_rumors, req.rumor_seed);
+  MonteCarloConfig mc;
+  mc.runs = req.eval_runs;
+  mc.seed = req.eval_seed;
+  mc.max_hops = req.options.max_hops;
+  mc.model = req.options.model;
+  mc.ic_edge_prob = req.options.ic_edge_prob;
+  const HopSeries hs =
+      evaluate_protectors(setup, req.protectors, mc, &svc->pool());
+  EXPECT_EQ(r.infected_by_hop, hs.infected_mean);
+  EXPECT_EQ(r.infected_ci95, hs.infected_ci95);
+  EXPECT_EQ(r.protected_by_hop, hs.protected_mean);
+  EXPECT_EQ(r.final_infected_mean, hs.final_infected_mean);
+  EXPECT_EQ(r.final_protected_mean, hs.final_protected_mean);
+  EXPECT_EQ(r.saved_fraction, hs.saved_fraction_mean);
+}
+
+TEST_F(ServiceFixture, InfoReportsTheSessionShape) {
+  auto svc = make_service();
+  QueryRequest req;
+  req.op = QueryOp::kInfo;
+  req.dataset = "ds";
+  const QueryResult r = svc->run(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.num_nodes, cg.graph.num_nodes());
+  EXPECT_EQ(r.num_arcs, static_cast<std::size_t>(cg.graph.num_edges()));
+  EXPECT_EQ(r.num_communities,
+            static_cast<std::size_t>(p.num_communities()));
+  EXPECT_GT(r.resident_bytes, 0u);
+}
+
+TEST_F(ServiceFixture, BatchIsByteIdenticalToSequential) {
+  // The acceptance property: a mixed concurrent batch produces exactly the
+  // payload bytes that one-at-a-time execution on a fresh service produces.
+  std::vector<QueryRequest> reqs;
+  {
+    QueryRequest r = select_request();  // greedy MC
+    r.id = "greedy";
+    reqs.push_back(r);
+
+    r = select_request();
+    r.id = "scbg";
+    r.options.selector = SelectorKind::kScbg;
+    reqs.push_back(r);
+
+    r = select_request();
+    r.id = "maxdeg";
+    r.options.selector = SelectorKind::kMaxDegree;
+    r.options.budget = 4;
+    reqs.push_back(r);
+
+    r = select_request();
+    r.id = "eval";
+    r.op = QueryOp::kEvaluate;
+    r.protectors = {1, 2, 3};
+    r.eval_runs = 20;
+    reqs.push_back(r);
+
+    r = QueryRequest();
+    r.id = "info";
+    r.op = QueryOp::kInfo;
+    r.dataset = "ds";
+    reqs.push_back(r);
+
+    r = select_request();
+    r.id = "expired";
+    r.deadline_ms = 0;
+    reqs.push_back(r);
+
+    r = select_request();  // repeat: exercises warm caches inside the batch
+    r.id = "greedy-again";
+    reqs.push_back(r);
+  }
+
+  auto batch_svc = make_service();
+  const std::vector<QueryResult> batched = batch_svc->run_batch(reqs);
+  ASSERT_EQ(batched.size(), reqs.size());
+
+  auto seq_svc = make_service();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const QueryResult sequential = seq_svc->run(reqs[i]);
+    EXPECT_EQ(batched[i].to_json(false).dump(),
+              sequential.to_json(false).dump())
+        << "request id " << reqs[i].id;
+    EXPECT_EQ(batched[i].id, reqs[i].id);
+  }
+}
+
+TEST_F(ServiceFixture, ConcurrentSubmitsMatchSequentialRuns) {
+  auto svc = make_service();
+  std::vector<QueryRequest> reqs;
+  for (int i = 0; i < 6; ++i) {
+    QueryRequest r = select_request();
+    r.id = std::to_string(i);
+    r.options.selector =
+        (i % 2 == 0) ? SelectorKind::kGreedy : SelectorKind::kMaxDegree;
+    reqs.push_back(r);
+  }
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(reqs.size());
+  for (const QueryRequest& r : reqs) {
+    futures.push_back(std::async(std::launch::async,
+                                 [&svc, r] { return svc->submit(r).get(); }));
+  }
+  auto seq_svc = make_service();
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const QueryResult got = futures[i].get();
+    const QueryResult want = seq_svc->run(reqs[i]);
+    EXPECT_EQ(got.to_json(false).dump(), want.to_json(false).dump())
+        << "request id " << reqs[i].id;
+  }
+}
+
+TEST_F(ServiceFixture, ExpiredDeadlineFailsDeterministically) {
+  auto svc = make_service();
+  QueryRequest req = select_request();
+  req.deadline_ms = 0;  // already expired on admission
+  const QueryResult a = svc->run(req);
+  const QueryResult b = svc->run(req);
+  EXPECT_FALSE(a.ok);
+  EXPECT_EQ(a.error, "deadline exceeded");
+  EXPECT_TRUE(a.protectors.empty());
+  EXPECT_EQ(a.to_json(false).dump(), b.to_json(false).dump());
+}
+
+TEST_F(ServiceFixture, UnknownDatasetIsAnErrorResultNotAThrow) {
+  auto svc = make_service();
+  QueryRequest req = select_request();
+  req.dataset = "nope";
+  const QueryResult r = svc->run(req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown dataset"), std::string::npos);
+  EXPECT_EQ(r.dataset, "nope");
+}
+
+TEST_F(ServiceFixture, InvalidRequestsBecomeErrorResults) {
+  auto svc = make_service();
+  QueryRequest bad_opts = select_request();
+  bad_opts.options.alpha = 0.0;  // rejected by LcrbOptions::validate()
+  EXPECT_FALSE(svc->run(bad_opts).ok);
+
+  QueryRequest bad_protector = select_request();
+  bad_protector.op = QueryOp::kEvaluate;
+  bad_protector.protectors = {
+      static_cast<NodeId>(cg.graph.num_nodes() + 10)};
+  EXPECT_FALSE(svc->run(bad_protector).ok);
+
+  QueryRequest no_dataset = select_request();
+  no_dataset.dataset.clear();
+  EXPECT_FALSE(svc->run(no_dataset).ok);
+}
+
+TEST_F(ServiceFixture, ExplicitRumorIdsWin) {
+  auto svc = make_service();
+  QueryRequest req = select_request();
+  const std::vector<NodeId> ids = {p.members(0)[0], p.members(0)[1]};
+  req.rumor_ids = ids;
+  const QueryResult r = svc->run(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.rumors, ids);
+  EXPECT_EQ(r.rumor_community, 0u);
+}
+
+TEST_F(ServiceFixture, RequestJsonRoundTrips) {
+  QueryRequest req = select_request();
+  req.id = "tag-7";
+  req.rumor_ids = {4, 5};
+  req.protectors = {9};
+  req.deadline_ms = 1500;
+  const QueryRequest back = QueryRequest::from_json(req.to_json());
+  EXPECT_EQ(back.to_json().dump(), req.to_json().dump());
+
+  JsonValue wrong_version = req.to_json();
+  wrong_version.set("v", 99);
+  EXPECT_THROW(QueryRequest::from_json(wrong_version), Error);
+  JsonValue unknown_key = req.to_json();
+  unknown_key.set("surprise", 1);
+  EXPECT_THROW(QueryRequest::from_json(unknown_key), Error);
+}
+
+TEST_F(ServiceFixture, ResultJsonRoundTripsAndMetaStaysOptIn) {
+  auto svc = make_service();
+  const QueryResult r = svc->run(select_request());
+  ASSERT_TRUE(r.ok) << r.error;
+  const JsonValue payload = r.to_json(false);
+  EXPECT_FALSE(payload.has("meta"));
+  EXPECT_TRUE(r.to_json(true).has("meta"));
+  const QueryResult back = QueryResult::from_json(payload);
+  EXPECT_EQ(back.to_json(false).dump(), payload.dump());
+  EXPECT_EQ(back.protectors, r.protectors);
+  EXPECT_EQ(back.achieved_fraction, r.achieved_fraction);
+}
+
+}  // namespace
+}  // namespace lcrb::service

@@ -1,0 +1,116 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace lcrb {
+namespace {
+
+TEST(JsonTest, ScalarRoundTrips) {
+  EXPECT_EQ(JsonValue::parse("null").dump(), "null");
+  EXPECT_EQ(JsonValue::parse("true").dump(), "true");
+  EXPECT_EQ(JsonValue::parse("false").dump(), "false");
+  EXPECT_EQ(JsonValue::parse("42").dump(), "42");
+  EXPECT_EQ(JsonValue::parse("-7").dump(), "-7");
+  EXPECT_EQ(JsonValue::parse("\"hi\"").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, IntegersStayIntegers) {
+  const JsonValue v = JsonValue::parse("123");
+  EXPECT_TRUE(v.is_integer());
+  EXPECT_EQ(v.as_int(), 123);
+  const JsonValue d = JsonValue::parse("123.5");
+  EXPECT_TRUE(d.is_number());
+  EXPECT_FALSE(d.is_integer());
+  EXPECT_DOUBLE_EQ(d.as_double(), 123.5);
+}
+
+TEST(JsonTest, DoublesSurviveDumpParseBitForBit) {
+  for (const double x : {0.1, 1.0 / 3.0, 1e-300, 6.02e23, -0.716923076923077,
+                         std::numeric_limits<double>::denorm_min()}) {
+    const JsonValue v(x);
+    const JsonValue back = JsonValue::parse(v.dump());
+    EXPECT_EQ(back.as_double(), x) << v.dump();
+  }
+}
+
+TEST(JsonTest, ObjectsPreserveInsertionOrder) {
+  JsonValue v = JsonValue::object();
+  v.set("zeta", 1);
+  v.set("alpha", 2);
+  v.set("mid", JsonValue("x"));
+  EXPECT_EQ(v.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":\"x\"}");
+  // Overwrite keeps the original position.
+  v.set("zeta", 9);
+  EXPECT_EQ(v.dump(), "{\"zeta\":9,\"alpha\":2,\"mid\":\"x\"}");
+}
+
+TEST(JsonTest, NestedRoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2,{\"b\":null}],\"c\":{\"d\":true,\"e\":\"s\"}}";
+  const JsonValue v = JsonValue::parse(text);
+  EXPECT_EQ(v.dump(), text);
+  EXPECT_EQ(JsonValue::parse(v.dump()), v);
+}
+
+TEST(JsonTest, StringEscapes) {
+  const JsonValue v = JsonValue::parse("\"line\\nquote\\\"tab\\t\\u0041\"");
+  EXPECT_EQ(v.as_string(), "line\nquote\"tab\tA");
+  // NDJSON safety: the dump never contains a raw newline.
+  EXPECT_EQ(v.dump().find('\n'), std::string::npos);
+  EXPECT_EQ(JsonValue::parse(v.dump()), v);
+}
+
+TEST(JsonTest, SurrogatePairs) {
+  const JsonValue v = JsonValue::parse("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(v.as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonTest, GettersWithDefaults) {
+  const JsonValue v = JsonValue::parse(
+      "{\"b\":true,\"i\":7,\"d\":2.5,\"s\":\"x\"}");
+  EXPECT_EQ(v.get_bool("b", false), true);
+  EXPECT_EQ(v.get_int("i", -1), 7);
+  EXPECT_DOUBLE_EQ(v.get_double("d", 0.0), 2.5);
+  EXPECT_EQ(v.get_string("s", ""), "x");
+  EXPECT_EQ(v.get_int("missing", -1), -1);
+  EXPECT_THROW(v.get_int("s", 0), Error);  // present but wrong kind
+}
+
+TEST(JsonTest, AsIntAcceptsIntegralDoubles) {
+  EXPECT_EQ(JsonValue(3.0).as_int(), 3);
+  EXPECT_THROW(JsonValue(3.5).as_int(), Error);
+}
+
+TEST(JsonTest, ParseErrorsCarryOffset) {
+  try {
+    JsonValue::parse("{\"a\":12,");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos);
+  }
+  EXPECT_THROW(JsonValue::parse(""), Error);
+  EXPECT_THROW(JsonValue::parse("{]"), Error);
+  EXPECT_THROW(JsonValue::parse("nul"), Error);
+  EXPECT_THROW(JsonValue::parse("1 2"), Error);  // trailing garbage
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), Error);
+}
+
+TEST(JsonTest, DepthCapRejectsHostileNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  EXPECT_THROW(JsonValue::parse(deep), Error);
+}
+
+TEST(JsonTest, EqualityIsStructural) {
+  EXPECT_EQ(JsonValue::parse("{\"a\":1,\"b\":2}"),
+            JsonValue::parse("{\"a\":1,\"b\":2}"));
+  // Key order is part of the canonical form.
+  EXPECT_FALSE(JsonValue::parse("{\"a\":1,\"b\":2}") ==
+               JsonValue::parse("{\"b\":2,\"a\":1}"));
+  EXPECT_FALSE(JsonValue(1) == JsonValue("1"));
+}
+
+}  // namespace
+}  // namespace lcrb

@@ -21,10 +21,16 @@
 //   --rumors K              number of rumor originators (default 5)
 //   --rumor-ids a,b,c       explicit originators (overrides --rumors)
 // See each subcommand below for its extras.
+//
+// scbg/greedy/simulate are thin QueryService clients: they register the
+// loaded graph as a one-dataset session and run a QueryRequest — the same
+// code path lcrbd serves over NDJSON (see docs/service.md).
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "lcrb/lcrb.h"
+#include "service/query_service.h"
 
 namespace {
 
@@ -101,6 +107,32 @@ void print_ids(const char* label, const std::vector<NodeId>& ids) {
   std::cout << "\n";
 }
 
+/// Request shaped by the shared rumor flags (--rumor-ids / --community-size /
+/// --rumors / --seed) — mirrors setup_experiment for the service commands.
+service::QueryRequest base_request(const Args& args) {
+  service::QueryRequest req;
+  req.dataset = "cli";
+  if (args.has("rumor-ids")) {
+    req.rumor_ids = parse_ids(args.get_string("rumor-ids", ""));
+    LCRB_REQUIRE(!req.rumor_ids.empty(), "--rumor-ids parsed to nothing");
+  } else {
+    req.community_size =
+        static_cast<std::size_t>(args.get_int("community-size", 100));
+    req.num_rumors = static_cast<std::size_t>(args.get_int("rumors", 5));
+  }
+  req.rumor_seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  return req;
+}
+
+/// One-dataset service over the CLI's graph/community flags.
+std::unique_ptr<service::QueryService> make_service(const Args& args) {
+  DiGraph g = load(args);
+  Partition p = detect(g, args);
+  auto svc = std::make_unique<service::QueryService>();
+  svc->registry().open("cli", std::move(g), std::move(p));
+  return svc;
+}
+
 int cmd_info(const Args& args) {
   const DiGraph g = load(args);
   std::cout << describe(g) << "\n";
@@ -155,101 +187,82 @@ int cmd_bridges(const Args& args) {
 }
 
 int cmd_scbg(const Args& args) {
-  const DiGraph g = load(args);
-  const Partition p = detect(g, args);
-  const ExperimentSetup s = setup_experiment(g, p, args);
-  const ScbgResult r = scbg_from_bridges(g, s.rumors, s.bridges);
-  print_ids("rumor originators", s.rumors);
-  print_ids("bridge ends", r.bridge_ends);
+  const auto svc = make_service(args);
+  service::QueryRequest req = base_request(args);
+  req.op = service::QueryOp::kSelect;
+  req.options.selector = SelectorKind::kScbg;  // sizes itself; budget stays 0
+  const service::QueryResult r = svc->run(req);
+  if (!r.ok) throw Error(r.error);
+  print_ids("rumor originators", r.rumors);
+  std::cout << "bridge ends: " << r.num_bridge_ends << "\n";
   print_ids("protector seeds", r.protectors);
   std::cout << "full DOAM protection verified: yes\n";
   return 0;
 }
 
 int cmd_greedy(const Args& args) {
-  const DiGraph g = load(args);
-  const Partition p = detect(g, args);
-  const ExperimentSetup s = setup_experiment(g, p, args);
-  GreedyConfig cfg;
-  cfg.alpha = args.get_double("alpha", 0.9);
-  cfg.max_protectors = static_cast<std::size_t>(args.get_int("budget", 0));
-  cfg.max_candidates =
-      static_cast<std::size_t>(args.get_int("candidates", 300));
-  cfg.sigma.samples =
-      static_cast<std::size_t>(args.get_int("samples", 30));
-  cfg.sigma.seed = static_cast<std::uint64_t>(args.get_int("seed", 1)) + 7;
-
-  const std::string mode = args.get_string("sigma-mode", "mc");
-  if (mode == "ris") {
-    cfg.sigma_mode = SigmaMode::kRis;
-    cfg.ris.epsilon = args.get_double("ris-eps", cfg.ris.epsilon);
-    cfg.ris.delta = args.get_double("ris-delta", cfg.ris.delta);
-    cfg.ris.max_sets = static_cast<std::size_t>(args.get_int(
-        "ris-max-sets", static_cast<int>(cfg.ris.max_sets)));
-  } else if (mode != "mc") {
-    throw Error("unknown --sigma-mode '" + mode + "' (mc|ris)");
+  const auto svc = make_service(args);
+  service::QueryRequest req = base_request(args);
+  req.op = service::QueryOp::kSelect;
+  req.options = LcrbOptions::from_args(args);
+  // The CLI's historical defaults where the shared flag set differs.
+  if (!args.has("alpha")) req.options.alpha = 0.9;
+  if (!args.has("candidates")) req.options.max_candidates = 300;
+  if (!args.has("samples")) req.options.sigma_samples = 30;
+  if (!args.has("sigma-seed")) {
+    req.options.sigma_seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 1)) + 7;
   }
 
-  ThreadPool pool;
-  const GreedyResult r =
-      greedy_lcrbp_from_bridges(g, s.rumors, s.bridges, cfg, &pool);
+  const service::QueryResult r = svc->run(req);
+  if (!r.ok) throw Error(r.error);
   print_ids("protector seeds", r.protectors);
   std::cout << "achieved protected fraction: " << fixed(r.achieved_fraction, 3)
-            << " (alpha " << cfg.alpha << ")\n";
-  if (cfg.sigma_mode == SigmaMode::kRis) {
+            << " (alpha " << req.options.alpha << ")\n";
+  if (req.options.sigma_mode == SigmaMode::kRis) {
     std::cout << "sigma served by: ris (" << r.sigma_evaluations
-              << " RR sets/pool, " << r.ris_rounds << " doubling rounds)\n"
-              << "certified sigma bounds: [" << fixed(r.ris_sigma_lower, 2)
-              << ", " << fixed(r.ris_sigma_upper, 2) << "]\n";
+              << " RR sets/pool, " << r.meta.get_int("ris_rounds", 0)
+              << " doubling rounds)\n"
+              << "certified sigma bounds: ["
+              << fixed(r.meta.get_double("ris_sigma_lower", 0.0), 2) << ", "
+              << fixed(r.meta.get_double("ris_sigma_upper", 0.0), 2) << "]\n";
   } else {
-    std::cout << "sigma served by: " << to_string(r.sigma_path);
-    if (r.sigma_fallback != SigmaFallbackReason::kNone) {
-      std::cout << " (fallback: " << to_string(r.sigma_fallback) << ")";
-    }
+    std::cout << "sigma served by: "
+              << r.meta.get_string("sigma_path", "unknown");
+    const std::string fallback =
+        r.meta.get_string("sigma_fallback", "none");
+    if (fallback != "none") std::cout << " (fallback: " << fallback << ")";
     std::cout << "\n";
   }
-  std::cout << "sigma node visits: " << r.nodes_visited << "\n";
+  std::cout << "sigma single-run evaluations: " << r.sigma_evaluations << "\n";
   return 0;
 }
 
 int cmd_simulate(const Args& args) {
-  const DiGraph g = load(args);
-  const Partition p = detect(g, args);
-  const ExperimentSetup s = setup_experiment(g, p, args);
-  const std::vector<NodeId> protectors =
-      args.has("protector-ids") ? parse_ids(args.get_string("protector-ids", ""))
-                                : std::vector<NodeId>{};
-
-  MonteCarloConfig mc;
-  const std::string model = args.get_string("model", "opoao");
-  if (model == "opoao") {
-    mc.model = DiffusionModel::kOpoao;
-  } else if (model == "doam") {
-    mc.model = DiffusionModel::kDoam;
-  } else if (model == "ic") {
-    mc.model = DiffusionModel::kIc;
-    mc.ic_edge_prob = args.get_double("ic-prob", 0.1);
-  } else if (model == "lt") {
-    mc.model = DiffusionModel::kLt;
-  } else {
-    throw Error("unknown --model '" + model + "' (opoao|doam|ic|lt)");
+  const auto svc = make_service(args);
+  service::QueryRequest req = base_request(args);
+  req.op = service::QueryOp::kEvaluate;
+  if (args.has("protector-ids")) {
+    req.protectors = parse_ids(args.get_string("protector-ids", ""));
   }
-  mc.runs = static_cast<std::size_t>(args.get_int("runs", 100));
-  mc.max_hops = static_cast<std::uint32_t>(args.get_int("hops", 31));
-  mc.seed = static_cast<std::uint64_t>(args.get_int("seed", 1)) + 13;
+  req.options.model =
+      diffusion_model_from_string(args.get_string("model", "opoao"));
+  req.options.ic_edge_prob = args.get_double("ic-prob", 0.1);
+  req.options.max_hops = static_cast<std::uint32_t>(args.get_int("hops", 31));
+  req.eval_runs = static_cast<std::size_t>(args.get_int("runs", 100));
+  req.eval_seed = static_cast<std::uint64_t>(args.get_int("seed", 1)) + 13;
 
-  ThreadPool pool;
-  const HopSeries series = evaluate_protectors(s, protectors, mc, &pool);
+  const service::QueryResult r = svc->run(req);
+  if (!r.ok) throw Error(r.error);
   TextTable t;
   t.set_header({"hop", "infected (mean)", "ci95", "protected (mean)"});
-  for (std::size_t h = 0; h < series.infected_mean.size(); ++h) {
-    t.add_values(h, fixed(series.infected_mean[h]),
-                 fixed(series.infected_ci95[h], 2),
-                 fixed(series.protected_mean[h]));
+  for (std::size_t h = 0; h < r.infected_by_hop.size(); ++h) {
+    t.add_values(h, fixed(r.infected_by_hop[h]), fixed(r.infected_ci95[h], 2),
+                 fixed(r.protected_by_hop[h]));
   }
   t.print(std::cout);
-  std::cout << "bridge ends saved: "
-            << fixed(100.0 * series.saved_fraction_mean) << "%\n";
+  std::cout << "bridge ends saved: " << fixed(100.0 * r.saved_fraction)
+            << "%\n";
   return 0;
 }
 

@@ -1,0 +1,227 @@
+// lcrbd — the LCRB query daemon.
+//
+// Speaks newline-delimited JSON (one message per line) over stdin/stdout by
+// default, or over an AF_UNIX stream socket with --socket PATH (one client
+// at a time; the loop returns to accept() when a client disconnects).
+//
+// Messages are either control verbs handled here or QueryRequests handed to
+// the in-process QueryService:
+//
+//   {"op":"open","dataset":"d","path":"graph.txt"}      load + register
+//       optional: "undirected":true, "community_seed":1,
+//                 "membership":"m.csv" (skip detection, use saved labels)
+//   {"op":"close","dataset":"d"}                        drop the session
+//   {"op":"datasets"}                                   list registered ids
+//   {"op":"shutdown"}                                   ack, then exit
+//   {"v":1,"op":"select"|"evaluate"|"info",...}         QueryRequest (see
+//       src/service/request.h); the reply is QueryResult::to_json()
+//
+// Every reply is a single line. Replies omit the nondeterministic `meta`
+// object unless the daemon runs with --meta, so a scripted session's output
+// is byte-reproducible — the CI smoke job diffs one against a golden file.
+//
+// Flags: --socket PATH | --threads N | --max-bytes B | --meta
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "community/io.h"
+#include "community/partition.h"
+#include "graph/io.h"
+#include "service/query_service.h"
+#include "util/args.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace lcrb;
+using namespace lcrb::service;
+
+/// Handles one control verb. Returns the reply; sets `shutdown` on the
+/// shutdown verb.
+JsonValue handle_control(QueryService& svc, const std::string& op,
+                         const JsonValue& msg, bool& shutdown) {
+  JsonValue reply = JsonValue::object();
+  reply.set("op", op);
+  if (op == "open") {
+    const std::string dataset = msg.get_string("dataset", "");
+    const std::string path = msg.get_string("path", "");
+    if (dataset.empty() || path.empty()) {
+      throw Error("open: 'dataset' and 'path' are required");
+    }
+    std::shared_ptr<GraphSession> session;
+    if (msg.has("membership")) {
+      DiGraph g = load_edge_list(path, msg.get_bool("undirected", false));
+      Partition p = load_membership(msg.get_string("membership", ""));
+      session = svc.registry().open(dataset, std::move(g), std::move(p));
+    } else {
+      session = svc.open_dataset(
+          dataset, path, msg.get_bool("undirected", false),
+          static_cast<std::uint64_t>(msg.get_int("community_seed", 1)));
+    }
+    reply.set("dataset", dataset);
+    reply.set("ok", true);
+    reply.set("num_nodes",
+              static_cast<std::uint64_t>(session->graph().num_nodes()));
+    reply.set("num_arcs",
+              static_cast<std::uint64_t>(session->graph().num_edges()));
+    reply.set("num_communities", static_cast<std::uint64_t>(
+                                     session->partition().num_communities()));
+  } else if (op == "close") {
+    const std::string dataset = msg.get_string("dataset", "");
+    reply.set("dataset", dataset);
+    reply.set("ok", svc.registry().close(dataset));
+  } else if (op == "datasets") {
+    reply.set("ok", true);
+    JsonValue ids = JsonValue::array();
+    for (const std::string& name : svc.registry().datasets()) {
+      ids.push_back(JsonValue(name));
+    }
+    reply.set("datasets", ids);
+  } else if (op == "shutdown") {
+    reply.set("ok", true);
+    shutdown = true;
+  } else {
+    throw Error("unknown op '" + op +
+                "' (open|close|datasets|shutdown|select|evaluate|info)");
+  }
+  return reply;
+}
+
+/// Processes one NDJSON line into one reply line. Never throws: every
+/// failure becomes an ok=false reply so a client script keeps its 1:1
+/// request/reply pairing.
+std::string handle_line(QueryService& svc, const std::string& line,
+                        bool include_meta, bool& shutdown) {
+  try {
+    const JsonValue msg = JsonValue::parse(line);
+    if (!msg.is_object()) throw Error("expected a JSON object");
+    const std::string op = msg.get_string("op", "");
+    if (op == "select" || op == "evaluate" || op == "info") {
+      const QueryRequest req = QueryRequest::from_json(msg);
+      return svc.run(req).to_json(include_meta).dump();
+    }
+    return handle_control(svc, op, msg, shutdown).dump();
+  } catch (const std::exception& e) {
+    JsonValue reply = JsonValue::object();
+    reply.set("ok", false);
+    reply.set("error", std::string(e.what()));
+    return reply.dump();
+  }
+}
+
+/// stdin/stdout mode: one reply line per input line, flushed immediately so
+/// a pipe-driven client can interleave.
+int serve_stream(QueryService& svc, std::istream& in, std::ostream& out,
+                 bool include_meta) {
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(svc, line, include_meta, shutdown) << "\n"
+        << std::flush;
+  }
+  return 0;
+}
+
+#ifndef _WIN32
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One connected client: accumulate bytes, handle each complete line.
+/// Returns true to keep accepting, false after a shutdown verb.
+bool serve_client(QueryService& svc, int fd, bool include_meta) {
+  std::string buf;
+  char chunk[4096];
+  bool shutdown = false;
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return true;  // client gone; keep the daemon up
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+         nl = buf.find('\n', start)) {
+      const std::string line = buf.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      if (!write_all(fd, handle_line(svc, line, include_meta, shutdown) +
+                             "\n")) {
+        return true;
+      }
+      if (shutdown) return false;
+    }
+    buf.erase(0, start);
+  }
+}
+
+int serve_socket(QueryService& svc, const std::string& path,
+                 bool include_meta) {
+  ::signal(SIGPIPE, SIG_IGN);  // write errors are handled per call
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) throw Error("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("--socket path too long");
+  }
+  path.copy(addr.sun_path, path.size());
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw Error("bind(" + path + ") failed");
+  }
+  if (::listen(listener, 4) != 0) throw Error("listen() failed");
+  std::cerr << "lcrbd listening on " << path << "\n";
+  bool keep_going = true;
+  while (keep_going) {
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    keep_going = serve_client(svc, fd, include_meta);
+    ::close(fd);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  try {
+    ServiceConfig cfg;
+    cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    cfg.max_resident_bytes = static_cast<std::size_t>(args.get_int(
+        "max-bytes",
+        static_cast<std::int64_t>(SessionRegistry::kDefaultMaxBytes)));
+    const bool include_meta = args.get_bool("meta");
+    QueryService svc(cfg);
+    if (args.has("socket")) {
+#ifndef _WIN32
+      return serve_socket(svc, args.get_string("socket", ""), include_meta);
+#else
+      throw lcrb::Error("--socket is not supported on this platform");
+#endif
+    }
+    return serve_stream(svc, std::cin, std::cout, include_meta);
+  } catch (const std::exception& e) {
+    std::cerr << "lcrbd: " << e.what() << "\n";
+    return 1;
+  }
+}

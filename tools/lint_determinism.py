@@ -60,6 +60,14 @@ SENSITIVE_SUFFIXES = (
     "src/diffusion/montecarlo.cpp",
     "src/community/louvain.cpp",
     "src/community/label_propagation.cpp",
+    # The query service promises byte-identical payloads across batching and
+    # thread counts; its session caches and batcher are order-sensitive.
+    "src/service/session.h",
+    "src/service/session.cpp",
+    "src/service/request.h",
+    "src/service/request.cpp",
+    "src/service/query_service.h",
+    "src/service/query_service.cpp",
 )
 
 # The one place hidden entropy sources are allowed (it defines the seeded
