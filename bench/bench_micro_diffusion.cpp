@@ -1,7 +1,7 @@
 // Microbenchmarks (google-benchmark): diffusion simulator throughput.
 #include <benchmark/benchmark.h>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/core.h"
 
 namespace {
 
@@ -75,6 +75,49 @@ void BM_CompetitiveIc(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CompetitiveIc)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+void BM_CompetitiveLt(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const DiGraph g = bench_graph(n, 7);
+  const SeedSets seeds = bench_seeds(n);
+  LtConfig cfg;
+  cfg.max_steps = 31;
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    DiffusionResult r = simulate_competitive_lt(g, seeds, ++s, cfg);
+    benchmark::DoNotOptimize(r.infected_count());
+  }
+}
+BENCHMARK(BM_CompetitiveLt)->Arg(1000)->Arg(10000)->Unit(benchmark::kMicrosecond);
+
+// The unified run_cascade<Traits> kernel behind the model-generic simulate()
+// entry point (diffusion/kernel.h + model_traits.h), one benchmark per
+// model: what every subsystem that dispatches on DiffusionModel pays,
+// including the one switch hop.
+void BM_Kernel(benchmark::State& state) {
+  const auto model = static_cast<DiffusionModel>(state.range(0));
+  const auto n = static_cast<NodeId>(state.range(1));
+  const DiGraph g = bench_graph(n, 8);
+  const SeedSets seeds = bench_seeds(n);
+  MonteCarloConfig cfg;
+  cfg.model = model;
+  cfg.max_hops = 31;
+  cfg.ic_edge_prob = 0.1;
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    DiffusionResult r = simulate(g, seeds, ++s, cfg);
+    benchmark::DoNotOptimize(r.infected_count());
+  }
+  state.SetLabel(to_string(model));
+}
+BENCHMARK(BM_Kernel)
+    ->ArgsProduct({{static_cast<long>(DiffusionModel::kOpoao),
+                    static_cast<long>(DiffusionModel::kDoam),
+                    static_cast<long>(DiffusionModel::kIc),
+                    static_cast<long>(DiffusionModel::kLt),
+                    static_cast<long>(DiffusionModel::kWc)},
+                   {10000}})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_MonteCarloSeries(benchmark::State& state) {
   const DiGraph g = bench_graph(2000, 5);

@@ -1,7 +1,7 @@
 // Microbenchmarks (google-benchmark): graph substrate throughput.
 #include <benchmark/benchmark.h>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/core.h"
 
 namespace {
 

@@ -20,7 +20,7 @@
 
 #include <cmath>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/experiments.h"
 
 namespace {
 

@@ -4,7 +4,7 @@
 // evaluations, so items_per_second is directly "sigma evals/sec".
 #include <benchmark/benchmark.h>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/core.h"
 #include "lcrb/sigma_engine.h"
 
 namespace {

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/experiments.h"
 
 namespace lcrb::bench {
 

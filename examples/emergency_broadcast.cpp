@@ -11,7 +11,7 @@
 // Run:  ./emergency_broadcast [--scale 0.1] [--seed 2]
 #include <iostream>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace lcrb;

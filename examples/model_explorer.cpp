@@ -9,7 +9,7 @@
 // Run:  ./model_explorer [--scale 0.05] [--runs 50] [--hops 16] [--csv out.csv]
 #include <iostream>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace lcrb;

@@ -6,7 +6,7 @@
 // Run:  ./quickstart
 #include <iostream>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/experiments.h"
 
 int main() {
   using namespace lcrb;

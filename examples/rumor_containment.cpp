@@ -11,7 +11,7 @@
 //                           [--graph path.txt] [--seed 1]
 #include <iostream>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/experiments.h"
 #include "service/query_service.h"
 
 int main(int argc, char** argv) {

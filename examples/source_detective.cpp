@@ -8,7 +8,7 @@
 // Run:  ./source_detective [--scale 0.2] [--sources 2] [--hops 4] [--trials 10]
 #include <iostream>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/experiments.h"
 
 int main(int argc, char** argv) {
   using namespace lcrb;

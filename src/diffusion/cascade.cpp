@@ -7,6 +7,17 @@
 
 namespace lcrb {
 
+std::string to_string(DiffusionModel m) {
+  switch (m) {
+    case DiffusionModel::kOpoao: return "OPOAO";
+    case DiffusionModel::kDoam: return "DOAM";
+    case DiffusionModel::kIc: return "IC";
+    case DiffusionModel::kLt: return "LT";
+    case DiffusionModel::kWc: return "WC";
+  }
+  return "unknown";
+}
+
 void validate_seeds(const DiGraph& g, const SeedSets& seeds) {
   auto check = [&](const std::vector<NodeId>& s, const char* name) {
     for (NodeId v : s) {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -15,6 +16,13 @@
 namespace lcrb {
 
 enum class NodeState : std::uint8_t { kInactive = 0, kProtected = 1, kInfected = 2 };
+
+/// The diffusion models the traits layer implements (model_traits.h). Each
+/// value names one traits file in src/diffusion/; dispatch_model() maps the
+/// runtime value onto the compile-time traits.
+enum class DiffusionModel : std::uint8_t { kOpoao, kDoam, kIc, kLt, kWc };
+
+std::string to_string(DiffusionModel m);
 
 /// The two disjoint seed sets S_R (rumor originators) and S_P (protector
 /// originators).

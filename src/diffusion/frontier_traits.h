@@ -1,0 +1,223 @@
+// Shared machinery of the broadcast/live-edge model family (DOAM, IC, WC).
+//
+// All three models are synchronized two-frontier BFS races where cascade P
+// expands before cascade R each step and an arc (u, v) conducts iff a
+// per-sample coin says it is live (DOAM: always; IC: probability p; WC:
+// probability 1/d_in(v)). The family is parameterized on that coin:
+//
+//  * FrontierForward<Coin>   — the Forward runner run_cascade instantiates.
+//  * LiveEdgeSample + replay — the realization cache: the live subgraph in
+//    CSR form plus baseline rumor BFS distances d_R. With arc liveness
+//    independent of the cascades, the winner at any node is
+//    argmin(d_R, d_P) with P on ties (docs/algorithms.md gives the
+//    induction), so an evaluation is one protector-side BFS over cached
+//    live arcs.
+//  * live_reverse_set<Coin>  — the RIS reverse sampler: reverse BFS over
+//    the transposed live subgraph, truncated at the rumor arrival level.
+//
+// doam_traits.h, ic_traits.h and wc_traits.h bind these to their coins.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "diffusion/kernel.h"
+
+namespace lcrb {
+
+/// Forward runner for the frontier family. `Coin(g, u, v)` decides arc
+/// liveness; it must be a pure function of the sample seed and the arc so
+/// that forward runs, cache builds and reverse draws all realize the same
+/// subgraph.
+template <class Coin>
+class FrontierForward {
+ public:
+  FrontierForward(const DiGraph& g, Coin coin) : g_(g), coin_(coin) {}
+
+  void seed(const SeedSets& seeds, DiffusionResult& r) {
+    for (NodeId v : seeds.protectors) {
+      r.state[v] = NodeState::kProtected;
+      r.activation_step[v] = 0;
+      p_frontier_.push_back(v);
+    }
+    for (NodeId v : seeds.rumors) {
+      r.state[v] = NodeState::kInfected;
+      r.activation_step[v] = 0;
+      r_frontier_.push_back(v);
+    }
+  }
+
+  bool active() const { return !p_frontier_.empty() || !r_frontier_.empty(); }
+
+  StepDelta step(std::uint32_t step, DiffusionResult& r) {
+    next_p_.clear();
+    next_r_.clear();
+    // Protector broadcasts claim nodes first: P wins simultaneous arrival.
+    for (NodeId u : p_frontier_) {
+      for (NodeId v : g_.out_neighbors(u)) {
+        if (r.state[v] == NodeState::kInactive && coin_(g_, u, v)) {
+          r.state[v] = NodeState::kProtected;
+          r.activation_step[v] = step;
+          next_p_.push_back(v);
+        }
+      }
+    }
+    for (NodeId u : r_frontier_) {
+      for (NodeId v : g_.out_neighbors(u)) {
+        if (r.state[v] == NodeState::kInactive && coin_(g_, u, v)) {
+          r.state[v] = NodeState::kInfected;
+          r.activation_step[v] = step;
+          next_r_.push_back(v);
+        }
+      }
+    }
+    p_frontier_.swap(next_p_);
+    r_frontier_.swap(next_r_);
+    return {static_cast<std::uint32_t>(p_frontier_.size()),
+            static_cast<std::uint32_t>(r_frontier_.size())};
+  }
+
+ private:
+  const DiGraph& g_;
+  Coin coin_;
+  std::vector<NodeId> p_frontier_, r_frontier_, next_p_, next_r_;
+};
+
+/// One sample's realization for a live-edge model: live subgraph + baseline
+/// rumor distances.
+struct LiveEdgeSample {
+  std::vector<std::uint32_t> live_off;  ///< n+1 CSR offsets
+  std::vector<NodeId> live_tgt;         ///< live arc targets
+  std::vector<std::uint32_t> dist_r;    ///< baseline rumor BFS distance
+  std::uint32_t max_needed = 0;  ///< max d_R over baseline-infected ends
+};
+
+/// Replay working memory for live-edge models: the protector-side BFS state.
+struct LiveEdgeReplayScratch {
+  explicit LiveEdgeReplayScratch(NodeId n) : dist(n, 0) {}
+  void on_epoch_wrap() {}  // dist is guarded by the shared color stamps
+  std::vector<std::uint32_t> dist;  ///< BFS arrival (touched nodes only)
+  std::vector<NodeId> queue;
+};
+
+/// Materializes one live-edge sample: the coin is flipped once per arc, and
+/// the baseline activation steps ARE the live-subgraph BFS distances from
+/// the rumor seeds (no competition in the baseline run). `reserve_hint`
+/// presizes live_tgt (expected live-arc count; purely a perf knob).
+/// `infected_targets` are the baseline-infected bridge ends — arrivals
+/// deeper than the deepest of them can never save anything, which caps every
+/// replay's BFS.
+template <class Coin>
+void build_live_sample(const DiGraph& g, const Coin& coin,
+                       std::size_t reserve_hint, DiffusionResult&& base,
+                       std::span<const NodeId> infected_targets,
+                       LiveEdgeSample& sp) {
+  sp.live_off.assign(g.num_nodes() + 1, 0);
+  sp.live_tgt.reserve(reserve_hint);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.out_neighbors(u)) {
+      if (coin(g, u, v)) sp.live_tgt.push_back(v);
+    }
+    sp.live_off[u + 1] = static_cast<std::uint32_t>(sp.live_tgt.size());
+  }
+  sp.live_tgt.shrink_to_fit();
+  sp.dist_r = std::move(base.activation_step);
+  sp.max_needed = 0;
+  for (NodeId v : infected_targets) {
+    sp.max_needed = std::max(sp.max_needed, sp.dist_r[v]);
+  }
+}
+
+/// Replays one live-edge sample: a single protector-side BFS over the cached
+/// live arcs (protectors are already stamped kColorP by the caller),
+/// truncated at min(hops, max_needed). Returns the elementary-op count.
+inline std::uint64_t replay_live(const LiveEdgeSample& sp,
+                                 std::span<const NodeId> protectors,
+                                 EpochColorScratch& color,
+                                 LiveEdgeReplayScratch& rs,
+                                 std::uint32_t hops) {
+  const std::uint32_t e = color.epoch;
+  rs.queue.clear();
+  for (NodeId v : protectors) {
+    rs.dist[v] = 0;
+    rs.queue.push_back(v);
+  }
+  const std::uint32_t depth_cap = std::min(hops, sp.max_needed);
+  std::uint64_t ops = 0;
+  for (std::size_t head = 0; head < rs.queue.size(); ++head) {
+    const NodeId u = rs.queue[head];
+    const std::uint32_t du = rs.dist[u];
+    ++ops;
+    if (du >= depth_cap) continue;
+    const std::uint32_t begin = sp.live_off[u], end = sp.live_off[u + 1];
+    ops += end - begin;
+    for (std::uint32_t k = begin; k < end; ++k) {
+      const NodeId v = sp.live_tgt[k];
+      if (color.color_epoch[v] != e) {
+        color.color_epoch[v] = e;
+        color.color[v] = kColorP;
+        rs.dist[v] = du + 1;
+        rs.queue.push_back(v);
+      }
+    }
+  }
+  return ops;
+}
+
+/// Bridge-end verdict after replay_live: a baseline-uninfected end cannot be
+/// hurt by protectors; a baseline-infected end is saved iff the protector
+/// BFS reached it no later than the rumor (P wins ties).
+inline bool live_replay_infected(const LiveEdgeSample& sp,
+                                 const EpochColorScratch& color,
+                                 const LiveEdgeReplayScratch& rs, NodeId v,
+                                 bool base_infected) {
+  if (!base_infected) return false;
+  return !(color.colored(v) && rs.dist[v] <= sp.dist_r[v]);
+}
+
+/// Reverse BFS over the TRANSPOSED live arcs. The first level that contains
+/// a rumor seed is the realized rumor arrival d_R(root); it truncates the
+/// search, and by the live-subgraph distance rule every non-rumor node
+/// within that depth saves root. Null (empty out) when the rumor never
+/// reaches root within max_hops.
+template <class Coin>
+void live_reverse_set(const DiGraph& g, const Coin& coin,
+                      const std::vector<bool>& is_rumor, NodeId root,
+                      std::uint32_t max_hops, ReverseScratch& sc,
+                      std::vector<NodeId>& out, std::uint64_t& visits) {
+  sc.frontier.clear();
+  sc.collected.clear();
+  sc.t0_epoch[root] = sc.epoch;
+  sc.frontier.push_back(root);
+  sc.collected.push_back(root);
+  ++visits;
+  std::uint32_t rumor_level = is_rumor[root] ? 0 : kUnreached;
+  std::uint32_t limit = max_hops;
+  for (std::uint32_t d = 0; d < limit && !sc.frontier.empty(); ++d) {
+    sc.next.clear();
+    for (NodeId w : sc.frontier) {
+      for (NodeId u : g.in_neighbors(w)) {
+        ++visits;
+        if (sc.t0_epoch[u] == sc.epoch) continue;
+        if (!coin(g, u, w)) continue;
+        sc.t0_epoch[u] = sc.epoch;
+        sc.next.push_back(u);
+        sc.collected.push_back(u);
+        if (is_rumor[u] && rumor_level == kUnreached) {
+          rumor_level = d + 1;
+          limit = std::min(limit, rumor_level);
+        }
+      }
+    }
+    sc.frontier.swap(sc.next);
+  }
+  if (rumor_level == kUnreached) return;  // null set
+  out.reserve(sc.collected.size());
+  for (NodeId v : sc.collected) {
+    if (!is_rumor[v]) out.push_back(v);
+  }
+}
+
+}  // namespace lcrb

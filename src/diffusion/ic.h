@@ -21,7 +21,18 @@ struct IcConfig {
 /// The stateless live-edge coin for arc (u, v): identical across protector-
 /// set variations of the same sample. Exposed so the realization cache in
 /// `lcrb/sigma_engine.h` can materialize each sample's live subgraph once.
-bool ic_arc_live(std::uint64_t seed, NodeId u, NodeId v, double p);
+/// Defined inline: it sits on the innermost loop of every forward run,
+/// cache build, and RR draw, which the traits layer instantiates across
+/// several translation units.
+inline bool ic_arc_live(std::uint64_t seed, NodeId u, NodeId v, double p) {
+  std::uint64_t x = seed ^ (static_cast<std::uint64_t>(u) << 32) ^ v;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < p;
+}
 
 /// Simulates one competitive-IC sample. Deterministic in (g, seeds, seed).
 DiffusionResult simulate_competitive_ic(const DiGraph& g, const SeedSets& seeds,

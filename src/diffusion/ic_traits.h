@@ -1,0 +1,123 @@
+// Competitive-IC model traits (extension model, related work [14][15]): the
+// frontier family with the classic live-edge coupling — arc (u, v) is live
+// with one homogeneous probability, decided once per sample by hashing
+// (seed, u, v). Forward, cache and reverse all come from frontier_traits.h;
+// this file only binds the coin.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "diffusion/frontier_traits.h"
+#include "diffusion/ic.h"
+#include "diffusion/kernel.h"
+#include "util/check.h"
+
+namespace lcrb {
+
+struct IcTraits {
+  static constexpr DiffusionModel kModel = DiffusionModel::kIc;
+  static constexpr const char* kName = "IC";
+  static constexpr bool kDeterministic = false;
+  static constexpr bool kSupportsCache = true;
+  static constexpr bool kSupportsReverse = true;
+
+  using Config = IcConfig;
+  using Trace = NoTrace;
+
+  static Config config_from(const RealizationParams& p) {
+    Config c;
+    c.edge_prob = p.ic_edge_prob;
+    c.max_steps = p.max_hops;
+    return c;
+  }
+
+  struct Coin {
+    std::uint64_t seed;
+    double p;
+    bool operator()(const DiGraph&, NodeId u, NodeId v) const {
+      return ic_arc_live(seed, u, v, p);
+    }
+  };
+
+  class Forward : public FrontierForward<Coin> {
+   public:
+    Forward(const DiGraph& g, std::uint64_t seed, const Config& cfg,
+            Trace* /*trace*/)
+        : FrontierForward<Coin>(g, Coin{seed, cfg.edge_prob}) {
+      LCRB_REQUIRE(cfg.edge_prob >= 0.0 && cfg.edge_prob <= 1.0,
+                   "edge_prob must be in [0,1]");
+    }
+  };
+
+  // --- realization cache (live subgraph + baseline distances) -------------
+  struct CacheShared {};
+  using CacheSample = LiveEdgeSample;
+  using ReplayScratch = LiveEdgeReplayScratch;
+
+  static std::size_t estimated_cache_bytes(const DiGraph& g,
+                                           std::size_t samples,
+                                           std::uint32_t /*hops*/) {
+    const std::size_t n = g.num_nodes();
+    return samples * (static_cast<std::size_t>(g.num_edges()) * sizeof(NodeId) +
+                      (n + 1) * sizeof(std::uint32_t) +
+                      n * sizeof(std::uint32_t));
+  }
+
+  static CacheShared build_cache_shared(const DiGraph&) { return {}; }
+
+  static void build_cache_sample(const DiGraph& g, const CacheShared&,
+                                 std::uint64_t seed, DiffusionResult&& base,
+                                 std::span<const NodeId> infected_targets,
+                                 const RealizationParams& p, CacheSample& sp) {
+    build_live_sample(g, Coin{seed, p.ic_edge_prob},
+                      static_cast<std::size_t>(
+                          static_cast<double>(g.num_edges()) *
+                          p.ic_edge_prob * 1.1),
+                      std::move(base), infected_targets, sp);
+  }
+
+  static std::size_t cache_shared_bytes(const CacheShared&) { return 0; }
+
+  static std::size_t cache_sample_bytes(const CacheSample& sp) {
+    return sp.live_off.capacity() * sizeof(std::uint32_t) +
+           sp.live_tgt.capacity() * sizeof(NodeId) +
+           sp.dist_r.capacity() * sizeof(std::uint32_t);
+  }
+
+  static std::uint64_t replay(const DiGraph&, const CacheShared&,
+                              const CacheSample& sp,
+                              std::span<const NodeId> /*rumors*/,
+                              std::span<const NodeId> protectors,
+                              EpochColorScratch& color, ReplayScratch& rs,
+                              const RealizationParams& p) {
+    return replay_live(sp, protectors, color, rs, p.max_hops);
+  }
+
+  static bool replay_infected(const CacheSample& sp,
+                              const EpochColorScratch& color,
+                              const ReplayScratch& rs, NodeId v,
+                              bool base_infected) {
+    return live_replay_infected(sp, color, rs, v, base_infected);
+  }
+
+  // --- reverse reachability (RIS) ------------------------------------------
+  static ReverseShared build_reverse_shared(const DiGraph&,
+                                            std::span<const NodeId>,
+                                            const RealizationParams&) {
+    return {};
+  }
+
+  static void reverse_set(const DiGraph& g, const std::vector<bool>& is_rumor,
+                          std::span<const NodeId> /*rumors*/,
+                          const ReverseShared&, NodeId root,
+                          std::uint64_t seed, const RealizationParams& p,
+                          ReverseScratch& sc, std::vector<NodeId>& out,
+                          std::uint64_t& visits) {
+    live_reverse_set(g, Coin{seed, p.ic_edge_prob}, is_rumor, root,
+                     p.max_hops, sc, out, visits);
+  }
+};
+
+}  // namespace lcrb

@@ -1,0 +1,162 @@
+// The generic cascade kernel behind every diffusion model.
+//
+// Model semantics live in per-model traits files (opoao_traits.h,
+// doam_traits.h, ic_traits.h, lt_traits.h, wc_traits.h; see model_traits.h
+// for the contract). This header holds the machinery every traits file
+// instantiates:
+//
+//  * run_cascade<Traits> — the one forward simulation loop. A traits file
+//    contributes a Forward runner (seed handling + one synchronized step);
+//    the kernel owns the shared two-cascade state machine: step-0 seeding,
+//    the per-step newly_* series, the `steps` watermark, the max_steps cap,
+//    and the cross-model DiffusionResult invariant. Everything is resolved
+//    at compile time — no virtual dispatch anywhere on the hot path.
+//  * RealizationParams — the model-agnostic knobs (hop cap, IC edge
+//    probability) that shape one coupled realization. The sigma layer hands
+//    these to the traits' cache builders and reverse samplers so the
+//    diffusion layer never depends on lcrb/ config types.
+//  * EpochColorScratch / ReverseScratch — epoch-stamped working memory for
+//    the realization-cache replays and the reverse-reachability samplers.
+//    "Clearing" between uses is a counter bump, not an O(n) write; leasing
+//    is owned by the calling layer (sigma_engine.cpp, ris.cpp).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/cascade.h"
+#include "util/check.h"
+
+namespace lcrb {
+
+/// Activation counts of one synchronized step, returned by Forward::step.
+struct StepDelta {
+  std::uint32_t newly_protected = 0;
+  std::uint32_t newly_infected = 0;
+  bool any() const { return newly_protected > 0 || newly_infected > 0; }
+};
+
+/// Trace type for models that record nothing (every model except OPOAO).
+struct NoTrace {};
+
+/// Model-agnostic realization knobs: how deep one coupled sample runs and
+/// the IC family's arc probability. The lcrb layer's MonteCarloConfig /
+/// SigmaConfig / RisConfig all funnel into this when they cross into
+/// diffusion code.
+struct RealizationParams {
+  std::uint32_t max_hops = 31;
+  double ic_edge_prob = 0.1;  ///< homogeneous-IC only; WC derives its own
+};
+
+/// One forward simulation of `Traits`' model. Deterministic in
+/// (g, seeds, seed); `trace` (model-specific, usually NoTrace) records the
+/// model's event log when non-null. This is the single cascade loop —
+/// simulate_opoao/simulate_doam/simulate_competitive_ic/... are one-line
+/// instantiations of it.
+template <class Traits>
+DiffusionResult run_cascade(const DiGraph& g, const SeedSets& seeds,
+                            std::uint64_t seed,
+                            const typename Traits::Config& cfg,
+                            typename Traits::Trace* trace = nullptr) {
+  validate_seeds(g, seeds);
+
+  DiffusionResult r;
+  r.state.assign(g.num_nodes(), NodeState::kInactive);
+  r.activation_step.assign(g.num_nodes(), kUnreached);
+
+  typename Traits::Forward fwd(g, seed, cfg, trace);
+
+  r.newly_protected.push_back(
+      static_cast<std::uint32_t>(seeds.protectors.size()));
+  r.newly_infected.push_back(static_cast<std::uint32_t>(seeds.rumors.size()));
+  // Step 0: protector seeds before rumor seeds — the shared P-priority rule.
+  fwd.seed(seeds, r);
+
+  for (std::uint32_t step = 1; step <= cfg.max_steps && fwd.active(); ++step) {
+    const StepDelta d = fwd.step(step, r);
+    r.newly_protected.push_back(d.newly_protected);
+    r.newly_infected.push_back(d.newly_infected);
+    if (d.any()) r.steps = step;
+  }
+  LCRB_INVARIANT(r.validate(g, seeds));
+  return r;
+}
+
+/// Cascade colors inside replay scratch (distinct from NodeState so stamped
+/// arrays stay byte-sized).
+inline constexpr std::uint8_t kColorP = 0;
+inline constexpr std::uint8_t kColorR = 1;
+
+/// Epoch-stamped per-node color state for realization-cache replays. An
+/// entry is valid only when its stamp equals the current epoch; bump()
+/// invalidates everything at once. Model-specific replay scratch
+/// (Traits::ReplayScratch) shares this epoch and clears its own stamped
+/// arrays via on_epoch_wrap() when the counter wraps.
+struct EpochColorScratch {
+  std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> color_epoch;
+  std::vector<std::uint8_t> color;
+
+  explicit EpochColorScratch(std::size_t n) : color_epoch(n, 0), color(n, 0) {}
+
+  bool colored(NodeId v) const { return color_epoch[v] == epoch; }
+  void set(NodeId v, std::uint8_t c) {
+    color_epoch[v] = epoch;
+    color[v] = c;
+  }
+
+  /// Starts a fresh replay. Returns true when the epoch counter wrapped
+  /// (once per ~4e9 replays) and stamped arrays were really cleared — the
+  /// caller must then clear its model scratch's stamps too.
+  bool bump() {
+    if (++epoch == 0) {
+      std::fill(color_epoch.begin(), color_epoch.end(), 0u);
+      epoch = 1;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// Precomputed rumor-side state shared by every reverse draw of one sampler
+/// (built once per RrSampler). Only DOAM populates it — its realization is
+/// deterministic, so the rumor arrival times can be computed up front; the
+/// stochastic models re-derive arrivals per realization seed.
+struct ReverseShared {
+  std::vector<std::uint32_t> rumor_dist;
+};
+
+/// Per-draw working memory for the reverse-reachability samplers, reused
+/// across RR sets via epoch stamping so a fresh draw costs O(touched), not
+/// O(n). Leased under a mutex by RrSampler; concurrent draws each hold one.
+struct ReverseScratch {
+  ReverseScratch(NodeId n, std::uint32_t hops)
+      : t0_epoch(n, 0),
+        t0(n, 0),
+        lat_epoch(n, 0),
+        lat(n, 0),
+        done_epoch(n, 0),
+        buckets(static_cast<std::size_t>(hops) + 1) {}
+
+  void bump_epoch() {
+    if (++epoch == 0) {  // wrapped: stamps from the previous era could alias
+      std::fill(t0_epoch.begin(), t0_epoch.end(), 0u);
+      std::fill(lat_epoch.begin(), lat_epoch.end(), 0u);
+      std::fill(done_epoch.begin(), done_epoch.end(), 0u);
+      epoch = 1;
+    }
+  }
+
+  std::uint32_t epoch = 0;
+  /// OPOAO: rumor-only baseline activation step. IC/DOAM: reverse distance.
+  std::vector<std::uint32_t> t0_epoch, t0;
+  /// OPOAO reverse search: latest admissible claim step.
+  std::vector<std::uint32_t> lat_epoch, lat;
+  std::vector<std::uint32_t> done_epoch;
+  std::vector<NodeId> frontier, next, active, collected;
+  /// OPOAO bucket queue over claim steps; always drained back to empty.
+  std::vector<std::vector<NodeId>> buckets;
+};
+
+}  // namespace lcrb

@@ -18,8 +18,17 @@ struct LtConfig {
 
 /// The stateless threshold draw theta_v ~ U(0,1) for (sample seed, node).
 /// Exposed so the realization cache in `lcrb/sigma_engine.h` can materialize
-/// each sample's threshold vector once.
-double lt_node_threshold(std::uint64_t seed, NodeId v);
+/// each sample's threshold vector once. Defined inline so the traits-layer
+/// instantiations in other translation units can inline it.
+inline double lt_node_threshold(std::uint64_t seed, NodeId v) {
+  std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (v + 0x1234567));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
 
 /// Simulates one competitive-LT sample. Deterministic in (g, seeds, seed).
 DiffusionResult simulate_competitive_lt(const DiGraph& g, const SeedSets& seeds,

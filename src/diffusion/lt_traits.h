@@ -1,0 +1,224 @@
+// Competitive-LT model traits (extension model, after He et al.'s CLT [16]):
+// threshold theta_v ~ U(0,1) hashed from (seed, v), in-arc weight 1/d_in(v),
+// color by the larger contributing weight with P on ties. The realization
+// cache serves the threshold draw and the arc weights; the replay mirrors
+// the Forward runner's iteration order exactly so every floating-point
+// weight sum is bit-identical.
+//
+// No reverse sampler: competitive LT is not per-sample monotone (adding a
+// protector can flip a tie-break chain and infect a previously-saved node),
+// so RR-set coverage has no save semantics — kSupportsReverse is false and
+// RIS rejects the model at construction.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "diffusion/kernel.h"
+#include "diffusion/lt.h"
+
+namespace lcrb {
+
+struct LtTraits {
+  static constexpr DiffusionModel kModel = DiffusionModel::kLt;
+  static constexpr const char* kName = "LT";
+  static constexpr bool kDeterministic = false;
+  static constexpr bool kSupportsCache = true;
+  static constexpr bool kSupportsReverse = false;
+
+  using Config = LtConfig;
+  using Trace = NoTrace;
+
+  static Config config_from(const RealizationParams& p) {
+    Config c;
+    c.max_steps = p.max_hops;
+    return c;
+  }
+
+  class Forward {
+   public:
+    Forward(const DiGraph& g, std::uint64_t seed, const Config& /*cfg*/,
+            Trace* /*trace*/)
+        : g_(g),
+          seed_(seed),
+          w_protected_(g.num_nodes(), 0.0),
+          w_infected_(g.num_nodes(), 0.0) {}
+
+    void seed(const SeedSets& seeds, DiffusionResult& r) {
+      for (NodeId v : seeds.protectors) activate(v, NodeState::kProtected, 0, r);
+      for (NodeId v : seeds.rumors) activate(v, NodeState::kInfected, 0, r);
+    }
+
+    bool active() const { return !frontier_.empty(); }
+
+    StepDelta step(std::uint32_t step, DiffusionResult& r) {
+      // Push the new activations' weight to their out-neighbors.
+      candidates_.clear();
+      for (NodeId u : frontier_) {
+        const bool prot = r.state[u] == NodeState::kProtected;
+        for (NodeId v : g_.out_neighbors(u)) {
+          if (r.state[v] != NodeState::kInactive) continue;
+          const double w = 1.0 / static_cast<double>(g_.in_degree(v));
+          (prot ? w_protected_[v] : w_infected_[v]) += w;
+          candidates_.push_back(v);
+        }
+      }
+
+      next_frontier_.clear();
+      std::uint32_t newly_p = 0, newly_r = 0;
+      for (NodeId v : candidates_) {
+        if (r.state[v] != NodeState::kInactive) continue;  // dedup within step
+        if (w_protected_[v] + w_infected_[v] >= lt_node_threshold(seed_, v)) {
+          // Color by the larger contribution; P wins ties.
+          const NodeState s = (w_protected_[v] >= w_infected_[v])
+                                  ? NodeState::kProtected
+                                  : NodeState::kInfected;
+          r.state[v] = s;
+          r.activation_step[v] = step;
+          next_frontier_.push_back(v);
+          (s == NodeState::kProtected ? newly_p : newly_r)++;
+        }
+      }
+      frontier_.swap(next_frontier_);
+      return {newly_p, newly_r};
+    }
+
+   private:
+    void activate(NodeId v, NodeState s, std::uint32_t step,
+                  DiffusionResult& r) {
+      r.state[v] = s;
+      r.activation_step[v] = step;
+      frontier_.push_back(v);
+    }
+
+    const DiGraph& g_;
+    std::uint64_t seed_;
+    /// Accumulated in-neighbor weight per color.
+    std::vector<double> w_protected_, w_infected_;
+    std::vector<NodeId> frontier_;  ///< newly activated nodes (both colors)
+    std::vector<NodeId> candidates_, next_frontier_;
+  };
+
+  // --- realization cache (threshold draw + shared arc weights) -------------
+
+  /// Shared across samples: the arc weight 1/d_in(v) per node.
+  struct CacheShared {
+    std::vector<double> inv_in_deg;
+  };
+
+  /// One sample's threshold draw.
+  struct CacheSample {
+    std::vector<double> thr;
+  };
+
+  /// Replay working memory: epoch-stamped per-color weight accumulators
+  /// (lazily zeroed on first touch per replay) plus the frontier buffers.
+  struct ReplayScratch {
+    explicit ReplayScratch(NodeId n) : w_epoch(n, 0), wp(n, 0.0), wi(n, 0.0) {}
+    void on_epoch_wrap() {
+      std::fill(w_epoch.begin(), w_epoch.end(), 0u);
+    }
+    std::vector<std::uint32_t> w_epoch;
+    std::vector<double> wp, wi;
+    std::vector<NodeId> frontier, next_frontier, candidates;
+  };
+
+  static std::size_t estimated_cache_bytes(const DiGraph& g,
+                                           std::size_t samples,
+                                           std::uint32_t /*hops*/) {
+    const std::size_t n = g.num_nodes();
+    return samples * n * sizeof(double) + n * sizeof(double);
+  }
+
+  static CacheShared build_cache_shared(const DiGraph& g) {
+    CacheShared shared;
+    shared.inv_in_deg.assign(g.num_nodes(), 0.0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.in_degree(v) > 0) {
+        shared.inv_in_deg[v] = 1.0 / static_cast<double>(g.in_degree(v));
+      }
+    }
+    return shared;
+  }
+
+  static void build_cache_sample(const DiGraph& g, const CacheShared&,
+                                 std::uint64_t seed, DiffusionResult&& /*base*/,
+                                 std::span<const NodeId> /*infected_targets*/,
+                                 const RealizationParams& /*p*/,
+                                 CacheSample& sp) {
+    sp.thr.resize(g.num_nodes());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      sp.thr[v] = lt_node_threshold(seed, v);
+    }
+  }
+
+  static std::size_t cache_shared_bytes(const CacheShared& shared) {
+    return shared.inv_in_deg.capacity() * sizeof(double);
+  }
+
+  static std::size_t cache_sample_bytes(const CacheSample& sp) {
+    return sp.thr.capacity() * sizeof(double);
+  }
+
+  /// Identical control flow to the Forward runner, with the threshold draw
+  /// and the arc weights served from the cache; protectors are already
+  /// stamped kColorP by the caller. Returns the elementary-op count.
+  static std::uint64_t replay(const DiGraph& g, const CacheShared& shared,
+                              const CacheSample& sp,
+                              std::span<const NodeId> rumors,
+                              std::span<const NodeId> protectors,
+                              EpochColorScratch& color, ReplayScratch& rs,
+                              const RealizationParams& p) {
+    const std::uint32_t e = color.epoch;
+    rs.frontier.clear();
+    for (NodeId v : protectors) rs.frontier.push_back(v);
+    for (NodeId v : rumors) {
+      color.color_epoch[v] = e;
+      color.color[v] = kColorR;
+      rs.frontier.push_back(v);
+    }
+
+    auto colored = [&](NodeId v) { return color.color_epoch[v] == e; };
+
+    std::uint64_t ops = 0;
+    for (std::uint32_t t = 1; t <= p.max_hops && !rs.frontier.empty(); ++t) {
+      rs.candidates.clear();
+      for (NodeId u : rs.frontier) {
+        const bool prot = color.color[u] == kColorP;
+        ops += g.out_degree(u);
+        for (NodeId v : g.out_neighbors(u)) {
+          if (colored(v)) continue;
+          if (rs.w_epoch[v] != e) {
+            rs.w_epoch[v] = e;
+            rs.wp[v] = 0.0;
+            rs.wi[v] = 0.0;
+          }
+          (prot ? rs.wp[v] : rs.wi[v]) += shared.inv_in_deg[v];
+          rs.candidates.push_back(v);
+        }
+      }
+      rs.next_frontier.clear();
+      for (NodeId v : rs.candidates) {
+        if (colored(v)) continue;  // dedup within step
+        if (rs.wp[v] + rs.wi[v] >= sp.thr[v]) {
+          color.color_epoch[v] = e;
+          color.color[v] = (rs.wp[v] >= rs.wi[v]) ? kColorP : kColorR;
+          rs.next_frontier.push_back(v);
+        }
+      }
+      rs.frontier.swap(rs.next_frontier);
+    }
+    return ops;
+  }
+
+  static bool replay_infected(const CacheSample& /*sp*/,
+                              const EpochColorScratch& color,
+                              const ReplayScratch& /*rs*/, NodeId v,
+                              bool /*base_infected*/) {
+    return color.colored(v) && color.color[v] == kColorR;
+  }
+};
+
+}  // namespace lcrb

@@ -1,0 +1,51 @@
+// The model-traits layer: one compile-time contract that every diffusion
+// model implements, and the runtime-enum -> compile-time-traits dispatcher.
+//
+// A traits struct (OpoaoTraits, DoamTraits, IcTraits, LtTraits, WcTraits)
+// is the single place its model's semantics live. The contract:
+//
+//   flags     kModel, kName, kDeterministic (one sample suffices),
+//             kSupportsCache (realization cache), kSupportsReverse (RIS)
+//   forward   Config, Trace, config_from(RealizationParams),
+//             Forward(g, seed, cfg, trace) with seed()/active()/step() —
+//             consumed by run_cascade<Traits> (kernel.h)
+//   cache     [kSupportsCache] CacheShared/CacheSample/ReplayScratch,
+//             build_cache_shared/build_cache_sample, replay,
+//             replay_infected, *_bytes — consumed by SigmaEngine
+//   reverse   [kSupportsReverse] build_reverse_shared, reverse_set —
+//             consumed by RrSampler
+//
+// Capability flags are checked with `if constexpr`, so a model without a
+// capability simply omits those members. Everything downstream — simulate(),
+// Monte-Carlo, the sigma engines, RIS, the query service, the CLI — is
+// generic over this contract: adding a model is one traits file plus a
+// DiffusionModel enum entry (wc_traits.h is the worked example; the recipe
+// is in docs/architecture.md).
+#pragma once
+
+#include "diffusion/doam_traits.h"
+#include "diffusion/ic_traits.h"
+#include "diffusion/kernel.h"
+#include "diffusion/lt_traits.h"
+#include "diffusion/opoao_traits.h"
+#include "diffusion/wc_traits.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+/// Maps a runtime DiffusionModel onto its compile-time traits: calls
+/// f(Traits{}) for the matching traits type and returns its result. The
+/// traits value is an empty tag — use `using T = decltype(t)` inside f.
+template <class F>
+decltype(auto) dispatch_model(DiffusionModel m, F&& f) {
+  switch (m) {
+    case DiffusionModel::kOpoao: return f(OpoaoTraits{});
+    case DiffusionModel::kDoam: return f(DoamTraits{});
+    case DiffusionModel::kIc: return f(IcTraits{});
+    case DiffusionModel::kLt: return f(LtTraits{});
+    case DiffusionModel::kWc: return f(WcTraits{});
+  }
+  throw Error("unknown diffusion model");
+}
+
+}  // namespace lcrb

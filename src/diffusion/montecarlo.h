@@ -13,10 +13,6 @@
 
 namespace lcrb {
 
-enum class DiffusionModel : std::uint8_t { kOpoao, kDoam, kIc, kLt };
-
-std::string to_string(DiffusionModel m);
-
 struct MonteCarloConfig {
   std::size_t runs = 200;       ///< samples (DOAM is deterministic: 1 enough)
   std::uint64_t seed = 1;       ///< master seed; run i uses an forked stream

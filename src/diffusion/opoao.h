@@ -34,8 +34,21 @@ struct OpoaoConfig {
 /// out_degree(v)). A pure function of (sample seed, node, step) — this IS
 /// the paper's random graph G_R/G_P. Exposed so the realization cache in
 /// `lcrb/sigma_engine.h` can materialize each sample's pick tables once.
-std::uint64_t opoao_pick_hash(std::uint64_t seed, NodeId v,
-                              std::uint32_t step);
+/// Defined inline: it sits on the innermost loop of every forward run,
+/// cache build, and RR draw, which the traits layer instantiates across
+/// several translation units.
+inline std::uint64_t opoao_pick_hash(std::uint64_t seed, NodeId v,
+                                     std::uint32_t step) {
+  std::uint64_t x = seed;
+  x ^= (static_cast<std::uint64_t>(v) + 1) * 0x9e3779b97f4a7c15ULL;
+  x ^= (static_cast<std::uint64_t>(step) + 1) * 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
 
 /// One activation attempt: active node `from` picked out-neighbor `to` at
 /// `step`; `activated` records whether the pick claimed the target. This is

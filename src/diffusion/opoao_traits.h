@@ -1,0 +1,497 @@
+// OPOAO model traits: the single semantic source of truth for the paper's
+// Opportunistic One-Activate-One model (§III-A). Everything OPOAO-specific —
+// the forward pick loop, the realization-cache pick tables + divergence-step
+// replay, and the reverse temporal RR search — lives here; kernel.h,
+// sigma_engine.cpp and ris.cpp instantiate it generically. See
+// model_traits.h for the traits contract.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "diffusion/kernel.h"
+#include "diffusion/opoao.h"
+#include "util/check.h"
+
+namespace lcrb {
+
+struct OpoaoTraits {
+  static constexpr DiffusionModel kModel = DiffusionModel::kOpoao;
+  static constexpr const char* kName = "OPOAO";
+  static constexpr bool kDeterministic = false;
+  static constexpr bool kSupportsCache = true;
+  static constexpr bool kSupportsReverse = true;
+
+  using Config = OpoaoConfig;
+  using Trace = OpoaoTrace;
+
+  static Config config_from(const RealizationParams& p) {
+    Config c;
+    c.max_steps = p.max_hops;
+    return c;
+  }
+
+  // -------------------------------------------------------------------------
+  // Forward runner (run_cascade<OpoaoTraits>).
+  //
+  // Every step, EVERY active node picks one uniformly-random out-neighbor
+  // from the stateless (seed, node, step) pick stream; an inactive target
+  // activates at t+1 with the picker's color, protector picks first. The
+  // runner keeps per-node counts of still-inactive out-neighbors so the
+  // simulation stops exactly when nothing can ever activate again.
+  // -------------------------------------------------------------------------
+  class Forward {
+   public:
+    Forward(const DiGraph& g, std::uint64_t seed, const Config& /*cfg*/,
+            Trace* trace)
+        : g_(g), seed_(seed), trace_(trace), potential_(g.num_nodes(), 0) {}
+
+    void seed(const SeedSets& seeds, DiffusionResult& r) {
+      for (NodeId v : seeds.protectors) activate(v, NodeState::kProtected, 0, r);
+      for (NodeId v : seeds.rumors) activate(v, NodeState::kInfected, 0, r);
+    }
+
+    bool active() const { return active_with_potential_ > 0; }
+
+    StepDelta step(std::uint32_t step, DiffusionResult& r) {
+      new_protected_.clear();
+      new_infected_.clear();
+
+      // All picks are based on the state at the *start* of the step;
+      // applying protector picks first gives P priority on simultaneous
+      // arrival.
+      for (NodeId u : protectors_) {
+        const auto nbrs = g_.out_neighbors(u);
+        if (nbrs.empty()) continue;
+        const NodeId target =
+            nbrs[opoao_pick_hash(seed_, u, step) % nbrs.size()];
+        const bool claimed = r.state[target] == NodeState::kInactive;
+        if (claimed) {
+          r.state[target] = NodeState::kProtected;  // claim immediately
+          new_protected_.push_back(target);
+        }
+        if (trace_ != nullptr) {
+          trace_->picks.push_back(
+              {step, u, target, NodeState::kProtected, claimed});
+        }
+      }
+      for (NodeId u : rumors_) {
+        const auto nbrs = g_.out_neighbors(u);
+        if (nbrs.empty()) continue;
+        const NodeId target =
+            nbrs[opoao_pick_hash(seed_, u, step) % nbrs.size()];
+        const bool claimed = r.state[target] == NodeState::kInactive;
+        if (claimed) {
+          r.state[target] = NodeState::kInfected;
+          new_infected_.push_back(target);
+        }
+        if (trace_ != nullptr) {
+          trace_->picks.push_back(
+              {step, u, target, NodeState::kInfected, claimed});
+        }
+      }
+
+      // Finalize activations (bookkeeping wants state transitions via
+      // activate(), so temporarily reset and re-apply).
+      for (NodeId v : new_protected_) r.state[v] = NodeState::kInactive;
+      for (NodeId v : new_infected_) r.state[v] = NodeState::kInactive;
+      for (NodeId v : new_protected_) activate(v, NodeState::kProtected, step, r);
+      for (NodeId v : new_infected_) activate(v, NodeState::kInfected, step, r);
+
+      return {static_cast<std::uint32_t>(new_protected_.size()),
+              static_cast<std::uint32_t>(new_infected_.size())};
+    }
+
+   private:
+    void activate(NodeId v, NodeState s, std::uint32_t step,
+                  DiffusionResult& r) {
+      r.state[v] = s;
+      r.activation_step[v] = step;
+      // Newly active node: count its inactive out-neighbors.
+      std::uint32_t cnt = 0;
+      for (NodeId w : g_.out_neighbors(v)) {
+        if (r.state[w] == NodeState::kInactive) ++cnt;
+      }
+      potential_[v] = cnt;
+      if (cnt > 0) ++active_with_potential_;
+      // Tell active in-neighbors they lost an inactive target.
+      for (NodeId w : g_.in_neighbors(v)) {
+        if (r.state[w] != NodeState::kInactive && potential_[w] > 0) {
+          if (--potential_[w] == 0) --active_with_potential_;
+        }
+      }
+      auto& pool = (s == NodeState::kProtected) ? protectors_ : rumors_;
+      pool.push_back(v);
+    }
+
+    const DiGraph& g_;
+    std::uint64_t seed_;
+    Trace* trace_;
+    std::vector<NodeId> protectors_, rumors_;
+    /// `potential_[v]`: number of still-inactive out-neighbors of active
+    /// node v. The simulation can stop exactly when the sum over active
+    /// nodes is zero.
+    std::vector<std::uint32_t> potential_;
+    std::size_t active_with_potential_ = 0;
+    std::vector<NodeId> new_protected_, new_infected_;
+  };
+
+  // -------------------------------------------------------------------------
+  // Realization cache (SigmaEngine).
+  //
+  // Per sample: a flat pick table (each (seed, v, step) hashed exactly once)
+  // plus the rumor-only baseline activation schedule. A replay simulates
+  // only the protector cascade and feeds the rumor side from the cached
+  // schedule until the first protector claim that invalidates it (the
+  // "divergence step"), after which the rumor side is simulated from the
+  // tables too. Sound because picks are color- and state-independent.
+  // -------------------------------------------------------------------------
+
+  /// Shared across samples: the pick-table row per node (rows exist only
+  /// for out-degree>0 nodes; kUnreached otherwise).
+  struct CacheShared {
+    std::vector<std::uint32_t> pick_row;
+    std::size_t num_rows = 0;
+  };
+
+  /// One sample's materialized randomness + baseline schedule.
+  struct CacheSample {
+    /// Flat pick table, step-major: entry [(t-1) * num_rows + r] with
+    /// r = pick_row[v] is the node v would target at step t. Step-major
+    /// keeps each step's replay inside one contiguous slab of the table
+    /// (node-major strides the whole table every step and thrashes cache).
+    std::vector<NodeId> picks;
+    /// Rumor-only activation step per node (kUnreached if never infected).
+    std::vector<std::uint32_t> base_step;
+    /// Baseline-infected nodes ordered by (step, id) — the replay schedule.
+    std::vector<NodeId> sched;
+    /// sched slice for step s is [step_off[s], step_off[s+1]).
+    std::vector<std::uint32_t> step_off;
+  };
+
+  /// Replay working memory: pick-table ROW indices of colored nodes with
+  /// out-edges, in activation order. Presized to num_nodes — a node enters
+  /// a pool at most once, so the replay can append through raw pointers
+  /// with no growth checks.
+  struct ReplayScratch {
+    explicit ReplayScratch(NodeId num_nodes)
+        : p_pool(num_nodes), r_pool(num_nodes) {}
+    void on_epoch_wrap() {}  // no stamped arrays of its own
+    std::vector<std::uint32_t> p_pool, r_pool;
+  };
+
+  static std::size_t estimated_cache_bytes(const DiGraph& g,
+                                           std::size_t samples,
+                                           std::uint32_t hops) {
+    std::size_t rows = 0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.out_degree(v) > 0) ++rows;
+    }
+    return samples * (rows * hops * sizeof(NodeId) +
+                      g.num_nodes() * (2 * sizeof(std::uint32_t)));
+  }
+
+  static CacheShared build_cache_shared(const DiGraph& g) {
+    CacheShared shared;
+    shared.pick_row.assign(g.num_nodes(), kUnreached);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.out_degree(v) > 0) {
+        shared.pick_row[v] = static_cast<std::uint32_t>(shared.num_rows++);
+      }
+    }
+    return shared;
+  }
+
+  static void build_cache_sample(const DiGraph& g, const CacheShared& shared,
+                                 std::uint64_t seed, DiffusionResult&& base,
+                                 std::span<const NodeId> /*infected_targets*/,
+                                 const RealizationParams& p, CacheSample& sp) {
+    const std::uint32_t hops = p.max_hops;
+    // Pick tables: hash each (seed, v, step) exactly once.
+    sp.picks.resize(shared.num_rows * hops);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const std::uint32_t row = shared.pick_row[v];
+      if (row == kUnreached) continue;
+      const auto nbrs = g.out_neighbors(v);
+      for (std::uint32_t t = 1; t <= hops; ++t) {
+        sp.picks[static_cast<std::size_t>(t - 1) * shared.num_rows + row] =
+            nbrs[opoao_pick_hash(seed, v, t) % nbrs.size()];
+      }
+    }
+    // Baseline schedule: infected nodes bucketed by activation step
+    // (counting sort keeps it deterministic: ascending id within a step).
+    sp.step_off.assign(static_cast<std::size_t>(hops) + 2, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      const std::uint32_t t = base.activation_step[v];
+      if (t != kUnreached) ++sp.step_off[t + 1];
+    }
+    for (std::size_t s = 1; s < sp.step_off.size(); ++s) {
+      sp.step_off[s] += sp.step_off[s - 1];
+    }
+    sp.sched.resize(sp.step_off.back());
+    {
+      std::vector<std::uint32_t> cursor(sp.step_off.begin(),
+                                        sp.step_off.end() - 1);
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        const std::uint32_t t = base.activation_step[v];
+        if (t != kUnreached) sp.sched[cursor[t]++] = v;
+      }
+    }
+    sp.base_step = std::move(base.activation_step);
+  }
+
+  static std::size_t cache_shared_bytes(const CacheShared& shared) {
+    return shared.pick_row.capacity() * sizeof(std::uint32_t);
+  }
+
+  static std::size_t cache_sample_bytes(const CacheSample& sp) {
+    return sp.picks.capacity() * sizeof(NodeId) +
+           sp.base_step.capacity() * sizeof(std::uint32_t) +
+           sp.sched.capacity() * sizeof(NodeId) +
+           sp.step_off.capacity() * sizeof(std::uint32_t);
+  }
+
+  /// Replays one sample with cascade P seeded at `protectors` (already
+  /// stamped kColorP in `color` by the caller). Returns the elementary-op
+  /// count.
+  ///
+  /// Phase 1: the rumor side is fed from the cached baseline schedule —
+  /// exact as long as no protector claim cuts a node the baseline rumor
+  /// cascade claims later. When cascade P claims node v with finite baseline
+  /// rumor time T0(v), the schedule is provably valid for every step before
+  /// T0(v) (picks are color-independent, so rumor picks cannot change before
+  /// the first voided baseline activation); the earliest such T0 is the
+  /// divergence step D. From step D on, the rumor side is simulated from the
+  /// pick tables like the protector side (phase 2).
+  ///
+  /// The replay deliberately does NOT mirror the Forward runner's potential
+  /// bookkeeping (per-node counts of uncolored out-neighbors): that
+  /// machinery only drives the simulator's early exit and costs in+out
+  /// neighbor scans for every activation. Claims never depend on it, so the
+  /// replay tracks a single uncolored-node counter instead — reaching zero
+  /// is an exact stop — and each pooled node costs one table lookup per
+  /// step, touching no adjacency.
+  static std::uint64_t replay(const DiGraph& g, const CacheShared& shared,
+                              const CacheSample& sp,
+                              std::span<const NodeId> /*rumors*/,
+                              std::span<const NodeId> protectors,
+                              EpochColorScratch& color, ReplayScratch& rs,
+                              const RealizationParams& p) {
+    const std::uint32_t hops = p.max_hops;
+    const std::uint32_t e = color.epoch;
+    const std::size_t num_rows = shared.num_rows;
+    std::uint32_t uncolored = static_cast<std::uint32_t>(g.num_nodes());
+
+    // Hoisted raw pointers: every write below goes through color_c (a
+    // uint8_t*, which the compiler must assume aliases anything) or a pool
+    // append; keeping the arrays and pool lengths in locals stops those
+    // writes from forcing per-iteration reloads of the vector internals —
+    // worth ~20% on the sigma replay.
+    std::uint32_t* const color_e = color.color_epoch.data();
+    std::uint8_t* const color_c = color.color.data();
+    const std::uint32_t* const pick_row = shared.pick_row.data();
+    const NodeId* const sched = sp.sched.data();
+    const std::uint32_t* const step_off = sp.step_off.data();
+    const std::uint32_t* const base_step = sp.base_step.data();
+    const NodeId* const picks = sp.picks.data();
+    std::uint32_t* const p_pool = rs.p_pool.data();
+    std::uint32_t* const r_pool = rs.r_pool.data();
+    std::size_t p_len = 0, r_len = 0;
+
+    auto colored = [&](NodeId v) { return color_e[v] == e; };
+    // Pools hold pick-table ROW indices, not node ids: the replay loop then
+    // reads only pool[], the step's pick slab, and color stamps.
+    auto color_r = [&](NodeId v) {
+      color_e[v] = e;
+      color_c[v] = kColorR;
+      --uncolored;
+      if (pick_row[v] != kUnreached) {
+        r_pool[r_len++] = pick_row[v];
+      }
+    };
+
+    // Step 0: protector seeds (stamped by the caller), then the baseline's
+    // rumor seeds.
+    for (NodeId v : protectors) {
+      --uncolored;
+      if (pick_row[v] != kUnreached) {
+        p_pool[p_len++] = pick_row[v];
+      }
+    }
+    for (std::uint32_t k = step_off[0]; k < step_off[1]; ++k) {
+      color_r(sched[k]);
+    }
+
+    std::uint32_t divergence = kUnreached;
+    std::size_t sched_pos = step_off[1];
+    const std::size_t sched_end = sp.sched.size();
+    std::uint64_t ops = 0;
+
+    for (std::uint32_t t = 1; t <= hops && uncolored > 0; ++t) {
+      if (p_len == 0 && divergence == kUnreached) {
+        // P can never claim again and never disturbed a baseline-rumor node,
+        // so every baseline node still activates exactly on schedule: the
+        // rest of the cascade IS the baseline. Bulk-apply and stop.
+        ops += sched_end - sched_pos;
+        for (std::size_t k = sched_pos; k < sched_end; ++k) {
+          const NodeId v = sched[k];
+          if (!colored(v)) {
+            color_e[v] = e;
+            color_c[v] = kColorR;
+          }
+        }
+        break;
+      }
+      const NodeId* step_picks =
+          picks + static_cast<std::size_t>(t - 1) * num_rows;
+
+      // Protector picks (first within the step: P wins simultaneous
+      // arrival). Snapshot the pool size — nodes claimed at step t pick from
+      // t+1 on.
+      const std::size_t psz = p_len;
+      ops += psz;
+      for (std::size_t idx = 0; idx < psz; ++idx) {
+        const NodeId tgt = step_picks[p_pool[idx]];
+        if (!colored(tgt)) {
+          color_e[tgt] = e;
+          color_c[tgt] = kColorP;  // claim immediately
+          --uncolored;
+          if (pick_row[tgt] != kUnreached) {
+            p_pool[p_len++] = pick_row[tgt];
+          }
+          const std::uint32_t t0 = base_step[tgt];
+          if (t0 < divergence) divergence = t0;
+        }
+      }
+
+      // Rumor side: replay the baseline schedule while it is valid, simulate
+      // from the pick tables once it is not.
+      if (t < divergence) {
+        const std::uint32_t off_end = step_off[t + 1];
+        ops += off_end - sched_pos;
+        for (; sched_pos < off_end; ++sched_pos) {
+          const NodeId v = sched[sched_pos];
+          if (!colored(v)) color_r(v);
+        }
+      } else {
+        const std::size_t rsz = r_len;
+        ops += rsz;
+        for (std::size_t idx = 0; idx < rsz; ++idx) {
+          const NodeId tgt = step_picks[r_pool[idx]];
+          if (!colored(tgt)) color_r(tgt);
+        }
+      }
+    }
+    return ops;
+  }
+
+  static bool replay_infected(const CacheSample& /*sp*/,
+                              const EpochColorScratch& color,
+                              const ReplayScratch& /*rs*/, NodeId v,
+                              bool /*base_infected*/) {
+    return color.colored(v) && color.color[v] == kColorR;
+  }
+
+  // -------------------------------------------------------------------------
+  // Reverse reachability (RIS).
+  //
+  // Reverse temporal search over the pick stream: v is collected iff a pick
+  // path v -> w1 -> ... -> root exists with strictly increasing steps t_i
+  // where every intermediate claim lands no later than that node's
+  // rumor-only baseline time (P wins the tie). Sound — every member really
+  // saves the root — but a protector can also save it by starving the rumor
+  // upstream without ever reaching it, so OPOAO RR coverage is a LOWER
+  // bound on sigma (per-sample: covered(A) implies saved(A) by Lemma 4
+  // monotonicity). docs/algorithms.md discusses the gap.
+  // -------------------------------------------------------------------------
+
+  static ReverseShared build_reverse_shared(const DiGraph& /*g*/,
+                                            std::span<const NodeId> /*rumors*/,
+                                            const RealizationParams& /*p*/) {
+    return {};
+  }
+
+  static void reverse_set(const DiGraph& g, const std::vector<bool>& is_rumor,
+                          std::span<const NodeId> rumors,
+                          const ReverseShared& /*shared*/, NodeId root,
+                          std::uint64_t seed, const RealizationParams& p,
+                          ReverseScratch& sc, std::vector<NodeId>& out,
+                          std::uint64_t& visits) {
+    const std::uint32_t hops = p.max_hops;
+
+    // Phase 1: rumor-only forward baseline T0 under this realization,
+    // straight from the stateless pick hashes (no trace, no pick tables).
+    // Matches the Forward runner with empty protectors and
+    // max_steps = max_hops.
+    sc.active.clear();
+    for (NodeId v : rumors) {
+      sc.t0_epoch[v] = sc.epoch;
+      sc.t0[v] = 0;
+      if (g.out_degree(v) > 0) sc.active.push_back(v);
+    }
+    for (std::uint32_t step = 1; step <= hops && !sc.active.empty(); ++step) {
+      const std::size_t prev = sc.active.size();
+      for (std::size_t i = 0; i < prev; ++i) {
+        const NodeId v = sc.active[i];
+        const auto nbrs = g.out_neighbors(v);
+        const NodeId w = nbrs[opoao_pick_hash(seed, v, step) % nbrs.size()];
+        ++visits;
+        if (sc.t0_epoch[w] != sc.epoch) {
+          sc.t0_epoch[w] = sc.epoch;
+          sc.t0[w] = step;
+          if (g.out_degree(w) > 0) sc.active.push_back(w);
+        }
+      }
+    }
+    if (sc.t0_epoch[root] != sc.epoch) return;  // null set
+    const std::uint32_t t0_root = sc.t0[root];
+
+    // Phase 2: reverse temporal search, maximizing the latest admissible
+    // claim step. lat(w) = latest step at which a protector claim of w still
+    // saves root through some pick path; lat(root) = T0(root) (P wins the
+    // tie). Relaxing arc (u, w): the largest t <= lat(w) with pick(u, t) = w
+    // lets u hand off at t, so u itself must be claimed by
+    // min(t - 1, T0(u)). Deadlines strictly decrease along relaxations, so
+    // one descending bucket sweep finalizes every node at its maximum
+    // deadline. Rumor seeds are never claimable by P and are skipped.
+    sc.lat_epoch[root] = sc.epoch;
+    sc.lat[root] = t0_root;
+    sc.buckets[t0_root].push_back(root);
+    for (std::uint32_t b = t0_root + 1; b-- > 0;) {
+      auto& bucket = sc.buckets[b];
+      for (std::size_t qi = 0; qi < bucket.size(); ++qi) {
+        const NodeId w = bucket[qi];
+        // Stale entry: superseded by a later push or already finalized.
+        if (sc.done_epoch[w] == sc.epoch || sc.lat[w] != b) continue;
+        sc.done_epoch[w] = sc.epoch;
+        out.push_back(w);
+        if (b == 0) continue;  // nothing can be claimed before step 0
+        for (NodeId u : g.in_neighbors(w)) {
+          ++visits;
+          if (sc.done_epoch[u] == sc.epoch || is_rumor[u]) continue;
+          const auto nbrs = g.out_neighbors(u);
+          std::uint32_t tstar = 0;
+          for (std::uint32_t t = b; t >= 1; --t) {
+            ++visits;
+            if (nbrs[opoao_pick_hash(seed, u, t) % nbrs.size()] == w) {
+              tstar = t;
+              break;
+            }
+          }
+          if (tstar == 0) continue;
+          std::uint32_t cand = tstar - 1;
+          if (sc.t0_epoch[u] == sc.epoch && sc.t0[u] < cand) cand = sc.t0[u];
+          if (sc.lat_epoch[u] != sc.epoch || sc.lat[u] < cand) {
+            sc.lat_epoch[u] = sc.epoch;
+            sc.lat[u] = cand;
+            sc.buckets[cand].push_back(u);
+          }
+        }
+      }
+      bucket.clear();
+    }
+  }
+};
+
+}  // namespace lcrb

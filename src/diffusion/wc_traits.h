@@ -1,0 +1,133 @@
+// Competitive weighted-cascade (WC) model traits: the frontier family with
+// the classic WC arc probability p(u, v) = 1/d_in(v) (Kempe et al.'s
+// weighted cascade), reusing the IC live-edge coin hash so each arc is
+// decided once per sample seed.
+//
+// This file is also the traits layer's extensibility proof: everything WC
+// needs — forward simulate, Monte-Carlo, realization cache, RIS reverse
+// sets, CLI/service support — falls out of binding the coin below plus the
+// DiffusionModel::kWc enum entry. See docs/architecture.md ("adding a
+// model") for the recipe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "diffusion/frontier_traits.h"
+#include "diffusion/ic.h"
+#include "diffusion/kernel.h"
+
+namespace lcrb {
+
+/// WC has no knobs beyond the shared hop cap: arc probabilities are derived
+/// from the graph itself.
+struct WcConfig {
+  std::uint32_t max_steps = 0xffffffff;
+};
+
+struct WcTraits {
+  static constexpr DiffusionModel kModel = DiffusionModel::kWc;
+  static constexpr const char* kName = "WC";
+  static constexpr bool kDeterministic = false;
+  static constexpr bool kSupportsCache = true;
+  static constexpr bool kSupportsReverse = true;
+
+  using Config = WcConfig;
+  using Trace = NoTrace;
+
+  static Config config_from(const RealizationParams& p) {
+    Config c;
+    c.max_steps = p.max_hops;
+    return c;
+  }
+
+  /// Arc (u, v) is live with probability 1/d_in(v); the target of an
+  /// existing arc always has d_in >= 1.
+  struct Coin {
+    std::uint64_t seed;
+    bool operator()(const DiGraph& g, NodeId u, NodeId v) const {
+      return ic_arc_live(seed, u, v,
+                         1.0 / static_cast<double>(g.in_degree(v)));
+    }
+  };
+
+  class Forward : public FrontierForward<Coin> {
+   public:
+    Forward(const DiGraph& g, std::uint64_t seed, const Config& /*cfg*/,
+            Trace* /*trace*/)
+        : FrontierForward<Coin>(g, Coin{seed}) {}
+  };
+
+  // --- realization cache (live subgraph + baseline distances) -------------
+  struct CacheShared {};
+  using CacheSample = LiveEdgeSample;
+  using ReplayScratch = LiveEdgeReplayScratch;
+
+  static std::size_t estimated_cache_bytes(const DiGraph& g,
+                                           std::size_t samples,
+                                           std::uint32_t /*hops*/) {
+    // Conservative: all arcs live (the expected count is one per node with
+    // in-edges, but the estimate is an upper bound by contract).
+    const std::size_t n = g.num_nodes();
+    return samples * (static_cast<std::size_t>(g.num_edges()) * sizeof(NodeId) +
+                      (n + 1) * sizeof(std::uint32_t) +
+                      n * sizeof(std::uint32_t));
+  }
+
+  static CacheShared build_cache_shared(const DiGraph&) { return {}; }
+
+  static void build_cache_sample(const DiGraph& g, const CacheShared&,
+                                 std::uint64_t seed, DiffusionResult&& base,
+                                 std::span<const NodeId> infected_targets,
+                                 const RealizationParams& /*p*/,
+                                 CacheSample& sp) {
+    // Expected live arcs: one per node with in-edges (sum over v of
+    // d_in(v) * 1/d_in(v)).
+    build_live_sample(g, Coin{seed}, g.num_nodes(), std::move(base),
+                      infected_targets, sp);
+  }
+
+  static std::size_t cache_shared_bytes(const CacheShared&) { return 0; }
+
+  static std::size_t cache_sample_bytes(const CacheSample& sp) {
+    return sp.live_off.capacity() * sizeof(std::uint32_t) +
+           sp.live_tgt.capacity() * sizeof(NodeId) +
+           sp.dist_r.capacity() * sizeof(std::uint32_t);
+  }
+
+  static std::uint64_t replay(const DiGraph&, const CacheShared&,
+                              const CacheSample& sp,
+                              std::span<const NodeId> /*rumors*/,
+                              std::span<const NodeId> protectors,
+                              EpochColorScratch& color, ReplayScratch& rs,
+                              const RealizationParams& p) {
+    return replay_live(sp, protectors, color, rs, p.max_hops);
+  }
+
+  static bool replay_infected(const CacheSample& sp,
+                              const EpochColorScratch& color,
+                              const ReplayScratch& rs, NodeId v,
+                              bool base_infected) {
+    return live_replay_infected(sp, color, rs, v, base_infected);
+  }
+
+  // --- reverse reachability (RIS) ------------------------------------------
+  static ReverseShared build_reverse_shared(const DiGraph&,
+                                            std::span<const NodeId>,
+                                            const RealizationParams&) {
+    return {};
+  }
+
+  static void reverse_set(const DiGraph& g, const std::vector<bool>& is_rumor,
+                          std::span<const NodeId> /*rumors*/,
+                          const ReverseShared&, NodeId root,
+                          std::uint64_t seed, const RealizationParams& p,
+                          ReverseScratch& sc, std::vector<NodeId>& out,
+                          std::uint64_t& visits) {
+    live_reverse_set(g, Coin{seed}, is_rumor, root, p.max_hops, sc, out,
+                     visits);
+  }
+};
+
+}  // namespace lcrb

@@ -4,8 +4,8 @@
 // LcrbOptions knob aggregate.
 //
 // The experiment-harness layer (pipeline, baselines, source detection,
-// CLI/CSV/table utilities) lives in lcrb/experiments.h; lcrb/lcrb.h includes
-// both.
+// CLI/CSV/table utilities) lives in lcrb/experiments.h, which includes this
+// header. (lcrb/lcrb.h is a deprecated shim for the old single-header API.)
 #pragma once
 
 #include "community/detect.h"
@@ -20,6 +20,7 @@
 #include "diffusion/doam.h"
 #include "diffusion/ic.h"
 #include "diffusion/lt.h"
+#include "diffusion/model_traits.h"
 #include "diffusion/montecarlo.h"
 #include "diffusion/opoao.h"
 #include "graph/builder.h"

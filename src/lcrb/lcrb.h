@@ -1,21 +1,19 @@
-// Umbrella header: the full public API of the LCRB library.
+// DEPRECATED umbrella header, kept as a compatibility shim.
 //
-//   #include "lcrb/lcrb.h"
-//
-// Split into two layers (each independently includable):
+// Include the layer you need instead:
 //   lcrb/core.h         graph/community/diffusion substrate + the paper's
 //                       algorithms + LcrbOptions
 //   lcrb/experiments.h  pipeline, baselines, source detection, CLI/report
 //                       utilities (includes core.h)
 //
-// Layers (bottom-up):
-//   util/       RNG, stats, thread pool, JSON, CLI, tables
-//   graph/      CSR digraph, generators (incl. Enron/Hep substitutes), I/O
-//   community/  Louvain, label propagation, modularity, NMI
-//   diffusion/  OPOAO & DOAM (paper models), competitive IC/LT, Monte Carlo
-//   lcrb/       bridge ends, RFST/BBST, set cover, LCRB-P greedy, SCBG,
-//               baselines, experiment pipeline
+// Nothing in this repository includes lcrb/lcrb.h anymore; it survives only
+// so code written against the old single-header API keeps compiling, and it
+// may be removed in a future release.
 #pragma once
 
-#include "lcrb/core.h"
-#include "lcrb/experiments.h"
+#if defined(__GNUC__) || defined(__clang__)
+#pragma message( \
+    "lcrb/lcrb.h is deprecated: include lcrb/core.h or lcrb/experiments.h")
+#endif
+
+#include "lcrb/experiments.h"  // IWYU pragma: export (includes lcrb/core.h)

@@ -53,10 +53,11 @@ SelectorKind selector_kind_from_string(const std::string& name) {
 
 DiffusionModel diffusion_model_from_string(const std::string& name) {
   for (const DiffusionModel m : {DiffusionModel::kOpoao, DiffusionModel::kDoam,
-                                 DiffusionModel::kIc, DiffusionModel::kLt}) {
+                                 DiffusionModel::kIc, DiffusionModel::kLt,
+                                 DiffusionModel::kWc}) {
     if (iequals(to_string(m), name)) return m;
   }
-  throw Error("unknown diffusion model '" + name + "' (opoao|doam|ic|lt)");
+  throw Error("unknown diffusion model '" + name + "' (opoao|doam|ic|lt|wc)");
 }
 
 SigmaMode sigma_mode_from_string(const std::string& name) {

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
-#include "diffusion/ic.h"
-#include "diffusion/opoao.h"
+#include "diffusion/model_traits.h"
 #include "util/check.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -155,38 +155,8 @@ void RrPool::validate() const {
 // ---------------------------------------------------------------------------
 // RrSampler
 
-/// Per-draw working memory, reused across RR sets via epoch stamping so a
-/// fresh draw costs O(touched), not O(n). Leased under a mutex; concurrent
-/// draws each hold their own Scratch.
-struct RrSampler::Scratch {
-  Scratch(NodeId n, std::uint32_t hops)
-      : t0_epoch(n, 0),
-        t0(n, 0),
-        lat_epoch(n, 0),
-        lat(n, 0),
-        done_epoch(n, 0),
-        buckets(static_cast<std::size_t>(hops) + 1) {}
-
-  void bump_epoch() {
-    if (++epoch == 0) {  // wrapped: stamps from the previous era could alias
-      std::fill(t0_epoch.begin(), t0_epoch.end(), 0);
-      std::fill(lat_epoch.begin(), lat_epoch.end(), 0);
-      std::fill(done_epoch.begin(), done_epoch.end(), 0);
-      epoch = 1;
-    }
-  }
-
-  std::uint32_t epoch = 0;
-  /// OPOAO: rumor-only baseline activation step. IC/DOAM: reverse distance.
-  std::vector<std::uint32_t> t0_epoch, t0;
-  /// OPOAO reverse search: latest admissible claim step.
-  std::vector<std::uint32_t> lat_epoch, lat;
-  std::vector<std::uint32_t> done_epoch;
-  std::vector<NodeId> frontier, next, active, collected;
-  /// OPOAO bucket queue over claim steps; always drained back to empty.
-  std::vector<std::vector<NodeId>> buckets;
-};
-
+/// RAII lease of a per-draw ReverseScratch (diffusion/kernel.h) from the
+/// sampler's free list; concurrent draws each hold their own buffer.
 struct RrSampler::ScratchLease {
   explicit ScratchLease(const RrSampler& owner) : owner_(owner) {
     {
@@ -197,8 +167,8 @@ struct RrSampler::ScratchLease {
       }
     }
     if (scratch == nullptr) {
-      scratch = std::make_unique<Scratch>(owner_.g_.num_nodes(),
-                                          owner_.cfg_.max_hops);
+      scratch = std::make_unique<ReverseScratch>(owner_.g_.num_nodes(),
+                                                 owner_.cfg_.max_hops);
     }
   }
   ~ScratchLease() {
@@ -206,7 +176,7 @@ struct RrSampler::ScratchLease {
     owner_.scratch_free_.push_back(std::move(scratch));
   }
   const RrSampler& owner_;
-  std::unique_ptr<Scratch> scratch;
+  std::unique_ptr<ReverseScratch> scratch;
 };
 
 RrSampler::RrSampler(const DiGraph& g, std::vector<NodeId> rumors,
@@ -215,7 +185,10 @@ RrSampler::RrSampler(const DiGraph& g, std::vector<NodeId> rumors,
       cfg_(cfg),
       rumors_(std::move(rumors)),
       bridge_ends_(std::move(bridge_ends)) {
-  LCRB_REQUIRE(cfg_.model != DiffusionModel::kLt,
+  LCRB_REQUIRE(dispatch_model(cfg_.model,
+                              [](auto t) {
+                                return decltype(t)::kSupportsReverse;
+                              }),
                "RIS does not support competitive LT: it is not per-sample "
                "monotone, so RR-set coverage has no save semantics");
   is_rumor_.assign(g_.num_nodes(), false);
@@ -226,27 +199,15 @@ RrSampler::RrSampler(const DiGraph& g, std::vector<NodeId> rumors,
   for (NodeId v : bridge_ends_) {
     LCRB_REQUIRE(v < g_.num_nodes(), "bridge end out of range");
   }
-  if (cfg_.model == DiffusionModel::kDoam) {
-    // Multi-source rumor BFS, capped at max_hops — the DOAM arrival times.
-    doam_rumor_dist_.assign(g_.num_nodes(), kUnreached);
-    std::vector<NodeId> frontier, next;
-    for (NodeId v : rumors_) {
-      doam_rumor_dist_[v] = 0;
-      frontier.push_back(v);
+  const RealizationParams params{cfg_.max_hops, cfg_.ic_edge_prob};
+  reverse_shared_ = dispatch_model(cfg_.model, [&](auto t) -> ReverseShared {
+    using T = decltype(t);
+    if constexpr (T::kSupportsReverse) {
+      return T::build_reverse_shared(g_, rumors_, params);
+    } else {
+      return {};
     }
-    for (std::uint32_t d = 1; d <= cfg_.max_hops && !frontier.empty(); ++d) {
-      next.clear();
-      for (NodeId u : frontier) {
-        for (NodeId w : g_.out_neighbors(u)) {
-          if (doam_rumor_dist_[w] == kUnreached) {
-            doam_rumor_dist_[w] = d;
-            next.push_back(w);
-          }
-        }
-      }
-      frontier.swap(next);
-    }
-  }
+  });
 }
 
 RrSampler::~RrSampler() = default;
@@ -268,181 +229,26 @@ std::vector<NodeId> RrSampler::rr_set(std::size_t root_idx,
                                       std::uint64_t* visits) const {
   LCRB_REQUIRE(root_idx < bridge_ends_.size(), "RR root index out of range");
   const NodeId root = bridge_ends_[root_idx];
+  const RealizationParams params{cfg_.max_hops, cfg_.ic_edge_prob};
   std::uint64_t local = 0;
   std::vector<NodeId> out;
-  switch (cfg_.model) {
-    case DiffusionModel::kDoam: out = rr_doam(root, &local); break;
-    case DiffusionModel::kIc: out = rr_ic(root, realization_seed, &local); break;
-    case DiffusionModel::kOpoao:
-      out = rr_opoao(root, realization_seed, &local);
-      break;
-    case DiffusionModel::kLt: throw Error("RIS does not support LT");
+  {
+    ScratchLease lease(*this);
+    ReverseScratch& sc = *lease.scratch;
+    sc.bump_epoch();
+    dispatch_model(cfg_.model, [&](auto t) {
+      using T = decltype(t);
+      if constexpr (T::kSupportsReverse) {
+        T::reverse_set(g_, is_rumor_, rumors_, reverse_shared_, root,
+                       realization_seed, params, sc, out, local);
+      } else {
+        throw Error("RIS does not support " + std::string(T::kName));
+      }
+    });
   }
   std::sort(out.begin(), out.end());
   if (visits != nullptr) *visits += local;
   return out;
-}
-
-std::vector<NodeId> RrSampler::rr_doam(NodeId root,
-                                       std::uint64_t* visits) const {
-  const std::uint32_t limit = doam_rumor_dist_[root];
-  if (limit == kUnreached) return {};  // rumor never arrives: null set
-  ScratchLease lease(*this);
-  Scratch& sc = *lease.scratch;
-  sc.bump_epoch();
-
-  // Plain reverse BFS capped at dist_R(root). Any path through a rumor seed
-  // r has length >= 1 + dist_R(root) (dist(r, root) >= dist_R(root)), so the
-  // cap already keeps rumor seeds off every counted path; they are only
-  // excluded from the output.
-  std::vector<NodeId> out;
-  sc.frontier.clear();
-  sc.t0_epoch[root] = sc.epoch;
-  sc.frontier.push_back(root);
-  if (!is_rumor_[root]) out.push_back(root);
-  ++*visits;
-  for (std::uint32_t d = 1; d <= limit && !sc.frontier.empty(); ++d) {
-    sc.next.clear();
-    for (NodeId w : sc.frontier) {
-      for (NodeId u : g_.in_neighbors(w)) {
-        ++*visits;
-        if (sc.t0_epoch[u] == sc.epoch) continue;
-        sc.t0_epoch[u] = sc.epoch;
-        sc.next.push_back(u);
-        if (!is_rumor_[u]) out.push_back(u);
-      }
-    }
-    sc.frontier.swap(sc.next);
-  }
-  return out;
-}
-
-std::vector<NodeId> RrSampler::rr_ic(NodeId root, std::uint64_t seed,
-                                     std::uint64_t* visits) const {
-  ScratchLease lease(*this);
-  Scratch& sc = *lease.scratch;
-  sc.bump_epoch();
-
-  // Reverse BFS over transposed live arcs. The first level that contains a
-  // rumor seed is the realized rumor arrival d_R(root); it truncates the
-  // search, and by the live-subgraph distance rule every non-rumor node
-  // within that depth saves root.
-  sc.frontier.clear();
-  sc.collected.clear();
-  sc.t0_epoch[root] = sc.epoch;
-  sc.frontier.push_back(root);
-  sc.collected.push_back(root);
-  ++*visits;
-  std::uint32_t rumor_level = is_rumor_[root] ? 0 : kUnreached;
-  std::uint32_t limit = cfg_.max_hops;
-  for (std::uint32_t d = 0; d < limit && !sc.frontier.empty(); ++d) {
-    sc.next.clear();
-    for (NodeId w : sc.frontier) {
-      for (NodeId u : g_.in_neighbors(w)) {
-        ++*visits;
-        if (sc.t0_epoch[u] == sc.epoch) continue;
-        if (!ic_arc_live(seed, u, w, cfg_.ic_edge_prob)) continue;
-        sc.t0_epoch[u] = sc.epoch;
-        sc.next.push_back(u);
-        sc.collected.push_back(u);
-        if (is_rumor_[u] && rumor_level == kUnreached) {
-          rumor_level = d + 1;
-          limit = std::min(limit, rumor_level);
-        }
-      }
-    }
-    sc.frontier.swap(sc.next);
-  }
-  if (rumor_level == kUnreached) return {};  // null set
-  std::vector<NodeId> out;
-  out.reserve(sc.collected.size());
-  for (NodeId v : sc.collected) {
-    if (!is_rumor_[v]) out.push_back(v);
-  }
-  return out;
-}
-
-std::vector<NodeId> RrSampler::rr_opoao(NodeId root, std::uint64_t seed,
-                                        std::uint64_t* visits) const {
-  ScratchLease lease(*this);
-  Scratch& sc = *lease.scratch;
-  sc.bump_epoch();
-  const std::uint32_t hops = cfg_.max_hops;
-
-  // Phase 1: rumor-only forward baseline T0 under this realization, straight
-  // from the stateless pick hashes (no trace, no pick tables). Matches
-  // simulate_opoao with empty protectors and max_steps = max_hops.
-  sc.active.clear();
-  for (NodeId v : rumors_) {
-    sc.t0_epoch[v] = sc.epoch;
-    sc.t0[v] = 0;
-    if (g_.out_degree(v) > 0) sc.active.push_back(v);
-  }
-  for (std::uint32_t step = 1; step <= hops && !sc.active.empty(); ++step) {
-    const std::size_t prev = sc.active.size();
-    for (std::size_t i = 0; i < prev; ++i) {
-      const NodeId v = sc.active[i];
-      const auto nbrs = g_.out_neighbors(v);
-      const NodeId w = nbrs[opoao_pick_hash(seed, v, step) % nbrs.size()];
-      ++*visits;
-      if (sc.t0_epoch[w] != sc.epoch) {
-        sc.t0_epoch[w] = sc.epoch;
-        sc.t0[w] = step;
-        if (g_.out_degree(w) > 0) sc.active.push_back(w);
-      }
-    }
-  }
-  if (sc.t0_epoch[root] != sc.epoch) return {};  // null set
-  const std::uint32_t t0_root = sc.t0[root];
-
-  // Phase 2: reverse temporal search, maximizing the latest admissible claim
-  // step. lat(w) = latest step at which a protector claim of w still saves
-  // root through some pick path; lat(root) = T0(root) (P wins the tie).
-  // Relaxing arc (u, w): the largest t <= lat(w) with pick(u, t) = w lets u
-  // hand off at t, so u itself must be claimed by min(t - 1, T0(u)).
-  // Deadlines strictly decrease along relaxations, so one descending bucket
-  // sweep finalizes every node at its maximum deadline. Rumor seeds are
-  // never claimable by P and are skipped. Membership (lat >= 0) implies a
-  // forward save — but not conversely (a protector can starve the rumor
-  // upstream without reaching root), so OPOAO coverage lower-bounds sigma.
-  sc.collected.clear();
-  sc.lat_epoch[root] = sc.epoch;
-  sc.lat[root] = t0_root;
-  sc.buckets[t0_root].push_back(root);
-  for (std::uint32_t b = t0_root + 1; b-- > 0;) {
-    auto& bucket = sc.buckets[b];
-    for (std::size_t qi = 0; qi < bucket.size(); ++qi) {
-      const NodeId w = bucket[qi];
-      // Stale entry: superseded by a later push or already finalized.
-      if (sc.done_epoch[w] == sc.epoch || sc.lat[w] != b) continue;
-      sc.done_epoch[w] = sc.epoch;
-      sc.collected.push_back(w);
-      if (b == 0) continue;  // nothing can be claimed before step 0
-      for (NodeId u : g_.in_neighbors(w)) {
-        ++*visits;
-        if (sc.done_epoch[u] == sc.epoch || is_rumor_[u]) continue;
-        const auto nbrs = g_.out_neighbors(u);
-        std::uint32_t tstar = 0;
-        for (std::uint32_t t = b; t >= 1; --t) {
-          ++*visits;
-          if (nbrs[opoao_pick_hash(seed, u, t) % nbrs.size()] == w) {
-            tstar = t;
-            break;
-          }
-        }
-        if (tstar == 0) continue;
-        std::uint32_t cand = tstar - 1;
-        if (sc.t0_epoch[u] == sc.epoch && sc.t0[u] < cand) cand = sc.t0[u];
-        if (sc.lat_epoch[u] != sc.epoch || sc.lat[u] < cand) {
-          sc.lat_epoch[u] = sc.epoch;
-          sc.lat[u] = cand;
-          sc.buckets[cand].push_back(u);
-        }
-      }
-    }
-    bucket.clear();
-  }
-  return sc.collected;
 }
 
 void RrSampler::extend(RrPool& pool, std::uint64_t stream,

@@ -4,28 +4,33 @@
 //
 // One RR draw picks a uniformly-random bridge end b and one coupled
 // realization (the same stateless randomness simulate() uses: OPOAO pick
-// stream, IC live-edge coins; DOAM is deterministic), then collects the set
-// of nodes that, seeded alone as a protector at step 0, save b in that
-// realization:
+// stream, IC/WC live-edge coins; DOAM is deterministic), then collects the
+// set of nodes that, seeded alone as a protector at step 0, save b in that
+// realization. The per-model reverse searches live in the model traits
+// (src/diffusion/model_traits.h, capability kSupportsReverse with
+// build_reverse_shared + reverse_set); the sampler here owns the generic
+// machinery — root/realization draws, scratch leasing, pool growth:
 //
-//  * DOAM  — reverse BFS truncated at dist_R(b): v saves b iff
-//            dist(v, b) <= dist_R(b) (the §6.4 distance rule). Exact.
-//  * IC    — reverse BFS over the TRANSPOSED live-edge subgraph; the rumor
-//            arrival d_R(b) is discovered by the same search (first level
-//            containing a rumor seed) and truncates it. Exact by the
-//            live-subgraph distance rule.
-//  * OPOAO — reverse temporal search over the pick stream: v is collected
-//            iff a pick path v -> w1 -> ... -> b exists with strictly
-//            increasing steps t_i where every intermediate claim lands no
-//            later than that node's rumor-only baseline time (P wins the
-//            tie). Sound — every member really saves b — but a protector
-//            can also save b by starving the rumor upstream without ever
-//            reaching b, so OPOAO RR coverage is a LOWER bound on sigma
-//            (per-sample: covered(A) implies saved(A) by Lemma 4
-//            monotonicity). docs/algorithms.md discusses the gap.
+//  * DOAM   — reverse BFS truncated at dist_R(b): v saves b iff
+//             dist(v, b) <= dist_R(b) (the §6.4 distance rule). Exact.
+//  * IC/WC  — reverse BFS over the TRANSPOSED live-edge subgraph; the rumor
+//             arrival d_R(b) is discovered by the same search (first level
+//             containing a rumor seed) and truncates it. Exact by the
+//             live-subgraph distance rule.
+//  * OPOAO  — reverse temporal search over the pick stream: v is collected
+//             iff a pick path v -> w1 -> ... -> b exists with strictly
+//             increasing steps t_i where every intermediate claim lands no
+//             later than that node's rumor-only baseline time (P wins the
+//             tie). Sound — every member really saves b — but a protector
+//             can also save b by starving the rumor upstream without ever
+//             reaching b, so OPOAO RR coverage is a LOWER bound on sigma
+//             (per-sample: covered(A) implies saved(A) by Lemma 4
+//             monotonicity). docs/algorithms.md discusses the gap.
+//  * LT     — rejected at construction (kSupportsReverse = false): not
+//             per-sample monotone, so coverage has no save semantics.
 //
 // sigma(A) ~= |B| * (covered RR sets / total RR sets): exact in expectation
-// for DOAM/IC, conservative for OPOAO. Coverage of a fixed pool is monotone
+// for DOAM/IC/WC, conservative for OPOAO. Coverage of a fixed pool is monotone
 // and submodular, so max-coverage greedy over the pool keeps the paper's
 // (1 - 1/e) machinery, and an OPIM-style two-pool sample-doubling rule makes
 // the accuracy knobs (epsilon, delta) explicit instead of a fixed sample
@@ -45,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "diffusion/kernel.h"
 #include "diffusion/montecarlo.h"
 #include "graph/graph.h"
 #include "lcrb/bridge.h"
@@ -184,25 +190,19 @@ class RrSampler {
   const RisConfig& config() const { return cfg_; }
 
  private:
-  struct Scratch;
   struct ScratchLease;
-
-  std::vector<NodeId> rr_doam(NodeId root, std::uint64_t* visits) const;
-  std::vector<NodeId> rr_ic(NodeId root, std::uint64_t seed,
-                            std::uint64_t* visits) const;
-  std::vector<NodeId> rr_opoao(NodeId root, std::uint64_t seed,
-                               std::uint64_t* visits) const;
 
   const DiGraph& g_;
   RisConfig cfg_;
   std::vector<NodeId> rumors_;
   std::vector<NodeId> bridge_ends_;
   std::vector<bool> is_rumor_;
-  /// DOAM only: multi-source BFS distance from the rumor seeds.
-  std::vector<std::uint32_t> doam_rumor_dist_;
+  /// Traits::build_reverse_shared output, shared by every draw (only DOAM
+  /// populates it — its realization is deterministic).
+  ReverseShared reverse_shared_;
 
   mutable std::mutex scratch_mu_;
-  mutable std::vector<std::unique_ptr<Scratch>> scratch_free_;
+  mutable std::vector<std::unique_ptr<ReverseScratch>> scratch_free_;
 };
 
 /// Result of the RIS max-coverage greedy (the SigmaMode::kRis engine behind

@@ -1,565 +1,258 @@
 #include "lcrb/sigma_engine.h"
 
-#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <utility>
 
-#include "diffusion/ic.h"
-#include "diffusion/lt.h"
-#include "diffusion/opoao.h"
+#include "diffusion/kernel.h"
+#include "diffusion/model_traits.h"
 #include "util/error.h"
 
 namespace lcrb {
 
+// The model-generic implementation interface. One virtual hop per public
+// call; everything inside an evaluation — the replay loop, the bridge-end
+// verdicts — is resolved against the traits at compile time.
+class SigmaEngine::Base {
+ public:
+  virtual ~Base() = default;
+  virtual Outcome evaluate(std::size_t sample,
+                           std::span<const NodeId> protectors) const = 0;
+  virtual std::uint32_t baseline_infected(std::size_t sample) const = 0;
+  virtual const DynamicBitset& baseline_bits(std::size_t sample) const = 0;
+  virtual std::size_t realization_bytes() const = 0;
+  virtual std::uint64_t nodes_visited() const = 0;
+};
+
 namespace {
 
-constexpr std::uint8_t kColorP = 0;
-constexpr std::uint8_t kColorR = 1;
+template <class Traits>
+class EngineImpl final : public SigmaEngine::Base {
+ public:
+  using Outcome = SigmaEngine::Outcome;
+
+  EngineImpl(const DiGraph& g, std::span<const NodeId> rumors,
+             std::span<const NodeId> bridge_ends,
+             std::span<const std::uint64_t> sample_seeds,
+             const SigmaConfig& cfg, ThreadPool* pool)
+      : g_(g),
+        cfg_(cfg),
+        params_{cfg.max_hops, cfg.ic_edge_prob},
+        rumors_(rumors.begin(), rumors.end()),
+        bridge_ends_(bridge_ends.begin(), bridge_ends.end()),
+        sample_seeds_(sample_seeds.begin(), sample_seeds.end()),
+        is_rumor_(g.num_nodes()) {
+    LCRB_REQUIRE(sample_seeds_.size() == cfg_.samples,
+                 "one sample seed per sample required");
+    for (NodeId r : rumors_) {
+      LCRB_REQUIRE(r < g_.num_nodes(), "rumor id out of range");
+      is_rumor_.set(r);
+    }
+
+    const std::size_t samples = cfg_.samples;
+    baseline_bits_.assign(samples, DynamicBitset(bridge_ends_.size()));
+    baseline_count_.assign(samples, 0);
+    shared_ = Traits::build_cache_shared(g_);
+    samples_.resize(samples);
+
+    // Every per-sample cache writes only its own slots, so parallel
+    // construction yields identical data to serial.
+    auto build = [this](std::size_t i) { build_sample(i); };
+    if (pool != nullptr && samples > 1) {
+      pool->parallel_for(samples, build);
+    } else {
+      for (std::size_t i = 0; i < samples; ++i) build(i);
+    }
+  }
+
+  Outcome evaluate(std::size_t sample,
+                   std::span<const NodeId> protectors) const override {
+    LCRB_REQUIRE(sample < cfg_.samples, "sample index out of range");
+    ScratchLease lease(*this);
+    Scratch& s = *lease.scratch;
+    s.bump();
+    // Shared protector-seed validation + P stamping; the model replay then
+    // derives its own seeding structures from `protectors` in this order.
+    for (NodeId v : protectors) seed_protector(v, s.color);
+    const std::uint64_t ops =
+        Traits::replay(g_, shared_, samples_[sample], rumors_, protectors,
+                       s.color, s.model, params_);
+    visits_.fetch_add(ops, std::memory_order_relaxed);
+
+    Outcome o;
+    const DynamicBitset& base = baseline_bits_[sample];
+    for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
+      const bool infected = Traits::replay_infected(
+          samples_[sample], s.color, s.model, bridge_ends_[b], base.test(b));
+      if (!infected) {
+        ++o.uninfected;
+        if (base.test(b)) ++o.saved;
+      }
+    }
+    return o;
+  }
+
+  std::uint32_t baseline_infected(std::size_t sample) const override {
+    return baseline_count_[sample];
+  }
+  const DynamicBitset& baseline_bits(std::size_t sample) const override {
+    return baseline_bits_[sample];
+  }
+
+  std::size_t realization_bytes() const override {
+    std::size_t total = Traits::cache_shared_bytes(shared_);
+    for (const typename Traits::CacheSample& sp : samples_) {
+      total += Traits::cache_sample_bytes(sp);
+    }
+    return total;
+  }
+
+  std::uint64_t nodes_visited() const override {
+    return visits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Epoch-stamped scratch for one in-flight replay: the shared color state
+  /// plus the model's own working memory, advanced in lockstep.
+  struct Scratch {
+    explicit Scratch(NodeId n) : color(n), model(n) {}
+    void bump() {
+      if (color.bump()) model.on_epoch_wrap();
+    }
+    EpochColorScratch color;
+    typename Traits::ReplayScratch model;
+  };
+
+  /// RAII lease of a scratch buffer from the engine's free list.
+  struct ScratchLease {
+    const EngineImpl& eng;
+    std::unique_ptr<Scratch> scratch;
+
+    explicit ScratchLease(const EngineImpl& e) : eng(e) {
+      {
+        std::lock_guard<std::mutex> lock(e.scratch_mu_);
+        if (!e.scratch_free_.empty()) {
+          scratch = std::move(e.scratch_free_.back());
+          e.scratch_free_.pop_back();
+        }
+      }
+      if (scratch == nullptr) {
+        scratch = std::make_unique<Scratch>(e.g_.num_nodes());
+      }
+    }
+    ~ScratchLease() {
+      std::lock_guard<std::mutex> lock(eng.scratch_mu_);
+      eng.scratch_free_.push_back(std::move(scratch));
+    }
+  };
+
+  void build_sample(std::size_t i) {
+    const std::uint64_t seed = sample_seeds_[i];
+
+    // Rumor-only baseline through the reference kernel: the cache must
+    // reproduce exactly what simulate() realizes for this sample seed.
+    SeedSets seeds;
+    seeds.rumors = rumors_;
+    DiffusionResult base =
+        run_cascade<Traits>(g_, seeds, seed, Traits::config_from(params_));
+
+    std::uint32_t count = 0;
+    std::vector<NodeId> infected_targets;
+    for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
+      if (base.state[bridge_ends_[b]] == NodeState::kInfected) {
+        baseline_bits_[i].set(b);
+        ++count;
+        infected_targets.push_back(bridge_ends_[b]);
+      }
+    }
+    baseline_count_[i] = count;
+
+    Traits::build_cache_sample(g_, shared_, seed, std::move(base),
+                               infected_targets, params_, samples_[i]);
+  }
+
+  void seed_protector(NodeId v, EpochColorScratch& color) const {
+    LCRB_REQUIRE(v < g_.num_nodes(), "protector id out of range");
+    LCRB_REQUIRE(!is_rumor_.test(v), "protector seed collides with a rumor");
+    LCRB_REQUIRE(color.color_epoch[v] != color.epoch,
+                 "duplicate protector seed");
+    color.set(v, kColorP);
+  }
+
+  const DiGraph& g_;
+  SigmaConfig cfg_;
+  RealizationParams params_;
+  std::vector<NodeId> rumors_;
+  std::vector<NodeId> bridge_ends_;
+  std::vector<std::uint64_t> sample_seeds_;
+  DynamicBitset is_rumor_;
+
+  typename Traits::CacheShared shared_;
+  std::vector<typename Traits::CacheSample> samples_;
+
+  std::vector<DynamicBitset> baseline_bits_;
+  std::vector<std::uint32_t> baseline_count_;
+
+  mutable std::mutex scratch_mu_;
+  mutable std::vector<std::unique_ptr<Scratch>> scratch_free_;
+  mutable std::atomic<std::uint64_t> visits_{0};
+};
 
 }  // namespace
 
-// Epoch-stamped scratch for one in-flight replay. An entry of any stamped
-// array is valid only when its epoch equals the current one, so "clearing"
-// between evaluations is a single counter bump instead of O(n) writes.
-struct SigmaEngine::Scratch {
-  std::uint32_t epoch = 0;
-  std::vector<std::uint32_t> color_epoch;  ///< node touched this replay
-  std::vector<std::uint8_t> color;         ///< kColorP / kColorR when touched
-  // OPOAO: pick-table rows of colored nodes with out-edges, activation order
-  std::vector<std::uint32_t> p_pool, r_pool;
-  // IC
-  std::vector<std::uint32_t> dist;  ///< BFS arrival (touched nodes only)
-  std::vector<NodeId> queue;
-  // LT
-  std::vector<std::uint32_t> w_epoch;
-  std::vector<double> wp, wi;
-  std::vector<NodeId> frontier, next_frontier, candidates;
-
-  void bump() {
-    if (++epoch == 0) {
-      // uint32 wrapped (once per ~4e9 replays): stale stamps could collide,
-      // so do the one real clear.
-      std::fill(color_epoch.begin(), color_epoch.end(), 0u);
-      std::fill(w_epoch.begin(), w_epoch.end(), 0u);
-      epoch = 1;
-    }
-  }
-};
-
-/// RAII lease of a scratch buffer from the engine's free list.
-struct SigmaEngine::ScratchLease {
-  const SigmaEngine& eng;
-  std::unique_ptr<Scratch> scratch;
-
-  explicit ScratchLease(const SigmaEngine& e) : eng(e) {
-    {
-      std::lock_guard<std::mutex> lock(e.scratch_mu_);
-      if (!e.scratch_free_.empty()) {
-        scratch = std::move(e.scratch_free_.back());
-        e.scratch_free_.pop_back();
-      }
-    }
-    if (scratch == nullptr) {
-      scratch = std::make_unique<Scratch>();
-      const std::size_t n = e.g_.num_nodes();
-      scratch->color_epoch.assign(n, 0);
-      scratch->color.assign(n, 0);
-      switch (e.cfg_.model) {
-        case DiffusionModel::kOpoao:
-          break;  // pools grow on demand
-        case DiffusionModel::kIc:
-          scratch->dist.assign(n, 0);
-          break;
-        case DiffusionModel::kLt:
-          scratch->w_epoch.assign(n, 0);
-          scratch->wp.assign(n, 0.0);
-          scratch->wi.assign(n, 0.0);
-          break;
-        case DiffusionModel::kDoam: break;  // unreachable: unsupported
-      }
-    }
-  }
-  ~ScratchLease() {
-    std::lock_guard<std::mutex> lock(eng.scratch_mu_);
-    eng.scratch_free_.push_back(std::move(scratch));
-  }
-};
-
 bool SigmaEngine::supports(DiffusionModel model) {
-  switch (model) {
-    case DiffusionModel::kOpoao:
-    case DiffusionModel::kIc:
-    case DiffusionModel::kLt:
-      return true;
-    case DiffusionModel::kDoam:
-      return false;
-  }
-  return false;
+  return dispatch_model(model,
+                        [](auto t) { return decltype(t)::kSupportsCache; });
 }
 
 std::size_t SigmaEngine::estimated_bytes(const DiGraph& g,
                                          const SigmaConfig& cfg) {
-  const std::size_t n = g.num_nodes();
-  const std::size_t s = cfg.samples;
-  switch (cfg.model) {
-    case DiffusionModel::kOpoao: {
-      std::size_t rows = 0;
-      for (NodeId v = 0; v < g.num_nodes(); ++v) {
-        if (g.out_degree(v) > 0) ++rows;
-      }
-      return s * (rows * cfg.max_hops * sizeof(NodeId) +
-                  n * (2 * sizeof(std::uint32_t)));
-    }
-    case DiffusionModel::kIc:
-      return s * (static_cast<std::size_t>(g.num_edges()) * sizeof(NodeId) +
-                  (n + 1) * sizeof(std::uint32_t) +
-                  n * sizeof(std::uint32_t));
-    case DiffusionModel::kLt:
-      return s * n * sizeof(double) + n * sizeof(double);
-    case DiffusionModel::kDoam:
+  return dispatch_model(cfg.model, [&](auto t) -> std::size_t {
+    using T = decltype(t);
+    if constexpr (T::kSupportsCache) {
+      return T::estimated_cache_bytes(g, cfg.samples, cfg.max_hops);
+    } else {
       return 0;
-  }
-  return 0;
+    }
+  });
 }
 
 SigmaEngine::SigmaEngine(const DiGraph& g, std::span<const NodeId> rumors,
                          std::span<const NodeId> bridge_ends,
                          std::span<const std::uint64_t> sample_seeds,
-                         const SigmaConfig& cfg, ThreadPool* pool)
-    : g_(g),
-      cfg_(cfg),
-      rumors_(rumors.begin(), rumors.end()),
-      bridge_ends_(bridge_ends.begin(), bridge_ends.end()),
-      sample_seeds_(sample_seeds.begin(), sample_seeds.end()),
-      is_rumor_(g.num_nodes()),
-      hops_(cfg.max_hops) {
-  LCRB_REQUIRE(supports(cfg_.model), "model has no realization cache");
-  LCRB_REQUIRE(sample_seeds_.size() == cfg_.samples,
-               "one sample seed per sample required");
-  for (NodeId r : rumors_) {
-    LCRB_REQUIRE(r < g_.num_nodes(), "rumor id out of range");
-    is_rumor_.set(r);
-  }
-
-  const std::size_t samples = cfg_.samples;
-  baseline_bits_.assign(samples, DynamicBitset(bridge_ends_.size()));
-  baseline_count_.assign(samples, 0);
-
-  switch (cfg_.model) {
-    case DiffusionModel::kOpoao: {
-      pick_row_.assign(g_.num_nodes(), kUnreached);
-      for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-        if (g_.out_degree(v) > 0) {
-          pick_row_[v] = static_cast<std::uint32_t>(num_rows_++);
-        }
-      }
-      op_.resize(samples);
-      break;
+                         const SigmaConfig& cfg, ThreadPool* pool) {
+  impl_ = dispatch_model(cfg.model, [&](auto t) -> std::unique_ptr<Base> {
+    using T = decltype(t);
+    if constexpr (T::kSupportsCache) {
+      return std::make_unique<EngineImpl<T>>(g, rumors, bridge_ends,
+                                             sample_seeds, cfg, pool);
+    } else {
+      throw Error("model has no realization cache");
     }
-    case DiffusionModel::kIc:
-      ic_.resize(samples);
-      break;
-    case DiffusionModel::kLt: {
-      inv_in_deg_.assign(g_.num_nodes(), 0.0);
-      for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-        if (g_.in_degree(v) > 0) {
-          inv_in_deg_[v] = 1.0 / static_cast<double>(g_.in_degree(v));
-        }
-      }
-      lt_.resize(samples);
-      break;
-    }
-    case DiffusionModel::kDoam: break;
-  }
-
-  // Every per-sample cache writes only its own slots, so parallel
-  // construction yields identical data to serial.
-  auto build = [this](std::size_t i) { build_sample(i); };
-  if (pool != nullptr && samples > 1) {
-    pool->parallel_for(samples, build);
-  } else {
-    for (std::size_t i = 0; i < samples; ++i) build(i);
-  }
+  });
 }
 
 SigmaEngine::~SigmaEngine() = default;
 
-void SigmaEngine::build_sample(std::size_t i) {
-  const std::uint64_t seed = sample_seeds_[i];
+SigmaEngine::Outcome SigmaEngine::evaluate(
+    std::size_t sample, std::span<const NodeId> protectors) const {
+  return impl_->evaluate(sample, protectors);
+}
 
-  // Rumor-only baseline through the reference simulator: the cache must
-  // reproduce exactly what simulate() realizes for this sample seed.
-  MonteCarloConfig mc;
-  mc.max_hops = cfg_.max_hops;
-  mc.model = cfg_.model;
-  mc.ic_edge_prob = cfg_.ic_edge_prob;
-  SeedSets seeds;
-  seeds.rumors = rumors_;
-  DiffusionResult base = simulate(g_, seeds, seed, mc);
+std::uint32_t SigmaEngine::baseline_infected(std::size_t sample) const {
+  return impl_->baseline_infected(sample);
+}
 
-  std::uint32_t count = 0;
-  for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
-    if (base.state[bridge_ends_[b]] == NodeState::kInfected) {
-      baseline_bits_[i].set(b);
-      ++count;
-    }
-  }
-  baseline_count_[i] = count;
-
-  switch (cfg_.model) {
-    case DiffusionModel::kOpoao: {
-      OpoaoSample& sp = op_[i];
-      // Pick tables: hash each (seed, v, step) exactly once.
-      sp.picks.resize(num_rows_ * hops_);
-      for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-        const std::uint32_t row = pick_row_[v];
-        if (row == kUnreached) continue;
-        const auto nbrs = g_.out_neighbors(v);
-        for (std::uint32_t t = 1; t <= hops_; ++t) {
-          sp.picks[static_cast<std::size_t>(t - 1) * num_rows_ + row] =
-              nbrs[opoao_pick_hash(seed, v, t) % nbrs.size()];
-        }
-      }
-      // Baseline schedule: infected nodes bucketed by activation step
-      // (counting sort keeps it deterministic: ascending id within a step).
-      sp.step_off.assign(static_cast<std::size_t>(hops_) + 2, 0);
-      for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-        const std::uint32_t t = base.activation_step[v];
-        if (t != kUnreached) ++sp.step_off[t + 1];
-      }
-      for (std::size_t s = 1; s < sp.step_off.size(); ++s) {
-        sp.step_off[s] += sp.step_off[s - 1];
-      }
-      sp.sched.resize(sp.step_off.back());
-      {
-        std::vector<std::uint32_t> cursor(sp.step_off.begin(),
-                                          sp.step_off.end() - 1);
-        for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-          const std::uint32_t t = base.activation_step[v];
-          if (t != kUnreached) sp.sched[cursor[t]++] = v;
-        }
-      }
-      sp.base_step = std::move(base.activation_step);
-      break;
-    }
-    case DiffusionModel::kIc: {
-      IcSample& sp = ic_[i];
-      sp.live_off.assign(g_.num_nodes() + 1, 0);
-      sp.live_tgt.reserve(static_cast<std::size_t>(
-          static_cast<double>(g_.num_edges()) * cfg_.ic_edge_prob * 1.1));
-      for (NodeId u = 0; u < g_.num_nodes(); ++u) {
-        for (NodeId v : g_.out_neighbors(u)) {
-          if (ic_arc_live(seed, u, v, cfg_.ic_edge_prob)) {
-            sp.live_tgt.push_back(v);
-          }
-        }
-        sp.live_off[u + 1] = static_cast<std::uint32_t>(sp.live_tgt.size());
-      }
-      sp.live_tgt.shrink_to_fit();
-      // Baseline activation steps ARE the live-subgraph BFS distances from
-      // the rumor seeds (no competition in the baseline run).
-      sp.dist_r = std::move(base.activation_step);
-      sp.max_needed = 0;
-      for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
-        if (baseline_bits_[i].test(b)) {
-          sp.max_needed = std::max(sp.max_needed, sp.dist_r[bridge_ends_[b]]);
-        }
-      }
-      break;
-    }
-    case DiffusionModel::kLt: {
-      LtSample& sp = lt_[i];
-      sp.thr.resize(g_.num_nodes());
-      for (NodeId v = 0; v < g_.num_nodes(); ++v) {
-        sp.thr[v] = lt_node_threshold(seed, v);
-      }
-      break;
-    }
-    case DiffusionModel::kDoam: break;
-  }
+const DynamicBitset& SigmaEngine::baseline_bits(std::size_t sample) const {
+  return impl_->baseline_bits(sample);
 }
 
 std::size_t SigmaEngine::realization_bytes() const {
-  std::size_t total = inv_in_deg_.capacity() * sizeof(double) +
-                      pick_row_.capacity() * sizeof(std::uint32_t);
-  for (const OpoaoSample& sp : op_) {
-    total += sp.picks.capacity() * sizeof(NodeId) +
-             sp.base_step.capacity() * sizeof(std::uint32_t) +
-             sp.sched.capacity() * sizeof(NodeId) +
-             sp.step_off.capacity() * sizeof(std::uint32_t);
-  }
-  for (const IcSample& sp : ic_) {
-    total += sp.live_off.capacity() * sizeof(std::uint32_t) +
-             sp.live_tgt.capacity() * sizeof(NodeId) +
-             sp.dist_r.capacity() * sizeof(std::uint32_t);
-  }
-  for (const LtSample& sp : lt_) total += sp.thr.capacity() * sizeof(double);
-  return total;
+  return impl_->realization_bytes();
 }
 
-void SigmaEngine::seed_protector(NodeId v, Scratch& s) const {
-  LCRB_REQUIRE(v < g_.num_nodes(), "protector id out of range");
-  LCRB_REQUIRE(!is_rumor_.test(v), "protector seed collides with a rumor");
-  LCRB_REQUIRE(s.color_epoch[v] != s.epoch, "duplicate protector seed");
-  s.color_epoch[v] = s.epoch;
-  s.color[v] = kColorP;
-}
-
-SigmaEngine::Outcome SigmaEngine::count_bridge_ends(std::size_t i,
-                                                    const Scratch& s) const {
-  Outcome o;
-  const DynamicBitset& base = baseline_bits_[i];
-  for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
-    const NodeId v = bridge_ends_[b];
-    const bool infected =
-        s.color_epoch[v] == s.epoch && s.color[v] == kColorR;
-    if (!infected) {
-      ++o.uninfected;
-      if (base.test(b)) ++o.saved;
-    }
-  }
-  return o;
-}
-
-SigmaEngine::Outcome SigmaEngine::evaluate(
-    std::size_t sample, std::span<const NodeId> protectors) const {
-  LCRB_REQUIRE(sample < cfg_.samples, "sample index out of range");
-  ScratchLease lease(*this);
-  Scratch& s = *lease.scratch;
-  s.bump();
-  switch (cfg_.model) {
-    case DiffusionModel::kOpoao: return eval_opoao(sample, protectors, s);
-    case DiffusionModel::kIc: return eval_ic(sample, protectors, s);
-    case DiffusionModel::kLt: return eval_lt(sample, protectors, s);
-    case DiffusionModel::kDoam: break;
-  }
-  throw Error("model has no realization cache");
-}
-
-// ---------------------------------------------------------------------------
-// OPOAO replay.
-//
-// Phase 1: the rumor side is fed from the cached baseline schedule — exact
-// as long as no protector claim cuts a node the baseline rumor cascade
-// claims later. When cascade P claims node v with finite baseline rumor time
-// T0(v), the schedule is provably valid for every step before T0(v) (picks
-// are color-independent, so rumor picks cannot change before the first
-// voided baseline activation); the earliest such T0 is the divergence step
-// D. From step D on, the rumor side is simulated from the pick tables like
-// the protector side (phase 2).
-//
-// The replay deliberately does NOT mirror simulate_opoao()'s potential
-// bookkeeping (per-node counts of uncolored out-neighbors): that machinery
-// only drives the simulator's early exit and costs in+out neighbor scans for
-// every activation. Claims never depend on it, so the replay tracks a single
-// uncolored-node counter instead — reaching zero is an exact stop — and
-// each pooled node costs one table lookup per step, touching no adjacency.
-// ---------------------------------------------------------------------------
-SigmaEngine::Outcome SigmaEngine::eval_opoao(std::size_t i,
-                                             std::span<const NodeId> protectors,
-                                             Scratch& s) const {
-  const OpoaoSample& sp = op_[i];
-  const std::uint32_t e = s.epoch;
-  s.p_pool.clear();
-  s.r_pool.clear();
-  std::uint32_t uncolored = static_cast<std::uint32_t>(g_.num_nodes());
-
-  auto colored = [&](NodeId v) { return s.color_epoch[v] == e; };
-  // Pools hold pick-table ROW indices, not node ids: the replay loop then
-  // reads only pool[], the step's pick slab, and color stamps.
-  auto color_r = [&](NodeId v) {
-    s.color_epoch[v] = e;
-    s.color[v] = kColorR;
-    --uncolored;
-    if (pick_row_[v] != kUnreached) s.r_pool.push_back(pick_row_[v]);
-  };
-
-  // Step 0: protector seeds, then the baseline's rumor seeds.
-  for (NodeId v : protectors) {
-    seed_protector(v, s);
-    --uncolored;
-    if (pick_row_[v] != kUnreached) s.p_pool.push_back(pick_row_[v]);
-  }
-  for (std::uint32_t k = sp.step_off[0]; k < sp.step_off[1]; ++k) {
-    color_r(sp.sched[k]);
-  }
-
-  std::uint32_t divergence = kUnreached;
-  std::size_t sched_pos = sp.step_off[1];
-  const std::size_t sched_end = sp.sched.size();
-  std::uint64_t ops = 0;
-
-  for (std::uint32_t t = 1; t <= hops_ && uncolored > 0; ++t) {
-    if (s.p_pool.empty() && divergence == kUnreached) {
-      // P can never claim again and never disturbed a baseline-rumor node,
-      // so every baseline node still activates exactly on schedule: the
-      // rest of the cascade IS the baseline. Bulk-apply and stop.
-      ops += sched_end - sched_pos;
-      for (std::size_t k = sched_pos; k < sched_end; ++k) {
-        const NodeId v = sp.sched[k];
-        if (!colored(v)) {
-          s.color_epoch[v] = e;
-          s.color[v] = kColorR;
-        }
-      }
-      break;
-    }
-    const NodeId* step_picks =
-        sp.picks.data() + static_cast<std::size_t>(t - 1) * num_rows_;
-
-    // Protector picks (first within the step: P wins simultaneous arrival).
-    // Snapshot the pool size — nodes claimed at step t pick from t+1 on.
-    const std::size_t psz = s.p_pool.size();
-    ops += psz;
-    for (std::size_t idx = 0; idx < psz; ++idx) {
-      const NodeId tgt = step_picks[s.p_pool[idx]];
-      if (!colored(tgt)) {
-        s.color_epoch[tgt] = e;
-        s.color[tgt] = kColorP;  // claim immediately
-        --uncolored;
-        if (pick_row_[tgt] != kUnreached) s.p_pool.push_back(pick_row_[tgt]);
-        const std::uint32_t t0 = sp.base_step[tgt];
-        if (t0 < divergence) divergence = t0;
-      }
-    }
-
-    // Rumor side: replay the baseline schedule while it is valid, simulate
-    // from the pick tables once it is not.
-    if (t < divergence) {
-      const std::uint32_t off_end = sp.step_off[t + 1];
-      ops += off_end - sched_pos;
-      for (; sched_pos < off_end; ++sched_pos) {
-        const NodeId v = sp.sched[sched_pos];
-        if (!colored(v)) color_r(v);
-      }
-    } else {
-      const std::size_t rsz = s.r_pool.size();
-      ops += rsz;
-      for (std::size_t idx = 0; idx < rsz; ++idx) {
-        const NodeId tgt = step_picks[s.r_pool[idx]];
-        if (!colored(tgt)) color_r(tgt);
-      }
-    }
-  }
-
-  visits_.fetch_add(ops, std::memory_order_relaxed);
-  return count_bridge_ends(i, s);
-}
-
-// ---------------------------------------------------------------------------
-// IC replay: with one homogeneous edge probability the competitive race on
-// the realized live subgraph is decided by plain BFS distances — node v ends
-// with the cascade whose seed set is closer in the live subgraph, P on ties
-// (docs/algorithms.md gives the induction). d_R is cached from the baseline,
-// so an evaluation is a single protector-side BFS, truncated at the deepest
-// baseline-infected bridge end (later arrivals cannot save anything).
-// ---------------------------------------------------------------------------
-SigmaEngine::Outcome SigmaEngine::eval_ic(std::size_t i,
-                                          std::span<const NodeId> protectors,
-                                          Scratch& s) const {
-  const IcSample& sp = ic_[i];
-  const std::uint32_t e = s.epoch;
-
-  s.queue.clear();
-  for (NodeId v : protectors) {
-    seed_protector(v, s);
-    s.dist[v] = 0;
-    s.queue.push_back(v);
-  }
-
-  const std::uint32_t depth_cap = std::min(hops_, sp.max_needed);
-  std::uint64_t ops = 0;
-  for (std::size_t head = 0; head < s.queue.size(); ++head) {
-    const NodeId u = s.queue[head];
-    const std::uint32_t du = s.dist[u];
-    ++ops;
-    if (du >= depth_cap) continue;
-    const std::uint32_t begin = sp.live_off[u], end = sp.live_off[u + 1];
-    ops += end - begin;
-    for (std::uint32_t k = begin; k < end; ++k) {
-      const NodeId v = sp.live_tgt[k];
-      if (s.color_epoch[v] != e) {
-        s.color_epoch[v] = e;
-        s.color[v] = kColorP;
-        s.dist[v] = du + 1;
-        s.queue.push_back(v);
-      }
-    }
-  }
-
-  visits_.fetch_add(ops, std::memory_order_relaxed);
-
-  Outcome o;
-  const DynamicBitset& base = baseline_bits_[i];
-  for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
-    if (!base.test(b)) {
-      // Never rumor-reached in this realization; protectors cannot hurt.
-      ++o.uninfected;
-      continue;
-    }
-    const NodeId v = bridge_ends_[b];
-    if (s.color_epoch[v] == e && s.dist[v] <= sp.dist_r[v]) {
-      ++o.saved;
-      ++o.uninfected;
-    }
-  }
-  return o;
-}
-
-// ---------------------------------------------------------------------------
-// LT replay: identical control flow to simulate_competitive_lt, with the
-// threshold draw and the 1/d_in arc weights served from the cache. The
-// iteration order (and hence every floating-point sum) matches the legacy
-// simulator exactly, so outcomes are bit-identical.
-// ---------------------------------------------------------------------------
-SigmaEngine::Outcome SigmaEngine::eval_lt(std::size_t i,
-                                          std::span<const NodeId> protectors,
-                                          Scratch& s) const {
-  const LtSample& sp = lt_[i];
-  const std::uint32_t e = s.epoch;
-
-  s.frontier.clear();
-  for (NodeId v : protectors) {
-    seed_protector(v, s);
-    s.frontier.push_back(v);
-  }
-  for (NodeId v : rumors_) {
-    s.color_epoch[v] = e;
-    s.color[v] = kColorR;
-    s.frontier.push_back(v);
-  }
-
-  auto colored = [&](NodeId v) { return s.color_epoch[v] == e; };
-
-  std::uint64_t ops = 0;
-  for (std::uint32_t t = 1; t <= hops_ && !s.frontier.empty(); ++t) {
-    s.candidates.clear();
-    for (NodeId u : s.frontier) {
-      const bool prot = s.color[u] == kColorP;
-      ops += g_.out_degree(u);
-      for (NodeId v : g_.out_neighbors(u)) {
-        if (colored(v)) continue;
-        if (s.w_epoch[v] != e) {
-          s.w_epoch[v] = e;
-          s.wp[v] = 0.0;
-          s.wi[v] = 0.0;
-        }
-        (prot ? s.wp[v] : s.wi[v]) += inv_in_deg_[v];
-        s.candidates.push_back(v);
-      }
-    }
-    s.next_frontier.clear();
-    for (NodeId v : s.candidates) {
-      if (colored(v)) continue;  // dedup within step
-      if (s.wp[v] + s.wi[v] >= sp.thr[v]) {
-        s.color_epoch[v] = e;
-        s.color[v] = (s.wp[v] >= s.wi[v]) ? kColorP : kColorR;
-        s.next_frontier.push_back(v);
-      }
-    }
-    s.frontier.swap(s.next_frontier);
-  }
-
-  visits_.fetch_add(ops, std::memory_order_relaxed);
-  return count_bridge_ends(i, s);
+std::uint64_t SigmaEngine::nodes_visited() const {
+  return impl_->nodes_visited();
 }
 
 }  // namespace lcrb

@@ -2,39 +2,31 @@
 //
 // The estimator's common-random-number coupling (paper §V-A, Lemma 4) fixes
 // ALL randomness of sample i the moment the sample seed is drawn: OPOAO's
-// pick stream, IC's live-edge coins, LT's node thresholds. The legacy path
-// re-derives that randomness by hashing inside every end-to-end simulation —
-// O(rounds x candidates x samples) full simulations in the greedy. This
-// engine materializes each sample's realization once at construction and
-// turns every subsequent sigma evaluation into a cheap deterministic replay:
+// pick stream, the IC family's live-edge coins, LT's node thresholds. The
+// legacy path re-derives that randomness by hashing inside every end-to-end
+// simulation — O(rounds x candidates x samples) full simulations in the
+// greedy. This engine materializes each sample's realization once at
+// construction and turns every subsequent sigma evaluation into a cheap
+// deterministic replay.
 //
-//  * OPOAO — per-node pick tables over the max_hops steps (each
-//    (seed, v, step) hashed exactly once, stored in a flat row-per-node
-//    array), plus the rumor-only baseline activation schedule. A replay
-//    simulates only the protector cascade and feeds the rumor side from the
-//    cached schedule until the first protector claim that invalidates it
-//    (the "divergence step"), after which the rumor side is simulated from
-//    the tables too. Sound because picks are color- and state-independent.
-//  * IC — the live-edge subgraph in CSR form plus baseline rumor BFS
-//    distances d_R. With homogeneous probabilities the winner at any node is
-//    argmin(d_R, d_P) with P on ties (see docs/algorithms.md for the proof),
-//    so an evaluation is a single protector-side BFS over cached live arcs.
-//  * LT — the per-node threshold draw; the replay mirrors the legacy loop
-//    order exactly so the floating-point weight sums are bit-identical.
+// The engine itself is model-generic: everything model-specific — what a
+// cached sample IS (pick tables, live subgraphs, thresholds), how a replay
+// runs, and how a bridge end's verdict is read — comes from the model's
+// traits (src/diffusion/model_traits.h, capability kSupportsCache). The
+// engine contributes the shared machinery: per-sample baselines via
+// run_cascade, protector-seed validation and color stamping, epoch-stamped
+// scratch leasing (no per-evaluation allocation, no O(n) clearing), the
+// bridge-end counting loop, and byte accounting. A model compiled against
+// the cache contract is cross-checked against its forward simulator in
+// tests/lcrb/sigma_engine_test.cpp — same outcomes, bit for bit.
 //
-// Replays run on epoch-stamped scratch buffers leased from a small pool: no
-// per-evaluation allocation and no O(n) clearing. Results are exactly the
-// outcomes the legacy simulate()-based path produces for the same sample
-// seeds — cross-checked in tests/lcrb/sigma_engine_test.cpp.
-//
-// DOAM is not cached here (it is deterministic; the legacy path already
-// collapses it) — SigmaEstimator falls back to simulate() for it.
+// DOAM is not cached here (kSupportsCache = false: it is deterministic and
+// the legacy path already collapses it) — SigmaEstimator falls back to
+// simulate() for it.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
@@ -52,7 +44,8 @@ class SigmaEngine {
     std::uint32_t uninfected = 0;  ///< bridge ends ending uninfected
   };
 
-  /// True for the models the engine can cache (OPOAO, IC, LT).
+  /// True for models whose traits implement the cache contract
+  /// (Traits::kSupportsCache — OPOAO, IC, LT, WC).
   static bool supports(DiffusionModel model);
 
   /// Upper-bound estimate of the realization-cache footprint, used by
@@ -81,13 +74,9 @@ class SigmaEngine {
                    std::span<const NodeId> protectors) const;
 
   /// Bridge ends infected in sample i with no protectors at all.
-  std::uint32_t baseline_infected(std::size_t sample) const {
-    return baseline_count_[sample];
-  }
+  std::uint32_t baseline_infected(std::size_t sample) const;
   /// Bit b set iff bridge_ends[b] is infected in sample i's baseline.
-  const DynamicBitset& baseline_bits(std::size_t sample) const {
-    return baseline_bits_[sample];
-  }
+  const DynamicBitset& baseline_bits(std::size_t sample) const;
 
   /// Actual bytes held by the realization caches (for logging/benchmarks).
   std::size_t realization_bytes() const;
@@ -96,76 +85,15 @@ class SigmaEngine {
   /// (table lookups / arcs scanned / weight updates) — the common cost
   /// currency the MC-vs-RIS ablation compares. Relaxed counter: exact once
   /// concurrent evaluations have finished.
-  std::uint64_t nodes_visited() const {
-    return visits_.load(std::memory_order_relaxed);
-  }
+  std::uint64_t nodes_visited() const;
+
+  /// Model-generic interface the per-traits implementation fulfills
+  /// (defined in sigma_engine.cpp; public so the templated implementation
+  /// can derive from it).
+  class Base;
 
  private:
-  struct Scratch;
-  struct ScratchLease;
-
-  /// OPOAO: one sample's materialized randomness + baseline schedule.
-  struct OpoaoSample {
-    /// Flat pick table, step-major: entry [(t-1) * num_rows_ + r] with
-    /// r = pick_row_[v] is the node v would target at step t. Step-major
-    /// keeps each step's replay inside one contiguous slab of the table
-    /// (node-major strides the whole table every step and thrashes cache).
-    /// Rows exist only for out-degree>0 nodes.
-    std::vector<NodeId> picks;
-    /// Rumor-only activation step per node (kUnreached if never infected).
-    std::vector<std::uint32_t> base_step;
-    /// Baseline-infected nodes ordered by (step, id) — the replay schedule.
-    std::vector<NodeId> sched;
-    /// sched slice for step s is [step_off[s], step_off[s+1]).
-    std::vector<std::uint32_t> step_off;
-  };
-
-  /// IC: one sample's live-edge subgraph + baseline rumor distances.
-  struct IcSample {
-    std::vector<std::uint32_t> live_off;  ///< n+1 CSR offsets
-    std::vector<NodeId> live_tgt;         ///< live arc targets
-    std::vector<std::uint32_t> dist_r;    ///< baseline rumor BFS distance
-    std::uint32_t max_needed = 0;  ///< max d_R over baseline-infected ends
-  };
-
-  /// LT: one sample's threshold draw.
-  struct LtSample {
-    std::vector<double> thr;
-  };
-
-  void build_sample(std::size_t i);
-  Outcome eval_opoao(std::size_t i, std::span<const NodeId> protectors,
-                     Scratch& s) const;
-  Outcome eval_ic(std::size_t i, std::span<const NodeId> protectors,
-                  Scratch& s) const;
-  Outcome eval_lt(std::size_t i, std::span<const NodeId> protectors,
-                  Scratch& s) const;
-  Outcome count_bridge_ends(std::size_t i, const Scratch& s) const;
-  void seed_protector(NodeId v, Scratch& s) const;
-
-  const DiGraph& g_;
-  SigmaConfig cfg_;
-  std::vector<NodeId> rumors_;
-  std::vector<NodeId> bridge_ends_;
-  std::vector<std::uint64_t> sample_seeds_;
-  DynamicBitset is_rumor_;
-  std::uint32_t hops_ = 0;  ///< steps cached/replayed: 1..hops_
-
-  /// OPOAO pick-table row per node; kUnreached for out-degree-0 nodes.
-  std::vector<std::uint32_t> pick_row_;
-  std::size_t num_rows_ = 0;
-  std::vector<double> inv_in_deg_;  ///< LT arc weight 1/d_in(v), shared
-
-  std::vector<OpoaoSample> op_;
-  std::vector<IcSample> ic_;
-  std::vector<LtSample> lt_;
-
-  std::vector<DynamicBitset> baseline_bits_;
-  std::vector<std::uint32_t> baseline_count_;
-
-  mutable std::mutex scratch_mu_;
-  mutable std::vector<std::unique_ptr<Scratch>> scratch_free_;
-  mutable std::atomic<std::uint64_t> visits_{0};
+  std::unique_ptr<Base> impl_;
 };
 
 }  // namespace lcrb

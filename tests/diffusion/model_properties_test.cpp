@@ -1,5 +1,5 @@
 // Cross-model property sweep: invariants every diffusion model must satisfy,
-// run over all four models via TEST_P.
+// run over all models via TEST_P.
 #include <gtest/gtest.h>
 
 #include "diffusion/montecarlo.h"
@@ -112,7 +112,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(DiffusionModel::kOpoao,
                                          DiffusionModel::kDoam,
                                          DiffusionModel::kIc,
-                                         DiffusionModel::kLt),
+                                         DiffusionModel::kLt,
+                                         DiffusionModel::kWc),
                        ::testing::Values(1, 2, 3)),
     [](const auto& param_info) {
       return to_string(std::get<0>(param_info.param)) + "_seed" +

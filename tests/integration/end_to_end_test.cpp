@@ -2,7 +2,7 @@
 // SCBG / greedy -> diffusion evaluation) on dataset-substitute networks.
 #include <gtest/gtest.h>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/experiments.h"
 
 namespace lcrb {
 namespace {

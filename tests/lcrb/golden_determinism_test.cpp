@@ -1,0 +1,278 @@
+// Golden determinism pins: byte-level hashes of the library's headline
+// outputs — greedy/SCBG protector sequences (all sigma modes), gain
+// histories, and the OPOAO pick trace — for fixed seeds, checked against
+// values recorded in golden_hashes.inc. Every case is run serially, on a
+// 1-thread pool and on a 4-thread pool, and all three runs must match the
+// pinned hash.
+//
+// Purpose: any refactor of the diffusion kernels, the realization cache, the
+// RR samplers, or the greedy loop that drifts a single byte of output fails
+// here immediately — the tripwire behind the "outputs stay byte-identical"
+// contract. If a change is *supposed* to alter outputs, regenerate the
+// constants: run with --gtest_filter='Golden*' and LCRB_GOLDEN_PRINT=1 in
+// the environment, and paste the printed lines into golden_hashes.inc.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "diffusion/opoao.h"
+#include "graph/generators.h"
+#include "lcrb/bridge.h"
+#include "lcrb/greedy.h"
+#include "lcrb/scbg.h"
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace lcrb {
+namespace {
+
+struct GoldenEntry {
+  const char* name;
+  std::uint64_t hash;
+};
+
+constexpr GoldenEntry kGolden[] = {
+#include "lcrb/golden_hashes.inc"
+};
+
+std::uint64_t golden_for(const std::string& name) {
+  for (const GoldenEntry& e : kGolden) {
+    if (name == e.name) return e.hash;
+  }
+  ADD_FAILURE() << "no golden entry named '" << name
+                << "' — add it to golden_hashes.inc";
+  return 0;
+}
+
+/// FNV-1a over the byte stream the case feeds in. Doubles are hashed by bit
+/// pattern, so any floating-point drift (not just value drift) is caught.
+class Fnv {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void u32(std::uint32_t v) { bytes(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+void check_golden(const std::string& name, std::uint64_t hash) {
+  if (std::getenv("LCRB_GOLDEN_PRINT") != nullptr) {
+    printf("GOLDEN {\"%s\", 0x%016llxULL},\n", name.c_str(),
+           static_cast<unsigned long long>(hash));
+  }
+  EXPECT_EQ(golden_for(name), hash) << "golden hash drifted for " << name;
+}
+
+std::uint64_t hash_greedy(const GreedyResult& r) {
+  Fnv h;
+  h.u64(r.protectors.size());
+  for (NodeId v : r.protectors) h.u32(v);
+  h.u64(r.gain_history.size());
+  for (double g : r.gain_history) h.f64(g);
+  h.f64(r.achieved_fraction);
+  return h.value();
+}
+
+std::uint64_t hash_scbg(const ScbgResult& r) {
+  Fnv h;
+  h.u64(r.protectors.size());
+  for (NodeId v : r.protectors) h.u32(v);
+  h.u64(static_cast<std::uint64_t>(r.covered));
+  return h.value();
+}
+
+BridgeEndResult bridges_on(const DiGraph& g, const std::vector<NodeId>& rumors,
+                           std::vector<NodeId> ends) {
+  BridgeEndResult b;
+  b.bridge_ends = std::move(ends);
+  b.rumor_dist.assign(g.num_nodes(), kUnreached);
+  std::vector<NodeId> frontier, next;
+  for (NodeId s : rumors) {
+    b.rumor_dist[s] = 0;
+    frontier.push_back(s);
+  }
+  for (std::uint32_t d = 1; !frontier.empty(); ++d) {
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId w : g.out_neighbors(u)) {
+        if (b.rumor_dist[w] == kUnreached) {
+          b.rumor_dist[w] = d;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return b;
+}
+
+class GoldenDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(4242);
+    g_ = erdos_renyi(120, 0.05, /*directed=*/true, rng);
+    rumors_ = {0, 1, 2};
+    std::vector<NodeId> ends;
+    for (NodeId v = 10; v < 42; ++v) ends.push_back(v);
+    bridges_ = bridges_on(g_, rumors_, std::move(ends));
+  }
+
+  /// Runs the greedy serially and on 1- and 4-thread pools; all three must
+  /// produce the same bytes, and those bytes must match the pinned hash.
+  void check_greedy(const std::string& name, const GreedyConfig& cfg) {
+    const std::uint64_t serial =
+        hash_greedy(greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg,
+                                              nullptr));
+    ThreadPool one(1);
+    const std::uint64_t t1 = hash_greedy(
+        greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg, &one));
+    ThreadPool four(4);
+    const std::uint64_t t4 = hash_greedy(
+        greedy_lcrbp_from_bridges(g_, rumors_, bridges_, cfg, &four));
+    EXPECT_EQ(serial, t1) << name << ": 1-thread run drifted from serial";
+    EXPECT_EQ(serial, t4) << name << ": 4-thread run drifted from serial";
+    check_golden(name, serial);
+  }
+
+  DiGraph g_;
+  std::vector<NodeId> rumors_;
+  BridgeEndResult bridges_;
+};
+
+TEST_F(GoldenDeterminismTest, GreedyMcCacheOpoao) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma.samples = 12;
+  cfg.sigma.seed = 9;
+  cfg.sigma.model = DiffusionModel::kOpoao;
+  check_greedy("greedy_mc_cache_opoao", cfg);
+}
+
+TEST_F(GoldenDeterminismTest, GreedyMcLegacyOpoao) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma.samples = 12;
+  cfg.sigma.seed = 9;
+  cfg.sigma.model = DiffusionModel::kOpoao;
+  cfg.sigma.use_realization_cache = false;
+  check_greedy("greedy_mc_legacy_opoao", cfg);
+}
+
+TEST_F(GoldenDeterminismTest, GreedyMcCacheIc) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma.samples = 10;
+  cfg.sigma.seed = 13;
+  cfg.sigma.model = DiffusionModel::kIc;
+  cfg.sigma.ic_edge_prob = 0.3;
+  check_greedy("greedy_mc_cache_ic", cfg);
+}
+
+TEST_F(GoldenDeterminismTest, GreedyMcLegacyIc) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma.samples = 10;
+  cfg.sigma.seed = 13;
+  cfg.sigma.model = DiffusionModel::kIc;
+  cfg.sigma.ic_edge_prob = 0.3;
+  cfg.sigma.use_realization_cache = false;
+  check_greedy("greedy_mc_legacy_ic", cfg);
+}
+
+TEST_F(GoldenDeterminismTest, GreedyMcCacheLt) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.7;
+  cfg.sigma.samples = 10;
+  cfg.sigma.seed = 17;
+  cfg.sigma.model = DiffusionModel::kLt;
+  check_greedy("greedy_mc_cache_lt", cfg);
+}
+
+TEST_F(GoldenDeterminismTest, GreedyMcDoam) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma.samples = 4;  // DOAM is deterministic; samples collapse anyway
+  cfg.sigma.seed = 3;
+  cfg.sigma.model = DiffusionModel::kDoam;
+  check_greedy("greedy_mc_doam", cfg);
+}
+
+TEST_F(GoldenDeterminismTest, GreedyRisOpoao) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma_mode = SigmaMode::kRis;
+  cfg.sigma.model = DiffusionModel::kOpoao;
+  cfg.sigma.seed = 9;
+  cfg.ris.initial_sets = 128;
+  cfg.ris.max_sets = 4096;
+  check_greedy("greedy_ris_opoao", cfg);
+}
+
+TEST_F(GoldenDeterminismTest, GreedyRisIc) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.7;
+  cfg.sigma_mode = SigmaMode::kRis;
+  cfg.sigma.model = DiffusionModel::kIc;
+  cfg.sigma.ic_edge_prob = 0.25;
+  cfg.sigma.seed = 21;
+  cfg.ris.initial_sets = 128;
+  cfg.ris.max_sets = 4096;
+  check_greedy("greedy_ris_ic", cfg);
+}
+
+TEST_F(GoldenDeterminismTest, GreedyRisDoam) {
+  GreedyConfig cfg;
+  cfg.alpha = 0.8;
+  cfg.sigma_mode = SigmaMode::kRis;
+  cfg.sigma.model = DiffusionModel::kDoam;
+  cfg.sigma.seed = 5;
+  cfg.ris.initial_sets = 128;
+  cfg.ris.max_sets = 4096;
+  check_greedy("greedy_ris_doam", cfg);
+}
+
+TEST_F(GoldenDeterminismTest, ScbgSeedSet) {
+  const ScbgResult r = scbg_from_bridges(g_, rumors_, bridges_);
+  check_golden("scbg_seed_set", hash_scbg(r));
+}
+
+TEST_F(GoldenDeterminismTest, OpoaoTracePins) {
+  SeedSets seeds;
+  seeds.rumors = rumors_;
+  seeds.protectors = {50, 51};
+  OpoaoConfig cfg;
+  cfg.max_steps = 31;
+  OpoaoTrace trace;
+  const DiffusionResult r = simulate_opoao(g_, seeds, 777, cfg, &trace);
+  Fnv h;
+  h.u64(trace.picks.size());
+  for (const OpoaoPick& p : trace.picks) {
+    h.u32(p.step);
+    h.u32(p.from);
+    h.u32(p.to);
+    h.u32(static_cast<std::uint32_t>(p.cascade));
+    h.u32(p.activated ? 1u : 0u);
+  }
+  h.u64(r.infected_count());
+  h.u64(r.protected_count());
+  h.u32(r.steps);
+  for (std::uint32_t c : r.newly_infected) h.u32(c);
+  for (std::uint32_t c : r.newly_protected) h.u32(c);
+  check_golden("opoao_trace", h.value());
+}
+
+}  // namespace
+}  // namespace lcrb

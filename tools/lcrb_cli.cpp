@@ -29,7 +29,7 @@
 #include <memory>
 #include <sstream>
 
-#include "lcrb/lcrb.h"
+#include "lcrb/experiments.h"
 #include "service/query_service.h"
 
 namespace {

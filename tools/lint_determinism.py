@@ -58,6 +58,16 @@ SENSITIVE_SUFFIXES = (
     "src/lcrb/ris.cpp",
     "src/diffusion/montecarlo.h",
     "src/diffusion/montecarlo.cpp",
+    # The traits layer owns every model's randomness: the cascade kernel,
+    # dispatch, and each model's sample/replay/reverse hooks.
+    "src/diffusion/kernel.h",
+    "src/diffusion/model_traits.h",
+    "src/diffusion/frontier_traits.h",
+    "src/diffusion/opoao_traits.h",
+    "src/diffusion/doam_traits.h",
+    "src/diffusion/ic_traits.h",
+    "src/diffusion/wc_traits.h",
+    "src/diffusion/lt_traits.h",
     "src/community/louvain.cpp",
     "src/community/label_propagation.cpp",
     # The query service promises byte-identical payloads across batching and
