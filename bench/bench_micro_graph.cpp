@@ -1,6 +1,8 @@
 // Microbenchmarks (google-benchmark): graph substrate throughput.
 #include <benchmark/benchmark.h>
 
+#include "build_guard.h"
+
 #include "lcrb/core.h"
 
 namespace {
@@ -91,4 +93,12 @@ BENCHMARK(BM_BridgeEndDetection)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  lcrb::bench::require_release_build("bench_micro_graph");
+  benchmark::AddCustomContext("lcrb_build_type", lcrb::bench::kBuildType);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

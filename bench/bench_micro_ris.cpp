@@ -20,7 +20,9 @@
 
 #include <cmath>
 
+#include "build_guard.h"
 #include "lcrb/experiments.h"
+#include "util/threadpool.h"
 
 namespace {
 
@@ -159,13 +161,55 @@ void BM_McVsRis_Fig7Doam(benchmark::State& state) {
   run_ablation(state, DiffusionModel::kDoam);
 }
 
+/// Sharded-generation scaling sweep: grow a fixed-size RR pool on 1/2/4/8
+/// worker threads. Determinism makes the pools byte-identical across the
+/// sweep, so the only variable is wall-clock; `sets_per_sec` is the scaling
+/// counter the CI artifact tracks.
+void BM_RisGenerate_ThreadSweep(benchmark::State& state) {
+  static const FigureSetup setup = make_setup();
+  constexpr std::size_t kSweepSets = 4096;
+  RisConfig rc;
+  rc.model = DiffusionModel::kOpoao;
+  rc.seed = 9;
+  RrSampler sampler(setup.graph, setup.rumors, setup.bridges.bridge_ends, rc);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool pool(threads);
+  std::uint64_t visits = 0;
+  for (auto _ : state) {
+    RrPool rr;
+    sampler.extend(rr, 0, kSweepSets, &pool);
+    visits = rr.nodes_visited();
+    benchmark::DoNotOptimize(rr.num_sets());
+  }
+  state.counters["sets_per_sec"] = benchmark::Counter(
+      static_cast<double>(kSweepSets) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.counters["nodes_visited"] = static_cast<double>(visits);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 BENCHMARK(BM_SelectMc_HepOpoao)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SelectRis_HepOpoao)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SelectMc_HepDoam)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SelectRis_HepDoam)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_McVsRis_Fig4Opoao)->Unit(benchmark::kMillisecond)->Iterations(2);
 BENCHMARK(BM_McVsRis_Fig7Doam)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_RisGenerate_ThreadSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  lcrb::bench::require_release_build("bench_micro_ris");
+  benchmark::AddCustomContext("lcrb_build_type", lcrb::bench::kBuildType);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,8 @@
 // evaluations, so items_per_second is directly "sigma evals/sec".
 #include <benchmark/benchmark.h>
 
+#include "build_guard.h"
+
 #include "lcrb/core.h"
 #include "lcrb/sigma_engine.h"
 
@@ -98,4 +100,12 @@ BENCHMARK(BM_SigmaEngineBuild)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisec
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  lcrb::bench::require_release_build("bench_micro_sigma");
+  benchmark::AddCustomContext("lcrb_build_type", lcrb::bench::kBuildType);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

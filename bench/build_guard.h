@@ -1,0 +1,42 @@
+// Build-type guard for every bench binary: recordings from debug builds are
+// not comparable (the committed BENCH_*.json history was briefly polluted by
+// debug-build captures), so a bench refuses to run unless the library was
+// compiled with NDEBUG. Deliberate debug runs (profiling a sanitizer build,
+// smoke-testing the harness) can opt in with LCRB_BENCH_ALLOW_DEBUG=1, which
+// still prints an unmissable banner so the numbers cannot be mistaken for a
+// release record.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lcrb::bench {
+
+#if defined(NDEBUG)
+inline constexpr const char* kBuildType = "release";
+inline constexpr bool kIsReleaseBuild = true;
+#else
+inline constexpr const char* kBuildType = "debug";
+inline constexpr bool kIsReleaseBuild = false;
+#endif
+
+/// Call first thing in every bench main. Exits with status 2 on a debug
+/// build unless LCRB_BENCH_ALLOW_DEBUG is set in the environment.
+inline void require_release_build(const char* binary) {
+  if (kIsReleaseBuild) return;
+  if (std::getenv("LCRB_BENCH_ALLOW_DEBUG") == nullptr) {
+    std::fprintf(stderr,
+                 "%s: refusing to benchmark a DEBUG build — numbers would "
+                 "not be comparable to the committed BENCH records.\n"
+                 "Rebuild with -DCMAKE_BUILD_TYPE=Release, or set "
+                 "LCRB_BENCH_ALLOW_DEBUG=1 to run anyway (flagged).\n",
+                 binary);
+    std::exit(2);
+  }
+  std::fprintf(stderr,
+               "%s: *** DEBUG BUILD (LCRB_BENCH_ALLOW_DEBUG set) — do NOT "
+               "commit these numbers ***\n",
+               binary);
+}
+
+}  // namespace lcrb::bench

@@ -54,9 +54,11 @@ BenchContext parse_context(int argc, char** argv, const std::string& title,
       args.get_int_env("candidates", "LCRB_BENCH_CANDIDATES", 300));
   ctx.csv_dir = args.get_string("csv-dir", "");
   ctx.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  require_release_build(title.c_str());
   set_log_level(LogLevel::Warn);
   std::cout << "=== " << title << " ===\n"
-            << "scale=" << ctx.scale << " mc_runs=" << ctx.mc_runs
+            << "build=" << kBuildType << " scale=" << ctx.scale
+            << " mc_runs=" << ctx.mc_runs
             << " sigma_samples=" << ctx.sigma_samples
             << " trials=" << ctx.trials << " seed=" << ctx.seed << "\n\n";
   return ctx;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "build_guard.h"
 #include "lcrb/experiments.h"
 
 namespace lcrb::bench {

@@ -424,13 +424,21 @@ struct OpoaoTraits {
     // straight from the stateless pick hashes (no trace, no pick tables).
     // Matches the Forward runner with empty protectors and
     // max_steps = max_hops.
+    // The replay stops at the end of the step that infects `root`: phase 2's
+    // deadlines start at T0(root) and strictly decrease, so it only ever
+    // consults T0(u) < T0(root) - 1 — values already final by then. Nodes the
+    // full replay would infect later stay epoch-stale, which phase 2 treats
+    // identically to T0(u) > deadline. Null roots still replay all `hops`
+    // steps (reachability can flip at any step: picks re-draw per step).
     sc.active.clear();
     for (NodeId v : rumors) {
       sc.t0_epoch[v] = sc.epoch;
       sc.t0[v] = 0;
       if (g.out_degree(v) > 0) sc.active.push_back(v);
     }
-    for (std::uint32_t step = 1; step <= hops && !sc.active.empty(); ++step) {
+    for (std::uint32_t step = 1; step <= hops && !sc.active.empty() &&
+                                 sc.t0_epoch[root] != sc.epoch;
+         ++step) {
       const std::size_t prev = sc.active.size();
       for (std::size_t i = 0; i < prev; ++i) {
         const NodeId v = sc.active[i];

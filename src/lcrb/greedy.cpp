@@ -118,6 +118,8 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
     out.ris_rounds = ris.rounds;
     out.ris_sigma_lower = ris.sigma_lower;
     out.ris_sigma_upper = ris.sigma_upper;
+    out.ris_guarantee_met = ris.guarantee_met;
+    out.ris_stop_reason = ris.stop_reason;
     return out;
   }
 

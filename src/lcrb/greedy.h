@@ -61,9 +61,14 @@ struct GreedyResult {
   /// Elementary node-touch operations spent estimating sigma (both modes);
   /// the bench's common cost currency.
   std::uint64_t nodes_visited = 0;
-  std::size_t ris_rounds = 0;      ///< doubling rounds (kRis only)
+  std::size_t ris_rounds = 0;      ///< stopping checkpoints run (kRis only)
   double ris_sigma_lower = 0.0;    ///< certified sigma bounds (kRis only)
   double ris_sigma_upper = 0.0;
+  /// kRis only: whether the (epsilon, delta) guarantee was certified before
+  /// a cap (max_sets / pool byte budget) ended sampling, and why sampling
+  /// stopped. True for kMonteCarlo (no adaptive rule to miss).
+  bool ris_guarantee_met = true;
+  RisStopReason ris_stop_reason = RisStopReason::kNone;
   /// kMonteCarlo only: which machinery served sigma and, when it is the
   /// legacy path despite the cache being requested, why.
   SigmaPath sigma_path = SigmaPath::kLegacySimulate;

@@ -99,6 +99,8 @@ void LcrbOptions::validate() const {
   if (ris_estimator_sets == 0) {
     throw Error("options: ris_estimator_sets must be >= 1");
   }
+  // ris_max_pool_bytes: any value is valid (0 = unlimited; a tiny budget
+  // degrades to a one-set pool rather than failing).
   if (gvs_samples == 0) {
     throw Error("options: gvs_samples must be >= 1");
   }
@@ -145,6 +147,7 @@ RisConfig LcrbOptions::ris_config() const {
   rc.initial_sets = ris_initial_sets;
   rc.max_sets = ris_max_sets;
   rc.estimator_sets = ris_estimator_sets;
+  rc.max_pool_bytes = ris_max_pool_bytes;
   rc.seed = sigma_seed;
   rc.max_hops = max_hops;
   rc.model = model;
@@ -205,6 +208,8 @@ LcrbOptions LcrbOptions::from_args(const Args& args) {
       "ris-max-sets", static_cast<std::int64_t>(o.ris_max_sets)));
   o.ris_estimator_sets = static_cast<std::size_t>(args.get_int(
       "ris-estimator-sets", static_cast<std::int64_t>(o.ris_estimator_sets)));
+  o.ris_max_pool_bytes = static_cast<std::size_t>(args.get_int(
+      "ris-pool-bytes", static_cast<std::int64_t>(o.ris_max_pool_bytes)));
   o.gvs_samples = static_cast<std::size_t>(args.get_int(
       "gvs-samples", static_cast<std::int64_t>(o.gvs_samples)));
   o.gvs_max_candidates = static_cast<std::size_t>(args.get_int(
@@ -235,6 +240,7 @@ JsonValue LcrbOptions::to_json() const {
   v.set("ris_initial_sets", static_cast<std::uint64_t>(ris_initial_sets));
   v.set("ris_max_sets", static_cast<std::uint64_t>(ris_max_sets));
   v.set("ris_estimator_sets", static_cast<std::uint64_t>(ris_estimator_sets));
+  v.set("ris_max_pool_bytes", static_cast<std::uint64_t>(ris_max_pool_bytes));
   v.set("gvs_samples", static_cast<std::uint64_t>(gvs_samples));
   v.set("gvs_max_candidates", static_cast<std::uint64_t>(gvs_max_candidates));
   return v;
@@ -284,6 +290,8 @@ LcrbOptions LcrbOptions::from_json(const JsonValue& v) {
       o.ris_max_sets = static_cast<std::size_t>(val.as_int());
     } else if (key == "ris_estimator_sets") {
       o.ris_estimator_sets = static_cast<std::size_t>(val.as_int());
+    } else if (key == "ris_max_pool_bytes") {
+      o.ris_max_pool_bytes = static_cast<std::size_t>(val.as_int());
     } else if (key == "gvs_samples") {
       o.gvs_samples = static_cast<std::size_t>(val.as_int());
     } else if (key == "gvs_max_candidates") {

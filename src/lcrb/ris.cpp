@@ -1,12 +1,16 @@
 #include "lcrb/ris.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "diffusion/model_traits.h"
+#include "lcrb/ris_schedule.h"
 #include "util/check.h"
 #include "util/error.h"
+#include "util/log.h"
 #include "util/rng.h"
 
 namespace lcrb {
@@ -15,6 +19,17 @@ std::string to_string(SigmaMode m) {
   switch (m) {
     case SigmaMode::kMonteCarlo: return "mc";
     case SigmaMode::kRis: return "ris";
+  }
+  return "unknown";
+}
+
+std::string to_string(RisStopReason r) {
+  switch (r) {
+    case RisStopReason::kNone: return "none";
+    case RisStopReason::kCertified: return "certified";
+    case RisStopReason::kNegligible: return "negligible";
+    case RisStopReason::kMaxSets: return "max_sets";
+    case RisStopReason::kPoolBytes: return "pool_bytes";
   }
   return "unknown";
 }
@@ -73,24 +88,58 @@ std::size_t RrPool::memory_bytes() const {
          inv_sets_.capacity() * sizeof(std::uint32_t);
 }
 
-void RrPool::append_sets(std::vector<std::vector<NodeId>>&& sets,
-                         std::uint64_t visits, NodeId num_graph_nodes) {
-  std::size_t added = 0;
-  for (const auto& s : sets) added += s.size();
-  nodes_.reserve(nodes_.size() + added);
-  set_off_.reserve(set_off_.size() + sets.size());
-  for (auto& s : sets) {
-    if (s.empty()) ++num_null_;
-    nodes_.insert(nodes_.end(), s.begin(), s.end());
-    set_off_.push_back(static_cast<std::uint32_t>(nodes_.size()));
-  }
-  nodes_visited_ += visits;
+std::size_t RrPool::content_bytes_for(std::size_t sets, std::size_t entries,
+                                      std::size_t num_graph_nodes) {
+  // Mirrors the post-append layout: set_off (sets + 1), nodes (entries),
+  // inv_off (num_graph_nodes + 1), inv_sets (entries). Size-based, so the
+  // same content always costs the same bytes whatever the growth history.
+  return sizeof(RrPool) + (sets + 1) * sizeof(std::uint32_t) +
+         entries * sizeof(NodeId) +
+         (num_graph_nodes + 1) * sizeof(std::uint32_t) +
+         entries * sizeof(std::uint32_t);
+}
 
-  // Rebuild the inverted index by counting sort; iterating sets in id order
-  // keeps each node's posting list ascending.
+std::size_t RrPool::content_bytes() const {
+  const std::size_t num_nodes = inv_off_.empty() ? 0 : inv_off_.size() - 1;
+  return content_bytes_for(num_sets(), nodes_.size(), num_nodes);
+}
+
+void RrPool::set_byte_budget(std::size_t bytes) {
+  byte_budget_ = bytes;
+  byte_capped_ = false;
+  if (bytes == 0 || inv_off_.empty()) return;
+  const std::size_t num_nodes = inv_off_.size() - 1;
+  std::size_t sets = num_sets();
+  std::size_t entries = nodes_.size();
+  while (sets > 1 &&
+         content_bytes_for(sets, entries, num_nodes) > bytes) {
+    --sets;
+    entries = set_off_[sets];
+    byte_capped_ = true;
+  }
+  if (!byte_capped_) return;
+  for (std::size_t i = sets; i < num_sets(); ++i) {
+    if (set_off_[i + 1] == set_off_[i]) --num_null_;
+  }
+  set_off_.resize(sets + 1);
+  nodes_.resize(entries);
+  // Give the memory back: retirement exists to shrink the registry's
+  // capacity-based accounting, not just the logical size.
+  set_off_.shrink_to_fit();
+  nodes_.shrink_to_fit();
+  rebuild_inverted_index(static_cast<NodeId>(num_nodes));
+  inv_sets_.shrink_to_fit();
+  LCRB_INVARIANT(validate());
+}
+
+void RrPool::rebuild_inverted_index(NodeId num_graph_nodes) {
+  // Counting sort; iterating sets in id order keeps each node's posting
+  // list ascending.
   inv_off_.assign(static_cast<std::size_t>(num_graph_nodes) + 1, 0);
   for (NodeId v : nodes_) ++inv_off_[static_cast<std::size_t>(v) + 1];
-  for (std::size_t i = 1; i < inv_off_.size(); ++i) inv_off_[i] += inv_off_[i - 1];
+  for (std::size_t i = 1; i < inv_off_.size(); ++i) {
+    inv_off_[i] += inv_off_[i - 1];
+  }
   inv_sets_.assign(nodes_.size(), 0);
   std::vector<std::uint32_t> cursor(inv_off_.begin(), inv_off_.end() - 1);
   for (std::size_t s = 0; s + 1 < set_off_.size(); ++s) {
@@ -102,6 +151,38 @@ void RrPool::append_sets(std::vector<std::vector<NodeId>>&& sets,
   for (NodeId v = 0; v < num_graph_nodes; ++v) {
     if (inv_off_[v + 1] > inv_off_[v]) ++num_covered_nodes_;
   }
+}
+
+void RrPool::append_shards(std::vector<RrShard>&& shards,
+                           NodeId num_graph_nodes) {
+  std::size_t add_sets = 0;
+  std::size_t add_entries = 0;
+  for (const RrShard& sh : shards) {
+    add_sets += sh.sizes.size();
+    add_entries += sh.nodes.size();
+    nodes_visited_ += sh.visits;  // work was spent even if a set is dropped
+  }
+  nodes_.reserve(nodes_.size() + add_entries);
+  set_off_.reserve(set_off_.size() + add_sets);
+  for (const RrShard& sh : shards) {
+    std::size_t pos = 0;
+    for (std::uint32_t size : sh.sizes) {
+      if (byte_budget_ != 0 &&
+          content_bytes_for(num_sets() + 1, nodes_.size() + size,
+                            num_graph_nodes) > byte_budget_ &&
+          num_sets() >= 1) {
+        byte_capped_ = true;
+        break;
+      }
+      if (size == 0) ++num_null_;
+      nodes_.insert(nodes_.end(), sh.nodes.begin() + pos,
+                    sh.nodes.begin() + pos + size);
+      set_off_.push_back(static_cast<std::uint32_t>(nodes_.size()));
+      pos += size;
+    }
+    if (byte_capped_) break;
+  }
+  rebuild_inverted_index(num_graph_nodes);
   LCRB_INVARIANT(validate());
 }
 
@@ -150,6 +231,10 @@ void RrPool::validate() const {
   }
   LCRB_REQUIRE(covered == num_covered_nodes_,
                "covered-node counter out of sync");
+  if (byte_budget_ != 0) {
+    LCRB_REQUIRE(num_sets() <= 1 || content_bytes() <= byte_budget_,
+                 "pool content exceeds its byte budget");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -224,29 +309,38 @@ RrSampler::Draw RrSampler::draw(std::uint64_t stream, std::size_t index) const {
   return d;
 }
 
-std::vector<NodeId> RrSampler::rr_set(std::size_t root_idx,
-                                      std::uint64_t realization_seed,
-                                      std::uint64_t* visits) const {
+std::uint32_t RrSampler::rr_set_into(std::size_t root_idx,
+                                     std::uint64_t realization_seed,
+                                     ReverseScratch& sc,
+                                     std::vector<NodeId>& nodes,
+                                     std::uint64_t& visits) const {
   LCRB_REQUIRE(root_idx < bridge_ends_.size(), "RR root index out of range");
   const NodeId root = bridge_ends_[root_idx];
   const RealizationParams params{cfg_.max_hops, cfg_.ic_edge_prob};
+  const std::size_t start = nodes.size();
+  sc.bump_epoch();
+  dispatch_model(cfg_.model, [&](auto t) {
+    using T = decltype(t);
+    if constexpr (T::kSupportsReverse) {
+      T::reverse_set(g_, is_rumor_, rumors_, reverse_shared_, root,
+                     realization_seed, params, sc, nodes, visits);
+    } else {
+      throw Error("RIS does not support " + std::string(T::kName));
+    }
+  });
+  std::sort(nodes.begin() + static_cast<std::ptrdiff_t>(start), nodes.end());
+  return static_cast<std::uint32_t>(nodes.size() - start);
+}
+
+std::vector<NodeId> RrSampler::rr_set(std::size_t root_idx,
+                                      std::uint64_t realization_seed,
+                                      std::uint64_t* visits) const {
   std::uint64_t local = 0;
   std::vector<NodeId> out;
   {
     ScratchLease lease(*this);
-    ReverseScratch& sc = *lease.scratch;
-    sc.bump_epoch();
-    dispatch_model(cfg_.model, [&](auto t) {
-      using T = decltype(t);
-      if constexpr (T::kSupportsReverse) {
-        T::reverse_set(g_, is_rumor_, rumors_, reverse_shared_, root,
-                       realization_seed, params, sc, out, local);
-      } else {
-        throw Error("RIS does not support " + std::string(T::kName));
-      }
-    });
+    rr_set_into(root_idx, realization_seed, *lease.scratch, out, local);
   }
-  std::sort(out.begin(), out.end());
   if (visits != nullptr) *visits += local;
   return out;
 }
@@ -255,26 +349,46 @@ void RrSampler::extend(RrPool& pool, std::uint64_t stream,
                        std::size_t target_sets, ThreadPool* tp) const {
   const std::size_t from = pool.num_sets();
   if (target_sets <= from) return;
+  if (pool.byte_budget() != 0 && pool.byte_capped()) return;  // already full
   const std::size_t count = target_sets - from;
-  std::vector<std::vector<NodeId>> sets(count);
-  std::vector<std::uint64_t> vis(count, 0);
-  auto make_one = [&](std::size_t i) {
-    if (bridge_ends_.empty()) return;  // no targets: every set is null
-    const Draw d = draw(stream, from + i);
-    sets[i] = rr_set(d.root_idx, d.realization_seed, &vis[i]);
+
+  // Contiguous index shards: shard s owns draws [from + s*chunk,
+  // from + min((s+1)*chunk, count)). The shard count depends only on the
+  // pool's thread count (a few shards per thread evens out skewed reverse
+  // searches); merging in shard order makes the result independent of it.
+  const std::size_t threads = tp != nullptr ? tp->thread_count() : 0;
+  const std::size_t num_shards =
+      (threads > 1 && count > 1) ? std::min(count, threads * 4) : 1;
+  const std::size_t chunk = (count + num_shards - 1) / num_shards;
+
+  std::vector<RrShard> shards(num_shards);
+  auto fill_shard = [&](std::size_t s) {
+    const std::size_t lo = s * chunk;
+    const std::size_t hi = std::min(lo + chunk, count);
+    if (lo >= hi) return;
+    RrShard& sh = shards[s];
+    sh.sizes.reserve(hi - lo);
+    if (bridge_ends_.empty()) {  // no targets: every set is null
+      sh.sizes.assign(hi - lo, 0);
+      return;
+    }
+    ScratchLease lease(*this);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Draw d = draw(stream, from + i);
+      sh.sizes.push_back(rr_set_into(d.root_idx, d.realization_seed,
+                                     *lease.scratch, sh.nodes, sh.visits));
+    }
   };
-  if (tp != nullptr && count > 1) {
-    tp->parallel_for(count, make_one);
+  if (tp != nullptr && num_shards > 1) {
+    tp->parallel_for(num_shards, fill_shard);
   } else {
-    for (std::size_t i = 0; i < count; ++i) make_one(i);
+    for (std::size_t s = 0; s < num_shards; ++s) fill_shard(s);
   }
-  std::uint64_t total = 0;
-  for (std::uint64_t v : vis) total += v;
-  pool.append_sets(std::move(sets), total, g_.num_nodes());
+  pool.append_shards(std::move(shards), g_.num_nodes());
 }
 
 // ---------------------------------------------------------------------------
-// Max-coverage greedy + OPIM-style stopping rule
+// Max-coverage greedy + two-pool stopping rule
 
 namespace {
 
@@ -285,21 +399,41 @@ struct CoverageGreedyOutcome {
   std::uint64_t ops = 0;
 };
 
-/// Plain max-coverage greedy over the first `theta` sets of the pool (its
+/// Max-coverage greedy over the first `theta` sets of the pool (its
 /// identity-keeping prefix), lowest node id on ties, stopping once
 /// (covered + null) / theta reaches alpha or the pick cap is hit.
+///
+/// CELF-style lazy argmax: cnt[] holds every node's EXACT residual coverage
+/// (maintained by decrements when a pick's sets are covered), and the heap
+/// holds stale upper bounds of it. A popped entry whose bound is stale is
+/// reinserted at the current count; a fresh top is the exact argmax, because
+/// counts only decrease and every other heap bound dominates its node's
+/// count. The comparator breaks count ties toward the LOWEST node id — the
+/// exact pick sequence of the linear scan this replaces, so golden hashes
+/// are unchanged. ops counts cnt[] decrements only (the work measure the
+/// linear scan reported), so nodes_visited is unchanged too.
 CoverageGreedyOutcome coverage_greedy(const RrPool& pool, NodeId num_nodes,
                                       double alpha, std::size_t max_protectors,
                                       std::size_t theta) {
   CoverageGreedyOutcome out;
   if (theta == 0) return out;
   std::vector<std::uint32_t> cnt(num_nodes, 0);
+  // (count, node) max-heap: larger count wins, lower id wins ties. Stored
+  // flat and re-heapified lazily via push_heap/pop_heap.
+  const auto heap_less = [](const std::pair<std::uint32_t, NodeId>& x,
+                            const std::pair<std::uint32_t, NodeId>& y) {
+    if (x.first != y.first) return x.first < y.first;
+    return x.second > y.second;
+  };
+  std::vector<std::pair<std::uint32_t, NodeId>> heap;
   for (NodeId v = 0; v < num_nodes; ++v) {
     const std::span<const std::uint32_t> postings = pool.sets_containing(v);
     const auto end = std::lower_bound(postings.begin(), postings.end(),
                                       static_cast<std::uint32_t>(theta));
     cnt[v] = static_cast<std::uint32_t>(end - postings.begin());
+    if (cnt[v] > 0) heap.emplace_back(cnt[v], v);
   }
+  std::make_heap(heap.begin(), heap.end(), heap_less);
   std::vector<char> covered(theta, 0);
   const std::size_t nulls = pool.num_null_prefix(theta);
   const double need = alpha * static_cast<double>(theta) - 1e-9;
@@ -307,11 +441,19 @@ CoverageGreedyOutcome coverage_greedy(const RrPool& pool, NodeId num_nodes,
          (max_protectors == 0 || out.picks.size() < max_protectors)) {
     NodeId best = kInvalidNode;
     std::uint32_t best_cnt = 0;
-    for (NodeId v = 0; v < num_nodes; ++v) {
-      if (cnt[v] > best_cnt) {
-        best = v;
-        best_cnt = cnt[v];
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), heap_less);
+      const auto [bound, v] = heap.back();
+      heap.pop_back();
+      if (cnt[v] == 0) continue;  // fully covered since; drop for good
+      if (bound != cnt[v]) {      // stale bound: requeue at the exact count
+        heap.emplace_back(cnt[v], v);
+        std::push_heap(heap.begin(), heap.end(), heap_less);
+        continue;
       }
+      best = v;
+      best_cnt = bound;
+      break;
     }
     if (best == kInvalidNode) break;  // every remaining set is uncoverable
     out.picks.push_back(best);
@@ -330,6 +472,20 @@ CoverageGreedyOutcome coverage_greedy(const RrPool& pool, NodeId num_nodes,
   return out;
 }
 
+/// Satellite guard: sampling hit a cap without certifying the (eps, delta)
+/// guarantee. Warn once per process; every affected result carries
+/// guarantee_met = false.
+void warn_guarantee_not_met(RisStopReason reason, std::size_t theta,
+                            double epsilon, double delta) {
+  static std::atomic<bool> warned{false};
+  if (warned.exchange(true)) return;
+  LCRB_LOG_WARN << "ris: sampling stopped at the " << to_string(reason)
+                << " cap (theta=" << theta << ") before certifying the (eps="
+                << epsilon << ", delta=" << delta
+                << ") guarantee; results are flagged guarantee_met=false "
+                << "(further occurrences are not logged)";
+}
+
 }  // namespace
 
 RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
@@ -343,6 +499,7 @@ RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
   RisGreedyResult out;
   if (bridges.bridge_ends.empty()) {
     out.achieved_fraction = 1.0;
+    out.guarantee_met = true;  // nothing to certify
     return out;
   }
   RisContext ctx(g, {rumors.begin(), rumors.end()}, bridges.bridge_ends, cfg);
@@ -364,27 +521,37 @@ RisGreedyResult ris_greedy_with_context(double alpha,
   const RisConfig& base = ctx.sampler.config();
   LCRB_REQUIRE(cfg.seed == base.seed && cfg.max_hops == base.max_hops &&
                    cfg.model == base.model &&
-                   cfg.ic_edge_prob == base.ic_edge_prob,
-               "ris context was built with different draw-shaping knobs");
+                   cfg.ic_edge_prob == base.ic_edge_prob &&
+                   cfg.max_pool_bytes == base.max_pool_bytes,
+               "ris context was built with different draw- or pool-shaping "
+               "knobs");
 
   RisGreedyResult out;
+  out.epsilon_used = cfg.epsilon;
+  out.delta_used = cfg.delta;
   const std::size_t nb = ctx.sampler.bridge_ends().size();
   if (nb == 0) {
     out.achieved_fraction = 1.0;
+    out.guarantee_met = true;  // nothing to certify
     return out;
   }
   const DiGraph& g = ctx.sampler.graph();
   const double b = static_cast<double>(nb);
   const double approx = 1.0 - std::exp(-1.0);  // the (1 - 1/e) factor
 
-  std::size_t theta =
-      std::min(std::max<std::size_t>(cfg.initial_sets, 1), cfg.max_sets);
-  // Union-bound budget: two pools, checked once per doubling round.
-  std::size_t max_rounds = 1;
-  for (std::size_t t = theta; t < cfg.max_sets; t *= 2) ++max_rounds;
+  // Checkpoint schedule and per-bound failure share: delta split uniformly
+  // across checkpoints x 2 pools x 2 bound sides (union bound), the same
+  // split the pure-doubling rule used, so the Hoeffding half-width formula
+  // is unchanged at equal checkpoint counts.
+  const std::vector<std::size_t> schedule =
+      ris_stopping_schedule(cfg.initial_sets, cfg.max_sets);
+  const double a = ris_bound_exponent(cfg.delta, schedule.size());
+  out.delta_per_bound =
+      cfg.delta / (4.0 * static_cast<double>(schedule.size()));
 
   std::uint64_t greedy_ops = 0;
-  for (std::size_t round = 1;; ++round) {
+  for (std::size_t k = 0; k < schedule.size(); ++k) {
+    std::size_t theta = schedule[k];
     {
       std::unique_lock<std::shared_mutex> grow(ctx.mu);
       if (ctx.selection.num_sets() < theta) {
@@ -395,6 +562,18 @@ RisGreedyResult ris_greedy_with_context(double alpha,
       }
     }
     std::shared_lock<std::shared_mutex> read(ctx.mu);
+    // A byte-budgeted pool may stall below theta; evaluate on what both
+    // pools actually hold and treat the stall as a cap.
+    const bool pool_capped =
+        std::min(ctx.selection.num_sets(), ctx.validation.num_sets()) < theta;
+    if (pool_capped) {
+      theta = std::min(ctx.selection.num_sets(), ctx.validation.num_sets());
+    }
+    if (theta == 0) {
+      out.stop_reason = RisStopReason::kPoolBytes;
+      warn_guarantee_not_met(out.stop_reason, 0, cfg.epsilon, cfg.delta);
+      return out;
+    }
     // Evaluate over the first-theta prefix: identical to a cold pool of
     // theta sets because slots are preassigned, even when another query has
     // already grown the shared pools past theta.
@@ -403,41 +582,54 @@ RisGreedyResult ris_greedy_with_context(double alpha,
                         theta);
     greedy_ops += sel.ops;
 
-    const double cov1 =
-        static_cast<double>(sel.covered) / static_cast<double>(theta);
+    const double t = static_cast<double>(theta);
+    const double cov1 = static_cast<double>(sel.covered) / t;
     const double cov2 =
         ctx.validation.coverage_fraction(sel.picks, false, theta);
-    // Two-sided Hoeffding half-width at failure budget delta split across
-    // every check this run can make: P(|mean - mu| > hw) <= delta / (2 R).
-    const double hw = std::sqrt(
-        std::log(4.0 * static_cast<double>(max_rounds) / cfg.delta) /
-        (2.0 * static_cast<double>(theta)));
-    const double lb = std::max(0.0, cov2 - hw);
-    const double ub = std::min(1.0, cov1 / approx + hw);
+    const double hw = std::sqrt(a / (2.0 * t));
+    // Certified bounds: best of Hoeffding and martingale on each side (see
+    // ris_schedule.h). The OPT upper bound keeps the historical
+    // cov1/approx + hw form alongside the martingale OPT bound.
+    const double lb = ris_mean_lower_bound(cov2 * t, theta, a);
+    const double ub = std::min(
+        {1.0, cov1 / approx + hw,
+         ris_mean_upper_bound(cov1 * t, theta, a) / approx});
+    const double ub_sel = ris_mean_upper_bound(cov1 * t, theta, a);
     // OPIM-style acceptance, adapted to the alpha-truncated objective: stop
     // when the validated coverage certifies the greedy ratio up to epsilon,
-    // when the half-width alone is negligible, or at the sample cap.
+    // when both estimates are within epsilon/4 of their certified bounds
+    // (nothing left to learn at this accuracy), or at a cap.
     const bool certified = ub > 0.0 && lb / ub >= approx - cfg.epsilon;
-    const bool negligible = hw <= cfg.epsilon / 4.0;
-    if (certified || negligible || theta >= cfg.max_sets) {
+    const bool negligible =
+        cov2 - lb <= cfg.epsilon / 4.0 && ub_sel - cov1 <= cfg.epsilon / 4.0;
+    const bool capped = pool_capped || k + 1 == schedule.size();
+    if (certified || negligible || capped) {
       out.protectors = std::move(sel.picks);
       out.gain_history.reserve(sel.gains.size());
       for (std::size_t gsets : sel.gains) {
-        out.gain_history.push_back(static_cast<double>(gsets) * b /
-                                   static_cast<double>(theta));
+        out.gain_history.push_back(static_cast<double>(gsets) * b / t);
       }
       out.achieved_fraction =
           ctx.validation.coverage_fraction(out.protectors, true, theta);
       out.rr_sets = theta;
-      out.rounds = round;
+      out.rounds = k + 1;
       out.sigma_lower = lb * b;
       out.sigma_upper = ub * b;
       out.distinct_candidates = ctx.selection.num_covered_nodes_prefix(theta);
       out.nodes_visited = greedy_ops;
+      out.guarantee_met = certified || negligible;
+      out.stop_reason = certified     ? RisStopReason::kCertified
+                        : negligible  ? RisStopReason::kNegligible
+                        : pool_capped ? RisStopReason::kPoolBytes
+                                      : RisStopReason::kMaxSets;
+      if (!out.guarantee_met) {
+        warn_guarantee_not_met(out.stop_reason, theta, cfg.epsilon,
+                               cfg.delta);
+      }
       return out;
     }
-    theta = std::min(theta * 2, cfg.max_sets);
   }
+  throw Error("ris: stopping schedule ended without a cap checkpoint");
 }
 
 // ---------------------------------------------------------------------------

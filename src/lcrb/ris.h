@@ -30,16 +30,18 @@
 //             per-sample monotone, so coverage has no save semantics.
 //
 // sigma(A) ~= |B| * (covered RR sets / total RR sets): exact in expectation
-// for DOAM/IC/WC, conservative for OPOAO. Coverage of a fixed pool is monotone
-// and submodular, so max-coverage greedy over the pool keeps the paper's
-// (1 - 1/e) machinery, and an OPIM-style two-pool sample-doubling rule makes
-// the accuracy knobs (epsilon, delta) explicit instead of a fixed sample
-// count.
+// for DOAM/IC/WC, conservative for OPOAO. Coverage of a fixed pool is
+// monotone and submodular, so a CELF-style lazy-heap max-coverage greedy
+// over the pool keeps the paper's (1 - 1/e) machinery, and an OPIM-style
+// two-pool stopping rule — Hoeffding and martingale concentration bounds
+// (arXiv:1701.02368) evaluated at every checkpoint of a sub-doubling
+// schedule, whichever is tighter — makes the accuracy knobs (epsilon,
+// delta) explicit instead of a fixed sample count (see ris_schedule.h).
 //
 // Generation is deterministic in (config seed, stream, index): every RR set
-// lands in a preassigned slot and pools are flattened in index order, so
-// results are bit-identical across thread counts (PR 1's fixed-order
-// reduction convention).
+// lands in a preassigned slot, shards are merged in index order, and
+// byte-budget truncation scans in index order, so results are bit-identical
+// across thread counts (PR 1's fixed-order reduction convention).
 #pragma once
 
 #include <cstdint>
@@ -70,20 +72,38 @@ std::string to_string(SigmaMode m);
 struct RisConfig {
   /// Relative accuracy target of the stopping rule: sampling stops once the
   /// selected set's certified coverage ratio reaches (1 - 1/e - epsilon), or
-  /// the Hoeffding half-width alone drops below epsilon/4.
+  /// both pool estimates are within epsilon/4 of their certified bounds.
   double epsilon = 0.1;
   /// Total failure probability budget of all concentration bounds.
   double delta = 0.01;
-  /// RR sets per pool in the first round; doubles every round.
+  /// RR sets per pool at the first stopping checkpoint; later checkpoints
+  /// follow ris_stopping_schedule (doublings plus x1.5 midpoints).
   std::size_t initial_sets = 512;
   /// Hard cap per pool; sampling stops here even if the rule has not fired.
   std::size_t max_sets = std::size_t{1} << 18;
   /// Fixed pool size used by RisEstimator (no adaptive rule there).
   std::size_t estimator_sets = 4096;
+  /// Content-byte budget per pool (0 = unlimited). A pool at its budget
+  /// stops growing: appends beyond it are dropped deterministically (newest
+  /// sets first, so the identity-keeping prefix survives) and the stopping
+  /// rule treats the stall like the max_sets cap. Because the budget shapes
+  /// which RR sets exist, it is a pool-shaping knob: warm contexts require
+  /// it to match, like seed/model (see ris_greedy_with_context).
+  std::size_t max_pool_bytes = 0;
   std::uint64_t seed = 7;
   std::uint32_t max_hops = 31;
   DiffusionModel model = DiffusionModel::kOpoao;
   double ic_edge_prob = 0.1;
+};
+
+/// One worker's batch of freshly drawn RR sets in CSR-lite form (per-set
+/// sizes + concatenated ascending nodes) — the unit RrSampler::extend fills
+/// in parallel and RrPool merges in fixed shard order, so pool contents are
+/// a pure function of draw indices whatever the thread count.
+struct RrShard {
+  std::vector<std::uint32_t> sizes;  ///< nodes per set, in draw-index order
+  std::vector<NodeId> nodes;         ///< concatenated sets, each ascending
+  std::uint64_t visits = 0;          ///< node-touch ops spent on this shard
 };
 
 /// A batch of RR sets in CSR form with a node -> RR-set inverted index.
@@ -131,6 +151,23 @@ class RrPool {
   /// registry's byte accounting.
   std::size_t memory_bytes() const;
 
+  /// Bytes the pool's CONTENT occupies (size-based, a pure function of the
+  /// stored sets — unlike memory_bytes, independent of growth history).
+  /// This is the quantity the byte budget caps.
+  std::size_t content_bytes() const;
+
+  /// Sets a content-byte budget (0 = unlimited). If the pool is already over
+  /// the new budget, the highest-index sets are retired until it fits (at
+  /// least one set is always kept): retiring from the tail preserves the
+  /// identity-keeping prefix, and the retired sets are deterministically
+  /// regenerable from their draw indices. Future appends stop at the budget.
+  void set_byte_budget(std::size_t bytes);
+  std::size_t byte_budget() const { return byte_budget_; }
+  /// True once the budget has refused or retired at least one set since the
+  /// last set_byte_budget call (which resets the flag to whether that call
+  /// itself retired anything).
+  bool byte_capped() const { return byte_capped_; }
+
   /// Throws lcrb::Error unless the pool is internally consistent: CSR
   /// offsets monotone, sets strictly ascending with in-range nodes, null and
   /// covered-node counters exact, and the inverted index in exact two-way
@@ -140,8 +177,15 @@ class RrPool {
 
  private:
   friend class RrSampler;
-  void append_sets(std::vector<std::vector<NodeId>>&& sets,
-                   std::uint64_t visits, NodeId num_graph_nodes);
+  /// Merges freshly drawn shards, in shard order, onto the end of the pool.
+  /// Honors the byte budget: sets that would push content_bytes past it are
+  /// dropped (all-or-nothing per set, scanning in index order, so the kept
+  /// prefix is exactly what an identically-budgeted cold pool would hold).
+  void append_shards(std::vector<RrShard>&& shards, NodeId num_graph_nodes);
+  void rebuild_inverted_index(NodeId num_graph_nodes);
+  /// Content bytes of a pool holding `sets` sets and `entries` entries.
+  static std::size_t content_bytes_for(std::size_t sets, std::size_t entries,
+                                       std::size_t num_graph_nodes);
 
   std::vector<std::uint32_t> set_off_ = {0};
   std::vector<NodeId> nodes_;
@@ -150,6 +194,8 @@ class RrPool {
   std::size_t num_null_ = 0;
   std::size_t num_covered_nodes_ = 0;
   std::uint64_t nodes_visited_ = 0;
+  std::size_t byte_budget_ = 0;  ///< content-byte cap; 0 = unlimited
+  bool byte_capped_ = false;
 };
 
 /// Draws RR sets under the coupled competitive models. Thread-safe: parallel
@@ -179,9 +225,13 @@ class RrSampler {
                              std::uint64_t realization_seed,
                              std::uint64_t* visits = nullptr) const;
 
-  /// Grows `pool` to `target_sets` RR sets using draws
-  /// [pool.num_sets(), target_sets) of `stream`. Bit-identical across thread
-  /// counts: slots are preassigned and flattened in index order.
+  /// Grows `pool` toward `target_sets` RR sets using draws
+  /// [pool.num_sets(), target_sets) of `stream`. The draw range is split
+  /// into contiguous index shards, each filled into its own CSR shard buffer
+  /// (one scratch lease per shard, no per-set heap allocation) — in parallel
+  /// when `tp` is given — then merged in fixed shard order, so the pool is
+  /// bit-identical at 0/1/N threads. A byte-budgeted pool may stop short of
+  /// `target_sets`; check pool.num_sets() / pool.byte_capped().
   void extend(RrPool& pool, std::uint64_t stream, std::size_t target_sets,
               ThreadPool* tp = nullptr) const;
 
@@ -191,6 +241,14 @@ class RrSampler {
 
  private:
   struct ScratchLease;
+
+  /// Appends the RR set of one (root, realization) pair to `nodes` (its
+  /// freshly written tail sorted ascending) and returns its size; the shard
+  /// fill loop shares one scratch across all its draws.
+  std::uint32_t rr_set_into(std::size_t root_idx,
+                            std::uint64_t realization_seed, ReverseScratch& sc,
+                            std::vector<NodeId>& nodes,
+                            std::uint64_t& visits) const;
 
   const DiGraph& g_;
   RisConfig cfg_;
@@ -205,6 +263,17 @@ class RrSampler {
   mutable std::vector<std::unique_ptr<ReverseScratch>> scratch_free_;
 };
 
+/// Why the adaptive sampling loop stopped.
+enum class RisStopReason : std::uint8_t {
+  kNone,        ///< no sampling ran (e.g. no bridge ends)
+  kCertified,   ///< the (1 - 1/e - epsilon) ratio was certified
+  kNegligible,  ///< both pool estimates within epsilon/4 of their bounds
+  kMaxSets,     ///< RisConfig::max_sets exhausted before the rule fired
+  kPoolBytes,   ///< RisConfig::max_pool_bytes stalled growth before the rule
+};
+
+std::string to_string(RisStopReason r);
+
 /// Result of the RIS max-coverage greedy (the SigmaMode::kRis engine behind
 /// greedy_lcrbp_from_bridges).
 struct RisGreedyResult {
@@ -214,7 +283,7 @@ struct RisGreedyResult {
   /// Marginal sigma gain per pick, in bridge-end units (|B| * d_coverage).
   std::vector<double> gain_history;
   std::size_t rr_sets = 0;  ///< per pool at termination
-  std::size_t rounds = 0;   ///< doubling rounds run
+  std::size_t rounds = 0;   ///< stopping checkpoints evaluated
   /// Certified bounds on sigma(protectors) under the coverage objective:
   /// lower from the validation pool, upper from the selection pool's greedy
   /// guarantee, each holding with probability >= 1 - delta overall.
@@ -222,6 +291,16 @@ struct RisGreedyResult {
   double sigma_upper = 0.0;
   std::size_t distinct_candidates = 0;  ///< nodes seen in any RR set
   std::uint64_t nodes_visited = 0;      ///< generation + greedy node ops
+  /// epsilon/delta accounting of the stopping rule: the accuracy knobs the
+  /// run certified against, the per-bound failure share after the union
+  /// bound over checkpoints x pools x sides, and whether the guarantee was
+  /// actually met (false when a cap ended sampling first — also surfaced as
+  /// a one-time process warning).
+  double epsilon_used = 0.0;
+  double delta_used = 0.0;
+  double delta_per_bound = 0.0;
+  RisStopReason stop_reason = RisStopReason::kNone;
+  bool guarantee_met = false;
 };
 
 /// RIS protector selection: adaptive sample doubling (OPIM-style two-pool
@@ -243,7 +322,10 @@ RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
 struct RisContext {
   RisContext(const DiGraph& g, std::vector<NodeId> rumors,
              std::vector<NodeId> bridge_ends, const RisConfig& cfg)
-      : sampler(g, std::move(rumors), std::move(bridge_ends), cfg) {}
+      : sampler(g, std::move(rumors), std::move(bridge_ends), cfg) {
+    selection.set_byte_budget(cfg.max_pool_bytes);
+    validation.set_byte_budget(cfg.max_pool_bytes);
+  }
 
   RrSampler sampler;
   RrPool selection;   ///< stream 0
@@ -258,9 +340,10 @@ struct RisContext {
 
 /// ris_greedy_from_bridges against a caller-owned warm context. The context
 /// must have been built for the same graph/rumors/bridge ends, and the knobs
-/// that shape RR draws (seed, max_hops, model, ic_edge_prob) must match
-/// ctx.sampler.config() — enforced with lcrb::Error. The accuracy knobs
-/// (epsilon/delta/initial_sets/max_sets) may differ per query.
+/// that shape RR draws or pool growth (seed, max_hops, model, ic_edge_prob,
+/// max_pool_bytes) must match ctx.sampler.config() — enforced with
+/// lcrb::Error. The accuracy knobs (epsilon/delta/initial_sets/max_sets) may
+/// differ per query.
 /// RisGreedyResult::nodes_visited reports only this call's greedy ops: the
 /// shared pools' generation counters mix queries.
 RisGreedyResult ris_greedy_with_context(double alpha,

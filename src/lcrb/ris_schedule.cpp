@@ -1,0 +1,58 @@
+#include "lcrb/ris_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace lcrb {
+
+std::vector<std::size_t> ris_stopping_schedule(std::size_t initial_sets,
+                                               std::size_t max_sets) {
+  LCRB_REQUIRE(max_sets >= 1, "ris schedule needs max_sets >= 1");
+  const std::size_t first = std::min(std::max<std::size_t>(initial_sets, 1),
+                                     max_sets);
+  std::vector<std::size_t> sched{first};
+  for (std::size_t base = first; base < max_sets;) {
+    // Midpoint checkpoint at 1.5x, then the doubling point; integer halving
+    // keeps the schedule well defined for odd bases, and the strictness
+    // checks drop degenerate midpoints (base < 2).
+    const std::size_t mid = base + base / 2;
+    const bool overflow = base > max_sets / 2;
+    const std::size_t next = overflow ? max_sets : base * 2;
+    if (mid > base && mid < std::min(next, max_sets)) sched.push_back(mid);
+    sched.push_back(std::min(next, max_sets));
+    base = sched.back();
+  }
+  return sched;
+}
+
+double ris_bound_exponent(double delta, std::size_t num_checkpoints) {
+  LCRB_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  LCRB_REQUIRE(num_checkpoints >= 1, "schedule must have a checkpoint");
+  return std::log(4.0 * static_cast<double>(num_checkpoints) / delta);
+}
+
+double ris_mean_lower_bound(double sum, std::size_t theta, double a) {
+  LCRB_REQUIRE(theta >= 1 && a > 0.0, "bad concentration-bound arguments");
+  const double t = static_cast<double>(theta);
+  const double hoeffding = sum / t - std::sqrt(a / (2.0 * t));
+  // At sum == 0 the martingale expression is analytically zero (the a/18
+  // term is exactly the square's residual), but the identity does not
+  // survive floating point — force the sharp value rather than leak a
+  // spurious epsilon-positive lower bound on an all-null pool.
+  const double root = std::sqrt(sum + 2.0 * a / 9.0) - std::sqrt(a / 2.0);
+  const double martingale = sum <= 0.0 ? 0.0 : (root * root - a / 18.0) / t;
+  return std::clamp(std::max(hoeffding, martingale), 0.0, 1.0);
+}
+
+double ris_mean_upper_bound(double sum, std::size_t theta, double a) {
+  LCRB_REQUIRE(theta >= 1 && a > 0.0, "bad concentration-bound arguments");
+  const double t = static_cast<double>(theta);
+  const double hoeffding = sum / t + std::sqrt(a / (2.0 * t));
+  const double root = std::sqrt(sum + a / 2.0) + std::sqrt(a / 2.0);
+  const double martingale = root * root / t;
+  return std::clamp(std::min(hoeffding, martingale), 0.0, 1.0);
+}
+
+}  // namespace lcrb

@@ -1,0 +1,54 @@
+// Checkpoint schedule and concentration bounds of the adaptive RIS stopping
+// rule (used by ris_greedy_with_context in ris.cpp).
+//
+// The rule is OPIM-style two-pool certification (Tang et al., SIGMOD 2018)
+// strengthened with the martingale bounds of Tong et al.'s randomized rumor
+// blocking (arXiv:1701.02368): at every checkpoint both a Hoeffding bound
+// and a martingale (Chernoff-style, variance-adaptive) bound are evaluated
+// and the tighter one wins. Hoeffding is tighter when the mean coverage is
+// large (its half-width is variance-free), the martingale bound is tighter
+// when coverage is small (its deviation scales with sqrt(mu) instead of a
+// constant), so the combined bound certifies at least as early as either
+// alone in every regime.
+//
+// Everything here is a pure function of its arguments — no state, no
+// randomness — so the stopping decision is bit-reproducible across thread
+// counts and across warm/cold pools (the determinism contract of ris.h).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lcrb {
+
+/// Checkpoint sizes of the stopping rule: the pool sizes at which the
+/// certification test runs. Doubling ladder from `initial_sets` to
+/// `max_sets` with one midpoint (x1.5) checkpoint inserted between
+/// consecutive doublings, so the rule tests roughly every sqrt(2)-factor of
+/// work instead of only at doubling boundaries. Strictly increasing; first
+/// element is min(max(initial_sets, 1), max_sets); last element is max_sets.
+std::vector<std::size_t> ris_stopping_schedule(std::size_t initial_sets,
+                                               std::size_t max_sets);
+
+/// ln(1 / delta_share) where delta_share is the failure budget of ONE
+/// one-sided bound: the total budget `delta` split uniformly across
+/// `num_checkpoints` checkpoints x 2 pools x 2 sides (union bound). This is
+/// the exponent `a` every bound below takes.
+double ris_bound_exponent(double delta, std::size_t num_checkpoints);
+
+/// High-probability lower bound on the mean coverage of a fixed seed set
+/// whose observed coverage over `theta` RR sets sums to `sum` (so the
+/// empirical mean is sum / theta). Takes the tighter of:
+///   Hoeffding:   mean - sqrt(a / (2 theta))
+///   martingale:  ((sqrt(sum + 2a/9) - sqrt(a/2))^2 - a/18) / theta
+/// clamped to [0, 1]. Exactly 0 when sum == 0 (the martingale bound is
+/// sharp at zero coverage). Holds with probability >= 1 - exp(-a).
+double ris_mean_lower_bound(double sum, std::size_t theta, double a);
+
+/// High-probability upper bound on the same mean; the tighter of:
+///   Hoeffding:   mean + sqrt(a / (2 theta))
+///   martingale:  (sqrt(sum + a/2) + sqrt(a/2))^2 / theta
+/// clamped to [0, 1]. Holds with probability >= 1 - exp(-a).
+double ris_mean_upper_bound(double sum, std::size_t theta, double a);
+
+}  // namespace lcrb

@@ -259,6 +259,8 @@ QueryResult QueryService::execute_select(const QueryRequest& req,
     meta.set("ris_rounds", static_cast<std::uint64_t>(r.rounds));
     meta.set("ris_sigma_lower", r.sigma_lower);
     meta.set("ris_sigma_upper", r.sigma_upper);
+    meta.set("ris_guarantee_met", r.guarantee_met);
+    meta.set("ris_stop_reason", to_string(r.stop_reason));
   } else {
     if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
     result.protectors = select_protectors(*setup, opts, &pool_);

@@ -194,7 +194,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(DiffusionModel::kOpoao, DiffusionModel::kDoam,
                       DiffusionModel::kIc, DiffusionModel::kLt,
                       DiffusionModel::kWc),
-    [](const auto& info) { return to_string(info.param); });
+    [](const auto& param_info) { return to_string(param_info.param); });
 
 }  // namespace
 }  // namespace lcrb

@@ -1,0 +1,121 @@
+// Unit tests of the stopping-rule building blocks (ris_schedule.h): the
+// checkpoint schedule and the combined Hoeffding/martingale bounds the
+// adaptive RIS loop certifies with.
+#include "lcrb/ris_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace lcrb {
+namespace {
+
+TEST(RisScheduleTest, LaddersFromInitialToMaxWithMidpoints) {
+  const auto s = ris_stopping_schedule(128, 4096);
+  const std::vector<std::size_t> expect = {128, 192, 256, 384, 512,
+                                           768, 1024, 1536, 2048, 3072,
+                                           4096};
+  EXPECT_EQ(s, expect);
+}
+
+TEST(RisScheduleTest, IsStrictlyIncreasingAndCoversEndpoints) {
+  for (std::size_t initial : {1u, 2u, 3u, 7u, 100u, 512u}) {
+    for (std::size_t max : {1u, 5u, 100u, 4096u, 100000u}) {
+      const auto s = ris_stopping_schedule(initial, max);
+      ASSERT_FALSE(s.empty());
+      EXPECT_EQ(s.front(), std::min<std::size_t>(std::max<std::size_t>(
+                               initial, 1), max));
+      EXPECT_EQ(s.back(), max);
+      EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+      EXPECT_EQ(std::adjacent_find(s.begin(), s.end()), s.end())
+          << "duplicate checkpoint for initial=" << initial
+          << " max=" << max;
+      // Consecutive checkpoints never more than double: the rule checks at
+      // least as often as the pure-doubling schedule it replaces.
+      for (std::size_t i = 1; i < s.size(); ++i) {
+        EXPECT_LE(s[i], 2 * s[i - 1]);
+      }
+    }
+  }
+}
+
+TEST(RisScheduleTest, InitialAboveMaxClampsToSingleCheckpoint) {
+  const auto s = ris_stopping_schedule(1000, 100);
+  EXPECT_EQ(s, std::vector<std::size_t>{100});
+}
+
+TEST(RisScheduleTest, BoundExponentGrowsWithCheckpointsAndTightensDelta) {
+  const double a1 = ris_bound_exponent(0.01, 6);
+  const double a2 = ris_bound_exponent(0.01, 12);
+  const double a3 = ris_bound_exponent(0.001, 6);
+  EXPECT_GT(a2, a1);  // more checks -> smaller per-check share
+  EXPECT_GT(a3, a1);  // smaller delta -> larger exponent
+  // The historical doubling rule's half-width formula: a = log(4 R / delta).
+  EXPECT_DOUBLE_EQ(a1, std::log(4.0 * 6 / 0.01));
+}
+
+TEST(RisBoundsTest, ZeroCoverageLowerBoundIsExactlyZero) {
+  // The martingale lower bound is sharp at zero observed coverage — this is
+  // what lets all-null pools stop early instead of sampling to the cap.
+  for (std::size_t theta : {1u, 128u, 4096u}) {
+    EXPECT_EQ(ris_mean_lower_bound(0.0, theta, 8.0), 0.0) << theta;
+  }
+}
+
+TEST(RisBoundsTest, BoundsBracketTheEmpiricalMeanAndAreClamped) {
+  const double a = ris_bound_exponent(0.01, 11);
+  for (double mean : {0.0, 0.05, 0.3, 0.7, 0.95, 1.0}) {
+    for (std::size_t theta : {64u, 512u, 8192u}) {
+      const double sum = mean * static_cast<double>(theta);
+      const double lb = ris_mean_lower_bound(sum, theta, a);
+      const double ub = ris_mean_upper_bound(sum, theta, a);
+      EXPECT_GE(lb, 0.0);
+      EXPECT_LE(ub, 1.0);
+      EXPECT_LE(lb, mean + 1e-12) << "mean " << mean << " theta " << theta;
+      EXPECT_GE(ub, std::min(1.0, mean) - 1e-12);
+    }
+  }
+}
+
+TEST(RisBoundsTest, CombinedBoundIsNeverLooserThanHoeffding) {
+  // The whole point of adding the martingale pair: the certified interval
+  // can only shrink relative to the pure Hoeffding rule.
+  const double a = ris_bound_exponent(0.01, 11);
+  for (double mean : {0.0, 0.05, 0.3, 0.7, 0.95}) {
+    for (std::size_t theta : {64u, 512u, 8192u}) {
+      const double t = static_cast<double>(theta);
+      const double hw = std::sqrt(a / (2.0 * t));
+      const double sum = mean * t;
+      EXPECT_GE(ris_mean_lower_bound(sum, theta, a),
+                std::clamp(mean - hw, 0.0, 1.0) - 1e-12);
+      EXPECT_LE(ris_mean_upper_bound(sum, theta, a),
+                std::clamp(mean + hw, 0.0, 1.0) + 1e-12);
+    }
+  }
+}
+
+TEST(RisBoundsTest, MartingaleWinsAtLowCoverageHoeffdingAtHigh) {
+  const double a = ris_bound_exponent(0.01, 11);
+  const std::size_t theta = 512;
+  const double t = static_cast<double>(theta);
+  const double hw = std::sqrt(a / (2.0 * t));
+  // Low mean: the variance-adaptive upper bound beats mean + hw strictly.
+  EXPECT_LT(ris_mean_upper_bound(0.01 * t, theta, a), 0.01 + hw - 1e-9);
+  // High mean: Hoeffding's variance-free lower bound is the binding one.
+  EXPECT_EQ(ris_mean_lower_bound(0.8 * t, theta, a), 0.8 - hw);
+}
+
+TEST(RisScheduleTest, RejectsDegenerateArguments) {
+  EXPECT_THROW(ris_stopping_schedule(10, 0), Error);
+  EXPECT_THROW(ris_bound_exponent(0.0, 5), Error);
+  EXPECT_THROW(ris_bound_exponent(1.0, 5), Error);
+  EXPECT_THROW(ris_bound_exponent(0.5, 0), Error);
+  EXPECT_THROW(ris_mean_lower_bound(1.0, 0, 8.0), Error);
+  EXPECT_THROW(ris_mean_upper_bound(1.0, 512, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace lcrb

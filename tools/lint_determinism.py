@@ -56,6 +56,8 @@ SENSITIVE_SUFFIXES = (
     "src/lcrb/greedy.cpp",
     "src/lcrb/ris.h",
     "src/lcrb/ris.cpp",
+    "src/lcrb/ris_schedule.h",
+    "src/lcrb/ris_schedule.cpp",
     "src/diffusion/montecarlo.h",
     "src/diffusion/montecarlo.cpp",
     # The traits layer owns every model's randomness: the cascade kernel,
