@@ -1,9 +1,10 @@
 // Shared machinery of the broadcast/live-edge model family (DOAM, IC, WC).
 //
-// All three models are synchronized two-frontier BFS races where cascade P
-// expands before cascade R each step and an arc (u, v) conducts iff a
-// per-sample coin says it is live (DOAM: always; IC: probability p; WC:
-// probability 1/d_in(v)). The family is parameterized on that coin:
+// All three models are synchronized K-frontier BFS races where cascades
+// expand in the plan's priority order each step (default: protectors before
+// rumors) and an arc (u, v) conducts iff a per-sample coin says it is live
+// (DOAM: always; IC: probability p; WC: probability 1/d_in(v)). The family
+// is parameterized on that coin:
 //
 //  * FrontierForward<Coin>   — the Forward runner run_cascade instantiates.
 //  * LiveEdgeSample + replay — the realization cache: the live subgraph in
@@ -36,53 +37,60 @@ class FrontierForward {
  public:
   FrontierForward(const DiGraph& g, Coin coin) : g_(g), coin_(coin) {}
 
-  void seed(const SeedSets& seeds, DiffusionResult& r) {
-    for (NodeId v : seeds.protectors) {
-      r.state[v] = NodeState::kProtected;
-      r.activation_step[v] = 0;
-      p_frontier_.push_back(v);
-    }
-    for (NodeId v : seeds.rumors) {
-      r.state[v] = NodeState::kInfected;
-      r.activation_step[v] = 0;
-      r_frontier_.push_back(v);
+  void seed(const CascadePlan& plan, DiffusionResult& r) {
+    frontier_.resize(plan.size());
+    next_.resize(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const std::uint8_t k = plan.cascade_at(0, i);
+      const NodeState s = plan.state_of(k);
+      for (NodeId v : plan.seeds_of(k)) {
+        r.state[v] = s;
+        r.cascade[v] = k;
+        r.activation_step[v] = 0;
+        frontier_[k].push_back(v);
+      }
     }
   }
 
-  bool active() const { return !p_frontier_.empty() || !r_frontier_.empty(); }
+  bool active() const {
+    for (const auto& f : frontier_) {
+      if (!f.empty()) return true;
+    }
+    return false;
+  }
 
-  StepDelta step(std::uint32_t step, DiffusionResult& r) {
-    next_p_.clear();
-    next_r_.clear();
-    // Protector broadcasts claim nodes first: P wins simultaneous arrival.
-    for (NodeId u : p_frontier_) {
-      for (NodeId v : g_.out_neighbors(u)) {
-        if (r.state[v] == NodeState::kInactive && coin_(g_, u, v)) {
-          r.state[v] = NodeState::kProtected;
-          r.activation_step[v] = step;
-          next_p_.push_back(v);
+  StepDelta step(const CascadePlan& plan, std::uint32_t step,
+                 DiffusionResult& r) {
+    StepDelta d;
+    // Earlier cascades in the priority order claim nodes first (default
+    // plan: P wins simultaneous arrival).
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const std::uint8_t k = plan.cascade_at(step, i);
+      const NodeState s = plan.state_of(k);
+      next_[k].clear();
+      for (NodeId u : frontier_[k]) {
+        for (NodeId v : g_.out_neighbors(u)) {
+          if (r.state[v] == NodeState::kInactive && coin_(g_, u, v)) {
+            r.state[v] = s;
+            r.cascade[v] = k;
+            r.activation_step[v] = step;
+            next_[k].push_back(v);
+          }
         }
       }
+      frontier_[k].swap(next_[k]);
+      const auto cnt = static_cast<std::uint32_t>(frontier_[k].size());
+      (plan.role(k) == CascadeRole::kProtector ? d.newly_protected
+                                               : d.newly_infected) += cnt;
     }
-    for (NodeId u : r_frontier_) {
-      for (NodeId v : g_.out_neighbors(u)) {
-        if (r.state[v] == NodeState::kInactive && coin_(g_, u, v)) {
-          r.state[v] = NodeState::kInfected;
-          r.activation_step[v] = step;
-          next_r_.push_back(v);
-        }
-      }
-    }
-    p_frontier_.swap(next_p_);
-    r_frontier_.swap(next_r_);
-    return {static_cast<std::uint32_t>(p_frontier_.size()),
-            static_cast<std::uint32_t>(r_frontier_.size())};
+    return d;
   }
 
  private:
   const DiGraph& g_;
   Coin coin_;
-  std::vector<NodeId> p_frontier_, r_frontier_, next_p_, next_r_;
+  /// Per-cascade frontiers (indexed by cascade id).
+  std::vector<std::vector<NodeId>> frontier_, next_;
 };
 
 /// One sample's realization for a live-edge model: live subgraph + baseline

@@ -7,10 +7,17 @@
 //
 //  * run_cascade<Traits> — the one forward simulation loop. A traits file
 //    contributes a Forward runner (seed handling + one synchronized step);
-//    the kernel owns the shared two-cascade state machine: step-0 seeding,
-//    the per-step newly_* series, the `steps` watermark, the max_steps cap,
-//    and the cross-model DiffusionResult invariant. Everything is resolved
-//    at compile time — no virtual dispatch anywhere on the hot path.
+//    the kernel owns the shared K-cascade state machine: the CascadePlan
+//    (cascade ids, roles, per-step priority order), step-0 seeding, the
+//    per-step newly_* and per-cascade series, the `steps` watermark, the
+//    max_steps cap, and the cross-model DiffusionResult invariant.
+//    Everything is resolved at compile time — no virtual dispatch anywhere
+//    on the hot path.
+//  * CascadePlan — the normalized view of SeedSets the Forward runners
+//    iterate: K cascades with roles and seed lists, plus cascade_at(step,
+//    idx), the priority policy resolved per step. With two cascades and the
+//    default policy the plan is exactly [protectors, rumors] every step —
+//    the paper's P-before-R rule, byte-identical to the historical kernel.
 //  * RealizationParams — the model-agnostic knobs (hop cap, IC edge
 //    probability) that shape one coupled realization. The sigma layer hands
 //    these to the traits' cache builders and reverse samplers so the
@@ -40,6 +47,54 @@ struct StepDelta {
 /// Trace type for models that record nothing (every model except OPOAO).
 struct NoTrace {};
 
+/// Normalized view of a SeedSets the Forward runners iterate: K cascades
+/// (id = index), each with a role and a seed list, and the per-step priority
+/// order. Built once per run_cascade; cheap (no copies of the seed lists).
+class CascadePlan {
+ public:
+  explicit CascadePlan(const SeedSets& seeds) : seeds_(&seeds) {
+    const std::size_t k = seeds.num_cascades();
+    if (seeds.priority == CascadePriority::kFixedOrder &&
+        !seeds.order.empty()) {
+      base_order_.assign(seeds.order.begin(), seeds.order.end());
+    } else {
+      base_order_.resize(k);
+      for (std::size_t i = 0; i < k; ++i) {
+        base_order_[i] = static_cast<std::uint8_t>(i);
+      }
+    }
+    round_robin_ = seeds.priority == CascadePriority::kRoundRobin;
+  }
+
+  std::size_t size() const { return base_order_.size(); }
+
+  CascadeRole role(std::uint8_t k) const { return seeds_->role_of(k); }
+
+  NodeState state_of(std::uint8_t k) const {
+    return role(k) == CascadeRole::kProtector ? NodeState::kProtected
+                                              : NodeState::kInfected;
+  }
+
+  const std::vector<NodeId>& seeds_of(std::uint8_t k) const {
+    return seeds_->seeds_of(k);
+  }
+
+  /// The cascade moving at position `idx` of step `step`'s priority order.
+  /// Fixed/lowest-id policies are step-independent; round-robin rotates the
+  /// id order by one position per step (step 0 = seeding order).
+  std::uint8_t cascade_at(std::uint32_t step, std::size_t idx) const {
+    if (round_robin_) {
+      return base_order_[(idx + step) % base_order_.size()];
+    }
+    return base_order_[idx];
+  }
+
+ private:
+  const SeedSets* seeds_;
+  std::vector<std::uint8_t> base_order_;
+  bool round_robin_ = false;
+};
+
 /// Model-agnostic realization knobs: how deep one coupled sample runs and
 /// the IC family's arc probability. The lcrb layer's MonteCarloConfig /
 /// SigmaConfig / RisConfig all funnel into this when they cross into
@@ -64,20 +119,40 @@ DiffusionResult run_cascade(const DiGraph& g, const SeedSets& seeds,
   DiffusionResult r;
   r.state.assign(g.num_nodes(), NodeState::kInactive);
   r.activation_step.assign(g.num_nodes(), kUnreached);
+  r.cascade.assign(g.num_nodes(), kNoCascade);
 
   typename Traits::Forward fwd(g, seed, cfg, trace);
+  const CascadePlan plan(seeds);
 
-  r.newly_protected.push_back(
-      static_cast<std::uint32_t>(seeds.protectors.size()));
-  r.newly_infected.push_back(static_cast<std::uint32_t>(seeds.rumors.size()));
-  // Step 0: protector seeds before rumor seeds — the shared P-priority rule.
-  fwd.seed(seeds, r);
+  std::uint32_t seed_p = 0, seed_r = 0;
+  for (std::size_t k = 0; k < plan.size(); ++k) {
+    const auto sz = static_cast<std::uint32_t>(
+        plan.seeds_of(static_cast<std::uint8_t>(k)).size());
+    (plan.role(static_cast<std::uint8_t>(k)) == CascadeRole::kProtector
+         ? seed_p
+         : seed_r) += sz;
+  }
+  r.newly_protected.push_back(seed_p);
+  r.newly_infected.push_back(seed_r);
+  // Step 0: cascades seed in priority order — with the default two-cascade
+  // plan, protector seeds before rumor seeds (the paper's P-priority rule).
+  fwd.seed(plan, r);
 
   for (std::uint32_t step = 1; step <= cfg.max_steps && fwd.active(); ++step) {
-    const StepDelta d = fwd.step(step, r);
+    const StepDelta d = fwd.step(plan, step, r);
     r.newly_protected.push_back(d.newly_protected);
     r.newly_infected.push_back(d.newly_infected);
     if (d.any()) r.steps = step;
+  }
+
+  // Per-cascade series, derived from the winning-cascade attribution the
+  // runner recorded (one counting pass; the runners never touch these).
+  r.newly_by_cascade.assign(
+      plan.size(), std::vector<std::uint32_t>(r.newly_infected.size(), 0));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (r.cascade[v] != kNoCascade) {
+      r.newly_by_cascade[r.cascade[v]][r.activation_step[v]] += 1;
+    }
   }
   LCRB_INVARIANT(r.validate(g, seeds));
   return r;

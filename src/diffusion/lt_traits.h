@@ -41,63 +41,97 @@ struct LtTraits {
    public:
     Forward(const DiGraph& g, std::uint64_t seed, const Config& /*cfg*/,
             Trace* /*trace*/)
-        : g_(g),
-          seed_(seed),
-          w_protected_(g.num_nodes(), 0.0),
-          w_infected_(g.num_nodes(), 0.0) {}
+        : g_(g), seed_(seed) {}
 
-    void seed(const SeedSets& seeds, DiffusionResult& r) {
-      for (NodeId v : seeds.protectors) activate(v, NodeState::kProtected, 0, r);
-      for (NodeId v : seeds.rumors) activate(v, NodeState::kInfected, 0, r);
+    void seed(const CascadePlan& plan, DiffusionResult& r) {
+      w_.assign(plan.size(),
+                std::vector<double>(g_.num_nodes(), 0.0));
+      wp_.assign(g_.num_nodes(), 0.0);
+      wi_.assign(g_.num_nodes(), 0.0);
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        const std::uint8_t k = plan.cascade_at(0, i);
+        const NodeState s = plan.state_of(k);
+        for (NodeId v : plan.seeds_of(k)) {
+          r.state[v] = s;
+          r.cascade[v] = k;
+          r.activation_step[v] = 0;
+          frontier_.push_back(v);
+        }
+      }
     }
 
     bool active() const { return !frontier_.empty(); }
 
-    StepDelta step(std::uint32_t step, DiffusionResult& r) {
-      // Push the new activations' weight to their out-neighbors.
+    StepDelta step(const CascadePlan& plan, std::uint32_t step,
+                   DiffusionResult& r) {
+      // Push the new activations' weight to their out-neighbors, credited
+      // to the pushing node's cascade. LT has no claim race — all weight
+      // lands before any threshold check — so CascadePriority never changes
+      // an LT outcome; the tie rules below are fixed (P beats R on equal
+      // role sums, lowest id on equal weight within the winning role).
       candidates_.clear();
       for (NodeId u : frontier_) {
-        const bool prot = r.state[u] == NodeState::kProtected;
+        const std::uint8_t ku = r.cascade[u];
+        const bool prot = plan.role(ku) == CascadeRole::kProtector;
         for (NodeId v : g_.out_neighbors(u)) {
           if (r.state[v] != NodeState::kInactive) continue;
           const double w = 1.0 / static_cast<double>(g_.in_degree(v));
-          (prot ? w_protected_[v] : w_infected_[v]) += w;
+          w_[ku][v] += w;
+          // Dedicated per-role accumulators drive the threshold and the
+          // winner decision. Every increment to node v is the same constant
+          // 1/d_in(v), so these sums depend only on the per-role contributor
+          // COUNT, never on how the role is split into cascades — the
+          // bit-exact role-separable collapse the cache/RIS engines and the
+          // replay below rely on. (Summing the per-cascade partials instead
+          // would round differently for K > 2.)
+          (prot ? wp_ : wi_)[v] += w;
           candidates_.push_back(v);
         }
       }
 
       next_frontier_.clear();
-      std::uint32_t newly_p = 0, newly_r = 0;
+      StepDelta d;
+      const std::size_t kk = plan.size();
       for (NodeId v : candidates_) {
         if (r.state[v] != NodeState::kInactive) continue;  // dedup within step
-        if (w_protected_[v] + w_infected_[v] >= lt_node_threshold(seed_, v)) {
-          // Color by the larger contribution; P wins ties.
-          const NodeState s = (w_protected_[v] >= w_infected_[v])
-                                  ? NodeState::kProtected
-                                  : NodeState::kInfected;
-          r.state[v] = s;
+        if (wp_[v] + wi_[v] >= lt_node_threshold(seed_, v)) {
+          // Role winner by the aggregated role sums (P wins ties); the
+          // heaviest cascade of the winning role takes the node.
+          const CascadeRole win = (wp_[v] >= wi_[v]) ? CascadeRole::kProtector
+                                                     : CascadeRole::kRumor;
+          std::uint8_t best = kNoCascade;
+          double best_w = -1.0;
+          for (std::size_t k = 0; k < kk; ++k) {
+            const auto kb = static_cast<std::uint8_t>(k);
+            if (plan.role(kb) != win) continue;
+            if (w_[k][v] > best_w) {
+              best_w = w_[k][v];
+              best = kb;
+            }
+          }
+          r.state[v] = win == CascadeRole::kProtector ? NodeState::kProtected
+                                                      : NodeState::kInfected;
+          r.cascade[v] = best;
           r.activation_step[v] = step;
           next_frontier_.push_back(v);
-          (s == NodeState::kProtected ? newly_p : newly_r)++;
+          (win == CascadeRole::kProtector ? d.newly_protected
+                                          : d.newly_infected)++;
         }
       }
       frontier_.swap(next_frontier_);
-      return {newly_p, newly_r};
+      return d;
     }
 
    private:
-    void activate(NodeId v, NodeState s, std::uint32_t step,
-                  DiffusionResult& r) {
-      r.state[v] = s;
-      r.activation_step[v] = step;
-      frontier_.push_back(v);
-    }
-
     const DiGraph& g_;
     std::uint64_t seed_;
-    /// Accumulated in-neighbor weight per color.
-    std::vector<double> w_protected_, w_infected_;
-    std::vector<NodeId> frontier_;  ///< newly activated nodes (both colors)
+    /// Accumulated in-neighbor weight per cascade (id-indexed) — attribution
+    /// only; the threshold/winner decisions read the role accumulators.
+    std::vector<std::vector<double>> w_;
+    /// Per-role weight accumulators (protector / rumor), bit-identical to
+    /// the two-cascade run on the role unions.
+    std::vector<double> wp_, wi_;
+    std::vector<NodeId> frontier_;  ///< newly activated nodes (all cascades)
     std::vector<NodeId> candidates_, next_frontier_;
   };
 

@@ -7,8 +7,9 @@
 //   flags     kModel, kName, kDeterministic (one sample suffices),
 //             kSupportsCache (realization cache), kSupportsReverse (RIS)
 //   forward   Config, Trace, config_from(RealizationParams),
-//             Forward(g, seed, cfg, trace) with seed()/active()/step() —
-//             consumed by run_cascade<Traits> (kernel.h)
+//             Forward(g, seed, cfg, trace) with seed(plan, r) / active() /
+//             step(plan, step, r) over a CascadePlan (K cascades in priority
+//             order) — consumed by run_cascade<Traits> (kernel.h)
 //   cache     [kSupportsCache] CacheShared/CacheSample/ReplayScratch,
 //             build_cache_shared/build_cache_sample, replay,
 //             replay_infected, *_bytes — consumed by SigmaEngine

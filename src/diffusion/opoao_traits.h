@@ -37,9 +37,10 @@ struct OpoaoTraits {
   //
   // Every step, EVERY active node picks one uniformly-random out-neighbor
   // from the stateless (seed, node, step) pick stream; an inactive target
-  // activates at t+1 with the picker's color, protector picks first. The
-  // runner keeps per-node counts of still-inactive out-neighbors so the
-  // simulation stops exactly when nothing can ever activate again.
+  // activates at t+1 with the picker's cascade. Cascades pick in the plan's
+  // priority order (default: protectors first). The runner keeps per-node
+  // counts of still-inactive out-neighbors so the simulation stops exactly
+  // when nothing can ever activate again.
   // -------------------------------------------------------------------------
   class Forward {
    public:
@@ -47,66 +48,66 @@ struct OpoaoTraits {
             Trace* trace)
         : g_(g), seed_(seed), trace_(trace), potential_(g.num_nodes(), 0) {}
 
-    void seed(const SeedSets& seeds, DiffusionResult& r) {
-      for (NodeId v : seeds.protectors) activate(v, NodeState::kProtected, 0, r);
-      for (NodeId v : seeds.rumors) activate(v, NodeState::kInfected, 0, r);
+    void seed(const CascadePlan& plan, DiffusionResult& r) {
+      pools_.resize(plan.size());
+      new_by_cascade_.resize(plan.size());
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        const std::uint8_t k = plan.cascade_at(0, i);
+        for (NodeId v : plan.seeds_of(k)) activate(v, k, plan, 0, r);
+      }
     }
 
     bool active() const { return active_with_potential_ > 0; }
 
-    StepDelta step(std::uint32_t step, DiffusionResult& r) {
-      new_protected_.clear();
-      new_infected_.clear();
+    StepDelta step(const CascadePlan& plan, std::uint32_t step,
+                   DiffusionResult& r) {
+      for (auto& list : new_by_cascade_) list.clear();
 
       // All picks are based on the state at the *start* of the step;
-      // applying protector picks first gives P priority on simultaneous
-      // arrival.
-      for (NodeId u : protectors_) {
-        const auto nbrs = g_.out_neighbors(u);
-        if (nbrs.empty()) continue;
-        const NodeId target =
-            nbrs[opoao_pick_hash(seed_, u, step) % nbrs.size()];
-        const bool claimed = r.state[target] == NodeState::kInactive;
-        if (claimed) {
-          r.state[target] = NodeState::kProtected;  // claim immediately
-          new_protected_.push_back(target);
-        }
-        if (trace_ != nullptr) {
-          trace_->picks.push_back(
-              {step, u, target, NodeState::kProtected, claimed});
-        }
-      }
-      for (NodeId u : rumors_) {
-        const auto nbrs = g_.out_neighbors(u);
-        if (nbrs.empty()) continue;
-        const NodeId target =
-            nbrs[opoao_pick_hash(seed_, u, step) % nbrs.size()];
-        const bool claimed = r.state[target] == NodeState::kInactive;
-        if (claimed) {
-          r.state[target] = NodeState::kInfected;
-          new_infected_.push_back(target);
-        }
-        if (trace_ != nullptr) {
-          trace_->picks.push_back(
-              {step, u, target, NodeState::kInfected, claimed});
+      // applying picks in priority order gives the earlier cascade the node
+      // on simultaneous arrival (default plan: P beats R).
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        const std::uint8_t k = plan.cascade_at(step, i);
+        const NodeState s = plan.state_of(k);
+        for (NodeId u : pools_[k]) {
+          const auto nbrs = g_.out_neighbors(u);
+          if (nbrs.empty()) continue;
+          const NodeId target =
+              nbrs[opoao_pick_hash(seed_, u, step) % nbrs.size()];
+          const bool claimed = r.state[target] == NodeState::kInactive;
+          if (claimed) {
+            r.state[target] = s;  // claim immediately
+            new_by_cascade_[k].push_back(target);
+          }
+          if (trace_ != nullptr) {
+            trace_->picks.push_back({step, u, target, s, claimed});
+          }
         }
       }
 
       // Finalize activations (bookkeeping wants state transitions via
-      // activate(), so temporarily reset and re-apply).
-      for (NodeId v : new_protected_) r.state[v] = NodeState::kInactive;
-      for (NodeId v : new_infected_) r.state[v] = NodeState::kInactive;
-      for (NodeId v : new_protected_) activate(v, NodeState::kProtected, step, r);
-      for (NodeId v : new_infected_) activate(v, NodeState::kInfected, step, r);
-
-      return {static_cast<std::uint32_t>(new_protected_.size()),
-              static_cast<std::uint32_t>(new_infected_.size())};
+      // activate(), so temporarily reset and re-apply, in priority order).
+      StepDelta d;
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        for (NodeId v : new_by_cascade_[plan.cascade_at(step, i)]) {
+          r.state[v] = NodeState::kInactive;
+        }
+      }
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        const std::uint8_t k = plan.cascade_at(step, i);
+        for (NodeId v : new_by_cascade_[k]) activate(v, k, plan, step, r);
+        const auto cnt = static_cast<std::uint32_t>(new_by_cascade_[k].size());
+        (plan.role(k) == CascadeRole::kProtector ? d.newly_protected
+                                                 : d.newly_infected) += cnt;
+      }
+      return d;
     }
 
    private:
-    void activate(NodeId v, NodeState s, std::uint32_t step,
-                  DiffusionResult& r) {
-      r.state[v] = s;
+    void activate(NodeId v, std::uint8_t k, const CascadePlan& plan,
+                  std::uint32_t step, DiffusionResult& r) {
+      r.state[v] = plan.state_of(k);
+      r.cascade[v] = k;
       r.activation_step[v] = step;
       // Newly active node: count its inactive out-neighbors.
       std::uint32_t cnt = 0;
@@ -121,20 +122,20 @@ struct OpoaoTraits {
           if (--potential_[w] == 0) --active_with_potential_;
         }
       }
-      auto& pool = (s == NodeState::kProtected) ? protectors_ : rumors_;
-      pool.push_back(v);
+      pools_[k].push_back(v);
     }
 
     const DiGraph& g_;
     std::uint64_t seed_;
     Trace* trace_;
-    std::vector<NodeId> protectors_, rumors_;
+    /// Active nodes per cascade, in activation order.
+    std::vector<std::vector<NodeId>> pools_;
     /// `potential_[v]`: number of still-inactive out-neighbors of active
     /// node v. The simulation can stop exactly when the sum over active
     /// nodes is zero.
     std::vector<std::uint32_t> potential_;
     std::size_t active_with_potential_ = 0;
-    std::vector<NodeId> new_protected_, new_infected_;
+    std::vector<std::vector<NodeId>> new_by_cascade_;
   };
 
   // -------------------------------------------------------------------------

@@ -1,0 +1,191 @@
+#include "lcrb/cldag.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+
+#include "util/check.h"
+#include "util/error.h"
+
+namespace lcrb {
+
+namespace {
+
+/// One bridge end's local DAG, in position order (0 = the root, descending
+/// influence; ties -> lower node id). Arcs are stored per TARGET so both
+/// the ap pass (needs in-arcs) and the alpha pass (walks the same arcs in
+/// reverse) share one layout.
+struct Ldag {
+  std::vector<NodeId> nodes;          ///< by position
+  std::vector<std::uint32_t> in_off;  ///< CSR offsets into in_src (by pos)
+  std::vector<std::uint32_t> in_src;  ///< source POSITIONS of kept in-arcs
+  std::vector<double> in_w;           ///< LT weight 1/d_in(target)
+};
+
+/// Max-product Dijkstra from `root` over reversed arcs: influence(u) is the
+/// best product of weights 1/d_in(.) along any u -> root path. Keeps nodes
+/// with influence >= theta.
+Ldag build_ldag(const DiGraph& g, NodeId root, double theta,
+                std::vector<double>& inf, std::vector<std::uint32_t>& pos,
+                std::vector<std::uint32_t>& stamp, std::uint32_t epoch) {
+  struct QEntry {
+    double inf;
+    NodeId node;
+    bool operator<(const QEntry& o) const {
+      // Max-heap on influence; equal influence -> lower id first, so the
+      // settle order (and the position order) is deterministic.
+      if (inf != o.inf) return inf < o.inf;
+      return node > o.node;
+    }
+  };
+  std::priority_queue<QEntry> heap;
+  Ldag d;
+
+  inf[root] = 1.0;
+  stamp[root] = epoch;
+  heap.push({1.0, root});
+  while (!heap.empty()) {
+    const QEntry top = heap.top();
+    heap.pop();
+    // Lazy deletion: every re-push strictly improved inf, so exactly one
+    // entry per node matches its final influence.
+    if (top.inf != inf[top.node]) continue;
+    pos[top.node] = static_cast<std::uint32_t>(d.nodes.size());
+    d.nodes.push_back(top.node);
+    const NodeId v = top.node;
+    const double w = g.in_degree(v) > 0
+                         ? 1.0 / static_cast<double>(g.in_degree(v))
+                         : 0.0;
+    for (NodeId u : g.in_neighbors(v)) {
+      const double cand = inf[v] * w;
+      if (cand < theta) continue;
+      if (stamp[u] != epoch || cand > inf[u]) {
+        stamp[u] = epoch;
+        inf[u] = cand;
+        heap.push({cand, u});
+      }
+    }
+  }
+
+  // DAG-ify: keep arc u -> v iff both are members and u sits at a LATER
+  // position than v (strictly smaller influence, or equal influence and
+  // higher id) — influence strictly flows toward the root, no cycles.
+  d.in_off.assign(d.nodes.size() + 1, 0);
+  for (std::uint32_t pv = 0; pv < d.nodes.size(); ++pv) {
+    const NodeId v = d.nodes[pv];
+    for (NodeId u : g.in_neighbors(v)) {
+      if (stamp[u] == epoch && pos[u] > pv) ++d.in_off[pv + 1];
+    }
+  }
+  for (std::size_t i = 1; i < d.in_off.size(); ++i) {
+    d.in_off[i] += d.in_off[i - 1];
+  }
+  d.in_src.resize(d.in_off.back());
+  d.in_w.resize(d.in_off.back());
+  std::vector<std::uint32_t> cur(d.in_off.begin(), d.in_off.end() - 1);
+  for (std::uint32_t pv = 0; pv < d.nodes.size(); ++pv) {
+    const NodeId v = d.nodes[pv];
+    const double w = 1.0 / static_cast<double>(g.in_degree(v));
+    for (NodeId u : g.in_neighbors(v)) {
+      if (stamp[u] == epoch && pos[u] > pv) {
+        d.in_src[cur[pv]] = pos[u];
+        d.in_w[cur[pv]] = w;
+        ++cur[pv];
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+CldagResult cldag_protectors(const DiGraph& g, std::span<const NodeId> rumors,
+                             std::span<const NodeId> bridge_ends,
+                             std::size_t budget, double theta) {
+  LCRB_REQUIRE(budget > 0, "cldag: budget must be > 0");
+  LCRB_REQUIRE(theta > 0.0 && theta <= 1.0, "cldag: theta must be in (0,1]");
+
+  CldagResult out;
+  if (bridge_ends.empty()) return out;
+
+  const NodeId n = g.num_nodes();
+  std::vector<bool> is_rumor(n, false);
+  for (NodeId r : rumors) is_rumor[r] = true;
+  std::vector<bool> blocked(n, false);
+
+  // Shared per-node scratch across LDAG builds, epoch-stamped.
+  std::vector<double> inf(n, 0.0);
+  std::vector<std::uint32_t> pos(n, kUnreached), stamp(n, 0);
+  std::uint32_t epoch = 0;
+
+  std::vector<Ldag> dags;
+  dags.reserve(bridge_ends.size());
+  for (NodeId b : bridge_ends) {
+    ++epoch;
+    dags.push_back(build_ldag(g, b, theta, inf, pos, stamp, epoch));
+    out.ldag_nodes += dags.back().nodes.size();
+    out.ldag_arcs += dags.back().in_src.size();
+  }
+
+  // score[c] = Sum_b ap_b(c) * alpha_b(c): the exact drop in
+  // Sum_b ap_b(root_b) from blocking c, by linearity of the DAG recurrence.
+  std::vector<double> score(n, 0.0);
+  std::vector<double> ap, alpha;  // per-position, reused across DAGs
+
+  for (std::size_t pick = 0; pick < budget; ++pick) {
+    std::fill(score.begin(), score.end(), 0.0);
+    for (const Ldag& d : dags) {
+      const std::size_t sz = d.nodes.size();
+      ap.assign(sz, 0.0);
+      alpha.assign(sz, 0.0);
+      // ap in position-descending order (every kept in-arc's source has a
+      // larger position than its target, so sources are ready first).
+      for (std::size_t i = sz; i-- > 0;) {
+        const NodeId v = d.nodes[i];
+        if (blocked[v]) continue;  // ap stays 0
+        if (is_rumor[v]) {
+          ap[i] = 1.0;
+          continue;
+        }
+        double a = 0.0;
+        for (std::uint32_t k = d.in_off[i]; k < d.in_off[i + 1]; ++k) {
+          a += d.in_w[k] * ap[d.in_src[k]];
+        }
+        ap[i] = a;
+      }
+      // alpha(pos) = d ap(root) / d ap(pos), by the reverse pass; clamped
+      // nodes (rumor / blocked) stop the sensitivity flow — their ap does
+      // not depend on their in-arcs.
+      alpha[0] = 1.0;
+      for (std::size_t i = 0; i < sz; ++i) {
+        if (alpha[i] == 0.0) continue;
+        const NodeId v = d.nodes[i];
+        if (i != 0 && (blocked[v] || is_rumor[v])) continue;
+        for (std::uint32_t k = d.in_off[i]; k < d.in_off[i + 1]; ++k) {
+          alpha[d.in_src[k]] += d.in_w[k] * alpha[i];
+        }
+      }
+      for (std::size_t i = 0; i < sz; ++i) {
+        const NodeId v = d.nodes[i];
+        if (blocked[v] || is_rumor[v]) continue;
+        score[v] += ap[i] * alpha[i];
+      }
+    }
+
+    double best = 0.0;
+    NodeId best_node = kInvalidNode;
+    for (NodeId v = 0; v < n; ++v) {
+      if (score[v] > best) {
+        best = score[v];
+        best_node = v;
+      }
+    }
+    if (best_node == kInvalidNode) break;  // nothing left to absorb
+    blocked[best_node] = true;
+    out.protectors.push_back(best_node);
+    out.score_history.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace lcrb

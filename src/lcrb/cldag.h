@@ -1,0 +1,46 @@
+// CLDAG protector selection — He et al.'s local-DAG heuristic for
+// competitive LT (arXiv:1110.4723), adapted to the LCRB objective: save the
+// bridge ends instead of minimizing global rumor spread.
+//
+// For every bridge end b the heuristic builds LDAG_b(theta): the nodes whose
+// best-path influence to b (product of LT arc weights 1/d_in along the path)
+// is at least theta, DAG-ified by keeping only arcs that flow from lower- to
+// higher-influence positions. On that DAG the LT rumor activation
+// probability ap(u) obeys a LINEAR recurrence (seeds clamp to 1, blocked
+// nodes to 0), so the effect of blocking a candidate c on ap_b(b) is exactly
+// ap_b(c) * alpha_b(c), where alpha is the path-weight coefficient from one
+// reverse pass. The greedy repeatedly blocks the candidate with the largest
+// total score over all bridge ends (ties -> lowest id) and recomputes.
+//
+// This is a blocking heuristic: it scores protectors only by the rumor mass
+// they absorb, not by the protection they themselves spread — cheap (no
+// simulation at all) and, on competitive-LT instances, close to the
+// Monte-Carlo greedy (see tests/lcrb/cldag_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+struct CldagResult {
+  std::vector<NodeId> protectors;    ///< in pick order
+  std::vector<double> score_history; ///< Sum_b ap_b * alpha_b per pick
+  std::size_t ldag_nodes = 0;        ///< total LDAG size over bridge ends
+  std::size_t ldag_arcs = 0;         ///< total DAG arcs over bridge ends
+};
+
+/// Selects up to `budget` protectors by the CLDAG score. `theta` is the
+/// influence cutoff for LDAG membership (He et al. use 1/320); larger theta
+/// = smaller DAGs = faster and coarser. Stops early when no remaining
+/// candidate has positive score. Deterministic in its inputs;
+/// single-threaded.
+CldagResult cldag_protectors(const DiGraph& g, std::span<const NodeId> rumors,
+                             std::span<const NodeId> bridge_ends,
+                             std::size_t budget, double theta);
+
+}  // namespace lcrb

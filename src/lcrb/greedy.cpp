@@ -19,6 +19,15 @@ std::string to_string(CandidateStrategy s) {
   return "unknown";
 }
 
+std::string to_string(MultiCascadeMode m) {
+  switch (m) {
+    case MultiCascadeMode::kOff: return "off";
+    case MultiCascadeMode::kCoordinated: return "coordinated";
+    case MultiCascadeMode::kUncoordinated: return "uncoordinated";
+  }
+  return "unknown";
+}
+
 namespace {
 
 std::vector<NodeId> make_candidates(const DiGraph& g,
@@ -273,6 +282,99 @@ GreedyResult greedy_lcrbp_with_estimator(const DiGraph& g,
   // concurrent queries. greedy_lcrbp_from_bridges overwrites it.
   out.sigma_path = estimator.served_by();
   out.sigma_fallback = estimator.fallback_reason();
+  return out;
+}
+
+MultiGreedyResult greedy_multi_with_estimator(
+    const DiGraph& g, std::span<const NodeId> rumors,
+    const BridgeEndResult& bridges, const GreedyConfig& cfg,
+    std::span<const std::size_t> budgets, MultiCascadeMode mode,
+    const SigmaEstimator& estimator, ThreadPool* pool) {
+  LCRB_REQUIRE(mode != MultiCascadeMode::kOff,
+               "greedy_multi: mode must be coordinated or uncoordinated");
+  LCRB_REQUIRE(!budgets.empty(), "greedy_multi: budgets must be non-empty");
+  std::size_t total = 0;
+  for (std::size_t b : budgets) {
+    LCRB_REQUIRE(b > 0, "greedy_multi: every campaign budget must be > 0");
+    total += b;
+  }
+
+  MultiGreedyResult out;
+  out.groups.resize(budgets.size());
+
+  if (mode == MultiCascadeMode::kCoordinated) {
+    // One greedy over the summed budget; under the role-separable collapse
+    // every pick helps every campaign, so the i-th pick goes to the next
+    // campaign (round-robin) that still has budget left.
+    GreedyConfig c = cfg;
+    c.max_protectors = total;
+    out.combined =
+        greedy_lcrbp_with_estimator(g, rumors, bridges, c, estimator, pool);
+    std::vector<std::size_t> left(budgets.begin(), budgets.end());
+    std::size_t campaign = 0;
+    for (NodeId v : out.combined.protectors) {
+      while (left[campaign] == 0) campaign = (campaign + 1) % left.size();
+      out.groups[campaign].push_back(v);
+      --left[campaign];
+      campaign = (campaign + 1) % left.size();
+    }
+    out.deployed = out.combined.protectors;
+  } else {
+    // Each campaign runs greedy with its own budget, blind to the others.
+    // Equal-budget campaigns pick identical sets; the deployed union is
+    // their dedup — Tong et al.'s uncoordinated setting.
+    for (std::size_t ci = 0; ci < budgets.size(); ++ci) {
+      GreedyConfig c = cfg;
+      c.max_protectors = budgets[ci];
+      GreedyResult r =
+          greedy_lcrbp_with_estimator(g, rumors, bridges, c, estimator, pool);
+      out.groups[ci] = r.protectors;
+      out.combined.sigma_evaluations += r.sigma_evaluations;
+      out.combined.gain_history.insert(out.combined.gain_history.end(),
+                                       r.gain_history.begin(),
+                                       r.gain_history.end());
+      out.combined.candidate_count =
+          std::max(out.combined.candidate_count, r.candidate_count);
+      out.combined.sigma_path = r.sigma_path;
+      out.combined.sigma_fallback = r.sigma_fallback;
+      out.deployed.insert(out.deployed.end(), r.protectors.begin(),
+                          r.protectors.end());
+    }
+    std::sort(out.deployed.begin(), out.deployed.end());
+    out.deployed.erase(std::unique(out.deployed.begin(), out.deployed.end()),
+                       out.deployed.end());
+    out.combined.protectors = out.deployed;
+    out.combined.achieved_fraction =
+        bridges.bridge_ends.empty()
+            ? 1.0
+            : estimator.protected_fraction(out.deployed);
+    ++out.combined.sigma_evaluations;
+  }
+  std::sort(out.deployed.begin(), out.deployed.end());
+  out.deployed.erase(std::unique(out.deployed.begin(), out.deployed.end()),
+                     out.deployed.end());
+  return out;
+}
+
+MultiGreedyResult greedy_multi_from_bridges(
+    const DiGraph& g, std::span<const NodeId> rumors,
+    const BridgeEndResult& bridges, const GreedyConfig& cfg,
+    std::span<const std::size_t> budgets, MultiCascadeMode mode,
+    ThreadPool* pool) {
+  LCRB_REQUIRE(cfg.sigma_mode == SigmaMode::kMonteCarlo,
+               "greedy_multi is Monte-Carlo only");
+  if (bridges.bridge_ends.empty()) {
+    MultiGreedyResult out;
+    out.groups.resize(budgets.size());
+    out.combined.achieved_fraction = 1.0;
+    return out;
+  }
+  SigmaEstimator estimator(g, {rumors.begin(), rumors.end()},
+                           bridges.bridge_ends, cfg.sigma, pool);
+  MultiGreedyResult out = greedy_multi_with_estimator(
+      g, rumors, bridges, cfg, budgets, mode, estimator, pool);
+  out.combined.sigma_evaluations = estimator.evaluations();
+  out.combined.nodes_visited = estimator.nodes_visited();
   return out;
 }
 

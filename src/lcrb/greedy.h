@@ -88,6 +88,51 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
                                        const GreedyConfig& cfg,
                                        ThreadPool* pool = nullptr);
 
+/// How multiple protector campaigns (one per rumor group) pick their seeds.
+/// Both modes optimize the same role-level sigma — under the role-separable
+/// collapse every protector helps against the whole rumor union — so the
+/// modes differ only in coordination, which is exactly the knob Tong et
+/// al. (arXiv:1711.07412) analyze: the union of uncoordinated greedy
+/// solutions keeps at least 1/2 of the coordinated greedy's value.
+enum class MultiCascadeMode : std::uint8_t {
+  kOff,            ///< single campaign (the paper's problem)
+  kCoordinated,    ///< one greedy over the summed budget, picks dealt out
+  kUncoordinated,  ///< each campaign runs greedy blind to the others
+};
+
+std::string to_string(MultiCascadeMode m);
+
+struct MultiGreedyResult {
+  /// Per-campaign protector seeds, in pick order. groups[c] respects
+  /// budgets[c].
+  std::vector<std::vector<NodeId>> groups;
+  /// Deduplicated union of the groups, ascending — what actually deploys
+  /// (campaigns may collide on the same node when uncoordinated).
+  std::vector<NodeId> deployed;
+  /// Stats of the underlying greedy run(s); `protectors` is the deployed
+  /// union and `achieved_fraction` is evaluated on it.
+  GreedyResult combined;
+};
+
+/// Multi-campaign protector selection against the rumor-role union
+/// (Monte-Carlo mode only; the estimator must match g/rumors/bridges and
+/// cfg.sigma). Coordinated: one greedy with budget sum(budgets), picks
+/// assigned round-robin to campaigns that still have budget. Uncoordinated:
+/// per-campaign greedy with its own budget, blind to the other campaigns'
+/// picks; equal-budget campaigns therefore pick identical sets.
+MultiGreedyResult greedy_multi_with_estimator(
+    const DiGraph& g, std::span<const NodeId> rumors,
+    const BridgeEndResult& bridges, const GreedyConfig& cfg,
+    std::span<const std::size_t> budgets, MultiCascadeMode mode,
+    const SigmaEstimator& estimator, ThreadPool* pool = nullptr);
+
+/// Convenience variant that builds its own estimator.
+MultiGreedyResult greedy_multi_from_bridges(
+    const DiGraph& g, std::span<const NodeId> rumors,
+    const BridgeEndResult& bridges, const GreedyConfig& cfg,
+    std::span<const std::size_t> budgets, MultiCascadeMode mode,
+    ThreadPool* pool = nullptr);
+
 /// Variant against a caller-owned estimator (Monte-Carlo mode only). The
 /// query service shares one warm SigmaEstimator — and its realization cache —
 /// across every query of a session; SigmaEstimator::sigma() is thread-safe,

@@ -22,6 +22,29 @@ bool iequals(const std::string& a, const std::string& b) {
   return true;
 }
 
+// "1,2,3" -> {1, 2, 3}. Empty items are rejected so "1,,2" is a loud typo.
+std::vector<std::size_t> parse_size_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    std::size_t end = s.find(',', begin);
+    if (end == std::string::npos) end = s.size();
+    const std::string item = s.substr(begin, end - begin);
+    if (item.empty()) {
+      throw Error("options: empty item in list '" + s + "'");
+    }
+    std::size_t parsed = 0;
+    try {
+      parsed = static_cast<std::size_t>(std::stoull(item));
+    } catch (const std::exception&) {
+      throw Error("options: bad number '" + item + "' in list '" + s + "'");
+    }
+    out.push_back(parsed);
+    begin = end + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string to_string(SelectorKind kind) {
@@ -36,6 +59,7 @@ std::string to_string(SelectorKind kind) {
     case SelectorKind::kBetweenness: return "Betweenness";
     case SelectorKind::kDegreeDiscount: return "DegreeDiscount";
     case SelectorKind::kNoBlocking: return "NoBlocking";
+    case SelectorKind::kCldag: return "CLDAG";
   }
   return "unknown";
 }
@@ -45,7 +69,8 @@ SelectorKind selector_kind_from_string(const std::string& name) {
        {SelectorKind::kGreedy, SelectorKind::kScbg, SelectorKind::kMaxDegree,
         SelectorKind::kProximity, SelectorKind::kRandom, SelectorKind::kPageRank,
         SelectorKind::kGvs, SelectorKind::kBetweenness,
-        SelectorKind::kDegreeDiscount, SelectorKind::kNoBlocking}) {
+        SelectorKind::kDegreeDiscount, SelectorKind::kNoBlocking,
+        SelectorKind::kCldag}) {
     if (iequals(to_string(k), name)) return k;
   }
   throw Error("unknown selector '" + name + "'");
@@ -65,6 +90,16 @@ SigmaMode sigma_mode_from_string(const std::string& name) {
     if (iequals(to_string(m), name)) return m;
   }
   throw Error("unknown sigma mode '" + name + "' (mc|ris)");
+}
+
+MultiCascadeMode multi_cascade_mode_from_string(const std::string& name) {
+  for (const MultiCascadeMode m :
+       {MultiCascadeMode::kOff, MultiCascadeMode::kCoordinated,
+        MultiCascadeMode::kUncoordinated}) {
+    if (iequals(to_string(m), name)) return m;
+  }
+  throw Error("unknown multi-cascade mode '" + name +
+              "' (off|coordinated|uncoordinated)");
 }
 
 CandidateStrategy candidate_strategy_from_string(const std::string& name) {
@@ -112,6 +147,38 @@ void LcrbOptions::validate() const {
   }
   if (sigma_mode == SigmaMode::kRis && selector != SelectorKind::kGreedy) {
     throw Error("options: sigma_mode ris only applies to the Greedy selector");
+  }
+  if (!(cldag_theta > 0.0 && cldag_theta <= 1.0)) {
+    throw Error("options: cldag_theta must be in (0, 1]");
+  }
+  if (multi_mode != MultiCascadeMode::kOff) {
+    if (selector != SelectorKind::kGreedy) {
+      throw Error("options: multi_mode requires the Greedy selector");
+    }
+    if (sigma_mode != SigmaMode::kMonteCarlo) {
+      throw Error("options: multi_mode requires sigma_mode mc");
+    }
+    if (protector_budgets.empty()) {
+      throw Error("options: multi_mode requires non-empty protector_budgets");
+    }
+    for (std::size_t b : protector_budgets) {
+      if (b == 0) {
+        throw Error("options: every protector budget must be > 0");
+      }
+    }
+    if (budget != 0) {
+      throw Error(
+          "options: multi_mode uses protector_budgets; the scalar budget "
+          "must stay 0");
+    }
+    if (cascade_priority == CascadePriority::kRoundRobin) {
+      // The selection engines serve K-way queries through the role-separable
+      // collapse, which round-robin breaks (see SeedSets::role_separable).
+      throw Error("options: multi_mode requires a role-separable priority "
+                  "(fixed or lowest)");
+    }
+  } else if (!protector_budgets.empty()) {
+    throw Error("options: protector_budgets requires multi_mode");
   }
 }
 
@@ -214,6 +281,19 @@ LcrbOptions LcrbOptions::from_args(const Args& args) {
       "gvs-samples", static_cast<std::int64_t>(o.gvs_samples)));
   o.gvs_max_candidates = static_cast<std::size_t>(args.get_int(
       "gvs-candidates", static_cast<std::int64_t>(o.gvs_max_candidates)));
+  if (args.has("cascade-priority")) {
+    o.cascade_priority =
+        cascade_priority_from_string(args.get_string("cascade-priority", ""));
+  }
+  if (args.has("multi-mode")) {
+    o.multi_mode =
+        multi_cascade_mode_from_string(args.get_string("multi-mode", ""));
+  }
+  if (args.has("protector-budgets")) {
+    o.protector_budgets =
+        parse_size_list(args.get_string("protector-budgets", ""));
+  }
+  o.cldag_theta = args.get_double("cldag-theta", o.cldag_theta);
   o.validate();
   return o;
 }
@@ -243,6 +323,14 @@ JsonValue LcrbOptions::to_json() const {
   v.set("ris_max_pool_bytes", static_cast<std::uint64_t>(ris_max_pool_bytes));
   v.set("gvs_samples", static_cast<std::uint64_t>(gvs_samples));
   v.set("gvs_max_candidates", static_cast<std::uint64_t>(gvs_max_candidates));
+  v.set("cascade_priority", to_string(cascade_priority));
+  v.set("multi_mode", to_string(multi_mode));
+  JsonValue budgets = JsonValue::array();
+  for (std::size_t b : protector_budgets) {
+    budgets.push_back(JsonValue(static_cast<std::uint64_t>(b)));
+  }
+  v.set("protector_budgets", std::move(budgets));
+  v.set("cldag_theta", cldag_theta);
   return v;
 }
 
@@ -296,6 +384,20 @@ LcrbOptions LcrbOptions::from_json(const JsonValue& v) {
       o.gvs_samples = static_cast<std::size_t>(val.as_int());
     } else if (key == "gvs_max_candidates") {
       o.gvs_max_candidates = static_cast<std::size_t>(val.as_int());
+    } else if (key == "cascade_priority") {
+      o.cascade_priority = cascade_priority_from_string(val.as_string());
+    } else if (key == "multi_mode") {
+      o.multi_mode = multi_cascade_mode_from_string(val.as_string());
+    } else if (key == "protector_budgets") {
+      if (!val.is_array()) {
+        throw Error("options: protector_budgets must be an array");
+      }
+      o.protector_budgets.clear();
+      for (const JsonValue& b : val.items()) {
+        o.protector_budgets.push_back(static_cast<std::size_t>(b.as_int()));
+      }
+    } else if (key == "cldag_theta") {
+      o.cldag_theta = val.as_double();
     } else {
       throw Error("options: unknown key '" + key + "'");
     }

@@ -44,6 +44,7 @@ enum class SelectorKind : std::uint8_t {
   kBetweenness, ///< top betweenness-centrality nodes (extension baseline)
   kDegreeDiscount, ///< DegreeDiscount (Chen et al. KDD'09) IM heuristic
   kNoBlocking,  ///< empty protector set (the paper's reference line)
+  kCldag,       ///< He et al.'s CLDAG (arXiv:1110.4723): competitive-LT local DAGs
 };
 
 std::string to_string(SelectorKind kind);
@@ -54,6 +55,7 @@ SelectorKind selector_kind_from_string(const std::string& name);
 DiffusionModel diffusion_model_from_string(const std::string& name);
 SigmaMode sigma_mode_from_string(const std::string& name);
 CandidateStrategy candidate_strategy_from_string(const std::string& name);
+MultiCascadeMode multi_cascade_mode_from_string(const std::string& name);
 
 /// Every knob of protector selection, flat. Field groups mirror the legacy
 /// structs they replace; the *_config() accessors produce those structs for
@@ -95,6 +97,18 @@ struct LcrbOptions {
   // --- gvs baseline --------------------------------------------------------
   std::size_t gvs_samples = 20;
   std::size_t gvs_max_candidates = 300;
+
+  // --- K-cascade workloads -------------------------------------------------
+  /// Simultaneous-arrival policy threaded into every K-way evaluation.
+  CascadePriority cascade_priority = CascadePriority::kFixedOrder;
+  /// Multi-campaign protector selection (kGreedy + Monte-Carlo only; see
+  /// MultiCascadeMode). kOff = the paper's single-campaign problem.
+  MultiCascadeMode multi_mode = MultiCascadeMode::kOff;
+  /// Per-campaign protector budgets; required non-empty iff multi_mode is
+  /// on (the scalar `budget` must then stay 0).
+  std::vector<std::size_t> protector_budgets;
+  /// LDAG influence cutoff for the kCldag selector (He et al.'s 1/320).
+  double cldag_theta = 1.0 / 320.0;
 
   /// Throws lcrb::Error (plain message, no file/line) on out-of-range
   /// fields or meaningless combinations — notably a nonzero budget with

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/centrality.h"
+#include "lcrb/cldag.h"
 #include "lcrb/heuristics.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -112,7 +113,16 @@ std::vector<NodeId> select_protectors(const ExperimentSetup& setup,
           scbg_from_bridges(g, setup.rumors, setup.bridges, {});
       return r.protectors;
     }
+    case SelectorKind::kCldag: {
+      const CldagResult r =
+          cldag_protectors(g, setup.rumors, setup.bridges.bridge_ends, budget,
+                           opts.cldag_theta);
+      return r.protectors;
+    }
     case SelectorKind::kGreedy: {
+      if (opts.multi_mode != MultiCascadeMode::kOff) {
+        return select_protector_groups(setup, opts, pool).deployed;
+      }
       GreedyConfig gc = opts.greedy_config();
       gc.max_protectors = budget;
       const GreedyResult r =
@@ -121,6 +131,19 @@ std::vector<NodeId> select_protectors(const ExperimentSetup& setup,
     }
   }
   throw Error("unknown selector kind");
+}
+
+MultiGreedyResult select_protector_groups(const ExperimentSetup& setup,
+                                          const LcrbOptions& opts,
+                                          ThreadPool* pool) {
+  LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+  opts.validate();
+  LCRB_REQUIRE(opts.multi_mode != MultiCascadeMode::kOff,
+               "select_protector_groups requires multi_mode");
+  return greedy_multi_from_bridges(*setup.graph, setup.rumors, setup.bridges,
+                                   opts.greedy_config(),
+                                   opts.protector_budgets, opts.multi_mode,
+                                   pool);
 }
 
 std::vector<NodeId> select_protectors(SelectorKind kind,
@@ -179,6 +202,20 @@ HopSeries evaluate_protectors(const ExperimentSetup& setup,
   SeedSets seeds;
   seeds.rumors = setup.rumors;
   seeds.protectors.assign(protectors.begin(), protectors.end());
+  return monte_carlo_series(*setup.graph, seeds, mc,
+                            setup.bridges.bridge_ends, pool);
+}
+
+HopSeries evaluate_protector_groups(
+    const ExperimentSetup& setup,
+    std::span<const std::vector<NodeId>> rumor_groups,
+    std::span<const std::vector<NodeId>> protector_groups,
+    CascadePriority priority, const MonteCarloConfig& mc, ThreadPool* pool) {
+  LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+  const SeedSets seeds = make_seed_sets(rumor_groups, protector_groups,
+                                        priority);
+  LCRB_REQUIRE(seeds.rumor_role_union() == setup.rumors,
+               "rumor groups must union to the setup's rumor set");
   return monte_carlo_series(*setup.graph, seeds, mc,
                             setup.bridges.bridge_ends, pool);
 }

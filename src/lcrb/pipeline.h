@@ -59,10 +59,19 @@ struct SelectorConfig {
 };
 
 /// Runs one selector per the budget rule documented in lcrb/options.h.
-/// Validates `opts` (throws lcrb::Error on meaningless combinations).
+/// Validates `opts` (throws lcrb::Error on meaningless combinations). When
+/// opts.multi_mode is on, returns the deployed union of the per-campaign
+/// groups (use select_protector_groups for the groups themselves).
 std::vector<NodeId> select_protectors(const ExperimentSetup& setup,
                                       const LcrbOptions& opts,
                                       ThreadPool* pool = nullptr);
+
+/// Multi-campaign selection (opts.multi_mode must not be kOff): one
+/// protector group per entry of opts.protector_budgets, selected against
+/// the rumor-role union per MultiCascadeMode.
+MultiGreedyResult select_protector_groups(const ExperimentSetup& setup,
+                                          const LcrbOptions& opts,
+                                          ThreadPool* pool = nullptr);
 
 /// DEPRECATED shim over the LcrbOptions overload, kept for one release.
 /// For kScbg the budget is ignored (SCBG sizes itself); for kGreedy the
@@ -78,5 +87,16 @@ HopSeries evaluate_protectors(const ExperimentSetup& setup,
                               std::span<const NodeId> protectors,
                               const MonteCarloConfig& mc,
                               ThreadPool* pool = nullptr);
+
+/// K-way evaluation: per-campaign rumor and protector groups become one
+/// cascade each (make_seed_sets semantics — same-role collisions keep the
+/// first group; `priority` is the simultaneous-arrival policy). The rumor
+/// groups must union to setup.rumors.
+HopSeries evaluate_protector_groups(
+    const ExperimentSetup& setup,
+    std::span<const std::vector<NodeId>> rumor_groups,
+    std::span<const std::vector<NodeId>> protector_groups,
+    CascadePriority priority, const MonteCarloConfig& mc,
+    ThreadPool* pool = nullptr);
 
 }  // namespace lcrb

@@ -175,19 +175,34 @@ std::shared_ptr<const ExperimentSetup> QueryService::setup_for(
     const QueryRequest& req, GraphSession& session, std::string* key_out,
     bool* cache_hit) {
   const Partition& p = session.partition();
+  // Multi-rumor requests resolve to their flattened union: the bridge ends
+  // (and so the setup) depend only on WHERE the rumors are, not on how the
+  // campaigns split them — group partitions with equal unions share one
+  // memoized setup.
+  std::vector<NodeId> rumor_ids = req.rumor_ids;
+  if (!req.rumor_groups.empty()) {
+    rumor_ids.clear();
+    for (const auto& group : req.rumor_groups) {
+      LCRB_REQUIRE(!group.empty(), "rumor groups must be non-empty");
+      rumor_ids.insert(rumor_ids.end(), group.begin(), group.end());
+    }
+    std::sort(rumor_ids.begin(), rumor_ids.end());
+    rumor_ids.erase(std::unique(rumor_ids.begin(), rumor_ids.end()),
+                    rumor_ids.end());
+  }
   CommunityId community = req.rumor_community;
-  if (req.rumor_ids.empty() && community == kInvalidCommunity) {
+  if (rumor_ids.empty() && community == kInvalidCommunity) {
     community = p.closest_to_size(static_cast<NodeId>(req.community_size));
   }
   const std::string key =
-      make_setup_key(req.rumor_ids, community, req.num_rumors, req.rumor_seed);
+      make_setup_key(rumor_ids, community, req.num_rumors, req.rumor_seed);
   if (key_out != nullptr) *key_out = key;
   const DiGraph& g = session.graph();
   return session.setup_for(
       key,
       [&]() -> ExperimentSetup {
-        if (!req.rumor_ids.empty()) {
-          return prepare_experiment_with_rumors(g, p, req.rumor_ids);
+        if (!rumor_ids.empty()) {
+          return prepare_experiment_with_rumors(g, p, rumor_ids);
         }
         LCRB_REQUIRE(community < p.num_communities(),
                      "rumor community out of range");
@@ -230,6 +245,21 @@ QueryResult QueryService::execute_select(const QueryRequest& req,
         setup_key, *setup, opts.sigma_config(), &pool_, &estimator_hit);
     meta.set("estimator_cache_hit", estimator_hit);
     if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+    if (opts.multi_mode != MultiCascadeMode::kOff) {
+      // Multi-campaign greedy shares the same warm estimator; the result
+      // carries both the per-campaign groups and their deployed union.
+      const MultiGreedyResult r = greedy_multi_with_estimator(
+          session.graph(), setup->rumors, setup->bridges, opts.greedy_config(),
+          opts.protector_budgets, opts.multi_mode, *estimator, &pool_);
+      result.protectors = r.deployed;
+      result.protector_groups = r.groups;
+      result.achieved_fraction = r.combined.achieved_fraction;
+      result.gain_history = r.combined.gain_history;
+      result.candidate_count = r.combined.candidate_count;
+      result.sigma_evaluations = r.combined.sigma_evaluations;
+      meta.set("multi_mode", to_string(opts.multi_mode));
+      return result;
+    }
     GreedyConfig gc = opts.greedy_config();
     gc.max_protectors = budget;
     const GreedyResult r = greedy_lcrbp_with_estimator(
@@ -303,8 +333,18 @@ QueryResult QueryService::execute_evaluate(const QueryRequest& req,
   mc.max_hops = req.options.max_hops;
   mc.model = req.options.model;
   mc.ic_edge_prob = req.options.ic_edge_prob;
-  const HopSeries series =
-      evaluate_protectors(*setup, req.protectors, mc, &pool_);
+  HopSeries series;
+  if (!req.rumor_groups.empty()) {
+    // K-way evaluation: one rumor cascade per group, protectors as cascade 0,
+    // ordered by the request's cascade_priority.
+    const std::vector<std::vector<NodeId>> protector_groups{req.protectors};
+    series = evaluate_protector_groups(*setup, req.rumor_groups,
+                                       protector_groups,
+                                       req.options.cascade_priority, mc,
+                                       &pool_);
+  } else {
+    series = evaluate_protectors(*setup, req.protectors, mc, &pool_);
+  }
   result.infected_by_hop = series.infected_mean;
   result.infected_ci95 = series.infected_ci95;
   result.protected_by_hop = series.protected_mean;

@@ -24,6 +24,21 @@ std::vector<NodeId> ids_from_json(const JsonValue& v, const char* what) {
   return out;
 }
 
+JsonValue groups_to_json(const std::vector<std::vector<NodeId>>& groups) {
+  JsonValue arr = JsonValue::array();
+  for (const auto& g : groups) arr.push_back(ids_to_json(g));
+  return arr;
+}
+
+std::vector<std::vector<NodeId>> groups_from_json(const JsonValue& v,
+                                                  const char* what) {
+  if (!v.is_array()) throw Error(std::string("request: ") + what +
+                                 " must be an array of node-id arrays");
+  std::vector<std::vector<NodeId>> out;
+  for (const JsonValue& g : v.items()) out.push_back(ids_from_json(g, what));
+  return out;
+}
+
 JsonValue doubles_to_json(const std::vector<double>& xs) {
   JsonValue arr = JsonValue::array();
   for (double x : xs) arr.push_back(JsonValue(x));
@@ -63,7 +78,9 @@ JsonValue QueryRequest::to_json() const {
   if (!id.empty()) v.set("id", id);
   v.set("op", to_string(op));
   v.set("dataset", dataset);
-  if (!rumor_ids.empty()) {
+  if (!rumor_groups.empty()) {
+    v.set("rumor_groups", groups_to_json(rumor_groups));
+  } else if (!rumor_ids.empty()) {
     v.set("rumor_ids", ids_to_json(rumor_ids));
   } else if (rumor_community != kInvalidCommunity) {
     v.set("rumor_community", static_cast<std::uint64_t>(rumor_community));
@@ -96,6 +113,8 @@ QueryRequest QueryRequest::from_json(const JsonValue& v) {
       req.dataset = val.as_string();
     } else if (key == "rumor_ids") {
       req.rumor_ids = ids_from_json(val, "rumor_ids");
+    } else if (key == "rumor_groups") {
+      req.rumor_groups = groups_from_json(val, "rumor_groups");
     } else if (key == "rumor_community") {
       req.rumor_community = static_cast<CommunityId>(val.as_int());
     } else if (key == "community_size") {
@@ -144,6 +163,9 @@ JsonValue QueryResult::to_json(bool include_meta) const {
       v.set("rumors", ids_to_json(rumors));
       v.set("num_bridge_ends", static_cast<std::uint64_t>(num_bridge_ends));
       v.set("protectors", ids_to_json(protectors));
+      if (!protector_groups.empty()) {
+        v.set("protector_groups", groups_to_json(protector_groups));
+      }
       v.set("achieved_fraction", achieved_fraction);
       v.set("gain_history", doubles_to_json(gain_history));
       v.set("candidate_count", static_cast<std::uint64_t>(candidate_count));
@@ -197,6 +219,8 @@ QueryResult QueryResult::from_json(const JsonValue& v) {
       r.num_bridge_ends = static_cast<std::size_t>(val.as_int());
     } else if (key == "protectors") {
       r.protectors = ids_from_json(val, "protectors");
+    } else if (key == "protector_groups") {
+      r.protector_groups = groups_from_json(val, "protector_groups");
     } else if (key == "achieved_fraction") {
       r.achieved_fraction = val.as_double();
     } else if (key == "gain_history") {

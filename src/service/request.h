@@ -60,6 +60,12 @@ struct QueryRequest {
   std::size_t community_size = 100;
   std::size_t num_rumors = 5;
   std::uint64_t rumor_seed = 1;
+  /// Multi-rumor experiments: one rumor campaign per group (cascade 1 plus
+  /// rumor-role extras; see make_seed_sets). When non-empty this wins over
+  /// rumor_ids / rumor_community — the flattened union (which must share one
+  /// community) is the rumor set the selectors contain, and K-way evaluate
+  /// runs one cascade per group under options.cascade_priority.
+  std::vector<std::vector<NodeId>> rumor_groups;
 
   /// Selector knobs (select op). Validated on admission.
   LcrbOptions options;
@@ -97,6 +103,10 @@ struct QueryResult {
 
   // --- select --------------------------------------------------------------
   std::vector<NodeId> protectors;    ///< in pick order
+  /// Per-campaign protector groups (multi_mode selects only); empty
+  /// otherwise, and then absent from the JSON so single-campaign payloads
+  /// are unchanged.
+  std::vector<std::vector<NodeId>> protector_groups;
   double achieved_fraction = 0.0;
   std::vector<double> gain_history;
   std::size_t candidate_count = 0;

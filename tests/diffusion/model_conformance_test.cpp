@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "diffusion/model_traits.h"
@@ -195,6 +196,252 @@ INSTANTIATE_TEST_SUITE_P(
                       DiffusionModel::kIc, DiffusionModel::kLt,
                       DiffusionModel::kWc),
     [](const auto& param_info) { return to_string(param_info.param); });
+
+// ---------------------------------------------------------------------------
+// K-way conformance: the same kernel invariants, parameterized over
+// (model, K) with K in {2, 3, 5}. K cascades are assembled with
+// make_seed_sets from round-robin splits of a rumor set and a protector set:
+// K=2 is the paper's problem (1 rumor + 1 protector campaign), K=3 adds a
+// second rumor campaign, K=5 runs 3 rumor vs 2 protector campaigns.
+// ---------------------------------------------------------------------------
+
+class KWayConformanceTest
+    : public ::testing::TestWithParam<std::tuple<DiffusionModel, int>> {
+ protected:
+  DiffusionModel model() const { return std::get<0>(GetParam()); }
+  std::size_t num_cascades() const {
+    return static_cast<std::size_t>(std::get<1>(GetParam()));
+  }
+  std::size_t rumor_campaigns() const { return (num_cascades() + 1) / 2; }
+  std::size_t protector_campaigns() const {
+    return num_cascades() - rumor_campaigns();
+  }
+
+  MonteCarloConfig mc_config() const {
+    MonteCarloConfig cfg;
+    cfg.model = model();
+    cfg.max_hops = 20;
+    cfg.ic_edge_prob = 0.3;
+    return cfg;
+  }
+
+  /// Deal `ids` round-robin into `n` groups (groups may end up empty when
+  /// ids.size() < n — make_seed_sets and the kernel accept empty cascades).
+  static std::vector<std::vector<NodeId>> split(const std::vector<NodeId>& ids,
+                                                std::size_t n) {
+    std::vector<std::vector<NodeId>> groups(n);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      groups[i % n].push_back(ids[i]);
+    }
+    return groups;
+  }
+
+  SeedSets seeds_for(const std::vector<NodeId>& rumors,
+                     const std::vector<NodeId>& protectors,
+                     CascadePriority priority) const {
+    return make_seed_sets(split(rumors, rumor_campaigns()),
+                          split(protectors, protector_campaigns()), priority);
+  }
+};
+
+TEST_P(KWayConformanceTest, PairwiseColorExclusivity) {
+  // Every active node is won by exactly one cascade, the winner's role
+  // matches the node's color, and inactive nodes carry kNoCascade — under
+  // all three priority policies.
+  Rng rng(17);
+  const DiGraph g = erdos_renyi(100, 0.06, true, rng);
+  const std::vector<NodeId> rumors{0, 1, 2, 3, 4, 5};
+  const std::vector<NodeId> protectors{10, 11, 12, 13};
+  const MonteCarloConfig cfg = mc_config();
+  for (const CascadePriority priority :
+       {CascadePriority::kFixedOrder, CascadePriority::kLowestId,
+        CascadePriority::kRoundRobin}) {
+    const SeedSets seeds = seeds_for(rumors, protectors, priority);
+    ASSERT_EQ(seeds.num_cascades(), num_cascades());
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      const DiffusionResult res = simulate(g, seeds, s, cfg);
+      ASSERT_EQ(res.cascade.size(), g.num_nodes());
+      std::size_t active = 0;
+      for (NodeId v = 0; v < g.num_nodes(); ++v) {
+        if (res.state[v] == NodeState::kInactive) {
+          EXPECT_EQ(res.cascade[v], kNoCascade);
+          continue;
+        }
+        ++active;
+        ASSERT_LT(res.cascade[v], seeds.num_cascades());
+        const CascadeRole role = seeds.role_of(res.cascade[v]);
+        EXPECT_EQ(res.state[v], role == CascadeRole::kRumor
+                                    ? NodeState::kInfected
+                                    : NodeState::kProtected);
+      }
+      // Exclusivity: the per-cascade counts partition the active nodes.
+      std::size_t by_cascade = 0;
+      for (std::size_t k = 0; k < seeds.num_cascades(); ++k) {
+        by_cascade += res.cascade_count(static_cast<std::uint8_t>(k));
+      }
+      EXPECT_EQ(by_cascade, active);
+      EXPECT_NO_THROW(res.validate(g, seeds));
+    }
+  }
+}
+
+TEST_P(KWayConformanceTest, PerCascadeMonotoneGrowth) {
+  // Each cascade's cumulative curve is non-decreasing, flattens to its final
+  // count, and the per-cascade series sum to the role-aggregated newly_*
+  // series at every step.
+  Rng rng(19);
+  const DiGraph g = erdos_renyi(120, 0.05, true, rng);
+  const std::vector<NodeId> rumors{0, 1, 2, 3, 4, 5, 6};
+  const std::vector<NodeId> protectors{20, 21, 22, 23, 24};
+  const SeedSets seeds = seeds_for(rumors, protectors,
+                                   CascadePriority::kFixedOrder);
+  const MonteCarloConfig cfg = mc_config();
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    const DiffusionResult res = simulate(g, seeds, s, cfg);
+    ASSERT_EQ(res.newly_by_cascade.size(), seeds.num_cascades());
+    for (std::size_t k = 0; k < seeds.num_cascades(); ++k) {
+      const auto kk = static_cast<std::uint8_t>(k);
+      std::size_t prev = 0;
+      for (std::uint32_t h = 0; h <= res.steps; ++h) {
+        const std::size_t cur = res.cumulative_cascade_at(kk, h);
+        EXPECT_GE(cur, prev) << "cascade " << k << " shrank at hop " << h;
+        prev = cur;
+      }
+      EXPECT_EQ(prev, res.cascade_count(kk));
+      EXPECT_EQ(res.cumulative_cascade_at(kk, res.steps + 5),
+                res.cascade_count(kk));
+    }
+    for (std::size_t t = 0; t < res.newly_infected.size(); ++t) {
+      std::uint32_t infected = 0, prot = 0;
+      for (std::size_t k = 0; k < seeds.num_cascades(); ++k) {
+        (seeds.role_of(k) == CascadeRole::kRumor ? infected : prot) +=
+            res.newly_by_cascade[k][t];
+      }
+      EXPECT_EQ(infected, res.newly_infected[t]);
+      EXPECT_EQ(prot, res.newly_protected[t]);
+    }
+  }
+}
+
+TEST_P(KWayConformanceTest, RoleSeparableCollapseMatchesTwoCascadeRun) {
+  // Under a role-separable priority the K-way run and the two-cascade run on
+  // the role unions color every node identically (only the attribution
+  // differs). This is the invariant that lets the realization cache serve
+  // K-way queries, so it doubles as the K-way replay==forward check.
+  Rng rng(23);
+  const DiGraph g = erdos_renyi(100, 0.06, true, rng);
+  const std::vector<NodeId> rumors{0, 1, 2, 3, 4, 5};
+  const std::vector<NodeId> protectors{10, 11, 12, 13};
+  const SeedSets kway = seeds_for(rumors, protectors,
+                                  CascadePriority::kFixedOrder);
+  ASSERT_TRUE(kway.role_separable());
+  SeedSets two;
+  two.rumors = kway.rumor_role_union();
+  two.protectors = kway.protector_role_union();
+  const MonteCarloConfig cfg = mc_config();
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const DiffusionResult a = simulate(g, kway, s, cfg);
+    const DiffusionResult b = simulate(g, two, s, cfg);
+    EXPECT_EQ(a.state, b.state) << "seed " << s;
+    EXPECT_EQ(a.activation_step, b.activation_step) << "seed " << s;
+    EXPECT_EQ(a.newly_infected, b.newly_infected) << "seed " << s;
+    EXPECT_EQ(a.newly_protected, b.newly_protected) << "seed " << s;
+  }
+}
+
+TEST_P(KWayConformanceTest, CacheReplayMatchesKWayForward) {
+  // For cache-capable models the SigmaEngine replay over the role unions
+  // must reproduce the K-way forward outcome bridge end by bridge end.
+  if (!SigmaEngine::supports(model())) return;
+  Rng rng(29);
+  const DiGraph g = erdos_renyi(80, 0.07, true, rng);
+  const std::vector<NodeId> rumors{0, 1, 2, 3};
+  std::vector<NodeId> bridge_ends;
+  for (NodeId v = 30; v < 55; ++v) bridge_ends.push_back(v);
+  const std::vector<NodeId> protectors{10, 11, 12};
+  const SeedSets kway = seeds_for(rumors, protectors,
+                                  CascadePriority::kFixedOrder);
+
+  SigmaConfig cfg;
+  cfg.model = model();
+  cfg.samples = 5;
+  cfg.max_hops = 20;
+  cfg.ic_edge_prob = 0.3;
+  std::vector<std::uint64_t> sample_seeds;
+  for (std::uint64_t i = 0; i < cfg.samples; ++i) {
+    sample_seeds.push_back(500 + i * 31);
+  }
+  const SigmaEngine engine(g, kway.rumor_role_union(), bridge_ends,
+                           sample_seeds, cfg, nullptr);
+  const MonteCarloConfig mc = mc_config();
+  for (std::size_t i = 0; i < cfg.samples; ++i) {
+    SeedSets base_seeds;
+    base_seeds.rumors = kway.rumor_role_union();
+    const DiffusionResult base = simulate(g, base_seeds, sample_seeds[i], mc);
+    const DiffusionResult with = simulate(g, kway, sample_seeds[i], mc);
+    const SigmaEngine::Outcome o =
+        engine.evaluate(i, kway.protector_role_union());
+    std::uint32_t saved = 0, uninfected = 0;
+    for (NodeId b : bridge_ends) {
+      if (with.state[b] != NodeState::kInfected) {
+        ++uninfected;
+        if (base.state[b] == NodeState::kInfected) ++saved;
+      }
+    }
+    EXPECT_EQ(o.saved, saved) << "sample " << i;
+    EXPECT_EQ(o.uninfected, uninfected) << "sample " << i;
+  }
+}
+
+TEST_P(KWayConformanceTest, ReverseSetMembersSaveTheRootAgainstKWayRumors) {
+  // Reverse-capable models: an RR member seeded as the lone protector saves
+  // the root even when the rumor union is split into K-way campaigns (role
+  // collapse keeps RR membership sound).
+  const bool supports_reverse = dispatch_model(
+      model(), [](auto t) { return decltype(t)::kSupportsReverse; });
+  if (!supports_reverse) return;  // rejection pinned by the K=2 suite
+  Rng rng(31);
+  const DiGraph g = erdos_renyi(80, 0.07, true, rng);
+  const std::vector<NodeId> rumors{0, 1, 2};
+  std::vector<NodeId> bridge_ends;
+  for (NodeId v = 40; v < 60; ++v) bridge_ends.push_back(v);
+  RisConfig cfg;
+  cfg.model = model();
+  cfg.max_hops = 20;
+  cfg.ic_edge_prob = 0.3;
+  RrSampler sampler(g, rumors, bridge_ends, cfg);
+  const MonteCarloConfig mc = mc_config();
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < 25; ++i) {
+    const RrSampler::Draw d = sampler.draw(0, i);
+    const std::vector<NodeId> set =
+        sampler.rr_set(d.root_idx, d.realization_seed);
+    const NodeId root = bridge_ends[d.root_idx];
+    for (NodeId v : set) {
+      const SeedSets seeds = seeds_for(rumors, {v},
+                                       CascadePriority::kFixedOrder);
+      const DiffusionResult res = simulate(g, seeds, d.realization_seed, mc);
+      EXPECT_NE(res.state[root], NodeState::kInfected)
+          << "RR member " << v << " fails to save root " << root
+          << " against K-way rumors";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsAllK, KWayConformanceTest,
+    ::testing::Combine(::testing::Values(DiffusionModel::kOpoao,
+                                         DiffusionModel::kDoam,
+                                         DiffusionModel::kIc,
+                                         DiffusionModel::kLt,
+                                         DiffusionModel::kWc),
+                       ::testing::Values(2, 3, 5)),
+    [](const auto& param_info) {
+      return to_string(std::get<0>(param_info.param)) + "_K" +
+             std::to_string(std::get<1>(param_info.param));
+    });
 
 }  // namespace
 }  // namespace lcrb

@@ -19,9 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "diffusion/montecarlo.h"
 #include "diffusion/opoao.h"
 #include "graph/generators.h"
 #include "lcrb/bridge.h"
+#include "lcrb/cldag.h"
 #include "lcrb/greedy.h"
 #include "lcrb/scbg.h"
 #include "util/rng.h"
@@ -83,6 +85,21 @@ std::uint64_t hash_greedy(const GreedyResult& r) {
   h.u64(r.gain_history.size());
   for (double g : r.gain_history) h.f64(g);
   h.f64(r.achieved_fraction);
+  return h.value();
+}
+
+std::uint64_t hash_multi(const MultiGreedyResult& r) {
+  Fnv h;
+  h.u64(r.groups.size());
+  for (const std::vector<NodeId>& group : r.groups) {
+    h.u64(group.size());
+    for (NodeId v : group) h.u32(v);
+  }
+  h.u64(r.deployed.size());
+  for (NodeId v : r.deployed) h.u32(v);
+  h.u64(r.combined.gain_history.size());
+  for (double g : r.combined.gain_history) h.f64(g);
+  h.f64(r.combined.achieved_fraction);
   return h.value();
 }
 
@@ -247,6 +264,91 @@ TEST_F(GoldenDeterminismTest, GreedyRisDoam) {
 TEST_F(GoldenDeterminismTest, ScbgSeedSet) {
   const ScbgResult r = scbg_from_bridges(g_, rumors_, bridges_);
   check_golden("scbg_seed_set", hash_scbg(r));
+}
+
+TEST_F(GoldenDeterminismTest, KWaySimulationPins) {
+  // K=3 multi-rumor forward runs (two rumor campaigns vs one protector
+  // campaign) pinned for every model: final states, winning-cascade
+  // attribution, and the per-cascade activation series. Guards the K-way
+  // kernel the same way opoao_trace guards the K=2 path.
+  const std::vector<std::vector<NodeId>> rumor_groups{{0, 1}, {2}};
+  const std::vector<std::vector<NodeId>> protector_groups{{50, 51}};
+  const SeedSets seeds = make_seed_sets(rumor_groups, protector_groups,
+                                        CascadePriority::kFixedOrder);
+  Fnv h;
+  for (const DiffusionModel model :
+       {DiffusionModel::kOpoao, DiffusionModel::kDoam, DiffusionModel::kIc,
+        DiffusionModel::kLt, DiffusionModel::kWc}) {
+    MonteCarloConfig cfg;
+    cfg.model = model;
+    cfg.max_hops = 31;
+    cfg.ic_edge_prob = 0.3;
+    const DiffusionResult r = simulate(g_, seeds, 777, cfg);
+    for (NodeState s : r.state) h.u32(static_cast<std::uint32_t>(s));
+    for (std::uint8_t c : r.cascade) h.u32(c);
+    h.u32(r.steps);
+    h.u64(r.newly_by_cascade.size());
+    for (const std::vector<std::uint32_t>& series : r.newly_by_cascade) {
+      h.u64(series.size());
+      for (std::uint32_t c : series) h.u32(c);
+    }
+  }
+  check_golden("kway_sim_k3", h.value());
+}
+
+TEST_F(GoldenDeterminismTest, MultiGreedyCoordinated) {
+  GreedyConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.sigma.samples = 12;
+  cfg.sigma.seed = 9;
+  cfg.sigma.model = DiffusionModel::kOpoao;
+  const std::vector<std::size_t> budgets{2, 2};
+  const std::uint64_t serial = hash_multi(greedy_multi_from_bridges(
+      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kCoordinated,
+      nullptr));
+  ThreadPool one(1);
+  const std::uint64_t t1 = hash_multi(greedy_multi_from_bridges(
+      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kCoordinated,
+      &one));
+  ThreadPool four(4);
+  const std::uint64_t t4 = hash_multi(greedy_multi_from_bridges(
+      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kCoordinated,
+      &four));
+  EXPECT_EQ(serial, t1) << "1-thread multi-greedy drifted from serial";
+  EXPECT_EQ(serial, t4) << "4-thread multi-greedy drifted from serial";
+  check_golden("multi_greedy_coordinated", serial);
+}
+
+TEST_F(GoldenDeterminismTest, MultiGreedyUncoordinated) {
+  GreedyConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.sigma.samples = 12;
+  cfg.sigma.seed = 9;
+  cfg.sigma.model = DiffusionModel::kOpoao;
+  const std::vector<std::size_t> budgets{2, 2};
+  const std::uint64_t serial = hash_multi(greedy_multi_from_bridges(
+      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kUncoordinated,
+      nullptr));
+  ThreadPool four(4);
+  const std::uint64_t t4 = hash_multi(greedy_multi_from_bridges(
+      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kUncoordinated,
+      &four));
+  EXPECT_EQ(serial, t4) << "4-thread multi-greedy drifted from serial";
+  check_golden("multi_greedy_uncoordinated", serial);
+}
+
+TEST_F(GoldenDeterminismTest, CldagSeedSet) {
+  const CldagResult r =
+      cldag_protectors(g_, rumors_, bridges_.bridge_ends, /*budget=*/4,
+                       /*theta=*/1.0 / 320.0);
+  Fnv h;
+  h.u64(r.protectors.size());
+  for (NodeId v : r.protectors) h.u32(v);
+  h.u64(r.score_history.size());
+  for (double s : r.score_history) h.f64(s);
+  h.u64(r.ldag_nodes);
+  h.u64(r.ldag_arcs);
+  check_golden("cldag_seed_set", h.value());
 }
 
 TEST_F(GoldenDeterminismTest, OpoaoTracePins) {

@@ -204,6 +204,40 @@ TEST_F(ThreadDeterminismTest, RisGreedyDoamIsThreadCountInvariant) {
   check(cfg);
 }
 
+TEST_F(ThreadDeterminismTest, KWayMultiGreedyIsThreadCountInvariant) {
+  // The multi-campaign greedy (both coordination modes) must honor the same
+  // 0/1/4-thread byte-identity contract as the single-campaign selector:
+  // identical per-campaign groups, deployed unions, and bitwise-equal gain
+  // histories and achieved fractions.
+  GreedyConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.sigma.samples = 10;
+  cfg.sigma.seed = 7;
+  cfg.sigma.model = DiffusionModel::kOpoao;
+  const std::vector<std::size_t> budgets{2, 1};
+  for (const MultiCascadeMode mode :
+       {MultiCascadeMode::kCoordinated, MultiCascadeMode::kUncoordinated}) {
+    const MultiGreedyResult serial = greedy_multi_from_bridges(
+        g_, rumors_, bridges_, cfg, budgets, mode, nullptr);
+    ThreadPool one(1);
+    const MultiGreedyResult t1 = greedy_multi_from_bridges(
+        g_, rumors_, bridges_, cfg, budgets, mode, &one);
+    ThreadPool four(4);
+    const MultiGreedyResult t4 = greedy_multi_from_bridges(
+        g_, rumors_, bridges_, cfg, budgets, mode, &four);
+    for (const MultiGreedyResult* r : {&t1, &t4}) {
+      EXPECT_EQ(serial.groups, r->groups) << to_string(mode);
+      EXPECT_EQ(serial.deployed, r->deployed) << to_string(mode);
+      expect_bitwise_equal(serial.combined.gain_history,
+                           r->combined.gain_history, "multi gain_history");
+      EXPECT_EQ(serial.combined.achieved_fraction,
+                r->combined.achieved_fraction)
+          << to_string(mode);
+    }
+    EXPECT_FALSE(serial.deployed.empty()) << to_string(mode);
+  }
+}
+
 TEST_F(ThreadDeterminismTest, RepeatedPooledRunsAreIdentical) {
   // Same pool, same seed, run twice: nothing may leak between runs (scratch
   // reuse, counters) that changes the answer.

@@ -20,6 +20,13 @@
 //   --community-size N      pick the community closest to N (default 100)
 //   --rumors K              number of rumor originators (default 5)
 //   --rumor-ids a,b,c       explicit originators (overrides --rumors)
+//   --rumor-groups "a,b;c"  multi-rumor campaigns: one cascade per ';'-group
+//                           (overrides --rumor-ids; union must share one
+//                           community). greedy extras: --multi-mode
+//                           coordinated|uncoordinated with --protector-budgets
+//                           b0,b1,... for per-campaign protector budgets;
+//                           simulate extra: --cascade-priority
+//                           fixed|lowest|roundrobin.
 // See each subcommand below for its extras.
 //
 // scbg/greedy/simulate are thin QueryService clients: they register the
@@ -44,6 +51,20 @@ std::vector<NodeId> parse_ids(const std::string& csv) {
     if (tok.empty()) continue;
     out.push_back(static_cast<NodeId>(std::stoul(tok)));
   }
+  return out;
+}
+
+/// Semicolon-separated groups of comma-separated ids: "0,1;7" -> {{0,1},{7}}.
+std::vector<std::vector<NodeId>> parse_id_groups(const std::string& spec) {
+  std::vector<std::vector<NodeId>> out;
+  std::istringstream in(spec);
+  std::string group;
+  while (std::getline(in, group, ';')) {
+    std::vector<NodeId> ids = parse_ids(group);
+    LCRB_REQUIRE(!ids.empty(), "--rumor-groups: empty group in '" + spec + "'");
+    out.push_back(std::move(ids));
+  }
+  LCRB_REQUIRE(!out.empty(), "--rumor-groups parsed to nothing");
   return out;
 }
 
@@ -112,7 +133,9 @@ void print_ids(const char* label, const std::vector<NodeId>& ids) {
 service::QueryRequest base_request(const Args& args) {
   service::QueryRequest req;
   req.dataset = "cli";
-  if (args.has("rumor-ids")) {
+  if (args.has("rumor-groups")) {
+    req.rumor_groups = parse_id_groups(args.get_string("rumor-groups", ""));
+  } else if (args.has("rumor-ids")) {
     req.rumor_ids = parse_ids(args.get_string("rumor-ids", ""));
     LCRB_REQUIRE(!req.rumor_ids.empty(), "--rumor-ids parsed to nothing");
   } else {
@@ -217,8 +240,16 @@ int cmd_greedy(const Args& args) {
   const service::QueryResult r = svc->run(req);
   if (!r.ok) throw Error(r.error);
   print_ids("protector seeds", r.protectors);
+  for (std::size_t c = 0; c < r.protector_groups.size(); ++c) {
+    const std::string label = "  campaign " + std::to_string(c);
+    print_ids(label.c_str(), r.protector_groups[c]);
+  }
   std::cout << "achieved protected fraction: " << fixed(r.achieved_fraction, 3)
             << " (alpha " << req.options.alpha << ")\n";
+  if (req.options.multi_mode != MultiCascadeMode::kOff) {
+    std::cout << "multi-campaign mode: " << to_string(req.options.multi_mode)
+              << " (" << r.protector_groups.size() << " campaigns)\n";
+  }
   if (req.options.sigma_mode == SigmaMode::kRis) {
     std::cout << "sigma served by: ris (" << r.sigma_evaluations
               << " RR sets/pool, " << r.meta.get_int("ris_rounds", 0)
@@ -247,6 +278,8 @@ int cmd_simulate(const Args& args) {
   }
   req.options.model =
       diffusion_model_from_string(args.get_string("model", "opoao"));
+  req.options.cascade_priority = cascade_priority_from_string(
+      args.get_string("cascade-priority", "fixed"));
   req.options.ic_edge_prob = args.get_double("ic-prob", 0.1);
   req.options.max_hops = static_cast<std::uint32_t>(args.get_int("hops", 31));
   req.eval_runs = static_cast<std::size_t>(args.get_int("runs", 100));

@@ -64,6 +64,13 @@ SENSITIVE_SUFFIXES = (
     # dispatch, and each model's sample/replay/reverse hooks.
     "src/diffusion/kernel.h",
     "src/diffusion/model_traits.h",
+    # The K-cascade state machine (SeedSets layout, CascadePlan priority
+    # order) and the simulation-free CLDAG selector are both pinned by
+    # golden hashes; any ordering drift breaks byte-identity.
+    "src/diffusion/cascade.h",
+    "src/diffusion/cascade.cpp",
+    "src/lcrb/cldag.h",
+    "src/lcrb/cldag.cpp",
     "src/diffusion/frontier_traits.h",
     "src/diffusion/opoao_traits.h",
     "src/diffusion/doam_traits.h",
