@@ -1,0 +1,22 @@
+// Fuzz target: the binary graph loader. The header's node/arc counts are
+// attacker-controlled; reads must stay bounded by the bytes present and
+// corrupt payloads must fail the checksum, not crash.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "graph/io.h"
+#include "util/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(bytes);
+  try {
+    const lcrb::DiGraph g = lcrb::load_binary(in);
+    (void)g.num_edges();
+  } catch (const lcrb::Error&) {
+  }
+  return 0;
+}

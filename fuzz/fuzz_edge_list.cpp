@@ -1,0 +1,24 @@
+// Fuzz target: the SNAP-style edge-list text loader, directed and
+// undirected. Malformed lines must throw lcrb::Error with a line number;
+// nothing may crash or allocate unboundedly.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "graph/io.h"
+#include "util/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  for (const bool undirected : {false, true}) {
+    std::istringstream in(text);
+    try {
+      const lcrb::DiGraph g = lcrb::load_edge_list(in, undirected);
+      (void)g.num_nodes();
+    } catch (const lcrb::Error&) {
+    }
+  }
+  return 0;
+}

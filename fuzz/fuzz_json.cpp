@@ -1,0 +1,26 @@
+// Fuzz target: JsonValue::parse on arbitrary bytes, plus the dump/parse
+// round-trip invariant on everything that parses. lcrb::Error is the only
+// exception the parser is allowed to throw; anything else (bad_alloc from a
+// missing length limit, std::out_of_range from an unchecked index) crashes
+// the harness and becomes a finding.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+#include "util/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const lcrb::JsonValue v = lcrb::JsonValue::parse(text);
+    // Round-trip: dump() output must re-parse (and re-dump identically).
+    const std::string dumped = v.dump();
+    const lcrb::JsonValue v2 = lcrb::JsonValue::parse(dumped);
+    if (v2.dump() != dumped) __builtin_trap();
+  } catch (const lcrb::Error&) {
+    // Malformed input rejected with a diagnostic: the expected outcome.
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fuzz target: the community membership CSV loader. A hostile file may not
+// drive allocation beyond its own size (sparse huge node ids must be
+// rejected by the denseness check, not honored with memory).
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "community/io.h"
+#include "util/error.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(text);
+  try {
+    const lcrb::Partition p = lcrb::load_membership(in);
+    (void)p.num_communities();
+  } catch (const lcrb::Error&) {
+  }
+  return 0;
+}

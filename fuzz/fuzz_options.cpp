@@ -1,0 +1,38 @@
+// Fuzz target: LcrbOptions::from_json and from_args. The input bytes are
+// used twice — as a JSON document, and whitespace-tokenized as an argv
+// vector — so one corpus exercises both decoders.
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lcrb/options.h"
+#include "util/args.h"
+#include "util/error.h"
+#include "util/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  try {
+    const auto o = lcrb::LcrbOptions::from_json(lcrb::JsonValue::parse(text));
+    // Round-trip invariant on accepted option sets.
+    const std::string dumped = o.to_json().dump();
+    const auto o2 = lcrb::LcrbOptions::from_json(lcrb::JsonValue::parse(dumped));
+    if (o2.to_json().dump() != dumped) __builtin_trap();
+  } catch (const lcrb::Error&) {
+  }
+
+  try {
+    std::vector<std::string> argv = {"fuzz"};
+    std::istringstream tokens(text);
+    std::string tok;
+    while (tokens >> tok && argv.size() < 64) argv.push_back(tok);
+    const lcrb::Args args(argv);
+    (void)lcrb::LcrbOptions::from_args(args);
+  } catch (const lcrb::Error&) {
+  }
+  return 0;
+}

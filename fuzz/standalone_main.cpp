@@ -1,0 +1,34 @@
+// Replay driver for toolchains without libFuzzer (the default gcc build):
+// runs every file argument through LLVMFuzzerTestOneInput once. This is how
+// the checked-in seed corpora execute as plain ctest cases in every build;
+// with -DLCRB_LIBFUZZER=ON (Clang) the libFuzzer runtime provides main and
+// this file is not compiled in.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int ran = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "cannot open corpus file: %s\n", argv[i]);
+      return 1;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++ran;
+  }
+  if (ran == 0) {  // no corpus: still exercise the empty input
+    LLVMFuzzerTestOneInput(nullptr, 0);
+  }
+  std::fprintf(stderr, "replayed %d input(s)\n", ran);
+  return 0;
+}

@@ -1,7 +1,10 @@
 #include "community/io.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "util/error.h"
@@ -35,8 +38,12 @@ Partition load_membership(std::istream& in) {
   // Tolerate files without the header.
   const bool has_header = line.rfind("node", 0) == 0;
 
-  std::vector<CommunityId> labels;
-  std::vector<bool> seen;
+  // Collect (node, community) rows first and validate denseness at the end:
+  // resizing `labels` to an untrusted node id up front would let one line
+  // ("4000000000,0") demand gigabytes. This way allocation is proportional
+  // to the bytes actually read, and a sparse huge id is rejected by the
+  // denseness check rather than honored with memory.
+  std::vector<std::pair<std::uint64_t, CommunityId>> rows;
   auto consume = [&](const std::string& row, std::size_t lineno) {
     if (row.empty()) return;
     std::istringstream fields(row);
@@ -47,32 +54,41 @@ Partition load_membership(std::istream& in) {
                   ": '" + row + "'");
     }
     std::size_t pos = 0;
-    unsigned long node = 0, comm = 0;
+    unsigned long long node = 0, comm = 0;
     try {
-      node = std::stoul(node_s, &pos);
+      node = std::stoull(node_s, &pos);
       LCRB_REQUIRE(pos == node_s.size(), "trailing junk in node id");
-      comm = std::stoul(comm_s, &pos);
+      comm = std::stoull(comm_s, &pos);
       LCRB_REQUIRE(pos == comm_s.size(), "trailing junk in community id");
     } catch (const std::exception&) {
       throw Error("malformed membership line " + std::to_string(lineno) +
                   ": '" + row + "'");
     }
-    if (node >= labels.size()) {
-      labels.resize(node + 1, kInvalidCommunity);
-      seen.resize(node + 1, false);
-    }
-    LCRB_REQUIRE(!seen[node],
-                 "duplicate node " + std::to_string(node) + " in membership");
-    seen[node] = true;
-    labels[node] = static_cast<CommunityId>(comm);
+    LCRB_REQUIRE(node < kInvalidNode,
+                 "membership node id " + std::to_string(node) +
+                     " exceeds the node-id range");
+    LCRB_REQUIRE(comm < kInvalidCommunity,
+                 "membership community id " + std::to_string(comm) +
+                     " exceeds the community-id range");
+    rows.emplace_back(node, static_cast<CommunityId>(comm));
   };
 
   std::size_t lineno = 1;
   if (!has_header) consume(line, lineno);
   while (std::getline(in, line)) consume(line, ++lineno);
 
-  for (std::size_t v = 0; v < seen.size(); ++v) {
-    LCRB_REQUIRE(seen[v], "membership missing node " + std::to_string(v));
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<CommunityId> labels(rows.size(), kInvalidCommunity);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].first < i) {
+      throw Error("duplicate node " + std::to_string(rows[i].first) +
+                  " in membership");
+    }
+    if (rows[i].first > i) {
+      throw Error("membership missing node " + std::to_string(i));
+    }
+    labels[i] = rows[i].second;
   }
   return Partition(labels);
 }

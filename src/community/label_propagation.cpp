@@ -5,7 +5,7 @@
 
 #include "util/rng.h"
 
-// This file is on tools/lint_determinism.py's sensitive list (community ids
+// Determinism-critical (gated by tools/lcrb_analyze D1-D4; community ids
 // feed bridge ends and hence sigma): vote counting runs over flat arrays
 // with an explicit touched list — no unordered_map iteration anywhere.
 

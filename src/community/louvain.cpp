@@ -7,7 +7,7 @@
 #include "util/error.h"
 #include "util/rng.h"
 
-// This file is on tools/lint_determinism.py's sensitive list: community ids
+// Determinism-critical (gated by tools/lcrb_analyze D1-D4): community ids
 // feed bridge-end computation and therefore every downstream sigma value, so
 // all accumulation below runs over sorted or insertion-ordered containers —
 // no unordered_map/unordered_set iteration, no scheduling-dependent floating

@@ -1,5 +1,6 @@
 #include "community/nmi.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 #include <vector>
@@ -37,8 +38,18 @@ double normalized_mutual_information(const Partition& a, const Partition& b) {
   const double hb = entropy(cb);
   if (ha == 0.0 && hb == 0.0) return 1.0;  // both trivial, identical
 
+  // Accumulate in sorted key order: FP addition is not associative, so
+  // summing in hash order would make the result depend on the libstdc++
+  // bucket layout.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(joint.size());
+  for (const auto& kv : joint) {  // det-ok[D1]: key extraction into a vector that is sorted on the next line — sink is order-insensitive
+    keys.push_back(kv.first);
+  }
+  std::sort(keys.begin(), keys.end());
   double mi = 0.0;
-  for (const auto& [key, nxy] : joint) {
+  for (const std::uint64_t key : keys) {
+    const double nxy = joint.at(key);
     const auto x = static_cast<CommunityId>(key >> 32);
     const auto y = static_cast<CommunityId>(key & 0xffffffffULL);
     mi += (nxy / n) * std::log(n * nxy / (ca[x] * cb[y]));

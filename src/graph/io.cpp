@@ -1,5 +1,6 @@
 #include "graph/io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
@@ -101,31 +102,49 @@ void save_binary(const DiGraph& g, const std::string& path) {
 DiGraph load_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   LCRB_REQUIRE(in.good(), "cannot open binary graph: " + path);
+  return load_binary(in);
+}
 
+DiGraph load_binary(std::istream& in) {
   std::uint64_t magic = 0, n = 0, m = 0, stored = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof magic);
-  LCRB_REQUIRE(in.good() && magic == kMagic,
-               "not an lcrb binary graph: " + path);
+  LCRB_REQUIRE(in.good() && magic == kMagic, "not an lcrb binary graph");
   in.read(reinterpret_cast<char*>(&n), sizeof n);
   in.read(reinterpret_cast<char*>(&m), sizeof m);
   LCRB_REQUIRE(in.good() && n <= kInvalidNode, "corrupt binary graph header");
 
-  std::vector<std::pair<NodeId, NodeId>> arcs(m);
-  if (m) in.read(reinterpret_cast<char*>(arcs.data()),
-                 static_cast<std::streamsize>(m * sizeof(arcs[0])));
+  // The header's arc count is untrusted: read in bounded chunks so a forged
+  // count allocates memory proportional to the bytes actually present, not
+  // to the claimed 2^64. Truncation surfaces as a short read, not OOM.
+  constexpr std::uint64_t kChunkArcs = 1u << 16;
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arcs.reserve(static_cast<std::size_t>(std::min(m, kChunkArcs)));
+  std::uint64_t remaining = m;
+  while (remaining > 0) {
+    const std::uint64_t batch = std::min(remaining, kChunkArcs);
+    const std::size_t old = arcs.size();
+    arcs.resize(old + static_cast<std::size_t>(batch));
+    in.read(reinterpret_cast<char*>(arcs.data() + old),
+            static_cast<std::streamsize>(batch * sizeof(arcs[0])));
+    LCRB_REQUIRE(in.good(), "binary graph truncated");
+    remaining -= batch;
+  }
   in.read(reinterpret_cast<char*>(&stored), sizeof stored);
-  LCRB_REQUIRE(in.good(), "binary graph truncated: " + path);
+  LCRB_REQUIRE(in.good(), "binary graph truncated");
 
   std::uint64_t checksum = 0xcbf29ce484222325ULL;
   checksum = fnv1a(&n, sizeof n, checksum);
   checksum = fnv1a(&m, sizeof m, checksum);
   if (m) checksum = fnv1a(arcs.data(), m * sizeof(arcs[0]), checksum);
-  LCRB_REQUIRE(checksum == stored, "binary graph checksum mismatch: " + path);
+  LCRB_REQUIRE(checksum == stored, "binary graph checksum mismatch");
 
   GraphBuilder b;
   b.reserve_nodes(static_cast<NodeId>(n));
   b.reserve_edges(arcs.size());
-  for (const auto& [u, v] : arcs) b.add_edge(u, v);
+  for (const auto& [u, v] : arcs) {
+    LCRB_REQUIRE(u < n && v < n, "binary graph arc endpoint out of range");
+    b.add_edge(u, v);
+  }
   return b.finalize();
 }
 

@@ -20,8 +20,12 @@ void save_edge_list(const DiGraph& g, const std::string& path);
 void save_edge_list(const DiGraph& g, std::ostream& out);
 
 /// Binary round-trip format: magic, node/arc counts, arc array, and an
-/// FNV-1a checksum so truncated or corrupted files are rejected.
+/// FNV-1a checksum so truncated or corrupted files are rejected. The loader
+/// reads the arc array in bounded chunks, so a forged header count cannot
+/// drive allocation past the bytes actually present, and rejects arcs whose
+/// endpoints fall outside the declared node count.
 void save_binary(const DiGraph& g, const std::string& path);
 DiGraph load_binary(const std::string& path);
+DiGraph load_binary(std::istream& in);
 
 }  // namespace lcrb

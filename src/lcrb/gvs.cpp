@@ -1,10 +1,10 @@
 #include "lcrb/gvs.h"
 
 #include <algorithm>
-#include <mutex>
 #include <queue>
 
 #include "util/error.h"
+#include "util/reduce.h"
 #include "util/rng.h"
 
 namespace lcrb {
@@ -38,12 +38,10 @@ class InfectionEstimator {
       return static_cast<double>(simulate(g_, s, seeds_[i], mc).infected_count());
     };
     if (pool_ != nullptr && cfg_.samples > 1) {
-      std::mutex mu;
-      pool_->parallel_for(cfg_.samples, [&](std::size_t i) {
-        const double v = eval(i);
-        std::lock_guard<std::mutex> lock(mu);
-        total += v;
-      });
+      // Slot-then-serial-reduce: a mutex-guarded `total += v` would be
+      // race-free but would still sum in scheduling order, breaking the
+      // bit-identical-across-thread-counts contract.
+      total = parallel_fixed_order_sum<double>(*pool_, cfg_.samples, eval);
     } else {
       for (std::size_t i = 0; i < cfg_.samples; ++i) total += eval(i);
     }

@@ -334,6 +334,21 @@ JsonValue LcrbOptions::to_json() const {
   return v;
 }
 
+namespace {
+
+// Negative JSON ints would wrap to huge unsigned counts (e.g. -1 becomes
+// 2^64-1 samples) and pass validate() as plausible values; reject up front.
+std::uint64_t non_negative_option(const JsonValue& v, const char* what) {
+  const std::int64_t x = v.as_int();
+  if (x < 0) {
+    throw Error(std::string("options: ") + what +
+                " must be non-negative, got " + std::to_string(x));
+  }
+  return static_cast<std::uint64_t>(x);
+}
+
+}  // namespace
+
 LcrbOptions LcrbOptions::from_json(const JsonValue& v) {
   if (!v.is_object()) throw Error("options: expected a JSON object");
   LcrbOptions o;
@@ -341,15 +356,15 @@ LcrbOptions LcrbOptions::from_json(const JsonValue& v) {
     if (key == "selector") {
       o.selector = selector_kind_from_string(val.as_string());
     } else if (key == "budget") {
-      o.budget = static_cast<std::size_t>(val.as_int());
+      o.budget = static_cast<std::size_t>(non_negative_option(val, "budget"));
     } else if (key == "selector_seed") {
-      o.selector_seed = static_cast<std::uint64_t>(val.as_int());
+      o.selector_seed = non_negative_option(val, "selector_seed");
     } else if (key == "alpha") {
       o.alpha = val.as_double();
     } else if (key == "candidates") {
       o.candidates = candidate_strategy_from_string(val.as_string());
     } else if (key == "max_candidates") {
-      o.max_candidates = static_cast<std::size_t>(val.as_int());
+      o.max_candidates = static_cast<std::size_t>(non_negative_option(val, "max_candidates"));
     } else if (key == "use_celf") {
       o.use_celf = val.as_bool();
     } else if (key == "sigma_mode") {
@@ -357,33 +372,33 @@ LcrbOptions LcrbOptions::from_json(const JsonValue& v) {
     } else if (key == "model") {
       o.model = diffusion_model_from_string(val.as_string());
     } else if (key == "sigma_samples") {
-      o.sigma_samples = static_cast<std::size_t>(val.as_int());
+      o.sigma_samples = static_cast<std::size_t>(non_negative_option(val, "sigma_samples"));
     } else if (key == "sigma_seed") {
-      o.sigma_seed = static_cast<std::uint64_t>(val.as_int());
+      o.sigma_seed = non_negative_option(val, "sigma_seed");
     } else if (key == "max_hops") {
-      o.max_hops = static_cast<std::uint32_t>(val.as_int());
+      o.max_hops = static_cast<std::uint32_t>(non_negative_option(val, "max_hops"));
     } else if (key == "ic_edge_prob") {
       o.ic_edge_prob = val.as_double();
     } else if (key == "use_realization_cache") {
       o.use_realization_cache = val.as_bool();
     } else if (key == "max_cache_bytes") {
-      o.max_cache_bytes = static_cast<std::size_t>(val.as_int());
+      o.max_cache_bytes = static_cast<std::size_t>(non_negative_option(val, "max_cache_bytes"));
     } else if (key == "ris_epsilon") {
       o.ris_epsilon = val.as_double();
     } else if (key == "ris_delta") {
       o.ris_delta = val.as_double();
     } else if (key == "ris_initial_sets") {
-      o.ris_initial_sets = static_cast<std::size_t>(val.as_int());
+      o.ris_initial_sets = static_cast<std::size_t>(non_negative_option(val, "ris_initial_sets"));
     } else if (key == "ris_max_sets") {
-      o.ris_max_sets = static_cast<std::size_t>(val.as_int());
+      o.ris_max_sets = static_cast<std::size_t>(non_negative_option(val, "ris_max_sets"));
     } else if (key == "ris_estimator_sets") {
-      o.ris_estimator_sets = static_cast<std::size_t>(val.as_int());
+      o.ris_estimator_sets = static_cast<std::size_t>(non_negative_option(val, "ris_estimator_sets"));
     } else if (key == "ris_max_pool_bytes") {
-      o.ris_max_pool_bytes = static_cast<std::size_t>(val.as_int());
+      o.ris_max_pool_bytes = static_cast<std::size_t>(non_negative_option(val, "ris_max_pool_bytes"));
     } else if (key == "gvs_samples") {
-      o.gvs_samples = static_cast<std::size_t>(val.as_int());
+      o.gvs_samples = static_cast<std::size_t>(non_negative_option(val, "gvs_samples"));
     } else if (key == "gvs_max_candidates") {
-      o.gvs_max_candidates = static_cast<std::size_t>(val.as_int());
+      o.gvs_max_candidates = static_cast<std::size_t>(non_negative_option(val, "gvs_max_candidates"));
     } else if (key == "cascade_priority") {
       o.cascade_priority = cascade_priority_from_string(val.as_string());
     } else if (key == "multi_mode") {
@@ -394,7 +409,8 @@ LcrbOptions LcrbOptions::from_json(const JsonValue& v) {
       }
       o.protector_budgets.clear();
       for (const JsonValue& b : val.items()) {
-        o.protector_budgets.push_back(static_cast<std::size_t>(b.as_int()));
+        o.protector_budgets.push_back(
+            static_cast<std::size_t>(non_negative_option(b, "protector_budgets")));
       }
     } else if (key == "cldag_theta") {
       o.cldag_theta = val.as_double();

@@ -20,12 +20,12 @@ bool deadline_expired(const QueryRequest& req, Clock::time_point admitted) {
   if (req.deadline_ms < 0) return false;
   if (req.deadline_ms == 0) return true;
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-      Clock::now() - admitted);
+      Clock::now() - admitted);  // det-ok[D3]: deadline admission check; affects only whether we answer, never the answer
   return elapsed.count() >= req.deadline_ms;
 }
 
 double elapsed_ms(Clock::time_point since) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)  // det-ok[D3]: elapsed-time metadata reported in the meta block only
       .count();
 }
 
@@ -65,13 +65,13 @@ std::shared_ptr<GraphSession> QueryService::open_dataset(
 }
 
 QueryResult QueryService::run(const QueryRequest& req) {
-  return execute(req, Clock::now());
+  return execute(req, Clock::now());  // det-ok[D3]: admission timestamp for deadline bookkeeping, not in result path
 }
 
 std::future<QueryResult> QueryService::submit(QueryRequest req) {
   Pending p;
   p.req = std::move(req);
-  p.admitted = Clock::now();
+  p.admitted = Clock::now();  // det-ok[D3]: admission timestamp for deadline bookkeeping, not in result path
   std::future<QueryResult> fut = p.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -130,7 +130,7 @@ void QueryService::dispatcher_loop() {
 
 QueryResult QueryService::execute(const QueryRequest& req,
                                   Clock::time_point admitted) {
-  const Clock::time_point started = Clock::now();
+  const Clock::time_point started = Clock::now();  // det-ok[D3]: elapsed_ms meta field only; results depend solely on req + seed
   JsonValue meta = JsonValue::object();
   QueryResult result;
   try {

@@ -12,6 +12,18 @@ JsonValue ids_to_json(const std::vector<NodeId>& ids) {
   return arr;
 }
 
+// Every unsigned field goes through here: a negative JSON int would
+// otherwise wrap to a huge value (e.g. -1 -> 2^32-1 as a NodeId) and
+// sail through downstream validation as a plausible count.
+std::uint64_t non_negative(const JsonValue& v, const char* what) {
+  const std::int64_t x = v.as_int();
+  if (x < 0) {
+    throw Error(std::string("request: ") + what + " must be non-negative, " +
+                "got " + std::to_string(x));
+  }
+  return static_cast<std::uint64_t>(x);
+}
+
 std::vector<NodeId> ids_from_json(const JsonValue& v, const char* what) {
   if (!v.is_array()) throw Error(std::string("request: ") + what +
                                  " must be an array of node ids");
@@ -19,7 +31,12 @@ std::vector<NodeId> ids_from_json(const JsonValue& v, const char* what) {
   const std::span<const JsonValue> items = v.items();
   out.reserve(items.size());
   for (const JsonValue& x : items) {
-    out.push_back(static_cast<NodeId>(x.as_int()));
+    const std::uint64_t id = non_negative(x, what);
+    if (id >= kInvalidNode) {
+      throw Error(std::string("request: ") + what + " id " +
+                  std::to_string(id) + " exceeds the node-id range");
+    }
+    out.push_back(static_cast<NodeId>(id));
   }
   return out;
 }
@@ -116,21 +133,21 @@ QueryRequest QueryRequest::from_json(const JsonValue& v) {
     } else if (key == "rumor_groups") {
       req.rumor_groups = groups_from_json(val, "rumor_groups");
     } else if (key == "rumor_community") {
-      req.rumor_community = static_cast<CommunityId>(val.as_int());
+      req.rumor_community = static_cast<CommunityId>(non_negative(val, "rumor_community"));
     } else if (key == "community_size") {
-      req.community_size = static_cast<std::size_t>(val.as_int());
+      req.community_size = static_cast<std::size_t>(non_negative(val, "community_size"));
     } else if (key == "num_rumors") {
-      req.num_rumors = static_cast<std::size_t>(val.as_int());
+      req.num_rumors = static_cast<std::size_t>(non_negative(val, "num_rumors"));
     } else if (key == "rumor_seed") {
-      req.rumor_seed = static_cast<std::uint64_t>(val.as_int());
+      req.rumor_seed = non_negative(val, "rumor_seed");
     } else if (key == "options") {
       req.options = LcrbOptions::from_json(val);
     } else if (key == "protectors") {
       req.protectors = ids_from_json(val, "protectors");
     } else if (key == "eval_runs") {
-      req.eval_runs = static_cast<std::size_t>(val.as_int());
+      req.eval_runs = static_cast<std::size_t>(non_negative(val, "eval_runs"));
     } else if (key == "eval_seed") {
-      req.eval_seed = static_cast<std::uint64_t>(val.as_int());
+      req.eval_seed = non_negative(val, "eval_seed");
     } else if (key == "deadline_ms") {
       req.deadline_ms = val.as_int();
     } else {
@@ -212,11 +229,11 @@ QueryResult QueryResult::from_json(const JsonValue& v) {
     } else if (key == "error") {
       r.error = val.as_string();
     } else if (key == "rumor_community") {
-      r.rumor_community = static_cast<CommunityId>(val.as_int());
+      r.rumor_community = static_cast<CommunityId>(non_negative(val, "rumor_community"));
     } else if (key == "rumors") {
       r.rumors = ids_from_json(val, "rumors");
     } else if (key == "num_bridge_ends") {
-      r.num_bridge_ends = static_cast<std::size_t>(val.as_int());
+      r.num_bridge_ends = static_cast<std::size_t>(non_negative(val, "num_bridge_ends"));
     } else if (key == "protectors") {
       r.protectors = ids_from_json(val, "protectors");
     } else if (key == "protector_groups") {
@@ -226,9 +243,9 @@ QueryResult QueryResult::from_json(const JsonValue& v) {
     } else if (key == "gain_history") {
       r.gain_history = doubles_from_json(val);
     } else if (key == "candidate_count") {
-      r.candidate_count = static_cast<std::size_t>(val.as_int());
+      r.candidate_count = static_cast<std::size_t>(non_negative(val, "candidate_count"));
     } else if (key == "sigma_evaluations") {
-      r.sigma_evaluations = static_cast<std::size_t>(val.as_int());
+      r.sigma_evaluations = static_cast<std::size_t>(non_negative(val, "sigma_evaluations"));
     } else if (key == "infected_by_hop") {
       r.infected_by_hop = doubles_from_json(val);
     } else if (key == "infected_ci95") {
@@ -242,13 +259,13 @@ QueryResult QueryResult::from_json(const JsonValue& v) {
     } else if (key == "saved_fraction") {
       r.saved_fraction = val.as_double();
     } else if (key == "num_nodes") {
-      r.num_nodes = static_cast<std::size_t>(val.as_int());
+      r.num_nodes = static_cast<std::size_t>(non_negative(val, "num_nodes"));
     } else if (key == "num_arcs") {
-      r.num_arcs = static_cast<std::size_t>(val.as_int());
+      r.num_arcs = static_cast<std::size_t>(non_negative(val, "num_arcs"));
     } else if (key == "num_communities") {
-      r.num_communities = static_cast<std::size_t>(val.as_int());
+      r.num_communities = static_cast<std::size_t>(non_negative(val, "num_communities"));
     } else if (key == "resident_bytes") {
-      r.resident_bytes = static_cast<std::size_t>(val.as_int());
+      r.resident_bytes = static_cast<std::size_t>(non_negative(val, "resident_bytes"));
     } else if (key == "meta") {
       r.meta = val;
     } else {

@@ -29,7 +29,7 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < g_level.load()) return;
-  const auto now = std::chrono::system_clock::now();
+  const auto now = std::chrono::system_clock::now();  // det-ok[D3]: log-line timestamp; stderr only, not part of any output artifact
   const auto t = std::chrono::system_clock::to_time_t(now);
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                       now.time_since_epoch()) % 1000;

@@ -1,0 +1,37 @@
+#pragma once
+
+// Fixed-order floating-point reduction — the sanctioned sink for parallel FP
+// accumulation (analyzer rule D2 / shared-fp-accum).
+//
+// FP addition is not associative, so `total += x` from concurrent tasks (or
+// std::reduce, or an atomic<double> CAS loop) yields sums that depend on
+// thread interleaving. The pattern enforced repo-wide instead: each task
+// writes its contribution into a per-index slot, then one thread folds the
+// slots serially in index order. Bit-identical for a fixed seed regardless
+// of thread count.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/threadpool.h"
+
+namespace lcrb {
+
+/// Serial left-fold in index order. The deterministic reduce step.
+template <typename T>
+T fixed_order_sum(const std::vector<T>& slots) {
+  T total{};
+  for (const T& v : slots) total += v;
+  return total;
+}
+
+/// Parallel map, deterministic reduce: evaluates fn(i) for i in [0, n) on
+/// the pool into per-index slots, then folds serially in index order.
+template <typename T, typename Fn>
+T parallel_fixed_order_sum(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<T> slots(n, T{});
+  pool.parallel_for(n, [&](std::size_t i) { slots[i] = fn(i); });
+  return fixed_order_sum(slots);
+}
+
+}  // namespace lcrb

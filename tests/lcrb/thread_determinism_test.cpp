@@ -3,7 +3,7 @@
 // run the full LCRB-P greedy (both sigma modes) serially, on a 1-thread pool
 // and on a 4-thread pool, and require byte-identical protector sequences and
 // gain histories — the end-to-end check behind the fixed-order reduction
-// convention (see tools/lint_determinism.py).
+// convention (see tools/lcrb_analyze rule D2 and src/util/reduce.h).
 #include <gtest/gtest.h>
 
 #include <cstring>

@@ -103,6 +103,54 @@ TEST(JsonTest, DepthCapRejectsHostileNesting) {
   EXPECT_THROW(JsonValue::parse(deep), Error);
 }
 
+TEST(JsonTest, DepthLimitBoundaryIsExact) {
+  // kMaxDepth = 64, checked at value() entry: with N nested arrays the
+  // innermost runs at depth N-1, so N = 65 is the deepest accepted form.
+  auto nested = [](int n) {
+    return std::string(static_cast<std::size_t>(n), '[') +
+           std::string(static_cast<std::size_t>(n), ']');
+  };
+  EXPECT_NO_THROW(JsonValue::parse(nested(65)));
+  try {
+    JsonValue::parse(nested(66));
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("nesting too deep"), std::string::npos);
+    EXPECT_NE(msg.find("at byte"), std::string::npos);
+  }
+}
+
+TEST(JsonTest, EveryParseErrorPathCarriesByteOffset) {
+  // One representative input per failure path in the parser; each must
+  // surface the byte position, not just a generic message.
+  const char* bad[] = {
+      "",              // empty document
+      "{",             // unterminated object
+      "[",             // unterminated array
+      "{\"a\"}",       // missing ':'
+      "{\"a\":}",      // missing value
+      "{1:2}",         // non-string key
+      "[1,]",          // trailing comma
+      "\"x",           // unterminated string
+      "\"\\q\"",       // bad escape
+      "\"\\u12\"",     // short \u escape
+      "-",             // bare minus
+      "1e",            // incomplete exponent
+      "tru",           // truncated keyword
+      "1 2",           // trailing garbage
+  };
+  for (const char* input : bad) {
+    try {
+      JsonValue::parse(input);
+      FAIL() << "expected Error for: " << input;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("at byte"), std::string::npos)
+          << "no byte offset for: " << input << " (" << e.what() << ")";
+    }
+  }
+}
+
 TEST(JsonTest, EqualityIsStructural) {
   EXPECT_EQ(JsonValue::parse("{\"a\":1,\"b\":2}"),
             JsonValue::parse("{\"a\":1,\"b\":2}"));

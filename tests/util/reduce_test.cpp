@@ -1,0 +1,68 @@
+#include "util/reduce.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/threadpool.h"
+
+namespace lcrb {
+namespace {
+
+std::uint64_t bits_of(double x) {
+  std::uint64_t b = 0;
+  static_assert(sizeof(b) == sizeof(x));
+  __builtin_memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+TEST(FixedOrderSum, EmptyIsZero) {
+  EXPECT_EQ(fixed_order_sum(std::vector<double>{}), 0.0);
+}
+
+TEST(FixedOrderSum, MatchesSerialLeftFold) {
+  Rng rng(7);
+  std::vector<double> v(1000);
+  for (auto& x : v) x = rng.next_double() * 2.0 - 1.0;
+  double expect = 0.0;
+  for (double x : v) expect += x;
+  EXPECT_EQ(fixed_order_sum(v), expect);  // bitwise, not approximate
+}
+
+TEST(ParallelFixedOrderSum, BitIdenticalAcrossThreadCounts) {
+  // Values spanning many magnitudes so that summation order matters: a
+  // nondeterministic reduction would be caught by the bitwise compares.
+  const std::size_t n = 4096;
+  std::vector<double> v(n);
+  Rng rng(42);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::ldexp(rng.next_double() - 0.5, static_cast<int>(i % 64) - 32);
+  }
+  auto run = [&](unsigned threads) {
+    ThreadPool pool(threads);
+    return parallel_fixed_order_sum<double>(
+        pool, n, [&](std::size_t i) { return v[i]; });
+  };
+  const double s1 = run(1);
+  for (unsigned t : {2u, 4u, 8u}) {
+    const double st = run(t);
+    EXPECT_EQ(bits_of(s1), bits_of(st))
+        << "thread count " << t << " changed the bit pattern";
+  }
+}
+
+TEST(ParallelFixedOrderSum, IntegerAndEmpty) {
+  ThreadPool pool(4);
+  EXPECT_EQ(parallel_fixed_order_sum<std::int64_t>(
+                pool, 0, [](std::size_t) { return std::int64_t{1}; }),
+            0);
+  EXPECT_EQ(parallel_fixed_order_sum<std::int64_t>(
+                pool, 100, [](std::size_t i) { return std::int64_t(i); }),
+            99 * 100 / 2);
+}
+
+}  // namespace
+}  // namespace lcrb

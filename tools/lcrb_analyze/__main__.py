@@ -1,0 +1,15 @@
+"""Entry point: `python3 tools/lcrb_analyze [args...]`.
+
+Running the package as a directory puts this directory on sys.path, so the
+sibling modules import by bare name (they are also importable as the
+`lcrb_analyze` package when tools/ is on the path)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,157 @@
+"""Command-line driver.
+
+    python3 tools/lcrb_analyze [paths...]        # default: src tools tests
+    python3 tools/lcrb_analyze --json
+    python3 tools/lcrb_analyze --frontend internal|clang|auto
+    python3 tools/lcrb_analyze --compile-commands build/compile_commands.json
+    python3 tools/lcrb_analyze --self-test
+    python3 tools/lcrb_analyze --list-waivers
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import frontend_clang
+import frontend_internal
+from cpp_model import RepoIndex, build_model
+from rules import Finding, sort_findings
+from waivers import apply_waivers, collect_waivers
+
+ANALYZE_EXTENSIONS = (".h", ".hpp", ".cpp", ".cc")
+DEFAULT_PATHS = ("src", "tools", "tests")
+
+# The one module allowed to touch raw entropy sources: it defines the
+# seeded generators everything else must use.
+RNG_HOME_SUFFIXES = ("src/util/rng.h", "src/util/rng.cpp")
+
+
+def repo_root() -> Path:
+    return Path(__file__).resolve().parent.parent.parent
+
+
+def collect_files(paths: list[str], root: Path) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        path = Path(p)
+        if not path.is_absolute():
+            path = root / p
+        if path.is_dir():
+            files.extend(sorted(
+                f for f in path.rglob("*")
+                if f.suffix in ANALYZE_EXTENSIONS and f.is_file()
+                # The analyzer's own fixture corpus is deliberately dirty.
+                and "lcrb_analyze/fixtures" not in f.as_posix()))
+        elif path.is_file():
+            files.append(path)
+        else:
+            print(f"lcrb_analyze: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+def is_rng_home(path: Path) -> bool:
+    p = path.as_posix()
+    return any(p.endswith(s) for s in RNG_HOME_SUFFIXES)
+
+
+def analyze_paths(paths: list[str], frontend: str = "auto",
+                  compile_commands: str | None = None,
+                  root: Path | None = None) -> tuple[list[Finding], str]:
+    """Returns (findings, frontend_used). frontend_used is 'clang',
+    'internal', or 'clang+internal' when clang fell back on some files."""
+    root = root or repo_root()
+    files = collect_files(paths, root)
+
+    models = {}
+    for f in files:
+        text = f.read_text(encoding="utf-8", errors="replace")
+        models[f] = build_model(str(f.relative_to(root) if f.is_relative_to(root) else f), text)
+
+    repo = RepoIndex()
+    for m in models.values():
+        repo.add_model(m)
+
+    want_clang = frontend in ("auto", "clang")
+    clang_ok = want_clang and frontend_clang.available()
+    if frontend == "clang" and not clang_ok:
+        print("lcrb_analyze: --frontend clang requested but libclang is "
+              "not available", file=sys.stderr)
+        sys.exit(2)
+
+    used = {"internal": False, "clang": False}
+    findings: list[Finding] = []
+    for f, m in models.items():
+        rng_home = is_rng_home(f)
+        file_findings: list[Finding] | None = None
+        if clang_ok:
+            try:
+                file_findings = frontend_clang.analyze_file(
+                    str(f), root, compile_commands, rng_home=rng_home)
+                # Rebase paths to repo-relative for stable output.
+                file_findings = [
+                    Finding(m.path, x.line, x.col, x.rule, x.detail)
+                    for x in file_findings]
+                used["clang"] = True
+            except frontend_clang.FrontendUnavailable as e:
+                print(f"lcrb_analyze: clang front end failed on {m.path} "
+                      f"({e}); falling back to internal", file=sys.stderr)
+        if file_findings is None:
+            file_findings = frontend_internal.analyze_model(
+                m, repo, rng_home=rng_home)
+            used["internal"] = True
+        ws = collect_waivers(m.path, m.comments)
+        findings.extend(apply_waivers(file_findings, ws))
+
+    which = "+".join(k for k in ("clang", "internal") if used[k]) or "none"
+    return sort_findings(findings), which
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(prog="lcrb_analyze", add_help=True)
+    ap.add_argument("paths", nargs="*", default=[])
+    ap.add_argument("--json", action="store_true", dest="as_json")
+    ap.add_argument("--frontend", choices=("auto", "clang", "internal"),
+                    default="auto")
+    ap.add_argument("--compile-commands", default=None)
+    ap.add_argument("--self-test", action="store_true")
+    ap.add_argument("--list-waivers", action="store_true")
+    args = ap.parse_args(argv[1:])
+
+    if args.self_test:
+        import selftest
+        return selftest.run(frontend=args.frontend)
+
+    root = repo_root()
+    paths = args.paths or list(DEFAULT_PATHS)
+
+    if args.list_waivers:
+        for f in collect_files(paths, root):
+            text = f.read_text(encoding="utf-8", errors="replace")
+            m = build_model(str(f.relative_to(root)), text)
+            for w in collect_waivers(m.path, m.comments):
+                scope = f"[{w.rule}]" if w.rule else "[*]"
+                print(f"{w.path}:{w.line}: det-ok{scope} {w.justification}")
+        return 0
+
+    findings, which = analyze_paths(
+        paths, frontend=args.frontend,
+        compile_commands=args.compile_commands, root=root)
+
+    if args.as_json:
+        print(json.dumps({
+            "frontend": which,
+            "findings": [f.to_json() for f in findings],
+        }, indent=2))
+    else:
+        for f in findings:
+            print(f.text())
+        if findings:
+            print(f"lcrb_analyze: {len(findings)} finding(s) "
+                  f"[frontend: {which}]", file=sys.stderr)
+    return 1 if findings else 0

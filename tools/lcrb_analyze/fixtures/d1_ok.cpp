@@ -1,0 +1,37 @@
+// Fixture: sanctioned unordered-container use — must produce zero findings.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fx {
+
+int lookups_only(const std::unordered_map<int, int>& m,
+                 const std::unordered_set<int>& s) {
+  int out = 0;
+  auto it = m.find(3);
+  if (it != m.end()) out += it->second;
+  out += static_cast<int>(s.count(7));
+  out += m.contains(9) ? 1 : 0;
+  return out;
+}
+
+double sorted_walk(const std::unordered_map<int, double>& m) {
+  std::vector<int> keys;
+  for (const auto& kv : m) keys.push_back(kv.first);  // det-ok[D1]: keys sorted on the next line; push_back sink is order-insensitive
+  std::sort(keys.begin(), keys.end());
+  double t = 0.0;
+  for (int k : keys) t += m.at(k);
+  return t;
+}
+
+int ordered_containers_are_fine(const std::map<int, int>& m,
+                                const std::vector<int>& v) {
+  int s = 0;
+  for (const auto& kv : m) s += kv.second;
+  for (int x : v) s += x;
+  return s;
+}
+
+}  // namespace fx

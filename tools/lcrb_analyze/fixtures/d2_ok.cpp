@@ -1,0 +1,30 @@
+// Fixture: the sanctioned fixed-order reduction pattern — zero findings.
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+struct ThreadPool {
+  template <typename Fn>
+  void parallel_for(unsigned long n, Fn&& fn);
+};
+
+namespace fx {
+
+// Slot-then-serial-fold: each task writes its own index, one thread reduces
+// in index order. This is what src/util/reduce.h packages.
+double deterministic_parallel_sum(ThreadPool& pool,
+                                  const std::vector<double>& w) {
+  std::vector<double> slots(w.size(), 0.0);
+  pool.parallel_for(w.size(), [&](unsigned long i) { slots[i] = w[i] * 2.0; });
+  double total = 0.0;
+  for (double s : slots) total += s;
+  return total;
+}
+
+long integer_accumulate(const std::vector<long>& v) {
+  return std::accumulate(v.begin(), v.end(), 0L);
+}
+
+std::atomic<long> g_integer_counter{0};
+
+}  // namespace fx

@@ -1,0 +1,29 @@
+// Fixture: sanctioned randomness/time use — zero findings.
+#include <map>
+
+// Stand-in for src/util/rng.h: the seeded generator everything must use.
+struct Rng {
+  explicit Rng(unsigned long long seed);
+  double next_double();
+  unsigned long long next_below(unsigned long long bound);
+};
+
+struct Scheduler {
+  void time(int slot);  // a member named `time` is not the libc call
+};
+
+namespace fx {
+
+int seeded_and_lookalikes(Scheduler& sched) {
+  Rng rng(42);
+  int randomized = 0;  // 'rand' as a substring of a longer identifier
+  ++randomized;
+  int clock = 0;  // a variable named clock, never called
+  clock += 1;
+  sched.time(3);
+  std::map<int, int> value_keyed;  // ordered map on values, not addresses
+  value_keyed[1] = static_cast<int>(rng.next_below(10));
+  return clock + randomized + static_cast<int>(rng.next_double() * 10.0);
+}
+
+}  // namespace fx

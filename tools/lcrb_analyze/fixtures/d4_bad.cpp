@@ -1,0 +1,35 @@
+// Fixture: seeded D4 violations — unsynchronized writes from pool tasks.
+#include <vector>
+
+struct ThreadPool {
+  template <typename Fn>
+  void parallel_for(unsigned long n, Fn&& fn);
+};
+
+namespace fx {
+
+struct Collector {
+  std::vector<int> results_;
+  int hits_ = 0;
+  bool done_ = false;
+
+  void collect(ThreadPool& pool, unsigned long n) {
+    pool.parallel_for(n, [&](unsigned long i) {
+      // expect-next-line[D4]
+      results_.push_back(static_cast<int>(i));
+      // expect-next-line[D4]
+      hits_++;
+      // expect-next-line[D4]
+      done_ = true;
+    });
+  }
+};
+
+int shared_counter(ThreadPool& pool, unsigned long n) {
+  int total = 0;
+  // expect-next-line[D4]
+  pool.parallel_for(n, [&](unsigned long i) { total += static_cast<int>(i); });
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,41 @@
+// Fixture: sanctioned parallel mutation patterns — zero findings.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+struct ThreadPool {
+  template <typename Fn>
+  void parallel_for(unsigned long n, Fn&& fn);
+};
+
+namespace fx {
+
+void slots_atomics_locks_locals(ThreadPool& pool, unsigned long n) {
+  // Per-index slot writes: each task owns its index.
+  std::vector<double> out(n, 0.0);
+  pool.parallel_for(n, [&](unsigned long i) { out[i] = double(i) * 0.5; });
+
+  // Atomic counter.
+  std::atomic<long> hits{0};
+  pool.parallel_for(n, [&](unsigned long i) {
+    (void)i;
+    hits++;
+  });
+
+  // Mutex-guarded shared container.
+  std::vector<int> shared;
+  std::mutex mu;
+  pool.parallel_for(n, [&](unsigned long i) {
+    std::lock_guard<std::mutex> lk(mu);
+    shared.push_back(static_cast<int>(i));
+  });
+
+  // Body-local state is task-private.
+  pool.parallel_for(n, [&](unsigned long i) {
+    int local = 0;
+    local += static_cast<int>(i);
+    (void)local;
+  });
+}
+
+}  // namespace fx

@@ -1,0 +1,16 @@
+// Fixture: a properly justified, live waiver — zero findings.
+#include <unordered_map>
+
+namespace fx {
+
+struct Live {
+  std::unordered_map<int, int> m_;
+
+  long positives() const {
+    long c = 0;
+    for (const auto& kv : m_) c += kv.second > 0 ? 1 : 0;  // det-ok[D1]: order-insensitive count accumulation over integers
+    return c;
+  }
+};
+
+}  // namespace fx

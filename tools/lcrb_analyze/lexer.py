@@ -1,0 +1,180 @@
+"""C++ tokenizer for the internal front end.
+
+Produces a flat token stream with line/column positions. Comments and
+string/char literal *contents* are dropped from the semantic stream but
+comments are collected separately (the waiver layer reads them). This is a
+lexer, not a preprocessor: macros are tokenized as-is, which is the right
+behavior for this codebase (macros are rare and the ones that matter,
+LCRB_REQUIRE etc., look like calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Multi-character punctuators, longest first so maximal munch works.
+_PUNCT3 = ("<<=", ">>=", "...", "->*")
+_PUNCT2 = (
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'number' | 'string' | 'char' | 'punct'
+    text: str
+    line: int  # 1-based
+    col: int   # 1-based
+
+    def __repr__(self) -> str:  # compact, for debugging fixture failures
+        return f"{self.text!r}@{self.line}:{self.col}"
+
+
+@dataclass(frozen=True)
+class Comment:
+    text: str  # without the // or /* */ fence
+    line: int  # line the comment starts on
+    col: int
+
+
+def _is_ident_start(c: str) -> bool:
+    return c.isalpha() or c == "_"
+
+
+def _is_ident(c: str) -> bool:
+    return c.isalnum() or c == "_"
+
+
+def lex(text: str) -> tuple[list[Token], list[Comment]]:
+    """Tokenizes C++ source. Never raises on malformed input: unterminated
+    literals are closed at end of line/file, unknown bytes become punct
+    tokens. Robustness matters more than strictness — this runs over fixture
+    corpora of deliberately broken snippets."""
+    tokens: list[Token] = []
+    comments: list[Comment] = []
+    i, n = 0, len(text)
+    line, col = 1, 1
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+
+        if c in " \t\r\n\f\v":
+            advance(1)
+            continue
+
+        # Comments ---------------------------------------------------------
+        if c == "/" and nxt == "/":
+            start_line, start_col = line, col
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            comments.append(Comment(text[i + 2 : j].strip(), start_line, start_col))
+            advance(j - i)
+            continue
+        if c == "/" and nxt == "*":
+            start_line, start_col = line, col
+            j = text.find("*/", i + 2)
+            end = n if j < 0 else j + 2
+            body = text[i + 2 : (n if j < 0 else j)]
+            comments.append(Comment(body.strip(), start_line, start_col))
+            advance(end - i)
+            continue
+
+        # Literals ---------------------------------------------------------
+        if c == '"' or (c == "R" and nxt == '"'):
+            start_line, start_col = line, col
+            if c == "R":
+                # Raw string: R"delim( ... )delim"
+                k = text.find("(", i + 2)
+                if k < 0:
+                    advance(n - i)
+                    continue
+                delim = text[i + 2 : k]
+                close = ")" + delim + '"'
+                j = text.find(close, k + 1)
+                end = n if j < 0 else j + len(close)
+            else:
+                j = i + 1
+                while j < n and text[j] not in '"\n':
+                    j += 2 if text[j] == "\\" else 1
+                end = min(j + 1, n)
+            tokens.append(Token("string", '""', start_line, start_col))
+            advance(end - i)
+            continue
+        if c == "'":
+            start_line, start_col = line, col
+            j = i + 1
+            while j < n and text[j] not in "'\n":
+                j += 2 if text[j] == "\\" else 1
+            end = min(j + 1, n)
+            tokens.append(Token("char", "''", start_line, start_col))
+            advance(end - i)
+            continue
+
+        # Identifiers / keywords ------------------------------------------
+        if _is_ident_start(c):
+            start_line, start_col = line, col
+            j = i
+            while j < n and _is_ident(text[j]):
+                j += 1
+            word = text[i:j]
+            # String prefixes (u8"...", L"...") — treat prefix+string as string.
+            if j < n and text[j] == '"' and word in ("u8", "u", "U", "L"):
+                tokens.append(Token("string", '""', start_line, start_col))
+                advance(j - i)
+                continue
+            tokens.append(Token("ident", word, start_line, start_col))
+            advance(j - i)
+            continue
+
+        # Numbers (loose: anything digit-led, plus 1.5e-3, 0x1f, 1'000) ----
+        if c.isdigit() or (c == "." and nxt.isdigit()):
+            start_line, start_col = line, col
+            j = i
+            while j < n and (
+                text[j].isalnum()
+                or text[j] in "._'"
+                or (text[j] in "+-" and j > i and text[j - 1] in "eEpP")
+            ):
+                j += 1
+            tokens.append(Token("number", text[i:j], start_line, start_col))
+            advance(j - i)
+            continue
+
+        # Punctuation ------------------------------------------------------
+        three = text[i : i + 3]
+        two = text[i : i + 2]
+        if three in _PUNCT3:
+            tokens.append(Token("punct", three, line, col))
+            advance(3)
+            continue
+        if two in _PUNCT2:
+            tokens.append(Token("punct", two, line, col))
+            advance(2)
+            continue
+        tokens.append(Token("punct", c, line, col))
+        advance(1)
+
+    return tokens, comments
+
+
+def is_fp_literal(tok: Token) -> bool:
+    """True for floating-point number literals: 0.0, 1e3, 2.5f, 0x1.8p3."""
+    if tok.kind != "number":
+        return False
+    t = tok.text.lower()
+    if t.startswith("0x"):
+        return "p" in t  # hex floats
+    return ("." in t or "e" in t) and not t.endswith("ull")

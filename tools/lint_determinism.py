@@ -1,42 +1,49 @@
 #!/usr/bin/env python3
-"""Repo-specific determinism linter for the LCRB codebase.
+"""Fast regex determinism linter — the pre-commit fallback for lcrb_analyze.
+
+The authoritative determinism gate is the semantic analyzer in
+tools/lcrb_analyze (rules D1-D4 over a scoped declaration model, with
+justified rule-scoped waivers). This script is the sub-second, zero-setup
+subset of it that pre-commit hooks and editors can run on every save. Its
+heuristics are deliberately shallow (same-file declarations only, no scope
+model); when the two disagree, lcrb_analyze wins.
 
 The library promises bit-identical results for a fixed seed regardless of
-thread count (see docs/development.md). clang-tidy cannot express the three
-repo-specific rules that protect that promise, so this linter does:
+thread count (see docs/development.md). Three rule families, applied
+repo-wide (src/, tools/, tests/) — there is no "sensitive file" list; every
+file that feeds a build is held to the same bar:
 
   banned-rng          Any hidden entropy source (std::rand, srand,
                       std::random_device, std::mt19937, default_random_engine)
                       outside src/util/rng.* — all randomness must flow from
                       explicitly seeded lcrb::Rng / SplitMix64 streams.
-                      Applies to every linted file.
 
-  unordered-iteration Iteration over std::unordered_map / std::unordered_set
-                      in a determinism-SENSITIVE file (sigma, greedy, RIS,
-                      montecarlo, louvain, label_propagation): hash-order is
-                      libstdc++-version- and size-dependent, so any result
-                      assembled by such iteration can silently change.
-                      Lookups (find / count / operator[]) are fine; only
-                      range-for and begin()/end() over a container declared
-                      unordered in the same file are flagged.
+  unordered-iteration Iteration over std::unordered_map / std::unordered_set:
+                      hash-order is libstdc++-version- and size-dependent, so
+                      any result assembled by such iteration can silently
+                      change. Lookups (find / count / contains / operator[] /
+                      end() as a find-compare target) are fine; only range-for
+                      and begin-family iterators over a container declared
+                      unordered in the same file are flagged. (lcrb_analyze
+                      rule D1 with repo-wide type knowledge.)
 
   shared-fp-accum     Floating-point accumulation (+= / -=) into shared state
-                      from inside a by-reference lambda in a sensitive file.
-                      Parallel bodies must write per-index slots
-                      (`out[i] = ...`) and reduce serially in fixed order;
+                      from inside a by-reference lambda. Parallel bodies must
+                      write per-index slots (`out[i] = ...`) and reduce
+                      serially in fixed order — see src/util/reduce.h;
                       a bare `total += x` inside a `[&]` lambda is exactly
                       the scheduling-ordered FP sum that breaks replay.
                       std::atomic<double/float> and std::reduce /
-                      std::execution are flagged unconditionally in
-                      sensitive files (atomic FP adds commit in arrival
-                      order).
+                      std::execution are flagged unconditionally (atomic FP
+                      adds commit in arrival order). (lcrb_analyze rule D2.)
 
-A line containing `det-ok:` in a comment is waived from all rules (use
-sparingly, with a reason). Exit status: 0 = clean, 1 = findings, 2 = usage.
+A line carrying a `det-ok: <why>` or rule-scoped `det-ok[D1]: <why>` comment
+is waived from all rules here (this fallback does not check rule scope or
+justification quality — lcrb_analyze does). Exit status: 0 = clean,
+1 = findings, 2 = usage.
 
 Usage:
-  tools/lint_determinism.py [path ...]     # files or directories; default src
-  tools/lint_determinism.py --list-sensitive
+  tools/lint_determinism.py [path ...]   # files/dirs; default src tools tests
 """
 
 from __future__ import annotations
@@ -45,49 +52,9 @@ import re
 import sys
 from pathlib import Path
 
-# Files whose output feeds sigma values, greedy picks, or RR pools — the
-# quantities the determinism tests byte-compare across thread counts.
-SENSITIVE_SUFFIXES = (
-    "src/lcrb/sigma.h",
-    "src/lcrb/sigma.cpp",
-    "src/lcrb/sigma_engine.h",
-    "src/lcrb/sigma_engine.cpp",
-    "src/lcrb/greedy.h",
-    "src/lcrb/greedy.cpp",
-    "src/lcrb/ris.h",
-    "src/lcrb/ris.cpp",
-    "src/lcrb/ris_schedule.h",
-    "src/lcrb/ris_schedule.cpp",
-    "src/diffusion/montecarlo.h",
-    "src/diffusion/montecarlo.cpp",
-    # The traits layer owns every model's randomness: the cascade kernel,
-    # dispatch, and each model's sample/replay/reverse hooks.
-    "src/diffusion/kernel.h",
-    "src/diffusion/model_traits.h",
-    # The K-cascade state machine (SeedSets layout, CascadePlan priority
-    # order) and the simulation-free CLDAG selector are both pinned by
-    # golden hashes; any ordering drift breaks byte-identity.
-    "src/diffusion/cascade.h",
-    "src/diffusion/cascade.cpp",
-    "src/lcrb/cldag.h",
-    "src/lcrb/cldag.cpp",
-    "src/diffusion/frontier_traits.h",
-    "src/diffusion/opoao_traits.h",
-    "src/diffusion/doam_traits.h",
-    "src/diffusion/ic_traits.h",
-    "src/diffusion/wc_traits.h",
-    "src/diffusion/lt_traits.h",
-    "src/community/louvain.cpp",
-    "src/community/label_propagation.cpp",
-    # The query service promises byte-identical payloads across batching and
-    # thread counts; its session caches and batcher are order-sensitive.
-    "src/service/session.h",
-    "src/service/session.cpp",
-    "src/service/request.h",
-    "src/service/request.cpp",
-    "src/service/query_service.h",
-    "src/service/query_service.cpp",
-)
+# Deliberately-seeded violations for the analyzer's self-test live here;
+# neither linter gates them.
+EXCLUDED_DIR_PARTS = ("lcrb_analyze", "fixtures")
 
 # The one place hidden entropy sources are allowed (it defines the seeded
 # generators everything else must use).
@@ -248,20 +215,18 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def is_sensitive(path: Path) -> bool:
-    p = path.as_posix()
-    return any(p.endswith(s) for s in SENSITIVE_SUFFIXES)
-
-
 def is_rng_home(path: Path) -> bool:
     p = path.as_posix()
     return any(p.endswith(s) for s in RNG_HOME_SUFFIXES)
 
 
+WAIVER = re.compile(r"det-ok(?:\[[A-Z]\d\])?\s*:")
+
+
 def lint_file(path: Path) -> list[Finding]:
     raw = path.read_text(encoding="utf-8", errors="replace")
     waived = {
-        i + 1 for i, line in enumerate(raw.splitlines()) if "det-ok:" in line
+        i + 1 for i, line in enumerate(raw.splitlines()) if WAIVER.search(line)
     }
     code = strip_comments_and_strings(raw)
     findings: list[Finding] = []
@@ -280,22 +245,19 @@ def lint_file(path: Path) -> list[Finding]:
                 "(all randomness must be reproducible from the config seed)",
             )
 
-    if not is_sensitive(path):
-        return findings
-
     # unordered-iteration -----------------------------------------------------
     for name in sorted(unordered_container_names(code)):
         for pat, what in (
             (rf"for\s*\([^()]*:\s*\*?\s*{re.escape(name)}\s*\)", "range-for over"),
-            (rf"\b{re.escape(name)}\s*\.\s*(?:c?r?begin|c?r?end)\s*\(", "iterator over"),
+            (rf"\b{re.escape(name)}\s*\.\s*c?r?begin\s*\(", "iterator over"),
         ):
             for m in re.finditer(pat, code):
                 add(
                     m.start(),
                     "unordered-iteration",
-                    f"{what} unordered container '{name}' in a "
-                    "determinism-sensitive file; hash order is not stable — "
-                    "use a sorted/dense structure or iterate a sorted key list",
+                    f"{what} unordered container '{name}'; hash order is not "
+                    "stable — use a sorted/dense structure or iterate a "
+                    "sorted key list",
                 )
 
     # shared-fp-accum ---------------------------------------------------------
@@ -333,6 +295,11 @@ def lint_file(path: Path) -> list[Finding]:
     return findings
 
 
+def is_excluded(path: Path) -> bool:
+    parts = path.as_posix().split("/")
+    return all(d in parts for d in EXCLUDED_DIR_PARTS)
+
+
 def collect(paths: list[str]) -> list[Path]:
     files: list[Path] = []
     for p in paths:
@@ -342,7 +309,9 @@ def collect(paths: list[str]) -> list[Path]:
                 sorted(
                     f
                     for f in path.rglob("*")
-                    if f.suffix in LINT_EXTENSIONS and f.is_file()
+                    if f.suffix in LINT_EXTENSIONS
+                    and f.is_file()
+                    and not is_excluded(f)
                 )
             )
         elif path.is_file():
@@ -355,13 +324,9 @@ def collect(paths: list[str]) -> list[Path]:
 
 def main(argv: list[str]) -> int:
     args = argv[1:]
-    if "--list-sensitive" in args:
-        for s in SENSITIVE_SUFFIXES:
-            print(s)
-        return 0
     if not args:
         repo_root = Path(__file__).resolve().parent.parent
-        args = [str(repo_root / "src")]
+        args = [str(repo_root / d) for d in ("src", "tools", "tests")]
     findings: list[Finding] = []
     for f in collect(args):
         findings.extend(lint_file(f))
