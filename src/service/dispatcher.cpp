@@ -1,0 +1,301 @@
+#include "service/dispatcher.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace lcrb::service {
+
+namespace {
+
+/// The tenant a job bills against: explicit request tenant, else the
+/// dataset (per-dataset fairness out of the box).
+std::string tenant_of(const QueryRequest& req) {
+  return req.tenant.empty() ? req.dataset : req.tenant;
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(ExecuteFn execute, std::size_t executors,
+                       TenantQuota default_quota,
+                       std::map<std::string, TenantQuota> tenant_quotas)
+    : execute_(std::move(execute)), default_quota_(default_quota) {
+  default_quota_.weight = std::max<std::uint32_t>(default_quota_.weight, 1);
+  for (auto& [name, quota] : tenant_quotas) {
+    TenantState state;
+    state.quota = quota;
+    state.quota.weight = std::max<std::uint32_t>(state.quota.weight, 1);
+    tenants_.emplace(name, state);
+  }
+  const std::size_t n = std::max<std::size_t>(executors, 1);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+Dispatcher::~Dispatcher() { shutdown(); }
+
+Dispatcher::TenantState& Dispatcher::tenant_state_locked(
+    const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    TenantState state;
+    state.quota = default_quota_;
+    it = tenants_.emplace(tenant, state).first;
+  }
+  return it->second;
+}
+
+Dispatcher::Ticket Dispatcher::submit(QueryRequest req, DoneFn done) {
+  const Clock::time_point admitted = Clock::now();  // det-ok[D3]: admission timestamp for deadline bookkeeping, not in result path
+  const std::string tenant = tenant_of(req);
+  QueryResult rejection;
+  bool rejected = false;
+  Ticket ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      rejection = QueryResult::make_error(req, ErrorCode::kShutdown,
+                                          "service shut down");
+      rejected = true;
+    } else if (req.deadline_ms == 0) {
+      // The unified deterministic case: a spent budget never enters a
+      // queue. Same code — and, in v1, the same "deadline exceeded"
+      // message — whichever door (run/submit) the request used.
+      rejection = QueryResult::make_error(req, ErrorCode::kDeadlineRejected,
+                                          "deadline exceeded");
+      ++rejected_;
+      rejected = true;
+    } else {
+      TenantState& state = tenant_state_locked(tenant);
+      if (state.quota.max_queued != 0 &&
+          state.queued >= state.quota.max_queued) {
+        rejection = QueryResult::make_error(
+            req, ErrorCode::kQueueFull,
+            "queue full for tenant '" + tenant + "' (max_queued " +
+                std::to_string(state.quota.max_queued) + ")");
+        ++shed_;
+        rejected = true;
+      } else {
+        ticket = ++next_ticket_;
+        Job job;
+        job.admitted = admitted;
+        job.ticket = ticket;
+        job.tenant = tenant;
+        job.done = std::move(done);
+        const std::string dataset = req.dataset;
+        job.req = std::move(req);
+        queues_[dataset].jobs.push_back(std::move(job));
+        ticket_to_dataset_.emplace(ticket, dataset);
+        ++state.queued;
+        ++queued_total_;
+        ++submitted_;
+        // notify_all: the cv is shared with drain()/shutdown waiters, so a
+        // single notify could land on a waiter whose predicate is false and
+        // strand the job until the next signal.
+        cv_.notify_all();
+      }
+    }
+  }
+  if (rejected) done(std::move(rejection));
+  return ticket;
+}
+
+bool Dispatcher::cancel(Ticket ticket) {
+  Job victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto where = ticket_to_dataset_.find(ticket);
+    if (where == ticket_to_dataset_.end()) return false;
+    auto qit = queues_.find(where->second);
+    if (qit == queues_.end()) return false;
+    std::deque<Job>& jobs = qit->second.jobs;
+    auto jit = std::find_if(jobs.begin(), jobs.end(), [&](const Job& j) {
+      return j.ticket == ticket;
+    });
+    if (jit == jobs.end()) return false;
+    victim = std::move(*jit);
+    jobs.erase(jit);
+    if (jobs.empty() && !qit->second.running) queues_.erase(qit);
+    ticket_to_dataset_.erase(where);
+    --tenant_state_locked(victim.tenant).queued;
+    --queued_total_;
+    ++cancelled_;
+    cv_.notify_all();
+  }
+  victim.done(QueryResult::make_error(victim.req, ErrorCode::kCancelled,
+                                      "cancelled"));
+  return true;
+}
+
+void Dispatcher::pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void Dispatcher::resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  cv_.notify_all();
+}
+
+void Dispatcher::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return (queued_total_ == 0 && in_flight_total_ == 0) || stop_;
+  });
+}
+
+void Dispatcher::shutdown() {
+  std::vector<Job> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      // Second call: executors are already stopping; nothing left to fail.
+    } else {
+      stop_ = true;
+      for (auto& [dataset, queue] : queues_) {
+        for (Job& job : queue.jobs) orphans.push_back(std::move(job));
+        queue.jobs.clear();
+      }
+      for (const Job& job : orphans) {
+        --tenant_state_locked(job.tenant).queued;
+        --queued_total_;
+      }
+      ticket_to_dataset_.clear();
+    }
+    cv_.notify_all();
+  }
+  // Fail queued work outside the lock rather than dropping it silently.
+  for (Job& job : orphans) {
+    job.done(QueryResult::make_error(job.req, ErrorCode::kShutdown,
+                                     "service shut down"));
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+DispatchStats Dispatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DispatchStats s;
+  s.queue_depth = queued_total_;
+  s.in_flight = in_flight_total_;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.rejected = rejected_;
+  s.shed = shed_;
+  s.expired = expired_;
+  s.cancelled = cancelled_;
+  return s;
+}
+
+bool Dispatcher::dispatchable_locked() const {
+  for (const auto& [dataset, queue] : queues_) {
+    if (queue.running || queue.jobs.empty()) continue;
+    const auto it = tenants_.find(queue.jobs.front().tenant);
+    if (it != tenants_.end() && it->second.quota.max_in_flight != 0 &&
+        it->second.in_flight >= it->second.quota.max_in_flight) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+Dispatcher::Job Dispatcher::take_next_locked() {
+  for (;;) {
+    // Per eligible tenant, the lexicographically-first session whose head
+    // job it owns (map order makes this deterministic given queue state).
+    std::map<std::string, std::map<std::string, SessionQueue>::iterator>
+        candidates;
+    for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+      if (it->second.running || it->second.jobs.empty()) continue;
+      const std::string& tenant = it->second.jobs.front().tenant;
+      const auto ts = tenants_.find(tenant);
+      if (ts != tenants_.end() && ts->second.quota.max_in_flight != 0 &&
+          ts->second.in_flight >= ts->second.quota.max_in_flight) {
+        continue;
+      }
+      candidates.emplace(tenant, it);  // first (smallest dataset) wins
+    }
+    // WRR: the eligible tenant with the most credit; lexicographic
+    // tie-break via map order. Replenish everyone by weight when the
+    // eligible set has no credit left.
+    auto best = candidates.end();
+    for (auto it = candidates.begin(); it != candidates.end(); ++it) {
+      const TenantState& state = tenants_.at(it->first);
+      if (state.credit == 0) continue;
+      if (best == candidates.end() ||
+          state.credit > tenants_.at(best->first).credit) {
+        best = it;
+      }
+    }
+    if (best == candidates.end()) {
+      // Replenish by weight, capped at two rounds of share: an idle tenant
+      // may bank one burst round but cannot accumulate unbounded credit and
+      // then monopolize the executors on return.
+      for (auto& [name, state] : tenants_) {
+        state.credit =
+            std::min<std::uint64_t>(state.credit + state.quota.weight,
+                                    std::uint64_t{2} * state.quota.weight);
+      }
+      continue;  // every candidate now holds credit >= 1
+    }
+    TenantState& state = tenants_.at(best->first);
+    --state.credit;
+    --state.queued;
+    ++state.in_flight;
+    SessionQueue& queue = best->second->second;
+    Job job = std::move(queue.jobs.front());
+    queue.jobs.pop_front();
+    queue.running = true;
+    ticket_to_dataset_.erase(job.ticket);
+    --queued_total_;
+    ++in_flight_total_;
+    return job;
+  }
+}
+
+void Dispatcher::executor_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] {
+      return stop_ || (!paused_ && dispatchable_locked());
+    });
+    if (stop_) return;
+    Job job = take_next_locked();
+    const std::string dataset = job.req.dataset;
+    lock.unlock();
+
+    bool deadline_lapsed = false;
+    QueryResult result;
+    if (job.req.deadline_ms > 0) {
+      const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+          Clock::now() - job.admitted);  // det-ok[D3]: expire-at-dequeue check; decides whether we answer, never the answer
+      deadline_lapsed = waited.count() >= job.req.deadline_ms;
+    }
+    if (deadline_lapsed) {
+      result = QueryResult::make_error(job.req, ErrorCode::kDeadlineExpired,
+                                       "deadline expired in queue");
+    } else {
+      result = execute_(job.req, job.admitted);
+    }
+    job.done(std::move(result));
+
+    lock.lock();
+    auto qit = queues_.find(dataset);
+    if (qit != queues_.end()) {
+      qit->second.running = false;
+      if (qit->second.jobs.empty()) queues_.erase(qit);
+    }
+    TenantState& state = tenant_state_locked(job.tenant);
+    --state.in_flight;
+    --in_flight_total_;
+    ++completed_;
+    if (deadline_lapsed) ++expired_;
+    cv_.notify_all();
+  }
+}
+
+}  // namespace lcrb::service

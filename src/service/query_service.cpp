@@ -14,14 +14,20 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/// Deadline test at a stage boundary. deadline_ms == 0 is "already expired"
-/// regardless of the clock, so deadline failures are reproducible in tests.
-bool deadline_expired(const QueryRequest& req, Clock::time_point admitted) {
-  if (req.deadline_ms < 0) return false;
-  if (req.deadline_ms == 0) return true;
+/// Deadline test at a stage boundary, for budgets that survived admission
+/// (positive deadline_ms; a zero budget never reaches these checks — it is
+/// deadline_rejected on entry, which keeps deadline failures reproducible).
+bool deadline_lapsed(const QueryRequest& req, Clock::time_point admitted) {
+  if (req.deadline_ms <= 0) return false;
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-      Clock::now() - admitted);  // det-ok[D3]: deadline admission check; affects only whether we answer, never the answer
+      Clock::now() - admitted);  // det-ok[D3]: deadline bookkeeping; affects only whether we answer, never the answer
   return elapsed.count() >= req.deadline_ms;
+}
+
+void check_deadline(const QueryRequest& req, Clock::time_point admitted) {
+  if (deadline_lapsed(req, admitted)) {
+    throw ServiceError(ErrorCode::kDeadlineExpired, "deadline expired");
+  }
 }
 
 double elapsed_ms(Clock::time_point since) {
@@ -29,27 +35,28 @@ double elapsed_ms(Clock::time_point since) {
       .count();
 }
 
+std::size_t resolve_executors(std::size_t max_concurrent) {
+  if (max_concurrent != 0) return max_concurrent;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::min<std::size_t>(4, std::max<std::size_t>(hw / 2, 1));
+}
+
 }  // namespace
 
 QueryService::QueryService(ServiceConfig cfg)
-    : cfg_(cfg),
-      pool_(cfg.threads),
-      registry_(cfg.max_resident_bytes),
-      dispatcher_([this] { dispatcher_loop(); }) {}
+    : cfg_(cfg), pool_(cfg.threads), registry_(cfg.max_resident_bytes) {
+  dispatcher_ = std::make_unique<Dispatcher>(
+      [this](const QueryRequest& req, Clock::time_point admitted) {
+        return execute(req, admitted);
+      },
+      resolve_executors(cfg_.max_concurrent), cfg_.default_quota,
+      cfg_.tenant_quotas);
+}
 
 QueryService::~QueryService() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    stop_ = true;
-    queue_cv_.notify_all();
-  }
-  dispatcher_.join();
-  // Fail anything still queued rather than dropping the promises.
-  for (Pending& p : queue_) {
-    p.promise.set_value(
-        QueryResult::make_error(p.req, "service shut down"));
-  }
-  queue_.clear();
+  // Explicit: fail queued work with code `shutdown` and join executors while
+  // the registry and pool are still intact.
+  dispatcher_->shutdown();
 }
 
 std::shared_ptr<GraphSession> QueryService::open_dataset(
@@ -68,22 +75,17 @@ QueryResult QueryService::run(const QueryRequest& req) {
   return execute(req, Clock::now());  // det-ok[D3]: admission timestamp for deadline bookkeeping, not in result path
 }
 
+QueryService::Ticket QueryService::submit_async(
+    QueryRequest req, std::function<void(QueryResult)> done) {
+  return dispatcher_->submit(std::move(req), std::move(done));
+}
+
 std::future<QueryResult> QueryService::submit(QueryRequest req) {
-  Pending p;
-  p.req = std::move(req);
-  p.admitted = Clock::now();  // det-ok[D3]: admission timestamp for deadline bookkeeping, not in result path
-  std::future<QueryResult> fut = p.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stop_) {
-      p.promise.set_value(
-          QueryResult::make_error(p.req, "service shut down"));
-      return fut;
-    }
-    p.seq = next_seq_++;
-    queue_.push_back(std::move(p));
-    queue_cv_.notify_one();
-  }
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  std::future<QueryResult> fut = promise->get_future();
+  submit_async(std::move(req), [promise](QueryResult result) {
+    promise->set_value(std::move(result));
+  });
   return fut;
 }
 
@@ -98,34 +100,19 @@ std::vector<QueryResult> QueryService::run_batch(
   return out;
 }
 
-void QueryService::dispatcher_loop() {
-  for (;;) {
-    std::vector<Pending> batch;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      // Coalesce everything queued right now into one batch.
-      batch.reserve(queue_.size());
-      while (!queue_.empty()) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-    }
-    // Stable-group by dataset: same-session queries run back-to-back while
-    // their caches are hot, and within a dataset admission order is kept —
-    // the property the batch-vs-sequential identity test pins.
-    std::stable_sort(batch.begin(), batch.end(),
-                     [](const Pending& a, const Pending& b) {
-                       return a.req.dataset < b.req.dataset;
-                     });
-    for (Pending& p : batch) {
-      p.promise.set_value(execute(p.req, p.admitted));
-    }
-  }
+bool QueryService::cancel(Ticket ticket) { return dispatcher_->cancel(ticket); }
+
+void QueryService::pause() { dispatcher_->pause(); }
+
+void QueryService::resume() { dispatcher_->resume(); }
+
+void QueryService::drain() { dispatcher_->drain(); }
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  s.dispatch = dispatcher_->stats();
+  s.registry = registry_.stats();
+  return s;
 }
 
 QueryResult QueryService::execute(const QueryRequest& req,
@@ -134,11 +121,22 @@ QueryResult QueryService::execute(const QueryRequest& req,
   JsonValue meta = JsonValue::object();
   QueryResult result;
   try {
-    if (req.dataset.empty()) throw Error("request: dataset is required");
-    if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+    if (req.dataset.empty()) {
+      throw ServiceError(ErrorCode::kInvalidArgument,
+                         "request: dataset is required");
+    }
+    if (req.deadline_ms == 0) {
+      // The same deterministic rejection the dispatcher applies at
+      // admission, so run() and submit() answer a spent budget identically
+      // (code deadline_rejected, v1 message "deadline exceeded").
+      throw ServiceError(ErrorCode::kDeadlineRejected, "deadline exceeded");
+    }
+    check_deadline(req, admitted);
     std::shared_ptr<GraphSession> session = registry_.find(req.dataset);
     if (session == nullptr) {
-      throw Error("unknown dataset '" + req.dataset + "' (open it first)");
+      throw ServiceError(ErrorCode::kUnknownDataset,
+                         "unknown dataset '" + req.dataset +
+                             "' (open it first)");
     }
     if (req.op == QueryOp::kInfo) {
       // Never cached: resident_bytes truthfully tracks warm-cache growth.
@@ -151,6 +149,7 @@ QueryResult QueryService::execute(const QueryRequest& req,
       if (std::shared_ptr<const QueryResult> cached =
               session->cached_result(result_key)) {
         result = *cached;
+        result.version = req.version;
         result.id = req.id;
         meta.set("result_cache_hit", true);
       } else {
@@ -161,7 +160,12 @@ QueryResult QueryService::execute(const QueryRequest& req,
         if (result.ok) session->store_result(result_key, result);
       }
     }
+    result.version = req.version;
+  } catch (const ServiceError& e) {
+    result = QueryResult::make_error(req, e.code(), e.what());
   } catch (const Error& e) {
+    // Bare lcrb::Error from option validation or request-derived values:
+    // the invalid_argument class, with the v1 message surface unchanged.
     result = QueryResult::make_error(req, e.what());
   }
   if (cfg_.collect_meta) {
@@ -219,6 +223,7 @@ QueryResult QueryService::execute_select(const QueryRequest& req,
                                          JsonValue& meta) {
   req.options.validate();
   QueryResult result;
+  result.version = req.version;
   result.id = req.id;
   result.op = req.op;
   result.dataset = req.dataset;
@@ -231,7 +236,7 @@ QueryResult QueryService::execute_select(const QueryRequest& req,
   result.rumor_community = setup->rumor_community;
   result.rumors = setup->rumors;
   result.num_bridge_ends = setup->bridges.bridge_ends.size();
-  if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+  check_deadline(req, admitted);
 
   const LcrbOptions& opts = req.options;
   const std::size_t budget = opts.resolved_budget(setup->rumors.size());
@@ -244,7 +249,7 @@ QueryResult QueryService::execute_select(const QueryRequest& req,
     std::shared_ptr<SigmaEstimator> estimator = session.estimator_for(
         setup_key, *setup, opts.sigma_config(), &pool_, &estimator_hit);
     meta.set("estimator_cache_hit", estimator_hit);
-    if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+    check_deadline(req, admitted);
     if (opts.multi_mode != MultiCascadeMode::kOff) {
       // Multi-campaign greedy shares the same warm estimator; the result
       // carries both the per-campaign groups and their deployed union.
@@ -278,7 +283,7 @@ QueryResult QueryService::execute_select(const QueryRequest& req,
     std::shared_ptr<RisContext> ctx = session.ris_context_for(
         setup_key, *setup, opts.ris_config(), &ris_hit);
     meta.set("ris_cache_hit", ris_hit);
-    if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+    check_deadline(req, admitted);
     const RisGreedyResult r = ris_greedy_with_context(
         opts.alpha, budget, opts.ris_config(), *ctx, &pool_);
     result.protectors = r.protectors;
@@ -292,7 +297,7 @@ QueryResult QueryService::execute_select(const QueryRequest& req,
     meta.set("ris_guarantee_met", r.guarantee_met);
     meta.set("ris_stop_reason", to_string(r.stop_reason));
   } else {
-    if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+    check_deadline(req, admitted);
     result.protectors = select_protectors(*setup, opts, &pool_);
     if (opts.selector == SelectorKind::kScbg) {
       // SCBG covers every bridge end by construction.
@@ -308,6 +313,7 @@ QueryResult QueryService::execute_evaluate(const QueryRequest& req,
                                            JsonValue& meta) {
   req.options.validate();
   QueryResult result;
+  result.version = req.version;
   result.id = req.id;
   result.op = req.op;
   result.dataset = req.dataset;
@@ -324,7 +330,7 @@ QueryResult QueryService::execute_evaluate(const QueryRequest& req,
   result.rumors = setup->rumors;
   result.num_bridge_ends = setup->bridges.bridge_ends.size();
   result.protectors = req.protectors;
-  if (deadline_expired(req, admitted)) throw Error("deadline exceeded");
+  check_deadline(req, admitted);
 
   LCRB_REQUIRE(req.eval_runs >= 1, "eval_runs must be >= 1");
   MonteCarloConfig mc;
@@ -357,6 +363,7 @@ QueryResult QueryService::execute_evaluate(const QueryRequest& req,
 QueryResult QueryService::execute_info(const QueryRequest& req,
                                        GraphSession& session) {
   QueryResult result;
+  result.version = req.version;
   result.id = req.id;
   result.op = req.op;
   result.dataset = req.dataset;

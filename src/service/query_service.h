@@ -1,34 +1,42 @@
 // QueryService — the long-lived in-process LCRB query engine.
 //
-// One instance owns a shared ThreadPool, a SessionRegistry, and a request
-// batcher. Queries enter as QueryRequest (see service/request.h) through one
-// of three doors:
+// One instance owns a shared ThreadPool (inner parallelism), a
+// SessionRegistry, and a Dispatcher (see service/dispatcher.h) that executes
+// admitted queries on `max_concurrent` executor threads. Queries enter as
+// QueryRequest (see service/request.h) through one of four doors:
 //
-//   run(req)        synchronous; inner parallelism on the shared pool
-//   submit(req)     enqueue; a dispatcher thread coalesces whatever is
-//                   queued, stable-groups it by dataset (so same-session
-//                   queries run back-to-back against hot caches), and
-//                   executes the groups sequentially — which is also why a
-//                   batch is byte-identical to running the same requests
-//                   one at a time in queue order per dataset
-//   run_batch(reqs) submit them all, wait for every future
+//   run(req)          synchronous on the calling thread; bypasses queues and
+//                     quotas but not deadline admission (deadline_ms == 0 is
+//                     deadline_rejected here too)
+//   submit_async(...) admission control, then per-session FIFO dispatch; the
+//                     completion callback fires exactly once (synchronously
+//                     on rejection, on an executor thread otherwise)
+//   submit(req)       submit_async wrapped in a future
+//   run_batch(reqs)   submit them all, wait for every future; results in
+//                     request order
 //
-// Failures never throw across the API: every lcrb::Error becomes an
-// ok=false QueryResult carrying the message. Deadlines (deadline_ms) are
-// measured from admission and checked only at stage boundaries; an
-// already-expired budget (0) deterministically yields "deadline exceeded".
+// Ordering and identity guarantees: queries on the SAME session execute
+// sequentially in admission order — a concurrent batch is byte-identical to
+// running those requests one at a time (pinned by tests). Queries on
+// DIFFERENT sessions run concurrently, which cannot change any payload:
+// sessions are immutable, their caches are keyed deterministically, and all
+// inner parallel reductions are fixed-order.
+//
+// Failures never throw across the API: every error becomes an ok=false
+// QueryResult carrying a structured code (service/errors.h) plus the v1
+// message. Deadlines (deadline_ms) are measured from admission; a spent
+// budget (0) is deterministically rejected at admission, a positive budget
+// is re-checked at dequeue and at stage boundaries.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
-#include <deque>
 #include <future>
+#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "service/dispatcher.h"
 #include "service/request.h"
 #include "service/session.h"
 #include "util/threadpool.h"
@@ -43,10 +51,26 @@ struct ServiceConfig {
   /// Attach the nondeterministic `meta` object (timings, cache hits) to
   /// results. Payload fields are unaffected either way.
   bool collect_meta = true;
+  /// Dispatcher executor threads: how many *different* sessions execute at
+  /// once (same-session queries always serialize). 1 = the sequential PR-4
+  /// behavior; 0 = auto (min(4, half the hardware threads)).
+  std::size_t max_concurrent = 1;
+  /// Quota applied to tenants without an explicit entry. Zeros = unlimited.
+  TenantQuota default_quota;
+  /// Per-tenant overrides (max queued / max in flight / WRR weight).
+  std::map<std::string, TenantQuota> tenant_quotas;
+};
+
+/// One-lock-each snapshot of the dispatcher and the registry.
+struct ServiceStats {
+  DispatchStats dispatch;
+  SessionRegistry::Stats registry;
 };
 
 class QueryService {
  public:
+  using Ticket = Dispatcher::Ticket;
+
   explicit QueryService(ServiceConfig cfg = {});
   ~QueryService();
 
@@ -69,21 +93,29 @@ class QueryService {
   /// the shared pool). Never throws for request-level failures.
   QueryResult run(const QueryRequest& req);
 
-  /// Enqueues for the batcher; the future resolves when its group runs.
+  /// Admission-controlled enqueue; `done` fires exactly once. Returns the
+  /// cancel ticket (0 when rejected at admission).
+  Ticket submit_async(QueryRequest req,
+                      std::function<void(QueryResult)> done);
+
+  /// submit_async wrapped in a future.
   std::future<QueryResult> submit(QueryRequest req);
 
   /// submit() them all, then wait; results in request order.
   std::vector<QueryResult> run_batch(std::vector<QueryRequest> reqs);
 
- private:
-  struct Pending {
-    QueryRequest req;
-    std::promise<QueryResult> promise;
-    std::chrono::steady_clock::time_point admitted;
-    std::uint64_t seq = 0;  ///< admission order, the stable-sort anchor
-  };
+  /// Best-effort cancel of a still-queued request (see Dispatcher::cancel).
+  bool cancel(Ticket ticket);
 
-  void dispatcher_loop();
+  /// Deterministic queue-state control (tests, stats snapshots): pause stops
+  /// dispatching new jobs, drain blocks until idle.
+  void pause();
+  void resume();
+  void drain();
+
+  ServiceStats stats() const;
+
+ private:
   QueryResult execute(const QueryRequest& req,
                       std::chrono::steady_clock::time_point admitted);
   QueryResult execute_select(const QueryRequest& req, GraphSession& session,
@@ -103,13 +135,9 @@ class QueryService {
   ServiceConfig cfg_;
   ThreadPool pool_;
   SessionRegistry registry_;
-
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  bool stop_ = false;
-  std::uint64_t next_seq_ = 0;
-  std::thread dispatcher_;
+  /// Last member: its destructor joins executors that call execute(), so
+  /// everything execute() touches must still be alive.
+  std::unique_ptr<Dispatcher> dispatcher_;
 };
 
 }  // namespace lcrb::service

@@ -95,6 +95,9 @@ JsonValue QueryRequest::to_json() const {
   if (!id.empty()) v.set("id", id);
   v.set("op", to_string(op));
   v.set("dataset", dataset);
+  // tenant is a v2 field; a v1 request never writes it so v1 serializations
+  // stay byte-for-byte what PR 4 shipped.
+  if (version >= 2 && !tenant.empty()) v.set("tenant", tenant);
   if (!rumor_groups.empty()) {
     v.set("rumor_groups", groups_to_json(rumor_groups));
   } else if (!rumor_ids.empty()) {
@@ -119,6 +122,10 @@ JsonValue QueryRequest::to_json() const {
 QueryRequest QueryRequest::from_json(const JsonValue& v) {
   if (!v.is_object()) throw Error("request: expected a JSON object");
   QueryRequest req;
+  // v2-only keys are collected first and re-checked against the declared
+  // version afterwards, so key order in the document cannot change whether a
+  // v1 request smuggles a v2 field through.
+  bool saw_tenant = false;
   for (const auto& [key, val] : v.members()) {
     if (key == "v") {
       req.version = static_cast<int>(val.as_int());
@@ -128,6 +135,9 @@ QueryRequest QueryRequest::from_json(const JsonValue& v) {
       req.op = query_op_from_string(val.as_string());
     } else if (key == "dataset") {
       req.dataset = val.as_string();
+    } else if (key == "tenant") {
+      req.tenant = val.as_string();
+      saw_tenant = true;
     } else if (key == "rumor_ids") {
       req.rumor_ids = ids_from_json(val, "rumor_ids");
     } else if (key == "rumor_groups") {
@@ -154,10 +164,15 @@ QueryRequest QueryRequest::from_json(const JsonValue& v) {
       throw Error("request: unknown key '" + key + "'");
     }
   }
-  if (req.version != kProtocolVersion) {
-    throw Error("request: unsupported version " +
-                std::to_string(req.version) + " (this build speaks " +
-                std::to_string(kProtocolVersion) + ")");
+  if (req.version < kProtocolVersion || req.version > kProtocolVersionMax) {
+    throw ServiceError(
+        ErrorCode::kUnsupportedVersion,
+        "request: unsupported version " + std::to_string(req.version) +
+            " (this build speaks " + std::to_string(kProtocolVersion) + ".." +
+            std::to_string(kProtocolVersionMax) + ")");
+  }
+  if (saw_tenant && req.version < 2) {
+    throw Error("request: unknown key 'tenant'");
   }
   return req;
 }
@@ -170,7 +185,21 @@ JsonValue QueryResult::to_json(bool include_meta) const {
   v.set("dataset", dataset);
   v.set("ok", ok);
   if (!ok) {
-    v.set("error", error);
+    if (version >= 2) {
+      // v2: the structured taxonomy object. category/retryable are derived
+      // from the code so the three can never disagree on the wire.
+      const ErrorCode code =
+          error_code == ErrorCode::kNone ? ErrorCode::kInternal : error_code;
+      JsonValue err = JsonValue::object();
+      err.set("code", to_string(code));
+      err.set("category", error_category(code));
+      err.set("retryable", error_retryable(code));
+      err.set("message", error);
+      v.set("error", err);
+    } else {
+      // v1: the bare message string, byte-for-byte the PR-4 shape.
+      v.set("error", error);
+    }
     if (include_meta && !meta.is_null()) v.set("meta", meta);
     return v;
   }
@@ -227,7 +256,14 @@ QueryResult QueryResult::from_json(const JsonValue& v) {
     } else if (key == "ok") {
       r.ok = val.as_bool();
     } else if (key == "error") {
-      r.error = val.as_string();
+      if (val.is_object()) {
+        // v2 structured error; category/retryable are derived fields and
+        // only checked for presence-consistency by round-trip tests.
+        r.error = val.get_string("message", "");
+        r.error_code = error_code_from_string(val.get_string("code", ""));
+      } else {
+        r.error = val.as_string();
+      }
     } else if (key == "rumor_community") {
       r.rumor_community = static_cast<CommunityId>(non_negative(val, "rumor_community"));
     } else if (key == "rumors") {
@@ -277,12 +313,19 @@ QueryResult QueryResult::from_json(const JsonValue& v) {
 
 QueryResult QueryResult::make_error(const QueryRequest& req,
                                     std::string message) {
+  return make_error(req, ErrorCode::kInvalidArgument, std::move(message));
+}
+
+QueryResult QueryResult::make_error(const QueryRequest& req, ErrorCode code,
+                                    std::string message) {
   QueryResult r;
+  r.version = req.version;
   r.id = req.id;
   r.op = req.op;
   r.dataset = req.dataset;
   r.ok = false;
   r.error = std::move(message);
+  r.error_code = code;
   return r;
 }
 

@@ -12,11 +12,21 @@
 //   info      structural summary of the session (nodes, arcs, communities,
 //             resident bytes)
 //
+// Two wire versions are spoken side by side. A request declares its version
+// with "v", and its result is rendered in the same version:
+//
+//   v1   the PR-4 shape, byte-for-byte: errors are a bare message string,
+//        no tenant field. Every existing client and golden file keeps
+//        working unchanged.
+//   v2   adds `tenant` (admission-control identity; defaults to the dataset)
+//        and renders errors structurally as
+//        {"code","category","retryable","message"} (see service/errors.h).
+//
 // Results split deterministic payload fields (bit-identical for a fixed
-// request against equal session state, independent of thread count or
-// batching) from the `meta` object (timings, cache hits, visit counters),
-// which to_json() omits unless asked. Golden tests and the batch-vs-
-// sequential identity check compare to_json(false) lines only.
+// request against equal session state, independent of thread count,
+// concurrency, or batching) from the `meta` object (timings, cache hits,
+// visit counters), which to_json() omits unless asked. Golden tests and the
+// batch-vs-sequential identity check compare to_json(false) lines only.
 #pragma once
 
 #include <cstdint>
@@ -24,15 +34,19 @@
 #include <vector>
 
 #include "lcrb/options.h"
+#include "service/errors.h"
 #include "util/json.h"
 #include "util/types.h"
 
 namespace lcrb::service {
 
-/// Protocol version spoken by this build (single-integer lockstep: a request
-/// carrying a different version is rejected, so a future incompatible field
-/// change cannot be silently misread).
+/// Oldest wire version this build still speaks (and the default for
+/// programmatically-built requests, so in-process callers and cache keys are
+/// unchanged from PR 4).
 inline constexpr int kProtocolVersion = 1;
+/// Newest wire version this build speaks. Requests outside
+/// [kProtocolVersion, kProtocolVersionMax] are rejected rather than misread.
+inline constexpr int kProtocolVersionMax = 2;
 
 enum class QueryOp : std::uint8_t {
   kSelect,
@@ -48,6 +62,11 @@ struct QueryRequest {
   std::string id;       ///< caller's correlation tag, echoed verbatim
   QueryOp op = QueryOp::kSelect;
   std::string dataset;  ///< GraphSession key in the registry
+  /// Admission-control identity (v2 wire field; always usable in-process).
+  /// Empty means "the dataset is the tenant" — per-dataset fairness out of
+  /// the box. Quotas and weighted round-robin dispatch key on this; the
+  /// deterministic payload never depends on it.
+  std::string tenant;
 
   // --- experiment shape (select / evaluate) --------------------------------
   /// Explicit rumor originators; when non-empty they win and must share one
@@ -75,11 +94,13 @@ struct QueryRequest {
   std::size_t eval_runs = 200;
   std::uint64_t eval_seed = 1;
 
-  /// Time budget in milliseconds from admission; -1 = none. 0 means already
-  /// expired — the request deterministically fails with "deadline exceeded",
-  /// which is what the deadline tests pin. Positive budgets are checked at
-  /// stage boundaries (after session acquisition, after experiment setup,
-  /// after selection), never mid-algorithm.
+  /// Time budget in milliseconds from admission; -1 = none. 0 means the
+  /// budget is already spent — admission control deterministically rejects
+  /// with code deadline_rejected (v1 message "deadline exceeded", which is
+  /// what the deadline tests pin). Positive budgets are re-checked when the
+  /// dispatcher dequeues the request and at stage boundaries (after session
+  /// acquisition, after experiment setup, after selection), never
+  /// mid-algorithm; a lapse there is code deadline_expired.
   std::int64_t deadline_ms = -1;
 
   JsonValue to_json() const;
@@ -89,12 +110,16 @@ struct QueryRequest {
 };
 
 struct QueryResult {
-  int version = kProtocolVersion;
+  int version = kProtocolVersion;  ///< mirrors the request's version
   std::string id;  ///< echoed from the request
   QueryOp op = QueryOp::kSelect;
   std::string dataset;
   bool ok = true;
-  std::string error;  ///< lcrb::Error message when !ok
+  std::string error;  ///< error message when !ok (the whole v1 error surface)
+  /// Structured taxonomy entry when !ok (category and retryability derive
+  /// from it; see service/errors.h). v1 rendering drops it; v2 renders the
+  /// full {code, category, retryable, message} object.
+  ErrorCode error_code = ErrorCode::kNone;
 
   // --- select / evaluate ---------------------------------------------------
   CommunityId rumor_community = kInvalidCommunity;
@@ -136,8 +161,12 @@ struct QueryResult {
   static QueryResult from_json(const JsonValue& v);
 
   /// Uniform error result (used by the service for every failure path so
-  /// error payloads are as deterministic as success payloads).
+  /// error payloads are as deterministic as success payloads). The overload
+  /// without a code classifies as invalid_argument — the class of every
+  /// bare lcrb::Error thrown on request-derived values.
   static QueryResult make_error(const QueryRequest& req, std::string message);
+  static QueryResult make_error(const QueryRequest& req, ErrorCode code,
+                                std::string message);
 };
 
 }  // namespace lcrb::service

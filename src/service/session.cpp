@@ -124,8 +124,10 @@ std::shared_ptr<const QueryResult> GraphSession::cached_result(
 void GraphSession::store_result(const std::string& key,
                                 const QueryResult& result) {
   // Strip the caller-varying bits so a cache entry serves every caller: the
-  // id is re-stamped on replay, and meta describes the computing run only.
+  // id and wire version are re-stamped on replay, and meta describes the
+  // computing run only.
   QueryResult canonical = result;
+  canonical.version = kProtocolVersion;
   canonical.id.clear();
   canonical.meta = JsonValue();
   const std::size_t bytes =
@@ -164,8 +166,14 @@ void GraphSession::shed_warm_state() {
 }
 
 std::string make_result_key(const QueryRequest& req) {
+  // Canonicalize everything that cannot affect the deterministic payload:
+  // correlation id, deadline budget, admission identity, and the wire
+  // version (a v1 and a v2 rendering of the same query share one entry —
+  // the replay is re-stamped with the caller's version).
   QueryRequest canonical = req;
+  canonical.version = kProtocolVersion;
   canonical.id.clear();
+  canonical.tenant.clear();
   canonical.deadline_ms = -1;
   return canonical.to_json().dump();
 }

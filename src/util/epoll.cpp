@@ -1,0 +1,98 @@
+#if defined(__linux__)
+
+#include "util/epoll.h"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace lcrb {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw Error(std::string(what) + " failed: " + std::strerror(errno));
+}
+
+}  // namespace
+
+Epoll::Epoll() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) fail("epoll_create1");
+}
+
+Epoll::~Epoll() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Epoll::add(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) fail("epoll_ctl(ADD)");
+}
+
+void Epoll::mod(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) fail("epoll_ctl(MOD)");
+}
+
+void Epoll::del(int fd) {
+  if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+    fail("epoll_ctl(DEL)");
+  }
+}
+
+std::vector<EpollEvent> Epoll::wait(int timeout_ms) {
+  epoll_event ready[64];
+  const int n = ::epoll_wait(epfd_, ready, 64, timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return {};
+    fail("epoll_wait");
+  }
+  std::vector<EpollEvent> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] = {ready[i].data.fd, ready[i].events};
+  }
+  return out;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    fail("fcntl(O_NONBLOCK)");
+  }
+}
+
+EventFd::EventFd() {
+  fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (fd_ < 0) fail("eventfd");
+}
+
+EventFd::~EventFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EventFd::signal() {
+  const std::uint64_t one = 1;
+  // A full counter (EAGAIN) still wakes the loop; nothing to handle.
+  [[maybe_unused]] const ssize_t n = ::write(fd_, &one, sizeof(one));
+}
+
+void EventFd::drain() {
+  std::uint64_t count = 0;
+  while (::read(fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+}  // namespace lcrb
+
+#endif  // __linux__

@@ -1,0 +1,73 @@
+// Thin RAII wrappers over the Linux epoll readiness API plus the two
+// primitives an event-looped daemon needs next to it: nonblocking fds and an
+// eventfd for cross-thread wakeups (worker threads signal the loop without
+// touching any loop-owned state).
+//
+// Linux-only (epoll and eventfd have no portable equivalent); every user is
+// expected to guard with LCRB_HAVE_EPOLL.
+#pragma once
+
+#if defined(__linux__)
+#define LCRB_HAVE_EPOLL 1
+
+#include <sys/epoll.h>  // EPOLLIN/EPOLLOUT/... for callers of add()/mod()
+
+#include <cstdint>
+#include <vector>
+
+namespace lcrb {
+
+/// One readiness report from Epoll::wait().
+struct EpollEvent {
+  int fd = -1;
+  std::uint32_t events = 0;  ///< EPOLLIN / EPOLLOUT / EPOLLHUP / EPOLLERR bits
+};
+
+/// Level-triggered epoll instance. Register interest per fd, then wait();
+/// level-triggering keeps the loop logic simple (no drained-buffer
+/// bookkeeping — readiness re-reports until consumed).
+class Epoll {
+ public:
+  Epoll();
+  ~Epoll();
+
+  Epoll(const Epoll&) = delete;
+  Epoll& operator=(const Epoll&) = delete;
+
+  void add(int fd, std::uint32_t events);
+  void mod(int fd, std::uint32_t events);
+  void del(int fd);
+
+  /// Blocks up to timeout_ms (-1 = forever) and returns every ready fd.
+  /// EINTR returns an empty set rather than throwing.
+  std::vector<EpollEvent> wait(int timeout_ms);
+
+ private:
+  int epfd_ = -1;
+};
+
+/// Puts an fd into O_NONBLOCK mode. Throws lcrb::Error on failure.
+void set_nonblocking(int fd);
+
+/// Wakeup channel: any thread may signal(); the owning loop registers fd()
+/// for EPOLLIN and calls drain() when it fires (coalescing is fine — the
+/// signal means "check your queues", not "exactly one item").
+class EventFd {
+ public:
+  EventFd();
+  ~EventFd();
+
+  EventFd(const EventFd&) = delete;
+  EventFd& operator=(const EventFd&) = delete;
+
+  int fd() const { return fd_; }
+  void signal();
+  void drain();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace lcrb
+
+#endif  // __linux__

@@ -1,0 +1,472 @@
+// Dispatcher unit tests (synthetic ExecuteFn — no graphs involved) plus the
+// service-level concurrency stress: same-session byte-identity and
+// cross-session interleaving under real concurrent load. The stress suite is
+// part of the CI TSan job (filter ServiceConcurrencyTest.*:DispatcherTest.*).
+#include "service/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "service/query_service.h"
+
+namespace lcrb::service {
+namespace {
+
+QueryRequest make_request(const std::string& id, const std::string& dataset,
+                          const std::string& tenant = "") {
+  QueryRequest req;
+  req.id = id;
+  req.dataset = dataset;
+  req.tenant = tenant;
+  return req;
+}
+
+/// Echo executor: returns a success result tagged with the request id.
+QueryResult echo(const QueryRequest& req, Dispatcher::Clock::time_point) {
+  QueryResult r;
+  r.id = req.id;
+  r.op = req.op;
+  r.dataset = req.dataset;
+  return r;
+}
+
+/// Collects completion results keyed by submission order.
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<QueryResult> results;
+
+  Dispatcher::DoneFn sink() {
+    return [this](QueryResult r) {
+      std::lock_guard<std::mutex> lock(mu);
+      results.push_back(std::move(r));
+      cv.notify_all();
+    };
+  }
+  void wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return results.size() >= n; });
+  }
+};
+
+TEST(DispatcherTest, SameSessionJobsExecuteInAdmissionOrder) {
+  std::mutex mu;
+  std::vector<std::string> order;
+  Dispatcher d(
+      [&](const QueryRequest& req, Dispatcher::Clock::time_point t) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          order.push_back(req.id);
+        }
+        return echo(req, t);
+      },
+      4);
+  d.pause();  // admit everything first so executor count cannot matter
+  Collector got;
+  for (int i = 0; i < 8; ++i) {
+    d.submit(make_request(std::to_string(i), "s"), got.sink());
+  }
+  d.resume();
+  d.drain();
+  const std::vector<std::string> expected = {"0", "1", "2", "3",
+                                             "4", "5", "6", "7"};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(DispatcherTest, DifferentSessionsRunConcurrently) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool a_started = false;
+  bool release_a = false;
+  Dispatcher d(
+      [&](const QueryRequest& req, Dispatcher::Clock::time_point t) {
+        if (req.dataset == "a") {
+          std::unique_lock<std::mutex> lock(mu);
+          a_started = true;
+          cv.notify_all();
+          cv.wait(lock, [&] { return release_a; });
+        }
+        return echo(req, t);
+      },
+      2);
+  Collector got;
+  d.submit(make_request("a1", "a"), got.sink());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return a_started; });
+  }
+  // Session "b" completes while session "a" is still blocked on an executor:
+  // that is cross-session concurrency.
+  std::promise<QueryResult> b_done;
+  d.submit(make_request("b1", "b"), [&](QueryResult r) {
+    b_done.set_value(std::move(r));
+  });
+  EXPECT_EQ(b_done.get_future().get().id, "b1");
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release_a = true;
+    cv.notify_all();
+  }
+  d.drain();
+  got.wait_for(1);
+  EXPECT_EQ(got.results[0].id, "a1");
+}
+
+TEST(DispatcherTest, DeadlineZeroIsRejectedAtAdmission) {
+  std::atomic<int> executed{0};
+  Dispatcher d(
+      [&](const QueryRequest& req, Dispatcher::Clock::time_point t) {
+        ++executed;
+        return echo(req, t);
+      },
+      1);
+  QueryRequest req = make_request("late", "s");
+  req.deadline_ms = 0;
+  QueryResult result;
+  bool fired = false;
+  const Dispatcher::Ticket ticket = d.submit(req, [&](QueryResult r) {
+    result = std::move(r);  // det-ok[D4]: rejection callback fires synchronously inside submit() on this thread
+    fired = true;  // det-ok[D4]: same synchronous rejection path — no executor ever sees this lambda
+  });
+  EXPECT_EQ(ticket, 0u);
+  ASSERT_TRUE(fired);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_code, ErrorCode::kDeadlineRejected);
+  EXPECT_EQ(result.error, "deadline exceeded");  // the pinned v1 message
+  d.drain();
+  EXPECT_EQ(executed.load(), 0);
+  EXPECT_EQ(d.stats().rejected, 1u);
+}
+
+TEST(DispatcherTest, PositiveDeadlineExpiresAtDequeue) {
+  std::atomic<int> executed{0};
+  Dispatcher d(
+      [&](const QueryRequest& req, Dispatcher::Clock::time_point t) {
+        ++executed;
+        return echo(req, t);
+      },
+      1);
+  d.pause();
+  QueryRequest req = make_request("slow", "s");
+  req.deadline_ms = 1;
+  std::promise<QueryResult> done;
+  const Dispatcher::Ticket ticket =
+      d.submit(req, [&](QueryResult r) { done.set_value(std::move(r)); });
+  EXPECT_NE(ticket, 0u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  d.resume();
+  const QueryResult result = done.get_future().get();
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error_code, ErrorCode::kDeadlineExpired);
+  EXPECT_EQ(executed.load(), 0);  // the session was never touched
+  d.drain();  // counters are final once nothing is in flight
+  EXPECT_EQ(d.stats().expired, 1u);
+}
+
+TEST(DispatcherTest, QueueFullShedsAtAdmission) {
+  TenantQuota quota;
+  quota.max_queued = 2;
+  Dispatcher d(echo, 1, quota);
+  d.pause();
+  Collector got;
+  const Dispatcher::Ticket t1 = d.submit(make_request("1", "s"), got.sink());
+  const Dispatcher::Ticket t2 = d.submit(make_request("2", "s"), got.sink());
+  EXPECT_NE(t1, 0u);
+  EXPECT_NE(t2, 0u);
+  QueryResult shed;
+  const Dispatcher::Ticket t3 = d.submit(make_request("3", "s"),
+                                         [&](QueryResult r) { shed = r; });  // det-ok[D4]: queue-full shed fires synchronously inside submit()
+  EXPECT_EQ(t3, 0u);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error_code, ErrorCode::kQueueFull);
+  d.resume();
+  d.drain();
+  got.wait_for(2);
+  EXPECT_EQ(d.stats().shed, 1u);
+  EXPECT_EQ(d.stats().completed, 2u);
+}
+
+TEST(DispatcherTest, MaxInFlightGatesDispatchWithoutShedding) {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool x_started = false;
+  bool release_x = false;
+  std::atomic<int> y_ran{0};
+  std::map<std::string, TenantQuota> quotas;
+  quotas["t"].max_in_flight = 1;
+  Dispatcher d(
+      [&](const QueryRequest& req, Dispatcher::Clock::time_point t) {
+        if (req.dataset == "x") {
+          std::unique_lock<std::mutex> lock(mu);
+          x_started = true;
+          cv.notify_all();
+          cv.wait(lock, [&] { return release_x; });
+        } else {
+          ++y_ran;
+        }
+        return echo(req, t);
+      },
+      2, TenantQuota{}, quotas);
+  Collector got;
+  d.submit(make_request("x1", "x", "t"), got.sink());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return x_started; });
+  }
+  d.submit(make_request("y1", "y", "t"), got.sink());
+  // y would be dispatchable (free executor, different session) but the
+  // tenant's in-flight cap holds it queued — it waits, it is never shed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(y_ran.load(), 0);
+  EXPECT_EQ(d.stats().queue_depth, 1u);
+  EXPECT_EQ(d.stats().shed, 0u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release_x = true;
+    cv.notify_all();
+  }
+  d.drain();
+  EXPECT_EQ(y_ran.load(), 1);
+  EXPECT_EQ(d.stats().completed, 2u);
+}
+
+TEST(DispatcherTest, CancelRemovesQueuedJobOnly) {
+  Dispatcher d(echo, 1);
+  d.pause();
+  Collector got;
+  const Dispatcher::Ticket t1 = d.submit(make_request("1", "s"), got.sink());
+  QueryResult cancelled;
+  const Dispatcher::Ticket t2 = d.submit(make_request("2", "s"),
+                                         [&](QueryResult r) { cancelled = r; });  // det-ok[D4]: cancel() fires the callback synchronously on this thread
+  EXPECT_TRUE(d.cancel(t2));
+  EXPECT_FALSE(cancelled.ok);
+  EXPECT_EQ(cancelled.error_code, ErrorCode::kCancelled);
+  EXPECT_FALSE(d.cancel(t2));  // already gone
+  d.resume();
+  d.drain();
+  got.wait_for(1);
+  EXPECT_EQ(got.results[0].id, "1");
+  EXPECT_FALSE(d.cancel(t1));  // already ran
+  EXPECT_EQ(d.stats().cancelled, 1u);
+  EXPECT_EQ(d.stats().completed, 1u);
+}
+
+TEST(DispatcherTest, WeightedRoundRobinFavorsHeavierTenant) {
+  std::mutex mu;
+  std::vector<std::string> tenant_order;
+  std::map<std::string, TenantQuota> quotas;
+  quotas["a"].weight = 2;
+  quotas["b"].weight = 1;
+  Dispatcher d(
+      [&](const QueryRequest& req, Dispatcher::Clock::time_point t) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          tenant_order.push_back(req.tenant);
+        }
+        return echo(req, t);
+      },
+      1, TenantQuota{}, quotas);
+  d.pause();  // build the full backlog first, then dispatch deterministically
+  Collector got;
+  for (int i = 0; i < 4; ++i) {
+    d.submit(make_request("a" + std::to_string(i), "da" + std::to_string(i),
+                          "a"),
+             got.sink());
+  }
+  for (int i = 0; i < 2; ++i) {
+    d.submit(make_request("b" + std::to_string(i), "db" + std::to_string(i),
+                          "b"),
+             got.sink());
+  }
+  d.resume();
+  d.drain();
+  // Weight 2 vs 1: two "a" dispatches per "b" dispatch.
+  const std::vector<std::string> expected = {"a", "a", "b", "a", "a", "b"};
+  EXPECT_EQ(tenant_order, expected);
+}
+
+TEST(DispatcherTest, ShutdownFailsQueuedJobsAndRejectsNewOnes) {
+  Dispatcher d(echo, 1);
+  d.pause();
+  std::vector<QueryResult> orphaned;
+  std::mutex mu;
+  const auto sink = [&](QueryResult r) {
+    std::lock_guard<std::mutex> lock(mu);
+    orphaned.push_back(std::move(r));
+  };
+  d.submit(make_request("1", "s"), sink);
+  d.submit(make_request("2", "s"), sink);
+  d.shutdown();
+  ASSERT_EQ(orphaned.size(), 2u);
+  for (const QueryResult& r : orphaned) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_code, ErrorCode::kShutdown);
+  }
+  QueryResult late;
+  EXPECT_EQ(d.submit(make_request("3", "s"),
+                     [&](QueryResult r) { late = r; }),  // det-ok[D4]: post-shutdown rejection fires synchronously inside submit()
+            0u);
+  EXPECT_EQ(late.error_code, ErrorCode::kShutdown);
+  d.shutdown();  // idempotent
+}
+
+/// Real-service concurrency: several clients hammer several sessions at
+/// once. Two pinned properties: (a) every session's reply stream is
+/// byte-identical to running that session's requests alone, sequentially, on
+/// a fresh service; (b) cross-session interleaving never changes a payload.
+struct ServiceConcurrencyTest : public ::testing::Test {
+  void SetUp() override {
+    CommunityGraphConfig cfg;
+    cfg.community_sizes = {40, 40, 40};
+    cfg.avg_intra_degree = 6.0;
+    cfg.avg_inter_degree = 1.0;
+    cfg.seed = 5;
+    cg = make_community_graph(cfg);
+    p = Partition(cg.membership);
+  }
+
+  static QueryRequest select_request(const std::string& dataset) {
+    QueryRequest req;
+    req.op = QueryOp::kSelect;
+    req.dataset = dataset;
+    req.rumor_community = 0;
+    req.num_rumors = 3;
+    req.rumor_seed = 17;
+    req.options.alpha = 0.9;
+    req.options.sigma_samples = 5;
+    req.options.sigma_seed = 21;
+    req.options.max_candidates = 40;
+    return req;
+  }
+
+  /// The per-session script every client plays: mixed ops, one warm repeat.
+  static std::vector<QueryRequest> session_script(const std::string& dataset) {
+    std::vector<QueryRequest> reqs;
+    QueryRequest r = select_request(dataset);
+    r.id = "greedy";
+    reqs.push_back(r);
+
+    r = select_request(dataset);
+    r.id = "maxdeg";
+    r.options.selector = SelectorKind::kMaxDegree;
+    r.options.budget = 4;
+    reqs.push_back(r);
+
+    r = select_request(dataset);
+    r.id = "eval";
+    r.op = QueryOp::kEvaluate;
+    r.protectors = {1, 2, 3};
+    r.eval_runs = 20;
+    reqs.push_back(r);
+
+    r = select_request(dataset);
+    r.id = "late";
+    r.deadline_ms = 0;
+    reqs.push_back(r);
+
+    r = select_request(dataset);
+    r.id = "greedy-again";  // replays from the result cache
+    reqs.push_back(r);
+    return reqs;
+  }
+
+  CommunityGraph cg;
+  Partition p;
+};
+
+TEST_F(ServiceConcurrencyTest, ConcurrentClientsAreByteIdenticalPerSession) {
+  const std::vector<std::string> datasets = {"s0", "s1", "s2", "s3"};
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.max_concurrent = 4;
+  QueryService svc(cfg);
+  for (const std::string& ds : datasets) svc.registry().open(ds, cg.graph, p);
+
+  // One thread per session submits its script in order and keeps the reply
+  // futures in that order (per-session admission order = script order).
+  std::vector<std::vector<std::future<QueryResult>>> futures(datasets.size());
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(datasets.size());
+    for (std::size_t c = 0; c < datasets.size(); ++c) {
+      clients.emplace_back([&, c] {
+        for (QueryRequest& req : session_script(datasets[c])) {
+          futures[c].push_back(svc.submit(std::move(req)));
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+
+  for (std::size_t c = 0; c < datasets.size(); ++c) {
+    // Fresh single-executor service, same script, strictly sequential: the
+    // byte-identity reference.
+    ServiceConfig ref_cfg;
+    ref_cfg.threads = 2;
+    ref_cfg.max_concurrent = 1;
+    QueryService ref(ref_cfg);
+    ref.registry().open(datasets[c], cg.graph, p);
+    const std::vector<QueryRequest> script = session_script(datasets[c]);
+    for (std::size_t i = 0; i < script.size(); ++i) {
+      const QueryResult got = futures[c][i].get();
+      const QueryResult want = ref.run(script[i]);
+      EXPECT_EQ(got.to_json(false).dump(), want.to_json(false).dump())
+          << datasets[c] << " request " << script[i].id;
+    }
+  }
+  const DispatchStats stats = svc.stats().dispatch;
+  EXPECT_EQ(stats.rejected, datasets.size());  // one deadline_ms=0 per client
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
+TEST_F(ServiceConcurrencyTest, SharedSessionUnderContentionKeepsOrder) {
+  // Many threads racing submits into ONE session: whatever admission order
+  // results, the dispatcher must execute them one at a time (TSan verifies
+  // the absence of data races; the payload check verifies the results match
+  // a per-request sequential reference).
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.max_concurrent = 4;
+  QueryService svc(cfg);
+  svc.registry().open("shared", cg.graph, p);
+
+  std::vector<std::future<QueryResult>> futures(8);
+  {
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      clients.emplace_back([&, i] {
+        QueryRequest req = select_request("shared");
+        req.id = "c" + std::to_string(i);
+        req.options.budget = 1 + i % 3;
+        futures[i] = svc.submit(std::move(req));
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  ServiceConfig ref_cfg;
+  ref_cfg.threads = 2;
+  QueryService ref(ref_cfg);
+  ref.registry().open("shared", cg.graph, p);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    QueryRequest req = select_request("shared");
+    req.id = "c" + std::to_string(i);
+    req.options.budget = 1 + i % 3;
+    const QueryResult got = futures[i].get();
+    const QueryResult want = ref.run(req);
+    EXPECT_EQ(got.to_json(false).dump(), want.to_json(false).dump())
+        << "request " << req.id;
+  }
+}
+
+}  // namespace
+}  // namespace lcrb::service

@@ -312,6 +312,127 @@ TEST_F(ServiceFixture, RequestJsonRoundTrips) {
   EXPECT_THROW(QueryRequest::from_json(unknown_key), Error);
 }
 
+TEST_F(ServiceFixture, V2RequestRoundTripsAndTenantIsVersionGated) {
+  QueryRequest req = select_request();
+  req.version = 2;
+  req.id = "tag-9";
+  req.tenant = "team-a";
+  const JsonValue wire = req.to_json();
+  EXPECT_EQ(wire.get_int("v", 0), 2);
+  EXPECT_EQ(wire.get_string("tenant", ""), "team-a");
+  const QueryRequest back = QueryRequest::from_json(wire);
+  EXPECT_EQ(back.version, 2);
+  EXPECT_EQ(back.tenant, "team-a");
+  EXPECT_EQ(back.to_json().dump(), wire.dump());
+
+  // v1 never writes the tenant field, and rejects it on the way in — the v1
+  // wire surface is exactly the PR-4 one.
+  QueryRequest v1 = req;
+  v1.version = 1;
+  EXPECT_FALSE(v1.to_json().has("tenant"));
+  JsonValue smuggled = v1.to_json();
+  smuggled.set("tenant", "team-a");
+  EXPECT_THROW(QueryRequest::from_json(smuggled), Error);
+}
+
+TEST_F(ServiceFixture, ErrorResultsRoundTripInBothWireVersions) {
+  QueryRequest req = select_request();
+  req.id = "boom";
+  req.dataset = "nope";
+
+  req.version = 1;
+  auto svc = make_service();
+  const QueryResult v1 = svc->run(req);
+  ASSERT_FALSE(v1.ok);
+  EXPECT_EQ(v1.error_code, ErrorCode::kUnknownDataset);
+  const JsonValue v1_wire = v1.to_json(false);
+  // v1: the bare message string, byte-for-byte the old shape.
+  EXPECT_EQ(v1_wire.get_string("error", ""),
+            "unknown dataset 'nope' (open it first)");
+  EXPECT_EQ(QueryResult::from_json(v1_wire).to_json(false).dump(),
+            v1_wire.dump());
+
+  req.version = 2;
+  const QueryResult v2 = svc->run(req);
+  ASSERT_FALSE(v2.ok);
+  const JsonValue v2_wire = v2.to_json(false);
+  const JsonValue* err = v2_wire.find("error");
+  ASSERT_NE(err, nullptr);
+  ASSERT_TRUE(err->is_object());
+  EXPECT_EQ(err->get_string("code", ""), "unknown_dataset");
+  EXPECT_EQ(err->get_string("category", ""), "session");
+  EXPECT_FALSE(err->get_bool("retryable", true));
+  EXPECT_EQ(err->get_string("message", ""),
+            "unknown dataset 'nope' (open it first)");
+  const QueryResult back = QueryResult::from_json(v2_wire);
+  EXPECT_EQ(back.error_code, ErrorCode::kUnknownDataset);
+  EXPECT_EQ(back.to_json(false).dump(), v2_wire.dump());
+}
+
+TEST_F(ServiceFixture, DeadlineZeroIsRejectedIdenticallyOnEveryDoor) {
+  // Satellite regression: the deadline_ms == 0 special case and the
+  // admission-control path are one code path now — same code, same pinned
+  // v1 message, whichever door the request uses.
+  auto svc = make_service();
+  QueryRequest req = select_request();
+  req.deadline_ms = 0;
+  const QueryResult via_run = svc->run(req);
+  const QueryResult via_submit = svc->submit(req).get();
+  for (const QueryResult* r : {&via_run, &via_submit}) {
+    EXPECT_FALSE(r->ok);
+    EXPECT_EQ(r->error_code, ErrorCode::kDeadlineRejected);
+    EXPECT_EQ(r->error, "deadline exceeded");
+  }
+  EXPECT_EQ(via_run.to_json(false).dump(), via_submit.to_json(false).dump());
+  // In v2 the same rejection is structured and marked non-retryable (a spent
+  // budget can never succeed on retry).
+  req.version = 2;
+  const JsonValue wire = svc->run(req).to_json(false);
+  EXPECT_EQ(wire.find("error")->get_string("code", ""), "deadline_rejected");
+  EXPECT_FALSE(wire.find("error")->get_bool("retryable", true));
+}
+
+TEST_F(ServiceFixture, CachedReplayMirrorsTheRequestVersion) {
+  // One payload, two wire versions: the second request replays the first
+  // one's cached result but is answered in its own declared version.
+  auto svc = make_service();
+  QueryRequest req = select_request();
+  req.version = 1;
+  const QueryResult cold = svc->run(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_EQ(cold.version, 1);
+
+  QueryRequest v2 = req;
+  v2.version = 2;
+  const QueryResult warm = svc->run(v2);
+  EXPECT_TRUE(warm.meta.get_bool("result_cache_hit", false));
+  EXPECT_EQ(warm.version, 2);
+  EXPECT_EQ(warm.to_json(false).get_int("v", 0), 2);
+  // Same payload modulo the version stamp.
+  JsonValue a = cold.to_json(false);
+  JsonValue b = warm.to_json(false);
+  a.set("v", 0);
+  b.set("v", 0);
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+TEST_F(ServiceFixture, TenantQuotaShedsExcessQueuedRequests) {
+  ServiceConfig cfg;
+  cfg.threads = 2;
+  cfg.default_quota.max_queued = 1;
+  auto svc = std::make_unique<QueryService>(cfg);
+  svc->registry().open("ds", cg.graph, p);
+  svc->pause();  // force queueing so the quota is the only variable
+  auto first = svc->submit(select_request());
+  auto second = svc->submit(select_request());
+  const QueryResult shed = second.get();  // rejected synchronously
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.error_code, ErrorCode::kQueueFull);
+  svc->resume();
+  EXPECT_TRUE(first.get().ok);
+  EXPECT_EQ(svc->stats().dispatch.shed, 1u);
+}
+
 TEST_F(ServiceFixture, ResultJsonRoundTripsAndMetaStaysOptIn) {
   auto svc = make_service();
   const QueryResult r = svc->run(select_request());

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Concurrent multi-client golden smoke for lcrbd's socket mode.
+
+Starts `lcrbd --socket PATH`, opens two datasets over a setup connection,
+then drives three clients *concurrently* — each pipelines its whole script
+in one write and reads its replies back. Per-connection reply order must
+match request order, and every reply byte must match the blessed golden
+(replies omit `meta`, so everything compared is part of the determinism
+contract). Client c0 and c2 share a session while c1 runs its own, so the
+test covers both same-session ordering under contention and cross-session
+interleaving.
+
+Output format: replies grouped per client (setup connection first), each
+prefixed with the client tag. Regenerate the golden with:
+    lcrbd_multiclient.py --daemon ./lcrbd --gen ./lcrb > lcrbd_multiclient_golden.ndjson
+"""
+
+import argparse
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+# Each script is a list of NDJSON request lines, pipelined in a single send.
+# Everything here must produce byte-deterministic replies: no --meta, and
+# requests that race across connections (c0/c2 both run the same greedy
+# select on dataset "a") resolve to identical bytes whether the second one
+# recomputes or replays the first one's cached result.
+GREEDY_A = ('{"v":1,"op":"select","id":"%s","dataset":"a","community_size":50,'
+            '"num_rumors":2,"rumor_seed":1,"options":{"alpha":0.9,'
+            '"sigma_samples":5,"max_candidates":40}}')
+
+SCRIPTS = {
+    "c0": [
+        GREEDY_A % "c0-greedy",
+        '{"v":1,"op":"select","id":"c0-maxdeg","dataset":"a",'
+        '"community_size":50,"num_rumors":2,"rumor_seed":1,'
+        '"options":{"selector":"maxdegree","budget":3}}',
+        '{"v":1,"op":"evaluate","id":"c0-eval","dataset":"a",'
+        '"rumor_groups":[[8],[9,10]],"protectors":[11,12],"eval_runs":20,'
+        '"options":{"cascade_priority":"roundrobin"}}',
+        '{"v":2,"op":"select","id":"c0-greedy-v2","dataset":"a",'
+        '"tenant":"teamA","community_size":50,"num_rumors":2,"rumor_seed":1,'
+        '"options":{"alpha":0.9,"sigma_samples":5,"max_candidates":40}}',
+        '{"v":1,"op":"select","id":"c0-late","dataset":"a",'
+        '"community_size":50,"num_rumors":2,"rumor_seed":1,"deadline_ms":0,'
+        '"options":{}}',
+    ],
+    "c1": [
+        '{"v":1,"op":"select","id":"c1-greedy","dataset":"b",'
+        '"community_size":50,"num_rumors":2,"rumor_seed":1,'
+        '"options":{"alpha":0.9,"sigma_samples":5,"max_candidates":40}}',
+        '{"v":1,"op":"select","id":"c1-scbg","dataset":"b",'
+        '"community_size":50,"num_rumors":2,"rumor_seed":1,'
+        '"options":{"selector":"scbg"}}',
+        '{"v":2,"op":"select","id":"c1-late","dataset":"b",'
+        '"community_size":50,"num_rumors":2,"rumor_seed":1,"deadline_ms":0,'
+        '"options":{}}',
+        '{"v":1,"op":"info","dataset":"b"}',
+    ],
+    "c2": [
+        GREEDY_A % "c2-greedy",
+        '{"op":"cancel","id":"ghost"}',
+        '{"v":3,"op":"info","dataset":"a"}',
+        '{"v":2,"op":"select","id":"c2-typo","dataset":"a",'
+        '"community_size":50,"num_rumors":2,"options":{"alpa":0.9}}',
+        '{"op":"datasets"}',
+    ],
+}
+
+
+def recv_lines(sock, n, deadline_s):
+    buf = b""
+    lines = []
+    sock.settimeout(5.0)
+    while len(lines) < n:
+        if time.monotonic() > deadline_s:
+            raise TimeoutError("timed out waiting for replies")
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("daemon closed connection early")
+        buf += chunk
+        while b"\n" in buf and len(lines) < n:
+            line, buf = buf.split(b"\n", 1)
+            lines.append(line.decode())
+    return lines
+
+
+def run_client(path, tag, script, out, errors):
+    try:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(path)
+        s.sendall(("\n".join(script) + "\n").encode())  # one pipelined burst
+        out[tag] = recv_lines(s, len(script), time.monotonic() + 120)
+        s.close()
+    except Exception as exc:  # surfaced after join
+        errors[tag] = repr(exc)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--daemon", required=True, help="path to lcrbd")
+    ap.add_argument("--gen", required=True, help="path to the lcrb CLI")
+    ap.add_argument("--golden", help="golden reply stream to diff against; "
+                                     "omit to print (for regeneration)")
+    args = ap.parse_args()
+    if os.name != "posix":
+        print("skipped: AF_UNIX smoke needs a POSIX host")
+        return 0
+
+    workdir = tempfile.mkdtemp(prefix="lcrbd_mc_")
+    graph = os.path.join(workdir, "g.txt")
+    membership = os.path.join(workdir, "m.csv")
+    sock_path = os.path.join(workdir, "s")
+    subprocess.run([args.gen, "gen", graph, "--kind", "enron", "--scale",
+                    "0.02", "--membership-out", membership],
+                   check=True, stdout=subprocess.DEVNULL)
+
+    daemon = subprocess.Popen([args.daemon, "--socket", sock_path])
+    try:
+        deadline = time.monotonic() + 10
+        while not os.path.exists(sock_path):
+            if time.monotonic() > deadline or daemon.poll() is not None:
+                raise RuntimeError("daemon did not create the socket")
+            time.sleep(0.02)
+
+        setup = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        setup.connect(sock_path)
+        opens = [
+            '{"op":"open","dataset":"a","path":"%s","membership":"%s"}'
+            % (graph, membership),
+            '{"op":"open","dataset":"b","path":"%s","membership":"%s"}'
+            % (graph, membership),
+        ]
+        setup.sendall(("\n".join(opens) + "\n").encode())
+        setup_replies = recv_lines(setup, len(opens), time.monotonic() + 30)
+
+        out, errors = {}, {}
+        threads = [threading.Thread(target=run_client,
+                                    args=(sock_path, tag, script, out, errors))
+                   for tag, script in sorted(SCRIPTS.items())]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise RuntimeError("client failures: %s" % errors)
+
+        setup.sendall(b'{"op":"shutdown"}\n')
+        setup_replies += recv_lines(setup, 1, time.monotonic() + 30)
+        setup.close()
+        daemon.wait(timeout=30)
+        if daemon.returncode != 0:
+            raise RuntimeError("daemon exited %d" % daemon.returncode)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+
+    # The open replies embed the temp path, so strip it before comparing.
+    lines = ["setup " + l.replace(workdir + "/", "") for l in setup_replies]
+    for tag in sorted(SCRIPTS):
+        lines += ["%s %s" % (tag, l) for l in out[tag]]
+    text = "\n".join(lines) + "\n"
+    if not args.golden:
+        sys.stdout.write(text)
+        return 0
+    with open(args.golden) as f:
+        golden = f.read()
+    if text != golden:
+        import difflib
+        sys.stdout.writelines(difflib.unified_diff(
+            golden.splitlines(True), text.splitlines(True),
+            "golden", "actual"))
+        return 1
+    print("multi-client smoke: %d replies byte-identical to golden"
+          % len(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
