@@ -1,8 +1,18 @@
 // Microbenchmarks (google-benchmark): graph substrate throughput.
+//
+// The EfGraph entries double as the compressed-backend regression gate:
+// tools/check_bench_graph.py reads the recorded BENCH_graph.json and fails
+// CI when ef_bytes_per_arc exceeds 6 or the EfGraph BFS falls more than 2x
+// behind the CSR BFS at the same size.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
 
 #include "build_guard.h"
 
+#include "graph/ef_graph.h"
 #include "lcrb/core.h"
 
 namespace {
@@ -44,6 +54,105 @@ void BM_BfsForward(benchmark::State& state) {
                           static_cast<std::int64_t>(g.num_edges()));
 }
 BENCHMARK(BM_BfsForward)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_BfsForwardEf(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);  // same seed as BM_BfsForward: identical topology, fair ratio
+  const DiGraph csr = erdos_renyi_m(n, static_cast<EdgeId>(n) * 8, true, rng);
+  const EfGraph g = EfGraph::from_csr(csr);
+  const NodeId src[] = {0};
+  for (auto _ : state) {
+    const BfsResult r = bfs_forward(g, src);
+    benchmark::DoNotOptimize(r.dist.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BfsForwardEf)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EfCompress(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  const DiGraph csr = erdos_renyi_m(n, static_cast<EdgeId>(n) * 8, true, rng);
+  for (auto _ : state) {
+    EfGraph g = EfGraph::from_csr(csr);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  // Space ledger for the checker: both encodings' bytes-per-arc over the
+  // same graph (CSR counts both directions' offset + endpoint arrays).
+  const auto m = static_cast<double>(csr.num_edges());
+  const EfGraph ef = EfGraph::from_csr(csr);
+  const double csr_bytes =
+      2.0 * ((csr.num_nodes() + 1.0) * sizeof(EdgeId) + m * sizeof(NodeId));
+  state.counters["csr_bytes_per_arc"] = csr_bytes / m;
+  state.counters["ef_bytes_per_arc"] =
+      static_cast<double>(ef.memory_bytes()) / m;
+}
+BENCHMARK(BM_EfCompress)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+void BM_EfLoad(benchmark::State& state) {
+  const bool use_mmap = state.range(1) != 0;
+  const auto n = static_cast<NodeId>(state.range(0));
+  Rng rng(2);
+  const DiGraph csr = erdos_renyi_m(n, static_cast<EdgeId>(n) * 8, true, rng);
+  const EfGraph ef = EfGraph::from_csr(csr);
+  const std::string path = "bench_micro_graph_ef_tmp.bin";
+  ef.save(path);
+  const EfMapMode mode = use_mmap ? EfMapMode::kMmap : EfMapMode::kRead;
+  for (auto _ : state) {
+    EfGraph g = EfGraph::load(path, mode, EfVerify::kFull);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ef.num_edges()));
+  state.counters["mmap"] = use_mmap ? 1 : 0;
+}
+BENCHMARK(BM_EfLoad)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// The diffusion kernel on each backend, identical topology and seeds. The
+// items_per_second ratio of the /0 (CSR) and /1 (EfGraph) rows is the
+// kernel-traversal regression the checker bounds at 2x: decode cost must
+// stay amortized behind the kernel's RNG and state work.
+template <class G>
+void kernel_traversal(benchmark::State& state, const DiGraph& csr,
+                      const G& g) {
+  SeedSets seeds;
+  seeds.rumors = {0, 1, 2, 3};
+  MonteCarloConfig cfg;
+  cfg.model = DiffusionModel::kIc;
+  cfg.ic_edge_prob = 0.2;  // dense-enough cascades to walk most arcs
+  std::uint64_t run = 0;
+  for (auto _ : state) {
+    const DiffusionResult r = simulate(g, seeds, 1000 + (run++ % 16), cfg);
+    benchmark::DoNotOptimize(r.steps);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(csr.num_edges()));
+}
+
+void BM_KernelTraversal(benchmark::State& state) {
+  const auto n = static_cast<NodeId>(state.range(0));
+  const bool ef = state.range(1) != 0;
+  Rng rng(2);
+  const DiGraph csr = erdos_renyi_m(n, static_cast<EdgeId>(n) * 8, true, rng);
+  if (ef) {
+    kernel_traversal(state, csr, EfGraph::from_csr(csr));
+  } else {
+    kernel_traversal(state, csr, csr);
+  }
+  state.counters["ef"] = ef ? 1 : 0;
+}
+BENCHMARK(BM_KernelTraversal)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CommunityGenerator(benchmark::State& state) {
   const auto n = static_cast<NodeId>(state.range(0));

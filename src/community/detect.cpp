@@ -2,11 +2,14 @@
 
 #include "community/label_propagation.h"
 #include "community/louvain.h"
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
 #include "util/error.h"
 
 namespace lcrb {
 
-Partition detect_communities(const DiGraph& g, CommunityMethod method,
+template <GraphView G>
+Partition detect_communities(const G& g, CommunityMethod method,
                              std::uint64_t seed) {
   switch (method) {
     case CommunityMethod::kLouvain: {
@@ -24,6 +27,11 @@ Partition detect_communities(const DiGraph& g, CommunityMethod method,
   }
   throw Error("unknown community method");
 }
+
+template Partition detect_communities<DiGraph>(const DiGraph&,
+                                               CommunityMethod, std::uint64_t);
+template Partition detect_communities<EfGraph>(const EfGraph&, CommunityMethod,
+                                               std::uint64_t);
 
 std::string to_string(CommunityMethod method) {
   switch (method) {

@@ -5,7 +5,7 @@
 #include <string>
 
 #include "community/partition.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace lcrb {
 
@@ -17,7 +17,8 @@ enum class CommunityMethod {
 
 /// Runs the chosen detector. kGroundTruth is invalid here (it has no graph
 /// signal); callers with planted labels construct Partition directly.
-Partition detect_communities(const DiGraph& g, CommunityMethod method,
+template <GraphView G>
+Partition detect_communities(const G& g, CommunityMethod method,
                              std::uint64_t seed = 1);
 
 /// Human-readable method name for logs and bench output.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
 #include "util/rng.h"
 
 // Determinism-critical (gated by tools/lcrb_analyze D1-D4; community ids
@@ -11,7 +13,8 @@
 
 namespace lcrb {
 
-Partition label_propagation(const DiGraph& g,
+template <GraphView G>
+Partition label_propagation(const G& g,
                             const LabelPropagationConfig& cfg) {
   const NodeId n = g.num_nodes();
   std::vector<CommunityId> label(n);
@@ -61,5 +64,10 @@ Partition label_propagation(const DiGraph& g,
   }
   return Partition(label);
 }
+
+template Partition label_propagation<DiGraph>(const DiGraph&,
+                                              const LabelPropagationConfig&);
+template Partition label_propagation<EfGraph>(const EfGraph&,
+                                              const LabelPropagationConfig&);
 
 }  // namespace lcrb

@@ -5,7 +5,7 @@
 #include <cstdint>
 
 #include "community/partition.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace lcrb {
 
@@ -17,7 +17,8 @@ struct LabelPropagationConfig {
 /// Asynchronous label propagation on the undirected view of `g`: each node
 /// repeatedly adopts the label carried by the plurality of its neighbors
 /// (ties broken uniformly at random). Deterministic in (graph, seed).
-Partition label_propagation(const DiGraph& g,
+template <GraphView G>
+Partition label_propagation(const G& g,
                             const LabelPropagationConfig& cfg = {});
 
 }  // namespace lcrb

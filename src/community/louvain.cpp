@@ -4,6 +4,8 @@
 #include <numeric>
 #include <vector>
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -34,7 +36,8 @@ struct LevelGraph {
   }
 };
 
-LevelGraph from_digraph(const DiGraph& g) {
+template <class G>
+LevelGraph from_digraph(const G& g) {
   LevelGraph lg;
   lg.adj.resize(g.num_nodes());
   lg.self_w.assign(g.num_nodes(), 0.0);
@@ -186,7 +189,8 @@ LevelGraph aggregate(const LevelGraph& lg, const std::vector<CommunityId>& comm,
 
 }  // namespace
 
-Partition louvain(const DiGraph& g, const LouvainConfig& cfg) {
+template <GraphView G>
+Partition louvain(const G& g, const LouvainConfig& cfg) {
   const NodeId n = g.num_nodes();
   if (n == 0) return Partition{};
 
@@ -219,5 +223,8 @@ Partition louvain(const DiGraph& g, const LouvainConfig& cfg) {
   }
   return Partition(result);
 }
+
+template Partition louvain<DiGraph>(const DiGraph&, const LouvainConfig&);
+template Partition louvain<EfGraph>(const EfGraph&, const LouvainConfig&);
 
 }  // namespace lcrb

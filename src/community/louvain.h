@@ -5,7 +5,7 @@
 #include <cstdint>
 
 #include "community/partition.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace lcrb {
 
@@ -19,6 +19,7 @@ struct LouvainConfig {
 /// Runs multi-level Louvain on the undirected weighted view of `g`
 /// (arc (u,v) and (v,u) each contribute weight 1 to the undirected edge).
 /// Deterministic in (graph, cfg.seed).
-Partition louvain(const DiGraph& g, const LouvainConfig& cfg = {});
+template <GraphView G>
+Partition louvain(const G& g, const LouvainConfig& cfg = {});
 
 }  // namespace lcrb

@@ -1,10 +1,13 @@
 #include "community/modularity.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
 #include "util/error.h"
 
 namespace lcrb {
 
-double modularity(const DiGraph& g, const Partition& p) {
+template <GraphView G>
+double modularity(const G& g, const Partition& p) {
   LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
                "partition does not cover the graph");
   const double m = static_cast<double>(g.num_edges());
@@ -26,5 +29,8 @@ double modularity(const DiGraph& g, const Partition& p) {
   for (CommunityId c = 0; c < k; ++c) expected += out_sum[c] * in_sum[c];
   return intra / m - expected / (m * m);
 }
+
+template double modularity<DiGraph>(const DiGraph&, const Partition&);
+template double modularity<EfGraph>(const EfGraph&, const Partition&);
 
 }  // namespace lcrb

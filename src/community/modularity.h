@@ -2,7 +2,7 @@
 #pragma once
 
 #include "community/partition.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace lcrb {
 
@@ -10,6 +10,7 @@ namespace lcrb {
 ///   Q = (1/m) * sum_ij [A_ij - d_out(i) d_in(j) / m] * delta(c_i, c_j).
 /// For symmetric graphs this coincides with classic undirected modularity
 /// computed on the arc multiset. Returns 0 for edgeless graphs.
-double modularity(const DiGraph& g, const Partition& p);
+template <GraphView G>
+double modularity(const G& g, const Partition& p);
 
 }  // namespace lcrb

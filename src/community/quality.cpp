@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "community/modularity.h"
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
 #include "util/error.h"
 
 namespace lcrb {
 
-double conductance(const DiGraph& g, const Partition& p, CommunityId c) {
+template <GraphView G>
+double conductance(const G& g, const Partition& p, CommunityId c) {
   LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
                "partition does not cover the graph");
   LCRB_REQUIRE(c < p.num_communities(), "community out of range");
@@ -29,7 +32,8 @@ double conductance(const DiGraph& g, const Partition& p, CommunityId c) {
   return static_cast<double>(cut) / static_cast<double>(denom);
 }
 
-double coverage(const DiGraph& g, const Partition& p) {
+template <GraphView G>
+double coverage(const G& g, const Partition& p) {
   LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
                "partition does not cover the graph");
   if (g.num_edges() == 0) return 0.0;
@@ -42,7 +46,8 @@ double coverage(const DiGraph& g, const Partition& p) {
   return static_cast<double>(intra) / static_cast<double>(g.num_edges());
 }
 
-PartitionQuality partition_quality(const DiGraph& g, const Partition& p) {
+template <GraphView G>
+PartitionQuality partition_quality(const G& g, const Partition& p) {
   PartitionQuality q;
   q.modularity = modularity(g, p);
   q.coverage = coverage(g, p);
@@ -61,5 +66,15 @@ PartitionQuality partition_quality(const DiGraph& g, const Partition& p) {
   q.mean_conductance = sum_cond / q.num_communities;
   return q;
 }
+
+#define LCRB_INSTANTIATE_QUALITY(G)                                          \
+  template double conductance<G>(const G&, const Partition&, CommunityId);  \
+  template double coverage<G>(const G&, const Partition&);                  \
+  template PartitionQuality partition_quality<G>(const G&, const Partition&);
+
+LCRB_INSTANTIATE_QUALITY(DiGraph)
+LCRB_INSTANTIATE_QUALITY(EfGraph)
+
+#undef LCRB_INSTANTIATE_QUALITY
 
 }  // namespace lcrb

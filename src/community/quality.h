@@ -3,17 +3,19 @@
 #pragma once
 
 #include "community/partition.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 
 namespace lcrb {
 
 /// Conductance of one community: cut(C, V\C) / min(vol(C), vol(V\C)),
 /// volumes counted over arcs (out-degree). Lower is better-separated.
 /// Returns 0 for an edgeless graph and 1 when the community has no volume.
-double conductance(const DiGraph& g, const Partition& p, CommunityId c);
+template <GraphView G>
+double conductance(const G& g, const Partition& p, CommunityId c);
 
 /// Fraction of arcs whose endpoints share a community ("coverage").
-double coverage(const DiGraph& g, const Partition& p);
+template <GraphView G>
+double coverage(const G& g, const Partition& p);
 
 /// Summary used in reports.
 struct PartitionQuality {
@@ -26,6 +28,7 @@ struct PartitionQuality {
   NodeId smallest = 0;
 };
 
-PartitionQuality partition_quality(const DiGraph& g, const Partition& p);
+template <GraphView G>
+PartitionQuality partition_quality(const G& g, const Partition& p);
 
 }  // namespace lcrb

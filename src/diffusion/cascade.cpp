@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
 #include "util/check.h"
 #include "util/error.h"
 
@@ -115,7 +117,8 @@ bool SeedSets::role_separable() const {
   return true;
 }
 
-void validate_seeds(const DiGraph& g, const SeedSets& seeds) {
+template <GraphView G>
+void validate_seeds(const G& g, const SeedSets& seeds) {
   const std::size_t kk = seeds.num_cascades();
   LCRB_REQUIRE(kk <= kMaxCascades, "too many cascades");
   auto check = [&](const std::vector<NodeId>& s, const std::string& name) {
@@ -274,7 +277,8 @@ std::size_t DiffusionResult::saved_count(std::span<const NodeId> targets) const 
   return saved;
 }
 
-void DiffusionResult::validate(const DiGraph& g, const SeedSets& seeds) const {
+template <GraphView G>
+void DiffusionResult::validate(const G& g, const SeedSets& seeds) const {
   const std::size_t n = g.num_nodes();
   const std::size_t kk = seeds.num_cascades();
   LCRB_REQUIRE(state.size() == n, "state must cover every node");
@@ -377,5 +381,12 @@ void DiffusionResult::validate(const DiGraph& g, const SeedSets& seeds) const {
     }
   }
 }
+
+template void validate_seeds<DiGraph>(const DiGraph&, const SeedSets&);
+template void validate_seeds<EfGraph>(const EfGraph&, const SeedSets&);
+template void DiffusionResult::validate<DiGraph>(const DiGraph&,
+                                                 const SeedSets&) const;
+template void DiffusionResult::validate<EfGraph>(const EfGraph&,
+                                                 const SeedSets&) const;
 
 }  // namespace lcrb

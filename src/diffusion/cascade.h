@@ -23,7 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/types.h"
 
 namespace lcrb {
@@ -127,7 +127,8 @@ struct SeedSets {
 /// Throws lcrb::Error unless every cascade's seeds are in range and
 /// duplicate-free, the cascades are pairwise disjoint, K <= kMaxCascades,
 /// and `order` (when non-empty) is a permutation of the cascade ids.
-void validate_seeds(const DiGraph& g, const SeedSets& seeds);
+template <GraphView G>
+void validate_seeds(const G& g, const SeedSets& seeds);
 
 /// Assembles a K-way SeedSets from per-campaign seed groups:
 /// protector_groups[0] -> cascade 0, rumor_groups[0] -> cascade 1, the
@@ -183,7 +184,8 @@ struct DiffusionResult {
   /// empty (results assembled outside run_cascade). O(n + m). Called
   /// automatically at the end of every simulate_* under
   /// LCRB_ENABLE_INVARIANTS.
-  void validate(const DiGraph& g, const SeedSets& seeds) const;
+  template <GraphView G>
+  void validate(const G& g, const SeedSets& seeds) const;
 };
 
 }  // namespace lcrb

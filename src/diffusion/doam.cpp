@@ -1,5 +1,8 @@
 #include "diffusion/doam.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include "diffusion/doam_traits.h"
 #include "diffusion/kernel.h"
 #include "graph/traversal.h"
@@ -10,15 +13,17 @@ namespace lcrb {
 
 // Flatten the kernel instantiation into the wrapper: leaving it as a comdat
 // call costs ~10% on the small-cascade microbenchmarks.
+template <GraphView G>
 #if defined(__GNUC__)
 __attribute__((flatten))
 #endif
-DiffusionResult simulate_doam(const DiGraph& g, const SeedSets& seeds,
+DiffusionResult simulate_doam(const G& g, const SeedSets& seeds,
                               const DoamConfig& cfg) {
   return run_cascade<DoamTraits>(g, seeds, /*seed=*/0, cfg);
 }
 
-std::vector<bool> doam_saved(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+std::vector<bool> doam_saved(const G& g, const SeedSets& seeds,
                              std::span<const NodeId> targets) {
   validate_seeds(g, seeds);
   const BfsResult from_p = bfs_forward(g, seeds.protectors);
@@ -32,5 +37,16 @@ std::vector<bool> doam_saved(const DiGraph& g, const SeedSets& seeds,
   }
   return saved;
 }
+
+#define LCRB_INSTANTIATE_DOAM(G)                                              \
+  template DiffusionResult simulate_doam<G>(const G&, const SeedSets&,        \
+                                            const DoamConfig&);               \
+  template std::vector<bool> doam_saved<G>(const G&, const SeedSets&,         \
+                                           std::span<const NodeId>);
+
+LCRB_INSTANTIATE_DOAM(DiGraph)
+LCRB_INSTANTIATE_DOAM(EfGraph)
+
+#undef LCRB_INSTANTIATE_DOAM
 
 }  // namespace lcrb

@@ -16,7 +16,8 @@ struct DoamConfig {
 };
 
 /// Simulates the (deterministic) DOAM diffusion.
-DiffusionResult simulate_doam(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+DiffusionResult simulate_doam(const G& g, const SeedSets& seeds,
                               const DoamConfig& cfg = {});
 
 /// Analytic protection test (DESIGN.md §6.4): under DOAM, node v ends
@@ -24,7 +25,8 @@ DiffusionResult simulate_doam(const DiGraph& g, const SeedSets& seeds,
 /// source BFS distances, unreachable = infinity). Returns, for each node of
 /// `targets`, whether it ends uninfected. Used by SCBG coverage checks —
 /// O(V+E) instead of a simulation per query.
-std::vector<bool> doam_saved(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+std::vector<bool> doam_saved(const G& g, const SeedSets& seeds,
                              std::span<const NodeId> targets);
 
 }  // namespace lcrb

@@ -32,19 +32,22 @@ struct DoamTraits {
   }
 
   struct AlwaysLive {
-    bool operator()(const DiGraph&, NodeId, NodeId) const { return true; }
+    template <class G>
+    bool operator()(const G&, NodeId, NodeId) const { return true; }
   };
 
-  class Forward : public FrontierForward<AlwaysLive> {
+  template <class G>
+  class Forward : public FrontierForward<AlwaysLive, G> {
    public:
-    Forward(const DiGraph& g, std::uint64_t /*seed*/, const Config& /*cfg*/,
+    Forward(const G& g, std::uint64_t /*seed*/, const Config& /*cfg*/,
             Trace* /*trace*/)
-        : FrontierForward<AlwaysLive>(g, AlwaysLive{}) {}
+        : FrontierForward<AlwaysLive, G>(g, AlwaysLive{}) {}
   };
 
   /// Multi-source rumor BFS, capped at max_hops — the DOAM arrival times.
   /// Deterministic, so it is shared across every reverse draw.
-  static ReverseShared build_reverse_shared(const DiGraph& g,
+  template <class G>
+  static ReverseShared build_reverse_shared(const G& g,
                                             std::span<const NodeId> rumors,
                                             const RealizationParams& p) {
     ReverseShared shared;
@@ -69,7 +72,8 @@ struct DoamTraits {
     return shared;
   }
 
-  static void reverse_set(const DiGraph& g, const std::vector<bool>& is_rumor,
+  template <class G>
+  static void reverse_set(const G& g, const std::vector<bool>& is_rumor,
                           std::span<const NodeId> /*rumors*/,
                           const ReverseShared& shared, NodeId root,
                           std::uint64_t /*seed*/,

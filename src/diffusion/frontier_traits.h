@@ -32,10 +32,10 @@ namespace lcrb {
 /// liveness; it must be a pure function of the sample seed and the arc so
 /// that forward runs, cache builds and reverse draws all realize the same
 /// subgraph.
-template <class Coin>
+template <class Coin, class G>
 class FrontierForward {
  public:
-  FrontierForward(const DiGraph& g, Coin coin) : g_(g), coin_(coin) {}
+  FrontierForward(const G& g, Coin coin) : g_(g), coin_(coin) {}
 
   void seed(const CascadePlan& plan, DiffusionResult& r) {
     frontier_.resize(plan.size());
@@ -87,7 +87,7 @@ class FrontierForward {
   }
 
  private:
-  const DiGraph& g_;
+  const G& g_;
   Coin coin_;
   /// Per-cascade frontiers (indexed by cascade id).
   std::vector<std::vector<NodeId>> frontier_, next_;
@@ -117,8 +117,8 @@ struct LiveEdgeReplayScratch {
 /// `infected_targets` are the baseline-infected bridge ends — arrivals
 /// deeper than the deepest of them can never save anything, which caps every
 /// replay's BFS.
-template <class Coin>
-void build_live_sample(const DiGraph& g, const Coin& coin,
+template <class Coin, class G>
+void build_live_sample(const G& g, const Coin& coin,
                        std::size_t reserve_hint, DiffusionResult&& base,
                        std::span<const NodeId> infected_targets,
                        LiveEdgeSample& sp) {
@@ -190,8 +190,8 @@ inline bool live_replay_infected(const LiveEdgeSample& sp,
 /// search, and by the live-subgraph distance rule every non-rumor node
 /// within that depth saves root. Null (empty out) when the rumor never
 /// reaches root within max_hops.
-template <class Coin>
-void live_reverse_set(const DiGraph& g, const Coin& coin,
+template <class Coin, class G>
+void live_reverse_set(const G& g, const Coin& coin,
                       const std::vector<bool>& is_rumor, NodeId root,
                       std::uint32_t max_hops, ReverseScratch& sc,
                       std::vector<NodeId>& out, std::uint64_t& visits) {

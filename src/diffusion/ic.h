@@ -35,7 +35,8 @@ inline bool ic_arc_live(std::uint64_t seed, NodeId u, NodeId v, double p) {
 }
 
 /// Simulates one competitive-IC sample. Deterministic in (g, seeds, seed).
-DiffusionResult simulate_competitive_ic(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+DiffusionResult simulate_competitive_ic(const G& g, const SeedSets& seeds,
                                         std::uint64_t seed,
                                         const IcConfig& cfg = {});
 

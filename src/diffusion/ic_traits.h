@@ -36,16 +36,18 @@ struct IcTraits {
   struct Coin {
     std::uint64_t seed;
     double p;
-    bool operator()(const DiGraph&, NodeId u, NodeId v) const {
+    template <class G>
+    bool operator()(const G&, NodeId u, NodeId v) const {
       return ic_arc_live(seed, u, v, p);
     }
   };
 
-  class Forward : public FrontierForward<Coin> {
+  template <class G>
+  class Forward : public FrontierForward<Coin, G> {
    public:
-    Forward(const DiGraph& g, std::uint64_t seed, const Config& cfg,
+    Forward(const G& g, std::uint64_t seed, const Config& cfg,
             Trace* /*trace*/)
-        : FrontierForward<Coin>(g, Coin{seed, cfg.edge_prob}) {
+        : FrontierForward<Coin, G>(g, Coin{seed, cfg.edge_prob}) {
       LCRB_REQUIRE(cfg.edge_prob >= 0.0 && cfg.edge_prob <= 1.0,
                    "edge_prob must be in [0,1]");
     }
@@ -56,7 +58,8 @@ struct IcTraits {
   using CacheSample = LiveEdgeSample;
   using ReplayScratch = LiveEdgeReplayScratch;
 
-  static std::size_t estimated_cache_bytes(const DiGraph& g,
+  template <class G>
+  static std::size_t estimated_cache_bytes(const G& g,
                                            std::size_t samples,
                                            std::uint32_t /*hops*/) {
     const std::size_t n = g.num_nodes();
@@ -65,9 +68,11 @@ struct IcTraits {
                       n * sizeof(std::uint32_t));
   }
 
-  static CacheShared build_cache_shared(const DiGraph&) { return {}; }
+  template <class G>
+  static CacheShared build_cache_shared(const G&) { return {}; }
 
-  static void build_cache_sample(const DiGraph& g, const CacheShared&,
+  template <class G>
+  static void build_cache_sample(const G& g, const CacheShared&,
                                  std::uint64_t seed, DiffusionResult&& base,
                                  std::span<const NodeId> infected_targets,
                                  const RealizationParams& p, CacheSample& sp) {
@@ -86,7 +91,8 @@ struct IcTraits {
            sp.dist_r.capacity() * sizeof(std::uint32_t);
   }
 
-  static std::uint64_t replay(const DiGraph&, const CacheShared&,
+  template <class G>
+  static std::uint64_t replay(const G&, const CacheShared&,
                               const CacheSample& sp,
                               std::span<const NodeId> /*rumors*/,
                               std::span<const NodeId> protectors,
@@ -103,13 +109,15 @@ struct IcTraits {
   }
 
   // --- reverse reachability (RIS) ------------------------------------------
-  static ReverseShared build_reverse_shared(const DiGraph&,
+  template <class G>
+  static ReverseShared build_reverse_shared(const G&,
                                             std::span<const NodeId>,
                                             const RealizationParams&) {
     return {};
   }
 
-  static void reverse_set(const DiGraph& g, const std::vector<bool>& is_rumor,
+  template <class G>
+  static void reverse_set(const G& g, const std::vector<bool>& is_rumor,
                           std::span<const NodeId> /*rumors*/,
                           const ReverseShared&, NodeId root,
                           std::uint64_t seed, const RealizationParams& p,

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "diffusion/cascade.h"
+#include "graph/graph_view.h"
 #include "util/check.h"
 
 namespace lcrb {
@@ -109,8 +110,8 @@ struct RealizationParams {
 /// model's event log when non-null. This is the single cascade loop —
 /// simulate_opoao/simulate_doam/simulate_competitive_ic/... are one-line
 /// instantiations of it.
-template <class Traits>
-DiffusionResult run_cascade(const DiGraph& g, const SeedSets& seeds,
+template <class Traits, GraphView G>
+DiffusionResult run_cascade(const G& g, const SeedSets& seeds,
                             std::uint64_t seed,
                             const typename Traits::Config& cfg,
                             typename Traits::Trace* trace = nullptr) {
@@ -121,7 +122,7 @@ DiffusionResult run_cascade(const DiGraph& g, const SeedSets& seeds,
   r.activation_step.assign(g.num_nodes(), kUnreached);
   r.cascade.assign(g.num_nodes(), kNoCascade);
 
-  typename Traits::Forward fwd(g, seed, cfg, trace);
+  typename Traits::template Forward<G> fwd(g, seed, cfg, trace);
   const CascadePlan plan(seeds);
 
   std::uint32_t seed_p = 0, seed_r = 0;

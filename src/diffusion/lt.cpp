@@ -1,5 +1,8 @@
 #include "diffusion/lt.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include "diffusion/kernel.h"
 #include "diffusion/lt_traits.h"
 #include "util/check.h"
@@ -9,13 +12,23 @@ namespace lcrb {
 
 // Flatten the kernel instantiation into the wrapper: leaving it as a comdat
 // call costs ~10% on the small-cascade microbenchmarks.
+template <GraphView G>
 #if defined(__GNUC__)
 __attribute__((flatten))
 #endif
-DiffusionResult simulate_competitive_lt(const DiGraph& g, const SeedSets& seeds,
+DiffusionResult simulate_competitive_lt(const G& g, const SeedSets& seeds,
                                         std::uint64_t seed,
                                         const LtConfig& cfg) {
   return run_cascade<LtTraits>(g, seeds, seed, cfg);
 }
+
+template DiffusionResult simulate_competitive_lt<DiGraph>(const DiGraph&,
+                                                          const SeedSets&,
+                                                          std::uint64_t,
+                                                          const LtConfig&);
+template DiffusionResult simulate_competitive_lt<EfGraph>(const EfGraph&,
+                                                          const SeedSets&,
+                                                          std::uint64_t,
+                                                          const LtConfig&);
 
 }  // namespace lcrb

@@ -31,7 +31,8 @@ inline double lt_node_threshold(std::uint64_t seed, NodeId v) {
 }
 
 /// Simulates one competitive-LT sample. Deterministic in (g, seeds, seed).
-DiffusionResult simulate_competitive_lt(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+DiffusionResult simulate_competitive_lt(const G& g, const SeedSets& seeds,
                                         std::uint64_t seed,
                                         const LtConfig& cfg = {});
 

@@ -37,9 +37,10 @@ struct LtTraits {
     return c;
   }
 
+  template <class G>
   class Forward {
    public:
-    Forward(const DiGraph& g, std::uint64_t seed, const Config& /*cfg*/,
+    Forward(const G& g, std::uint64_t seed, const Config& /*cfg*/,
             Trace* /*trace*/)
         : g_(g), seed_(seed) {}
 
@@ -123,7 +124,7 @@ struct LtTraits {
     }
 
    private:
-    const DiGraph& g_;
+    const G& g_;
     std::uint64_t seed_;
     /// Accumulated in-neighbor weight per cascade (id-indexed) — attribution
     /// only; the threshold/winner decisions read the role accumulators.
@@ -159,14 +160,16 @@ struct LtTraits {
     std::vector<NodeId> frontier, next_frontier, candidates;
   };
 
-  static std::size_t estimated_cache_bytes(const DiGraph& g,
+  template <class G>
+  static std::size_t estimated_cache_bytes(const G& g,
                                            std::size_t samples,
                                            std::uint32_t /*hops*/) {
     const std::size_t n = g.num_nodes();
     return samples * n * sizeof(double) + n * sizeof(double);
   }
 
-  static CacheShared build_cache_shared(const DiGraph& g) {
+  template <class G>
+  static CacheShared build_cache_shared(const G& g) {
     CacheShared shared;
     shared.inv_in_deg.assign(g.num_nodes(), 0.0);
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -177,7 +180,8 @@ struct LtTraits {
     return shared;
   }
 
-  static void build_cache_sample(const DiGraph& g, const CacheShared&,
+  template <class G>
+  static void build_cache_sample(const G& g, const CacheShared&,
                                  std::uint64_t seed, DiffusionResult&& /*base*/,
                                  std::span<const NodeId> /*infected_targets*/,
                                  const RealizationParams& /*p*/,
@@ -199,7 +203,8 @@ struct LtTraits {
   /// Identical control flow to the Forward runner, with the threshold draw
   /// and the arc weights served from the cache; protectors are already
   /// stamped kColorP by the caller. Returns the elementary-op count.
-  static std::uint64_t replay(const DiGraph& g, const CacheShared& shared,
+  template <class G>
+  static std::uint64_t replay(const G& g, const CacheShared& shared,
                               const CacheSample& sp,
                               std::span<const NodeId> rumors,
                               std::span<const NodeId> protectors,

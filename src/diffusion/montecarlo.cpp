@@ -1,5 +1,8 @@
 #include "diffusion/montecarlo.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include "diffusion/kernel.h"
 #include "diffusion/model_traits.h"
 #include "util/error.h"
@@ -10,10 +13,11 @@ namespace lcrb {
 
 // Flatten the kernel instantiation into the wrapper: leaving it as a comdat
 // call costs ~10% on the small-cascade microbenchmarks.
+template <GraphView G>
 #if defined(__GNUC__)
 __attribute__((flatten))
 #endif
-DiffusionResult simulate(const DiGraph& g, const SeedSets& seeds,
+DiffusionResult simulate(const G& g, const SeedSets& seeds,
                          std::uint64_t seed, const MonteCarloConfig& cfg) {
   const RealizationParams params{cfg.max_hops, cfg.ic_edge_prob};
   return dispatch_model(cfg.model, [&](auto t) {
@@ -22,7 +26,8 @@ DiffusionResult simulate(const DiGraph& g, const SeedSets& seeds,
   });
 }
 
-HopSeries monte_carlo_series(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+HopSeries monte_carlo_series(const G& g, const SeedSets& seeds,
                              const MonteCarloConfig& cfg,
                              std::span<const NodeId> targets,
                              ThreadPool* pool) {
@@ -94,11 +99,29 @@ HopSeries monte_carlo_series(const DiGraph& g, const SeedSets& seeds,
   return out;
 }
 
-double expected_saved(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+double expected_saved(const G& g, const SeedSets& seeds,
                       std::span<const NodeId> targets,
                       const MonteCarloConfig& cfg, ThreadPool* pool) {
   const HopSeries s = monte_carlo_series(g, seeds, cfg, targets, pool);
   return s.saved_fraction_mean * static_cast<double>(targets.size());
 }
+
+#define LCRB_INSTANTIATE_MONTECARLO(G)                                        \
+  template DiffusionResult simulate<G>(const G&, const SeedSets&,             \
+                                       std::uint64_t,                         \
+                                       const MonteCarloConfig&);              \
+  template HopSeries monte_carlo_series<G>(const G&, const SeedSets&,         \
+                                           const MonteCarloConfig&,           \
+                                           std::span<const NodeId>,           \
+                                           ThreadPool*);                      \
+  template double expected_saved<G>(const G&, const SeedSets&,                \
+                                    std::span<const NodeId>,                  \
+                                    const MonteCarloConfig&, ThreadPool*);
+
+LCRB_INSTANTIATE_MONTECARLO(DiGraph)
+LCRB_INSTANTIATE_MONTECARLO(EfGraph)
+
+#undef LCRB_INSTANTIATE_MONTECARLO
 
 }  // namespace lcrb

@@ -22,7 +22,8 @@ struct MonteCarloConfig {
 };
 
 /// Dispatches one simulation of the configured model.
-DiffusionResult simulate(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+DiffusionResult simulate(const G& g, const SeedSets& seeds,
                          std::uint64_t seed, const MonteCarloConfig& cfg);
 
 /// Per-hop aggregates over `runs` simulations.
@@ -42,13 +43,15 @@ struct HopSeries {
 /// are deterministic in cfg.seed and bit-identical regardless of threading:
 /// per-run statistics are recorded into per-run slots and reduced serially
 /// in run order.
-HopSeries monte_carlo_series(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+HopSeries monte_carlo_series(const G& g, const SeedSets& seeds,
                              const MonteCarloConfig& cfg,
                              std::span<const NodeId> targets = {},
                              ThreadPool* pool = nullptr);
 
 /// Expected number of `targets` ending uninfected (the sigma-hat estimator).
-double expected_saved(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+double expected_saved(const G& g, const SeedSets& seeds,
                       std::span<const NodeId> targets,
                       const MonteCarloConfig& cfg, ThreadPool* pool = nullptr);
 

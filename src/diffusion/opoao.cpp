@@ -1,5 +1,8 @@
 #include "diffusion/opoao.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include <vector>
 
 #include "diffusion/kernel.h"
@@ -57,13 +60,25 @@ std::uint32_t OpoaoTrace::first_pick_step(NodeId u, NodeId v,
 
 // Flatten the kernel instantiation into the wrapper: leaving it as a comdat
 // call costs ~10% on the small-cascade microbenchmarks.
+template <GraphView G>
 #if defined(__GNUC__)
 __attribute__((flatten))
 #endif
-DiffusionResult simulate_opoao(const DiGraph& g, const SeedSets& seeds,
+DiffusionResult simulate_opoao(const G& g, const SeedSets& seeds,
                                std::uint64_t seed, const OpoaoConfig& cfg,
                                OpoaoTrace* trace) {
   return run_cascade<OpoaoTraits>(g, seeds, seed, cfg, trace);
 }
+
+template DiffusionResult simulate_opoao<DiGraph>(const DiGraph&,
+                                                 const SeedSets&,
+                                                 std::uint64_t,
+                                                 const OpoaoConfig&,
+                                                 OpoaoTrace*);
+template DiffusionResult simulate_opoao<EfGraph>(const EfGraph&,
+                                                 const SeedSets&,
+                                                 std::uint64_t,
+                                                 const OpoaoConfig&,
+                                                 OpoaoTrace*);
 
 }  // namespace lcrb

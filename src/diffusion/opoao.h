@@ -86,7 +86,8 @@ struct OpoaoTrace {
 /// Simulates one OPOAO diffusion. Deterministic in (g, seeds, seed).
 /// Pass `trace` to capture the pick log (costs memory proportional to
 /// active-nodes x steps; leave null in Monte-Carlo loops).
-DiffusionResult simulate_opoao(const DiGraph& g, const SeedSets& seeds,
+template <GraphView G>
+DiffusionResult simulate_opoao(const G& g, const SeedSets& seeds,
                                std::uint64_t seed, const OpoaoConfig& cfg = {},
                                OpoaoTrace* trace = nullptr);
 

@@ -42,9 +42,10 @@ struct OpoaoTraits {
   // counts of still-inactive out-neighbors so the simulation stops exactly
   // when nothing can ever activate again.
   // -------------------------------------------------------------------------
+  template <class G>
   class Forward {
    public:
-    Forward(const DiGraph& g, std::uint64_t seed, const Config& /*cfg*/,
+    Forward(const G& g, std::uint64_t seed, const Config& /*cfg*/,
             Trace* trace)
         : g_(g), seed_(seed), trace_(trace), potential_(g.num_nodes(), 0) {}
 
@@ -125,7 +126,7 @@ struct OpoaoTraits {
       pools_[k].push_back(v);
     }
 
-    const DiGraph& g_;
+    const G& g_;
     std::uint64_t seed_;
     Trace* trace_;
     /// Active nodes per cascade, in activation order.
@@ -182,7 +183,8 @@ struct OpoaoTraits {
     std::vector<std::uint32_t> p_pool, r_pool;
   };
 
-  static std::size_t estimated_cache_bytes(const DiGraph& g,
+  template <class G>
+  static std::size_t estimated_cache_bytes(const G& g,
                                            std::size_t samples,
                                            std::uint32_t hops) {
     std::size_t rows = 0;
@@ -193,7 +195,8 @@ struct OpoaoTraits {
                       g.num_nodes() * (2 * sizeof(std::uint32_t)));
   }
 
-  static CacheShared build_cache_shared(const DiGraph& g) {
+  template <class G>
+  static CacheShared build_cache_shared(const G& g) {
     CacheShared shared;
     shared.pick_row.assign(g.num_nodes(), kUnreached);
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -204,7 +207,8 @@ struct OpoaoTraits {
     return shared;
   }
 
-  static void build_cache_sample(const DiGraph& g, const CacheShared& shared,
+  template <class G>
+  static void build_cache_sample(const G& g, const CacheShared& shared,
                                  std::uint64_t seed, DiffusionResult&& base,
                                  std::span<const NodeId> /*infected_targets*/,
                                  const RealizationParams& p, CacheSample& sp) {
@@ -273,7 +277,8 @@ struct OpoaoTraits {
   /// replay tracks a single uncolored-node counter instead — reaching zero
   /// is an exact stop — and each pooled node costs one table lookup per
   /// step, touching no adjacency.
-  static std::uint64_t replay(const DiGraph& g, const CacheShared& shared,
+  template <class G>
+  static std::uint64_t replay(const G& g, const CacheShared& shared,
                               const CacheSample& sp,
                               std::span<const NodeId> /*rumors*/,
                               std::span<const NodeId> protectors,
@@ -407,13 +412,15 @@ struct OpoaoTraits {
   // monotonicity). docs/algorithms.md discusses the gap.
   // -------------------------------------------------------------------------
 
-  static ReverseShared build_reverse_shared(const DiGraph& /*g*/,
+  template <class G>
+  static ReverseShared build_reverse_shared(const G& /*g*/,
                                             std::span<const NodeId> /*rumors*/,
                                             const RealizationParams& /*p*/) {
     return {};
   }
 
-  static void reverse_set(const DiGraph& g, const std::vector<bool>& is_rumor,
+  template <class G>
+  static void reverse_set(const G& g, const std::vector<bool>& is_rumor,
                           std::span<const NodeId> rumors,
                           const ReverseShared& /*shared*/, NodeId root,
                           std::uint64_t seed, const RealizationParams& p,

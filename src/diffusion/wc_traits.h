@@ -46,17 +46,19 @@ struct WcTraits {
   /// existing arc always has d_in >= 1.
   struct Coin {
     std::uint64_t seed;
-    bool operator()(const DiGraph& g, NodeId u, NodeId v) const {
+    template <class G>
+    bool operator()(const G& g, NodeId u, NodeId v) const {
       return ic_arc_live(seed, u, v,
                          1.0 / static_cast<double>(g.in_degree(v)));
     }
   };
 
-  class Forward : public FrontierForward<Coin> {
+  template <class G>
+  class Forward : public FrontierForward<Coin, G> {
    public:
-    Forward(const DiGraph& g, std::uint64_t seed, const Config& /*cfg*/,
+    Forward(const G& g, std::uint64_t seed, const Config& /*cfg*/,
             Trace* /*trace*/)
-        : FrontierForward<Coin>(g, Coin{seed}) {}
+        : FrontierForward<Coin, G>(g, Coin{seed}) {}
   };
 
   // --- realization cache (live subgraph + baseline distances) -------------
@@ -64,7 +66,8 @@ struct WcTraits {
   using CacheSample = LiveEdgeSample;
   using ReplayScratch = LiveEdgeReplayScratch;
 
-  static std::size_t estimated_cache_bytes(const DiGraph& g,
+  template <class G>
+  static std::size_t estimated_cache_bytes(const G& g,
                                            std::size_t samples,
                                            std::uint32_t /*hops*/) {
     // Conservative: all arcs live (the expected count is one per node with
@@ -75,9 +78,11 @@ struct WcTraits {
                       n * sizeof(std::uint32_t));
   }
 
-  static CacheShared build_cache_shared(const DiGraph&) { return {}; }
+  template <class G>
+  static CacheShared build_cache_shared(const G&) { return {}; }
 
-  static void build_cache_sample(const DiGraph& g, const CacheShared&,
+  template <class G>
+  static void build_cache_sample(const G& g, const CacheShared&,
                                  std::uint64_t seed, DiffusionResult&& base,
                                  std::span<const NodeId> infected_targets,
                                  const RealizationParams& /*p*/,
@@ -96,7 +101,8 @@ struct WcTraits {
            sp.dist_r.capacity() * sizeof(std::uint32_t);
   }
 
-  static std::uint64_t replay(const DiGraph&, const CacheShared&,
+  template <class G>
+  static std::uint64_t replay(const G&, const CacheShared&,
                               const CacheSample& sp,
                               std::span<const NodeId> /*rumors*/,
                               std::span<const NodeId> protectors,
@@ -113,13 +119,15 @@ struct WcTraits {
   }
 
   // --- reverse reachability (RIS) ------------------------------------------
-  static ReverseShared build_reverse_shared(const DiGraph&,
+  template <class G>
+  static ReverseShared build_reverse_shared(const G&,
                                             std::span<const NodeId>,
                                             const RealizationParams&) {
     return {};
   }
 
-  static void reverse_set(const DiGraph& g, const std::vector<bool>& is_rumor,
+  template <class G>
+  static void reverse_set(const G& g, const std::vector<bool>& is_rumor,
                           std::span<const NodeId> /*rumors*/,
                           const ReverseShared&, NodeId root,
                           std::uint64_t seed, const RealizationParams& p,

@@ -1,0 +1,24 @@
+#include "graph/backend.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace lcrb {
+
+GraphBackend parse_graph_backend(const std::string& name) {
+  std::string s = name;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "csr") return GraphBackend::kCsr;
+  if (s == "ef" || s == "elias-fano" || s == "eliasfano") {
+    return GraphBackend::kEf;
+  }
+  throw Error("unknown graph backend '" + name + "' (expected csr or ef)");
+}
+
+GraphAny to_backend(DiGraph g, GraphBackend backend) {
+  if (backend == GraphBackend::kEf) return GraphAny(EfGraph::from_csr(g));
+  return GraphAny(std::move(g));
+}
+
+}  // namespace lcrb

@@ -1,0 +1,140 @@
+// Runtime graph-backend choice: GraphBackend enum + the GraphAny/GraphRef
+// dispatch wrappers.
+//
+// All algorithms are compile-time templates over the GraphView concept
+// (graph/graph_view.h); this header is the single place the runtime choice
+// between backends lives. The orchestration layers (lcrb/pipeline,
+// src/service, the CLIs) hold a GraphAny (owning) or GraphRef (non-owning)
+// and `visit` once per operation to enter the templated stack — one branch
+// per query, zero dispatch on traversal paths.
+//
+// GraphRef is implicitly constructible from either backend, so
+// `f(const DiGraph&)`-era call sites keep compiling after an API moves to
+// `f(GraphRef)`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+#include "util/error.h"
+#include "util/types.h"
+
+namespace lcrb {
+
+/// Storage backend of a loaded graph.
+enum class GraphBackend : std::uint8_t {
+  kCsr,  ///< plain dual-direction CSR (DiGraph)
+  kEf,   ///< Elias-Fano compressed (EfGraph)
+};
+
+inline std::string to_string(GraphBackend b) {
+  return b == GraphBackend::kCsr ? "csr" : "ef";
+}
+
+/// Case-insensitive parse; throws lcrb::Error on unknown names.
+GraphBackend parse_graph_backend(const std::string& name);
+
+/// Non-owning reference to a graph of either backend. Trivially copyable;
+/// the referenced graph must outlive it (same contract as const DiGraph&).
+class GraphRef {
+ public:
+  GraphRef() = default;
+  GraphRef(const DiGraph& g) : g_(&g) {}  // NOLINT(google-explicit-constructor)
+  GraphRef(const EfGraph& g) : g_(&g) {}  // NOLINT(google-explicit-constructor)
+
+  bool valid() const {
+    return !std::holds_alternative<std::monostate>(g_);
+  }
+  GraphBackend backend() const {
+    return std::holds_alternative<const EfGraph*>(g_) ? GraphBackend::kEf
+                                                      : GraphBackend::kCsr;
+  }
+
+  /// Calls f(const G&) with the concrete backend type.
+  template <class F>
+  decltype(auto) visit(F&& f) const {
+    if (const auto* csr = std::get_if<const DiGraph*>(&g_)) {
+      return f(**csr);
+    }
+    if (const auto* ef = std::get_if<const EfGraph*>(&g_)) {
+      return f(**ef);
+    }
+    throw Error("empty GraphRef");
+  }
+
+  NodeId num_nodes() const {
+    return visit([](const auto& g) { return g.num_nodes(); });
+  }
+  EdgeId num_edges() const {
+    return visit([](const auto& g) { return g.num_edges(); });
+  }
+  bool empty() const {
+    return visit([](const auto& g) { return g.empty(); });
+  }
+  NodeId out_degree(NodeId u) const {
+    return visit([&](const auto& g) { return g.out_degree(u); });
+  }
+  NodeId in_degree(NodeId u) const {
+    return visit([&](const auto& g) { return g.in_degree(u); });
+  }
+  bool has_edge(NodeId u, NodeId v) const {
+    return visit([&](const auto& g) { return g.has_edge(u, v); });
+  }
+  double average_out_degree() const {
+    return visit([](const auto& g) { return g.average_out_degree(); });
+  }
+  std::size_t memory_bytes() const {
+    return visit([](const auto& g) { return g.memory_bytes(); });
+  }
+
+  /// The CSR graph, or nullptr when this references an EfGraph.
+  const DiGraph* csr_or_null() const {
+    const auto* csr = std::get_if<const DiGraph*>(&g_);
+    return csr == nullptr ? nullptr : *csr;
+  }
+
+ private:
+  std::variant<std::monostate, const DiGraph*, const EfGraph*> g_;
+};
+
+/// Owning graph of either backend; hands out GraphRef. Move-friendly; the
+/// session layer stores one per dataset.
+class GraphAny {
+ public:
+  GraphAny() = default;
+  GraphAny(DiGraph g) : g_(std::move(g)) {}  // NOLINT(google-explicit-constructor)
+  GraphAny(EfGraph g) : g_(std::move(g)) {}  // NOLINT(google-explicit-constructor)
+
+  GraphBackend backend() const {
+    return std::holds_alternative<EfGraph>(g_) ? GraphBackend::kEf
+                                               : GraphBackend::kCsr;
+  }
+
+  GraphRef ref() const {
+    if (const auto* ef = std::get_if<EfGraph>(&g_)) return GraphRef(*ef);
+    return GraphRef(std::get<DiGraph>(g_));
+  }
+
+  template <class F>
+  decltype(auto) visit(F&& f) const {
+    return ref().visit(std::forward<F>(f));
+  }
+
+  NodeId num_nodes() const { return ref().num_nodes(); }
+  EdgeId num_edges() const { return ref().num_edges(); }
+  bool empty() const { return ref().empty(); }
+  double average_out_degree() const { return ref().average_out_degree(); }
+  std::size_t memory_bytes() const { return ref().memory_bytes(); }
+
+ private:
+  std::variant<DiGraph, EfGraph> g_;
+};
+
+/// Converts a CSR graph into the requested backend (moves it through for
+/// kCsr; compresses for kEf).
+GraphAny to_backend(DiGraph g, GraphBackend backend);
+
+}  // namespace lcrb

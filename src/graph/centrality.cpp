@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <deque>
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
 #include "util/error.h"
 
 namespace lcrb {
 
-std::vector<double> betweenness_centrality(const DiGraph& g) {
+template <GraphView G>
+std::vector<double> betweenness_centrality(const G& g) {
   const NodeId n = g.num_nodes();
   std::vector<double> bc(n, 0.0);
 
@@ -55,7 +58,8 @@ std::vector<double> betweenness_centrality(const DiGraph& g) {
   return bc;
 }
 
-std::vector<NodeId> degree_discount(const DiGraph& g, std::size_t k, double p,
+template <GraphView G>
+std::vector<NodeId> degree_discount(const G& g, std::size_t k, double p,
                                     std::span<const NodeId> excluded) {
   LCRB_REQUIRE(p >= 0.0 && p <= 1.0, "propagation probability in [0,1]");
   const NodeId n = g.num_nodes();
@@ -93,5 +97,16 @@ std::vector<NodeId> degree_discount(const DiGraph& g, std::size_t k, double p,
   }
   return out;
 }
+
+#define LCRB_INSTANTIATE_CENTRALITY(G)                                      \
+  template std::vector<double> betweenness_centrality<G>(const G&);        \
+  template std::vector<NodeId> degree_discount<G>(const G&, std::size_t,   \
+                                                  double,                  \
+                                                  std::span<const NodeId>);
+
+LCRB_INSTANTIATE_CENTRALITY(DiGraph)
+LCRB_INSTANTIATE_CENTRALITY(EfGraph)
+
+#undef LCRB_INSTANTIATE_CENTRALITY
 
 }  // namespace lcrb

@@ -4,7 +4,7 @@
 #include <span>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/types.h"
 
 namespace lcrb {
@@ -12,14 +12,16 @@ namespace lcrb {
 /// Exact betweenness centrality via Brandes' algorithm (2001), directed,
 /// unweighted. O(V·E) time, O(V+E) memory. Scores are unnormalized raw
 /// dependency sums.
-std::vector<double> betweenness_centrality(const DiGraph& g);
+template <GraphView G>
+std::vector<double> betweenness_centrality(const G& g);
 
 /// DegreeDiscount (Chen, Wang & Yang, KDD'09): the classic cheap
 /// influence-maximization heuristic. Picks k nodes by out-degree, but after
 /// each pick discounts the degrees of the pick's neighbors (their edge to an
 /// already-selected node no longer buys new influence). `p` is the assumed
 /// propagation probability of the underlying IC process.
-std::vector<NodeId> degree_discount(const DiGraph& g, std::size_t k,
+template <GraphView G>
+std::vector<NodeId> degree_discount(const G& g, std::size_t k,
                                     double p = 0.01,
                                     std::span<const NodeId> excluded = {});
 

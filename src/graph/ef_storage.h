@@ -1,0 +1,42 @@
+// Internal: the EfGraph storage block shared by ef_graph.cpp and ef_io.cpp.
+// Not part of the public graph API — include only from those two files.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/ef_graph.h"
+
+#if !defined(_WIN32)
+#include <sys/mman.h>
+#endif
+
+namespace lcrb {
+
+// One contiguous word buffer (heap) or an mmap'ed region. Every
+// BitView/SequenceView of the owning EfGraph points into it.
+struct EfGraph::Storage {
+  std::vector<std::uint64_t> heap;  ///< build/read path
+  void* map_addr = nullptr;         ///< mmap path (whole file)
+  std::size_t map_len = 0;
+  std::size_t payload_offset = 0;  ///< byte offset of the word payload
+  std::size_t payload_words = 0;   ///< payload length (mmap path)
+
+  std::span<const std::uint64_t> payload() const {
+    if (map_addr != nullptr) {
+      return {reinterpret_cast<const std::uint64_t*>(
+                  static_cast<const char*>(map_addr) + payload_offset),
+              payload_words};
+    }
+    return {heap.data(), heap.size()};
+  }
+
+  ~Storage() {
+#if !defined(_WIN32)
+    if (map_addr != nullptr) ::munmap(map_addr, map_len);
+#endif
+  }
+};
+
+}  // namespace lcrb

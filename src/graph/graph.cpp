@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "graph/graph_view.h"
 #include "util/check.h"
 
 namespace lcrb {
@@ -9,8 +10,7 @@ namespace lcrb {
 bool DiGraph::has_edge(NodeId u, NodeId v) const {
   check_node(u);
   check_node(v);
-  const auto nbrs = out_neighbors(u);
-  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  return graph_algo::row_contains(out_neighbors(u), v);
 }
 
 void DiGraph::validate() const {

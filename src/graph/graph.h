@@ -50,8 +50,18 @@ class DiGraph {
             in_sources_.data() + in_offsets_[v + 1]};
   }
 
-  /// True iff arc (u, v) exists. O(log out_degree(u)).
+  /// True iff arc (u, v) exists. O(log out_degree(u)) row probes via the
+  /// shared row-range binary search (graph/graph_view.h).
   bool has_edge(NodeId u, NodeId v) const;
+
+  /// Heap footprint of both CSR directions (capacity-based, matching the
+  /// session registry's accounting convention).
+  std::size_t memory_bytes() const {
+    return out_offsets_.capacity() * sizeof(EdgeId) +
+           in_offsets_.capacity() * sizeof(EdgeId) +
+           out_targets_.capacity() * sizeof(NodeId) +
+           in_sources_.capacity() * sizeof(NodeId);
+  }
 
   /// Mean number of out-edges per node (the paper's "average node degree"
   /// for directed graphs).

@@ -1,0 +1,86 @@
+// The graph-storage seam: the compile-time contract every graph backend
+// satisfies and every graph consumer is templated on.
+//
+// A GraphView exposes node/arc counts, per-node degrees, and both adjacency
+// directions as iterable ranges of ascending NodeIds. The ranges are
+// random-access and sized, but NOT necessarily contiguous memory: the plain
+// CSR backend (DiGraph) hands out std::span, while the Elias-Fano backend
+// (EfGraph) hands out decoding views whose operator[] is a select into the
+// compressed bitsequence. Consumers therefore iterate rows
+// (`for (NodeId v : g.out_neighbors(u))`) or index them (`row[i]`,
+// `row.size()`) and never touch raw pointers.
+//
+// Algorithms are written as `template <class G> ... requires GraphView<G>`
+// (or with the shorthand parameter `GraphView auto`), live in their usual
+// .cpp files, and are explicitly instantiated for the two backends — the
+// seam is resolved entirely at compile time; no virtual dispatch exists on
+// any traversal path. Runtime backend choice happens once per query at the
+// orchestration boundary via GraphRef/GraphAny (graph/backend.h).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <iterator>
+#include <ranges>
+
+#include "util/types.h"
+
+namespace lcrb {
+
+/// Contract of a graph-storage backend. `out_neighbors(u)` / `in_neighbors(u)`
+/// are sized random-access ranges of NodeId, sorted ascending.
+template <class G>
+concept GraphView = requires(const G& g, NodeId u, NodeId v, std::size_t i) {
+  { g.num_nodes() } -> std::convertible_to<NodeId>;
+  { g.num_edges() } -> std::convertible_to<EdgeId>;
+  { g.empty() } -> std::convertible_to<bool>;
+  { g.out_degree(u) } -> std::convertible_to<NodeId>;
+  { g.in_degree(u) } -> std::convertible_to<NodeId>;
+  { g.out_neighbors(u).size() } -> std::convertible_to<std::size_t>;
+  { g.out_neighbors(u).empty() } -> std::convertible_to<bool>;
+  { g.out_neighbors(u)[i] } -> std::convertible_to<NodeId>;
+  { *std::ranges::begin(g.out_neighbors(u)) } -> std::convertible_to<NodeId>;
+  { std::ranges::end(g.out_neighbors(u)) };
+  { g.in_neighbors(u).size() } -> std::convertible_to<std::size_t>;
+  { g.in_neighbors(u)[i] } -> std::convertible_to<NodeId>;
+  { *std::ranges::begin(g.in_neighbors(u)) } -> std::convertible_to<NodeId>;
+  { std::ranges::end(g.in_neighbors(u)) };
+  { g.has_edge(u, v) } -> std::convertible_to<bool>;
+  { g.average_out_degree() } -> std::convertible_to<double>;
+};
+
+namespace graph_algo {
+
+/// Binary search for `v` in an ascending random-access row, reporting the
+/// number of element probes. Both backends' has_edge are thin wrappers over
+/// this, so membership costs O(log d) row accesses on CSR (span loads) and
+/// on Elias-Fano (selects) alike — the unit test pins the probe bound.
+template <class Row>
+bool row_binary_search(const Row& row, NodeId v, std::size_t* probes) {
+  std::size_t lo = 0, hi = row.size(), count = 0;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    ++count;
+    const NodeId x = row[mid];
+    if (x < v) {
+      lo = mid + 1;
+    } else if (x > v) {
+      hi = mid;
+    } else {
+      if (probes != nullptr) *probes = count;
+      return true;
+    }
+  }
+  if (probes != nullptr) *probes = count;
+  return false;
+}
+
+/// Membership without probe accounting.
+template <class Row>
+bool row_contains(const Row& row, NodeId v) {
+  return row_binary_search(row, v, nullptr);
+}
+
+}  // namespace graph_algo
+
+}  // namespace lcrb

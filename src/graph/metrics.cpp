@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <sstream>
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
 #include "util/stats.h"
 
 namespace lcrb {
 
-DegreeStats degree_stats(const DiGraph& g) {
+template <GraphView G>
+DegreeStats degree_stats(const G& g) {
   DegreeStats s;
   const NodeId n = g.num_nodes();
   if (n == 0) return s;
@@ -28,7 +31,8 @@ DegreeStats degree_stats(const DiGraph& g) {
   return s;
 }
 
-ComponentResult weakly_connected_components(const DiGraph& g) {
+template <GraphView G>
+ComponentResult weakly_connected_components(const G& g) {
   ComponentResult r;
   const NodeId n = g.num_nodes();
   r.labels.assign(n, kInvalidNode);
@@ -57,7 +61,8 @@ ComponentResult weakly_connected_components(const DiGraph& g) {
   return r;
 }
 
-double reciprocity(const DiGraph& g) {
+template <GraphView G>
+double reciprocity(const G& g) {
   if (g.num_edges() == 0) return 0.0;
   EdgeId mutual = 0;
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
@@ -68,7 +73,8 @@ double reciprocity(const DiGraph& g) {
   return static_cast<double>(mutual) / static_cast<double>(g.num_edges());
 }
 
-std::string describe(const DiGraph& g) {
+template <GraphView G>
+std::string describe(const G& g) {
   const DegreeStats d = degree_stats(g);
   const ComponentResult c = weakly_connected_components(g);
   std::ostringstream os;
@@ -77,5 +83,16 @@ std::string describe(const DiGraph& g) {
      << " wcc=" << c.count << " largest_wcc=" << c.largest_size;
   return os.str();
 }
+
+#define LCRB_INSTANTIATE_METRICS(G)                       \
+  template DegreeStats degree_stats<G>(const G&);         \
+  template ComponentResult weakly_connected_components<G>(const G&); \
+  template double reciprocity<G>(const G&);               \
+  template std::string describe<G>(const G&);
+
+LCRB_INSTANTIATE_METRICS(DiGraph)
+LCRB_INSTANTIATE_METRICS(EfGraph)
+
+#undef LCRB_INSTANTIATE_METRICS
 
 }  // namespace lcrb

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/types.h"
 
 namespace lcrb {
@@ -21,7 +21,8 @@ struct DegreeStats {
   double p99_out = 0.0;
 };
 
-DegreeStats degree_stats(const DiGraph& g);
+template <GraphView G>
+DegreeStats degree_stats(const G& g);
 
 /// Weakly connected components: labels[v] in [0, count).
 struct ComponentResult {
@@ -30,13 +31,16 @@ struct ComponentResult {
   NodeId largest_size = 0;
 };
 
-ComponentResult weakly_connected_components(const DiGraph& g);
+template <GraphView G>
+ComponentResult weakly_connected_components(const G& g);
 
 /// Fraction of arcs (u,v) whose reverse (v,u) also exists. 1.0 for symmetric
 /// graphs (the Hep substitute), well below 1 for the Enron substitute.
-double reciprocity(const DiGraph& g);
+template <GraphView G>
+double reciprocity(const G& g);
 
 /// One-line human-readable summary ("n=... m=... avg_deg=... wcc=...").
-std::string describe(const DiGraph& g);
+template <GraphView G>
+std::string describe(const G& g);
 
 }  // namespace lcrb

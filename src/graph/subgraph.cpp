@@ -1,10 +1,12 @@
 #include "graph/subgraph.h"
 
 #include "graph/builder.h"
+#include "graph/ef_graph.h"
 
 namespace lcrb {
 
-InducedSubgraph induced_subgraph(const DiGraph& g,
+template <GraphView G>
+InducedSubgraph induced_subgraph(const G& g,
                                  std::span<const NodeId> nodes) {
   InducedSubgraph out;
   out.from_original.assign(g.num_nodes(), kInvalidNode);
@@ -29,5 +31,10 @@ InducedSubgraph induced_subgraph(const DiGraph& g,
   out.graph = b.finalize();
   return out;
 }
+
+template InducedSubgraph induced_subgraph<DiGraph>(const DiGraph&,
+                                                   std::span<const NodeId>);
+template InducedSubgraph induced_subgraph<EfGraph>(const EfGraph&,
+                                                   std::span<const NodeId>);
 
 }  // namespace lcrb

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/types.h"
 
 namespace lcrb {
@@ -18,6 +19,7 @@ struct InducedSubgraph {
 };
 
 /// Subgraph induced by `nodes` (duplicates rejected).
-InducedSubgraph induced_subgraph(const DiGraph& g, std::span<const NodeId> nodes);
+template <GraphView G>
+InducedSubgraph induced_subgraph(const G& g, std::span<const NodeId> nodes);
 
 }  // namespace lcrb

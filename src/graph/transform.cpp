@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "graph/builder.h"
+#include "graph/ef_graph.h"
 #include "graph/metrics.h"
 
 namespace lcrb {
 
-DiGraph transpose(const DiGraph& g) {
+template <GraphView G>
+DiGraph transpose(const G& g) {
   GraphBuilder b;
   b.reserve_nodes(g.num_nodes());
   b.reserve_edges(g.num_edges());
@@ -17,7 +19,8 @@ DiGraph transpose(const DiGraph& g) {
   return b.finalize();
 }
 
-DiGraph symmetrize(const DiGraph& g) {
+template <GraphView G>
+DiGraph symmetrize(const G& g) {
   GraphBuilder b;
   b.reserve_nodes(g.num_nodes());
   b.reserve_edges(g.num_edges() * 2);
@@ -27,7 +30,8 @@ DiGraph symmetrize(const DiGraph& g) {
   return b.finalize();
 }
 
-InducedSubgraph k_core(const DiGraph& g, NodeId k) {
+template <GraphView G>
+InducedSubgraph k_core(const G& g, NodeId k) {
   // Peel iteratively on the undirected degree. Parallel arcs were deduped at
   // build time, but (u,v) and (v,u) both count toward degree — consistent
   // with treating the pair as two social ties.
@@ -59,7 +63,8 @@ InducedSubgraph k_core(const DiGraph& g, NodeId k) {
   return induced_subgraph(g, keep);
 }
 
-InducedSubgraph largest_wcc(const DiGraph& g) {
+template <GraphView G>
+InducedSubgraph largest_wcc(const G& g) {
   const ComponentResult c = weakly_connected_components(g);
   if (c.count == 0) return induced_subgraph(g, {});
   // Find the label with the most members.
@@ -74,5 +79,16 @@ InducedSubgraph largest_wcc(const DiGraph& g) {
   }
   return induced_subgraph(g, keep);
 }
+
+#define LCRB_INSTANTIATE_TRANSFORM(G)                    \
+  template DiGraph transpose<G>(const G&);               \
+  template DiGraph symmetrize<G>(const G&);              \
+  template InducedSubgraph k_core<G>(const G&, NodeId);  \
+  template InducedSubgraph largest_wcc<G>(const G&);
+
+LCRB_INSTANTIATE_TRANSFORM(DiGraph)
+LCRB_INSTANTIATE_TRANSFORM(EfGraph)
+
+#undef LCRB_INSTANTIATE_TRANSFORM
 
 }  // namespace lcrb

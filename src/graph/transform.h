@@ -1,23 +1,27 @@
 // Whole-graph transformations.
 #pragma once
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/subgraph.h"
 
 namespace lcrb {
 
 /// Reverses every arc: (u, v) -> (v, u).
-DiGraph transpose(const DiGraph& g);
+template <GraphView G>
+DiGraph transpose(const G& g);
 
 /// Adds the reverse of every arc (undirected view as a digraph).
-DiGraph symmetrize(const DiGraph& g);
+template <GraphView G>
+DiGraph symmetrize(const G& g);
 
 /// Iteratively strips nodes with total degree (in + out) < k; returns the
 /// induced subgraph on the surviving nodes (the classic k-core, computed on
 /// the undirected view). The mapping identifies survivors.
-InducedSubgraph k_core(const DiGraph& g, NodeId k);
+template <GraphView G>
+InducedSubgraph k_core(const G& g, NodeId k);
 
 /// Induced subgraph on the largest weakly connected component.
-InducedSubgraph largest_wcc(const DiGraph& g);
+template <GraphView G>
+InducedSubgraph largest_wcc(const G& g);
 
 }  // namespace lcrb

@@ -2,12 +2,15 @@
 
 #include <deque>
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 namespace lcrb {
 
 namespace {
 
-template <typename NeighborFn>
-BfsResult bfs_impl(const DiGraph& g, std::span<const NodeId> sources,
+template <class G, typename NeighborFn>
+BfsResult bfs_impl(const G& g, std::span<const NodeId> sources,
                    NeighborFn neighbors) {
   BfsResult r;
   r.dist.assign(g.num_nodes(), kUnreached);
@@ -34,9 +37,9 @@ BfsResult bfs_impl(const DiGraph& g, std::span<const NodeId> sources,
   return r;
 }
 
-template <typename NeighborFn>
-BoundedBfsResult bounded_impl(const DiGraph& g, NodeId root,
-                              std::uint32_t max_depth, NeighborFn neighbors) {
+template <class G, typename NeighborFn>
+BoundedBfsResult bounded_impl(const G& g, NodeId root, std::uint32_t max_depth,
+                              NeighborFn neighbors) {
   LCRB_REQUIRE(root < g.num_nodes(), "BFS root out of range");
   BoundedBfsResult r;
   std::vector<bool> seen(g.num_nodes(), false);
@@ -61,27 +64,32 @@ BoundedBfsResult bounded_impl(const DiGraph& g, NodeId root,
 
 }  // namespace
 
-BfsResult bfs_forward(const DiGraph& g, std::span<const NodeId> sources) {
+template <GraphView G>
+BfsResult bfs_forward(const G& g, std::span<const NodeId> sources) {
   return bfs_impl(g, sources, [&g](NodeId u) { return g.out_neighbors(u); });
 }
 
-BfsResult bfs_backward(const DiGraph& g, std::span<const NodeId> sources) {
+template <GraphView G>
+BfsResult bfs_backward(const G& g, std::span<const NodeId> sources) {
   return bfs_impl(g, sources, [&g](NodeId u) { return g.in_neighbors(u); });
 }
 
-BoundedBfsResult bfs_backward_bounded(const DiGraph& g, NodeId root,
+template <GraphView G>
+BoundedBfsResult bfs_backward_bounded(const G& g, NodeId root,
                                       std::uint32_t max_depth) {
   return bounded_impl(g, root, max_depth,
                       [&g](NodeId u) { return g.in_neighbors(u); });
 }
 
-BoundedBfsResult bfs_forward_bounded(const DiGraph& g, NodeId root,
+template <GraphView G>
+BoundedBfsResult bfs_forward_bounded(const G& g, NodeId root,
                                      std::uint32_t max_depth) {
   return bounded_impl(g, root, max_depth,
                       [&g](NodeId u) { return g.out_neighbors(u); });
 }
 
-std::vector<NodeId> reachable_from(const DiGraph& g,
+template <GraphView G>
+std::vector<NodeId> reachable_from(const G& g,
                                    std::span<const NodeId> sources) {
   const BfsResult r = bfs_forward(g, sources);
   std::vector<NodeId> out;
@@ -90,5 +98,20 @@ std::vector<NodeId> reachable_from(const DiGraph& g,
   }
   return out;
 }
+
+#define LCRB_INSTANTIATE_TRAVERSAL(G)                                         \
+  template BfsResult bfs_forward<G>(const G&, std::span<const NodeId>);       \
+  template BfsResult bfs_backward<G>(const G&, std::span<const NodeId>);      \
+  template BoundedBfsResult bfs_backward_bounded<G>(const G&, NodeId,         \
+                                                    std::uint32_t);           \
+  template BoundedBfsResult bfs_forward_bounded<G>(const G&, NodeId,          \
+                                                   std::uint32_t);            \
+  template std::vector<NodeId> reachable_from<G>(const G&,                    \
+                                                 std::span<const NodeId>);
+
+LCRB_INSTANTIATE_TRAVERSAL(DiGraph)
+LCRB_INSTANTIATE_TRAVERSAL(EfGraph)
+
+#undef LCRB_INSTANTIATE_TRAVERSAL
 
 }  // namespace lcrb

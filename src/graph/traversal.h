@@ -1,11 +1,15 @@
 // BFS primitives shared by bridge-end detection (RFST), SCBG's backward
 // search trees (BBST), and the DOAM protection test.
+//
+// All entry points are templates over the GraphView concept; definitions
+// live in traversal.cpp with explicit instantiations for DiGraph and
+// EfGraph (the pattern every graph consumer in this repo follows).
 #pragma once
 
 #include <span>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/types.h"
 
 namespace lcrb {
@@ -21,10 +25,12 @@ struct BfsResult {
 };
 
 /// Multi-source BFS along out-edges.
-BfsResult bfs_forward(const DiGraph& g, std::span<const NodeId> sources);
+template <GraphView G>
+BfsResult bfs_forward(const G& g, std::span<const NodeId> sources);
 
 /// Multi-source BFS along in-edges ("who can reach me, and how fast").
-BfsResult bfs_backward(const DiGraph& g, std::span<const NodeId> sources);
+template <GraphView G>
+BfsResult bfs_backward(const G& g, std::span<const NodeId> sources);
 
 /// Backward BFS from a single node truncated at `max_depth` hops. Returns
 /// only the visited nodes and their depths (dist[i] pairs with nodes[i]).
@@ -32,15 +38,17 @@ struct BoundedBfsResult {
   std::vector<NodeId> nodes;          ///< visited nodes, BFS order (root first)
   std::vector<std::uint32_t> depth;   ///< depth[i] = hops from root to nodes[i]
 };
-BoundedBfsResult bfs_backward_bounded(const DiGraph& g, NodeId root,
+template <GraphView G>
+BoundedBfsResult bfs_backward_bounded(const G& g, NodeId root,
                                       std::uint32_t max_depth);
 
 /// Forward variant of the bounded BFS.
-BoundedBfsResult bfs_forward_bounded(const DiGraph& g, NodeId root,
+template <GraphView G>
+BoundedBfsResult bfs_forward_bounded(const G& g, NodeId root,
                                      std::uint32_t max_depth);
 
 /// Nodes reachable from `sources` along out-edges (including the sources).
-std::vector<NodeId> reachable_from(const DiGraph& g,
-                                   std::span<const NodeId> sources);
+template <GraphView G>
+std::vector<NodeId> reachable_from(const G& g, std::span<const NodeId> sources);
 
 }  // namespace lcrb

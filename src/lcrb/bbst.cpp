@@ -1,5 +1,8 @@
 #include "lcrb/bbst.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include <algorithm>
 
 #include "graph/traversal.h"
@@ -7,7 +10,8 @@
 
 namespace lcrb {
 
-Bbst build_bbst(const DiGraph& g, NodeId bridge_end, std::uint32_t rumor_dist,
+template <GraphView G>
+Bbst build_bbst(const G& g, NodeId bridge_end, std::uint32_t rumor_dist,
                 std::span<const NodeId> rumors) {
   LCRB_REQUIRE(bridge_end < g.num_nodes(), "bridge end out of range");
   LCRB_REQUIRE(rumor_dist != kUnreached,
@@ -32,7 +36,8 @@ Bbst build_bbst(const DiGraph& g, NodeId bridge_end, std::uint32_t rumor_dist,
   return q;
 }
 
-std::vector<Bbst> build_all_bbsts(const DiGraph& g,
+template <GraphView G>
+std::vector<Bbst> build_all_bbsts(const G& g,
                                   std::span<const NodeId> bridge_ends,
                                   std::span<const std::uint32_t> rumor_dist_all,
                                   std::span<const NodeId> rumors) {
@@ -45,6 +50,18 @@ std::vector<Bbst> build_all_bbsts(const DiGraph& g,
   }
   return out;
 }
+
+#define LCRB_INSTANTIATE_BBST(G)                                              \
+  template Bbst build_bbst<G>(const G&, NodeId, std::uint32_t,                \
+                              std::span<const NodeId>);                       \
+  template std::vector<Bbst> build_all_bbsts<G>(                              \
+      const G&, std::span<const NodeId>, std::span<const std::uint32_t>,      \
+      std::span<const NodeId>);
+
+LCRB_INSTANTIATE_BBST(DiGraph)
+LCRB_INSTANTIATE_BBST(EfGraph)
+
+#undef LCRB_INSTANTIATE_BBST
 
 SwSets invert_bbsts(const std::vector<Bbst>& bbsts, NodeId num_nodes) {
   // First pass: count occurrences per node to size buckets.

@@ -10,7 +10,7 @@
 #include <span>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/types.h"
 
 namespace lcrb {
@@ -24,11 +24,13 @@ struct Bbst {
 
 /// Builds Q_v by backward BFS truncated at `rumor_dist` hops, excluding the
 /// rumor originators (they cannot serve as protectors).
-Bbst build_bbst(const DiGraph& g, NodeId bridge_end, std::uint32_t rumor_dist,
+template <GraphView G>
+Bbst build_bbst(const G& g, NodeId bridge_end, std::uint32_t rumor_dist,
                 std::span<const NodeId> rumors);
 
 /// Builds all BBSTs for `bridge_ends` (rumor_dist_all indexed by node id).
-std::vector<Bbst> build_all_bbsts(const DiGraph& g,
+template <GraphView G>
+std::vector<Bbst> build_all_bbsts(const G& g,
                                   std::span<const NodeId> bridge_ends,
                                   std::span<const std::uint32_t> rumor_dist_all,
                                   std::span<const NodeId> rumors);

@@ -1,11 +1,15 @@
 #include "lcrb/bridge.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include "graph/traversal.h"
 #include "util/error.h"
 
 namespace lcrb {
 
-BridgeEndResult find_bridge_ends(const DiGraph& g, const Partition& p,
+template <GraphView G>
+BridgeEndResult find_bridge_ends(const G& g, const Partition& p,
                                  CommunityId rumor_community,
                                  std::span<const NodeId> rumors) {
   LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
@@ -38,5 +42,14 @@ BridgeEndResult find_bridge_ends(const DiGraph& g, const Partition& p,
   }
   return out;
 }
+
+template BridgeEndResult find_bridge_ends<DiGraph>(const DiGraph&,
+                                                   const Partition&,
+                                                   CommunityId,
+                                                   std::span<const NodeId>);
+template BridgeEndResult find_bridge_ends<EfGraph>(const EfGraph&,
+                                                   const Partition&,
+                                                   CommunityId,
+                                                   std::span<const NodeId>);
 
 }  // namespace lcrb

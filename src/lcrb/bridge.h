@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "community/partition.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/types.h"
 
 namespace lcrb {
@@ -24,7 +24,8 @@ struct BridgeEndResult {
 };
 
 /// Finds all bridge ends. `rumors` must live inside `rumor_community`.
-BridgeEndResult find_bridge_ends(const DiGraph& g, const Partition& p,
+template <GraphView G>
+BridgeEndResult find_bridge_ends(const G& g, const Partition& p,
                                  CommunityId rumor_community,
                                  std::span<const NodeId> rumors);
 

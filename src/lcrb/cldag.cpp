@@ -1,5 +1,8 @@
 #include "lcrb/cldag.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include <algorithm>
 #include <cstdint>
 #include <queue>
@@ -25,7 +28,8 @@ struct Ldag {
 /// Max-product Dijkstra from `root` over reversed arcs: influence(u) is the
 /// best product of weights 1/d_in(.) along any u -> root path. Keeps nodes
 /// with influence >= theta.
-Ldag build_ldag(const DiGraph& g, NodeId root, double theta,
+template <class G>
+Ldag build_ldag(const G& g, NodeId root, double theta,
                 std::vector<double>& inf, std::vector<std::uint32_t>& pos,
                 std::vector<std::uint32_t>& stamp, std::uint32_t epoch) {
   struct QEntry {
@@ -99,7 +103,8 @@ Ldag build_ldag(const DiGraph& g, NodeId root, double theta,
 
 }  // namespace
 
-CldagResult cldag_protectors(const DiGraph& g, std::span<const NodeId> rumors,
+template <GraphView G>
+CldagResult cldag_protectors(const G& g, std::span<const NodeId> rumors,
                              std::span<const NodeId> bridge_ends,
                              std::size_t budget, double theta) {
   LCRB_REQUIRE(budget > 0, "cldag: budget must be > 0");
@@ -187,5 +192,14 @@ CldagResult cldag_protectors(const DiGraph& g, std::span<const NodeId> rumors,
   }
   return out;
 }
+
+template CldagResult cldag_protectors<DiGraph>(const DiGraph&,
+                                               std::span<const NodeId>,
+                                               std::span<const NodeId>,
+                                               std::size_t, double);
+template CldagResult cldag_protectors<EfGraph>(const EfGraph&,
+                                               std::span<const NodeId>,
+                                               std::span<const NodeId>,
+                                               std::size_t, double);
 
 }  // namespace lcrb

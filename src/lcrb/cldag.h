@@ -22,7 +22,7 @@
 #include <span>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/types.h"
 
 namespace lcrb {
@@ -39,7 +39,8 @@ struct CldagResult {
 /// = smaller DAGs = faster and coarser. Stops early when no remaining
 /// candidate has positive score. Deterministic in its inputs;
 /// single-threaded.
-CldagResult cldag_protectors(const DiGraph& g, std::span<const NodeId> rumors,
+template <GraphView G>
+CldagResult cldag_protectors(const G& g, std::span<const NodeId> rumors,
                              std::span<const NodeId> bridge_ends,
                              std::size_t budget, double theta);
 

@@ -1,5 +1,8 @@
 #include "lcrb/greedy.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include <algorithm>
 #include <limits>
 #include <queue>
@@ -30,7 +33,8 @@ std::string to_string(MultiCascadeMode m) {
 
 namespace {
 
-std::vector<NodeId> make_candidates(const DiGraph& g,
+template <class G>
+std::vector<NodeId> make_candidates(const G& g,
                                     std::span<const NodeId> rumors,
                                     const BridgeEndResult& bridges,
                                     CandidateStrategy strategy,
@@ -84,7 +88,8 @@ std::vector<NodeId> make_candidates(const DiGraph& g,
 
 }  // namespace
 
-GreedyResult greedy_lcrbp(const DiGraph& g, const Partition& p,
+template <GraphView G>
+GreedyResult greedy_lcrbp(const G& g, const Partition& p,
                           CommunityId rumor_community,
                           std::span<const NodeId> rumors,
                           const GreedyConfig& cfg, ThreadPool* pool) {
@@ -93,7 +98,8 @@ GreedyResult greedy_lcrbp(const DiGraph& g, const Partition& p,
   return greedy_lcrbp_from_bridges(g, rumors, bridges, cfg, pool);
 }
 
-GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
+template <GraphView G>
+GreedyResult greedy_lcrbp_from_bridges(const G& g,
                                        std::span<const NodeId> rumors,
                                        const BridgeEndResult& bridges,
                                        const GreedyConfig& cfg,
@@ -143,7 +149,8 @@ GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
   return out;
 }
 
-GreedyResult greedy_lcrbp_with_estimator(const DiGraph& g,
+template <GraphView G>
+GreedyResult greedy_lcrbp_with_estimator(const G& g,
                                          std::span<const NodeId> rumors,
                                          const BridgeEndResult& bridges,
                                          const GreedyConfig& cfg,
@@ -285,8 +292,9 @@ GreedyResult greedy_lcrbp_with_estimator(const DiGraph& g,
   return out;
 }
 
+template <GraphView G>
 MultiGreedyResult greedy_multi_with_estimator(
-    const DiGraph& g, std::span<const NodeId> rumors,
+    const G& g, std::span<const NodeId> rumors,
     const BridgeEndResult& bridges, const GreedyConfig& cfg,
     std::span<const std::size_t> budgets, MultiCascadeMode mode,
     const SigmaEstimator& estimator, ThreadPool* pool) {
@@ -356,8 +364,9 @@ MultiGreedyResult greedy_multi_with_estimator(
   return out;
 }
 
+template <GraphView G>
 MultiGreedyResult greedy_multi_from_bridges(
-    const DiGraph& g, std::span<const NodeId> rumors,
+    const G& g, std::span<const NodeId> rumors,
     const BridgeEndResult& bridges, const GreedyConfig& cfg,
     std::span<const std::size_t> budgets, MultiCascadeMode mode,
     ThreadPool* pool) {
@@ -377,5 +386,29 @@ MultiGreedyResult greedy_multi_from_bridges(
   out.combined.nodes_visited = estimator.nodes_visited();
   return out;
 }
+
+#define LCRB_INSTANTIATE_GREEDY(G)                                            \
+  template GreedyResult greedy_lcrbp<G>(const G&, const Partition&,           \
+                                        CommunityId, std::span<const NodeId>, \
+                                        const GreedyConfig&, ThreadPool*);    \
+  template GreedyResult greedy_lcrbp_from_bridges<G>(                         \
+      const G&, std::span<const NodeId>, const BridgeEndResult&,              \
+      const GreedyConfig&, ThreadPool*);                                      \
+  template GreedyResult greedy_lcrbp_with_estimator<G>(                       \
+      const G&, std::span<const NodeId>, const BridgeEndResult&,              \
+      const GreedyConfig&, const SigmaEstimator&, ThreadPool*);               \
+  template MultiGreedyResult greedy_multi_with_estimator<G>(                  \
+      const G&, std::span<const NodeId>, const BridgeEndResult&,              \
+      const GreedyConfig&, std::span<const std::size_t>, MultiCascadeMode,    \
+      const SigmaEstimator&, ThreadPool*);                                    \
+  template MultiGreedyResult greedy_multi_from_bridges<G>(                    \
+      const G&, std::span<const NodeId>, const BridgeEndResult&,              \
+      const GreedyConfig&, std::span<const std::size_t>, MultiCascadeMode,    \
+      ThreadPool*);
+
+LCRB_INSTANTIATE_GREEDY(DiGraph)
+LCRB_INSTANTIATE_GREEDY(EfGraph)
+
+#undef LCRB_INSTANTIATE_GREEDY
 
 }  // namespace lcrb

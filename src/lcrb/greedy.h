@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "community/partition.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "lcrb/bridge.h"
 #include "lcrb/ris.h"
 #include "lcrb/sigma.h"
@@ -76,13 +76,15 @@ struct GreedyResult {
 };
 
 /// Runs the LCRB-P greedy end to end (bridge ends computed internally).
-GreedyResult greedy_lcrbp(const DiGraph& g, const Partition& p,
+template <GraphView G>
+GreedyResult greedy_lcrbp(const G& g, const Partition& p,
                           CommunityId rumor_community,
                           std::span<const NodeId> rumors,
                           const GreedyConfig& cfg, ThreadPool* pool = nullptr);
 
 /// Variant reusing precomputed bridge ends.
-GreedyResult greedy_lcrbp_from_bridges(const DiGraph& g,
+template <GraphView G>
+GreedyResult greedy_lcrbp_from_bridges(const G& g,
                                        std::span<const NodeId> rumors,
                                        const BridgeEndResult& bridges,
                                        const GreedyConfig& cfg,
@@ -120,15 +122,17 @@ struct MultiGreedyResult {
 /// assigned round-robin to campaigns that still have budget. Uncoordinated:
 /// per-campaign greedy with its own budget, blind to the other campaigns'
 /// picks; equal-budget campaigns therefore pick identical sets.
+template <GraphView G>
 MultiGreedyResult greedy_multi_with_estimator(
-    const DiGraph& g, std::span<const NodeId> rumors,
+    const G& g, std::span<const NodeId> rumors,
     const BridgeEndResult& bridges, const GreedyConfig& cfg,
     std::span<const std::size_t> budgets, MultiCascadeMode mode,
     const SigmaEstimator& estimator, ThreadPool* pool = nullptr);
 
 /// Convenience variant that builds its own estimator.
+template <GraphView G>
 MultiGreedyResult greedy_multi_from_bridges(
-    const DiGraph& g, std::span<const NodeId> rumors,
+    const G& g, std::span<const NodeId> rumors,
     const BridgeEndResult& bridges, const GreedyConfig& cfg,
     std::span<const std::size_t> budgets, MultiCascadeMode mode,
     ThreadPool* pool = nullptr);
@@ -141,7 +145,8 @@ MultiGreedyResult greedy_multi_from_bridges(
 /// meaningless. Because the shared counters mix concurrent queries,
 /// sigma_evaluations is derived from this call's own (serial) call count and
 /// nodes_visited is reported as 0.
-GreedyResult greedy_lcrbp_with_estimator(const DiGraph& g,
+template <GraphView G>
+GreedyResult greedy_lcrbp_with_estimator(const G& g,
                                          std::span<const NodeId> rumors,
                                          const BridgeEndResult& bridges,
                                          const GreedyConfig& cfg,

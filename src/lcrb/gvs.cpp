@@ -1,5 +1,8 @@
 #include "lcrb/gvs.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include <algorithm>
 #include <queue>
 
@@ -12,9 +15,10 @@ namespace lcrb {
 namespace {
 
 /// Expected infected count over fixed sample seeds (common random numbers).
+template <class G>
 class InfectionEstimator {
  public:
-  InfectionEstimator(const DiGraph& g, std::vector<NodeId> rumors,
+  InfectionEstimator(const G& g, std::vector<NodeId> rumors,
                      const GvsConfig& cfg, ThreadPool* pool)
       : g_(g), rumors_(std::move(rumors)), cfg_(cfg), pool_(pool) {
     Rng master(cfg_.seed);
@@ -49,7 +53,7 @@ class InfectionEstimator {
   }
 
  private:
-  const DiGraph& g_;
+  const G& g_;
   std::vector<NodeId> rumors_;
   GvsConfig cfg_;
   ThreadPool* pool_;
@@ -58,13 +62,15 @@ class InfectionEstimator {
 
 }  // namespace
 
-GvsResult gvs_protectors(const DiGraph& g, std::span<const NodeId> rumors,
+template <GraphView G>
+GvsResult gvs_protectors(const G& g, std::span<const NodeId> rumors,
                          const GvsConfig& cfg, ThreadPool* pool) {
   LCRB_REQUIRE(cfg.budget >= 1, "GVS needs a positive budget");
   LCRB_REQUIRE(cfg.samples >= 1, "GVS needs at least one sample");
   LCRB_REQUIRE(!rumors.empty(), "GVS needs rumor originators");
 
-  const InfectionEstimator est(g, {rumors.begin(), rumors.end()}, cfg, pool);
+  const InfectionEstimator<G> est(g, {rumors.begin(), rumors.end()}, cfg,
+                                  pool);
 
   // Candidates: non-rumor nodes, optionally capped by out-degree rank (high
   // influence first — the GVS paper's own "highly influential nodes").
@@ -137,5 +143,12 @@ GvsResult gvs_protectors(const DiGraph& g, std::span<const NodeId> rumors,
   out.final_infected = current;
   return out;
 }
+
+template GvsResult gvs_protectors<DiGraph>(const DiGraph&,
+                                           std::span<const NodeId>,
+                                           const GvsConfig&, ThreadPool*);
+template GvsResult gvs_protectors<EfGraph>(const EfGraph&,
+                                           std::span<const NodeId>,
+                                           const GvsConfig&, ThreadPool*);
 
 }  // namespace lcrb

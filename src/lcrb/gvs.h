@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "diffusion/montecarlo.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/threadpool.h"
 #include "util/types.h"
 
@@ -38,7 +38,8 @@ struct GvsResult {
 /// Runs GVS with CELF-style lazy evaluation (the infection-reduction
 /// objective is monotone and empirically submodular under the live-pick
 /// coupling; lazy bounds are refreshed before acceptance either way).
-GvsResult gvs_protectors(const DiGraph& g, std::span<const NodeId> rumors,
+template <GraphView G>
+GvsResult gvs_protectors(const G& g, std::span<const NodeId> rumors,
                          const GvsConfig& cfg, ThreadPool* pool = nullptr);
 
 }  // namespace lcrb

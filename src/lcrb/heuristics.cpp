@@ -1,5 +1,8 @@
 #include "lcrb/heuristics.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include <algorithm>
 #include <numeric>
 
@@ -10,7 +13,8 @@ namespace lcrb {
 
 namespace {
 
-std::vector<bool> rumor_mask(const DiGraph& g, std::span<const NodeId> rumors) {
+template <class G>
+std::vector<bool> rumor_mask(const G& g, std::span<const NodeId> rumors) {
   std::vector<bool> mask(g.num_nodes(), false);
   for (NodeId r : rumors) {
     LCRB_REQUIRE(r < g.num_nodes(), "rumor out of range");
@@ -21,7 +25,8 @@ std::vector<bool> rumor_mask(const DiGraph& g, std::span<const NodeId> rumors) {
 
 }  // namespace
 
-std::vector<NodeId> maxdegree_protectors(const DiGraph& g,
+template <GraphView G>
+std::vector<NodeId> maxdegree_protectors(const G& g,
                                          std::span<const NodeId> rumors,
                                          std::size_t k) {
   const std::vector<bool> is_rumor = rumor_mask(g, rumors);
@@ -37,7 +42,8 @@ std::vector<NodeId> maxdegree_protectors(const DiGraph& g,
   return order;
 }
 
-std::vector<NodeId> proximity_protectors(const DiGraph& g,
+template <GraphView G>
+std::vector<NodeId> proximity_protectors(const G& g,
                                          std::span<const NodeId> rumors,
                                          std::size_t k, Rng& rng) {
   const std::vector<bool> is_rumor = rumor_mask(g, rumors);
@@ -61,7 +67,8 @@ std::vector<NodeId> proximity_protectors(const DiGraph& g,
   return pool;
 }
 
-std::vector<NodeId> random_protectors(const DiGraph& g,
+template <GraphView G>
+std::vector<NodeId> random_protectors(const G& g,
                                       std::span<const NodeId> rumors,
                                       std::size_t k, Rng& rng) {
   const std::vector<bool> is_rumor = rumor_mask(g, rumors);
@@ -79,7 +86,8 @@ std::vector<NodeId> random_protectors(const DiGraph& g,
   return pool;
 }
 
-std::vector<double> pagerank(const DiGraph& g, double damping, int iters) {
+template <GraphView G>
+std::vector<double> pagerank(const G& g, double damping, int iters) {
   LCRB_REQUIRE(damping > 0.0 && damping < 1.0, "damping must be in (0,1)");
   LCRB_REQUIRE(iters >= 1, "need at least one iteration");
   const NodeId n = g.num_nodes();
@@ -104,7 +112,8 @@ std::vector<double> pagerank(const DiGraph& g, double damping, int iters) {
   return rank;
 }
 
-std::vector<NodeId> pagerank_protectors(const DiGraph& g,
+template <GraphView G>
+std::vector<NodeId> pagerank_protectors(const G& g,
                                         std::span<const NodeId> rumors,
                                         std::size_t k, int iters) {
   const std::vector<bool> is_rumor = rumor_mask(g, rumors);
@@ -120,7 +129,8 @@ std::vector<NodeId> pagerank_protectors(const DiGraph& g,
   return order;
 }
 
-CoverCostResult cover_cost_doam(const DiGraph& g,
+template <GraphView G>
+CoverCostResult cover_cost_doam(const G& g,
                                 std::span<const NodeId> rumors,
                                 std::span<const NodeId> bridge_ends,
                                 std::span<const NodeId> ordered_candidates) {
@@ -165,5 +175,24 @@ CoverCostResult cover_cost_doam(const DiGraph& g,
                             static_cast<std::ptrdiff_t>(lo));
   return out;
 }
+
+#define LCRB_INSTANTIATE_HEURISTICS(G)                                        \
+  template std::vector<NodeId> maxdegree_protectors<G>(                       \
+      const G&, std::span<const NodeId>, std::size_t);                        \
+  template std::vector<NodeId> proximity_protectors<G>(                       \
+      const G&, std::span<const NodeId>, std::size_t, Rng&);                  \
+  template std::vector<NodeId> random_protectors<G>(                          \
+      const G&, std::span<const NodeId>, std::size_t, Rng&);                  \
+  template std::vector<double> pagerank<G>(const G&, double, int);            \
+  template std::vector<NodeId> pagerank_protectors<G>(                        \
+      const G&, std::span<const NodeId>, std::size_t, int);                   \
+  template CoverCostResult cover_cost_doam<G>(                                \
+      const G&, std::span<const NodeId>, std::span<const NodeId>,             \
+      std::span<const NodeId>);
+
+LCRB_INSTANTIATE_HEURISTICS(DiGraph)
+LCRB_INSTANTIATE_HEURISTICS(EfGraph)
+
+#undef LCRB_INSTANTIATE_HEURISTICS
 
 }  // namespace lcrb

@@ -13,36 +13,41 @@
 #include <span>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace lcrb {
 
 /// Top-k nodes by out-degree, excluding rumors (ties -> lower id).
-std::vector<NodeId> maxdegree_protectors(const DiGraph& g,
+template <GraphView G>
+std::vector<NodeId> maxdegree_protectors(const G& g,
                                          std::span<const NodeId> rumors,
                                          std::size_t k);
 
 /// k distinct nodes sampled uniformly from the rumors' direct out-neighbors
 /// (excluding the rumors themselves). If fewer than k such neighbors exist,
 /// returns all of them.
-std::vector<NodeId> proximity_protectors(const DiGraph& g,
+template <GraphView G>
+std::vector<NodeId> proximity_protectors(const G& g,
                                          std::span<const NodeId> rumors,
                                          std::size_t k, Rng& rng);
 
 /// k distinct uniformly random non-rumor nodes.
-std::vector<NodeId> random_protectors(const DiGraph& g,
+template <GraphView G>
+std::vector<NodeId> random_protectors(const G& g,
                                       std::span<const NodeId> rumors,
                                       std::size_t k, Rng& rng);
 
 /// Top-k nodes by PageRank (damping 0.85, `iters` power iterations).
-std::vector<NodeId> pagerank_protectors(const DiGraph& g,
+template <GraphView G>
+std::vector<NodeId> pagerank_protectors(const G& g,
                                         std::span<const NodeId> rumors,
                                         std::size_t k, int iters = 30);
 
 /// PageRank scores for all nodes (exposed for tests/examples).
-std::vector<double> pagerank(const DiGraph& g, double damping = 0.85,
+template <GraphView G>
+std::vector<double> pagerank(const G& g, double damping = 0.85,
                              int iters = 30);
 
 // ---------------------------------------------------------------------------
@@ -60,7 +65,8 @@ struct CoverCostResult {
 /// finds the shortest prefix that protects every bridge end under DOAM.
 /// Protection is monotone in the prefix, so this runs a binary search with
 /// O(log k) analytic DOAM checks.
-CoverCostResult cover_cost_doam(const DiGraph& g,
+template <GraphView G>
+CoverCostResult cover_cost_doam(const G& g,
                                 std::span<const NodeId> rumors,
                                 std::span<const NodeId> bridge_ends,
                                 std::span<const NodeId> ordered_candidates);

@@ -294,6 +294,10 @@ LcrbOptions LcrbOptions::from_args(const Args& args) {
         parse_size_list(args.get_string("protector-budgets", ""));
   }
   o.cldag_theta = args.get_double("cldag-theta", o.cldag_theta);
+  if (args.has("graph-backend")) {
+    o.graph_backend =
+        parse_graph_backend(args.get_string("graph-backend", ""));
+  }
   o.validate();
   return o;
 }
@@ -331,6 +335,7 @@ JsonValue LcrbOptions::to_json() const {
   }
   v.set("protector_budgets", std::move(budgets));
   v.set("cldag_theta", cldag_theta);
+  v.set("graph_backend", to_string(graph_backend));
   return v;
 }
 
@@ -414,6 +419,8 @@ LcrbOptions LcrbOptions::from_json(const JsonValue& v) {
       }
     } else if (key == "cldag_theta") {
       o.cldag_theta = val.as_double();
+    } else if (key == "graph_backend") {
+      o.graph_backend = parse_graph_backend(val.as_string());
     } else {
       throw Error("options: unknown key '" + key + "'");
     }

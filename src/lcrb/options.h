@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 
+#include "graph/backend.h"
 #include "lcrb/greedy.h"
 #include "lcrb/gvs.h"
 #include "util/json.h"
@@ -109,6 +110,12 @@ struct LcrbOptions {
   std::vector<std::size_t> protector_budgets;
   /// LDAG influence cutoff for the kCldag selector (He et al.'s 1/320).
   double cldag_theta = 1.0 / 320.0;
+
+  // --- graph storage -------------------------------------------------------
+  /// Storage backend used when this aggregate drives a graph load (lcrb_cli,
+  /// the daemon's open verb). Purely a space/speed trade: selection outputs
+  /// are byte-identical across backends, so the field never shapes results.
+  GraphBackend graph_backend = GraphBackend::kCsr;
 
   /// Throws lcrb::Error (plain message, no file/line) on out-of-range
   /// fields or meaningless combinations — notably a nonzero budget with

@@ -10,7 +10,8 @@
 
 namespace lcrb {
 
-ExperimentSetup prepare_experiment(const DiGraph& g, const Partition& p,
+template <GraphView G>
+ExperimentSetup prepare_experiment(const G& g, const Partition& p,
                                    CommunityId rumor_community,
                                    std::size_t num_rumors,
                                    std::uint64_t seed) {
@@ -24,7 +25,7 @@ ExperimentSetup prepare_experiment(const DiGraph& g, const Partition& p,
                "more rumor originators than community members");
 
   ExperimentSetup setup;
-  setup.graph = &g;
+  setup.graph = g;
   setup.partition = &p;
   setup.rumor_community = rumor_community;
 
@@ -43,7 +44,8 @@ ExperimentSetup prepare_experiment(const DiGraph& g, const Partition& p,
   return setup;
 }
 
-ExperimentSetup prepare_experiment_with_rumors(const DiGraph& g,
+template <GraphView G>
+ExperimentSetup prepare_experiment_with_rumors(const G& g,
                                                const Partition& p,
                                                std::vector<NodeId> rumors) {
   LCRB_REQUIRE(p.num_nodes() == g.num_nodes(),
@@ -60,7 +62,7 @@ ExperimentSetup prepare_experiment_with_rumors(const DiGraph& g,
                  "rumor originators must share one community");
   }
   ExperimentSetup setup;
-  setup.graph = &g;
+  setup.graph = g;
   setup.partition = &p;
   setup.rumor_community = c;
   setup.rumors = std::move(rumors);
@@ -68,15 +70,33 @@ ExperimentSetup prepare_experiment_with_rumors(const DiGraph& g,
   return setup;
 }
 
+ExperimentSetup prepare_experiment(GraphRef g, const Partition& p,
+                                   CommunityId rumor_community,
+                                   std::size_t num_rumors,
+                                   std::uint64_t seed) {
+  return g.visit([&](const auto& gr) {
+    return prepare_experiment(gr, p, rumor_community, num_rumors, seed);
+  });
+}
+
+ExperimentSetup prepare_experiment_with_rumors(GraphRef g, const Partition& p,
+                                               std::vector<NodeId> rumors) {
+  return g.visit([&](const auto& gr) {
+    return prepare_experiment_with_rumors(gr, p, std::move(rumors));
+  });
+}
+
 std::vector<NodeId> select_protectors(const ExperimentSetup& setup,
                                       const LcrbOptions& opts,
                                       ThreadPool* pool) {
-  LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+  LCRB_REQUIRE(setup.graph.valid(), "setup not prepared");
   opts.validate();
-  const DiGraph& g = *setup.graph;
   const std::size_t budget = opts.resolved_budget(setup.rumors.size());
   Rng rng(opts.selector_seed);
 
+  // One backend dispatch per query; the selectors below are all templates
+  // over the concrete graph type.
+  return setup.graph.visit([&](const auto& g) -> std::vector<NodeId> {
   switch (opts.selector) {
     case SelectorKind::kNoBlocking:
       return {};
@@ -131,19 +151,22 @@ std::vector<NodeId> select_protectors(const ExperimentSetup& setup,
     }
   }
   throw Error("unknown selector kind");
+  });
 }
 
 MultiGreedyResult select_protector_groups(const ExperimentSetup& setup,
                                           const LcrbOptions& opts,
                                           ThreadPool* pool) {
-  LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+  LCRB_REQUIRE(setup.graph.valid(), "setup not prepared");
   opts.validate();
   LCRB_REQUIRE(opts.multi_mode != MultiCascadeMode::kOff,
                "select_protector_groups requires multi_mode");
-  return greedy_multi_from_bridges(*setup.graph, setup.rumors, setup.bridges,
-                                   opts.greedy_config(),
-                                   opts.protector_budgets, opts.multi_mode,
-                                   pool);
+  return setup.graph.visit([&](const auto& g) {
+    return greedy_multi_from_bridges(g, setup.rumors, setup.bridges,
+                                     opts.greedy_config(),
+                                     opts.protector_budgets, opts.multi_mode,
+                                     pool);
+  });
 }
 
 std::vector<NodeId> select_protectors(SelectorKind kind,
@@ -189,8 +212,10 @@ std::vector<NodeId> select_protectors(SelectorKind kind,
     const std::size_t budget = o.resolved_budget(setup.rumors.size());
     GvsConfig gc = cfg.gvs;
     gc.budget = budget;
-    LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
-    return gvs_protectors(*setup.graph, setup.rumors, gc, pool).protectors;
+    LCRB_REQUIRE(setup.graph.valid(), "setup not prepared");
+    return setup.graph.visit([&](const auto& g) {
+      return gvs_protectors(g, setup.rumors, gc, pool).protectors;
+    });
   }
   return select_protectors(setup, o, pool);
 }
@@ -198,12 +223,13 @@ std::vector<NodeId> select_protectors(SelectorKind kind,
 HopSeries evaluate_protectors(const ExperimentSetup& setup,
                               std::span<const NodeId> protectors,
                               const MonteCarloConfig& mc, ThreadPool* pool) {
-  LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+  LCRB_REQUIRE(setup.graph.valid(), "setup not prepared");
   SeedSets seeds;
   seeds.rumors = setup.rumors;
   seeds.protectors.assign(protectors.begin(), protectors.end());
-  return monte_carlo_series(*setup.graph, seeds, mc,
-                            setup.bridges.bridge_ends, pool);
+  return setup.graph.visit([&](const auto& g) {
+    return monte_carlo_series(g, seeds, mc, setup.bridges.bridge_ends, pool);
+  });
 }
 
 HopSeries evaluate_protector_groups(
@@ -211,13 +237,25 @@ HopSeries evaluate_protector_groups(
     std::span<const std::vector<NodeId>> rumor_groups,
     std::span<const std::vector<NodeId>> protector_groups,
     CascadePriority priority, const MonteCarloConfig& mc, ThreadPool* pool) {
-  LCRB_REQUIRE(setup.graph != nullptr, "setup not prepared");
+  LCRB_REQUIRE(setup.graph.valid(), "setup not prepared");
   const SeedSets seeds = make_seed_sets(rumor_groups, protector_groups,
                                         priority);
   LCRB_REQUIRE(seeds.rumor_role_union() == setup.rumors,
                "rumor groups must union to the setup's rumor set");
-  return monte_carlo_series(*setup.graph, seeds, mc,
-                            setup.bridges.bridge_ends, pool);
+  return setup.graph.visit([&](const auto& g) {
+    return monte_carlo_series(g, seeds, mc, setup.bridges.bridge_ends, pool);
+  });
 }
+
+#define LCRB_INSTANTIATE_PIPELINE(G)                                          \
+  template ExperimentSetup prepare_experiment<G>(                             \
+      const G&, const Partition&, CommunityId, std::size_t, std::uint64_t);   \
+  template ExperimentSetup prepare_experiment_with_rumors<G>(                 \
+      const G&, const Partition&, std::vector<NodeId>);
+
+LCRB_INSTANTIATE_PIPELINE(DiGraph)
+LCRB_INSTANTIATE_PIPELINE(EfGraph)
+
+#undef LCRB_INSTANTIATE_PIPELINE
 
 }  // namespace lcrb

@@ -14,7 +14,7 @@
 
 #include "community/partition.h"
 #include "diffusion/montecarlo.h"
-#include "graph/graph.h"
+#include "graph/backend.h"
 #include "lcrb/bridge.h"
 #include "lcrb/greedy.h"
 #include "lcrb/gvs.h"
@@ -25,9 +25,11 @@
 
 namespace lcrb {
 
-/// Everything fixed before protector selection.
+/// Everything fixed before protector selection. `graph` references either
+/// backend (empty until prepared); the referenced graph must outlive the
+/// setup.
 struct ExperimentSetup {
-  const DiGraph* graph = nullptr;
+  GraphRef graph;
   const Partition* partition = nullptr;
   CommunityId rumor_community = kInvalidCommunity;
   std::vector<NodeId> rumors;
@@ -36,14 +38,25 @@ struct ExperimentSetup {
 
 /// Samples `num_rumors` rumor originators uniformly from the community and
 /// computes the bridge ends. Deterministic in `seed`.
-ExperimentSetup prepare_experiment(const DiGraph& g, const Partition& p,
+template <GraphView G>
+ExperimentSetup prepare_experiment(const G& g, const Partition& p,
                                    CommunityId rumor_community,
                                    std::size_t num_rumors, std::uint64_t seed);
 
 /// Variant with explicit rumor originators (they must share one community);
 /// used by the CLI's --rumor-ids and the query service's rumor_ids field.
-ExperimentSetup prepare_experiment_with_rumors(const DiGraph& g,
+template <GraphView G>
+ExperimentSetup prepare_experiment_with_rumors(const G& g,
                                                const Partition& p,
+                                               std::vector<NodeId> rumors);
+
+/// Runtime-dispatch overloads for GraphRef holders (the service layer).
+/// GraphRef does not satisfy GraphView, so these never collide with the
+/// templates above; concrete graphs still bind the template directly.
+ExperimentSetup prepare_experiment(GraphRef g, const Partition& p,
+                                   CommunityId rumor_community,
+                                   std::size_t num_rumors, std::uint64_t seed);
+ExperimentSetup prepare_experiment_with_rumors(GraphRef g, const Partition& p,
                                                std::vector<NodeId> rumors);
 
 /// DEPRECATED entry-point config (use LcrbOptions): the legacy nest of

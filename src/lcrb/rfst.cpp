@@ -1,5 +1,8 @@
 #include "lcrb/rfst.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include <algorithm>
 
 #include "util/error.h"
@@ -23,7 +26,8 @@ std::size_t RumorForest::size() const {
                     [](std::uint32_t d) { return d != kUnreached; }));
 }
 
-RumorForest build_rfst(const DiGraph& g, std::span<const NodeId> rumors) {
+template <GraphView G>
+RumorForest build_rfst(const G& g, std::span<const NodeId> rumors) {
   LCRB_REQUIRE(!rumors.empty(), "need at least one rumor originator");
   RumorForest f;
   f.roots.assign(rumors.begin(), rumors.end());
@@ -32,5 +36,10 @@ RumorForest build_rfst(const DiGraph& g, std::span<const NodeId> rumors) {
   f.parent = std::move(bfs.parent);
   return f;
 }
+
+template RumorForest build_rfst<DiGraph>(const DiGraph&,
+                                         std::span<const NodeId>);
+template RumorForest build_rfst<EfGraph>(const EfGraph&,
+                                         std::span<const NodeId>);
 
 }  // namespace lcrb

@@ -6,7 +6,7 @@
 #include <span>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/traversal.h"
 #include "util/types.h"
 
@@ -27,6 +27,7 @@ struct RumorForest {
 };
 
 /// Builds the forest with a multi-source BFS from `rumors`.
-RumorForest build_rfst(const DiGraph& g, std::span<const NodeId> rumors);
+template <GraphView G>
+RumorForest build_rfst(const G& g, std::span<const NodeId> rumors);
 
 }  // namespace lcrb

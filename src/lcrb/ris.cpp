@@ -264,7 +264,7 @@ struct RrSampler::ScratchLease {
   std::unique_ptr<ReverseScratch> scratch;
 };
 
-RrSampler::RrSampler(const DiGraph& g, std::vector<NodeId> rumors,
+RrSampler::RrSampler(GraphRef g, std::vector<NodeId> rumors,
                      std::vector<NodeId> bridge_ends, const RisConfig& cfg)
     : g_(g),
       cfg_(cfg),
@@ -288,7 +288,9 @@ RrSampler::RrSampler(const DiGraph& g, std::vector<NodeId> rumors,
   reverse_shared_ = dispatch_model(cfg_.model, [&](auto t) -> ReverseShared {
     using T = decltype(t);
     if constexpr (T::kSupportsReverse) {
-      return T::build_reverse_shared(g_, rumors_, params);
+      return g_.visit([&](const auto& gr) {
+        return T::build_reverse_shared(gr, rumors_, params);
+      });
     } else {
       return {};
     }
@@ -322,8 +324,10 @@ std::uint32_t RrSampler::rr_set_into(std::size_t root_idx,
   dispatch_model(cfg_.model, [&](auto t) {
     using T = decltype(t);
     if constexpr (T::kSupportsReverse) {
-      T::reverse_set(g_, is_rumor_, rumors_, reverse_shared_, root,
-                     realization_seed, params, sc, nodes, visits);
+      g_.visit([&](const auto& gr) {
+        T::reverse_set(gr, is_rumor_, rumors_, reverse_shared_, root,
+                       realization_seed, params, sc, nodes, visits);
+      });
     } else {
       throw Error("RIS does not support " + std::string(T::kName));
     }
@@ -488,7 +492,7 @@ void warn_guarantee_not_met(RisStopReason reason, std::size_t theta,
 
 }  // namespace
 
-RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
+RisGreedyResult ris_greedy_from_bridges(GraphRef g,
                                         std::span<const NodeId> rumors,
                                         const BridgeEndResult& bridges,
                                         double alpha,
@@ -535,7 +539,7 @@ RisGreedyResult ris_greedy_with_context(double alpha,
     out.guarantee_met = true;  // nothing to certify
     return out;
   }
-  const DiGraph& g = ctx.sampler.graph();
+  const GraphRef g = ctx.sampler.graph();
   const double b = static_cast<double>(nb);
   const double approx = 1.0 - std::exp(-1.0);  // the (1 - 1/e) factor
 
@@ -635,7 +639,7 @@ RisGreedyResult ris_greedy_with_context(double alpha,
 // ---------------------------------------------------------------------------
 // RisEstimator
 
-RisEstimator::RisEstimator(const DiGraph& g, std::vector<NodeId> rumors,
+RisEstimator::RisEstimator(GraphRef g, std::vector<NodeId> rumors,
                            std::vector<NodeId> bridge_ends,
                            const RisConfig& cfg, ThreadPool* pool)
     : sampler_(g, std::move(rumors), std::move(bridge_ends), cfg) {

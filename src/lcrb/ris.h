@@ -54,7 +54,7 @@
 
 #include "diffusion/kernel.h"
 #include "diffusion/montecarlo.h"
-#include "graph/graph.h"
+#include "graph/backend.h"
 #include "lcrb/bridge.h"
 #include "util/threadpool.h"
 #include "util/types.h"
@@ -203,7 +203,8 @@ class RrPool {
 /// function of (config seed, stream, index).
 class RrSampler {
  public:
-  RrSampler(const DiGraph& g, std::vector<NodeId> rumors,
+  /// `g` may reference either backend; it must outlive the sampler.
+  RrSampler(GraphRef g, std::vector<NodeId> rumors,
             std::vector<NodeId> bridge_ends, const RisConfig& cfg);
   ~RrSampler();
 
@@ -236,7 +237,7 @@ class RrSampler {
               ThreadPool* tp = nullptr) const;
 
   const std::vector<NodeId>& bridge_ends() const { return bridge_ends_; }
-  const DiGraph& graph() const { return g_; }
+  GraphRef graph() const { return g_; }
   const RisConfig& config() const { return cfg_; }
 
  private:
@@ -250,7 +251,7 @@ class RrSampler {
                             std::vector<NodeId>& nodes,
                             std::uint64_t& visits) const;
 
-  const DiGraph& g_;
+  GraphRef g_;
   RisConfig cfg_;
   std::vector<NodeId> rumors_;
   std::vector<NodeId> bridge_ends_;
@@ -306,7 +307,7 @@ struct RisGreedyResult {
 /// RIS protector selection: adaptive sample doubling (OPIM-style two-pool
 /// rule) + max-coverage greedy until the estimated protected fraction
 /// reaches `alpha` or `max_protectors` (0 = unlimited) is hit.
-RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
+RisGreedyResult ris_greedy_from_bridges(GraphRef g,
                                         std::span<const NodeId> rumors,
                                         const BridgeEndResult& bridges,
                                         double alpha,
@@ -320,7 +321,7 @@ RisGreedyResult ris_greedy_from_bridges(const DiGraph& g,
 /// first-theta prefix (shared_lock) — bit-identical to a cold run because
 /// every RR set lands in a preassigned slot.
 struct RisContext {
-  RisContext(const DiGraph& g, std::vector<NodeId> rumors,
+  RisContext(GraphRef g, std::vector<NodeId> rumors,
              std::vector<NodeId> bridge_ends, const RisConfig& cfg)
       : sampler(g, std::move(rumors), std::move(bridge_ends), cfg) {
     selection.set_byte_budget(cfg.max_pool_bytes);
@@ -355,7 +356,7 @@ RisGreedyResult ris_greedy_with_context(double alpha,
 /// counterpart of SigmaEstimator for agreement tests and benches.
 class RisEstimator {
  public:
-  RisEstimator(const DiGraph& g, std::vector<NodeId> rumors,
+  RisEstimator(GraphRef g, std::vector<NodeId> rumors,
                std::vector<NodeId> bridge_ends, const RisConfig& cfg,
                ThreadPool* pool = nullptr);
 

@@ -1,5 +1,8 @@
 #include "lcrb/scbg.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include "diffusion/doam.h"
 #include "lcrb/bbst.h"
 #include "lcrb/setcover.h"
@@ -7,7 +10,8 @@
 
 namespace lcrb {
 
-ScbgResult scbg(const DiGraph& g, const Partition& p,
+template <GraphView G>
+ScbgResult scbg(const G& g, const Partition& p,
                 CommunityId rumor_community, std::span<const NodeId> rumors,
                 const ScbgConfig& cfg) {
   const BridgeEndResult bridges =
@@ -15,7 +19,8 @@ ScbgResult scbg(const DiGraph& g, const Partition& p,
   return scbg_from_bridges(g, rumors, bridges, cfg);
 }
 
-ScbgResult scbg_from_bridges(const DiGraph& g, std::span<const NodeId> rumors,
+template <GraphView G>
+ScbgResult scbg_from_bridges(const G& g, std::span<const NodeId> rumors,
                              const BridgeEndResult& bridges,
                              const ScbgConfig& cfg) {
   ScbgResult out;
@@ -54,5 +59,18 @@ ScbgResult scbg_from_bridges(const DiGraph& g, std::span<const NodeId> rumors,
   }
   return out;
 }
+
+#define LCRB_INSTANTIATE_SCBG(G)                                              \
+  template ScbgResult scbg<G>(const G&, const Partition&, CommunityId,        \
+                              std::span<const NodeId>, const ScbgConfig&);    \
+  template ScbgResult scbg_from_bridges<G>(const G&,                          \
+                                           std::span<const NodeId>,           \
+                                           const BridgeEndResult&,            \
+                                           const ScbgConfig&);
+
+LCRB_INSTANTIATE_SCBG(DiGraph)
+LCRB_INSTANTIATE_SCBG(EfGraph)
+
+#undef LCRB_INSTANTIATE_SCBG
 
 }  // namespace lcrb

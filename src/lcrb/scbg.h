@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "community/partition.h"
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "lcrb/bridge.h"
 #include "util/types.h"
 
@@ -31,12 +31,14 @@ struct ScbgResult {
 };
 
 /// Runs SCBG end to end.
-ScbgResult scbg(const DiGraph& g, const Partition& p,
+template <GraphView G>
+ScbgResult scbg(const G& g, const Partition& p,
                 CommunityId rumor_community, std::span<const NodeId> rumors,
                 const ScbgConfig& cfg = {});
 
 /// Variant when bridge ends were already computed (shared with benches).
-ScbgResult scbg_from_bridges(const DiGraph& g, std::span<const NodeId> rumors,
+template <GraphView G>
+ScbgResult scbg_from_bridges(const G& g, std::span<const NodeId> rumors,
                              const BridgeEndResult& bridges,
                              const ScbgConfig& cfg = {});
 

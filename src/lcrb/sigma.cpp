@@ -27,7 +27,7 @@ std::string to_string(SigmaFallbackReason r) {
   return "unknown";
 }
 
-SigmaEstimator::SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
+SigmaEstimator::SigmaEstimator(GraphRef g, std::vector<NodeId> rumors,
                                std::vector<NodeId> bridge_ends,
                                const SigmaConfig& cfg, ThreadPool* pool)
     : g_(g),
@@ -96,7 +96,9 @@ SigmaEstimator::SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
   auto run_baseline = [&](std::size_t i) {
     SeedSets seeds;
     seeds.rumors = rumors_;
-    const DiffusionResult r = simulate(g_, seeds, sample_seeds_[i], mc);
+    const DiffusionResult r = g_.visit([&](const auto& gr) {
+      return simulate(gr, seeds, sample_seeds_[i], mc);
+    });
     std::uint64_t count = 0;
     for (std::size_t b = 0; b < bridge_ends_.size(); ++b) {
       if (r.state[bridge_ends_[b]] == NodeState::kInfected) {
@@ -135,7 +137,9 @@ SigmaEstimator::SampleOutcome SigmaEstimator::evaluate_sample(
   SeedSets seeds;
   seeds.rumors = rumors_;
   seeds.protectors.assign(protectors.begin(), protectors.end());
-  const DiffusionResult r = simulate(g_, seeds, sample_seeds_[i], mc);
+  const DiffusionResult r = g_.visit([&](const auto& gr) {
+    return simulate(gr, seeds, sample_seeds_[i], mc);
+  });
   // Visit proxy for a full simulation: every node the run activated.
   legacy_visits_.fetch_add(
       r.infected_count() + r.protected_count(), std::memory_order_relaxed);

@@ -23,7 +23,7 @@
 #include <vector>
 
 #include "diffusion/montecarlo.h"
-#include "graph/graph.h"
+#include "graph/backend.h"
 #include "util/threadpool.h"
 #include "util/types.h"
 
@@ -69,7 +69,9 @@ struct SigmaConfig {
 /// fixed rumor seed set. Thread-safe for concurrent evaluations.
 class SigmaEstimator {
  public:
-  SigmaEstimator(const DiGraph& g, std::vector<NodeId> rumors,
+  /// `g` may reference either backend; the referenced graph must outlive
+  /// the estimator (same contract as the old const DiGraph&).
+  SigmaEstimator(GraphRef g, std::vector<NodeId> rumors,
                  std::vector<NodeId> bridge_ends, const SigmaConfig& cfg,
                  ThreadPool* pool = nullptr);
   ~SigmaEstimator();
@@ -131,7 +133,7 @@ class SigmaEstimator {
   /// does not depend on thread scheduling.
   Totals evaluate_all(std::span<const NodeId> protectors) const;
 
-  const DiGraph& g_;
+  GraphRef g_;
   std::vector<NodeId> rumors_;
   std::vector<NodeId> bridge_ends_;
   SigmaConfig cfg_;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <mutex>
+#include <type_traits>
 #include <utility>
 
 #include "diffusion/kernel.h"
@@ -26,12 +27,12 @@ class SigmaEngine::Base {
 
 namespace {
 
-template <class Traits>
+template <class Traits, class G>
 class EngineImpl final : public SigmaEngine::Base {
  public:
   using Outcome = SigmaEngine::Outcome;
 
-  EngineImpl(const DiGraph& g, std::span<const NodeId> rumors,
+  EngineImpl(const G& g, std::span<const NodeId> rumors,
              std::span<const NodeId> bridge_ends,
              std::span<const std::uint64_t> sample_seeds,
              const SigmaConfig& cfg, ThreadPool* pool)
@@ -179,7 +180,7 @@ class EngineImpl final : public SigmaEngine::Base {
     color.set(v, kColorP);
   }
 
-  const DiGraph& g_;
+  const G& g_;
   SigmaConfig cfg_;
   RealizationParams params_;
   std::vector<NodeId> rumors_;
@@ -205,27 +206,34 @@ bool SigmaEngine::supports(DiffusionModel model) {
                         [](auto t) { return decltype(t)::kSupportsCache; });
 }
 
-std::size_t SigmaEngine::estimated_bytes(const DiGraph& g,
+std::size_t SigmaEngine::estimated_bytes(GraphRef g,
                                          const SigmaConfig& cfg) {
   return dispatch_model(cfg.model, [&](auto t) -> std::size_t {
     using T = decltype(t);
     if constexpr (T::kSupportsCache) {
-      return T::estimated_cache_bytes(g, cfg.samples, cfg.max_hops);
+      return g.visit([&](const auto& gr) {
+        return T::estimated_cache_bytes(gr, cfg.samples, cfg.max_hops);
+      });
     } else {
       return 0;
     }
   });
 }
 
-SigmaEngine::SigmaEngine(const DiGraph& g, std::span<const NodeId> rumors,
+SigmaEngine::SigmaEngine(GraphRef g, std::span<const NodeId> rumors,
                          std::span<const NodeId> bridge_ends,
                          std::span<const std::uint64_t> sample_seeds,
                          const SigmaConfig& cfg, ThreadPool* pool) {
+  // Two-level dispatch, resolved once per engine: model x backend picks the
+  // fully concrete EngineImpl; replays then run template-specialized code.
   impl_ = dispatch_model(cfg.model, [&](auto t) -> std::unique_ptr<Base> {
     using T = decltype(t);
     if constexpr (T::kSupportsCache) {
-      return std::make_unique<EngineImpl<T>>(g, rumors, bridge_ends,
-                                             sample_seeds, cfg, pool);
+      return g.visit([&](const auto& gr) -> std::unique_ptr<Base> {
+        using Gr = std::decay_t<decltype(gr)>;
+        return std::make_unique<EngineImpl<T, Gr>>(gr, rumors, bridge_ends,
+                                                   sample_seeds, cfg, pool);
+      });
     } else {
       throw Error("model has no realization cache");
     }

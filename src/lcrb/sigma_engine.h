@@ -51,13 +51,13 @@ class SigmaEngine {
   /// Upper-bound estimate of the realization-cache footprint, used by
   /// SigmaEstimator to fall back to the legacy path on oversized requests
   /// (SigmaConfig::max_cache_bytes).
-  static std::size_t estimated_bytes(const DiGraph& g, const SigmaConfig& cfg);
+  static std::size_t estimated_bytes(GraphRef g, const SigmaConfig& cfg);
 
   /// Builds every sample's realization (and the rumor-only baselines) up
   /// front; `sample_seeds` must be the estimator's per-sample seeds.
   /// Construction parallelizes over samples when `pool` is given; the cached
   /// data is identical regardless.
-  SigmaEngine(const DiGraph& g, std::span<const NodeId> rumors,
+  SigmaEngine(GraphRef g, std::span<const NodeId> rumors,
               std::span<const NodeId> bridge_ends,
               std::span<const std::uint64_t> sample_seeds,
               const SigmaConfig& cfg, ThreadPool* pool);

@@ -1,5 +1,8 @@
 #include "lcrb/source.h"
 
+#include "graph/ef_graph.h"
+#include "graph/graph.h"
+
 #include <algorithm>
 
 #include "graph/subgraph.h"
@@ -56,7 +59,8 @@ bool better(SourceScore score, const GreedyScore& a, const GreedyScore& b) {
 
 }  // namespace
 
-SourceEstimate locate_sources(const DiGraph& g,
+template <GraphView G>
+SourceEstimate locate_sources(const G& g,
                               std::span<const NodeId> infected,
                               const SourceLocateConfig& cfg) {
   LCRB_REQUIRE(!infected.empty(), "snapshot has no infected nodes");
@@ -112,7 +116,8 @@ SourceEstimate locate_sources(const DiGraph& g,
   return out;
 }
 
-std::vector<std::uint32_t> source_error(const DiGraph& g,
+template <GraphView G>
+std::vector<std::uint32_t> source_error(const G& g,
                                         std::span<const NodeId> truth,
                                         std::span<const NodeId> estimate) {
   LCRB_REQUIRE(!estimate.empty(), "no estimated sources");
@@ -133,5 +138,17 @@ std::vector<std::uint32_t> source_error(const DiGraph& g,
   }
   return out;
 }
+
+#define LCRB_INSTANTIATE_SOURCE(G)                                            \
+  template SourceEstimate locate_sources<G>(const G&,                         \
+                                            std::span<const NodeId>,          \
+                                            const SourceLocateConfig&);       \
+  template std::vector<std::uint32_t> source_error<G>(                        \
+      const G&, std::span<const NodeId>, std::span<const NodeId>);
+
+LCRB_INSTANTIATE_SOURCE(DiGraph)
+LCRB_INSTANTIATE_SOURCE(EfGraph)
+
+#undef LCRB_INSTANTIATE_SOURCE
 
 }  // namespace lcrb

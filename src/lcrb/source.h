@@ -14,7 +14,7 @@
 #include <span>
 #include <vector>
 
-#include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "util/types.h"
 
 namespace lcrb {
@@ -46,13 +46,15 @@ struct SourceLocateConfig {
 /// states are progressive). Distances are hop counts in the subgraph induced
 /// by the infected set: the rumor can only have traveled through nodes that
 /// ended up infected under DOAM's priority rule.
-SourceEstimate locate_sources(const DiGraph& g,
+template <GraphView G>
+SourceEstimate locate_sources(const G& g,
                               std::span<const NodeId> infected,
                               const SourceLocateConfig& cfg = {});
 
 /// Evaluation helper: hop distance (in the full graph) from each true source
 /// to the nearest estimate; kUnreached when no estimate is reachable.
-std::vector<std::uint32_t> source_error(const DiGraph& g,
+template <GraphView G>
+std::vector<std::uint32_t> source_error(const G& g,
                                         std::span<const NodeId> truth,
                                         std::span<const NodeId> estimate);
 

@@ -61,14 +61,15 @@ QueryService::~QueryService() {
 
 std::shared_ptr<GraphSession> QueryService::open_dataset(
     const std::string& dataset, const std::string& edge_list_path,
-    bool undirected, std::uint64_t community_seed) {
+    bool undirected, std::uint64_t community_seed, GraphBackend backend) {
   if (std::shared_ptr<GraphSession> existing = registry_.find(dataset)) {
     return existing;
   }
   DiGraph g = load_edge_list(edge_list_path, undirected);
   Partition p =
       detect_communities(g, CommunityMethod::kLouvain, community_seed);
-  return registry_.open(dataset, std::move(g), std::move(p));
+  return registry_.open(dataset, to_backend(std::move(g), backend),
+                        std::move(p));
 }
 
 QueryResult QueryService::run(const QueryRequest& req) {
@@ -201,18 +202,20 @@ std::shared_ptr<const ExperimentSetup> QueryService::setup_for(
   const std::string key =
       make_setup_key(rumor_ids, community, req.num_rumors, req.rumor_seed);
   if (key_out != nullptr) *key_out = key;
-  const DiGraph& g = session.graph();
+  const GraphRef g = session.graph();
   return session.setup_for(
       key,
       [&]() -> ExperimentSetup {
-        if (!rumor_ids.empty()) {
-          return prepare_experiment_with_rumors(g, p, rumor_ids);
-        }
-        LCRB_REQUIRE(community < p.num_communities(),
-                     "rumor community out of range");
-        const std::size_t k = std::min<std::size_t>(
-            std::max<std::size_t>(req.num_rumors, 1), p.size_of(community));
-        return prepare_experiment(g, p, community, k, req.rumor_seed);
+        return g.visit([&](const auto& gr) -> ExperimentSetup {
+          if (!rumor_ids.empty()) {
+            return prepare_experiment_with_rumors(gr, p, rumor_ids);
+          }
+          LCRB_REQUIRE(community < p.num_communities(),
+                       "rumor community out of range");
+          const std::size_t k = std::min<std::size_t>(
+              std::max<std::size_t>(req.num_rumors, 1), p.size_of(community));
+          return prepare_experiment(gr, p, community, k, req.rumor_seed);
+        });
       },
       cache_hit);
 }
@@ -253,9 +256,11 @@ QueryResult QueryService::execute_select(const QueryRequest& req,
     if (opts.multi_mode != MultiCascadeMode::kOff) {
       // Multi-campaign greedy shares the same warm estimator; the result
       // carries both the per-campaign groups and their deployed union.
-      const MultiGreedyResult r = greedy_multi_with_estimator(
-          session.graph(), setup->rumors, setup->bridges, opts.greedy_config(),
-          opts.protector_budgets, opts.multi_mode, *estimator, &pool_);
+      const MultiGreedyResult r = session.graph().visit([&](const auto& g) {
+        return greedy_multi_with_estimator(
+            g, setup->rumors, setup->bridges, opts.greedy_config(),
+            opts.protector_budgets, opts.multi_mode, *estimator, &pool_);
+      });
       result.protectors = r.deployed;
       result.protector_groups = r.groups;
       result.achieved_fraction = r.combined.achieved_fraction;
@@ -267,9 +272,10 @@ QueryResult QueryService::execute_select(const QueryRequest& req,
     }
     GreedyConfig gc = opts.greedy_config();
     gc.max_protectors = budget;
-    const GreedyResult r = greedy_lcrbp_with_estimator(
-        session.graph(), setup->rumors, setup->bridges, gc, *estimator,
-        &pool_);
+    const GreedyResult r = session.graph().visit([&](const auto& g) {
+      return greedy_lcrbp_with_estimator(g, setup->rumors, setup->bridges, gc,
+                                         *estimator, &pool_);
+    });
     result.protectors = r.protectors;
     result.achieved_fraction = r.achieved_fraction;
     result.gain_history = r.gain_history;

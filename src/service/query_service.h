@@ -82,12 +82,13 @@ class QueryService {
   const ServiceConfig& config() const { return cfg_; }
 
   /// Convenience loader: reads a SNAP-style edge list, detects communities
-  /// (Louvain, seeded), and registers the session. Re-opening an existing
-  /// dataset id returns the existing session without touching the file.
-  std::shared_ptr<GraphSession> open_dataset(const std::string& dataset,
-                                             const std::string& edge_list_path,
-                                             bool undirected = false,
-                                             std::uint64_t community_seed = 1);
+  /// (Louvain, seeded), converts to the requested storage backend, and
+  /// registers the session. Re-opening an existing dataset id returns the
+  /// existing session without touching the file (whatever its backend).
+  std::shared_ptr<GraphSession> open_dataset(
+      const std::string& dataset, const std::string& edge_list_path,
+      bool undirected = false, std::uint64_t community_seed = 1,
+      GraphBackend backend = GraphBackend::kCsr);
 
   /// Executes one request now, on the calling thread (inner parallelism on
   /// the shared pool). Never throws for request-level failures.

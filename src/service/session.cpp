@@ -8,12 +8,17 @@ namespace lcrb::service {
 
 namespace {
 
-std::size_t graph_bytes(const DiGraph& g) {
-  const std::size_t n = g.num_nodes();
-  const std::size_t m = static_cast<std::size_t>(g.num_edges());
-  // Both CSR directions: two offset arrays of n+1 EdgeIds, two endpoint
-  // arrays of m NodeIds.
-  return 2 * ((n + 1) * sizeof(EdgeId) + m * sizeof(NodeId));
+std::size_t graph_bytes(GraphRef g) {
+  if (const DiGraph* csr = g.csr_or_null()) {
+    const std::size_t n = csr->num_nodes();
+    const std::size_t m = static_cast<std::size_t>(csr->num_edges());
+    // Both CSR directions: two offset arrays of n+1 EdgeIds, two endpoint
+    // arrays of m NodeIds.
+    return 2 * ((n + 1) * sizeof(EdgeId) + m * sizeof(NodeId));
+  }
+  // Compressed backend: the encoded footprint itself (mmap-backed pages
+  // count too — they are this session's resident working set).
+  return g.memory_bytes();
 }
 
 std::size_t partition_bytes(const Partition& p) {
@@ -40,14 +45,14 @@ void append_sigma_key(std::ostringstream& key, const SigmaConfig& cfg) {
 
 }  // namespace
 
-GraphSession::GraphSession(std::string dataset, DiGraph graph,
+GraphSession::GraphSession(std::string dataset, GraphAny graph,
                            Partition partition)
     : dataset_(std::move(dataset)),
       graph_(std::move(graph)),
       partition_(std::move(partition)) {
   LCRB_REQUIRE(partition_.num_nodes() == graph_.num_nodes(),
                "session partition does not cover the graph");
-  base_bytes_ = graph_bytes(graph_) + partition_bytes(partition_);
+  base_bytes_ = graph_bytes(graph_.ref()) + partition_bytes(partition_);
 }
 
 std::shared_ptr<const ExperimentSetup> GraphSession::setup_for(
@@ -81,7 +86,7 @@ std::shared_ptr<SigmaEstimator> GraphSession::estimator_for(
   }
   if (cache_hit != nullptr) *cache_hit = false;
   auto estimator = std::make_shared<SigmaEstimator>(
-      graph_, setup.rumors, setup.bridges.bridge_ends, cfg, pool);
+      graph_.ref(), setup.rumors, setup.bridges.bridge_ends, cfg, pool);
   estimators_.emplace(key.str(), estimator);
   return estimator;
 }
@@ -108,7 +113,7 @@ std::shared_ptr<RisContext> GraphSession::ris_context_for(
     return it->second;
   }
   if (cache_hit != nullptr) *cache_hit = false;
-  auto ctx = std::make_shared<RisContext>(graph_, setup.rumors,
+  auto ctx = std::make_shared<RisContext>(graph_.ref(), setup.rumors,
                                           setup.bridges.bridge_ends, cfg);
   ris_contexts_.emplace(key.str(), ctx);
   return ctx;
@@ -196,7 +201,7 @@ std::string make_setup_key(const std::vector<NodeId>& rumor_ids,
 }
 
 std::shared_ptr<GraphSession> SessionRegistry::open(std::string dataset,
-                                                    DiGraph graph,
+                                                    GraphAny graph,
                                                     Partition partition) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(dataset);

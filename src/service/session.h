@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "community/partition.h"
+#include "graph/backend.h"
 #include "graph/graph.h"
 #include "lcrb/pipeline.h"
 #include "lcrb/ris.h"
@@ -41,10 +42,13 @@ namespace lcrb::service {
 
 class GraphSession {
  public:
-  GraphSession(std::string dataset, DiGraph graph, Partition partition);
+  /// `graph` may be either backend (DiGraph converts implicitly, so legacy
+  /// CSR call sites are unchanged).
+  GraphSession(std::string dataset, GraphAny graph, Partition partition);
 
   const std::string& dataset() const { return dataset_; }
-  const DiGraph& graph() const { return graph_; }
+  GraphRef graph() const { return graph_.ref(); }
+  GraphBackend backend() const { return graph_.backend(); }
   const Partition& partition() const { return partition_; }
 
   /// Memoized experiment setup. `key` must deterministically identify the
@@ -88,7 +92,7 @@ class GraphSession {
 
  private:
   std::string dataset_;
-  DiGraph graph_;
+  GraphAny graph_;
   Partition partition_;
   std::size_t base_bytes_ = 0;  ///< graph + partition, fixed at construction
 
@@ -123,8 +127,9 @@ class SessionRegistry {
   /// Registers a loaded dataset and returns its session. Re-opening an
   /// existing id returns the existing session untouched (the caller's graph
   /// is discarded) — sessions are immutable, so both callers see the same
-  /// data.
-  std::shared_ptr<GraphSession> open(std::string dataset, DiGraph graph,
+  /// data. The graph may be either backend; the session's accounting then
+  /// reflects the compressed footprint.
+  std::shared_ptr<GraphSession> open(std::string dataset, GraphAny graph,
                                      Partition partition);
 
   /// Session for `dataset`, refreshing its LRU stamp; nullptr when absent

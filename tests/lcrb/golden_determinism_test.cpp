@@ -19,8 +19,11 @@
 #include <string>
 #include <vector>
 
+#include <type_traits>
+
 #include "diffusion/montecarlo.h"
 #include "diffusion/opoao.h"
+#include "graph/ef_graph.h"
 #include "graph/generators.h"
 #include "lcrb/bridge.h"
 #include "lcrb/cldag.h"
@@ -111,7 +114,8 @@ std::uint64_t hash_scbg(const ScbgResult& r) {
   return h.value();
 }
 
-BridgeEndResult bridges_on(const DiGraph& g, const std::vector<NodeId>& rumors,
+template <class G>
+BridgeEndResult bridges_on(const G& g, const std::vector<NodeId>& rumors,
                            std::vector<NodeId> ends) {
   BridgeEndResult b;
   b.bridge_ends = std::move(ends);
@@ -136,15 +140,24 @@ BridgeEndResult bridges_on(const DiGraph& g, const std::vector<NodeId>& rumors,
   return b;
 }
 
+// Parameterized over the storage backend: every pinned hash below must come
+// out identical from the CSR and the Elias-Fano graph — the executable form
+// of the "outputs are byte-identical across backends" contract.
+template <class G>
 class GoldenDeterminismTest : public ::testing::Test {
  protected:
   void SetUp() override {
     Rng rng(4242);
-    g_ = erdos_renyi(120, 0.05, /*directed=*/true, rng);
+    DiGraph csr = erdos_renyi(120, 0.05, /*directed=*/true, rng);
     rumors_ = {0, 1, 2};
     std::vector<NodeId> ends;
     for (NodeId v = 10; v < 42; ++v) ends.push_back(v);
-    bridges_ = bridges_on(g_, rumors_, std::move(ends));
+    bridges_ = bridges_on(csr, rumors_, std::move(ends));
+    if constexpr (std::is_same_v<G, DiGraph>) {
+      g_ = std::move(csr);
+    } else {
+      g_ = EfGraph::from_csr(csr);
+    }
   }
 
   /// Runs the greedy serially and on 1- and 4-thread pools; all three must
@@ -164,41 +177,44 @@ class GoldenDeterminismTest : public ::testing::Test {
     check_golden(name, serial);
   }
 
-  DiGraph g_;
+  G g_;
   std::vector<NodeId> rumors_;
   BridgeEndResult bridges_;
 };
 
-TEST_F(GoldenDeterminismTest, GreedyMcCacheOpoao) {
+using GraphBackends = ::testing::Types<DiGraph, EfGraph>;
+TYPED_TEST_SUITE(GoldenDeterminismTest, GraphBackends);
+
+TYPED_TEST(GoldenDeterminismTest, GreedyMcCacheOpoao) {
   GreedyConfig cfg;
   cfg.alpha = 0.8;
   cfg.sigma.samples = 12;
   cfg.sigma.seed = 9;
   cfg.sigma.model = DiffusionModel::kOpoao;
-  check_greedy("greedy_mc_cache_opoao", cfg);
+  this->check_greedy("greedy_mc_cache_opoao", cfg);
 }
 
-TEST_F(GoldenDeterminismTest, GreedyMcLegacyOpoao) {
+TYPED_TEST(GoldenDeterminismTest, GreedyMcLegacyOpoao) {
   GreedyConfig cfg;
   cfg.alpha = 0.8;
   cfg.sigma.samples = 12;
   cfg.sigma.seed = 9;
   cfg.sigma.model = DiffusionModel::kOpoao;
   cfg.sigma.use_realization_cache = false;
-  check_greedy("greedy_mc_legacy_opoao", cfg);
+  this->check_greedy("greedy_mc_legacy_opoao", cfg);
 }
 
-TEST_F(GoldenDeterminismTest, GreedyMcCacheIc) {
+TYPED_TEST(GoldenDeterminismTest, GreedyMcCacheIc) {
   GreedyConfig cfg;
   cfg.alpha = 0.8;
   cfg.sigma.samples = 10;
   cfg.sigma.seed = 13;
   cfg.sigma.model = DiffusionModel::kIc;
   cfg.sigma.ic_edge_prob = 0.3;
-  check_greedy("greedy_mc_cache_ic", cfg);
+  this->check_greedy("greedy_mc_cache_ic", cfg);
 }
 
-TEST_F(GoldenDeterminismTest, GreedyMcLegacyIc) {
+TYPED_TEST(GoldenDeterminismTest, GreedyMcLegacyIc) {
   GreedyConfig cfg;
   cfg.alpha = 0.8;
   cfg.sigma.samples = 10;
@@ -206,28 +222,28 @@ TEST_F(GoldenDeterminismTest, GreedyMcLegacyIc) {
   cfg.sigma.model = DiffusionModel::kIc;
   cfg.sigma.ic_edge_prob = 0.3;
   cfg.sigma.use_realization_cache = false;
-  check_greedy("greedy_mc_legacy_ic", cfg);
+  this->check_greedy("greedy_mc_legacy_ic", cfg);
 }
 
-TEST_F(GoldenDeterminismTest, GreedyMcCacheLt) {
+TYPED_TEST(GoldenDeterminismTest, GreedyMcCacheLt) {
   GreedyConfig cfg;
   cfg.alpha = 0.7;
   cfg.sigma.samples = 10;
   cfg.sigma.seed = 17;
   cfg.sigma.model = DiffusionModel::kLt;
-  check_greedy("greedy_mc_cache_lt", cfg);
+  this->check_greedy("greedy_mc_cache_lt", cfg);
 }
 
-TEST_F(GoldenDeterminismTest, GreedyMcDoam) {
+TYPED_TEST(GoldenDeterminismTest, GreedyMcDoam) {
   GreedyConfig cfg;
   cfg.alpha = 0.8;
   cfg.sigma.samples = 4;  // DOAM is deterministic; samples collapse anyway
   cfg.sigma.seed = 3;
   cfg.sigma.model = DiffusionModel::kDoam;
-  check_greedy("greedy_mc_doam", cfg);
+  this->check_greedy("greedy_mc_doam", cfg);
 }
 
-TEST_F(GoldenDeterminismTest, GreedyRisOpoao) {
+TYPED_TEST(GoldenDeterminismTest, GreedyRisOpoao) {
   GreedyConfig cfg;
   cfg.alpha = 0.8;
   cfg.sigma_mode = SigmaMode::kRis;
@@ -235,10 +251,10 @@ TEST_F(GoldenDeterminismTest, GreedyRisOpoao) {
   cfg.sigma.seed = 9;
   cfg.ris.initial_sets = 128;
   cfg.ris.max_sets = 4096;
-  check_greedy("greedy_ris_opoao", cfg);
+  this->check_greedy("greedy_ris_opoao", cfg);
 }
 
-TEST_F(GoldenDeterminismTest, GreedyRisIc) {
+TYPED_TEST(GoldenDeterminismTest, GreedyRisIc) {
   GreedyConfig cfg;
   cfg.alpha = 0.7;
   cfg.sigma_mode = SigmaMode::kRis;
@@ -247,10 +263,10 @@ TEST_F(GoldenDeterminismTest, GreedyRisIc) {
   cfg.sigma.seed = 21;
   cfg.ris.initial_sets = 128;
   cfg.ris.max_sets = 4096;
-  check_greedy("greedy_ris_ic", cfg);
+  this->check_greedy("greedy_ris_ic", cfg);
 }
 
-TEST_F(GoldenDeterminismTest, GreedyRisDoam) {
+TYPED_TEST(GoldenDeterminismTest, GreedyRisDoam) {
   GreedyConfig cfg;
   cfg.alpha = 0.8;
   cfg.sigma_mode = SigmaMode::kRis;
@@ -258,15 +274,15 @@ TEST_F(GoldenDeterminismTest, GreedyRisDoam) {
   cfg.sigma.seed = 5;
   cfg.ris.initial_sets = 128;
   cfg.ris.max_sets = 4096;
-  check_greedy("greedy_ris_doam", cfg);
+  this->check_greedy("greedy_ris_doam", cfg);
 }
 
-TEST_F(GoldenDeterminismTest, ScbgSeedSet) {
-  const ScbgResult r = scbg_from_bridges(g_, rumors_, bridges_);
+TYPED_TEST(GoldenDeterminismTest, ScbgSeedSet) {
+  const ScbgResult r = scbg_from_bridges(this->g_, this->rumors_, this->bridges_);
   check_golden("scbg_seed_set", hash_scbg(r));
 }
 
-TEST_F(GoldenDeterminismTest, KWaySimulationPins) {
+TYPED_TEST(GoldenDeterminismTest, KWaySimulationPins) {
   // K=3 multi-rumor forward runs (two rumor campaigns vs one protector
   // campaign) pinned for every model: final states, winning-cascade
   // attribution, and the per-cascade activation series. Guards the K-way
@@ -283,7 +299,7 @@ TEST_F(GoldenDeterminismTest, KWaySimulationPins) {
     cfg.model = model;
     cfg.max_hops = 31;
     cfg.ic_edge_prob = 0.3;
-    const DiffusionResult r = simulate(g_, seeds, 777, cfg);
+    const DiffusionResult r = simulate(this->g_, seeds, 777, cfg);
     for (NodeState s : r.state) h.u32(static_cast<std::uint32_t>(s));
     for (std::uint8_t c : r.cascade) h.u32(c);
     h.u32(r.steps);
@@ -296,7 +312,7 @@ TEST_F(GoldenDeterminismTest, KWaySimulationPins) {
   check_golden("kway_sim_k3", h.value());
 }
 
-TEST_F(GoldenDeterminismTest, MultiGreedyCoordinated) {
+TYPED_TEST(GoldenDeterminismTest, MultiGreedyCoordinated) {
   GreedyConfig cfg;
   cfg.alpha = 1.0;
   cfg.sigma.samples = 12;
@@ -304,22 +320,22 @@ TEST_F(GoldenDeterminismTest, MultiGreedyCoordinated) {
   cfg.sigma.model = DiffusionModel::kOpoao;
   const std::vector<std::size_t> budgets{2, 2};
   const std::uint64_t serial = hash_multi(greedy_multi_from_bridges(
-      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kCoordinated,
+      this->g_, this->rumors_, this->bridges_, cfg, budgets, MultiCascadeMode::kCoordinated,
       nullptr));
   ThreadPool one(1);
   const std::uint64_t t1 = hash_multi(greedy_multi_from_bridges(
-      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kCoordinated,
+      this->g_, this->rumors_, this->bridges_, cfg, budgets, MultiCascadeMode::kCoordinated,
       &one));
   ThreadPool four(4);
   const std::uint64_t t4 = hash_multi(greedy_multi_from_bridges(
-      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kCoordinated,
+      this->g_, this->rumors_, this->bridges_, cfg, budgets, MultiCascadeMode::kCoordinated,
       &four));
   EXPECT_EQ(serial, t1) << "1-thread multi-greedy drifted from serial";
   EXPECT_EQ(serial, t4) << "4-thread multi-greedy drifted from serial";
   check_golden("multi_greedy_coordinated", serial);
 }
 
-TEST_F(GoldenDeterminismTest, MultiGreedyUncoordinated) {
+TYPED_TEST(GoldenDeterminismTest, MultiGreedyUncoordinated) {
   GreedyConfig cfg;
   cfg.alpha = 1.0;
   cfg.sigma.samples = 12;
@@ -327,19 +343,19 @@ TEST_F(GoldenDeterminismTest, MultiGreedyUncoordinated) {
   cfg.sigma.model = DiffusionModel::kOpoao;
   const std::vector<std::size_t> budgets{2, 2};
   const std::uint64_t serial = hash_multi(greedy_multi_from_bridges(
-      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kUncoordinated,
+      this->g_, this->rumors_, this->bridges_, cfg, budgets, MultiCascadeMode::kUncoordinated,
       nullptr));
   ThreadPool four(4);
   const std::uint64_t t4 = hash_multi(greedy_multi_from_bridges(
-      g_, rumors_, bridges_, cfg, budgets, MultiCascadeMode::kUncoordinated,
+      this->g_, this->rumors_, this->bridges_, cfg, budgets, MultiCascadeMode::kUncoordinated,
       &four));
   EXPECT_EQ(serial, t4) << "4-thread multi-greedy drifted from serial";
   check_golden("multi_greedy_uncoordinated", serial);
 }
 
-TEST_F(GoldenDeterminismTest, CldagSeedSet) {
+TYPED_TEST(GoldenDeterminismTest, CldagSeedSet) {
   const CldagResult r =
-      cldag_protectors(g_, rumors_, bridges_.bridge_ends, /*budget=*/4,
+      cldag_protectors(this->g_, this->rumors_, this->bridges_.bridge_ends, /*budget=*/4,
                        /*theta=*/1.0 / 320.0);
   Fnv h;
   h.u64(r.protectors.size());
@@ -351,14 +367,14 @@ TEST_F(GoldenDeterminismTest, CldagSeedSet) {
   check_golden("cldag_seed_set", h.value());
 }
 
-TEST_F(GoldenDeterminismTest, OpoaoTracePins) {
+TYPED_TEST(GoldenDeterminismTest, OpoaoTracePins) {
   SeedSets seeds;
-  seeds.rumors = rumors_;
+  seeds.rumors = this->rumors_;
   seeds.protectors = {50, 51};
   OpoaoConfig cfg;
   cfg.max_steps = 31;
   OpoaoTrace trace;
-  const DiffusionResult r = simulate_opoao(g_, seeds, 777, cfg, &trace);
+  const DiffusionResult r = simulate_opoao(this->g_, seeds, 777, cfg, &trace);
   Fnv h;
   h.u64(trace.picks.size());
   for (const OpoaoPick& p : trace.picks) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "graph/ef_graph.h"
 #include "graph/generators.h"
 #include "lcrb/pipeline.h"
 
@@ -125,6 +126,38 @@ TEST_F(RegistryFixture, ResultCacheStoresCanonicalEntries) {
   EXPECT_GT(s.memory_bytes(), before);
   s.shed_warm_state();
   EXPECT_EQ(s.cached_result(key), nullptr);
+}
+
+TEST_F(RegistryFixture, CompressedSessionReportsSmallerFootprint) {
+  GraphSession csr("csr", cg.graph, p);
+  GraphSession ef("ef", EfGraph::from_csr(cg.graph), p);
+  EXPECT_EQ(csr.backend(), GraphBackend::kCsr);
+  EXPECT_EQ(ef.backend(), GraphBackend::kEf);
+  // Same graph, same partition: the only delta is the adjacency encoding,
+  // and the Elias-Fano form must be the smaller one.
+  EXPECT_LT(ef.memory_bytes(), csr.memory_bytes());
+  // The compressed session still serves queries: same setup, same rumors.
+  const ExperimentSetup a = setup_for(csr, 17);
+  const ExperimentSetup b = setup_for(ef, 17);
+  EXPECT_EQ(a.rumors, b.rumors);
+  EXPECT_EQ(a.bridges.bridge_ends, b.bridges.bridge_ends);
+}
+
+TEST_F(RegistryFixture, CompressedSessionsEvictUnderBytePressure) {
+  SessionRegistry reg;
+  reg.open("a", EfGraph::from_csr(cg.graph), p);
+  reg.open("b", EfGraph::from_csr(cg.graph), p);
+  reg.open("c", EfGraph::from_csr(cg.graph), p);
+  EXPECT_NE(reg.find("a"), nullptr);  // a is now newer than b and c
+  const std::size_t one = reg.resident_bytes() / 3;
+  reg.set_max_bytes(reg.resident_bytes() - one);  // room for two sessions
+  EXPECT_EQ(reg.datasets(), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(reg.stats().evictions, 1u);
+  // A budget sized for the CSR encoding holds more compressed sessions: the
+  // two survivors fit where at most one uncompressed session would.
+  const std::size_t csr_bytes =
+      GraphSession("x", cg.graph, p).memory_bytes();
+  EXPECT_LT(reg.resident_bytes(), 2 * csr_bytes);
 }
 
 TEST_F(RegistryFixture, MakeSetupKeyDistinguishesRumorChoices) {

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Regression gate over bench_micro_graph's recorded JSON.
+
+Reads a google-benchmark JSON file (bench/BENCH_graph.json in the repo, or
+the freshly recorded build/BENCH_graph.json in CI) and enforces the two
+compressed-backend acceptance bounds:
+
+  * space   — BM_EfCompress's ef_bytes_per_arc counter stays at or under
+              6 bytes/arc AND at least 2.5x smaller than csr_bytes_per_arc
+              on the largest recorded graph;
+  * kernel  — BM_KernelTraversal on the EfGraph backend (/1 rows) runs
+              within 2x of the CSR backend (/0 rows) by cpu_time, compared
+              at equal graph size. Median aggregates are used when the run
+              recorded repetitions; raw rows otherwise.
+
+Exits non-zero with a per-bound report on any violation, so CI fails when a
+change to the Elias-Fano decode path regresses past the budget.
+
+Usage: check_bench_graph.py [path/to/BENCH_graph.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+MAX_EF_BYTES_PER_ARC = 6.0
+MIN_COMPRESSION_RATIO = 2.5
+MAX_KERNEL_SLOWDOWN = 2.0
+
+
+def load_rows(path: str) -> list[dict]:
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    rows = doc.get("benchmarks", [])
+    if not rows:
+        raise SystemExit(f"{path}: no benchmark rows recorded")
+    return rows
+
+
+def pick(rows: list[dict], prefix: str) -> dict | None:
+    """The most representative row for a benchmark name prefix: the median
+    aggregate when repetitions were recorded, else the plain iteration row."""
+    medians = [r for r in rows if r["name"] == f"{prefix}_median"]
+    if medians:
+        return medians[0]
+    plain = [
+        r for r in rows
+        if r["name"] == prefix and r.get("run_type", "iteration") == "iteration"
+    ]
+    return plain[0] if plain else None
+
+
+def check_space(rows: list[dict], failures: list[str]) -> None:
+    sizes = sorted(
+        int(r["name"].rsplit("/", 1)[1])
+        for r in rows
+        if r["name"].startswith("BM_EfCompress/") and r["name"].count("/") == 1
+        and r.get("run_type", "iteration") == "iteration"
+    )
+    if not sizes:
+        failures.append("BM_EfCompress rows missing from the record")
+        return
+    row = pick(rows, f"BM_EfCompress/{sizes[-1]}")
+    ef = row["ef_bytes_per_arc"]
+    csr = row["csr_bytes_per_arc"]
+    ratio = csr / ef
+    print(f"space:  ef={ef:.3f} B/arc csr={csr:.3f} B/arc ({ratio:.2f}x smaller)")
+    if ef > MAX_EF_BYTES_PER_ARC:
+        failures.append(
+            f"ef_bytes_per_arc {ef:.3f} exceeds {MAX_EF_BYTES_PER_ARC}")
+    if ratio < MIN_COMPRESSION_RATIO:
+        failures.append(
+            f"compression {ratio:.2f}x below required {MIN_COMPRESSION_RATIO}x")
+
+
+def check_kernel(rows: list[dict], failures: list[str]) -> None:
+    sizes = sorted(
+        int(r["name"].split("/")[1])
+        for r in rows
+        if r["name"].startswith("BM_KernelTraversal/")
+        and r["name"].endswith("/0")
+        and r.get("run_type", "iteration") == "iteration"
+    )
+    if not sizes:
+        failures.append("BM_KernelTraversal rows missing from the record")
+        return
+    n = sizes[-1]
+    csr = pick(rows, f"BM_KernelTraversal/{n}/0")
+    ef = pick(rows, f"BM_KernelTraversal/{n}/1")
+    if csr is None or ef is None:
+        failures.append(f"BM_KernelTraversal/{n} needs both /0 and /1 rows")
+        return
+    slowdown = ef["cpu_time"] / csr["cpu_time"]
+    print(f"kernel: csr={csr['cpu_time']:.3f} ef={ef['cpu_time']:.3f} "
+          f"{csr['time_unit']} ({slowdown:.2f}x)")
+    if slowdown > MAX_KERNEL_SLOWDOWN:
+        failures.append(
+            f"EfGraph kernel traversal {slowdown:.2f}x slower than CSR "
+            f"(budget {MAX_KERNEL_SLOWDOWN}x)")
+
+
+def main(argv: list[str]) -> int:
+    path = argv[1] if len(argv) > 1 else "bench/BENCH_graph.json"
+    rows = load_rows(path)
+    failures: list[str] = []
+    check_space(rows, failures)
+    check_kernel(rows, failures)
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("ok: compressed-backend bounds hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

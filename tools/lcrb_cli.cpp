@@ -14,6 +14,8 @@
 //
 // Common flags:
 //   --undirected            symmetrize the edge list on load
+//   --graph-backend csr|ef  storage backend for the service commands
+//                           (ef = Elias-Fano compressed; outputs identical)
 //   --seed N                master seed (default 1)
 //   --method louvain|lp     community detection (default louvain)
 //   --membership m.csv      reuse a saved partition instead of detecting
@@ -102,7 +104,7 @@ ExperimentSetup setup_experiment(const DiGraph& g, const Partition& p,
 
   if (args.has("rumor-ids")) {
     ExperimentSetup s;
-    s.graph = &g;
+    s.graph = g;
     s.partition = &p;
     s.rumor_community = kInvalidCommunity;
     s.rumors = parse_ids(args.get_string("rumor-ids", ""));
@@ -147,12 +149,18 @@ service::QueryRequest base_request(const Args& args) {
   return req;
 }
 
-/// One-dataset service over the CLI's graph/community flags.
+/// One-dataset service over the CLI's graph/community flags. The session
+/// holds whichever storage backend --graph-backend names (default CSR).
 std::unique_ptr<service::QueryService> make_service(const Args& args) {
   DiGraph g = load(args);
   Partition p = detect(g, args);
+  GraphBackend backend = GraphBackend::kCsr;
+  if (args.has("graph-backend")) {
+    backend = parse_graph_backend(args.get_string("graph-backend", ""));
+  }
   auto svc = std::make_unique<service::QueryService>();
-  svc->registry().open("cli", std::move(g), std::move(p));
+  svc->registry().open("cli", to_backend(std::move(g), backend),
+                       std::move(p));
   return svc;
 }
 

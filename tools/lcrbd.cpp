@@ -14,7 +14,9 @@
 //
 //   {"op":"open","dataset":"d","path":"graph.txt"}      load + register
 //       optional: "undirected":true, "community_seed":1,
-//                 "membership":"m.csv" (skip detection, use saved labels)
+//                 "membership":"m.csv" (skip detection, use saved labels),
+//                 "backend":"csr"|"ef" (v2 only: storage backend of the
+//                 session; ef = Elias-Fano compressed, same outputs)
 //   {"op":"close","dataset":"d"}                        drop the session
 //   {"op":"datasets"}                                   list registered ids
 //   {"op":"cancel","id":"X"}                            best-effort cancel of
@@ -116,15 +118,26 @@ JsonValue handle_control(QueryService& svc, const std::string& op,
     if (dataset.empty() || path.empty()) {
       throw Error("open: 'dataset' and 'path' are required");
     }
+    GraphBackend backend = GraphBackend::kCsr;
+    if (msg.has("backend")) {
+      // Wire-v2 field: v1 sessions must keep their exact historical surface,
+      // so a v1 open carrying it is an error rather than a silent ignore.
+      if (declared_version(msg) < 2) {
+        throw Error("open: 'backend' requires wire version 2 (\"v\":2)");
+      }
+      backend = parse_graph_backend(msg.get_string("backend", ""));
+    }
     std::shared_ptr<GraphSession> session;
     if (msg.has("membership")) {
       DiGraph g = load_edge_list(path, msg.get_bool("undirected", false));
       Partition p = load_membership(msg.get_string("membership", ""));
-      session = svc.registry().open(dataset, std::move(g), std::move(p));
+      session = svc.registry().open(dataset, to_backend(std::move(g), backend),
+                                    std::move(p));
     } else {
       session = svc.open_dataset(
           dataset, path, msg.get_bool("undirected", false),
-          static_cast<std::uint64_t>(msg.get_int("community_seed", 1)));
+          static_cast<std::uint64_t>(msg.get_int("community_seed", 1)),
+          backend);
     }
     reply.set("dataset", dataset);
     reply.set("ok", true);
