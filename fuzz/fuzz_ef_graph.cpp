@@ -2,30 +2,75 @@
 // and payload directory is attacker-controlled; parsing must stay bounded
 // by the bytes present, and any forged count, truncated payload, or flipped
 // bit must surface as lcrb::Error — never a crash or an out-of-bounds read.
+//
+// Both load paths are driven: the chunked istream path and the file path in
+// EfMapMode::kMmap, whose truncation bound trusts st_size rather than a
+// byte count read from the stream (the divided-bound overflow regression
+// lives there; see corpus/fuzz_ef_graph/forged_payload_words.bin).
 #include <cstddef>
 #include <cstdint>
+#include <fstream>
 #include <sstream>
 #include <string>
 
 #include "graph/ef_graph.h"
 #include "util/error.h"
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#define LCRB_FUZZ_EF_HAS_FILE_PATH 1
+#else
+#define LCRB_FUZZ_EF_HAS_FILE_PATH 0
+#endif
+
+namespace {
+
+void touch(const lcrb::EfGraph& g) {
+  // Touch the decoded structure so a survivable-but-corrupt parse that
+  // slipped past validate() still gets exercised.
+  std::size_t touched = 0;
+  for (lcrb::NodeId u = 0; u < g.num_nodes() && touched < 1024; ++u) {
+    for (const lcrb::NodeId v : g.out_neighbors(u)) {
+      (void)v;
+      ++touched;
+    }
+  }
+}
+
+#if LCRB_FUZZ_EF_HAS_FILE_PATH
+const std::string& scratch_path() {
+  static const std::string path = [] {
+    char tmpl[] = "/tmp/lcrb_fuzz_ef_XXXXXX";
+    const int fd = ::mkstemp(tmpl);
+    if (fd >= 0) ::close(fd);
+    return std::string(tmpl);
+  }();
+  return path;
+}
+#endif
+
+}  // namespace
+
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
   const std::string bytes(reinterpret_cast<const char*>(data), size);
   std::istringstream in(bytes);
   try {
-    const lcrb::EfGraph g = lcrb::EfGraph::load(in, lcrb::EfVerify::kFull);
-    // Touch the decoded structure so a survivable-but-corrupt parse that
-    // slipped past validate() still gets exercised.
-    std::size_t touched = 0;
-    for (lcrb::NodeId u = 0; u < g.num_nodes() && touched < 1024; ++u) {
-      for (const lcrb::NodeId v : g.out_neighbors(u)) {
-        (void)v;
-        ++touched;
-      }
-    }
+    touch(lcrb::EfGraph::load(in, lcrb::EfVerify::kFull));
   } catch (const lcrb::Error&) {
   }
+
+#if LCRB_FUZZ_EF_HAS_FILE_PATH
+  {
+    std::ofstream out(scratch_path(),
+                      std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  try {
+    touch(lcrb::EfGraph::load(scratch_path(), lcrb::EfMapMode::kMmap,
+                              lcrb::EfVerify::kFull));
+  } catch (const lcrb::Error&) {
+  }
+#endif
   return 0;
 }

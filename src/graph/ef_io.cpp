@@ -25,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 
 #include "graph/ef_graph.h"
@@ -73,18 +74,22 @@ std::uint64_t fnv1a_words(std::span<const std::uint64_t> words) {
   return h;
 }
 
-EfHeader read_header(std::istream& in, const std::string& what) {
-  EfHeader h{};
-  in.read(reinterpret_cast<char*>(&h), sizeof h);
-  LCRB_REQUIRE(in.good(), "truncated EF graph header: " + what);
+void check_header(const EfHeader& h, const std::string& what) {
   LCRB_REQUIRE(std::memcmp(h.magic, kEfMagic, sizeof kEfMagic) == 0,
                "not an lcrb EF graph file: " + what);
   LCRB_REQUIRE(h.version == kEfVersion,
                "unsupported EF graph version: " + what);
-  LCRB_REQUIRE(h.num_nodes <= std::uint64_t{1} << 32,
+  LCRB_REQUIRE(h.num_nodes <= std::numeric_limits<NodeId>::max(),
                "EF graph node count out of range: " + what);
   LCRB_REQUIRE(h.reserved[0] == 0 && h.reserved[1] == 0,
                "EF graph reserved header words must be zero: " + what);
+}
+
+EfHeader read_header(std::istream& in, const std::string& what) {
+  EfHeader h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof h);
+  LCRB_REQUIRE(in.good(), "truncated EF graph header: " + what);
+  check_header(h, what);
   return h;
 }
 
@@ -212,18 +217,14 @@ EfGraph EfGraph::load(const std::string& path, EfMapMode mode,
 
   EfHeader h{};
   std::memcpy(&h, addr, sizeof h);
-  storage->payload_words = static_cast<std::size_t>(h.payload_words);
-  // Re-run the istream header checks on the copied struct.
-  LCRB_REQUIRE(std::memcmp(h.magic, kEfMagic, sizeof kEfMagic) == 0,
-               "not an lcrb EF graph file: " + path);
-  LCRB_REQUIRE(h.version == kEfVersion, "unsupported EF graph version: " + path);
-  LCRB_REQUIRE(h.num_nodes <= std::uint64_t{1} << 32,
-               "EF graph node count out of range: " + path);
-  LCRB_REQUIRE(h.reserved[0] == 0 && h.reserved[1] == 0,
-               "EF graph reserved header words must be zero: " + path);
-  LCRB_REQUIRE(kEfHeaderBytes + h.payload_words * sizeof(std::uint64_t) <=
-                   file_len,
+  check_header(h, path);
+  // Division form: a forged payload_words must not be multiplied before the
+  // bound check, or words >= 2^61 wraps mod 2^64 and the check passes while
+  // payload() spans far past the mapping.
+  LCRB_REQUIRE(h.payload_words <=
+                   (file_len - kEfHeaderBytes) / sizeof(std::uint64_t),
                "truncated EF graph payload: " + path);
+  storage->payload_words = static_cast<std::size_t>(h.payload_words);
   return EfGraphIo::parse(std::move(storage), h, verify, path);
 #else
   LCRB_REQUIRE(false, "unreachable");

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -277,6 +279,46 @@ TEST(EfGraph, RejectsForgedCounts) {
   // num_arcs lives at byte offset 24.
   bytes[24] = static_cast<char>(bytes[24] + 1);
   EXPECT_THROW(load_bytes(bytes), Error);
+}
+
+void patch_u64(std::string& bytes, std::size_t offset, std::uint64_t value) {
+  ASSERT_GE(bytes.size(), offset + sizeof value);
+  std::memcpy(bytes.data() + offset, &value, sizeof value);
+}
+
+TEST(EfGraph, RejectsOverflowingPayloadWordsOnAllLoadPaths) {
+  // payload_words lives at byte offset 32. 2^61 words * 8 bytes wraps to 0
+  // mod 2^64, so a multiplied truncation bound would pass; the divided bound
+  // must reject it before payload() can span past the mapping.
+  std::string bytes = serialized(EfGraph::from_csr(path_graph(10)));
+  patch_u64(bytes, 32, std::uint64_t{1} << 61);
+
+  TempFile file;
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+  EXPECT_THROW(EfGraph::load(file.path(), EfMapMode::kMmap), Error);
+  EXPECT_THROW(EfGraph::load(file.path(), EfMapMode::kRead), Error);
+  EXPECT_THROW(load_bytes(bytes), Error);
+}
+
+TEST(EfGraph, RejectsNodeCountAboveNodeIdRange) {
+  // num_nodes lives at byte offset 16. Exactly 2^32 does not fit NodeId
+  // (uint32_t) and must be rejected by the header check itself, on the
+  // stream and mmap paths alike.
+  std::string bytes = serialized(EfGraph::from_csr(path_graph(10)));
+  patch_u64(bytes, 16, std::uint64_t{1} << 32);
+  EXPECT_THROW(load_bytes(bytes), Error);
+
+  TempFile file;
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.good());
+  }
+  EXPECT_THROW(EfGraph::load(file.path(), EfMapMode::kMmap), Error);
 }
 
 TEST(GraphBackend, ParseAndToString) {
